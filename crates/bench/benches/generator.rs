@@ -1,0 +1,36 @@
+//! Random-LIS generator benchmarks (Section VIII procedure) plus the
+//! Vertex-Cover reduction construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lis_gen::{generate, vc_to_qs, GeneratorConfig, InsertionPolicy, VcInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    for (v, s) in [(50usize, 5usize), (100, 10), (200, 10), (400, 20)] {
+        let cfg = GeneratorConfig {
+            vertices: v,
+            sccs: s,
+            min_cycles_per_scc: 5,
+            relay_stations: 10,
+            reconvergent_paths: true,
+            policy: InsertionPolicy::Scc,
+            extra_inter_edges: None,
+        };
+        group.bench_with_input(BenchmarkId::new("random_lis", v), &cfg, |b, cfg| {
+            let mut rng = StdRng::seed_from_u64(99);
+            b.iter(|| generate(std::hint::black_box(cfg), &mut rng))
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let vc = VcInstance::random(12, 0.4, &mut rng);
+    group.bench_function("vc_reduction_build", |b| {
+        b.iter(|| vc_to_qs(std::hint::black_box(&vc)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Minimum-cycle-mean kernel benchmarks: Karp vs Lawler.
+//!
+//! These back the CPU-time columns of Tables IV/V: every queue-sizing
+//! verification is one MCM computation on the doubled graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lis_core::LisModel;
+use lis_gen::{generate, GeneratorConfig, InsertionPolicy};
+use marked_graph::mcm::{karp, lawler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn doubled_graph(vertices: usize, sccs: usize) -> marked_graph::MarkedGraph {
+    let cfg = GeneratorConfig {
+        vertices,
+        sccs,
+        min_cycles_per_scc: 5,
+        relay_stations: 10,
+        reconvergent_paths: true,
+        policy: InsertionPolicy::Scc,
+        extra_inter_edges: None,
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let lis = generate(&cfg, &mut rng);
+    LisModel::doubled(&lis.system).into_graph()
+}
+
+fn bench_mcm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcm");
+    for (v, s) in [(50, 10), (100, 10), (200, 10), (400, 20)] {
+        let g = doubled_graph(v, s);
+        group.bench_with_input(BenchmarkId::new("karp", v), &g, |b, g| {
+            b.iter(|| karp(std::hint::black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("lawler", v), &g, |b, g| {
+            b.iter(|| lawler(std::hint::black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcm);
+criterion_main!(benches);

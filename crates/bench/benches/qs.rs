@@ -1,0 +1,65 @@
+//! Queue-sizing solver benchmarks: heuristic vs exact, with and without the
+//! simplification rules — the CPU-time story of Tables IV and V.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lis_cofdm::table6_scenario;
+use lis_gen::{generate, GeneratorConfig};
+use lis_qs::{exact_solve, extract_instance, heuristic_solve, simplify, TdInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn table4_td(vertices: usize, sccs: usize, seed: u64) -> TdInstance {
+    let cfg = GeneratorConfig::table4(vertices, sccs);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lis = generate(&cfg, &mut rng);
+    let collapsed = lis_qs::collapse_sccs(&lis.system).expect("scc policy collapses");
+    let inst = extract_instance(&collapsed.system, 1_000_000).expect("bounded cycle count");
+    TdInstance::from_qs(&inst).0
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qs");
+    group.sample_size(20);
+
+    for (v, s) in [(50usize, 10usize), (100, 10), (100, 20)] {
+        let td = table4_td(v, s, 3);
+        group.bench_with_input(
+            BenchmarkId::new("heuristic", format!("v{v}s{s}")),
+            &td,
+            |b, td| b.iter(|| heuristic_solve(std::hint::black_box(td))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("simplify+heuristic", format!("v{v}s{s}")),
+            &td,
+            |b, td| {
+                b.iter(|| {
+                    let s = simplify(std::hint::black_box(td));
+                    s.expand(&heuristic_solve(&s.instance))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact", format!("v{v}s{s}")),
+            &td,
+            |b, td| b.iter(|| exact_solve(std::hint::black_box(td), Some(Duration::from_secs(5)))),
+        );
+    }
+
+    // The COFDM Table VI instance end to end (extraction + solve).
+    let soc = table6_scenario();
+    group.bench_function("cofdm_heuristic_end_to_end", |b| {
+        b.iter(|| {
+            lis_qs::solve(
+                std::hint::black_box(&soc.system),
+                lis_qs::Algorithm::Heuristic,
+                &lis_qs::QsConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Simulator throughput benchmarks: clock periods per second for the
+//! marked-graph firing engine and the value-level LIS simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lis_cofdm::table6_scenario;
+use lis_core::LisModel;
+use lis_sim::{CoreModel, LisSimulator, Passthrough, QueueMode, RtlSimulator};
+use marked_graph::FiringEngine;
+
+fn cofdm_cores(sys: &lis_core::LisSystem) -> Vec<Box<dyn CoreModel>> {
+    sys.block_ids()
+        .map(|b| {
+            let outs = sys
+                .channel_ids()
+                .filter(|&c| sys.channel_from(c) == b)
+                .count();
+            Box::new(Passthrough::new(outs, 0)) as Box<dyn CoreModel>
+        })
+        .collect()
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let soc = table6_scenario();
+    let mut group = c.benchmark_group("simulator");
+
+    let doubled = LisModel::doubled(&soc.system).into_graph();
+    group.bench_function(BenchmarkId::new("firing_engine", "cofdm_1k_steps"), |b| {
+        b.iter(|| {
+            let mut e = FiringEngine::new(std::hint::black_box(&doubled));
+            e.run(1000);
+            e.steps()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("value_sim", "cofdm_1k_steps"), |b| {
+        b.iter(|| {
+            let mut sim = LisSimulator::new(
+                std::hint::black_box(&soc.system),
+                cofdm_cores(&soc.system),
+                QueueMode::Finite,
+            );
+            sim.run(1000);
+            sim.steps()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("rtl_sim", "cofdm_1k_steps"), |b| {
+        b.iter(|| {
+            let mut sim =
+                RtlSimulator::new(std::hint::black_box(&soc.system), cofdm_cores(&soc.system));
+            sim.run(1000);
+            sim.steps()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

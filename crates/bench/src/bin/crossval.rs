@@ -1,0 +1,134 @@
+//! Cross-validation sweep: every throughput oracle against every other.
+//!
+//! For a batch of random systems, compares
+//!
+//! 1. Karp's minimum cycle mean,
+//! 2. Lawler's parametric search,
+//! 3. the minimum over explicitly enumerated cycles,
+//! 4. the step-semantics firing engine's exact periodic rate,
+//! 5. the value-level marked-graph simulator's measured rate,
+//! 6. the RTL simulator's measured rate,
+//!
+//! and reports the largest deviation observed (1–4 must agree exactly;
+//! 5–6 within the finite-horizon tolerance). A clean run prints a
+//! confidence summary a release pipeline can grep.
+
+use lis_bench::{ExpOptions, Table};
+use lis_core::{practical_mst, LisModel};
+use lis_gen::{generate, GeneratorConfig, InsertionPolicy};
+use lis_sim::{CoreModel, LisSimulator, Passthrough, QueueMode, RtlSimulator};
+use marked_graph::cycles::elementary_cycles;
+use marked_graph::mcm::{karp, lawler};
+use marked_graph::FiringEngine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn passthrough_cores(sys: &lis_core::LisSystem) -> Vec<Box<dyn CoreModel>> {
+    sys.block_ids()
+        .map(|b| {
+            let outs = sys
+                .channel_ids()
+                .filter(|&c| sys.channel_from(c) == b)
+                .count();
+            Box::new(Passthrough::new(outs, 0)) as Box<dyn CoreModel>
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let cfg = GeneratorConfig {
+        vertices: 14,
+        sccs: 3,
+        min_cycles_per_scc: 2,
+        relay_stations: 5,
+        reconvergent_paths: true,
+        policy: InsertionPolicy::Scc,
+        extra_inter_edges: Some(2),
+    };
+
+    let mut exact_disagreements = 0usize;
+    let mut worst_sim_dev = 0.0f64;
+    let mut worst_periodic_dev = 0usize;
+    let horizon = 6000u64;
+
+    for trial in 0..opts.trials {
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ trial as u64);
+        let lis = generate(&cfg, &mut rng);
+        let sys = &lis.system;
+        let g = LisModel::doubled(sys).into_graph();
+
+        // Exact oracles.
+        let k = karp(&g).expect("doubled LIS graphs are cyclic");
+        let l = lawler(&g).expect("cyclic");
+        let e = elementary_cycles(&g, 10_000_000)
+            .expect("bounded")
+            .iter()
+            .map(|c| g.cycle_mean(c))
+            .min()
+            .expect("cyclic");
+        if k != l || k != e {
+            exact_disagreements += 1;
+            eprintln!("trial {trial}: karp {k} lawler {l} enumeration {e}");
+        }
+
+        // Step-semantics exact periodic rate.
+        let mut engine = FiringEngine::new(&g);
+        match engine.periodic_behavior(200_000) {
+            Some(p) => {
+                let t0 = g.transition_ids().next().expect("nonempty");
+                let rate = marked_graph::Ratio::new(
+                    p.firings_per_period[t0.index()] as i64,
+                    p.period as i64,
+                );
+                let analytic = practical_mst(sys);
+                if rate != analytic.min(marked_graph::Ratio::ONE) && rate != analytic {
+                    worst_periodic_dev += 1;
+                    eprintln!("trial {trial}: periodic rate {rate} vs analytic {analytic}");
+                }
+            }
+            None => eprintln!("trial {trial}: no periodic regime within budget"),
+        }
+
+        // Finite-horizon simulators.
+        let analytic = practical_mst(sys).to_f64();
+        let mut mg = LisSimulator::new(sys, passthrough_cores(sys), QueueMode::Finite);
+        mg.run(horizon);
+        let mut rtl = RtlSimulator::new(sys, passthrough_cores(sys));
+        rtl.run(horizon);
+        for b in sys.block_ids() {
+            worst_sim_dev = worst_sim_dev.max((mg.throughput(b).to_f64() - analytic).abs());
+            worst_sim_dev = worst_sim_dev.max((rtl.throughput(b).to_f64() - analytic).abs());
+        }
+    }
+
+    let mut t = Table::new(
+        format!("Cross-validation over {} random systems", opts.trials),
+        &["check", "result"],
+    );
+    t.row(&[
+        "Karp == Lawler == cycle enumeration".to_string(),
+        if exact_disagreements == 0 {
+            "agree on all trials".to_string()
+        } else {
+            format!("{exact_disagreements} DISAGREEMENTS")
+        },
+    ]);
+    t.row(&[
+        "firing engine periodic rate == analytic MST".to_string(),
+        if worst_periodic_dev == 0 {
+            "exact on all trials".to_string()
+        } else {
+            format!("{worst_periodic_dev} DEVIATIONS")
+        },
+    ]);
+    t.row(&[
+        format!("simulators (marked-graph + RTL) vs analytic, {horizon} periods"),
+        format!("max |deviation| = {worst_sim_dev:.5}"),
+    ]);
+    t.print();
+    assert_eq!(exact_disagreements, 0, "exact oracles disagreed");
+    assert_eq!(worst_periodic_dev, 0, "periodic rate deviated");
+    assert!(worst_sim_dev < 0.02, "simulator deviation too large");
+    println!("\nall oracles consistent");
+}

@@ -1,0 +1,73 @@
+//! Fig. 15 — the counterexample where relay-station insertion cannot
+//! restore the ideal MST, while queue sizing can.
+//!
+//! Exhaustively searches all placements of up to three additional relay
+//! stations (the search is complete for each budget) and contrasts the best
+//! achievable throughput with the queue-sizing solution.
+
+use lis_bench::Table;
+use lis_core::{figures, ideal_mst, practical_mst};
+use lis_qs::{solve, verify_solution, Algorithm, QsConfig};
+use lis_rsopt::exhaustive_insertion;
+
+fn main() {
+    let (sys, channels) = figures::fig15();
+    println!("{}", sys);
+    println!(
+        "ideal MST theta(G) = {} (paper: 5/6); practical theta(d[G]) = {} (paper: 3/4)",
+        ideal_mst(&sys),
+        practical_mst(&sys)
+    );
+    println!();
+
+    let mut t = Table::new(
+        "Fig. 15: best practical MST achievable by relay-station insertion",
+        &[
+            "extra stations",
+            "best practical MST",
+            "ideal MST after",
+            "reaches 5/6?",
+        ],
+    );
+    for budget in 0..=3u32 {
+        let best = exhaustive_insertion(&sys, budget);
+        t.row(&[
+            budget.to_string(),
+            best.practical.to_string(),
+            best.ideal.to_string(),
+            if best.practical >= ideal_mst(&sys) {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
+        ]);
+    }
+    t.print();
+
+    println!();
+    println!("why: any station on (A,C) or (C,E) ruins the ideal MST:");
+    for (label, idx) in [("(A,C)", 5usize), ("(C,E)", 6usize)] {
+        let mut s = sys.clone();
+        s.add_relay_station(channels[idx]);
+        println!(
+            "  +1 station on {label}: ideal MST drops to {}",
+            ideal_mst(&s)
+        );
+    }
+
+    println!();
+    let report = solve(&sys, Algorithm::Exact, &QsConfig::default()).expect("bounded instance");
+    println!(
+        "queue sizing, by contrast, restores theta(d[G]) = {} with {} extra token(s):",
+        report.target, report.total_extra
+    );
+    for (c, w) in &report.extra_tokens {
+        println!(
+            "  queue of channel {} -> {} grows by {w}",
+            sys.block_name(sys.channel_from(*c)),
+            sys.block_name(sys.channel_to(*c))
+        );
+    }
+    assert!(verify_solution(&sys, &report));
+}

@@ -1,0 +1,60 @@
+//! Fig. 16 — MST of random LISs (v=50, s=5, c=5, rp=1) under infinite and
+//! finite queues, for both relay-station insertion policies.
+//!
+//! Sweeps the relay-station count from 1 to 10, averaging over the
+//! configured number of trials (50 in the paper). Expected shape:
+//!
+//! * `scc` insertion: infinite-queue MST stays at 1.0; finite queues with
+//!   q = 1 degrade by roughly 15–30%, and larger q recovers most of it;
+//! * `any` insertion: the MST is much lower regardless of queue size, and
+//!   queue size barely matters (the limiting cycles have no backedges).
+
+use lis_bench::{mean, ExpOptions, Table};
+use lis_core::{ideal_mst, practical_mst};
+use lis_gen::{generate, GeneratorConfig, InsertionPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let mut t = Table::new(
+        format!(
+            "Fig. 16: MST, v=50 s=5 c=5 rp=1, {} trials (columns: policy / queue regime)",
+            opts.trials
+        ),
+        &[
+            "rs", "scc inf", "scc q=1", "scc q=2", "scc q=3", "any inf", "any q=1", "any q=2",
+            "any q=3",
+        ],
+    );
+
+    for rs in 1..=10usize {
+        let mut cells = vec![rs.to_string()];
+        for policy in [InsertionPolicy::Scc, InsertionPolicy::Any] {
+            let cfg = GeneratorConfig::fig16(rs, policy);
+            let mut inf = Vec::new();
+            let mut finite = vec![Vec::new(), Vec::new(), Vec::new()];
+            for trial in 0..opts.trials {
+                let mut rng = StdRng::seed_from_u64(
+                    opts.seed
+                        ^ (rs as u64) << 32
+                        ^ trial as u64
+                        ^ ((policy == InsertionPolicy::Any) as u64) << 48,
+                );
+                let lis = generate(&cfg, &mut rng);
+                inf.push(ideal_mst(&lis.system).to_f64());
+                for (qi, q) in [1u64, 2, 3].into_iter().enumerate() {
+                    let mut sys = lis.system.clone();
+                    sys.set_uniform_queue_capacity(q);
+                    finite[qi].push(practical_mst(&sys).to_f64());
+                }
+            }
+            cells.push(format!("{:.3}", mean(&inf)));
+            for qs in &finite {
+                cells.push(format!("{:.3}", mean(qs)));
+            }
+        }
+        t.row(&cells);
+    }
+    t.print();
+}

@@ -1,0 +1,51 @@
+//! Fig. 17 — MST recovery with uniform fixed queues (scc insertion).
+//!
+//! For q = 1..8 and several relay-station counts, reports the average ratio
+//! of the practical MST to the ideal MST. Expected shape (paper): with
+//! q = 1 the ratio can be as low as ~75%; from q ≥ 5 it exceeds 90%.
+
+use lis_bench::{mean, ExpOptions, Table};
+use lis_core::fixed_q_mst_ratio;
+use lis_gen::{generate, GeneratorConfig, InsertionPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let rs_counts = [2usize, 4, 6, 8, 10];
+    let mut header: Vec<String> = vec!["q".to_string()];
+    header.extend(rs_counts.iter().map(|rs| format!("rs={rs}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        format!(
+            "Fig. 17: practical/ideal MST with fixed queues, v=50 s=5 c=5 rp=1 scc insertion, {} trials",
+            opts.trials
+        ),
+        &header_refs,
+    );
+
+    // Generate each trial's system once; sweep q on clones.
+    let mut systems: Vec<Vec<lis_core::LisSystem>> = Vec::new();
+    for (i, &rs) in rs_counts.iter().enumerate() {
+        let cfg = GeneratorConfig::fig16(rs, InsertionPolicy::Scc);
+        let mut per_rs = Vec::new();
+        for trial in 0..opts.trials {
+            let mut rng = StdRng::seed_from_u64(opts.seed ^ ((i as u64) << 40) ^ trial as u64);
+            per_rs.push(generate(&cfg, &mut rng).system);
+        }
+        systems.push(per_rs);
+    }
+
+    for q in 1..=8u64 {
+        let mut cells = vec![q.to_string()];
+        for per_rs in &systems {
+            let ratios: Vec<f64> = per_rs
+                .iter()
+                .map(|sys| fixed_q_mst_ratio(sys, q).to_f64())
+                .collect();
+            cells.push(format!("{:.3}", mean(&ratios)));
+        }
+        t.row(&cells);
+    }
+    t.print();
+}

@@ -1,0 +1,82 @@
+//! Table I — output traces of the components in the Fig. 1 LIS.
+//!
+//! Runs the value-level simulator on the paper's two-core example (A emits
+//! even numbers on the upper, pipelined channel and odd numbers on the lower
+//! one; B is an adder whose latched output is initialized to zero) and
+//! prints the four trace rows exactly as in the paper, plus the analytic and
+//! measured throughput under backpressure (Figs. 5 and 6).
+
+use lis_bench::Table;
+use lis_core::{figures, practical_mst};
+use lis_sim::{Adder, CoreModel, EvenOddGenerator, LisSimulator, QueueMode, RtlSimulator, Value};
+
+fn trace_row(name: &str, trace: &[Option<Value>]) -> Vec<String> {
+    let mut row = vec![name.to_string()];
+    row.extend(
+        trace
+            .iter()
+            .map(|v| v.map_or("tau".to_string(), |x| x.to_string())),
+    );
+    row
+}
+
+fn cores() -> Vec<Box<dyn CoreModel>> {
+    vec![Box::new(EvenOddGenerator::new()), Box::new(Adder::new(1))]
+}
+
+fn main() {
+    let (sys, upper, lower) = figures::fig1();
+    let b = sys.block_by_name("B").expect("block B exists");
+
+    // Paper Table I: the ideal (infinite-queue) behavior over 4 periods.
+    let mut sim = LisSimulator::new(&sys, cores(), QueueMode::Infinite);
+    sim.run(4);
+    let mut t = Table::new(
+        "Table I: output traces of the LIS of Fig. 1 (infinite queues)",
+        &["output channel", "t0", "t1", "t2", "t3"],
+    );
+    t.row(&trace_row("A (upper)", &sim.channel_trace(upper)));
+    t.row(&trace_row("A (lower)", &sim.channel_trace(lower)));
+    t.row(&trace_row("B", &sim.block_output_trace(b, 0)));
+    t.row(&trace_row(
+        "Relay Station",
+        &sim.relay_station_trace(upper, 0),
+    ));
+    t.print();
+
+    // The same table from the independent RTL simulator (wide queues emulate
+    // the infinite-queue assumption).
+    println!();
+    let mut wide = sys.clone();
+    wide.set_uniform_queue_capacity(16);
+    let mut rtl = RtlSimulator::new(&wide, cores());
+    rtl.run(4);
+    let mut tr = Table::new(
+        "Cross-check: the same traces from the RTL simulator",
+        &["output channel", "t0", "t1", "t2", "t3"],
+    );
+    tr.row(&trace_row("A (upper)", &rtl.channel_trace(upper)));
+    tr.row(&trace_row("A (lower)", &rtl.channel_trace(lower)));
+    tr.print();
+
+    // Follow-up: the same system under backpressure (Fig. 5) and after
+    // queue sizing (Fig. 6).
+    println!();
+    let mut finite = LisSimulator::new(&sys, cores(), QueueMode::Finite);
+    finite.run(3000);
+    let a = sys.block_by_name("A").expect("block A exists");
+    println!(
+        "practical MST with q=1 (Fig. 5): analytic {} | measured {:.4}",
+        practical_mst(&sys),
+        finite.throughput(a).to_f64()
+    );
+    let (sized, _, _) = figures::fig6();
+    let mut fixed = LisSimulator::new(&sized, cores(), QueueMode::Finite);
+    fixed.run(3000);
+    println!(
+        "after queue sizing q(lower)=2 (Fig. 6): analytic {} | measured {:.4}",
+        practical_mst(&sized),
+        fixed.throughput(a).to_f64()
+    );
+    let _ = lower;
+}

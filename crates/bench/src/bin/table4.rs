@@ -1,0 +1,103 @@
+//! Table IV — exact vs heuristic queue sizing on random LISs whose SCCs are
+//! connected with reconvergent paths and whose 10 relay stations sit only on
+//! inter-SCC channels.
+//!
+//! For each (V, s) configuration the binary generates the configured number
+//! of trials, collapses SCCs (the rule-4 optimization the paper highlights
+//! for this topology class), and runs both solvers. Expected shape: the
+//! heuristic lands within a few percent of the exact optimum and never
+//! times out, while the exact solver occasionally blows up — exactly the
+//! trials with the largest cycle counts.
+
+use lis_bench::{mean, timed, ExpOptions, Table};
+use lis_core::LisModel;
+use lis_gen::{generate, GeneratorConfig};
+use lis_qs::{collapse_sccs, solve, verify_solution, Algorithm, QsConfig};
+use marked_graph::cycles::count_elementary_cycles;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let mut t = Table::new(
+        format!(
+            "Table IV: heuristic vs exact QS, rs=10 inter-SCC, {} trials, exact timeout {:?}",
+            opts.trials, opts.timeout
+        ),
+        &[
+            "(V,E)",
+            "#SCC",
+            "#Edges(inter)",
+            "Cycles(inter)",
+            "RS",
+            "Exact Soln.",
+            "Heuristic Soln.",
+            "% Exact finished",
+            "#Cycles in Unfinished",
+            "Heur. Soln. - no Exact",
+        ],
+    );
+
+    for (cfg_i, (v, s)) in [(50usize, 10usize), (100, 10), (100, 20), (200, 10)]
+        .into_iter()
+        .enumerate()
+    {
+        let cfg = GeneratorConfig::table4(v, s);
+        let mut edges = Vec::new();
+        let mut inter_edges = Vec::new();
+        let mut inter_cycles = Vec::new();
+        let mut exact_totals = Vec::new();
+        let mut heur_totals_finished = Vec::new();
+        let mut heur_totals_unfinished = Vec::new();
+        let mut cycles_unfinished = Vec::new();
+        let mut finished = 0usize;
+
+        for trial in 0..opts.trials {
+            let mut rng = StdRng::seed_from_u64(opts.seed ^ ((cfg_i as u64) << 32) ^ trial as u64);
+            let lis = generate(&cfg, &mut rng);
+            edges.push(lis.system.channel_count() as f64);
+
+            let collapsed = collapse_sccs(&lis.system).expect("scc policy collapses");
+            inter_edges.push(collapsed.system.channel_count() as f64);
+            let doubled = LisModel::doubled(&collapsed.system);
+            let n_cycles =
+                count_elementary_cycles(doubled.graph(), 10_000_000).expect("bounded cycle count");
+            inter_cycles.push(n_cycles as f64);
+
+            let qs_cfg = QsConfig {
+                budget: Some(opts.timeout),
+                ..QsConfig::default()
+            };
+            let heur =
+                solve(&lis.system, Algorithm::Heuristic, &qs_cfg).expect("bounded cycle count");
+            assert!(verify_solution(&lis.system, &heur), "heuristic must verify");
+            let (exact, _dt) = timed(|| {
+                solve(&lis.system, Algorithm::Exact, &qs_cfg).expect("bounded cycle count")
+            });
+            assert!(verify_solution(&lis.system, &exact), "exact must verify");
+
+            if exact.optimal {
+                finished += 1;
+                exact_totals.push(exact.total_extra as f64);
+                heur_totals_finished.push(heur.total_extra as f64);
+            } else {
+                cycles_unfinished.push(n_cycles as f64);
+                heur_totals_unfinished.push(heur.total_extra as f64);
+            }
+        }
+
+        t.row(&[
+            format!("({},{:.2})", v, mean(&edges)),
+            s.to_string(),
+            format!("{:.2}", mean(&inter_edges)),
+            format!("{:.2}", mean(&inter_cycles)),
+            "10".to_string(),
+            format!("{:.2}", mean(&exact_totals)),
+            format!("{:.2}", mean(&heur_totals_finished)),
+            format!("{:.2}", finished as f64 / opts.trials as f64),
+            format!("{:.2}", mean(&cycles_unfinished)),
+            format!("{:.2}", mean(&heur_totals_unfinished)),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,194 @@
+//! Table V — exhaustive insertion of two relay stations into the COFDM SoC.
+//!
+//! Enumerates all C(30,2) = 435 ways to place two relay stations on
+//! distinct channels (at most one per channel, as in the paper), counts how
+//! many degrade the throughput, and for those runs the heuristic and the
+//! exact solver on both the original and the simplified instance, reporting
+//! solution sizes and CPU times. The reported times exclude cycle
+//! enumeration, as in the paper; the enumeration time is printed separately.
+
+use std::time::Duration;
+
+use lis_bench::{mean, median, timed, ExpOptions, Table};
+use lis_cofdm::cofdm_soc;
+use lis_core::{ideal_mst, practical_mst, LisModel};
+use lis_qs::{
+    exact_solve, extract_instance, heuristic_solve, simplify, verify_solution, Algorithm, QsConfig,
+    TdInstance,
+};
+use marked_graph::cycles::count_elementary_cycles;
+
+struct Stats {
+    solution: Vec<f64>,
+    time_ms: Vec<f64>,
+    timeouts: usize,
+}
+
+impl Stats {
+    fn new() -> Stats {
+        Stats {
+            solution: Vec::new(),
+            time_ms: Vec::new(),
+            timeouts: 0,
+        }
+    }
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let soc = cofdm_soc();
+    let channels: Vec<_> = soc.system.channel_ids().collect();
+
+    // Cycle-enumeration cost, reported like the paper's "10.5 s".
+    let doubled = LisModel::doubled(&soc.system);
+    let (n_doubled, enum_time) =
+        timed(|| count_elementary_cycles(doubled.graph(), 10_000_000).expect("bounded"));
+    println!(
+        "doubled-graph cycle census: {} cycles in {:.1} ms (paper: 2896 cycles, 10.5 s in 2008)",
+        n_doubled,
+        enum_time.as_secs_f64() * 1e3
+    );
+
+    let mut degraded = 0usize;
+    let mut ideals = Vec::new();
+    let mut practicals = Vec::new();
+    let mut heur_orig = Stats::new();
+    let mut heur_simp = Stats::new();
+    let mut exact_orig = Stats::new();
+    let mut exact_simp = Stats::new();
+
+    let mut q2_degraded = 0usize;
+    let mut total = 0usize;
+    for i in 0..channels.len() {
+        for j in i + 1..channels.len() {
+            total += 1;
+            let mut sys = soc.system.clone();
+            sys.add_relay_station(channels[i]);
+            sys.add_relay_station(channels[j]);
+            let ideal = ideal_mst(&sys);
+            let practical = practical_mst(&sys);
+            if practical >= ideal {
+                // Also probe the paper's closing observation: with q = 2
+                // uniformly, does any placement degrade?
+                continue;
+            }
+            degraded += 1;
+            ideals.push(ideal.to_f64());
+            practicals.push(practical.to_f64());
+
+            {
+                let mut q2 = sys.clone();
+                q2.set_uniform_queue_capacity(2);
+                if practical_mst(&q2) < ideal_mst(&q2) {
+                    q2_degraded += 1;
+                }
+            }
+
+            // Build the TD instance once; time solvers separately (cycle
+            // enumeration excluded, as in the paper).
+            let inst = extract_instance(&sys, 10_000_000).expect("bounded");
+            let (td, _labels) = TdInstance::from_qs(&inst);
+
+            let (h, dt) = timed(|| heuristic_solve(&td));
+            heur_orig.solution.push(h.total() as f64);
+            heur_orig.time_ms.push(dt.as_secs_f64() * 1e3);
+
+            let (hs, dt) = timed(|| {
+                let s = simplify(&td);
+                s.expand(&heuristic_solve(&s.instance))
+            });
+            heur_simp.solution.push(hs.total() as f64);
+            heur_simp.time_ms.push(dt.as_secs_f64() * 1e3);
+
+            let (e, dt) = timed(|| exact_solve(&td, Some(opts.timeout)));
+            if e.optimal {
+                exact_orig.solution.push(e.solution.total() as f64);
+                exact_orig.time_ms.push(dt.as_secs_f64() * 1e3);
+            } else {
+                exact_orig.timeouts += 1;
+            }
+
+            let (es, dt) = timed(|| {
+                let s = simplify(&td);
+                let out = exact_solve(&s.instance, Some(opts.timeout));
+                (s.expand(&out.solution), out.optimal)
+            });
+            if es.1 {
+                exact_simp.solution.push(es.0.total() as f64);
+                exact_simp.time_ms.push(dt.as_secs_f64() * 1e3);
+            } else {
+                exact_simp.timeouts += 1;
+            }
+
+            // Sanity: the heuristic solution restores the throughput.
+            let report = lis_qs::solve(
+                &sys,
+                Algorithm::Heuristic,
+                &QsConfig {
+                    budget: Some(Duration::from_secs(1)),
+                    ..QsConfig::default()
+                },
+            )
+            .expect("bounded");
+            assert!(verify_solution(&sys, &report));
+        }
+    }
+
+    println!(
+        "{degraded} of {total} two-station insertions degrade the throughput ({:.0}%); paper: 227 of 435 (52%)",
+        100.0 * degraded as f64 / total as f64
+    );
+    println!(
+        "with uniform q = 2, {} insertions degrade (paper: none)",
+        q2_degraded
+    );
+    println!(
+        "average ideal throughput {:.2} (paper 0.81); average degraded throughput {:.2} (paper 0.71)",
+        mean(&ideals),
+        mean(&practicals)
+    );
+    println!();
+
+    let mut t = Table::new(
+        format!(
+            "Table V: QS on the degraded insertions (exact timeout {:?}; times exclude cycle enumeration)",
+            opts.timeout
+        ),
+        &[
+            "metric",
+            "Heuristic Orig.",
+            "Heuristic Simplified",
+            "Optimal Orig.",
+            "Optimal Simp.",
+        ],
+    );
+    t.row(&[
+        "Solution (extra tokens)".to_string(),
+        format!("{:.2}", mean(&heur_orig.solution)),
+        format!("{:.2}", mean(&heur_simp.solution)),
+        format!("{:.2}", mean(&exact_orig.solution)),
+        format!("{:.2}", mean(&exact_simp.solution)),
+    ]);
+    t.row(&[
+        "Average CPU Time (ms)".to_string(),
+        format!("{:.4}", mean(&heur_orig.time_ms)),
+        format!("{:.4}", mean(&heur_simp.time_ms)),
+        format!("{:.4}", mean(&exact_orig.time_ms)),
+        format!("{:.4}", mean(&exact_simp.time_ms)),
+    ]);
+    t.row(&[
+        "Median CPU Time (ms)".to_string(),
+        format!("{:.4}", median(&heur_orig.time_ms)),
+        format!("{:.4}", median(&heur_simp.time_ms)),
+        format!("{:.4}", median(&exact_orig.time_ms)),
+        format!("{:.4}", median(&exact_simp.time_ms)),
+    ]);
+    t.row(&[
+        "Timeouts".to_string(),
+        heur_orig.timeouts.to_string(),
+        heur_simp.timeouts.to_string(),
+        exact_orig.timeouts.to_string(),
+        exact_simp.timeouts.to_string(),
+    ]);
+    t.print();
+}

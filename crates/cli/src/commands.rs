@@ -1,0 +1,412 @@
+//! Command implementations for the `lis` binary.
+
+use std::error::Error;
+use std::fs;
+
+use lis_core::{parse_netlist, practical_mst, to_netlist, LisModel, LisSystem};
+use lis_qs::{solve, verify_solution, Algorithm, QsConfig};
+use lis_rsopt::{equalize_dag, exhaustive_insertion, greedy_insertion};
+use lis_sim::{CoreModel, LisSimulator, Passthrough, QueueMode};
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+const USAGE: &str = "\
+usage: lis <command> <netlist> [options]
+
+commands:
+  analyze  <netlist>                     throughput analysis + topology class
+  qs       <netlist> [--exact] [--apply OUT]
+  insert   <netlist> [--budget N] [--apply OUT]
+  repair   <netlist> [--slot-cost X] [--station-cost Y] [--apply OUT]
+  simulate <netlist> [--steps N]
+  vcd      <netlist> [--steps N]         waveform dump to stdout (GTKWave)
+  dot      <netlist> [--doubled]
+";
+
+/// Parses the command line and runs the selected command.
+pub fn dispatch(args: &[String]) -> CliResult {
+    let Some(command) = args.first() else {
+        return Err(USAGE.into());
+    };
+    let Some(path) = args.get(1) else {
+        return Err(format!("missing netlist path\n{USAGE}").into());
+    };
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let sys = parse_netlist(&text)?;
+    let rest = &args[2..];
+    match command.as_str() {
+        "analyze" => analyze(&sys),
+        "qs" => qs(&sys, rest),
+        "insert" => insert(&sys, rest),
+        "repair" => repair_cmd(&sys, rest),
+        "simulate" => simulate(&sys, rest),
+        "vcd" => vcd(&sys, rest),
+        "dot" => dot(&sys, rest),
+        other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
+    }
+}
+
+fn flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn option<T: std::str::FromStr>(rest: &[String], name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match rest.iter().position(|a| a == name) {
+        None => Ok(default),
+        Some(i) => {
+            let v = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("{name} needs a value"))?;
+            v.parse().map_err(|e| format!("{name}: {e}"))
+        }
+    }
+}
+
+fn analyze(sys: &LisSystem) -> CliResult {
+    print!("{sys}");
+    let report = lis_core::explain(sys);
+    print!("{report}");
+    if report.is_degraded() {
+        for c in &report.bottleneck_queues {
+            println!(
+                "  bottleneck queue: channel {} -> {}",
+                sys.block_name(sys.channel_from(*c)),
+                sys.block_name(sys.channel_to(*c))
+            );
+        }
+        println!("hint: run `lis qs` to size the queues or `lis insert` to place relay stations");
+    } else {
+        println!("no throughput degradation from backpressure");
+    }
+    Ok(())
+}
+
+fn qs(sys: &LisSystem, rest: &[String]) -> CliResult {
+    let algo = if flag(rest, "--exact") {
+        Algorithm::Exact
+    } else {
+        Algorithm::Heuristic
+    };
+    let report = solve(sys, algo, &QsConfig::default())?;
+    println!(
+        "target MST {} | before {} | deficient cycles {}",
+        report.target, report.practical_before, report.deficient_cycles
+    );
+    if report.total_extra == 0 {
+        println!("queues are already large enough");
+        return Ok(());
+    }
+    println!(
+        "{:?} solution: {} extra slot(s){}",
+        algo,
+        report.total_extra,
+        if report.optimal { " (optimal)" } else { "" }
+    );
+    for (c, w) in &report.extra_tokens {
+        println!(
+            "  channel {} -> {}: queue {} -> {}",
+            sys.block_name(sys.channel_from(*c)),
+            sys.block_name(sys.channel_to(*c)),
+            sys.queue_capacity(*c),
+            sys.queue_capacity(*c) + w
+        );
+    }
+    if !verify_solution(sys, &report) {
+        return Err("internal error: solution failed verification".into());
+    }
+    println!("verified: resized system reaches MST {}", report.target);
+    if let Some(out) = rest
+        .iter()
+        .position(|a| a == "--apply")
+        .and_then(|i| rest.get(i + 1))
+    {
+        let mut resized = sys.clone();
+        lis_qs::apply_solution(&mut resized, &report);
+        fs::write(out, to_netlist(&resized))?;
+        println!("resized netlist written to {out}");
+    }
+    Ok(())
+}
+
+fn insert(sys: &LisSystem, rest: &[String]) -> CliResult {
+    let budget: u32 = option(rest, "--budget", 2)?;
+    // Exhaustive search is exponential in the budget; fall back to greedy
+    // plus DAG equalization on larger systems.
+    let exhaustive_feasible = (sys.channel_count() as u64).pow(budget.min(6)) <= 2_000_000;
+    let result = if exhaustive_feasible {
+        println!("exhaustive search over {budget} insertion(s):");
+        exhaustive_insertion(sys, budget)
+    } else {
+        println!("greedy search over {budget} insertion(s):");
+        greedy_insertion(sys, budget)
+    };
+    println!(
+        "best practical MST {} (ideal after insertion {}) with {} station(s)",
+        result.practical, result.ideal, result.inserted
+    );
+    for (c, n) in &result.placements {
+        println!(
+            "  +{n} on channel {} -> {}",
+            sys.block_name(sys.channel_from(*c)),
+            sys.block_name(sys.channel_to(*c))
+        );
+    }
+    if let Some(balanced) = equalize_dag(sys) {
+        println!(
+            "DAG equalization alternative: {} extra station(s), practical MST {}",
+            balanced.relay_station_count() - sys.relay_station_count(),
+            practical_mst(&balanced)
+        );
+    }
+    if let Some(out) = rest
+        .iter()
+        .position(|a| a == "--apply")
+        .and_then(|i| rest.get(i + 1))
+    {
+        let mut modified = sys.clone();
+        lis_rsopt::apply_insertion(&mut modified, &result);
+        fs::write(out, to_netlist(&modified))?;
+        println!("modified netlist written to {out}");
+    }
+    Ok(())
+}
+
+fn repair_cmd(sys: &LisSystem, rest: &[String]) -> CliResult {
+    use lis_rsopt::{repair, CostModel, RepairOptions, RepairPlan};
+    let options = RepairOptions {
+        costs: CostModel {
+            per_queue_slot: option(rest, "--slot-cost", 1.0)?,
+            per_relay_station: option(rest, "--station-cost", 2.0)?,
+        },
+        ..RepairOptions::default()
+    };
+    let plan = repair(sys, &options)?;
+    match &plan {
+        RepairPlan::NothingToDo => println!("system already runs at its ideal MST"),
+        RepairPlan::QueueSizing { extra_slots, cost } => {
+            println!("cheapest repair: queue sizing (cost {cost})");
+            for (c, w) in extra_slots {
+                println!(
+                    "  +{w} slot(s) on channel {} -> {}",
+                    sys.block_name(sys.channel_from(*c)),
+                    sys.block_name(sys.channel_to(*c))
+                );
+            }
+        }
+        RepairPlan::Insertion { stations, cost } => {
+            println!("cheapest repair: relay-station insertion (cost {cost})");
+            for (c, n) in stations {
+                println!(
+                    "  +{n} station(s) on channel {} -> {}",
+                    sys.block_name(sys.channel_from(*c)),
+                    sys.block_name(sys.channel_to(*c))
+                );
+            }
+        }
+    }
+    if let Some(out) = rest
+        .iter()
+        .position(|a| a == "--apply")
+        .and_then(|i| rest.get(i + 1))
+    {
+        let mut fixed = sys.clone();
+        plan.apply(&mut fixed);
+        fs::write(out, to_netlist(&fixed))?;
+        println!("repaired netlist written to {out}");
+    }
+    Ok(())
+}
+
+fn simulate(sys: &LisSystem, rest: &[String]) -> CliResult {
+    let steps: u64 = option(rest, "--steps", 10_000)?;
+    let cores: Vec<Box<dyn CoreModel>> = sys
+        .block_ids()
+        .map(|b| {
+            let outs = sys
+                .channel_ids()
+                .filter(|&c| sys.channel_from(c) == b)
+                .count();
+            Box::new(Passthrough::new(outs, 0)) as Box<dyn CoreModel>
+        })
+        .collect();
+    let mut sim = LisSimulator::new(sys, cores, QueueMode::Finite);
+    let stats = lis_sim::collect_stats(sys, &mut sim, steps);
+    println!("simulated {steps} clock periods (pass-through cores, finite queues)");
+    println!("analytic practical MST: {}", practical_mst(sys));
+    for b in sys.block_ids() {
+        println!(
+            "  {:<16} fired {:>8} times, rate {:.4}, stalled {:>5.1}%",
+            sys.block_name(b),
+            sim.firings(b),
+            sim.throughput(b).to_f64(),
+            100.0 * stats.stall_ratio(b)
+        );
+    }
+    // Channels whose buffering actually filled up.
+    let mut saturated = false;
+    for c in sys.channel_ids() {
+        let hw = stats.queue_high_water(c);
+        if hw >= sys.queue_capacity(c) + 1 {
+            if !saturated {
+                println!("saturated channels (queue + in-flight item full):");
+                saturated = true;
+            }
+            println!(
+                "  {} -> {} reached {hw} buffered item(s)",
+                sys.block_name(sys.channel_from(c)),
+                sys.block_name(sys.channel_to(c))
+            );
+        }
+    }
+    Ok(())
+}
+
+fn vcd(sys: &LisSystem, rest: &[String]) -> CliResult {
+    let steps: u64 = option(rest, "--steps", 200)?;
+    let cores: Vec<Box<dyn CoreModel>> = sys
+        .block_ids()
+        .map(|b| {
+            let outs = sys
+                .channel_ids()
+                .filter(|&c| sys.channel_from(c) == b)
+                .count();
+            Box::new(Passthrough::new(outs, 0)) as Box<dyn CoreModel>
+        })
+        .collect();
+    let mut sim = LisSimulator::new(sys, cores, QueueMode::Finite);
+    sim.run(steps);
+    print!("{}", lis_sim::to_vcd(sys, &sim));
+    Ok(())
+}
+
+fn dot(sys: &LisSystem, rest: &[String]) -> CliResult {
+    let model = if flag(rest, "--doubled") {
+        LisModel::doubled(sys)
+    } else {
+        LisModel::ideal(sys)
+    };
+    print!("{}", marked_graph::dot::to_dot(model.graph()));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_fig1() -> tempfile::TempPath {
+        let text = "block A\nblock B\nchannel A -> B rs=1\nchannel A -> B\n";
+        let mut f = tempfile::NamedTempFile::new().expect("tempfile");
+        use std::io::Write;
+        f.write_all(text.as_bytes()).expect("write");
+        f.into_temp_path()
+    }
+
+    // tempfile is not among the approved dependencies; use a plain helper
+    // instead of the crate.
+    mod tempfile {
+        use std::path::PathBuf;
+
+        pub struct NamedTempFile {
+            path: PathBuf,
+            file: std::fs::File,
+        }
+
+        pub struct TempPath(PathBuf);
+
+        impl TempPath {
+            pub fn to_str(&self) -> &str {
+                self.0.to_str().expect("utf-8 path")
+            }
+        }
+
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+
+        impl NamedTempFile {
+            pub fn new() -> std::io::Result<NamedTempFile> {
+                let path = std::env::temp_dir().join(format!(
+                    "lis-cli-test-{}-{:?}",
+                    std::process::id(),
+                    std::thread::current().id()
+                ));
+                let file = std::fs::File::create(&path)?;
+                Ok(NamedTempFile { path, file })
+            }
+
+            pub fn into_temp_path(self) -> TempPath {
+                TempPath(self.path)
+            }
+        }
+
+        impl std::io::Write for NamedTempFile {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                std::io::Write::write(&mut self.file, buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                std::io::Write::flush(&mut self.file)
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_rejects_bad_usage() {
+        assert!(dispatch(&[]).is_err());
+        assert!(dispatch(&["analyze".into()]).is_err());
+        assert!(dispatch(&["analyze".into(), "/no/such/file".into()]).is_err());
+        let path = write_fig1();
+        assert!(dispatch(&["frobnicate".into(), path.to_str().into()]).is_err());
+    }
+
+    #[test]
+    fn all_commands_run_on_fig1() {
+        let path = write_fig1();
+        for cmd in ["analyze", "qs", "insert", "dot", "vcd", "repair"] {
+            dispatch(&[cmd.into(), path.to_str().into()]).unwrap_or_else(|e| {
+                panic!("{cmd} failed: {e}");
+            });
+        }
+        dispatch(&[
+            "simulate".into(),
+            path.to_str().into(),
+            "--steps".into(),
+            "500".into(),
+        ])
+        .expect("simulate");
+        dispatch(&["qs".into(), path.to_str().into(), "--exact".into()]).expect("qs --exact");
+        dispatch(&["dot".into(), path.to_str().into(), "--doubled".into()]).expect("dot");
+    }
+
+    #[test]
+    fn qs_apply_writes_resized_netlist() {
+        let path = write_fig1();
+        let out = std::env::temp_dir().join(format!("lis-cli-out-{}", std::process::id()));
+        dispatch(&[
+            "qs".into(),
+            path.to_str().into(),
+            "--exact".into(),
+            "--apply".into(),
+            out.to_str().expect("utf-8").into(),
+        ])
+        .expect("qs --apply");
+        let resized =
+            lis_core::parse_netlist(&std::fs::read_to_string(&out).expect("read")).expect("parse");
+        assert_eq!(lis_core::practical_mst(&resized), marked_graph::Ratio::ONE);
+        let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn option_parsing() {
+        let rest = vec!["--budget".to_string(), "3".to_string()];
+        assert_eq!(option(&rest, "--budget", 2u32).expect("parses"), 3);
+        assert_eq!(option(&rest, "--steps", 7u64).expect("default"), 7);
+        assert!(option::<u32>(&["--budget".to_string()], "--budget", 2).is_err());
+        assert!(flag(&rest, "--budget"));
+        assert!(!flag(&rest, "--exact"));
+    }
+}

@@ -1,0 +1,36 @@
+//! `lis` — analyze and optimize latency-insensitive systems from the
+//! command line.
+//!
+//! ```text
+//! lis analyze  <netlist>              throughput analysis + topology class
+//! lis qs       <netlist> [--exact] [--apply OUT]
+//!                                     queue sizing (heuristic by default)
+//! lis insert   <netlist> [--budget N] [--apply OUT]
+//!                                     relay-station insertion search
+//! lis simulate <netlist> [--steps N]  cycle-accurate simulation
+//! lis dot      <netlist> [--doubled]  Graphviz export
+//! ```
+//!
+//! Netlists use the `lis-core` text format (see `lis_core::parse_netlist`):
+//!
+//! ```text
+//! block A
+//! block B
+//! channel A -> B rs=1
+//! channel A -> B
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

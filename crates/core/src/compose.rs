@@ -1,0 +1,210 @@
+//! Hierarchical composition of systems.
+//!
+//! "In general, systems are combined to derive more complex systems"
+//! (Section I): an uplink subsystem feeding a downlink one is the paper's
+//! motivating case for backpressure. [`Instantiation`] copies a subsystem
+//! into a parent (blocks, channels, relay stations, queue capacities, with
+//! a name prefix) and hands back id maps so the parent can wire the
+//! instances together.
+
+use crate::system::{BlockId, ChannelId, LisSystem};
+
+/// The id maps produced by [`instantiate`]: where each of the child's
+/// blocks and channels landed in the parent.
+#[derive(Debug, Clone)]
+pub struct Instantiation {
+    /// `blocks[i]` = parent id of the child's block `i`.
+    pub blocks: Vec<BlockId>,
+    /// `channels[i]` = parent id of the child's channel `i`.
+    pub channels: Vec<ChannelId>,
+}
+
+impl Instantiation {
+    /// The parent id of a child block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not a block of the instantiated child.
+    pub fn block(&self, b: BlockId) -> BlockId {
+        self.blocks[b.index()]
+    }
+
+    /// The parent id of a child channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not a channel of the instantiated child.
+    pub fn channel(&self, c: ChannelId) -> ChannelId {
+        self.channels[c.index()]
+    }
+}
+
+/// Copies `child` into `parent`, prefixing every block name with
+/// `instance_name` and a slash. Relay stations and queue capacities carry
+/// over unchanged.
+///
+/// # Examples
+///
+/// The introduction's scenario: an uplink SCC with MST 3/4 feeding a
+/// downlink SCC with MST 2/3 — composed from two ring instances:
+///
+/// ```
+/// use lis_core::{ideal_mst, instantiate, LisSystem};
+/// use marked_graph::Ratio;
+///
+/// // A reusable "ring with one relay station" subsystem of n blocks:
+/// // n tokens over n + 1 places, MST n/(n+1).
+/// fn throttled_ring(n: usize) -> LisSystem {
+///     let mut sys = LisSystem::new();
+///     let blocks: Vec<_> = (0..n).map(|i| sys.add_block(format!("n{i}"))).collect();
+///     for i in 0..n {
+///         let c = sys.add_channel(blocks[i], blocks[(i + 1) % n]);
+///         if i == n - 1 {
+///             sys.add_relay_station(c);
+///         }
+///     }
+///     sys
+/// }
+///
+/// let mut soc = LisSystem::new();
+/// let uplink = instantiate(&mut soc, &throttled_ring(3), "uplink"); // 3/4
+/// let downlink = instantiate(&mut soc, &throttled_ring(2), "downlink"); // 2/3
+/// use lis_core::BlockId;
+/// soc.add_channel(uplink.block(BlockId::new(0)), downlink.block(BlockId::new(0)));
+/// assert_eq!(ideal_mst(&soc), Ratio::new(2, 3)); // slowest SCC wins
+/// assert_eq!(soc.block_name(uplink.block(BlockId::new(1))), "uplink/n1");
+/// ```
+pub fn instantiate(
+    parent: &mut LisSystem,
+    child: &LisSystem,
+    instance_name: &str,
+) -> Instantiation {
+    let blocks: Vec<BlockId> = child
+        .block_ids()
+        .map(|b| {
+            let name = format!("{instance_name}/{}", child.block_name(b));
+            if child.is_initialized(b) {
+                parent.add_block(name)
+            } else {
+                parent.add_uninitialized_block(name)
+            }
+        })
+        .collect();
+    let channels: Vec<ChannelId> = child
+        .channel_ids()
+        .map(|c| {
+            let nc = parent.add_channel(
+                blocks[child.channel_from(c).index()],
+                blocks[child.channel_to(c).index()],
+            );
+            for _ in 0..child.relay_stations_on(c) {
+                parent.add_relay_station(nc);
+            }
+            parent
+                .set_queue_capacity(nc, child.queue_capacity(c))
+                .expect("child capacities are positive");
+            nc
+        })
+        .collect();
+    Instantiation { blocks, channels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use crate::mst::{ideal_mst, practical_mst};
+    use marked_graph::Ratio;
+
+    #[test]
+    fn instantiation_preserves_structure() {
+        let (child, upper, lower) = figures::fig1();
+        let mut parent = LisSystem::new();
+        let inst = instantiate(&mut parent, &child, "u0");
+        assert_eq!(parent.block_count(), 2);
+        assert_eq!(parent.channel_count(), 2);
+        assert_eq!(parent.relay_stations_on(inst.channel(upper)), 1);
+        assert_eq!(parent.relay_stations_on(inst.channel(lower)), 0);
+        assert_eq!(parent.block_name(inst.blocks[0]), "u0/A");
+        assert_eq!(practical_mst(&parent), Ratio::new(2, 3));
+    }
+
+    #[test]
+    fn two_instances_are_independent() {
+        let (child, _, _) = figures::fig1();
+        let mut parent = LisSystem::new();
+        let a = instantiate(&mut parent, &child, "left");
+        let b = instantiate(&mut parent, &child, "right");
+        assert_eq!(parent.block_count(), 4);
+        assert_ne!(a.blocks[0], b.blocks[0]);
+        // Unconnected instances: the doubled MST is the min of the parts.
+        assert_eq!(practical_mst(&parent), Ratio::new(2, 3));
+    }
+
+    #[test]
+    fn composed_pipeline_of_degraded_stages() {
+        // Chain two Fig. 1 instances: B of the first feeds A of the second.
+        let (child, _, _) = figures::fig1();
+        let mut parent = LisSystem::new();
+        let first = instantiate(&mut parent, &child, "s0");
+        let second = instantiate(&mut parent, &child, "s1");
+        parent.add_channel(first.blocks[1], second.blocks[0]);
+        assert_eq!(ideal_mst(&parent), Ratio::ONE);
+        assert_eq!(practical_mst(&parent), Ratio::new(2, 3));
+        // Queue sizing repairs the composite exactly as it repairs each part.
+        let report = lis_qs_solve(&parent);
+        assert_eq!(report, 2); // one slot per instance
+    }
+
+    fn lis_qs_solve(sys: &LisSystem) -> u64 {
+        // Local shim to avoid a dev-dependency cycle with lis-qs: replicate
+        // the Fig. 6 fix manually and verify.
+        let mut fixed = sys.clone();
+        let mut spent = 0;
+        for c in sys.channel_ids() {
+            // Grow every queue of a non-pipelined channel that parallels a
+            // pipelined one (the Fig. 6 rule applied per instance).
+            let from = sys.channel_from(c);
+            let to = sys.channel_to(c);
+            let twin_pipelined = sys.channel_ids().any(|d| {
+                d != c
+                    && sys.channel_from(d) == from
+                    && sys.channel_to(d) == to
+                    && sys.relay_stations_on(d) > 0
+            });
+            if twin_pipelined && sys.relay_stations_on(c) == 0 {
+                fixed.grow_queue(c, 1);
+                spent += 1;
+            }
+        }
+        assert_eq!(practical_mst(&fixed), ideal_mst(sys));
+        spent
+    }
+
+    #[test]
+    fn uplink_downlink_composition_matches_hand_built() {
+        let (hand, _) = figures::uplink_downlink();
+        // Build the same thing via composition.
+        let mut ring3 = LisSystem::new();
+        let b3: Vec<_> = (0..3).map(|i| ring3.add_block(format!("u{i}"))).collect();
+        for i in 0..3 {
+            let c = ring3.add_channel(b3[i], b3[(i + 1) % 3]);
+            if i == 2 {
+                ring3.add_relay_station(c);
+            }
+        }
+        let mut ring2 = LisSystem::new();
+        let b2: Vec<_> = (0..2).map(|i| ring2.add_block(format!("d{i}"))).collect();
+        for i in 0..2 {
+            let c = ring2.add_channel(b2[i], b2[(i + 1) % 2]);
+            if i == 1 {
+                ring2.add_relay_station(c);
+            }
+        }
+        let mut soc = LisSystem::new();
+        let up = instantiate(&mut soc, &ring3, "up");
+        let down = instantiate(&mut soc, &ring2, "down");
+        soc.add_channel(up.blocks[1], down.blocks[0]);
+        assert_eq!(ideal_mst(&soc), ideal_mst(&hand));
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for LIS construction and analysis.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::system::{BlockId, ChannelId};
+
+/// Errors produced while building or analyzing a latency-insensitive system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LisError {
+    /// A block id referenced a block that does not exist.
+    UnknownBlock(BlockId),
+    /// A channel id referenced a channel that does not exist.
+    UnknownChannel(ChannelId),
+    /// A queue capacity of zero was requested; shells need at least one slot.
+    ZeroQueueCapacity(ChannelId),
+    /// An underlying marked-graph analysis failed.
+    Graph(marked_graph::GraphError),
+}
+
+impl fmt::Display for LisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LisError::UnknownBlock(b) => write!(f, "unknown block id {}", b.index()),
+            LisError::UnknownChannel(c) => write!(f, "unknown channel id {}", c.index()),
+            LisError::ZeroQueueCapacity(c) => {
+                write!(f, "channel {} cannot have a zero-capacity queue", c.index())
+            }
+            LisError::Graph(e) => write!(f, "marked-graph analysis failed: {e}"),
+        }
+    }
+}
+
+impl StdError for LisError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            LisError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<marked_graph::GraphError> for LisError {
+    fn from(e: marked_graph::GraphError) -> LisError {
+        LisError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LisError::UnknownBlock(BlockId::new(2));
+        assert_eq!(e.to_string(), "unknown block id 2");
+        let g = LisError::from(marked_graph::GraphError::Acyclic);
+        assert!(g.to_string().contains("cyclic"));
+        assert!(StdError::source(&g).is_some());
+        assert!(StdError::source(&e).is_none());
+    }
+}

@@ -1,0 +1,271 @@
+//! The paper's running examples as ready-made systems and graphs.
+//!
+//! Every numbered figure of the paper that describes a concrete system is
+//! reconstructed here so that tests, examples, and benchmarks can refer to
+//! them by name. The closed-form throughput values quoted in the paper are
+//! asserted in this module's tests.
+
+use marked_graph::MarkedGraph;
+
+use crate::system::{ChannelId, LisSystem};
+
+/// Fig. 1 / Fig. 2 (left): cores `A` and `B`, two channels from `A` to `B`,
+/// the upper one pipelined by a relay station.
+///
+/// Returns the system plus the `(upper, lower)` channel ids. The ideal MST is
+/// 1; with backpressure and `q = 1` it degrades to 2/3 (Fig. 5); enlarging
+/// the lower queue to 2 restores it (Fig. 6).
+///
+/// # Examples
+///
+/// ```
+/// use lis_core::{figures, practical_mst};
+/// use marked_graph::Ratio;
+///
+/// let (sys, _, _) = figures::fig1();
+/// assert_eq!(practical_mst(&sys), Ratio::new(2, 3));
+/// ```
+pub fn fig1() -> (LisSystem, ChannelId, ChannelId) {
+    let mut sys = LisSystem::new();
+    let a = sys.add_block("A");
+    let b = sys.add_block("B");
+    let upper = sys.add_channel(a, b);
+    let lower = sys.add_channel(a, b);
+    sys.add_relay_station(upper);
+    (sys, upper, lower)
+}
+
+/// Fig. 2 (right): the Fig. 1 system with an additional relay station on the
+/// lower channel, equalizing the two paths so that `B` receives data from
+/// both at the same time. The practical MST returns to 1.
+pub fn fig2_right() -> (LisSystem, ChannelId, ChannelId) {
+    let (mut sys, upper, lower) = fig1();
+    sys.add_relay_station(lower);
+    (sys, upper, lower)
+}
+
+/// Fig. 6: the Fig. 1 system with the lower-channel queue of `B` enlarged to
+/// two — the queue-sizing fix for the Fig. 5 degradation.
+pub fn fig6() -> (LisSystem, ChannelId, ChannelId) {
+    let (mut sys, upper, lower) = fig1();
+    sys.set_queue_capacity(lower, 2)
+        .expect("capacity 2 is valid");
+    (sys, upper, lower)
+}
+
+/// Fig. 10: the standalone cycle with six places and five tokens that pins
+/// the ideal MST of the NP-completeness construction to 5/6.
+///
+/// # Examples
+///
+/// ```
+/// use lis_core::{figures, mst};
+/// use marked_graph::Ratio;
+///
+/// assert_eq!(mst(&figures::fig10()), Ratio::new(5, 6));
+/// ```
+pub fn fig10() -> MarkedGraph {
+    let mut g = MarkedGraph::new();
+    let ts: Vec<_> = (0..6).map(|i| g.add_transition(format!("u{i}"))).collect();
+    for i in 0..6 {
+        // Five tokens over six places: leave exactly one place empty.
+        g.add_place(ts[i], ts[(i + 1) % 6], u64::from(i != 5));
+    }
+    g
+}
+
+/// Fig. 15: the counterexample LIS whose MST degradation **cannot** be fixed
+/// by relay-station insertion alone.
+///
+/// Blocks `A, B, C, D, E`; channels `A→E` (with one relay station), `E→D`,
+/// `D→C`, `C→B`, `B→A`, `A→C`, `C→E`. The ideal MST is 5/6, set by the big
+/// loop through the relay station; with backpressure and `q = 1`, the cycle
+/// `{A, rs, E, C̄, Ā}` (backedges on the last two hops) drops the MST to 3/4.
+/// Any relay station added on `(A,C)` or `(C,E)` lowers the *ideal* MST to
+/// 3/4 because those edges sit on three- and four-place cycles.
+///
+/// Returns the system plus the channel ids in the order
+/// `[A→E, E→D, D→C, C→B, B→A, A→C, C→E]`.
+///
+/// # Examples
+///
+/// ```
+/// use lis_core::{figures, ideal_mst, practical_mst};
+/// use marked_graph::Ratio;
+///
+/// let (sys, _) = figures::fig15();
+/// assert_eq!(ideal_mst(&sys), Ratio::new(5, 6));
+/// assert_eq!(practical_mst(&sys), Ratio::new(3, 4));
+/// ```
+pub fn fig15() -> (LisSystem, [ChannelId; 7]) {
+    let mut sys = LisSystem::new();
+    let a = sys.add_block("A");
+    let b = sys.add_block("B");
+    let c = sys.add_block("C");
+    let d = sys.add_block("D");
+    let e = sys.add_block("E");
+    let ae = sys.add_channel(a, e);
+    let ed = sys.add_channel(e, d);
+    let dc = sys.add_channel(d, c);
+    let cb = sys.add_channel(c, b);
+    let ba = sys.add_channel(b, a);
+    let ac = sys.add_channel(a, c);
+    let ce = sys.add_channel(c, e);
+    sys.add_relay_station(ae);
+    (sys, [ae, ed, dc, cb, ba, ac, ce])
+}
+
+/// The Section VIII-B family showing that **no** fixed queue size works for
+/// every topology: the Fig. 1 system with `extra` additional relay stations
+/// stacked on the upper channel. With `k = extra + 1` total stations, the
+/// practical MST under uniform queues of size `q` stays below 1 whenever
+/// `q ≤ k`, and exactly `q = k + 1` restores it ("take Fig. 2 and add
+/// `q − 1` more relay stations to the upper channel").
+///
+/// # Examples
+///
+/// ```
+/// use lis_core::{figures, fixed_q_preserves_mst};
+///
+/// let sys = figures::fig2_family(3); // 4 stations on the upper channel
+/// assert!(!fixed_q_preserves_mst(&sys, 4));
+/// assert!(fixed_q_preserves_mst(&sys, 5));
+/// ```
+pub fn fig2_family(extra: u32) -> LisSystem {
+    let (mut sys, upper, _) = fig1();
+    for _ in 0..extra {
+        sys.add_relay_station(upper);
+    }
+    sys
+}
+
+/// The uplink/downlink throughput-mismatch example from the introduction: an
+/// uplink SCC with MST 3/4 feeding a downlink SCC with MST 2/3. Only
+/// backpressure (or infinite queues) keeps the composition safe.
+///
+/// Returns the system plus the bridging channel.
+pub fn uplink_downlink() -> (LisSystem, ChannelId) {
+    let mut sys = LisSystem::new();
+    // Uplink: ring of 2 blocks + 1 relay station on the return channel:
+    // cycle tokens 3 (two forward places with tokens... ) — build a ring of
+    // 3 blocks with one relay station: 3 tokens / 4 places = 3/4.
+    let u0 = sys.add_block("u0");
+    let u1 = sys.add_block("u1");
+    let u2 = sys.add_block("u2");
+    sys.add_channel(u0, u1);
+    sys.add_channel(u1, u2);
+    let ur = sys.add_channel(u2, u0);
+    sys.add_relay_station(ur);
+    // Downlink: ring of 2 blocks with one relay station: 2 tokens / 3 places.
+    let d0 = sys.add_block("d0");
+    let d1 = sys.add_block("d1");
+    sys.add_channel(d0, d1);
+    let dr = sys.add_channel(d1, d0);
+    sys.add_relay_station(dr);
+    // Bridge.
+    let bridge = sys.add_channel(u1, d0);
+    (sys, bridge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst::{ideal_mst, mst, practical_mst};
+    use crate::topology::{classify, TopologyClass};
+    use marked_graph::Ratio;
+
+    #[test]
+    fn fig1_numbers() {
+        let (sys, upper, lower) = fig1();
+        assert_eq!(sys.relay_stations_on(upper), 1);
+        assert_eq!(sys.relay_stations_on(lower), 0);
+        assert_eq!(ideal_mst(&sys), Ratio::ONE);
+        assert_eq!(practical_mst(&sys), Ratio::new(2, 3));
+    }
+
+    #[test]
+    fn fig2_right_equalization_restores_mst() {
+        let (sys, _, _) = fig2_right();
+        assert_eq!(ideal_mst(&sys), Ratio::ONE);
+        assert_eq!(practical_mst(&sys), Ratio::ONE);
+    }
+
+    #[test]
+    fn fig6_queue_sizing_restores_mst() {
+        let (sys, _, _) = fig6();
+        assert_eq!(practical_mst(&sys), Ratio::ONE);
+        // Queue sizing spends one extra token; path equalization spends one
+        // relay station. Both reach MST 1 (the paper's point in Sec. VI).
+        assert_eq!(sys.total_queue_capacity(), 3);
+    }
+
+    #[test]
+    fn fig10_limit_cycle() {
+        let g = fig10();
+        assert_eq!(mst(&g), Ratio::new(5, 6));
+        assert_eq!(g.place_count(), 6);
+        assert_eq!(g.total_tokens(), 5);
+    }
+
+    #[test]
+    fn fig15_numbers() {
+        let (sys, _) = fig15();
+        assert_eq!(classify(&sys), TopologyClass::General);
+        assert_eq!(ideal_mst(&sys), Ratio::new(5, 6));
+        assert_eq!(practical_mst(&sys), Ratio::new(3, 4));
+    }
+
+    #[test]
+    fn fig15_relay_station_on_ac_or_ce_hurts_ideal_mst() {
+        // Paper Sec. VI: inserting on (A,C) makes {A, rs, C, B, A} a 3/4
+        // cycle; inserting on (C,E) makes {C, rs, E, D, C} a 3/4 cycle.
+        let (sys, ch) = fig15();
+        let ac = ch[5];
+        let ce = ch[6];
+        for edge in [ac, ce] {
+            let mut s = sys.clone();
+            s.add_relay_station(edge);
+            assert_eq!(ideal_mst(&s), Ratio::new(3, 4), "edge {edge:?}");
+        }
+    }
+
+    #[test]
+    fn fig15_queue_sizing_does_fix_it() {
+        // QS can always recover the ideal MST; for Fig. 15 grow the queues
+        // on the two backedges of the offending cycle.
+        let (mut sys, ch) = fig15();
+        let ac = ch[5];
+        let ce = ch[6];
+        sys.set_queue_capacity(ac, 2).unwrap();
+        sys.set_queue_capacity(ce, 2).unwrap();
+        assert_eq!(practical_mst(&sys), Ratio::new(5, 6));
+    }
+
+    #[test]
+    fn fig2_family_defeats_any_fixed_q() {
+        // Section VIII-B: for every q there is a topology where uniform
+        // queues of size q fail; q = stations + 1 is both necessary and
+        // sufficient for this family.
+        for extra in 0..4u32 {
+            let sys = fig2_family(extra);
+            let stations = extra + 1;
+            for q in 1..=stations as u64 {
+                assert!(
+                    !crate::topology::fixed_q_preserves_mst(&sys, q),
+                    "extra={extra} q={q} unexpectedly sufficient"
+                );
+            }
+            assert!(crate::topology::fixed_q_preserves_mst(
+                &sys,
+                stations as u64 + 1
+            ));
+        }
+    }
+
+    #[test]
+    fn uplink_downlink_throughputs() {
+        let (sys, _) = uplink_downlink();
+        // ideal MST = min(3/4, 2/3) = 2/3 per the SCC-wise definition.
+        assert_eq!(ideal_mst(&sys), Ratio::new(2, 3));
+    }
+}

@@ -1,0 +1,410 @@
+//! A plain-text netlist format for latency-insensitive systems.
+//!
+//! The format is line-oriented and designed to round-trip through
+//! [`to_netlist`] / [`parse_netlist`]:
+//!
+//! ```text
+//! # Comments run to the end of the line.
+//! block A
+//! block B
+//! channel A -> B rs=1      # one relay station, queue defaults to 1
+//! channel A -> B q=2       # no stations, queue capacity 2
+//! ```
+//!
+//! Block names are bare identifiers (`[A-Za-z0-9_.-]+`) or double-quoted
+//! strings with `\"` and `\\` escapes. Channels may reference blocks before
+//! their `block` line; referencing a block that never appears is an error.
+//!
+//! # Examples
+//!
+//! ```
+//! use lis_core::{parse_netlist, practical_mst, to_netlist};
+//! use marked_graph::Ratio;
+//!
+//! let text = "
+//!     block A
+//!     block B
+//!     channel A -> B rs=1
+//!     channel A -> B
+//! ";
+//! let sys = parse_netlist(text)?;
+//! assert_eq!(practical_mst(&sys), Ratio::new(2, 3)); // the Fig. 5 value
+//! let round = parse_netlist(&to_netlist(&sys))?;
+//! assert_eq!(round.channel_count(), 2);
+//! # Ok::<(), lis_core::ParseNetlistError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::system::LisSystem;
+
+/// An error produced while parsing a netlist, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetlistError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl StdError for ParseNetlistError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseNetlistError {
+    ParseNetlistError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One token of a netlist line.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Arrow,
+    KeyVal(String, String),
+}
+
+fn tokenize(line: &str, lineno: usize) -> Result<Vec<Tok>, ParseNetlistError> {
+    let mut toks = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '#' => break,
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            other => {
+                                return Err(err(
+                                    lineno,
+                                    format!("invalid escape {other:?} in quoted name"),
+                                ))
+                            }
+                        },
+                        Some(c) => s.push(c),
+                        None => return Err(err(lineno, "unterminated quoted name")),
+                    }
+                }
+                toks.push(Tok::Word(s));
+            }
+            '-' if matches!(line_rest(&mut chars.clone()), Some('>')) => {
+                chars.next();
+                chars.next();
+                toks.push(Tok::Arrow);
+            }
+            _ => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || c == '#' {
+                        break;
+                    }
+                    if c == '-' {
+                        // Only stop for an arrow, not for hyphenated names.
+                        let mut look = chars.clone();
+                        look.next();
+                        if look.peek() == Some(&'>') {
+                            break;
+                        }
+                    }
+                    s.push(c);
+                    chars.next();
+                }
+                if let Some(eq) = s.find('=') {
+                    let (k, v) = s.split_at(eq);
+                    toks.push(Tok::KeyVal(k.to_string(), v[1..].to_string()));
+                } else {
+                    toks.push(Tok::Word(s));
+                }
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn line_rest(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<char> {
+    chars.next();
+    chars.peek().copied()
+}
+
+/// Parses a netlist into a [`LisSystem`].
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] on syntax errors, duplicate block names,
+/// references to undeclared blocks, or invalid attribute values.
+pub fn parse_netlist(text: &str) -> Result<LisSystem, ParseNetlistError> {
+    let mut sys = LisSystem::new();
+    let mut blocks: HashMap<String, crate::system::BlockId> = HashMap::new();
+    // Channels may reference blocks declared later: collect first, resolve
+    // at the end.
+    struct PendingChannel {
+        line: usize,
+        from: String,
+        to: String,
+        rs: u32,
+        q: u64,
+    }
+    let mut pending: Vec<PendingChannel> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let toks = tokenize(raw, lineno)?;
+        if toks.is_empty() {
+            continue;
+        }
+        match &toks[0] {
+            Tok::Word(w) if w == "block" => {
+                let (name, uninitialized) = match &toks[..] {
+                    [_, Tok::Word(name)] => (name, false),
+                    [_, Tok::Word(name), Tok::Word(attr)] if attr == "uninitialized" => {
+                        (name, true)
+                    }
+                    _ => return Err(err(lineno, "expected: block <name> [uninitialized]")),
+                };
+                if blocks.contains_key(name) {
+                    return Err(err(lineno, format!("duplicate block {name:?}")));
+                }
+                let id = if uninitialized {
+                    sys.add_uninitialized_block(name.clone())
+                } else {
+                    sys.add_block(name.clone())
+                };
+                blocks.insert(name.clone(), id);
+            }
+            Tok::Word(w) if w == "channel" => {
+                let (from, to, attrs) = match &toks[1..] {
+                    [Tok::Word(from), Tok::Arrow, Tok::Word(to), rest @ ..] => {
+                        (from.clone(), to.clone(), rest)
+                    }
+                    _ => {
+                        return Err(err(
+                            lineno,
+                            "expected: channel <from> -> <to> [rs=<n>] [q=<n>]",
+                        ))
+                    }
+                };
+                let mut rs = 0u32;
+                let mut q = 1u64;
+                for attr in attrs {
+                    match attr {
+                        Tok::KeyVal(k, v) if k == "rs" => {
+                            rs = v.parse().map_err(|_| {
+                                err(lineno, format!("rs wants a nonnegative integer, got {v:?}"))
+                            })?;
+                        }
+                        Tok::KeyVal(k, v) if k == "q" => {
+                            q = v.parse().map_err(|_| {
+                                err(lineno, format!("q wants a positive integer, got {v:?}"))
+                            })?;
+                            if q == 0 {
+                                return Err(err(lineno, "queue capacity must be at least 1"));
+                            }
+                        }
+                        other => {
+                            return Err(err(lineno, format!("unknown channel attribute {other:?}")))
+                        }
+                    }
+                }
+                pending.push(PendingChannel {
+                    line: lineno,
+                    from,
+                    to,
+                    rs,
+                    q,
+                });
+            }
+            other => return Err(err(lineno, format!("unknown directive {other:?}"))),
+        }
+    }
+
+    for p in pending {
+        let from = *blocks
+            .get(&p.from)
+            .ok_or_else(|| err(p.line, format!("unknown block {:?}", p.from)))?;
+        let to = *blocks
+            .get(&p.to)
+            .ok_or_else(|| err(p.line, format!("unknown block {:?}", p.to)))?;
+        let c = sys.add_channel(from, to);
+        for _ in 0..p.rs {
+            sys.add_relay_station(c);
+        }
+        sys.set_queue_capacity(c, p.q)
+            .expect("q validated during parsing");
+    }
+    Ok(sys)
+}
+
+fn quote_if_needed(name: &str) -> String {
+    let bare = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+        && !name.contains("->")
+        && !name.contains('=');
+    if bare {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('\\', "\\\\").replace('"', "\\\""))
+    }
+}
+
+/// Serializes a system in the netlist format. Output round-trips through
+/// [`parse_netlist`].
+pub fn to_netlist(sys: &LisSystem) -> String {
+    let mut out = String::new();
+    out.push_str("# latency-insensitive system netlist\n");
+    for b in sys.block_ids() {
+        let attr = if sys.is_initialized(b) {
+            ""
+        } else {
+            " uninitialized"
+        };
+        out.push_str(&format!(
+            "block {}{attr}\n",
+            quote_if_needed(sys.block_name(b))
+        ));
+    }
+    for c in sys.channel_ids() {
+        out.push_str(&format!(
+            "channel {} -> {}",
+            quote_if_needed(sys.block_name(sys.channel_from(c))),
+            quote_if_needed(sys.block_name(sys.channel_to(c)))
+        ));
+        if sys.relay_stations_on(c) > 0 {
+            out.push_str(&format!(" rs={}", sys.relay_stations_on(c)));
+        }
+        if sys.queue_capacity(c) != 1 {
+            out.push_str(&format!(" q={}", sys.queue_capacity(c)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst::practical_mst;
+    use marked_graph::Ratio;
+
+    #[test]
+    fn parses_fig1() {
+        let sys =
+            parse_netlist("# Fig. 1\nblock A\nblock B\nchannel A -> B rs=1\nchannel A -> B\n")
+                .unwrap();
+        assert_eq!(sys.block_count(), 2);
+        assert_eq!(sys.channel_count(), 2);
+        assert_eq!(sys.relay_station_count(), 1);
+        assert_eq!(practical_mst(&sys), Ratio::new(2, 3));
+    }
+
+    #[test]
+    fn attributes_and_defaults() {
+        let sys = parse_netlist("block a\nblock b\nchannel a -> b rs=3 q=7\n").unwrap();
+        let c = sys.channel_ids().next().unwrap();
+        assert_eq!(sys.relay_stations_on(c), 3);
+        assert_eq!(sys.queue_capacity(c), 7);
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let sys = parse_netlist("channel a -> b\nblock a\nblock b\n").unwrap();
+        assert_eq!(sys.channel_count(), 1);
+    }
+
+    #[test]
+    fn quoted_names_and_escapes() {
+        let sys = parse_netlist("block \"A -> B \\\" x\"\nblock plain\n").unwrap();
+        assert_eq!(
+            sys.block_name(crate::system::BlockId::new(0)),
+            "A -> B \" x"
+        );
+        let text = to_netlist(&sys);
+        let round = parse_netlist(&text).unwrap();
+        assert_eq!(
+            round.block_name(crate::system::BlockId::new(0)),
+            "A -> B \" x"
+        );
+    }
+
+    #[test]
+    fn hyphenated_names_are_not_arrows() {
+        let sys =
+            parse_netlist("block tx-filter\nblock fft-in\nchannel fft-in -> tx-filter\n").unwrap();
+        assert_eq!(sys.block_count(), 2);
+        assert_eq!(sys.channel_count(), 1);
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (mut sys, upper, lower) = crate::figures::fig1();
+        sys.set_queue_capacity(lower, 2).unwrap();
+        let text = to_netlist(&sys);
+        let round = parse_netlist(&text).unwrap();
+        assert_eq!(round.block_count(), sys.block_count());
+        assert_eq!(round.channel_count(), sys.channel_count());
+        assert_eq!(round.relay_stations_on(upper), sys.relay_stations_on(upper));
+        assert_eq!(round.queue_capacity(lower), 2);
+        assert_eq!(practical_mst(&round), practical_mst(&sys));
+    }
+
+    #[test]
+    fn error_reporting() {
+        let cases = [
+            ("blok A\n", 1, "unknown directive"),
+            ("block A\nblock A\n", 2, "duplicate block"),
+            ("channel A -> B\n", 1, "unknown block"),
+            ("block A\nchannel A ->\n", 2, "expected: channel"),
+            ("block A\nblock B\nchannel A -> B rs=x\n", 3, "rs wants"),
+            ("block A\nblock B\nchannel A -> B q=0\n", 3, "at least 1"),
+            ("block \"unterminated\n", 1, "unterminated"),
+            (
+                "block A\nchannel A -> B frob=1\nblock B\n",
+                2,
+                "unknown channel attribute",
+            ),
+        ];
+        for (text, line, needle) in cases {
+            let e = parse_netlist(text).unwrap_err();
+            assert_eq!(e.line, line, "{text:?}");
+            assert!(
+                e.message.contains(needle),
+                "{text:?}: message {:?} lacks {needle:?}",
+                e.message
+            );
+            assert!(e.to_string().contains("netlist line"));
+        }
+    }
+
+    #[test]
+    fn uninitialized_blocks_round_trip() {
+        let text = "block A\nblock X uninitialized\nchannel A -> X q=2\n";
+        let sys = parse_netlist(text).unwrap();
+        assert!(sys.is_initialized(crate::system::BlockId::new(0)));
+        assert!(!sys.is_initialized(crate::system::BlockId::new(1)));
+        let round = parse_netlist(&to_netlist(&sys)).unwrap();
+        assert!(!round.is_initialized(crate::system::BlockId::new(1)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let sys = parse_netlist("\n  # nothing\nblock A # trailing\n\n").unwrap();
+        assert_eq!(sys.block_count(), 1);
+    }
+}

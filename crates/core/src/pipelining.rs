@@ -1,0 +1,241 @@
+//! Multi-cycle (pipelined) cores — the paper's footnote 3.
+//!
+//! A core with pipeline latency `L > 1` (a three-stage multiplier, say)
+//! takes `L` periods from consuming inputs to presenting outputs, while
+//! accepting new inputs every period. At the protocol level this is the
+//! original shell followed by `L − 1` stages that hold *void* at reset —
+//! modeled by chaining the block with `L − 1`
+//! [uninitialized blocks](crate::LisSystem::add_uninitialized_block) whose
+//! stage-to-stage queues have capacity **two**.
+//!
+//! Why two slots and not one: under the protocol's registered stop signals,
+//! a single-slot elastic stage is a *half-buffer* — it alternates
+//! accept/stall and caps the sustainable rate at 1/2. Two slots per stage
+//! (the same reason relay stations have a main *and* an auxiliary register)
+//! restore full rate. The resulting model is the slack-elastic variant of a
+//! pipelined core: it has the exact latency, rate, and reset (void)
+//! behavior, plus one extra item of elasticity per stage relative to a
+//! rigidly clock-gated pipeline.
+//!
+//! [`expand_block_latency`] performs that rewrite, so every analysis in
+//! this workspace (MST, topology, queue sizing, both simulators) applies
+//! unchanged to systems with multi-cycle cores.
+
+use crate::system::{BlockId, ChannelId, LisSystem};
+
+/// Result of a latency expansion.
+#[derive(Debug, Clone)]
+pub struct LatencyExpansion {
+    /// The rewritten system.
+    pub system: LisSystem,
+    /// The pipeline-stage blocks inserted after the expanded block,
+    /// upstream first (empty when `latency == 1`).
+    pub stages: Vec<BlockId>,
+    /// For each original channel, its id in the rewritten system (ids are
+    /// preserved for existing channels; the stage-chain channels are new).
+    pub channel_map: Vec<ChannelId>,
+}
+
+/// Rewrites `sys` so that block `b` has pipeline latency `latency`: its
+/// outputs are routed through `latency − 1` uninitialized two-slot stages
+/// (see the module docs for why two slots).
+///
+/// The stage chain is shared by all of `b`'s output channels (one pipeline,
+/// many consumers), matching a real multi-output pipelined core.
+///
+/// # Panics
+///
+/// Panics if `latency` is zero or `b` is out of range.
+///
+/// # Examples
+///
+/// A latency-3 core inside a feedback loop throttles it to 2 tokens over
+/// 4 places — pipeline registers in loops cost throughput that no buffer
+/// can restore:
+///
+/// ```
+/// use lis_core::{expand_block_latency, ideal_mst, practical_mst, LisSystem};
+/// use marked_graph::Ratio;
+///
+/// let mut sys = LisSystem::new();
+/// let a = sys.add_block("A");
+/// let b = sys.add_block("B");
+/// sys.add_channel(a, b);
+/// sys.add_channel(b, a);
+/// assert_eq!(ideal_mst(&sys), Ratio::ONE);
+///
+/// let expanded = expand_block_latency(&sys, a, 3);
+/// assert_eq!(ideal_mst(&expanded.system), Ratio::new(2, 4));
+/// assert_eq!(practical_mst(&expanded.system), Ratio::new(1, 2));
+/// ```
+pub fn expand_block_latency(sys: &LisSystem, b: BlockId, latency: u32) -> LatencyExpansion {
+    assert!(latency >= 1, "latency must be at least one period");
+    sys.check_block(b).expect("block exists");
+
+    let mut out = LisSystem::new();
+    // Copy blocks verbatim (ids preserved).
+    for ob in sys.block_ids() {
+        if sys.is_initialized(ob) {
+            out.add_block(sys.block_name(ob));
+        } else {
+            out.add_uninitialized_block(sys.block_name(ob));
+        }
+    }
+    // Stage chain after `b`.
+    let stages: Vec<BlockId> = (1..latency)
+        .map(|i| out.add_uninitialized_block(format!("{}/stage{}", sys.block_name(b), i)))
+        .collect();
+    let tail = *stages.last().unwrap_or(&b);
+
+    // Copy channels; outputs of `b` re-source from the chain tail.
+    let channel_map: Vec<ChannelId> = sys
+        .channel_ids()
+        .map(|c| {
+            let from = if sys.channel_from(c) == b {
+                tail
+            } else {
+                sys.channel_from(c)
+            };
+            let nc = out.add_channel(from, sys.channel_to(c));
+            for _ in 0..sys.relay_stations_on(c) {
+                out.add_relay_station(nc);
+            }
+            out.set_queue_capacity(nc, sys.queue_capacity(c))
+                .expect("positive capacity");
+            nc
+        })
+        .collect();
+
+    // Wire the chain: b -> stage1 -> ... -> stage(L-1). Two-slot queues:
+    // single-slot stages would halve the sustainable rate (half-buffer
+    // effect); two slots make each stage a computing relay station.
+    let mut prev = b;
+    for &s in &stages {
+        let ch = out.add_channel(prev, s);
+        out.set_queue_capacity(ch, 2).expect("capacity 2 is valid");
+        prev = s;
+    }
+
+    LatencyExpansion {
+        system: out,
+        stages,
+        channel_map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use crate::mst::{ideal_mst, practical_mst};
+    use marked_graph::Ratio;
+
+    #[test]
+    fn latency_one_is_identity_modulo_ids() {
+        let (sys, _, _) = figures::fig1();
+        let e = expand_block_latency(&sys, BlockId::new(0), 1);
+        assert!(e.stages.is_empty());
+        assert_eq!(e.system.block_count(), sys.block_count());
+        assert_eq!(e.system.channel_count(), sys.channel_count());
+        assert_eq!(practical_mst(&e.system), practical_mst(&sys));
+    }
+
+    #[test]
+    fn uninitialized_two_slot_block_equals_relay_station() {
+        // A -> X -> B where X is an uninitialized pass-through with q = 2
+        // must have exactly the throughput of A -> rs -> B.
+        let mut with_block = LisSystem::new();
+        let a1 = with_block.add_block("A");
+        let x = with_block.add_uninitialized_block("X");
+        let b1 = with_block.add_block("B");
+        let ax = with_block.add_channel(a1, x);
+        with_block.add_channel(x, b1);
+        with_block.add_channel(a1, b1); // the Fig. 1 lower channel
+        with_block.set_queue_capacity(ax, 2).unwrap();
+
+        let (with_rs, _, _) = figures::fig1();
+        assert_eq!(ideal_mst(&with_block), ideal_mst(&with_rs));
+        assert_eq!(practical_mst(&with_block), practical_mst(&with_rs));
+        assert_eq!(practical_mst(&with_block), Ratio::new(2, 3));
+    }
+
+    #[test]
+    fn pipelined_core_in_a_loop_throttles_it() {
+        let mut sys = LisSystem::new();
+        let a = sys.add_block("A");
+        let b = sys.add_block("B");
+        sys.add_channel(a, b);
+        sys.add_channel(b, a);
+        for latency in 1..=4u32 {
+            let e = expand_block_latency(&sys, a, latency);
+            // Loop: 2 initialized shells over (2 + latency - 1) places.
+            let expected = Ratio::new(2, 2 + i64::from(latency) - 1);
+            assert_eq!(
+                ideal_mst(&e.system),
+                expected.min(Ratio::ONE),
+                "L={latency}"
+            );
+        }
+    }
+
+    #[test]
+    fn feed_forward_pipelining_costs_nothing_alone() {
+        // A pipelined core in a DAG only adds latency, not throughput loss.
+        let mut sys = LisSystem::new();
+        let a = sys.add_block("A");
+        let b = sys.add_block("B");
+        sys.add_channel(a, b);
+        let e = expand_block_latency(&sys, a, 4);
+        assert_eq!(ideal_mst(&e.system), Ratio::ONE);
+        assert_eq!(practical_mst(&e.system), Ratio::ONE);
+    }
+
+    #[test]
+    fn pipelined_core_on_one_reconvergent_path_degrades_and_qs_fixes() {
+        // Fig. 2's story with a pipelined core instead of a relay station:
+        // A -> M(latency 2) -> B and A -> B directly.
+        let mut sys = LisSystem::new();
+        let a = sys.add_block("A");
+        let m = sys.add_block("M");
+        let b = sys.add_block("B");
+        sys.add_channel(a, m);
+        sys.add_channel(m, b);
+        sys.add_channel(a, b);
+        let e = expand_block_latency(&sys, m, 2);
+        assert_eq!(ideal_mst(&e.system), Ratio::ONE);
+        let degraded = practical_mst(&e.system);
+        assert!(degraded < Ratio::ONE);
+        // One extra slot on the direct channel repairs it, like Fig. 6.
+        let mut fixed = e.system.clone();
+        fixed.grow_queue(e.channel_map[2], 1);
+        assert_eq!(practical_mst(&fixed), Ratio::ONE);
+    }
+
+    #[test]
+    fn multi_output_blocks_share_the_stage_chain() {
+        let mut sys = LisSystem::new();
+        let a = sys.add_block("A");
+        let b = sys.add_block("B");
+        let c = sys.add_block("C");
+        sys.add_channel(a, b);
+        sys.add_channel(a, c);
+        let e = expand_block_latency(&sys, a, 3);
+        assert_eq!(e.stages.len(), 2);
+        // Both consumers hang off the single chain tail.
+        let tail = *e.stages.last().expect("two stages");
+        let consumers: Vec<_> = e
+            .system
+            .channel_ids()
+            .filter(|&ch| e.system.channel_from(ch) == tail)
+            .map(|ch| e.system.channel_to(ch))
+            .collect();
+        assert_eq!(consumers.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one period")]
+    fn zero_latency_panics() {
+        let (sys, _, _) = figures::fig1();
+        let _ = expand_block_latency(&sys, BlockId::new(0), 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The Dominating Set → Token Deficit reduction.
+//!
+//! The paper states (Section VII-A) that the Token Deficit problem is
+//! NP-complete by a reduction from Dominating Set, deferring the proof to a
+//! technical report. The reduction is short enough to *execute*: given an
+//! undirected graph, make one unit-deficit cycle per vertex and one set per
+//! vertex covering its closed neighborhood. A weight assignment of total
+//! `K` covers every cycle iff the vertices with positive weight form a
+//! dominating set of size ≤ `K`, so the minimal TD total equals the
+//! domination number — which the tests check against brute force.
+
+use lis_qs::TdInstance;
+use rand::Rng;
+
+/// An undirected Dominating Set instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsInstance {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Undirected edges (`u < v`, deduplicated).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl DsInstance {
+    /// Creates an instance, normalizing the edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn new(vertices: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> DsInstance {
+        let mut es: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(u, v)| {
+                assert!(u < vertices && v < vertices, "edge endpoint out of range");
+                assert_ne!(u, v, "self-loops are not allowed");
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        es.sort_unstable();
+        es.dedup();
+        DsInstance {
+            vertices,
+            edges: es,
+        }
+    }
+
+    /// Generates a random instance.
+    pub fn random(vertices: usize, edge_prob: f64, rng: &mut impl Rng) -> DsInstance {
+        let mut edges = Vec::new();
+        for u in 0..vertices {
+            for v in u + 1..vertices {
+                if rng.gen_bool(edge_prob) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        DsInstance::new(vertices, edges)
+    }
+
+    /// The closed neighborhood `N[v]` (v plus its neighbors), sorted.
+    pub fn closed_neighborhood(&self, v: usize) -> Vec<usize> {
+        let mut n = vec![v];
+        for &(a, b) in &self.edges {
+            if a == v {
+                n.push(b);
+            } else if b == v {
+                n.push(a);
+            }
+        }
+        n.sort_unstable();
+        n
+    }
+
+    /// Whether `set` dominates the graph (every vertex in or adjacent to it).
+    pub fn is_dominating(&self, set: &[usize]) -> bool {
+        (0..self.vertices).all(|v| self.closed_neighborhood(v).iter().any(|u| set.contains(u)))
+    }
+
+    /// Brute-force domination number (bitmask; `vertices ≤ 20`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices > 20`.
+    pub fn domination_number(&self) -> usize {
+        assert!(self.vertices <= 20, "brute force limited to 20 vertices");
+        if self.vertices == 0 {
+            return 0;
+        }
+        let masks: Vec<u32> = (0..self.vertices)
+            .map(|v| {
+                self.closed_neighborhood(v)
+                    .iter()
+                    .fold(0u32, |m, &u| m | (1 << u))
+            })
+            .collect();
+        let mut best = self.vertices;
+        for set in 0u32..(1 << self.vertices) {
+            let size = set.count_ones() as usize;
+            if size >= best {
+                continue;
+            }
+            if masks.iter().all(|&m| m & set != 0) {
+                best = size;
+            }
+        }
+        best
+    }
+}
+
+/// Builds the Token Deficit instance of a Dominating Set instance: cycle
+/// `v` (deficit 1) is covered by set `u` iff `u ∈ N[v]`.
+///
+/// # Examples
+///
+/// ```
+/// use lis_gen::{ds_to_td, DsInstance};
+/// use lis_qs::exact_solve;
+///
+/// // A path of 5 vertices: domination number 2.
+/// let ds = DsInstance::new(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+/// let td = ds_to_td(&ds);
+/// let out = exact_solve(&td, None);
+/// assert!(out.optimal);
+/// assert_eq!(out.solution.total() as usize, ds.domination_number());
+/// ```
+pub fn ds_to_td(ds: &DsInstance) -> TdInstance {
+    let deficits = vec![1u64; ds.vertices];
+    let sets: Vec<Vec<usize>> = (0..ds.vertices)
+        .map(|u| ds.closed_neighborhood(u))
+        .collect();
+    TdInstance::new(deficits, sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_qs::{exact_solve, heuristic_solve};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_domination_numbers() {
+        // Star: center dominates everything.
+        let star = DsInstance::new(6, [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        assert_eq!(star.domination_number(), 1);
+        // 6-cycle: gamma = 2.
+        let c6 = DsInstance::new(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)]);
+        assert_eq!(c6.domination_number(), 2);
+        // Edgeless graph: every vertex must be picked.
+        let empty = DsInstance::new(4, []);
+        assert_eq!(empty.domination_number(), 4);
+    }
+
+    #[test]
+    fn neighborhoods_and_domination_check() {
+        let ds = DsInstance::new(4, [(0, 1), (1, 2)]);
+        assert_eq!(ds.closed_neighborhood(1), vec![0, 1, 2]);
+        assert_eq!(ds.closed_neighborhood(3), vec![3]);
+        assert!(ds.is_dominating(&[1, 3]));
+        assert!(!ds.is_dominating(&[0]));
+    }
+
+    #[test]
+    fn td_optimum_equals_domination_number() {
+        let cases = [
+            DsInstance::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]),
+            DsInstance::new(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)]),
+            DsInstance::new(6, vec![(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]),
+            DsInstance::new(3, vec![]),
+        ];
+        for ds in &cases {
+            let td = ds_to_td(ds);
+            let out = exact_solve(&td, None);
+            assert!(out.optimal, "{ds:?}");
+            assert_eq!(
+                out.solution.total() as usize,
+                ds.domination_number(),
+                "{ds:?}"
+            );
+            // The positive-weight vertices form a dominating set.
+            let set: Vec<usize> = out
+                .solution
+                .weights
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| w > 0)
+                .map(|(v, _)| v)
+                .collect();
+            assert!(ds.is_dominating(&set), "{ds:?}: {set:?}");
+        }
+    }
+
+    #[test]
+    fn td_optimum_equals_domination_number_random() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..10 {
+            let ds = DsInstance::random(7, 0.35, &mut rng);
+            let td = ds_to_td(&ds);
+            let out = exact_solve(&td, None);
+            assert!(out.optimal, "trial {trial}");
+            assert_eq!(
+                out.solution.total() as usize,
+                ds.domination_number(),
+                "trial {trial}: {ds:?}"
+            );
+            // The heuristic is feasible (dominating) but may overshoot.
+            let h = heuristic_solve(&td);
+            let hset: Vec<usize> = h
+                .weights
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| w > 0)
+                .map(|(v, _)| v)
+                .collect();
+            assert!(ds.is_dominating(&hset), "trial {trial}");
+            assert!(h.total() >= out.solution.total());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let _ = DsInstance::new(2, [(1, 1)]);
+    }
+}

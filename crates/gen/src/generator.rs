@@ -1,0 +1,390 @@
+//! The paper's random LIS generator (Section VIII).
+//!
+//! Inputs: `v` (vertices), `s` (SCCs), `c` (minimum extra cycles per SCC),
+//! `rs` (relay stations), whether reconvergent paths between SCCs are
+//! allowed (`rp`), and the relay-station insertion policy (`any` edge vs
+//! only inter-SCC edges). Generation steps 1–5 follow the paper verbatim;
+//! the number of extra (non-spanning-tree) inter-SCC edges is `s/3` by
+//! default, which reproduces the "# Edges (inter-SCC)" column of Table IV
+//! (≈12 edges for 10 SCCs, ≈25 for 20).
+
+use lis_core::{BlockId, ChannelId, LisSystem};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Where relay stations may be inserted (paper policies `any` / `scc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsertionPolicy {
+    /// Relay stations may land on any channel.
+    Any,
+    /// Relay stations may land only on channels between SCCs.
+    Scc,
+}
+
+/// Parameters of the random generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Total number of blocks (`v`).
+    pub vertices: usize,
+    /// Number of SCCs to partition the blocks into (`s`).
+    pub sccs: usize,
+    /// Minimum number of extra cycles added per SCC (`c`).
+    pub min_cycles_per_scc: usize,
+    /// Number of relay stations to insert (`rs`).
+    pub relay_stations: usize,
+    /// Whether reconvergent paths between SCCs are allowed (`rp`).
+    pub reconvergent_paths: bool,
+    /// Relay-station insertion policy.
+    pub policy: InsertionPolicy,
+    /// Extra inter-SCC edges beyond the spanning tree; `None` = `sccs / 3`.
+    pub extra_inter_edges: Option<usize>,
+}
+
+impl GeneratorConfig {
+    /// The configuration used for Figs. 16–17 of the paper:
+    /// `v = 50, s = 5, c = 5, rp = 1`.
+    ///
+    /// Five extra inter-SCC edges beyond the spanning tree; this density of
+    /// reconvergent paths reproduces the paper's reported 15–30% MST
+    /// degradation under scc insertion with unit queues.
+    pub fn fig16(relay_stations: usize, policy: InsertionPolicy) -> GeneratorConfig {
+        GeneratorConfig {
+            vertices: 50,
+            sccs: 5,
+            min_cycles_per_scc: 5,
+            relay_stations,
+            reconvergent_paths: true,
+            policy,
+            extra_inter_edges: Some(5),
+        }
+    }
+
+    /// A Table IV row configuration: `rs = 10`, scc insertion, reconvergent
+    /// paths allowed.
+    pub fn table4(vertices: usize, sccs: usize) -> GeneratorConfig {
+        GeneratorConfig {
+            vertices,
+            sccs,
+            min_cycles_per_scc: 5,
+            relay_stations: 10,
+            reconvergent_paths: true,
+            policy: InsertionPolicy::Scc,
+            extra_inter_edges: None,
+        }
+    }
+}
+
+/// A generated system plus the bookkeeping the experiments need.
+#[derive(Debug, Clone)]
+pub struct GeneratedLis {
+    /// The generated system (queues all at capacity one).
+    pub system: LisSystem,
+    /// Which SCC each block belongs to.
+    pub scc_of: Vec<usize>,
+    /// The channels between SCCs (in insertion order).
+    pub inter_scc_channels: Vec<ChannelId>,
+}
+
+/// Runs the paper's generation procedure.
+///
+/// # Panics
+///
+/// Panics if `cfg.sccs` is zero or exceeds `cfg.vertices`.
+///
+/// # Examples
+///
+/// ```
+/// use lis_gen::{generate, GeneratorConfig, InsertionPolicy};
+/// use rand::SeedableRng;
+///
+/// let cfg = GeneratorConfig::fig16(5, InsertionPolicy::Scc);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = generate(&cfg, &mut rng);
+/// assert_eq!(g.system.block_count(), 50);
+/// assert_eq!(g.system.relay_station_count(), 5);
+/// ```
+pub fn generate(cfg: &GeneratorConfig, rng: &mut impl Rng) -> GeneratedLis {
+    assert!(cfg.sccs > 0, "need at least one SCC");
+    assert!(cfg.sccs <= cfg.vertices, "more SCCs than vertices");
+
+    let mut sys = LisSystem::new();
+    let blocks: Vec<BlockId> = (0..cfg.vertices)
+        .map(|i| sys.add_block(format!("v{i}")))
+        .collect();
+
+    // Step 1: partition blocks into SCCs. Every SCC gets at least two
+    // vertices when possible (a single vertex cannot form a cycle); leftover
+    // vertices are distributed randomly.
+    let base = if cfg.vertices >= 2 * cfg.sccs { 2 } else { 1 };
+    let mut sizes = vec![base; cfg.sccs];
+    let mut left = cfg.vertices - base * cfg.sccs;
+    while left > 0 {
+        sizes[rng.gen_range(0..cfg.sccs)] += 1;
+        left -= 1;
+    }
+    let mut order: Vec<usize> = (0..cfg.vertices).collect();
+    order.shuffle(rng);
+    let mut scc_of = vec![0usize; cfg.vertices];
+    let mut members: Vec<Vec<BlockId>> = Vec::with_capacity(cfg.sccs);
+    let mut cursor = 0;
+    for (scc, &size) in sizes.iter().enumerate() {
+        let mut m = Vec::with_capacity(size);
+        for &bi in &order[cursor..cursor + size] {
+            scc_of[bi] = scc;
+            m.push(blocks[bi]);
+        }
+        cursor += size;
+        members.push(m);
+    }
+
+    // Step 2: per SCC, a Hamiltonian cycle plus `c` chord edges.
+    for m in &members {
+        if m.len() < 2 {
+            continue;
+        }
+        let mut perm = m.clone();
+        perm.shuffle(rng);
+        for i in 0..perm.len() {
+            sys.add_channel(perm[i], perm[(i + 1) % perm.len()]);
+        }
+        // Chords: choose unused (u, v) pairs. An SCC of n vertices has
+        // n(n-1) ordered pairs, n of which the ring already uses.
+        let max_chords = m.len() * (m.len() - 1) - m.len();
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < cfg.min_cycles_per_scc && added < max_chords && attempts < 10_000 {
+            attempts += 1;
+            let u = m[rng.gen_range(0..m.len())];
+            let v = m[rng.gen_range(0..m.len())];
+            if u == v || !sys.channels_between(u, v).is_empty() {
+                continue;
+            }
+            sys.add_channel(u, v);
+            added += 1;
+        }
+    }
+
+    // Step 3: auxiliary DAG H over the SCCs — a random spanning tree
+    // oriented along a random topological order, plus extra forward edges
+    // when reconvergent paths are allowed.
+    let mut rank: Vec<usize> = (0..cfg.sccs).collect();
+    rank.shuffle(rng);
+    let mut h_edges: Vec<(usize, usize)> = Vec::new();
+    for i in 1..cfg.sccs {
+        let j = rng.gen_range(0..i);
+        h_edges.push((rank[j], rank[i]));
+    }
+    if cfg.reconvergent_paths && cfg.sccs >= 2 {
+        let extra = cfg.extra_inter_edges.unwrap_or(cfg.sccs / 3);
+        let mut attempts = 0;
+        let mut added = 0;
+        while added < extra && attempts < 10_000 {
+            attempts += 1;
+            let i = rng.gen_range(0..cfg.sccs);
+            let j = rng.gen_range(0..cfg.sccs);
+            if i == j {
+                continue;
+            }
+            // Orient along the topological rank to keep H acyclic.
+            let (lo, hi) = if rank.iter().position(|&r| r == i) < rank.iter().position(|&r| r == j)
+            {
+                (i, j)
+            } else {
+                (j, i)
+            };
+            // Duplicates are allowed: a repeated SCC pair realizes as
+            // parallel inter-SCC channels, a legitimate reconvergence.
+            h_edges.push((lo, hi));
+            added += 1;
+        }
+    }
+
+    // Step 4: realize each H edge with a channel between random members.
+    let mut inter_scc_channels = Vec::with_capacity(h_edges.len());
+    for (s1, s2) in h_edges {
+        let v1 = members[s1][rng.gen_range(0..members[s1].len())];
+        let v2 = members[s2][rng.gen_range(0..members[s2].len())];
+        inter_scc_channels.push(sys.add_channel(v1, v2));
+    }
+
+    // Step 5: relay-station insertion per policy. Distinct edges first;
+    // wrap around (stacking) only if there are more stations than edges.
+    let candidates: Vec<ChannelId> = match cfg.policy {
+        InsertionPolicy::Any => sys.channel_ids().collect(),
+        InsertionPolicy::Scc => inter_scc_channels.clone(),
+    };
+    if !candidates.is_empty() {
+        let mut shuffled = candidates.clone();
+        shuffled.shuffle(rng);
+        for k in 0..cfg.relay_stations {
+            sys.add_relay_station(shuffled[k % shuffled.len()]);
+        }
+    }
+
+    GeneratedLis {
+        system: sys,
+        scc_of,
+        inter_scc_channels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_core::block_graph;
+    use marked_graph::SccDecomposition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = GeneratorConfig {
+            vertices: 30,
+            sccs: 3,
+            min_cycles_per_scc: 4,
+            relay_stations: 6,
+            reconvergent_paths: true,
+            policy: InsertionPolicy::Scc,
+            extra_inter_edges: Some(2),
+        };
+        let g = generate(&cfg, &mut rng(11));
+        assert_eq!(g.system.block_count(), 30);
+        assert_eq!(g.system.relay_station_count(), 6);
+        assert_eq!(g.scc_of.len(), 30);
+        // spanning tree (2) + extra (2) inter-SCC edges
+        assert_eq!(g.inter_scc_channels.len(), 4);
+    }
+
+    #[test]
+    fn declared_sccs_match_actual_sccs() {
+        for seed in 0..5 {
+            let cfg = GeneratorConfig::table4(40, 8);
+            let g = generate(&cfg, &mut rng(seed));
+            let bg = block_graph(&g.system);
+            let scc = SccDecomposition::compute(&bg);
+            assert_eq!(scc.count(), 8, "seed {seed}");
+            // All blocks declared in the same SCC really are.
+            for a in 0..40 {
+                for b in 0..40 {
+                    let same_declared = g.scc_of[a] == g.scc_of[b];
+                    let same_actual = scc.component_of(marked_graph::TransitionId::new(a))
+                        == scc.component_of(marked_graph::TransitionId::new(b));
+                    assert_eq!(same_declared, same_actual, "seed {seed} blocks {a},{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scc_policy_keeps_intra_scc_channels_clean() {
+        let cfg = GeneratorConfig::table4(50, 10);
+        let g = generate(&cfg, &mut rng(3));
+        for c in g.system.channel_ids() {
+            if g.system.relay_stations_on(c) > 0 {
+                let from = g.system.channel_from(c);
+                let to = g.system.channel_to(c);
+                assert_ne!(
+                    g.scc_of[from.index()],
+                    g.scc_of[to.index()],
+                    "relay station on intra-SCC channel {c:?}"
+                );
+            }
+        }
+        // Ideal MST must be 1: no cycle contains a relay station.
+        assert_eq!(lis_core::ideal_mst(&g.system), marked_graph::Ratio::ONE);
+    }
+
+    #[test]
+    fn any_policy_can_hit_intra_scc_channels() {
+        let cfg = GeneratorConfig {
+            policy: InsertionPolicy::Any,
+            relay_stations: 40,
+            ..GeneratorConfig::fig16(40, InsertionPolicy::Any)
+        };
+        let g = generate(&cfg, &mut rng(5));
+        let intra_hit = g.system.channel_ids().any(|c| {
+            g.system.relay_stations_on(c) > 0
+                && g.scc_of[g.system.channel_from(c).index()]
+                    == g.scc_of[g.system.channel_to(c).index()]
+        });
+        assert!(intra_hit, "40 stations should hit an intra-SCC channel");
+    }
+
+    #[test]
+    fn no_reconvergent_paths_when_rp_zero_between_sccs() {
+        // With rp = 0 the inter-SCC structure is a tree; relay stations only
+        // inter-SCC, so fixed q=1 must preserve the ideal MST whenever the
+        // SCC-internal structure has no reconvergence... which chords break.
+        // So check only the inter-SCC edge count: exactly s - 1.
+        let cfg = GeneratorConfig {
+            reconvergent_paths: false,
+            ..GeneratorConfig::table4(30, 6)
+        };
+        let g = generate(&cfg, &mut rng(7));
+        assert_eq!(g.inter_scc_channels.len(), 5);
+    }
+
+    #[test]
+    fn more_stations_than_edges_stack() {
+        let cfg = GeneratorConfig {
+            vertices: 6,
+            sccs: 2,
+            min_cycles_per_scc: 0,
+            relay_stations: 7,
+            reconvergent_paths: false,
+            policy: InsertionPolicy::Scc,
+            extra_inter_edges: Some(0),
+        };
+        let g = generate(&cfg, &mut rng(9));
+        // One inter-SCC edge carries all seven stations.
+        assert_eq!(g.inter_scc_channels.len(), 1);
+        assert_eq!(g.system.relay_stations_on(g.inter_scc_channels[0]), 7);
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let cfg = GeneratorConfig::fig16(5, InsertionPolicy::Scc);
+        let a = generate(&cfg, &mut rng(42));
+        let b = generate(&cfg, &mut rng(42));
+        assert_eq!(a.system.channel_count(), b.system.channel_count());
+        assert_eq!(a.scc_of, b.scc_of);
+        for c in a.system.channel_ids() {
+            assert_eq!(a.system.relay_stations_on(c), b.system.relay_stations_on(c));
+        }
+    }
+
+    #[test]
+    fn min_cycles_per_scc_adds_chords() {
+        let cfg = GeneratorConfig {
+            vertices: 20,
+            sccs: 2,
+            min_cycles_per_scc: 5,
+            relay_stations: 0,
+            reconvergent_paths: false,
+            policy: InsertionPolicy::Scc,
+            extra_inter_edges: Some(0),
+        };
+        let g = generate(&cfg, &mut rng(13));
+        // ring edges (20) + chords (5 per SCC * 2) + tree edge (1)
+        assert_eq!(g.system.channel_count(), 20 + 10 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more SCCs than vertices")]
+    fn too_many_sccs_panics() {
+        let cfg = GeneratorConfig {
+            vertices: 3,
+            sccs: 5,
+            min_cycles_per_scc: 0,
+            relay_stations: 0,
+            reconvergent_paths: false,
+            policy: InsertionPolicy::Any,
+            extra_inter_edges: None,
+        };
+        let _ = generate(&cfg, &mut rng(0));
+    }
+}

@@ -1,0 +1,313 @@
+//! The Vertex Cover → Queue Sizing reduction (Section V of the paper).
+//!
+//! Given an undirected graph, the reduction builds a LIS whose minimal
+//! queue-sizing cost equals the graph's minimum vertex cover:
+//!
+//! * each VC vertex `v` becomes a *vertex construct* — one channel
+//!   `v⁻ → v⁺` (Fig. 7); its queue backedge is where cover tokens go;
+//! * each VC edge `(u, v)` becomes an *edge construct* — channels
+//!   `u⁻ → v⁺` and `v⁻ → u⁺`, each pipelined by one relay station
+//!   (Figs. 8–9); after doubling, this creates the 6-place/4-token cycle of
+//!   Fig. 12, deficient by exactly one token that only the `u` or `v`
+//!   vertex-construct queue can supply;
+//! * a separate 5-block ring with one relay station pins the ideal MST to
+//!   5/6 (Fig. 10).
+//!
+//! This module is used to cross-validate the exact QS solver: on any graph,
+//! the minimal total of extra tokens must equal the minimum vertex cover.
+
+use lis_core::{ChannelId, LisSystem};
+use rand::Rng;
+
+/// An undirected Vertex Cover instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcInstance {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Undirected edges as vertex-index pairs (`u < v`, no duplicates).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl VcInstance {
+    /// Creates an instance, normalizing and deduplicating the edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a vertex out of range or is a self-loop.
+    pub fn new(vertices: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> VcInstance {
+        let mut es: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(u, v)| {
+                assert!(u < vertices && v < vertices, "edge endpoint out of range");
+                assert_ne!(u, v, "self-loops are not allowed in VC instances");
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        es.sort_unstable();
+        es.dedup();
+        VcInstance {
+            vertices,
+            edges: es,
+        }
+    }
+
+    /// Generates a random instance with the given edge probability.
+    pub fn random(vertices: usize, edge_prob: f64, rng: &mut impl Rng) -> VcInstance {
+        let mut edges = Vec::new();
+        for u in 0..vertices {
+            for v in u + 1..vertices {
+                if rng.gen_bool(edge_prob) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        VcInstance::new(vertices, edges)
+    }
+
+    /// Whether `cover` (a set of vertex indices) covers every edge.
+    pub fn is_cover(&self, cover: &[usize]) -> bool {
+        self.edges
+            .iter()
+            .all(|&(u, v)| cover.contains(&u) || cover.contains(&v))
+    }
+
+    /// Brute-force minimum vertex cover size (bitmask search; use only for
+    /// `vertices <= 20`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices > 20`.
+    pub fn min_cover_size(&self) -> usize {
+        assert!(self.vertices <= 20, "brute force limited to 20 vertices");
+        if self.edges.is_empty() {
+            return 0;
+        }
+        let masks: Vec<u32> = self
+            .edges
+            .iter()
+            .map(|&(u, v)| (1u32 << u) | (1u32 << v))
+            .collect();
+        let mut best = self.vertices;
+        for set in 0u32..(1 << self.vertices) {
+            let size = set.count_ones() as usize;
+            if size >= best {
+                continue;
+            }
+            if masks.iter().all(|&m| m & set != 0) {
+                best = size;
+            }
+        }
+        best
+    }
+}
+
+/// The LIS produced by the reduction, with the mapping needed to read a
+/// vertex cover back out of a queue-sizing solution.
+#[derive(Debug, Clone)]
+pub struct VcReduction {
+    /// The reduced system (all queues at capacity one).
+    pub system: LisSystem,
+    /// The vertex-construct channel (`v⁻ → v⁺`) per VC vertex. An extra
+    /// queue token on channel `vertex_channel[v]` corresponds to putting
+    /// `v` in the cover.
+    pub vertex_channel: Vec<ChannelId>,
+    /// The two edge-construct channels per VC edge.
+    pub edge_channels: Vec<(ChannelId, ChannelId)>,
+}
+
+impl VcReduction {
+    /// Interprets a queue-sizing solution (extra tokens per channel) as a
+    /// vertex set: every vertex whose construct received a token.
+    pub fn cover_from_solution(&self, extra_tokens: &[(ChannelId, u64)]) -> Vec<usize> {
+        let mut cover = Vec::new();
+        for (v, &ch) in self.vertex_channel.iter().enumerate() {
+            if extra_tokens.iter().any(|&(c, w)| c == ch && w > 0) {
+                cover.push(v);
+            }
+        }
+        cover
+    }
+}
+
+/// Builds the QS instance of a VC instance (Section V, steps a–d).
+///
+/// # Examples
+///
+/// A single edge needs a one-vertex cover, so one extra token restores the
+/// 5/6 MST:
+///
+/// ```
+/// use lis_gen::{vc_to_qs, VcInstance};
+/// use lis_qs::{solve, Algorithm, QsConfig};
+/// use marked_graph::Ratio;
+///
+/// let vc = VcInstance::new(2, [(0, 1)]);
+/// let red = vc_to_qs(&vc);
+/// assert_eq!(lis_core::ideal_mst(&red.system), Ratio::new(5, 6));
+/// let report = solve(&red.system, Algorithm::Exact, &QsConfig::default())?;
+/// assert_eq!(report.total_extra as usize, vc.min_cover_size());
+/// # Ok::<(), lis_qs::QsError>(())
+/// ```
+pub fn vc_to_qs(vc: &VcInstance) -> VcReduction {
+    let mut sys = LisSystem::new();
+
+    // Step a: vertex constructs.
+    let mut v_minus = Vec::with_capacity(vc.vertices);
+    let mut v_plus = Vec::with_capacity(vc.vertices);
+    let mut vertex_channel = Vec::with_capacity(vc.vertices);
+    for v in 0..vc.vertices {
+        let m = sys.add_block(format!("v{v}-"));
+        let p = sys.add_block(format!("v{v}+"));
+        v_minus.push(m);
+        v_plus.push(p);
+        vertex_channel.push(sys.add_channel(m, p));
+    }
+
+    // Steps b + c: edge constructs, each edge pipelined by a relay station.
+    let mut edge_channels = Vec::with_capacity(vc.edges.len());
+    for &(u, v) in &vc.edges {
+        let uv = sys.add_channel(v_minus[u], v_plus[v]);
+        let vu = sys.add_channel(v_minus[v], v_plus[u]);
+        sys.add_relay_station(uv);
+        sys.add_relay_station(vu);
+        edge_channels.push((uv, vu));
+    }
+
+    // Step d: the separate 5/6 limit ring (Fig. 10): five blocks, one relay
+    // station — 5 tokens over 6 places.
+    let ring: Vec<_> = (0..5).map(|i| sys.add_block(format!("ring{i}"))).collect();
+    for i in 0..5 {
+        let c = sys.add_channel(ring[i], ring[(i + 1) % 5]);
+        if i == 4 {
+            sys.add_relay_station(c);
+        }
+    }
+
+    VcReduction {
+        system: sys,
+        vertex_channel,
+        edge_channels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_core::{ideal_mst, practical_mst};
+    use lis_qs::{solve, verify_solution, Algorithm, QsConfig};
+    use marked_graph::Ratio;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vc_instance_normalization() {
+        let vc = VcInstance::new(4, [(2, 1), (1, 2), (0, 3)]);
+        assert_eq!(vc.edges, vec![(0, 3), (1, 2)]);
+        assert!(vc.is_cover(&[1, 3]));
+        assert!(!vc.is_cover(&[1]));
+        assert_eq!(vc.min_cover_size(), 2);
+    }
+
+    #[test]
+    fn min_cover_known_graphs() {
+        // Triangle: cover size 2.
+        assert_eq!(
+            VcInstance::new(3, [(0, 1), (1, 2), (0, 2)]).min_cover_size(),
+            2
+        );
+        // Star K1,4: cover size 1.
+        assert_eq!(
+            VcInstance::new(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).min_cover_size(),
+            1
+        );
+        // Path of 4 vertices: cover size 2.
+        assert_eq!(
+            VcInstance::new(4, [(0, 1), (1, 2), (2, 3)]).min_cover_size(),
+            2
+        );
+        // Empty graph.
+        assert_eq!(VcInstance::new(6, []).min_cover_size(), 0);
+    }
+
+    #[test]
+    fn reduction_shape_and_msts() {
+        let vc = VcInstance::new(3, [(0, 1), (1, 2)]);
+        let red = vc_to_qs(&vc);
+        // 3 vertex constructs (2 blocks each) + 5 ring blocks = 11 blocks.
+        assert_eq!(red.system.block_count(), 11);
+        // 3 vertex channels + 2*2 edge channels + 5 ring channels = 12.
+        assert_eq!(red.system.channel_count(), 12);
+        // 2 relay stations per edge + 1 in the ring.
+        assert_eq!(red.system.relay_station_count(), 5);
+        assert_eq!(ideal_mst(&red.system), Ratio::new(5, 6));
+        // The Fig. 12 cycles degrade the doubled MST to 4/6.
+        assert_eq!(practical_mst(&red.system), Ratio::new(2, 3));
+    }
+
+    #[test]
+    fn qs_optimum_equals_min_vertex_cover() {
+        let cases = [
+            VcInstance::new(2, vec![(0, 1)]),
+            VcInstance::new(3, vec![(0, 1), (1, 2), (0, 2)]),
+            VcInstance::new(4, vec![(0, 1), (1, 2), (2, 3)]),
+            VcInstance::new(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]),
+            VcInstance::new(4, vec![]),
+        ];
+        for vc in &cases {
+            let red = vc_to_qs(vc);
+            let report = solve(&red.system, Algorithm::Exact, &QsConfig::default()).unwrap();
+            assert!(report.optimal, "{vc:?}");
+            assert_eq!(
+                report.total_extra as usize,
+                vc.min_cover_size(),
+                "QS optimum vs VC number for {vc:?}"
+            );
+            assert!(verify_solution(&red.system, &report), "{vc:?}");
+            // The token placement really is a vertex cover.
+            let cover = red.cover_from_solution(&report.extra_tokens);
+            assert!(vc.is_cover(&cover), "{vc:?}: cover {cover:?}");
+        }
+    }
+
+    #[test]
+    fn qs_optimum_equals_min_vertex_cover_random() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..8 {
+            let vc = VcInstance::random(5, 0.45, &mut rng);
+            let red = vc_to_qs(&vc);
+            let report = solve(&red.system, Algorithm::Exact, &QsConfig::default()).unwrap();
+            assert!(report.optimal, "trial {trial}");
+            assert_eq!(
+                report.total_extra as usize,
+                vc.min_cover_size(),
+                "trial {trial}: {vc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn odd_cycle_needs_ceil_half_plus_one() {
+        // A 5-cycle VC instance: cover size 3 (the paper's "loop of k
+        // vertices, k odd, needs k/2 + 1" case).
+        let vc = VcInstance::new(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        assert_eq!(vc.min_cover_size(), 3);
+        let red = vc_to_qs(&vc);
+        let report = solve(&red.system, Algorithm::Exact, &QsConfig::default()).unwrap();
+        assert_eq!(report.total_extra, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let _ = VcInstance::new(3, [(1, 1)]);
+    }
+
+    #[test]
+    fn random_generator_respects_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let none = VcInstance::random(6, 0.0, &mut rng);
+        assert!(none.edges.is_empty());
+        let all = VcInstance::random(6, 1.0, &mut rng);
+        assert_eq!(all.edges.len(), 15);
+    }
+}

@@ -1,0 +1,73 @@
+//! Graphviz DOT export for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::graph::MarkedGraph;
+
+/// Renders a marked graph in Graphviz DOT syntax.
+///
+/// Transitions become boxes labeled with their names; each place becomes an
+/// edge labeled with its token count (tokens drawn as a `•` list to match the
+/// paper's figures).
+///
+/// # Examples
+///
+/// ```
+/// use marked_graph::{dot::to_dot, MarkedGraph};
+///
+/// let mut g = MarkedGraph::new();
+/// let a = g.add_transition("A");
+/// let b = g.add_transition("B");
+/// g.add_place(a, b, 1);
+/// let dot = to_dot(&g);
+/// assert!(dot.starts_with("digraph marked_graph"));
+/// assert!(dot.contains("\"A\" -> \"B\""));
+/// ```
+pub fn to_dot(graph: &MarkedGraph) -> String {
+    let mut out = String::new();
+    out.push_str("digraph marked_graph {\n");
+    out.push_str("  rankdir=LR;\n  node [shape=box];\n");
+    for t in graph.transition_ids() {
+        let _ = writeln!(out, "  \"{}\";", escape(graph.transition_name(t)));
+    }
+    for p in graph.place_ids() {
+        let tokens = graph.tokens(p);
+        let dots = if tokens <= 5 {
+            "\u{2022}".repeat(tokens as usize)
+        } else {
+            format!("{tokens}\u{2022}")
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}\"];",
+            escape(graph.transition_name(graph.source(p))),
+            escape(graph.transition_name(graph.target(p))),
+            dots
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_tokens_and_names() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A \"x\"");
+        let b = g.add_transition("B");
+        g.add_place(a, b, 2);
+        g.add_place(b, a, 7);
+        let dot = to_dot(&g);
+        assert!(dot.contains("\\\"x\\\""));
+        assert!(dot.contains("\u{2022}\u{2022}"));
+        assert!(dot.contains("7\u{2022}"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for marked-graph construction and analysis.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::graph::{PlaceId, TransitionId};
+
+/// Errors produced while building or analyzing a marked graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A place or transition id referenced a vertex that does not exist.
+    UnknownTransition(TransitionId),
+    /// A place id referenced a place that does not exist.
+    UnknownPlace(PlaceId),
+    /// A cycle with zero tokens was found: the graph deadlocks.
+    ///
+    /// The payload lists the transitions on one such cycle, in order.
+    DeadlockedCycle(Vec<TransitionId>),
+    /// Cycle enumeration exceeded the configured bound.
+    TooManyCycles {
+        /// The configured enumeration limit that was exceeded.
+        limit: usize,
+    },
+    /// An analysis that requires at least one cycle was run on an acyclic graph.
+    Acyclic,
+    /// An analysis that requires a nonempty graph was run on an empty one.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownTransition(t) => write!(f, "unknown transition id {}", t.index()),
+            GraphError::UnknownPlace(p) => write!(f, "unknown place id {}", p.index()),
+            GraphError::DeadlockedCycle(ts) => write!(
+                f,
+                "token-free cycle through {} transitions deadlocks the graph",
+                ts.len()
+            ),
+            GraphError::TooManyCycles { limit } => {
+                write!(f, "cycle enumeration exceeded the limit of {limit} cycles")
+            }
+            GraphError::Acyclic => write!(f, "analysis requires a cyclic graph"),
+            GraphError::Empty => write!(f, "analysis requires a nonempty graph"),
+        }
+    }
+}
+
+impl StdError for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GraphError::UnknownTransition(TransitionId::new(3)).to_string(),
+            "unknown transition id 3"
+        );
+        assert_eq!(
+            GraphError::TooManyCycles { limit: 10 }.to_string(),
+            "cycle enumeration exceeded the limit of 10 cycles"
+        );
+        assert!(GraphError::DeadlockedCycle(vec![TransitionId::new(0)])
+            .to_string()
+            .contains("deadlocks"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: StdError + Send + Sync + 'static>() {}
+        assert_traits::<GraphError>();
+    }
+}

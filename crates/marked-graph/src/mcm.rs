@@ -1,0 +1,567 @@
+//! Minimum cycle mean (MCM) computation.
+//!
+//! The cycle time of a strongly connected marked graph is the reciprocal of
+//! its minimum cycle mean — the minimum over cycles of tokens-per-place
+//! (Section III-B of the paper). Two independent algorithms are provided:
+//!
+//! * [`karp`] — Karp's dynamic program, O(|V||E|), exact rationals. This is
+//!   the algorithm the paper uses to check QS solutions.
+//! * [`lawler`] — Lawler's parametric binary search with Bellman–Ford
+//!   negative-cycle detection, snapped to the exact rational via
+//!   Stern–Brocot best approximation. Used to cross-validate Karp.
+//!
+//! [`minimum_cycle_mean`] is the main entry point: it runs per strongly
+//! connected component and also extracts a *critical cycle* (a cycle whose
+//! mean attains the minimum) through shortest-path potentials and tight
+//! edges.
+
+use crate::error::GraphError;
+use crate::graph::{MarkedGraph, PlaceId, TransitionId};
+use crate::ratio::Ratio;
+use crate::scc::SccDecomposition;
+
+/// Result of a minimum-cycle-mean analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McmResult {
+    /// The minimum cycle mean over all cycles of the graph.
+    pub mean: Ratio,
+    /// One cycle attaining the minimum, as a closed walk of places.
+    pub critical_cycle: Vec<PlaceId>,
+}
+
+/// A view of one SCC as a local edge list, shared by the algorithms below.
+struct LocalScc {
+    /// Global transition id per local vertex.
+    vertices: Vec<TransitionId>,
+    /// `edges[v]` = outgoing internal edges of local vertex `v` as
+    /// `(local_target, token_weight, place)`.
+    edges: Vec<Vec<(usize, i64, PlaceId)>>,
+    edge_count: usize,
+}
+
+impl LocalScc {
+    fn build(graph: &MarkedGraph, scc: &SccDecomposition, comp: usize) -> LocalScc {
+        let vertices: Vec<TransitionId> = scc.members(comp).to_vec();
+        let mut local_of = std::collections::HashMap::new();
+        for (i, &t) in vertices.iter().enumerate() {
+            local_of.insert(t, i);
+        }
+        let mut edges = vec![Vec::new(); vertices.len()];
+        let mut edge_count = 0;
+        for (i, &t) in vertices.iter().enumerate() {
+            for &p in graph.outputs(t) {
+                if let Some(&j) = local_of.get(&graph.target(p)) {
+                    edges[i].push((j, graph.tokens(p) as i64, p));
+                    edge_count += 1;
+                }
+            }
+        }
+        LocalScc {
+            vertices,
+            edges,
+            edge_count,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.vertices.len()
+    }
+}
+
+/// Computes the minimum cycle mean and one critical cycle of `graph`.
+///
+/// The mean of a cycle is its token count divided by its place count
+/// (unit transition delays, as in the paper's synchronous setting).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Acyclic`] if the graph has no cycles and
+/// [`GraphError::Empty`] if it has no transitions.
+///
+/// # Panics
+///
+/// Panics if any transition has a delay other than 1; general delays are
+/// supported by [`MarkedGraph::cycle_mean`] but not by the MCM solvers.
+///
+/// # Examples
+///
+/// The critical cycle of the doubled Fig. 2 graph has mean 2/3 (paper,
+/// Fig. 5); a minimal version:
+///
+/// ```
+/// use marked_graph::{mcm::minimum_cycle_mean, MarkedGraph, Ratio};
+///
+/// let mut g = MarkedGraph::new();
+/// let a = g.add_transition("A");
+/// let rs = g.add_transition("rs");
+/// let b = g.add_transition("B");
+/// g.add_place(a, rs, 0); // relay station emits tau first: no token
+/// g.add_place(rs, b, 1); // shell B fires in the first period
+/// g.add_place(b, a, 1); // backedge with one queue slot
+/// let r = minimum_cycle_mean(&g)?;
+/// assert_eq!(r.mean, Ratio::new(2, 3));
+/// assert_eq!(r.critical_cycle.len(), 3);
+/// # Ok::<(), marked_graph::GraphError>(())
+/// ```
+pub fn minimum_cycle_mean(graph: &MarkedGraph) -> Result<McmResult, GraphError> {
+    if graph.is_empty() {
+        return Err(GraphError::Empty);
+    }
+    for t in graph.transition_ids() {
+        assert_eq!(graph.delay(t), 1, "MCM solvers require unit delays");
+    }
+    let scc = SccDecomposition::compute(graph);
+    let mut best: Option<(Ratio, usize)> = None;
+    for c in scc.component_ids() {
+        if !scc.is_cyclic(graph, c) {
+            continue;
+        }
+        let local = LocalScc::build(graph, &scc, c);
+        let mean = karp_local(&local).expect("cyclic SCC has a cycle");
+        if best.is_none_or(|(m, _)| mean < m) {
+            best = Some((mean, c));
+        }
+    }
+    let (mean, comp) = best.ok_or(GraphError::Acyclic)?;
+    let local = LocalScc::build(graph, &scc, comp);
+    let critical_cycle = critical_cycle_local(&local, mean);
+    Ok(McmResult {
+        mean,
+        critical_cycle,
+    })
+}
+
+/// Karp's minimum cycle mean over the whole graph (minimum across SCCs).
+///
+/// Returns `None` for acyclic graphs.
+///
+/// # Examples
+///
+/// ```
+/// use marked_graph::{mcm::karp, MarkedGraph, Ratio};
+///
+/// let mut g = MarkedGraph::new();
+/// let a = g.add_transition("A");
+/// let b = g.add_transition("B");
+/// g.add_place(a, b, 1);
+/// g.add_place(b, a, 0);
+/// assert_eq!(karp(&g), Some(Ratio::new(1, 2)));
+/// ```
+pub fn karp(graph: &MarkedGraph) -> Option<Ratio> {
+    let scc = SccDecomposition::compute(graph);
+    let mut best: Option<Ratio> = None;
+    for c in scc.component_ids() {
+        if !scc.is_cyclic(graph, c) {
+            continue;
+        }
+        let local = LocalScc::build(graph, &scc, c);
+        let mean = karp_local(&local).expect("cyclic SCC has a cycle");
+        best = Some(best.map_or(mean, |m: Ratio| m.min(mean)));
+    }
+    best
+}
+
+/// Karp's dynamic program on one SCC.
+///
+/// `D_k(v)` = minimum token weight of a walk with exactly `k` edges from an
+/// arbitrary root to `v`; the minimum cycle mean is
+/// `min_v max_k (D_n(v) - D_k(v)) / (n - k)`.
+fn karp_local(local: &LocalScc) -> Option<Ratio> {
+    let n = local.n();
+    if local.edge_count == 0 {
+        return None;
+    }
+    // dp[k][v]; use i64 with a None sentinel.
+    let mut dp: Vec<Vec<Option<i64>>> = vec![vec![None; n]; n + 1];
+    dp[0][0] = Some(0);
+    for k in 0..n {
+        for v in 0..n {
+            let Some(dv) = dp[k][v] else { continue };
+            for &(w, weight, _) in &local.edges[v] {
+                let cand = dv + weight;
+                if dp[k + 1][w].is_none_or(|cur| cand < cur) {
+                    dp[k + 1][w] = Some(cand);
+                }
+            }
+        }
+    }
+    let mut best: Option<Ratio> = None;
+    for v in 0..n {
+        let Some(dn) = dp[n][v] else { continue };
+        let mut worst: Option<Ratio> = None;
+        for (k, row) in dp.iter().enumerate().take(n) {
+            let Some(dk) = row[v] else { continue };
+            let mean = Ratio::new(dn - dk, (n - k) as i64);
+            worst = Some(worst.map_or(mean, |m: Ratio| m.max(mean)));
+        }
+        if let Some(w) = worst {
+            best = Some(best.map_or(w, |b: Ratio| b.min(w)));
+        }
+    }
+    best
+}
+
+/// Extracts a cycle whose mean equals `mean` from one SCC.
+///
+/// Uses shortest-path potentials under reduced weights
+/// `r(e) = den*w(e) - num` (all cycles then have nonnegative total, critical
+/// cycles exactly zero); every edge of a critical cycle is *tight*
+/// (`phi(u) + r(e) == phi(v)`), so any cycle in the tight subgraph is
+/// critical.
+fn critical_cycle_local(local: &LocalScc, mean: Ratio) -> Vec<PlaceId> {
+    let n = local.n();
+    let num = mean.numer();
+    let den = mean.denom();
+    let reduced = |w: i64| den * w - num;
+
+    // Bellman–Ford from vertex 0 (SCC ⇒ everything reachable).
+    let mut phi = vec![i64::MAX; n];
+    phi[0] = 0;
+    for _ in 0..n {
+        let mut changed = false;
+        for v in 0..n {
+            if phi[v] == i64::MAX {
+                continue;
+            }
+            for &(w, weight, _) in &local.edges[v] {
+                let cand = phi[v] + reduced(weight);
+                if cand < phi[w] {
+                    phi[w] = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // DFS for a cycle within tight edges.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    // (vertex, edge index) path for reconstruction.
+    let mut path: Vec<(usize, usize)> = Vec::new();
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if color[root] != Color::White {
+            continue;
+        }
+        stack.push((root, 0));
+        color[root] = Color::Gray;
+        path.clear();
+        while let Some(&(v, next)) = stack.last() {
+            if next >= local.edges[v].len() {
+                color[v] = Color::Black;
+                stack.pop();
+                path.pop();
+                continue;
+            }
+            stack.last_mut().expect("stack nonempty").1 += 1;
+            let (w, weight, _place) = local.edges[v][next];
+            if phi[v] + reduced(weight) != phi[w] {
+                continue; // not tight
+            }
+            match color[w] {
+                Color::White => {
+                    color[w] = Color::Gray;
+                    path.push((v, next));
+                    stack.push((w, 0));
+                }
+                Color::Gray => {
+                    // Cycle: w ... v -> w. Collect places from the path suffix
+                    // starting at w, then the closing edge. `path[i]` is the
+                    // edge from the i-th to the (i+1)-th vertex of the DFS
+                    // chain held in `stack`.
+                    let chain: Vec<usize> = stack.iter().map(|&(x, _)| x).collect();
+                    let start = chain
+                        .iter()
+                        .position(|&x| x == w)
+                        .expect("gray vertex lies on the DFS chain");
+                    let mut places: Vec<PlaceId> = path[start..]
+                        .iter()
+                        .map(|&(u, ei)| local.edges[u][ei].2)
+                        .collect();
+                    places.push(local.edges[v][next].2);
+                    return places;
+                }
+                Color::Black => {}
+            }
+        }
+    }
+    unreachable!("a critical cycle must exist in the tight subgraph")
+}
+
+/// Lawler's algorithm: exact minimum cycle mean via parametric search.
+///
+/// Binary-searches the cycle-mean value, testing each guess `λ` with a
+/// Bellman–Ford negative-cycle detection under reduced weights, then snaps
+/// the bracketing interval to the unique rational with denominator ≤ |V|
+/// via the Stern–Brocot tree. Returns `None` for acyclic graphs.
+///
+/// This is an independent cross-check of [`karp`]; the two must agree on
+/// every input.
+///
+/// # Examples
+///
+/// ```
+/// use marked_graph::{mcm::{karp, lawler}, MarkedGraph};
+///
+/// let mut g = MarkedGraph::new();
+/// let a = g.add_transition("A");
+/// let b = g.add_transition("B");
+/// let c = g.add_transition("C");
+/// g.add_place(a, b, 1);
+/// g.add_place(b, c, 1);
+/// g.add_place(c, a, 0);
+/// assert_eq!(lawler(&g), karp(&g));
+/// ```
+pub fn lawler(graph: &MarkedGraph) -> Option<Ratio> {
+    let scc = SccDecomposition::compute(graph);
+    let mut best: Option<Ratio> = None;
+    for c in scc.component_ids() {
+        if !scc.is_cyclic(graph, c) {
+            continue;
+        }
+        let local = LocalScc::build(graph, &scc, c);
+        let mean = lawler_local(&local);
+        best = Some(best.map_or(mean, |m: Ratio| m.min(mean)));
+    }
+    best
+}
+
+/// Whether some cycle has mean strictly below `lambda` (num/den).
+fn has_cycle_below(local: &LocalScc, num: i64, den: i64) -> bool {
+    // Cycle mean < num/den  ⟺  Σ(den*w - num) < 0 over the cycle.
+    let n = local.n();
+    let reduced = |w: i64| den * w - num;
+    let mut dist = vec![0i64; n];
+    for _ in 0..n {
+        let mut changed = false;
+        for v in 0..n {
+            for &(w, weight, _) in &local.edges[v] {
+                let cand = dist[v].saturating_add(reduced(weight));
+                if cand < dist[w] {
+                    dist[w] = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+    // Still relaxing after n rounds ⇒ negative cycle.
+    true
+}
+
+fn lawler_local(local: &LocalScc) -> Ratio {
+    let n = local.n() as i64;
+    // Stern–Brocot walk. Invariant: lo = a/b is feasible ("no cycle with
+    // mean below a/b", i.e. λ* ≥ a/b) and hi = c/d is infeasible (λ* < c/d),
+    // with lo/hi Farey neighbors (c*b - a*d = 1). Because an elementary
+    // cycle has at most n edges, λ* has denominator ≤ n; once the mediant's
+    // denominator exceeds n no rational strictly between lo and hi can be
+    // λ*, so λ* = lo exactly.
+    //
+    // The canonical root bracket is (0/1, 1/0): 0 is always feasible and
+    // "infinity" always infeasible. The walk is unary in the integer part,
+    // which is fine for LIS graphs where token weights per edge are small.
+    let (mut a, mut b, mut c, mut d) = (0i64, 1i64, 1i64, 0i64);
+    loop {
+        let (mn, md) = (a + c, b + d);
+        if md > n && d != 0 {
+            // lo is the best feasible rational with denominator ≤ n.
+            return Ratio::new(a, b);
+        }
+        if has_cycle_below(local, mn, md) {
+            // λ* < mediant: tighten hi.
+            c = mn;
+            d = md;
+        } else {
+            // λ* ≥ mediant: raise lo.
+            a = mn;
+            b = md;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(tokens: &[u64]) -> MarkedGraph {
+        let mut g = MarkedGraph::new();
+        let ts: Vec<_> = (0..tokens.len())
+            .map(|i| g.add_transition(format!("t{i}")))
+            .collect();
+        for i in 0..tokens.len() {
+            g.add_place(ts[i], ts[(i + 1) % ts.len()], tokens[i]);
+        }
+        g
+    }
+
+    #[test]
+    fn ring_mean() {
+        let g = ring(&[1, 0, 1, 0, 0, 1]);
+        let r = minimum_cycle_mean(&g).unwrap();
+        assert_eq!(r.mean, Ratio::new(3, 6));
+        assert_eq!(r.critical_cycle.len(), 6);
+        assert_eq!(g.cycle_mean(&r.critical_cycle), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn two_nested_cycles_min_wins() {
+        // Outer ring of 4 places with 3 tokens (mean 3/4) plus an inner chord
+        // creating a 2-place cycle with 1 token (mean 1/2).
+        let mut g = MarkedGraph::new();
+        let ts: Vec<_> = (0..4).map(|i| g.add_transition(format!("t{i}"))).collect();
+        g.add_place(ts[0], ts[1], 1);
+        g.add_place(ts[1], ts[2], 1);
+        g.add_place(ts[2], ts[3], 1);
+        g.add_place(ts[3], ts[0], 0);
+        g.add_place(ts[1], ts[0], 0); // chord: cycle t0->t1->t0 mean 1/2
+        let r = minimum_cycle_mean(&g).unwrap();
+        assert_eq!(r.mean, Ratio::new(1, 2));
+        assert_eq!(g.cycle_mean(&r.critical_cycle), Ratio::new(1, 2));
+        assert_eq!(r.critical_cycle.len(), 2);
+    }
+
+    #[test]
+    fn acyclic_graph_errors() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        g.add_place(a, b, 1);
+        assert_eq!(minimum_cycle_mean(&g).unwrap_err(), GraphError::Acyclic);
+        assert_eq!(karp(&g), None);
+        assert_eq!(lawler(&g), None);
+    }
+
+    #[test]
+    fn empty_graph_errors() {
+        let g = MarkedGraph::new();
+        assert_eq!(minimum_cycle_mean(&g).unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        g.add_place(a, a, 2);
+        let r = minimum_cycle_mean(&g).unwrap();
+        assert_eq!(r.mean, Ratio::from_integer(2));
+        assert_eq!(r.critical_cycle.len(), 1);
+    }
+
+    #[test]
+    fn zero_token_cycle_gives_zero_mean() {
+        let g = ring(&[0, 0, 0]);
+        assert_eq!(minimum_cycle_mean(&g).unwrap().mean, Ratio::ZERO);
+        assert_eq!(lawler(&g), Some(Ratio::ZERO));
+    }
+
+    #[test]
+    fn multiple_sccs_take_global_min() {
+        // SCC 1: ring mean 1/2. SCC 2: ring mean 1/3. Connected by a bridge.
+        let mut g = MarkedGraph::new();
+        let a0 = g.add_transition("a0");
+        let a1 = g.add_transition("a1");
+        g.add_place(a0, a1, 1);
+        g.add_place(a1, a0, 0);
+        let b0 = g.add_transition("b0");
+        let b1 = g.add_transition("b1");
+        let b2 = g.add_transition("b2");
+        g.add_place(b0, b1, 1);
+        g.add_place(b1, b2, 0);
+        g.add_place(b2, b0, 0);
+        g.add_place(a1, b0, 5);
+        let r = minimum_cycle_mean(&g).unwrap();
+        assert_eq!(r.mean, Ratio::new(1, 3));
+        assert_eq!(karp(&g), Some(Ratio::new(1, 3)));
+        assert_eq!(lawler(&g), Some(Ratio::new(1, 3)));
+    }
+
+    #[test]
+    fn karp_and_lawler_agree_on_paper_fig5() {
+        // Fig. 5: A -> rs -> B with backedges, q = 1. Forward-edge tokens
+        // follow the paper's Fig. 3 convention: a place holds one token iff
+        // its *target* is a shell (the shell fires in the first period); a
+        // relay station's incoming place is empty (it emits tau first).
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let rs = g.add_transition("rs");
+        let b = g.add_transition("B");
+        g.add_place(a, rs, 0); // rs emits tau in the first period
+        g.add_place(rs, b, 1); // B fires in the first period
+        g.add_place(a, b, 1); // lower channel
+        g.add_place(rs, a, 2); // backedge: rs has 2 slots
+        g.add_place(b, rs, 1); // backedge: B queue q=1
+        g.add_place(b, a, 1); // backedge: B queue q=1
+        let m = minimum_cycle_mean(&g).unwrap();
+        // Critical cycle {A, rs, B, A}: 3 places, 2 tokens.
+        assert_eq!(m.mean, Ratio::new(2, 3));
+        assert_eq!(lawler(&g), Some(Ratio::new(2, 3)));
+        assert_eq!(g.cycle_mean(&m.critical_cycle), Ratio::new(2, 3));
+        assert_eq!(m.critical_cycle.len(), 3);
+        // Fig. 6: enlarging B's lower-channel queue to 2 restores mean >= 1.
+        let back_lower = g.place_between(b, a).unwrap();
+        g.set_tokens(back_lower, 2);
+        assert!(minimum_cycle_mean(&g).unwrap().mean >= Ratio::ONE);
+    }
+
+    #[test]
+    fn parallel_edges_pick_lighter() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        g.add_place(a, b, 5);
+        g.add_place(a, b, 1);
+        g.add_place(b, a, 0);
+        let r = minimum_cycle_mean(&g).unwrap();
+        assert_eq!(r.mean, Ratio::new(1, 2));
+        assert_eq!(lawler(&g), Some(Ratio::new(1, 2)));
+    }
+
+    #[test]
+    fn mean_larger_than_one() {
+        let g = ring(&[5, 4]);
+        assert_eq!(karp(&g), Some(Ratio::new(9, 2)));
+        assert_eq!(lawler(&g), Some(Ratio::new(9, 2)));
+    }
+
+    #[test]
+    fn random_cross_validation() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..60 {
+            let n = rng.gen_range(2..12);
+            let mut g = MarkedGraph::new();
+            let ts: Vec<_> = (0..n).map(|i| g.add_transition(format!("t{i}"))).collect();
+            // Ring to guarantee a cycle, plus random chords.
+            for i in 0..n {
+                g.add_place(ts[i], ts[(i + 1) % n], rng.gen_range(0..4));
+            }
+            for _ in 0..rng.gen_range(0..2 * n) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                g.add_place(ts[u], ts[v], rng.gen_range(0..4));
+            }
+            let k = karp(&g);
+            let l = lawler(&g);
+            assert_eq!(
+                k, l,
+                "trial {trial} mismatch: karp={k:?} lawler={l:?}\n{g:?}"
+            );
+            // The critical cycle's mean must equal the reported minimum.
+            let r = minimum_cycle_mean(&g).unwrap();
+            assert_eq!(g.cycle_mean(&r.critical_cycle), r.mean, "trial {trial}");
+            assert_eq!(Some(r.mean), k, "trial {trial}");
+        }
+    }
+}

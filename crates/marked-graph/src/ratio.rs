@@ -1,0 +1,343 @@
+//! Exact rational arithmetic for cycle means and throughput values.
+//!
+//! Cycle means in a marked graph are ratios of token counts to place counts,
+//! so all throughput quantities in this workspace are exact rationals. Using
+//! floating point here would make equality tests against paper values (5/6,
+//! 3/4, 5/7, ...) fragile; [`Ratio`] keeps everything exact and `Ord`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number with an always-positive denominator.
+///
+/// The representation is kept reduced (gcd of numerator and denominator is 1)
+/// and the denominator is strictly positive, so `PartialEq`/`Hash` agree with
+/// mathematical equality.
+///
+/// # Examples
+///
+/// ```
+/// use marked_graph::Ratio;
+///
+/// let five_sixths = Ratio::new(5, 6);
+/// assert!(five_sixths < Ratio::ONE);
+/// assert_eq!(five_sixths + Ratio::new(1, 6), Ratio::ONE);
+/// assert_eq!(Ratio::new(10, 12), five_sixths);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i64,
+    den: i64,
+}
+
+impl Ratio {
+    /// The rational number 0.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// The rational number 1.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates a new ratio `num / den`, reduced to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use marked_graph::Ratio;
+    /// assert_eq!(Ratio::new(2, 3), Ratio::new(4, 6));
+    /// assert_eq!(Ratio::new(1, -2), Ratio::new(-1, 2));
+    /// ```
+    pub fn new(num: i64, den: i64) -> Ratio {
+        assert!(den != 0, "ratio denominator must be nonzero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs()) as i64;
+        Ratio {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Creates the integer ratio `n / 1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use marked_graph::Ratio;
+    /// assert_eq!(Ratio::from_integer(3), Ratio::new(6, 2));
+    /// ```
+    pub fn from_integer(n: i64) -> Ratio {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// The numerator of the reduced fraction. Carries the sign.
+    pub fn numer(&self) -> i64 {
+        self.num
+    }
+
+    /// The denominator of the reduced fraction. Always positive.
+    pub fn denom(&self) -> i64 {
+        self.den
+    }
+
+    /// Converts to the nearest `f64` (for reporting only; analysis stays exact).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use marked_graph::Ratio;
+    /// assert!((Ratio::new(2, 3).to_f64() - 0.6666).abs() < 1e-3);
+    /// ```
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    pub fn min(self, other: Ratio) -> Ratio {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of `self` and `other`.
+    pub fn max(self, other: Ratio) -> Ratio {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use marked_graph::Ratio;
+    /// assert_eq!(Ratio::new(2, 3).recip(), Ratio::new(3, 2));
+    /// ```
+    pub fn recip(self) -> Ratio {
+        assert!(self.num != 0, "cannot invert zero");
+        Ratio::new(self.den, self.num)
+    }
+
+    /// Smallest integer `n` with `n >= self`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use marked_graph::Ratio;
+    /// assert_eq!(Ratio::new(7, 2).ceil(), 4);
+    /// assert_eq!(Ratio::new(-7, 2).ceil(), -3);
+    /// assert_eq!(Ratio::new(4, 2).ceil(), 2);
+    /// ```
+    pub fn ceil(self) -> i64 {
+        self.num.div_euclid(self.den) + i64::from(self.num.rem_euclid(self.den) != 0)
+    }
+
+    /// Largest integer `n` with `n <= self`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use marked_graph::Ratio;
+    /// assert_eq!(Ratio::new(7, 2).floor(), 3);
+    /// assert_eq!(Ratio::new(-7, 2).floor(), -4);
+    /// ```
+    pub fn floor(self) -> i64 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Whether the ratio is an integer value.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Ratio {
+        Ratio::ZERO
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(n: i64) -> Ratio {
+        Ratio::from_integer(n)
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        let lhs = self.num as i128 * other.den as i128;
+        let rhs = other.num as i128 * self.den as i128;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        let num = (self.num as i128 * rhs.den as i128 + rhs.num as i128 * self.den as i128)
+            .try_into()
+            .expect("ratio addition overflow");
+        let den = (self.den as i128 * rhs.den as i128)
+            .try_into()
+            .expect("ratio addition overflow");
+        Ratio::new(num, den)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd(self.num.unsigned_abs(), rhs.den.unsigned_abs()) as i64;
+        let g2 = gcd(rhs.num.unsigned_abs(), self.den.unsigned_abs()) as i64;
+        Ratio::new(
+            (self.num / g1) * (rhs.num / g2),
+            (self.den / g2) * (rhs.den / g1),
+        )
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division IS multiplication by the reciprocal
+    fn div(self, rhs: Ratio) -> Ratio {
+        self * rhs.recip()
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_and_sign_normalization() {
+        assert_eq!(Ratio::new(4, 6), Ratio::new(2, 3));
+        assert_eq!(Ratio::new(-4, -6), Ratio::new(2, 3));
+        assert_eq!(Ratio::new(4, -6), Ratio::new(-2, 3));
+        assert_eq!(Ratio::new(0, -5), Ratio::ZERO);
+        assert_eq!(Ratio::new(0, 7).denom(), 1);
+    }
+
+    #[test]
+    fn ordering_is_mathematical() {
+        assert!(Ratio::new(2, 3) < Ratio::new(3, 4));
+        assert!(Ratio::new(5, 6) > Ratio::new(3, 4));
+        assert!(Ratio::new(-1, 2) < Ratio::ZERO);
+        assert_eq!(Ratio::new(1, 2).cmp(&Ratio::new(2, 4)), Ordering::Equal);
+        assert_eq!(Ratio::new(5, 7).min(Ratio::new(4, 6)), Ratio::new(2, 3));
+        assert_eq!(Ratio::new(5, 7).max(Ratio::new(4, 6)), Ratio::new(5, 7));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Ratio::new(1, 2) + Ratio::new(1, 3), Ratio::new(5, 6));
+        assert_eq!(Ratio::new(1, 2) - Ratio::new(1, 3), Ratio::new(1, 6));
+        assert_eq!(Ratio::new(2, 3) * Ratio::new(3, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(2, 3) / Ratio::new(4, 3), Ratio::new(1, 2));
+        assert_eq!(-Ratio::new(2, 3), Ratio::new(-2, 3));
+    }
+
+    #[test]
+    fn ceil_floor() {
+        assert_eq!(Ratio::new(5, 6).ceil(), 1);
+        assert_eq!(Ratio::new(5, 6).floor(), 0);
+        assert_eq!(Ratio::new(6, 3).ceil(), 2);
+        assert_eq!(Ratio::new(6, 3).floor(), 2);
+        assert_eq!(Ratio::new(-5, 6).ceil(), 0);
+        assert_eq!(Ratio::new(-5, 6).floor(), -1);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Ratio::new(5, 6).to_string(), "5/6");
+        assert_eq!(Ratio::from_integer(3).to_string(), "3");
+        assert_eq!(format!("{:?}", Ratio::ONE), "1/1");
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be nonzero")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot invert zero")]
+    fn recip_zero_panics() {
+        let _ = Ratio::ZERO.recip();
+    }
+
+    #[test]
+    fn paper_values_are_representable() {
+        // Values that appear throughout the paper.
+        for (n, d, f) in [
+            (5i64, 6i64, 0.8333),
+            (3, 4, 0.75),
+            (2, 3, 0.6667),
+            (5, 7, 0.7143),
+        ] {
+            let r = Ratio::new(n, d);
+            assert!((r.to_f64() - f).abs() < 1e-3);
+            assert!(r < Ratio::ONE);
+        }
+    }
+}

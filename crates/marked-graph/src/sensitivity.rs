@@ -1,0 +1,306 @@
+//! Bottleneck and sensitivity analysis.
+//!
+//! Once the minimum cycle mean is known, a designer wants to know *where*
+//! to spend buffering: which places lie on critical cycles, and which
+//! single-token additions actually raise the throughput. This module
+//! answers both questions exactly, by re-running Karp's algorithm under
+//! hypothetical token additions — O(|P|) MCM computations, cheap at LIS
+//! scale and free of the false positives a purely structural analysis
+//! would give (a place can lie on *a* critical cycle without being on
+//! *all* of them).
+
+use crate::graph::{MarkedGraph, PlaceId};
+use crate::mcm;
+use crate::ratio::Ratio;
+
+/// The sensitivity of the minimum cycle mean to one extra token on a place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaceSensitivity {
+    /// The place examined.
+    pub place: PlaceId,
+    /// The minimum cycle mean after adding one token there.
+    pub mean_after: Ratio,
+    /// Whether the addition strictly raises the minimum cycle mean — i.e.
+    /// the place lies on **every** minimum-mean cycle.
+    pub improves: bool,
+}
+
+/// Computes, for every place, the minimum cycle mean after one extra token
+/// on that place.
+///
+/// Returns an empty vector for acyclic graphs (nothing limits throughput).
+///
+/// # Examples
+///
+/// In a single ring every place is a bottleneck; with two token-disjoint
+/// critical cycles no single place is:
+///
+/// ```
+/// use marked_graph::{sensitivity::token_sensitivity, MarkedGraph};
+///
+/// let mut g = MarkedGraph::new();
+/// let a = g.add_transition("A");
+/// let b = g.add_transition("B");
+/// g.add_place(a, b, 1);
+/// g.add_place(b, a, 0);
+/// let report = token_sensitivity(&g);
+/// assert!(report.iter().all(|s| s.improves));
+/// ```
+pub fn token_sensitivity(graph: &MarkedGraph) -> Vec<PlaceSensitivity> {
+    let Some(base) = mcm::karp(graph) else {
+        return Vec::new();
+    };
+    let mut scratch = graph.clone();
+    graph
+        .place_ids()
+        .map(|p| {
+            scratch.add_tokens(p, 1);
+            let mean_after = mcm::karp(&scratch).expect("graph still cyclic");
+            scratch.set_tokens(p, graph.tokens(p));
+            PlaceSensitivity {
+                place: p,
+                mean_after,
+                improves: mean_after > base,
+            }
+        })
+        .collect()
+}
+
+/// The places whose single-token increment strictly raises the minimum
+/// cycle mean — the true bottlenecks (places on *every* critical cycle).
+///
+/// # Examples
+///
+/// ```
+/// use marked_graph::{sensitivity::bottleneck_places, MarkedGraph};
+///
+/// // Two rings sharing the place (a -> b): only the shared place is a
+/// // bottleneck when both rings are equally critical.
+/// let mut g = MarkedGraph::new();
+/// let a = g.add_transition("A");
+/// let b = g.add_transition("B");
+/// let c = g.add_transition("C");
+/// let d = g.add_transition("D");
+/// let shared = g.add_place(a, b, 1);
+/// g.add_place(b, c, 0);
+/// g.add_place(c, a, 0);
+/// g.add_place(b, d, 0);
+/// g.add_place(d, a, 0);
+/// assert_eq!(bottleneck_places(&g), vec![shared]);
+/// ```
+pub fn bottleneck_places(graph: &MarkedGraph) -> Vec<PlaceId> {
+    token_sensitivity(graph)
+        .into_iter()
+        .filter(|s| s.improves)
+        .map(|s| s.place)
+        .collect()
+}
+
+/// All places lying on at least one minimum-mean cycle ("critical places").
+///
+/// A place `p` is critical iff some cycle through `p` has mean equal to the
+/// minimum. The exact test runs per place: under reduced weights
+/// `r(e) = den·w(e) − num`, every cycle has nonnegative total and the
+/// critical ones total zero; a zero-total closed walk through `p`
+/// decomposes into elementary cycles that must each be tight, one of which
+/// contains `p`. So `p` is critical iff the shortest reduced-weight path
+/// from `target(p)` back to `source(p)` plus `r(p)` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use marked_graph::{sensitivity::critical_places, MarkedGraph};
+///
+/// let mut g = MarkedGraph::new();
+/// let a = g.add_transition("A");
+/// let b = g.add_transition("B");
+/// let p1 = g.add_place(a, b, 1);
+/// let p2 = g.add_place(b, a, 0);
+/// // A second, slack ring through c is not critical.
+/// let c = g.add_transition("C");
+/// g.add_place(a, c, 5);
+/// g.add_place(c, a, 5);
+/// assert_eq!(critical_places(&g), vec![p1, p2]);
+/// ```
+pub fn critical_places(graph: &MarkedGraph) -> Vec<PlaceId> {
+    let Some(base) = mcm::karp(graph) else {
+        return Vec::new();
+    };
+    graph
+        .place_ids()
+        .filter(|&p| cycle_through_place_with_mean(graph, p, base))
+        .collect()
+}
+
+/// Whether some cycle through `p` has mean exactly `mean`. Exact, via
+/// shortest-path potentials on reduced weights restricted to p's SCC.
+fn cycle_through_place_with_mean(graph: &MarkedGraph, p: PlaceId, mean: Ratio) -> bool {
+    use crate::scc::SccDecomposition;
+    let scc = SccDecomposition::compute(graph);
+    let s = scc.component_of(graph.source(p));
+    if s != scc.component_of(graph.target(p)) {
+        return false;
+    }
+    // Reduced weight r(e) = den*w - num >= 0 around every cycle; a cycle
+    // through p with mean == `mean` exists iff the shortest reduced-weight
+    // path from target(p) back to source(p) within the SCC equals -r(p)...
+    // i.e. dist(target -> source) + r(p) == 0.
+    let members: Vec<_> = scc.members(s).to_vec();
+    let index: std::collections::HashMap<_, _> =
+        members.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let n = members.len();
+    let num = mean.numer();
+    let den = mean.denom();
+    let reduced = |w: u64| den * w as i64 - num;
+    let mut dist = vec![i64::MAX; n];
+    dist[index[&graph.target(p)]] = 0;
+    for _ in 0..n {
+        let mut changed = false;
+        for (i, &t) in members.iter().enumerate() {
+            if dist[i] == i64::MAX {
+                continue;
+            }
+            for &out in graph.outputs(t) {
+                let Some(&j) = index.get(&graph.target(out)) else {
+                    continue;
+                };
+                let cand = dist[i] + reduced(graph.tokens(out));
+                if cand < dist[j] {
+                    dist[j] = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let back = dist[index[&graph.source(p)]];
+    back != i64::MAX && back + reduced(graph.tokens(p)) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_has_no_bottlenecks() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        g.add_place(a, b, 1);
+        assert!(token_sensitivity(&g).is_empty());
+        assert!(bottleneck_places(&g).is_empty());
+        assert!(critical_places(&g).is_empty());
+    }
+
+    #[test]
+    fn single_ring_every_place_critical_and_bottleneck() {
+        let mut g = MarkedGraph::new();
+        let ts: Vec<_> = (0..4).map(|i| g.add_transition(format!("t{i}"))).collect();
+        for i in 0..4 {
+            g.add_place(ts[i], ts[(i + 1) % 4], u64::from(i == 0));
+        }
+        assert_eq!(bottleneck_places(&g).len(), 4);
+        assert_eq!(critical_places(&g).len(), 4);
+    }
+
+    #[test]
+    fn slack_ring_is_not_critical() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        let c = g.add_transition("C");
+        let p1 = g.add_place(a, b, 0);
+        let p2 = g.add_place(b, a, 1);
+        let p3 = g.add_place(a, c, 3);
+        let p4 = g.add_place(c, a, 3);
+        let crit = critical_places(&g);
+        assert!(crit.contains(&p1));
+        assert!(crit.contains(&p2));
+        assert!(!crit.contains(&p3));
+        assert!(!crit.contains(&p4));
+    }
+
+    #[test]
+    fn two_disjoint_critical_rings_have_no_bottleneck() {
+        // Both rings at mean 1/2: improving one leaves the other limiting.
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        let c = g.add_transition("C");
+        let d = g.add_transition("D");
+        g.add_place(a, b, 1);
+        g.add_place(b, a, 0);
+        g.add_place(c, d, 1);
+        g.add_place(d, c, 0);
+        assert!(bottleneck_places(&g).is_empty());
+        // ...but every place is critical (on some minimum cycle).
+        assert_eq!(critical_places(&g).len(), 4);
+    }
+
+    #[test]
+    fn shared_place_is_the_only_bottleneck() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        let c = g.add_transition("C");
+        let d = g.add_transition("D");
+        let shared = g.add_place(a, b, 1);
+        g.add_place(b, c, 0);
+        g.add_place(c, a, 0);
+        g.add_place(b, d, 0);
+        g.add_place(d, a, 0);
+        assert_eq!(bottleneck_places(&g), vec![shared]);
+        assert_eq!(critical_places(&g).len(), 5);
+    }
+
+    #[test]
+    fn sensitivity_reports_new_means() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        g.add_place(a, b, 1);
+        g.add_place(b, a, 0);
+        for s in token_sensitivity(&g) {
+            assert_eq!(s.mean_after, Ratio::ONE);
+            assert!(s.improves);
+        }
+    }
+
+    #[test]
+    fn critical_agrees_with_enumeration_on_random_graphs() {
+        use crate::cycles::elementary_cycles;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..8);
+            let mut g = MarkedGraph::new();
+            let ts: Vec<_> = (0..n).map(|i| g.add_transition(format!("t{i}"))).collect();
+            for i in 0..n {
+                g.add_place(ts[i], ts[(i + 1) % n], rng.gen_range(0..3));
+            }
+            for _ in 0..rng.gen_range(0..n) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                g.add_place(ts[u], ts[v], rng.gen_range(0..3));
+            }
+            let base = match mcm::karp(&g) {
+                Some(m) => m,
+                None => continue,
+            };
+            let cycles = elementary_cycles(&g, 100_000).expect("bounded");
+            let mut expected: Vec<PlaceId> = cycles
+                .iter()
+                .filter(|c| g.cycle_mean(c) == base)
+                .flat_map(|c| c.iter().copied())
+                .collect();
+            expected.sort();
+            expected.dedup();
+            let mut got = critical_places(&g);
+            got.sort();
+            assert_eq!(got, expected, "trial {trial}\n{g:?}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Queue sizing (QS) for latency-insensitive systems.
+//!
+//! Backpressure with finite queues can degrade a LIS's maximal sustainable
+//! throughput below the ideal (infinite-queue) value. *Queue sizing* — adding
+//! extra slots to shell input queues, i.e. extra tokens to backedges of the
+//! doubled marked graph — restores it. The paper proves the minimal-token
+//! version NP-complete (reduction from Vertex Cover, Section V) and proposes
+//! the pipeline implemented here (Section VII):
+//!
+//! 1. [`extract_instance`] — enumerate the cycles of `d[G]`, keep the
+//!    *deficient* ones (mean below the ideal MST), and record the shell
+//!    queues each one runs through;
+//! 2. [`TdInstance::from_qs`] — abstract to the Token Deficit problem;
+//! 3. [`simplify`] / [`collapse_sccs`] — the paper's simplification rules
+//!    (subset sets, singleton cycles, SCC contraction);
+//! 4. [`heuristic_solve`] (the paper's polynomial trim-down),
+//!    [`greedy_cover_solve`] (a max-coverage baseline), or [`exact_solve`]
+//!    (binary search + depth-K branch and bound with a wall-clock budget);
+//! 5. [`verify_solution`] — recompute `θ(d[G])` with Karp's algorithm, the
+//!    polynomial certificate of the NP-membership argument.
+//!
+//! [`solve`] runs the whole pipeline on a [`lis_core::LisSystem`].
+//!
+//! # Examples
+//!
+//! ```
+//! use lis_core::figures;
+//! use lis_qs::{solve, verify_solution, Algorithm, QsConfig};
+//!
+//! let (sys, _, _) = figures::fig1();
+//! let report = solve(&sys, Algorithm::Exact, &QsConfig::default())?;
+//! assert_eq!(report.total_extra, 1); // one extra queue slot suffices
+//! assert!(verify_solution(&sys, &report));
+//! # Ok::<(), lis_qs::QsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collapse;
+mod deficit;
+mod error;
+mod exact;
+mod fixed;
+mod greedy;
+mod heuristic;
+mod lp;
+mod solve;
+mod td;
+
+pub use collapse::{collapse_sccs, Collapsed};
+pub use deficit::{
+    cycle_deficit, extract_from_model, extract_instance, DeficientCycle, QsInstance,
+    DEFAULT_CYCLE_LIMIT,
+};
+pub use error::QsError;
+pub use exact::{brute_force_optimum, exact_solve, exact_solve_with, ExactOptions, ExactOutcome};
+pub use fixed::{minimal_uniform_q, sufficient_queue_capacities};
+pub use greedy::greedy_cover_solve;
+pub use heuristic::heuristic_solve;
+pub use lp::{to_lp, to_lp_from_td};
+pub use solve::{apply_solution, solve, verify_solution, Algorithm, QsConfig, QsReport};
+pub use td::{simplify, Simplified, TdInstance, TdSolution};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_traits<T: Send + Sync>() {}
+        assert_traits::<QsError>();
+        assert_traits::<TdInstance>();
+        assert_traits::<QsReport>();
+        assert_traits::<QsInstance>();
+    }
+}

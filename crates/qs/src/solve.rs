@@ -1,0 +1,300 @@
+//! End-to-end queue sizing on a LIS netlist.
+//!
+//! Pipeline: extract deficient cycles from `d[G]` → abstract to a Token
+//! Deficit instance (optionally collapsing SCCs and applying the
+//! simplification rules) → solve (heuristic or exact) → map weights back to
+//! per-channel queue growth → verify with Karp that `θ(d[G]) = θ(G)`.
+
+use std::time::Duration;
+
+use lis_core::{ChannelId, LisSystem};
+use marked_graph::Ratio;
+
+use crate::collapse::collapse_sccs;
+use crate::deficit::{extract_instance, DEFAULT_CYCLE_LIMIT};
+use crate::error::QsError;
+use crate::exact::exact_solve;
+use crate::heuristic::heuristic_solve;
+use crate::td::{simplify, TdInstance, TdSolution};
+
+/// Which solver to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The paper's polynomial heuristic (Section VII-B).
+    Heuristic,
+    /// The paper's exact branch-and-bound with binary search on the budget.
+    Exact,
+}
+
+/// Configuration of the queue-sizing pipeline.
+#[derive(Debug, Clone)]
+pub struct QsConfig {
+    /// Cap on elementary-cycle enumeration.
+    pub cycle_limit: usize,
+    /// Apply the subset/singleton simplification rules before solving.
+    pub simplify: bool,
+    /// Try SCC collapsing (rule 4) before extraction.
+    pub collapse_sccs: bool,
+    /// Wall-clock budget for the exact solver (`None` = run to completion).
+    pub budget: Option<Duration>,
+}
+
+impl Default for QsConfig {
+    fn default() -> QsConfig {
+        QsConfig {
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
+            simplify: true,
+            collapse_sccs: true,
+            budget: None,
+        }
+    }
+}
+
+/// The outcome of queue sizing a system.
+#[derive(Debug, Clone)]
+pub struct QsReport {
+    /// The ideal MST `θ(G)` the solution restores.
+    pub target: Ratio,
+    /// The practical MST `θ(d[G])` before queue sizing.
+    pub practical_before: Ratio,
+    /// Extra queue slots per channel (only channels receiving tokens).
+    pub extra_tokens: Vec<(ChannelId, u64)>,
+    /// Total extra slots spent.
+    pub total_extra: u64,
+    /// Whether the solution is proven optimal (always `false` for the
+    /// heuristic on degraded instances unless trivially zero; `true` for a
+    /// completed exact search).
+    pub optimal: bool,
+    /// Number of deficient cycles in the instance.
+    pub deficient_cycles: usize,
+    /// Total elementary cycles enumerated in `d[G]`.
+    pub total_cycles: usize,
+    /// Search nodes explored by the exact solver (0 for the heuristic).
+    pub nodes: u64,
+}
+
+/// Runs the queue-sizing pipeline on a system.
+///
+/// # Errors
+///
+/// Returns [`QsError::TooManyCycles`] if cycle enumeration exceeds
+/// `cfg.cycle_limit`.
+///
+/// # Examples
+///
+/// The Fig. 5 degradation is fixed by one extra slot on the lower channel:
+///
+/// ```
+/// use lis_core::figures;
+/// use lis_qs::{solve, Algorithm, QsConfig};
+/// use marked_graph::Ratio;
+///
+/// let (sys, _, lower) = figures::fig1();
+/// let report = solve(&sys, Algorithm::Exact, &QsConfig::default())?;
+/// assert_eq!(report.total_extra, 1);
+/// assert_eq!(report.extra_tokens, vec![(lower, 1)]);
+/// assert!(report.optimal);
+/// # Ok::<(), lis_qs::QsError>(())
+/// ```
+pub fn solve(sys: &LisSystem, algo: Algorithm, cfg: &QsConfig) -> Result<QsReport, QsError> {
+    // Rule 4: collapse SCCs when applicable, then solve on the smaller
+    // system and map channels back.
+    if cfg.collapse_sccs {
+        if let Some(col) = collapse_sccs(sys) {
+            if col.system.block_count() < sys.block_count() {
+                let mut sub_cfg = cfg.clone();
+                sub_cfg.collapse_sccs = false;
+                let sub = solve(&col.system, algo, &sub_cfg)?;
+                let extra_tokens = sub
+                    .extra_tokens
+                    .iter()
+                    .map(|&(c, w)| (col.channel_map[c.index()], w))
+                    .collect();
+                // Cycle counts describe the (smaller) collapsed instance —
+                // that reduction is the point of rule 4 — but the throughput
+                // figures must describe the original system: contraction
+                // shortens cycles, changing their means (not their deficits).
+                return Ok(QsReport {
+                    extra_tokens,
+                    practical_before: lis_core::practical_mst(sys),
+                    ..sub
+                });
+            }
+        }
+    }
+
+    let inst = extract_instance(sys, cfg.cycle_limit)?;
+    let (td, labels) = TdInstance::from_qs(&inst);
+
+    let (solution, optimal, nodes) = run_solver(&td, algo, cfg);
+
+    let extra_tokens: Vec<(ChannelId, u64)> = solution
+        .weights
+        .iter()
+        .enumerate()
+        .filter(|&(_, &w)| w > 0)
+        .map(|(i, &w)| (labels[i], w))
+        .collect();
+    Ok(QsReport {
+        target: inst.target,
+        practical_before: inst.practical,
+        total_extra: solution.total(),
+        extra_tokens,
+        optimal,
+        deficient_cycles: inst.cycles.len(),
+        total_cycles: inst.total_cycles,
+        nodes,
+    })
+}
+
+fn run_solver(td: &TdInstance, algo: Algorithm, cfg: &QsConfig) -> (TdSolution, bool, u64) {
+    if cfg.simplify {
+        let simp = simplify(td);
+        let (reduced_sol, optimal, nodes) = match algo {
+            Algorithm::Heuristic => (heuristic_solve(&simp.instance), false, 0),
+            Algorithm::Exact => {
+                let out = exact_solve(&simp.instance, cfg.budget);
+                (out.solution, out.optimal, out.nodes)
+            }
+        };
+        let sol = simp.expand(&reduced_sol);
+        let trivially_optimal = sol.total() == 0;
+        (sol, optimal || trivially_optimal, nodes)
+    } else {
+        match algo {
+            Algorithm::Heuristic => {
+                let sol = heuristic_solve(td);
+                let trivially_optimal = sol.total() == 0;
+                (sol, trivially_optimal, 0)
+            }
+            Algorithm::Exact => {
+                let out = exact_solve(td, cfg.budget);
+                (out.solution, out.optimal, out.nodes)
+            }
+        }
+    }
+}
+
+/// Applies a queue-sizing report to a system, growing the named queues.
+pub fn apply_solution(sys: &mut LisSystem, report: &QsReport) {
+    for &(c, w) in &report.extra_tokens {
+        sys.grow_queue(c, w);
+    }
+}
+
+/// Verifies a report by re-running the static analysis on the resized
+/// system: the practical MST must now equal the target (this is the
+/// polynomial certificate from the paper's NP-membership argument).
+pub fn verify_solution(sys: &LisSystem, report: &QsReport) -> bool {
+    let mut resized = sys.clone();
+    apply_solution(&mut resized, report);
+    lis_core::practical_mst(&resized) == report.target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_core::figures;
+
+    #[test]
+    fn fig1_heuristic_and_exact() {
+        let (sys, _, lower) = figures::fig1();
+        for algo in [Algorithm::Heuristic, Algorithm::Exact] {
+            let report = solve(&sys, algo, &QsConfig::default()).unwrap();
+            assert_eq!(report.total_extra, 1, "{algo:?}");
+            assert_eq!(report.extra_tokens, vec![(lower, 1)]);
+            assert_eq!(report.practical_before, Ratio::new(2, 3));
+            assert_eq!(report.target, Ratio::ONE);
+            assert!(verify_solution(&sys, &report), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn non_degraded_system_needs_nothing() {
+        let (sys, _, _) = figures::fig2_right();
+        let report = solve(&sys, Algorithm::Heuristic, &QsConfig::default()).unwrap();
+        assert_eq!(report.total_extra, 0);
+        assert!(report.optimal);
+        assert!(report.extra_tokens.is_empty());
+        assert!(verify_solution(&sys, &report));
+    }
+
+    #[test]
+    fn fig15_queue_sizing_restores_ideal() {
+        let (sys, _) = figures::fig15();
+        let report = solve(&sys, Algorithm::Exact, &QsConfig::default()).unwrap();
+        assert!(report.optimal);
+        assert!(report.total_extra >= 1);
+        assert!(verify_solution(&sys, &report));
+        let h = solve(&sys, Algorithm::Heuristic, &QsConfig::default()).unwrap();
+        assert!(verify_solution(&sys, &h));
+        assert!(h.total_extra >= report.total_extra);
+    }
+
+    #[test]
+    fn solver_options_agree_on_fig15() {
+        let (sys, _) = figures::fig15();
+        let base = solve(
+            &sys,
+            Algorithm::Exact,
+            &QsConfig {
+                simplify: false,
+                collapse_sccs: false,
+                ..QsConfig::default()
+            },
+        )
+        .unwrap();
+        let simp = solve(&sys, Algorithm::Exact, &QsConfig::default()).unwrap();
+        assert_eq!(base.total_extra, simp.total_extra);
+        assert!(base.optimal && simp.optimal);
+    }
+
+    #[test]
+    fn collapse_path_produces_original_channel_ids() {
+        // Two rings bridged by two reconvergent pipelined paths.
+        let mut sys = LisSystem::new();
+        let a0 = sys.add_block("a0");
+        let a1 = sys.add_block("a1");
+        let b0 = sys.add_block("b0");
+        let b1 = sys.add_block("b1");
+        sys.add_channel(a0, a1);
+        sys.add_channel(a1, a0);
+        sys.add_channel(b0, b1);
+        sys.add_channel(b1, b0);
+        let up = sys.add_channel(a1, b0);
+        let down = sys.add_channel(a0, b1);
+        sys.add_relay_station(up);
+        let report = solve(&sys, Algorithm::Exact, &QsConfig::default()).unwrap();
+        for (c, _) in &report.extra_tokens {
+            assert!(sys.check_channel(*c).is_ok());
+            assert!(*c == up || *c == down || c.index() < 6);
+        }
+        assert!(verify_solution(&sys, &report));
+    }
+
+    #[test]
+    fn collapse_and_direct_agree_on_totals() {
+        let mut sys = LisSystem::new();
+        let a0 = sys.add_block("a0");
+        let a1 = sys.add_block("a1");
+        let b0 = sys.add_block("b0");
+        sys.add_channel(a0, a1);
+        sys.add_channel(a1, a0);
+        let p1 = sys.add_channel(a1, b0);
+        sys.add_channel(a0, b0);
+        sys.add_relay_station(p1);
+        let with = solve(&sys, Algorithm::Exact, &QsConfig::default()).unwrap();
+        let without = solve(
+            &sys,
+            Algorithm::Exact,
+            &QsConfig {
+                collapse_sccs: false,
+                ..QsConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(with.total_extra, without.total_extra);
+        assert!(verify_solution(&sys, &with));
+        assert!(verify_solution(&sys, &without));
+    }
+}

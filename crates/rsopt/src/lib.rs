@@ -1,0 +1,407 @@
+//! Relay-station insertion as a throughput optimization (Section VI).
+//!
+//! Besides fixing wire-delay violations, relay stations can *equalize* the
+//! latencies of reconvergent paths (Casu & Macchiarulo), removing the
+//! stalls that backpressure causes — the Fig. 2 example gains back its full
+//! throughput with one extra station on the lower channel. But the technique
+//! is not universal: the paper's Fig. 15 counterexample has no
+//! relay-station placement that recovers the ideal MST, because every
+//! candidate edge sits on a small cycle whose *ideal* throughput the new
+//! station would ruin. (Finding an optimal placement is NP-complete, like
+//! queue sizing; the proof lives in the authors' technical report.)
+//!
+//! This crate provides three tools:
+//!
+//! * [`equalize_dag`] — exact slack matching for acyclic systems (longest-
+//!   path balancing);
+//! * [`greedy_insertion`] — iterative best-single-station insertion for
+//!   general topologies;
+//! * [`exhaustive_insertion`] — optimal placement by enumeration of all
+//!   multisets up to a budget (small systems; used to *prove* the Fig. 15
+//!   impossibility in tests and to drive the Table V case study).
+//!
+//! # Examples
+//!
+//! ```
+//! use lis_core::figures;
+//! use lis_rsopt::exhaustive_insertion;
+//! use marked_graph::Ratio;
+//!
+//! // Fig. 2: one station on the lower channel restores MST 1.
+//! let (sys, _, lower) = figures::fig1();
+//! let best = exhaustive_insertion(&sys, 1);
+//! assert_eq!(best.practical, Ratio::ONE);
+//! assert_eq!(best.placements, vec![(lower, 1)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod strategy;
+
+pub use strategy::{repair, CostModel, RepairOptions, RepairPlan};
+
+use lis_core::{block_graph, ideal_mst, practical_mst, ChannelId, LisSystem};
+use marked_graph::{Ratio, SccDecomposition};
+
+/// The outcome of a relay-station insertion search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertionResult {
+    /// Extra stations per channel (only channels that received any).
+    pub placements: Vec<(ChannelId, u32)>,
+    /// The practical MST `θ(d[G])` after insertion.
+    pub practical: Ratio,
+    /// The ideal MST `θ(G)` after insertion (insertion can lower it!).
+    pub ideal: Ratio,
+    /// Total stations inserted.
+    pub inserted: u32,
+}
+
+/// Applies an insertion result to a system.
+pub fn apply_insertion(sys: &mut LisSystem, result: &InsertionResult) {
+    for &(c, n) in &result.placements {
+        for _ in 0..n {
+            sys.add_relay_station(c);
+        }
+    }
+}
+
+fn evaluate(sys: &LisSystem, placements: &[(ChannelId, u32)]) -> InsertionResult {
+    let mut s = sys.clone();
+    for &(c, n) in placements {
+        for _ in 0..n {
+            s.add_relay_station(c);
+        }
+    }
+    InsertionResult {
+        placements: placements.iter().copied().filter(|&(_, n)| n > 0).collect(),
+        practical: practical_mst(&s),
+        ideal: ideal_mst(&s),
+        inserted: placements.iter().map(|&(_, n)| n).sum(),
+    }
+}
+
+/// Finds the placement of at most `budget` additional relay stations that
+/// maximizes the practical MST, by exhaustive enumeration of all multisets
+/// over the channels.
+///
+/// Ties are broken toward fewer stations, then toward a higher ideal MST.
+/// The search space has size `C(channels + budget, budget)`; keep `budget`
+/// small.
+pub fn exhaustive_insertion(sys: &LisSystem, budget: u32) -> InsertionResult {
+    let channels: Vec<ChannelId> = sys.channel_ids().collect();
+    let mut best = evaluate(sys, &[]);
+
+    fn rec(
+        sys: &LisSystem,
+        channels: &[ChannelId],
+        idx: usize,
+        left: u32,
+        current: &mut Vec<(ChannelId, u32)>,
+        best: &mut InsertionResult,
+    ) {
+        if idx == channels.len() {
+            let r = evaluate(sys, current);
+            let better = (r.practical, std::cmp::Reverse(r.inserted), r.ideal)
+                > (best.practical, std::cmp::Reverse(best.inserted), best.ideal);
+            if better {
+                *best = r;
+            }
+            return;
+        }
+        for n in 0..=left {
+            if n > 0 {
+                current.push((channels[idx], n));
+            }
+            rec(sys, channels, idx + 1, left - n, current, best);
+            if n > 0 {
+                current.pop();
+            }
+        }
+    }
+
+    let mut current = Vec::new();
+    rec(sys, &channels, 0, budget, &mut current, &mut best);
+    best
+}
+
+/// Greedy insertion: repeatedly add the single station that most improves
+/// the practical MST (never below the current value), up to `budget`
+/// stations. Stops early when no single insertion helps.
+pub fn greedy_insertion(sys: &LisSystem, budget: u32) -> InsertionResult {
+    let mut current = sys.clone();
+    let mut placed: Vec<(ChannelId, u32)> = Vec::new();
+    let mut inserted = 0;
+    while inserted < budget {
+        let now = practical_mst(&current);
+        let mut best: Option<(ChannelId, Ratio)> = None;
+        for c in current.channel_ids() {
+            let mut trial = current.clone();
+            trial.add_relay_station(c);
+            let m = practical_mst(&trial);
+            if m > now && best.is_none_or(|(_, b)| m > b) {
+                best = Some((c, m));
+            }
+        }
+        let Some((c, _)) = best else { break };
+        current.add_relay_station(c);
+        match placed.iter_mut().find(|(pc, _)| *pc == c) {
+            Some((_, n)) => *n += 1,
+            None => placed.push((c, 1)),
+        }
+        inserted += 1;
+    }
+    InsertionResult {
+        placements: placed,
+        practical: practical_mst(&current),
+        ideal: ideal_mst(&current),
+        inserted,
+    }
+}
+
+/// Path equalization for acyclic systems (the Casu–Macchiarulo technique,
+/// in its provably sufficient form): pads channels so that every pair of
+/// reconvergent paths carries the same number of **relay stations**.
+///
+/// Why relay-station counts and not latencies: in the doubled graph of a
+/// DAG, a cycle alternates forward and backward channel traversals; a
+/// forward traversal of a channel with `r` stations contributes
+/// `tokens − places = −r`, a backward traversal `+r` (with any queue
+/// capacity ≥ 1). Assigning each block a potential `φ` — its maximum
+/// station count over incoming paths — and padding every channel to
+/// `φ(to) − φ(from)` stations makes that sum telescope to zero around
+/// *every* cycle, so no cycle mean drops below one and the practical MST is
+/// exactly the ideal MST of 1. (Padding by latency instead fails when
+/// reconvergent paths have unequal block counts.)
+///
+/// Returns `None` if the block graph has directed cycles or self-loops
+/// (padding an edge on a cycle changes the ideal MST, so DAG-style
+/// equalization does not apply — see the Fig. 15 counterexample).
+///
+/// # Examples
+///
+/// ```
+/// use lis_core::{figures, practical_mst};
+/// use lis_rsopt::equalize_dag;
+/// use marked_graph::Ratio;
+///
+/// let (sys, _, _) = figures::fig1();
+/// let balanced = equalize_dag(&sys).expect("Fig. 1 is acyclic");
+/// assert_eq!(practical_mst(&balanced), Ratio::ONE);
+/// ```
+pub fn equalize_dag(sys: &LisSystem) -> Option<LisSystem> {
+    let g = block_graph(sys);
+    let scc = SccDecomposition::compute(&g);
+    if scc.count() != sys.block_count() {
+        return None; // directed cycle present
+    }
+    for c in sys.channel_ids() {
+        if sys.channel_from(c) == sys.channel_to(c) {
+            return None; // self-loop
+        }
+    }
+
+    // Maximum relay-station count over incoming paths, per block. Tarjan
+    // numbers components in reverse topological order, so processing blocks
+    // by descending component id visits producers before consumers.
+    let n = sys.block_count();
+    let mut phi = vec![0u32; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&b| std::cmp::Reverse(scc.component_of(marked_graph::TransitionId::new(b))));
+    for &b in &order {
+        for c in sys.channel_ids() {
+            if sys.channel_from(c).index() == b {
+                let t = sys.channel_to(c).index();
+                phi[t] = phi[t].max(phi[b] + sys.relay_stations_on(c));
+            }
+        }
+    }
+
+    let mut out = sys.clone();
+    for c in sys.channel_ids() {
+        let u = sys.channel_from(c).index();
+        let v = sys.channel_to(c).index();
+        let slack = phi[v] - phi[u] - sys.relay_stations_on(c);
+        for _ in 0..slack {
+            out.add_relay_station(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_core::figures;
+
+    #[test]
+    fn fig2_exhaustive_finds_the_lower_channel() {
+        let (sys, _, lower) = figures::fig1();
+        let best = exhaustive_insertion(&sys, 2);
+        assert_eq!(best.practical, Ratio::ONE);
+        // One station suffices; the tie-break prefers fewer.
+        assert_eq!(best.inserted, 1);
+        assert_eq!(best.placements, vec![(lower, 1)]);
+    }
+
+    #[test]
+    fn fig2_greedy_matches() {
+        let (sys, _, lower) = figures::fig1();
+        let best = greedy_insertion(&sys, 2);
+        assert_eq!(best.practical, Ratio::ONE);
+        assert_eq!(best.placements, vec![(lower, 1)]);
+    }
+
+    #[test]
+    fn fig15_cannot_be_fixed_by_insertion() {
+        // The paper's counterexample: ideal MST 5/6, practical 3/4, and no
+        // insertion of up to 3 stations reaches 5/6.
+        let (sys, _) = figures::fig15();
+        let ideal = ideal_mst(&sys);
+        assert_eq!(ideal, Ratio::new(5, 6));
+        for budget in 0..=3 {
+            let best = exhaustive_insertion(&sys, budget);
+            assert!(
+                best.practical < ideal,
+                "budget {budget} unexpectedly reached {}",
+                best.practical
+            );
+        }
+        // ...while queue sizing does fix it (the contrast of Section VI).
+        let report =
+            lis_qs::solve(&sys, lis_qs::Algorithm::Exact, &lis_qs::QsConfig::default()).unwrap();
+        assert!(lis_qs::verify_solution(&sys, &report));
+    }
+
+    #[test]
+    fn exhaustive_zero_budget_is_identity() {
+        let (sys, _, _) = figures::fig1();
+        let best = exhaustive_insertion(&sys, 0);
+        assert_eq!(best.inserted, 0);
+        assert_eq!(best.practical, Ratio::new(2, 3));
+        assert!(best.placements.is_empty());
+    }
+
+    #[test]
+    fn apply_insertion_roundtrip() {
+        let (sys, _, _) = figures::fig1();
+        let best = exhaustive_insertion(&sys, 1);
+        let mut applied = sys.clone();
+        apply_insertion(&mut applied, &best);
+        assert_eq!(practical_mst(&applied), best.practical);
+        assert_eq!(ideal_mst(&applied), best.ideal);
+    }
+
+    #[test]
+    fn equalize_dag_balances_station_counts_not_latencies() {
+        // a -> b -> d (2 block hops) and a -> d directly (1 hop), with one
+        // station on the long path. Station-count balancing pads the short
+        // channel with exactly one station — even though the resulting
+        // latencies (3 vs 2) differ — and fully restores MST 1. Padding to
+        // equal *latency* (2 stations) would leave the MST at 5/6.
+        let mut sys = LisSystem::new();
+        let a = sys.add_block("a");
+        let b = sys.add_block("b");
+        let d = sys.add_block("d");
+        let long1 = sys.add_channel(a, b);
+        sys.add_channel(b, d);
+        let short = sys.add_channel(a, d);
+        // Without relay stations every forward place carries a token, so
+        // mismatched path lengths alone cause no degradation.
+        assert_eq!(practical_mst(&sys), Ratio::ONE);
+        let mut unbalanced = sys.clone();
+        unbalanced.add_relay_station(long1);
+        assert_eq!(practical_mst(&unbalanced), Ratio::new(3, 4));
+        let balanced = equalize_dag(&unbalanced).unwrap();
+        assert_eq!(balanced.relay_stations_on(short), 1);
+        assert_eq!(practical_mst(&balanced), Ratio::ONE);
+        // Latency-style padding (2 stations on the short channel) is worse:
+        let mut latency_padded = unbalanced.clone();
+        latency_padded.add_relay_station(short);
+        latency_padded.add_relay_station(short);
+        assert_eq!(practical_mst(&latency_padded), Ratio::new(5, 6));
+    }
+
+    #[test]
+    fn equalize_dag_rejects_cycles() {
+        let mut sys = LisSystem::new();
+        let a = sys.add_block("a");
+        let b = sys.add_block("b");
+        sys.add_channel(a, b);
+        sys.add_channel(b, a);
+        assert!(equalize_dag(&sys).is_none());
+    }
+
+    #[test]
+    fn equalize_dag_rejects_self_loops() {
+        let mut sys = LisSystem::new();
+        let a = sys.add_block("a");
+        sys.add_channel(a, a);
+        assert!(equalize_dag(&sys).is_none());
+    }
+
+    #[test]
+    fn equalize_restores_full_mst_when_hop_counts_match() {
+        // Two reconvergent paths with the SAME number of blocks (one
+        // intermediate each) but different pipelining: equalization fully
+        // recovers MST 1 — the Fig. 2 situation, one level bigger.
+        let mut sys = LisSystem::new();
+        let s = sys.add_block("s");
+        let m1 = sys.add_block("m1");
+        let m2 = sys.add_block("m2");
+        let t = sys.add_block("t");
+        let up = sys.add_channel(s, m1);
+        sys.add_channel(m1, t);
+        sys.add_channel(s, m2);
+        sys.add_channel(m2, t);
+        sys.add_relay_station(up);
+        assert!(practical_mst(&sys) < Ratio::ONE);
+        let balanced = equalize_dag(&sys).unwrap();
+        assert_eq!(practical_mst(&balanced), Ratio::ONE);
+        assert_eq!(ideal_mst(&balanced), Ratio::ONE);
+        // Latency was balanced by pipelining one of the lower channels.
+        let total_rs = balanced.relay_station_count();
+        assert_eq!(total_rs, 2);
+    }
+
+    #[test]
+    fn equalize_pads_multi_level_dag() {
+        // Three parallel paths with 0, 1, and 2 intermediate blocks; the
+        // direct channel carries 2 stations. Equalization brings every
+        // s-to-t path to 2 stations and restores MST 1.
+        let mut sys = LisSystem::new();
+        let s = sys.add_block("s");
+        let m1 = sys.add_block("m1");
+        let m2a = sys.add_block("m2a");
+        let m2b = sys.add_block("m2b");
+        let t = sys.add_block("t");
+        let direct = sys.add_channel(s, t);
+        let mid_in = sys.add_channel(s, m1);
+        let mid_out = sys.add_channel(m1, t);
+        let long_in = sys.add_channel(s, m2a);
+        let long_mid = sys.add_channel(m2a, m2b);
+        let long_out = sys.add_channel(m2b, t);
+        sys.add_relay_station(direct);
+        sys.add_relay_station(direct);
+        let before = practical_mst(&sys);
+        assert!(before < Ratio::ONE);
+        let balanced = equalize_dag(&sys).unwrap();
+        // Every s-to-t path now carries 2 stations.
+        let path_mid = balanced.relay_stations_on(mid_in) + balanced.relay_stations_on(mid_out);
+        let path_long = balanced.relay_stations_on(long_in)
+            + balanced.relay_stations_on(long_mid)
+            + balanced.relay_stations_on(long_out);
+        assert_eq!(path_mid, 2);
+        assert_eq!(path_long, 2);
+        assert_eq!(practical_mst(&balanced), Ratio::ONE);
+        assert_eq!(ideal_mst(&balanced), Ratio::ONE);
+    }
+
+    #[test]
+    fn greedy_never_decreases_practical_mst() {
+        let (sys, _) = figures::fig15();
+        let before = practical_mst(&sys);
+        let r = greedy_insertion(&sys, 3);
+        assert!(r.practical >= before);
+    }
+}

@@ -1,0 +1,264 @@
+//! Repair-strategy selection: queue sizing vs relay-station insertion.
+//!
+//! Section VI of the paper weighs the two repairs qualitatively: stations
+//! can be placed anywhere along a wire and keep the design modular, but
+//! cannot fix every system (Fig. 15); queue slots always work but must be
+//! added inside the consumer shell. A design flow needs the quantitative
+//! version: given a cost per queue slot and per relay station, which repair
+//! (or mix) restores the ideal throughput cheapest? [`repair`] evaluates
+//! all three and returns the plan — or reports that only queue sizing can
+//! reach the target.
+
+use std::time::Duration;
+
+use lis_core::{ideal_mst, practical_mst, ChannelId, LisSystem};
+use lis_qs::{solve, Algorithm, QsConfig, QsError};
+
+use crate::{exhaustive_insertion, greedy_insertion, InsertionResult};
+
+/// Relative costs of the two repair resources.
+///
+/// The units are arbitrary (area, power, design effort); only ratios
+/// matter. The paper's synthesis numbers (Section IX: 1.04% area overhead
+/// for q = 1 shells vs 3.26% for q = 2 on the COFDM SoC) suggest queue
+/// slots are cheap but not free; a relay station costs two registers plus
+/// control.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of one extra queue slot.
+    pub per_queue_slot: f64,
+    /// Cost of one relay station.
+    pub per_relay_station: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            per_queue_slot: 1.0,
+            per_relay_station: 2.0,
+        }
+    }
+}
+
+/// A concrete repair plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepairPlan {
+    /// The system already runs at its ideal MST.
+    NothingToDo,
+    /// Grow the listed queues.
+    QueueSizing {
+        /// Extra slots per channel.
+        extra_slots: Vec<(ChannelId, u64)>,
+        /// Total cost under the cost model used.
+        cost: f64,
+    },
+    /// Insert the listed relay stations.
+    Insertion {
+        /// Extra stations per channel.
+        stations: Vec<(ChannelId, u32)>,
+        /// Total cost under the cost model used.
+        cost: f64,
+    },
+}
+
+impl RepairPlan {
+    /// The plan's cost (zero when nothing to do).
+    pub fn cost(&self) -> f64 {
+        match self {
+            RepairPlan::NothingToDo => 0.0,
+            RepairPlan::QueueSizing { cost, .. } | RepairPlan::Insertion { cost, .. } => *cost,
+        }
+    }
+
+    /// Applies the plan to a system.
+    pub fn apply(&self, sys: &mut LisSystem) {
+        match self {
+            RepairPlan::NothingToDo => {}
+            RepairPlan::QueueSizing { extra_slots, .. } => {
+                for &(c, w) in extra_slots {
+                    sys.grow_queue(c, w);
+                }
+            }
+            RepairPlan::Insertion { stations, .. } => {
+                for &(c, n) in stations {
+                    for _ in 0..n {
+                        sys.add_relay_station(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Options for [`repair`].
+#[derive(Debug, Clone)]
+pub struct RepairOptions {
+    /// Cost model deciding between the strategies.
+    pub costs: CostModel,
+    /// Maximum stations the insertion search may spend.
+    pub insertion_budget: u32,
+    /// Use the exact QS solver (else the heuristic).
+    pub exact: bool,
+    /// Wall-clock budget for the exact solver.
+    pub solver_budget: Option<Duration>,
+}
+
+impl Default for RepairOptions {
+    fn default() -> RepairOptions {
+        RepairOptions {
+            costs: CostModel::default(),
+            insertion_budget: 3,
+            exact: true,
+            solver_budget: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// Finds the cheapest repair that restores the system's ideal MST.
+///
+/// Queue sizing always succeeds (finite queues can match infinite ones);
+/// insertion is considered only if some placement within the budget reaches
+/// the ideal MST *without lowering it* — the Fig. 15 systems simply never
+/// qualify.
+///
+/// # Errors
+///
+/// Propagates [`QsError`] from the queue-sizing pipeline (cycle-census
+/// blowups).
+///
+/// # Examples
+///
+/// On Fig. 2 both repairs cost one unit of their resource; with the default
+/// costs (slot = 1, station = 2) queue sizing wins:
+///
+/// ```
+/// use lis_core::figures;
+/// use lis_rsopt::{repair, RepairOptions, RepairPlan};
+///
+/// let (sys, _, _) = figures::fig1();
+/// let plan = repair(&sys, &RepairOptions::default())?;
+/// assert!(matches!(plan, RepairPlan::QueueSizing { .. }));
+/// assert_eq!(plan.cost(), 1.0);
+/// # Ok::<(), lis_qs::QsError>(())
+/// ```
+pub fn repair(sys: &LisSystem, options: &RepairOptions) -> Result<RepairPlan, QsError> {
+    let target = ideal_mst(sys);
+    if practical_mst(sys) >= target {
+        return Ok(RepairPlan::NothingToDo);
+    }
+
+    // Candidate 1: queue sizing.
+    let algo = if options.exact {
+        Algorithm::Exact
+    } else {
+        Algorithm::Heuristic
+    };
+    let qs_cfg = QsConfig {
+        budget: options.solver_budget,
+        ..QsConfig::default()
+    };
+    let qs_report = solve(sys, algo, &qs_cfg)?;
+    let qs_cost = qs_report.total_extra as f64 * options.costs.per_queue_slot;
+    let qs_plan = RepairPlan::QueueSizing {
+        extra_slots: qs_report.extra_tokens.clone(),
+        cost: qs_cost,
+    };
+
+    // Candidate 2: relay-station insertion (exhaustive when tractable).
+    let search_space = (sys.channel_count() as u64).saturating_pow(options.insertion_budget.min(8));
+    let ins: InsertionResult = if search_space <= 1_000_000 {
+        exhaustive_insertion(sys, options.insertion_budget)
+    } else {
+        greedy_insertion(sys, options.insertion_budget)
+    };
+    let insertion_reaches_target = ins.practical >= target && ins.ideal >= target;
+    if insertion_reaches_target {
+        let ins_cost = f64::from(ins.inserted) * options.costs.per_relay_station;
+        if ins_cost < qs_cost {
+            return Ok(RepairPlan::Insertion {
+                stations: ins.placements,
+                cost: ins_cost,
+            });
+        }
+    }
+    Ok(qs_plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_core::figures;
+    use marked_graph::Ratio;
+
+    #[test]
+    fn healthy_system_needs_nothing() {
+        let (sys, _, _) = figures::fig2_right();
+        let plan = repair(&sys, &RepairOptions::default()).unwrap();
+        assert_eq!(plan, RepairPlan::NothingToDo);
+        assert_eq!(plan.cost(), 0.0);
+    }
+
+    #[test]
+    fn default_costs_prefer_queue_sizing_on_fig2() {
+        let (sys, _, _) = figures::fig1();
+        let plan = repair(&sys, &RepairOptions::default()).unwrap();
+        assert!(matches!(plan, RepairPlan::QueueSizing { .. }));
+        let mut fixed = sys.clone();
+        plan.apply(&mut fixed);
+        assert_eq!(practical_mst(&fixed), ideal_mst(&sys));
+    }
+
+    #[test]
+    fn cheap_stations_flip_the_choice() {
+        let (sys, _, lower) = figures::fig1();
+        let options = RepairOptions {
+            costs: CostModel {
+                per_queue_slot: 5.0,
+                per_relay_station: 1.0,
+            },
+            ..RepairOptions::default()
+        };
+        let plan = repair(&sys, &options).unwrap();
+        match &plan {
+            RepairPlan::Insertion { stations, cost } => {
+                assert_eq!(stations, &vec![(lower, 1)]);
+                assert_eq!(*cost, 1.0);
+            }
+            other => panic!("expected insertion, got {other:?}"),
+        }
+        let mut fixed = sys.clone();
+        plan.apply(&mut fixed);
+        assert_eq!(practical_mst(&fixed), Ratio::ONE);
+    }
+
+    #[test]
+    fn fig15_always_falls_back_to_queue_sizing() {
+        // Even with free relay stations, no placement reaches 5/6.
+        let (sys, _) = figures::fig15();
+        let options = RepairOptions {
+            costs: CostModel {
+                per_queue_slot: 100.0,
+                per_relay_station: 0.0,
+            },
+            ..RepairOptions::default()
+        };
+        let plan = repair(&sys, &options).unwrap();
+        assert!(matches!(plan, RepairPlan::QueueSizing { .. }));
+        let mut fixed = sys.clone();
+        plan.apply(&mut fixed);
+        assert_eq!(practical_mst(&fixed), Ratio::new(5, 6));
+    }
+
+    #[test]
+    fn heuristic_mode_also_verifies() {
+        let (sys, _, _) = figures::fig1();
+        let options = RepairOptions {
+            exact: false,
+            ..RepairOptions::default()
+        };
+        let plan = repair(&sys, &options).unwrap();
+        let mut fixed = sys.clone();
+        plan.apply(&mut fixed);
+        assert_eq!(practical_mst(&fixed), ideal_mst(&sys));
+    }
+}

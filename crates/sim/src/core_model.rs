@@ -1,0 +1,264 @@
+//! Behavioral models of IP cores.
+//!
+//! A [`CoreModel`] supplies the value-level behavior of a block: its
+//! initialized output (the data its shell transfers in the first clock
+//! period) and its combinational function. The simulator drives these
+//! models under the latency-insensitive protocol, so a core never sees void
+//! data — exactly the encapsulation property of the paper.
+
+use std::fmt;
+
+/// The value type flowing on LIS channels.
+pub type Value = i64;
+
+/// Behavioral model of a stallable core.
+///
+/// `compute` receives one value per *input channel* (ordered by channel id)
+/// and returns one value per *output channel* (same ordering). The shell
+/// guarantees `compute` is called only when every input has valid data.
+pub trait CoreModel: fmt::Debug {
+    /// The values latched at reset, transferred during the first period
+    /// (one per output channel).
+    fn initial_outputs(&self) -> Vec<Value>;
+
+    /// One firing of the core.
+    fn compute(&mut self, inputs: &[Value]) -> Vec<Value>;
+}
+
+/// The even/odd generator of the paper's Table I: emits `0, 2, 4, …` on its
+/// first output channel and `1, 3, 5, …` on its second.
+#[derive(Debug, Default, Clone)]
+pub struct EvenOddGenerator {
+    fired: u64,
+}
+
+impl EvenOddGenerator {
+    /// Creates the generator in its reset state.
+    pub fn new() -> EvenOddGenerator {
+        EvenOddGenerator::default()
+    }
+}
+
+impl CoreModel for EvenOddGenerator {
+    fn initial_outputs(&self) -> Vec<Value> {
+        vec![0, 1]
+    }
+
+    fn compute(&mut self, _inputs: &[Value]) -> Vec<Value> {
+        self.fired += 1;
+        vec![2 * self.fired as Value, 2 * self.fired as Value + 1]
+    }
+}
+
+/// The adder of Table I: output latch initialized to zero, then the sum of
+/// its inputs, broadcast to every output channel.
+#[derive(Debug, Clone)]
+pub struct Adder {
+    outputs: usize,
+}
+
+impl Adder {
+    /// An adder driving `outputs` output channels.
+    pub fn new(outputs: usize) -> Adder {
+        Adder { outputs }
+    }
+}
+
+impl CoreModel for Adder {
+    fn initial_outputs(&self) -> Vec<Value> {
+        vec![0; self.outputs]
+    }
+
+    fn compute(&mut self, inputs: &[Value]) -> Vec<Value> {
+        vec![inputs.iter().sum(); self.outputs]
+    }
+}
+
+/// Emits a fixed sequence, then repeats its last element (a scripted
+/// source; useful for directed tests).
+#[derive(Debug, Clone)]
+pub struct SequenceSource {
+    sequence: Vec<Value>,
+    next: usize,
+    outputs: usize,
+}
+
+impl SequenceSource {
+    /// A source that plays `sequence` on each of `outputs` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sequence` is empty.
+    pub fn new(sequence: Vec<Value>, outputs: usize) -> SequenceSource {
+        assert!(!sequence.is_empty(), "sequence must be nonempty");
+        SequenceSource {
+            sequence,
+            next: 0,
+            outputs,
+        }
+    }
+}
+
+impl CoreModel for SequenceSource {
+    fn initial_outputs(&self) -> Vec<Value> {
+        vec![self.sequence[0]; self.outputs]
+    }
+
+    fn compute(&mut self, _inputs: &[Value]) -> Vec<Value> {
+        self.next = (self.next + 1).min(self.sequence.len() - 1);
+        vec![self.sequence[self.next]; self.outputs]
+    }
+}
+
+/// Forwards its single input to every output channel (a wire/repeater core).
+#[derive(Debug, Clone)]
+pub struct Passthrough {
+    outputs: usize,
+    initial: Value,
+}
+
+impl Passthrough {
+    /// A pass-through block with a given reset value.
+    pub fn new(outputs: usize, initial: Value) -> Passthrough {
+        Passthrough { outputs, initial }
+    }
+}
+
+impl CoreModel for Passthrough {
+    fn initial_outputs(&self) -> Vec<Value> {
+        vec![self.initial; self.outputs]
+    }
+
+    fn compute(&mut self, inputs: &[Value]) -> Vec<Value> {
+        vec![inputs.first().copied().unwrap_or(self.initial); self.outputs]
+    }
+}
+
+/// Applies a stateless function to the inputs (sum, xor, custom closures are
+/// all expressible); output broadcast to every channel.
+pub struct MapCore<F: FnMut(&[Value]) -> Value> {
+    f: F,
+    outputs: usize,
+    initial: Value,
+}
+
+impl<F: FnMut(&[Value]) -> Value> MapCore<F> {
+    /// A core computing `f(inputs)` each firing.
+    pub fn new(outputs: usize, initial: Value, f: F) -> MapCore<F> {
+        MapCore {
+            f,
+            outputs,
+            initial,
+        }
+    }
+}
+
+impl<F: FnMut(&[Value]) -> Value> fmt::Debug for MapCore<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MapCore")
+            .field("outputs", &self.outputs)
+            .field("initial", &self.initial)
+            .finish()
+    }
+}
+
+impl<F: FnMut(&[Value]) -> Value> CoreModel for MapCore<F> {
+    fn initial_outputs(&self) -> Vec<Value> {
+        vec![self.initial; self.outputs]
+    }
+
+    fn compute(&mut self, inputs: &[Value]) -> Vec<Value> {
+        vec![(self.f)(inputs); self.outputs]
+    }
+}
+
+/// Consumes inputs and produces nothing observable (for blocks with no
+/// output channels) or a running count (when it does have outputs).
+#[derive(Debug, Default, Clone)]
+pub struct Sink {
+    consumed: u64,
+    outputs: usize,
+}
+
+impl Sink {
+    /// A sink with `outputs` (usually zero) output channels.
+    pub fn new(outputs: usize) -> Sink {
+        Sink {
+            consumed: 0,
+            outputs,
+        }
+    }
+
+    /// How many firings this sink has performed.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+}
+
+impl CoreModel for Sink {
+    fn initial_outputs(&self) -> Vec<Value> {
+        vec![0; self.outputs]
+    }
+
+    fn compute(&mut self, _inputs: &[Value]) -> Vec<Value> {
+        self.consumed += 1;
+        vec![self.consumed as Value; self.outputs]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_odd_generator_sequence() {
+        let mut g = EvenOddGenerator::new();
+        assert_eq!(g.initial_outputs(), vec![0, 1]);
+        assert_eq!(g.compute(&[]), vec![2, 3]);
+        assert_eq!(g.compute(&[]), vec![4, 5]);
+    }
+
+    #[test]
+    fn adder_sums() {
+        let mut a = Adder::new(2);
+        assert_eq!(a.initial_outputs(), vec![0, 0]);
+        assert_eq!(a.compute(&[3, 4]), vec![7, 7]);
+    }
+
+    #[test]
+    fn sequence_source_repeats_tail() {
+        let mut s = SequenceSource::new(vec![5, 6], 1);
+        assert_eq!(s.initial_outputs(), vec![5]);
+        assert_eq!(s.compute(&[]), vec![6]);
+        assert_eq!(s.compute(&[]), vec![6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_sequence_panics() {
+        let _ = SequenceSource::new(vec![], 1);
+    }
+
+    #[test]
+    fn passthrough_forwards() {
+        let mut p = Passthrough::new(2, 9);
+        assert_eq!(p.initial_outputs(), vec![9, 9]);
+        assert_eq!(p.compute(&[42]), vec![42, 42]);
+    }
+
+    #[test]
+    fn map_core_applies_function() {
+        let mut m = MapCore::new(1, 0, |xs: &[Value]| xs.iter().product());
+        assert_eq!(m.compute(&[3, 5]), vec![15]);
+        assert!(format!("{m:?}").contains("MapCore"));
+    }
+
+    #[test]
+    fn sink_counts() {
+        let mut s = Sink::new(0);
+        s.compute(&[1]);
+        s.compute(&[2]);
+        assert_eq!(s.consumed(), 2);
+        assert!(s.initial_outputs().is_empty());
+    }
+}

@@ -1,0 +1,622 @@
+//! A register-transfer-level LIS simulator.
+//!
+//! Where [`LisSimulator`](crate::LisSimulator) executes the *marked-graph
+//! model* of a system, this module executes the *hardware* the paper's
+//! Fig. 4 depicts: explicit `data`/`void` wires forward and registered
+//! `stop` wires backward, relay stations with twofold buffering, and shells
+//! with bypassable per-channel input queues, AND-firing, and output
+//! latches initialized at reset.
+//!
+//! The two simulators are independent implementations of the same protocol;
+//! their agreement (identical output traces on the paper's Table I, equal
+//! long-run rates and latency-equivalent streams on random systems) is one
+//! of this workspace's strongest validations — it is exactly the paper's
+//! claim that the marked graph models the RTL faithfully.
+//!
+//! Timing model: everything is registered (Moore). A `stop` asserted during
+//! period `t` is computed from state at the end of period `t − 1`; a
+//! producer holds its output while `stop` is high. The one-period stop
+//! latency is why relay stations need their second (auxiliary) register and
+//! why a channel buffers up to `q + 1` items (queue plus the producer-side
+//! output latch) — matching the doubled marked graph's token budget.
+
+use std::collections::VecDeque;
+
+use lis_core::{BlockId, ChannelId, LisSystem};
+use marked_graph::Ratio;
+
+use crate::core_model::{CoreModel, Value};
+
+/// One datum on a wire: valid data or void (τ).
+type Wire = Option<Value>;
+
+/// A relay station: two-slot elastic buffer (main + auxiliary register).
+#[derive(Debug, Clone, Default)]
+struct RelayStation {
+    /// Buffered items, front = oldest (the one presented downstream).
+    /// Capacity 2: main + aux register.
+    buf: VecDeque<Value>,
+    /// Registered stop toward the upstream segment.
+    stop_out: bool,
+}
+
+impl RelayStation {
+    /// Evaluates one clock period. `data_in` is the upstream wire during
+    /// this period; `stop_in` is the downstream stop wire during this
+    /// period. Returns the value presented downstream during this period.
+    fn tick(&mut self, data_in: Wire, stop_in: bool) -> Wire {
+        // Presented output this period (Moore: from current state).
+        let out = self.buf.front().copied();
+        // Does the downstream accept it?
+        let consumed = out.is_some() && !stop_in;
+        // Does an item arrive? The protocol guarantees the producer held
+        // whenever our stop_out was asserted during this period.
+        if let Some(v) = data_in {
+            assert!(
+                self.buf.len() < 2,
+                "relay station overflow: protocol violation"
+            );
+            self.buf.push_back(v);
+        }
+        if consumed {
+            self.buf.pop_front();
+        }
+        // Registered stop for the next period: both slots in use.
+        self.stop_out = self.buf.len() == 2;
+        out
+    }
+}
+
+/// Per-input-channel state of a shell: the bypassable queue.
+#[derive(Debug, Clone)]
+struct InputPort {
+    queue: VecDeque<Value>,
+    capacity: usize,
+    stop_out: bool,
+}
+
+/// Per-output-channel state of a shell: the output latch.
+#[derive(Debug, Clone)]
+struct OutputPort {
+    /// The latched datum currently presented (None once accepted).
+    latch: Wire,
+}
+
+/// A shell wrapping one core.
+#[derive(Debug)]
+struct Shell {
+    core_outputs: Vec<usize>,
+    fired: u64,
+}
+
+/// The RTL simulator.
+///
+/// # Examples
+///
+/// Table I at the wire level (with queues large enough that no stop is
+/// ever raised, emulating the table's infinite-queue assumption):
+///
+/// ```
+/// use lis_core::figures;
+/// use lis_sim::{Adder, EvenOddGenerator, RtlSimulator};
+///
+/// let (mut sys, upper, lower) = figures::fig1();
+/// sys.set_uniform_queue_capacity(16);
+/// let mut rtl = RtlSimulator::new(
+///     &sys,
+///     vec![Box::new(EvenOddGenerator::new()), Box::new(Adder::new(1))],
+/// );
+/// rtl.run(4);
+/// assert_eq!(rtl.channel_trace(upper), vec![Some(0), Some(2), Some(4), Some(6)]);
+/// assert_eq!(rtl.channel_trace(lower), vec![Some(1), Some(3), Some(5), Some(7)]);
+/// ```
+pub struct RtlSimulator {
+    sys: LisSystem,
+    cores: Vec<Box<dyn CoreModel>>,
+    shells: Vec<Shell>,
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+    /// Relay stations per channel (producer → consumer order).
+    stations: Vec<Vec<RelayStation>>,
+    steps: u64,
+    /// Per channel, per period: the datum that actually transferred off the
+    /// producer's latch (`None` = nothing moved: void or held by stop).
+    transfer_traces: Vec<Vec<Wire>>,
+    /// Per channel, per period: the raw wire value on the head segment
+    /// (held data repeats while `stop` is asserted).
+    wire_traces: Vec<Vec<Wire>>,
+    /// Per block, per period: fired?
+    fired_traces: Vec<Vec<bool>>,
+    /// Mapping: per channel, the index of its input port / output port.
+    in_port_of: Vec<usize>,
+    out_port_of: Vec<usize>,
+}
+
+impl std::fmt::Debug for RtlSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtlSimulator")
+            .field("steps", &self.steps)
+            .field("blocks", &self.shells.len())
+            .finish()
+    }
+}
+
+impl RtlSimulator {
+    /// Builds the RTL realization of `sys` with one behavioral core per
+    /// block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core count or any core's output arity is wrong (same
+    /// rules as [`LisSimulator::new`](crate::LisSimulator::new)).
+    pub fn new(sys: &LisSystem, cores: Vec<Box<dyn CoreModel>>) -> RtlSimulator {
+        assert_eq!(
+            cores.len(),
+            sys.block_count(),
+            "one core model per block required"
+        );
+
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        let mut in_port_of = vec![usize::MAX; sys.channel_count()];
+        let mut out_port_of = vec![usize::MAX; sys.channel_count()];
+        let mut shells: Vec<Shell> = sys
+            .block_ids()
+            .map(|_| Shell {
+                core_outputs: Vec::new(),
+                fired: 0,
+            })
+            .collect();
+
+        for c in sys.channel_ids() {
+            let from = sys.channel_from(c);
+            let out_idx = outputs.len();
+            outputs.push(OutputPort { latch: None });
+            out_port_of[c.index()] = out_idx;
+            shells[from.index()].core_outputs.push(out_idx);
+
+            let in_idx = inputs.len();
+            inputs.push(InputPort {
+                queue: VecDeque::new(),
+                capacity: sys.queue_capacity(c) as usize,
+                stop_out: false,
+            });
+            in_port_of[c.index()] = in_idx;
+        }
+
+        // Reset: each *initialized* block's output latch holds the core's
+        // reset value; uninitialized blocks (pipeline stages) present void.
+        for b in sys.block_ids() {
+            let init = cores[b.index()].initial_outputs();
+            let shell = &shells[b.index()];
+            assert!(
+                init.len() >= shell.core_outputs.len(),
+                "core {} must produce one value per output channel",
+                sys.block_name(b)
+            );
+            if sys.is_initialized(b) {
+                for (i, &port) in shell.core_outputs.iter().enumerate() {
+                    outputs[port].latch = Some(init[i]);
+                }
+            }
+        }
+
+        let stations: Vec<Vec<RelayStation>> = sys
+            .channel_ids()
+            .map(|c| {
+                (0..sys.relay_stations_on(c))
+                    .map(|_| RelayStation::default())
+                    .collect()
+            })
+            .collect();
+
+        RtlSimulator {
+            sys: sys.clone(),
+            cores,
+            shells,
+            inputs,
+            outputs,
+            stations,
+            steps: 0,
+            transfer_traces: vec![Vec::new(); sys.channel_count()],
+            wire_traces: vec![Vec::new(); sys.channel_count()],
+            fired_traces: vec![Vec::new(); sys.block_count()],
+            in_port_of,
+            out_port_of,
+        }
+    }
+
+    /// Clock periods simulated so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Firing count of a block's shell.
+    pub fn firings(&self, b: BlockId) -> u64 {
+        self.shells[b.index()].fired
+    }
+
+    /// Average firing rate of a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no period has been simulated.
+    pub fn throughput(&self, b: BlockId) -> Ratio {
+        assert!(self.steps > 0, "throughput requires at least one step");
+        Ratio::new(self.shells[b.index()].fired as i64, self.steps as i64)
+    }
+
+    /// The transfer trace of a channel: the datum that moved off the
+    /// producer's output latch at each period (`None` when nothing moved —
+    /// the producer was void or held by backpressure). This is the
+    /// valid/void stream the marked-graph simulator's
+    /// [`channel_trace`](crate::LisSimulator::channel_trace) records, so the
+    /// two are directly comparable.
+    pub fn channel_trace(&self, c: ChannelId) -> Vec<Wire> {
+        self.transfer_traces[c.index()].clone()
+    }
+
+    /// The raw wire trace at a channel's head segment: the value the
+    /// producer *presented* each period. Unlike
+    /// [`channel_trace`](RtlSimulator::channel_trace), a datum held under
+    /// backpressure repeats here — this is what a logic analyzer on the
+    /// physical wires would capture.
+    pub fn channel_wire_trace(&self, c: ChannelId) -> Vec<Wire> {
+        self.wire_traces[c.index()].clone()
+    }
+
+    /// Per period: whether block `b` fired.
+    pub fn block_fired_trace(&self, b: BlockId) -> Vec<bool> {
+        self.fired_traces[b.index()].clone()
+    }
+
+    /// Simulates one clock period.
+    pub fn step(&mut self) {
+        let sys = &self.sys;
+        let n_channels = sys.channel_count();
+
+        // Phase A (combinational reads of registered state):
+        // 1. Producer-side wires: each output latch drives its channel head.
+        let head_wires: Vec<Wire> = sys
+            .channel_ids()
+            .map(|c| self.outputs[self.out_port_of[c.index()]].latch)
+            .collect();
+
+        // 2. Walk each channel's relay-station chain from the CONSUMER side
+        //    backwards to compute the stop wires seen by each segment, then
+        //    forwards to move data. Stops are registered state, so the
+        //    values used here were computed in the previous period.
+        //    stop seen by the segment entering the consumer = input port's
+        //    registered stop; stop seen by segment i = station i's ...
+        //    Evaluate data movement station by station from the consumer
+        //    end so each station sees this period's upstream wire.
+        //    Data presented to the consumer (tail wire) falls out last.
+        let mut tail_wires: Vec<Wire> = vec![None; n_channels];
+        let mut arriving: Vec<Wire> = vec![None; n_channels];
+        for c in sys.channel_ids() {
+            let ci = c.index();
+            let chain_len = self.stations[ci].len();
+            // Stop seen by each segment: segment k (0 = head) is stopped by
+            // station k's stop_out; the last segment by the input port's.
+            let consumer_stop = self.inputs[self.in_port_of[ci]].stop_out;
+            // Compute each station's input wire: station 0 reads the head.
+            // Process from the downstream end: station k's tick needs its
+            // own stop_in = (stop of segment k+1), which for the last
+            // station is the consumer's registered stop — all registered,
+            // so order does not matter; collect outputs first.
+            let seg_stop: Vec<bool> = (0..chain_len)
+                .map(|k| {
+                    if k + 1 < chain_len {
+                        self.stations[ci][k + 1].stop_out
+                    } else {
+                        consumer_stop
+                    }
+                })
+                .collect();
+            // The stop governing the producer's head segment:
+            let head_stop = if chain_len > 0 {
+                self.stations[ci][0].stop_out
+            } else {
+                consumer_stop
+            };
+            // Move data through the chain. Present each station's output
+            // BEFORE inserting this period's arrival (registered behavior
+            // is encapsulated in RelayStation::tick).
+            let mut wire = if head_stop { None } else { head_wires[ci] };
+            // `wire` is the datum actually transferred off the head this
+            // period (None if the producer is held).
+            arriving[ci] = head_wires[ci].filter(|_| !head_stop);
+            for (k, &stop_in) in seg_stop.iter().enumerate() {
+                wire = self.stations[ci][k].tick(wire, stop_in);
+                // Data leaves station k only if not stopped.
+                if stop_in {
+                    wire = None;
+                }
+            }
+            tail_wires[ci] = wire;
+        }
+
+        // 3. Consumer-side availability: queue front or the arriving tail
+        //    datum (bypass).
+        let available: Vec<bool> = sys
+            .channel_ids()
+            .map(|c| {
+                let port = &self.inputs[self.in_port_of[c.index()]];
+                !port.queue.is_empty() || tail_wires[c.index()].is_some()
+            })
+            .collect();
+
+        // 4. Firing decision per shell: every input channel has data AND
+        //    every output latch has been accepted (is empty) or will be
+        //    accepted this period. An output latch is accepted this period
+        //    iff the head segment's stop is low... which we already folded
+        //    into `arriving`: the latch drains iff its datum transferred.
+        let mut fires = vec![false; sys.block_count()];
+        for b in sys.block_ids() {
+            let inputs_ready = sys
+                .channel_ids()
+                .filter(|&c| sys.channel_to(c) == b)
+                .all(|c| available[c.index()]);
+            let outputs_free = sys
+                .channel_ids()
+                .filter(|&c| sys.channel_from(c) == b)
+                .all(|c| {
+                    let latch = self.outputs[self.out_port_of[c.index()]].latch;
+                    latch.is_none() || arriving[c.index()].is_some()
+                });
+            fires[b.index()] = inputs_ready && outputs_free;
+        }
+
+        // Phase B (clock edge): update all registers.
+        // 1. Drain accepted output latches.
+        for c in sys.channel_ids() {
+            if arriving[c.index()].is_some() {
+                self.outputs[self.out_port_of[c.index()]].latch = None;
+            }
+        }
+        // 2. Enqueue arriving tail data; dequeue consumed inputs; fire cores.
+        for b in sys.block_ids() {
+            let in_channels: Vec<ChannelId> = sys
+                .channel_ids()
+                .filter(|&c| sys.channel_to(c) == b)
+                .collect();
+            if fires[b.index()] {
+                // Consume one item per input channel: queue front, else the
+                // arriving datum (bypass).
+                let mut args = Vec::with_capacity(in_channels.len());
+                for &c in &in_channels {
+                    let port = &mut self.inputs[self.in_port_of[c.index()]];
+                    let v = match port.queue.pop_front() {
+                        Some(v) => {
+                            // The arriving datum (if any) takes the freed slot.
+                            if let Some(w) = tail_wires[c.index()] {
+                                port.queue.push_back(w);
+                            }
+                            v
+                        }
+                        None => tail_wires[c.index()].expect("available"),
+                    };
+                    args.push(v);
+                }
+                // Unlike the marked-graph simulator (whose first firing
+                // emits the reset value), the RTL's reset value lives in
+                // the output latch from time zero, so every firing computes
+                // from real inputs.
+                let out_vals = self.cores[b.index()].compute(&args);
+                let shell = &mut self.shells[b.index()];
+                for (i, &port) in shell.core_outputs.iter().enumerate() {
+                    debug_assert!(self.outputs[port].latch.is_none());
+                    self.outputs[port].latch = Some(out_vals[i]);
+                }
+                shell.fired += 1;
+            } else {
+                // Not firing: arriving data still must be buffered.
+                for &c in &in_channels {
+                    if let Some(w) = tail_wires[c.index()] {
+                        let port = &mut self.inputs[self.in_port_of[c.index()]];
+                        assert!(
+                            port.queue.len() < port.capacity,
+                            "input queue overflow: protocol violation"
+                        );
+                        port.queue.push_back(w);
+                    }
+                }
+            }
+        }
+        // 3. Register the stop signals for next period: queue full.
+        for c in sys.channel_ids() {
+            let port = &mut self.inputs[self.in_port_of[c.index()]];
+            port.stop_out = port.queue.len() >= port.capacity;
+        }
+
+        // 4. Record traces.
+        for c in sys.channel_ids() {
+            self.transfer_traces[c.index()].push(arriving[c.index()]);
+            self.wire_traces[c.index()].push(head_wires[c.index()]);
+        }
+        for b in sys.block_ids() {
+            self.fired_traces[b.index()].push(fires[b.index()]);
+        }
+        self.steps += 1;
+    }
+
+    /// Runs `n` clock periods.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_model::{Adder, EvenOddGenerator, Passthrough};
+    use crate::equiv::latency_equivalent;
+    use crate::simulator::{LisSimulator, QueueMode};
+    use lis_core::figures;
+
+    fn fig1_cores() -> Vec<Box<dyn CoreModel>> {
+        vec![Box::new(EvenOddGenerator::new()), Box::new(Adder::new(1))]
+    }
+
+    #[test]
+    fn table1_traces_at_the_wire_level() {
+        // Table I assumes no backpressure constraints: emulate the infinite
+        // queues with ones large enough that no stop is ever raised.
+        let (mut sys, upper, lower) = figures::fig1();
+        sys.set_uniform_queue_capacity(16);
+        let mut rtl = RtlSimulator::new(&sys, fig1_cores());
+        rtl.run(4);
+        assert_eq!(
+            rtl.channel_trace(upper),
+            vec![Some(0), Some(2), Some(4), Some(6)]
+        );
+        assert_eq!(
+            rtl.channel_trace(lower),
+            vec![Some(1), Some(3), Some(5), Some(7)]
+        );
+    }
+
+    #[test]
+    fn fig5_throughput_matches_marked_graph() {
+        let (sys, _, _) = figures::fig1();
+        let mut rtl = RtlSimulator::new(&sys, fig1_cores());
+        rtl.run(3000);
+        let a = sys.block_by_name("A").unwrap();
+        let measured = rtl.throughput(a).to_f64();
+        assert!(
+            (measured - 2.0 / 3.0).abs() < 0.01,
+            "RTL rate {measured} vs analytic 2/3"
+        );
+    }
+
+    #[test]
+    fn fig6_queue_sizing_restores_rtl_throughput() {
+        let (sys, _, _) = figures::fig6();
+        let mut rtl = RtlSimulator::new(&sys, fig1_cores());
+        rtl.run(3000);
+        let a = sys.block_by_name("A").unwrap();
+        assert!(rtl.throughput(a).to_f64() > 0.999);
+    }
+
+    fn passthrough_cores(sys: &LisSystem) -> Vec<Box<dyn CoreModel>> {
+        sys.block_ids()
+            .map(|b| {
+                let outs = sys
+                    .channel_ids()
+                    .filter(|&c| sys.channel_from(c) == b)
+                    .count();
+                Box::new(Passthrough::new(outs, 0)) as Box<dyn CoreModel>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rtl_and_marked_graph_agree_on_random_systems() {
+        use lis_gen_free_random::random_system;
+        for seed in 0..10u64 {
+            let sys = random_system(seed);
+            let analytic = lis_core::practical_mst(&sys).to_f64();
+            let mut rtl = RtlSimulator::new(&sys, passthrough_cores(&sys));
+            rtl.run(4000);
+            let mut mg = LisSimulator::new(&sys, passthrough_cores(&sys), QueueMode::Finite);
+            mg.run(4000);
+            for b in sys.block_ids() {
+                let r = rtl.throughput(b).to_f64();
+                let m = mg.throughput(b).to_f64();
+                assert!(
+                    (r - m).abs() < 0.02,
+                    "seed {seed} block {b:?}: rtl {r} vs marked-graph {m}"
+                );
+                assert!(
+                    (r - analytic).abs() < 0.02,
+                    "seed {seed} block {b:?}: rtl {r} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    /// A tiny self-contained random-LIS builder (no dev-dependency on
+    /// `lis-gen`, which depends on this crate's siblings).
+    mod lis_gen_free_random {
+        use lis_core::LisSystem;
+
+        pub fn random_system(seed: u64) -> LisSystem {
+            // xorshift-ish deterministic pseudo-randomness.
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = move |m: u64| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % m
+            };
+            let n = 4 + next(4) as usize;
+            let mut sys = LisSystem::new();
+            let blocks: Vec<_> = (0..n).map(|i| sys.add_block(format!("b{i}"))).collect();
+            // A ring to keep everything connected and strongly coupled.
+            for i in 0..n {
+                sys.add_channel(blocks[i], blocks[(i + 1) % n]);
+            }
+            // Chords + relay stations + queue capacities.
+            for _ in 0..next(6) {
+                let u = next(n as u64) as usize;
+                let v = next(n as u64) as usize;
+                if u != v {
+                    let c = sys.add_channel(blocks[u], blocks[v]);
+                    if next(2) == 0 {
+                        sys.add_relay_station(c);
+                    }
+                    let q = 1 + next(3);
+                    sys.set_queue_capacity(c, q).expect("q >= 1");
+                }
+            }
+            sys
+        }
+    }
+
+    #[test]
+    fn rtl_streams_are_latency_equivalent_to_marked_graph_streams() {
+        let (sys, upper, lower) = figures::fig1();
+        let mut rtl = RtlSimulator::new(&sys, fig1_cores());
+        rtl.run(500);
+        let mut mg = LisSimulator::new(&sys, fig1_cores(), QueueMode::Finite);
+        mg.run(500);
+        for c in [upper, lower] {
+            assert!(latency_equivalent(
+                &rtl.channel_trace(c),
+                &mg.channel_trace(c)
+            ));
+        }
+    }
+
+    #[test]
+    fn relay_station_unit_behavior() {
+        let mut rs = RelayStation::default();
+        // Empty: outputs void, passes arrivals with one period delay.
+        assert_eq!(rs.tick(Some(7), false), None);
+        assert_eq!(rs.tick(None, false), Some(7));
+        assert_eq!(rs.tick(None, false), None);
+        // Stalling: the first buffered item is *presented* downstream (but
+        // not consumed while stop is high); with both slots full the
+        // station raises its own stop.
+        assert_eq!(rs.tick(Some(1), true), None);
+        assert!(!rs.stop_out);
+        assert_eq!(rs.tick(Some(2), true), Some(1));
+        assert!(rs.stop_out);
+        // Stop released: the held item finally transfers, then the second.
+        assert_eq!(rs.tick(None, false), Some(1));
+        assert!(!rs.stop_out);
+        assert_eq!(rs.tick(None, false), Some(2));
+        assert_eq!(rs.tick(None, false), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol violation")]
+    fn relay_station_overflow_is_detected() {
+        let mut rs = RelayStation::default();
+        rs.tick(Some(1), true);
+        rs.tick(Some(2), true);
+        rs.tick(Some(3), true); // third arrival with both slots full
+    }
+}

@@ -1,0 +1,541 @@
+//! The cycle-accurate, value-level LIS simulator.
+//!
+//! The simulator executes a [`LisSystem`] under the latency-insensitive
+//! protocol: shells fire under the AND-firing rule, valid data is buffered
+//! in finite input queues, and full queues exert backpressure — all realized
+//! by running the *doubled marked graph* of the system with value-carrying
+//! tokens on forward places and slot tokens on backedges. This makes the
+//! simulator exact with respect to the paper's analysis by construction:
+//! measured firing rates converge to the MST computed by Karp's algorithm,
+//! and output traces reproduce Table I.
+
+use std::collections::VecDeque;
+
+use lis_core::{BlockId, ChannelId, LisModel, LisSystem};
+use marked_graph::{PlaceId, Ratio, TransitionId};
+
+use crate::core_model::{CoreModel, Value};
+
+/// Queue regime to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueMode {
+    /// Finite queues with backpressure (the practical LIS, doubled graph).
+    Finite,
+    /// Infinite queues, no backpressure (the ideal LIS, forward edges only).
+    Infinite,
+}
+
+/// A value-level simulation of a latency-insensitive system.
+///
+/// # Examples
+///
+/// Reproducing the paper's Table I (first four clock periods):
+///
+/// ```
+/// use lis_core::figures;
+/// use lis_sim::{Adder, EvenOddGenerator, LisSimulator, QueueMode};
+///
+/// let (sys, upper, lower) = figures::fig1();
+/// let mut sim = LisSimulator::new(
+///     &sys,
+///     vec![Box::new(EvenOddGenerator::new()), Box::new(Adder::new(1))],
+///     QueueMode::Infinite,
+/// );
+/// sim.run(4);
+/// assert_eq!(sim.channel_trace(upper), vec![Some(0), Some(2), Some(4), Some(6)]);
+/// assert_eq!(sim.channel_trace(lower), vec![Some(1), Some(3), Some(5), Some(7)]);
+/// let b = sys.block_by_name("B").unwrap();
+/// assert_eq!(sim.block_output_trace(b, 0), vec![Some(0), None, Some(1), Some(5)]);
+/// ```
+pub struct LisSimulator {
+    model: LisModel,
+    cores: Vec<Box<dyn CoreModel>>,
+    /// Value FIFO per forward place (empty vecs for backedges).
+    fifo: Vec<VecDeque<Value>>,
+    /// Current token count per place (mirrors `fifo.len()` on forward
+    /// places; slot counts on backedges).
+    tokens: Vec<u64>,
+    /// Firing count per transition.
+    fired: Vec<u64>,
+    steps: u64,
+    /// Per transition, per step: emitted values (one per forward output
+    /// place) or `None` for a stalled period (τ).
+    traces: Vec<Vec<Option<Vec<Value>>>>,
+    /// Forward input/output places per transition, in channel order.
+    fwd_in: Vec<Vec<PlaceId>>,
+    fwd_out: Vec<Vec<PlaceId>>,
+    /// The block a transition implements (`None` for relay stations).
+    block_of: Vec<Option<BlockId>>,
+    /// Whether each block's output latch holds valid data at reset.
+    initialized: Vec<bool>,
+    /// Scratch buffers.
+    enabled: Vec<TransitionId>,
+    popped: Vec<Value>,
+}
+
+impl std::fmt::Debug for LisSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LisSimulator")
+            .field("steps", &self.steps)
+            .field("transitions", &self.fired.len())
+            .finish()
+    }
+}
+
+impl LisSimulator {
+    /// Builds a simulator for `sys` with one behavioral core per block
+    /// (indexed like the system's blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cores does not match the number of blocks,
+    /// or if a core's `initial_outputs` arity does not match the block's
+    /// output-channel count.
+    pub fn new(sys: &LisSystem, cores: Vec<Box<dyn CoreModel>>, mode: QueueMode) -> LisSimulator {
+        assert_eq!(
+            cores.len(),
+            sys.block_count(),
+            "one core model per block required"
+        );
+        let model = match mode {
+            QueueMode::Finite => LisModel::doubled(sys),
+            QueueMode::Infinite => LisModel::ideal(sys),
+        };
+        let graph = model.graph();
+        let nt = graph.transition_count();
+
+        let mut fwd_in = vec![Vec::new(); nt];
+        let mut fwd_out = vec![Vec::new(); nt];
+        let mut block_of = vec![None; nt];
+
+        for b in sys.block_ids() {
+            let t = model.block_transition(b);
+            block_of[t.index()] = Some(b);
+        }
+        // Channel-ordered wiring. Channels are iterated in id order, which
+        // fixes the argument order that cores see.
+        for c in sys.channel_ids() {
+            let fwd = model.forward_places(c);
+            let to_shell = *fwd.last().expect("channel has at least one hop");
+            fwd_in[graph.target(to_shell).index()].push(to_shell);
+            let from_shell = fwd[0];
+            fwd_out[graph.source(from_shell).index()].push(from_shell);
+            // Relay-station hops.
+            for (i, &rs) in model.relay_transitions(c).iter().enumerate() {
+                fwd_in[rs.index()].push(fwd[i]);
+                fwd_out[rs.index()].push(fwd[i + 1]);
+            }
+        }
+
+        for b in sys.block_ids() {
+            let t = model.block_transition(b);
+            // A core may produce *more* values than it has channels: the
+            // surplus outputs are observable in traces but drive nothing
+            // (Table I observes B's output latch although B has no output
+            // channel).
+            assert!(
+                cores[b.index()].initial_outputs().len() >= fwd_out[t.index()].len(),
+                "core {} must produce one value per output channel",
+                sys.block_name(b)
+            );
+        }
+
+        let tokens: Vec<u64> = graph.place_ids().map(|p| graph.tokens(p)).collect();
+        let fifo: Vec<VecDeque<Value>> = graph
+            .place_ids()
+            .map(|p| {
+                // Forward places start with dummy reset values; they are
+                // consumed by the first firing (which emits the core's
+                // initialized outputs) and never observed.
+                let is_fwd = model.is_forward(p);
+                let mut q = VecDeque::new();
+                if is_fwd {
+                    for _ in 0..graph.tokens(p) {
+                        q.push_back(0);
+                    }
+                }
+                q
+            })
+            .collect();
+
+        let initialized = sys.block_ids().map(|b| sys.is_initialized(b)).collect();
+        LisSimulator {
+            cores,
+            fifo,
+            tokens,
+            fired: vec![0; nt],
+            steps: 0,
+            traces: vec![Vec::new(); nt],
+            fwd_in,
+            fwd_out,
+            block_of,
+            initialized,
+            enabled: Vec::new(),
+            popped: Vec::new(),
+            model,
+        }
+    }
+
+    /// The number of clock periods simulated so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Executes one clock period: every enabled transition fires.
+    /// Returns how many transitions fired.
+    pub fn step(&mut self) -> usize {
+        let graph = self.model.graph();
+        self.enabled.clear();
+        for t in graph.transition_ids() {
+            if graph.inputs(t).iter().all(|&p| self.tokens[p.index()] > 0) {
+                self.enabled.push(t);
+            }
+        }
+        // Consume phase.
+        let enabled = std::mem::take(&mut self.enabled);
+        let mut emissions: Vec<(TransitionId, Vec<Value>)> = Vec::with_capacity(enabled.len());
+        for &t in &enabled {
+            self.popped.clear();
+            for &p in &self.fwd_in[t.index()] {
+                let v = self.fifo[p.index()]
+                    .pop_front()
+                    .expect("enabled transition has values on forward inputs");
+                self.popped.push(v);
+            }
+            for &p in self.model.graph().inputs(t) {
+                self.tokens[p.index()] -= 1;
+            }
+            let outputs = match self.block_of[t.index()] {
+                Some(b) => {
+                    let core = &mut self.cores[b.index()];
+                    if self.fired[t.index()] == 0 && self.initialized[b.index()] {
+                        // First firing transfers the reset-initialized
+                        // outputs; the popped dummies are discarded.
+                        core.initial_outputs()
+                    } else {
+                        // Uninitialized blocks never had a preloaded latch:
+                        // every firing, including the first, computes from
+                        // real inputs.
+                        core.compute(&self.popped)
+                    }
+                }
+                // Relay stations forward their single input value.
+                None => vec![self.popped[0]],
+            };
+            self.fired[t.index()] += 1;
+            emissions.push((t, outputs));
+        }
+        // Produce phase.
+        let fired_count = emissions.len();
+        let mut emitted: Vec<Option<Vec<Value>>> =
+            vec![None; self.model.graph().transition_count()];
+        for (t, outputs) in emissions {
+            for (i, &p) in self.fwd_out[t.index()].iter().enumerate() {
+                self.fifo[p.index()].push_back(outputs[i]);
+            }
+            for &p in self.model.graph().outputs(t) {
+                self.tokens[p.index()] += 1;
+            }
+            emitted[t.index()] = Some(outputs);
+        }
+        for (t, e) in emitted.into_iter().enumerate() {
+            self.traces[t].push(e);
+        }
+        self.steps += 1;
+        fired_count
+    }
+
+    /// Runs `n` clock periods.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Firing count of a block's shell.
+    pub fn firings(&self, b: BlockId) -> u64 {
+        self.fired[self.model.block_transition(b).index()]
+    }
+
+    /// Average firing rate of a block over the simulated periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step has been executed.
+    pub fn throughput(&self, b: BlockId) -> Ratio {
+        assert!(self.steps > 0, "throughput requires at least one step");
+        Ratio::new(self.firings(b) as i64, self.steps as i64)
+    }
+
+    /// The smallest per-block firing rate (converges to the system MST for
+    /// strongly connected doubled graphs).
+    pub fn min_throughput(&self) -> Ratio {
+        let mut best: Option<Ratio> = None;
+        for (t, &f) in self.fired.iter().enumerate() {
+            if self.block_of[t].is_some() {
+                let r = Ratio::new(f as i64, self.steps.max(1) as i64);
+                best = Some(best.map_or(r, |b: Ratio| b.min(r)));
+            }
+        }
+        best.expect("system has at least one block")
+    }
+
+    /// The output trace of one of a block's output channels: the value
+    /// emitted at each period, `None` for τ (stalled).
+    ///
+    /// `output_index` is the position of the channel among the block's
+    /// output channels in channel-id order.
+    pub fn block_output_trace(&self, b: BlockId, output_index: usize) -> Vec<Option<Value>> {
+        let t = self.model.block_transition(b);
+        self.transition_output_trace(t, output_index)
+    }
+
+    /// The trace of the data a channel's *producer end* emits (the values
+    /// entering the channel, τ when the producer stalls).
+    pub fn channel_trace(&self, c: ChannelId) -> Vec<Option<Value>> {
+        let graph = self.model.graph();
+        let first = self.model.forward_places(c)[0];
+        let producer = graph.source(first);
+        let idx = self.fwd_out[producer.index()]
+            .iter()
+            .position(|&p| p == first)
+            .expect("channel head is among producer outputs");
+        self.transition_output_trace(producer, idx)
+    }
+
+    /// The trace emitted by the `i`-th relay station of a channel
+    /// (producer → consumer order). Reproduces the "Relay Station" row of
+    /// Table I.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel has fewer than `i + 1` relay stations.
+    pub fn relay_station_trace(&self, c: ChannelId, i: usize) -> Vec<Option<Value>> {
+        let rs = self.model.relay_transitions(c)[i];
+        self.transition_output_trace(rs, 0)
+    }
+
+    /// Per period: whether block `b`'s shell fired (independent of how many
+    /// output channels it has).
+    pub fn block_fired_trace(&self, b: BlockId) -> Vec<bool> {
+        let t = self.model.block_transition(b);
+        self.traces[t.index()].iter().map(|e| e.is_some()).collect()
+    }
+
+    fn transition_output_trace(&self, t: TransitionId, output_index: usize) -> Vec<Option<Value>> {
+        self.traces[t.index()]
+            .iter()
+            .map(|e| e.as_ref().map(|vals| vals[output_index]))
+            .collect()
+    }
+
+    /// Read access to a core (e.g. to inspect a [`Sink`]'s counter).
+    ///
+    /// [`Sink`]: crate::core_model::Sink
+    pub fn core(&self, b: BlockId) -> &dyn CoreModel {
+        self.cores[b.index()].as_ref()
+    }
+
+    /// The number of valid data items currently buffered on the consumer
+    /// side of channel `c`: the shell's input queue plus the in-flight item
+    /// the producer has latched (the token count of the channel's last
+    /// forward place). The edge/backedge invariant bounds this by
+    /// `queue_capacity + 1`.
+    pub fn queue_occupancy(&self, c: ChannelId) -> u64 {
+        let last = *self
+            .model
+            .forward_places(c)
+            .last()
+            .expect("channel has at least one hop");
+        self.tokens[last.index()]
+    }
+}
+
+/// Attaches a throughput throttle to a block: an auxiliary feedback ring
+/// that caps the block's firing rate at `num / den`, modeling an
+/// environment that produces or consumes data at that rate.
+///
+/// The ring consists of `num - 1` pass-through blocks and `den - num` relay
+/// stations, giving a cycle with `num` tokens over `den` places. Returns the
+/// auxiliary block ids (give each a [`Passthrough`] core, or any
+/// single-input core).
+///
+/// [`Passthrough`]: crate::core_model::Passthrough
+///
+/// # Panics
+///
+/// Panics unless `1 <= num <= den`.
+pub fn attach_throttle(sys: &mut LisSystem, b: BlockId, num: u32, den: u32) -> Vec<BlockId> {
+    assert!(num >= 1, "rate numerator must be at least 1");
+    assert!(num <= den, "rate must not exceed 1");
+    let aux: Vec<BlockId> = (0..num - 1)
+        .map(|i| sys.add_block(format!("throttle{i}({})", sys.block_name(b))))
+        .collect();
+    let mut ring = vec![b];
+    ring.extend(&aux);
+    let mut channels = Vec::new();
+    for i in 0..ring.len() {
+        channels.push(sys.add_channel(ring[i], ring[(i + 1) % ring.len()]));
+    }
+    for k in 0..(den - num) {
+        sys.add_relay_station(channels[(k as usize) % channels.len()]);
+    }
+    aux
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_model::{Adder, EvenOddGenerator, Passthrough, Sink};
+    use lis_core::figures;
+
+    fn fig1_cores() -> Vec<Box<dyn CoreModel>> {
+        vec![Box::new(EvenOddGenerator::new()), Box::new(Adder::new(1))]
+    }
+
+    #[test]
+    fn table1_traces_ideal() {
+        let (sys, upper, lower) = figures::fig1();
+        let mut sim = LisSimulator::new(&sys, fig1_cores(), QueueMode::Infinite);
+        sim.run(4);
+        // Paper Table I, all four rows.
+        assert_eq!(
+            sim.channel_trace(upper),
+            vec![Some(0), Some(2), Some(4), Some(6)]
+        );
+        assert_eq!(
+            sim.channel_trace(lower),
+            vec![Some(1), Some(3), Some(5), Some(7)]
+        );
+        let b = sys.block_by_name("B").unwrap();
+        assert_eq!(
+            sim.block_output_trace(b, 0),
+            vec![Some(0), None, Some(1), Some(5)]
+        );
+        assert_eq!(
+            sim.relay_station_trace(upper, 0),
+            vec![None, Some(0), Some(2), Some(4)]
+        );
+    }
+
+    #[test]
+    fn finite_queues_throttle_a_to_two_thirds() {
+        // Fig. 2 left / Fig. 5: with q = 1 the measured rate converges to
+        // the analytic MST of 2/3.
+        let (sys, _, _) = figures::fig1();
+        let mut sim = LisSimulator::new(&sys, fig1_cores(), QueueMode::Finite);
+        sim.run(3000);
+        let a = sys.block_by_name("A").unwrap();
+        let measured = sim.throughput(a).to_f64();
+        assert!((measured - 2.0 / 3.0).abs() < 0.01, "measured {measured}");
+    }
+
+    #[test]
+    fn queue_sizing_restores_measured_throughput() {
+        // Fig. 6: q = 2 on the lower channel brings the measured rate back
+        // to (almost) 1 — only the pipeline fill transient is lost.
+        let (sys, _, _) = figures::fig6();
+        let mut sim = LisSimulator::new(&sys, fig1_cores(), QueueMode::Finite);
+        sim.run(3000);
+        let a = sys.block_by_name("A").unwrap();
+        assert!(sim.throughput(a).to_f64() > 0.999);
+    }
+
+    #[test]
+    fn valid_data_sequences_match_between_regimes() {
+        // Latency equivalence: the finite-queue system emits the same valid
+        // values as the infinite-queue one, just interleaved with more τ's.
+        let (sys, upper, _) = figures::fig1();
+        let mut ideal = LisSimulator::new(&sys, fig1_cores(), QueueMode::Infinite);
+        let mut finite = LisSimulator::new(&sys, fig1_cores(), QueueMode::Finite);
+        ideal.run(300);
+        finite.run(300);
+        let strip = |t: Vec<Option<Value>>| -> Vec<Value> { t.into_iter().flatten().collect() };
+        let vi = strip(ideal.channel_trace(upper));
+        let vf = strip(finite.channel_trace(upper));
+        let n = vi.len().min(vf.len());
+        assert!(n > 100);
+        assert_eq!(vi[..n], vf[..n]);
+    }
+
+    #[test]
+    fn sink_core_is_inspectable() {
+        let mut sys = LisSystem::new();
+        let a = sys.add_block("src");
+        let b = sys.add_block("sink");
+        sys.add_channel(a, b);
+        let cores: Vec<Box<dyn CoreModel>> =
+            vec![Box::new(Passthrough::new(1, 7)), Box::new(Sink::new(0))];
+        let mut sim = LisSimulator::new(&sys, cores, QueueMode::Finite);
+        sim.run(10);
+        assert_eq!(sim.firings(b), 10);
+        // The sink has no output channels; only its firing count is visible.
+        assert!(format!("{:?}", sim.core(b)).contains("Sink"));
+    }
+
+    #[test]
+    fn throttle_caps_rate() {
+        let mut sys = LisSystem::new();
+        let a = sys.add_block("src");
+        let b = sys.add_block("dst");
+        sys.add_channel(a, b);
+        let aux = attach_throttle(&mut sys, a, 3, 4);
+        assert_eq!(aux.len(), 2);
+        let mut cores: Vec<Box<dyn CoreModel>> = vec![
+            Box::new(Passthrough::new(2, 0)), // src: channel to dst + ring
+            Box::new(Sink::new(0)),
+        ];
+        for _ in &aux {
+            cores.push(Box::new(Passthrough::new(1, 0)));
+        }
+        let mut sim = LisSimulator::new(&sys, cores, QueueMode::Finite);
+        sim.run(4000);
+        let measured = sim.throughput(a).to_f64();
+        assert!((measured - 0.75).abs() < 0.01, "measured {measured}");
+        // Analysis agrees.
+        assert_eq!(lis_core::practical_mst(&sys), Ratio::new(3, 4));
+    }
+
+    #[test]
+    fn measured_matches_analytic_on_fig15() {
+        let (sys, _) = figures::fig15();
+        // All blocks are single-output pass-throughs except A (2 outputs)
+        // and C (3 outputs).
+        let mut cores: Vec<Box<dyn CoreModel>> = Vec::new();
+        for b in sys.block_ids() {
+            let outs = sys
+                .channel_ids()
+                .filter(|&c| sys.channel_from(c) == b)
+                .count();
+            cores.push(Box::new(Passthrough::new(outs, 0)));
+        }
+        let mut sim = LisSimulator::new(&sys, cores, QueueMode::Finite);
+        sim.run(4000);
+        let analytic = lis_core::practical_mst(&sys).to_f64();
+        for b in sys.block_ids() {
+            let measured = sim.throughput(b).to_f64();
+            assert!(
+                (measured - analytic).abs() < 0.01,
+                "block {b:?}: measured {measured} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one core model per block")]
+    fn wrong_core_count_panics() {
+        let (sys, _, _) = figures::fig1();
+        let _ = LisSimulator::new(&sys, vec![], QueueMode::Finite);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per output channel")]
+    fn wrong_arity_panics() {
+        let (sys, _, _) = figures::fig1();
+        let cores: Vec<Box<dyn CoreModel>> = vec![
+            Box::new(Passthrough::new(1, 0)), // A has two output channels
+            Box::new(Adder::new(1)),
+        ];
+        let _ = LisSimulator::new(&sys, cores, QueueMode::Finite);
+    }
+}

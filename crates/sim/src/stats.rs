@@ -1,0 +1,217 @@
+//! Stall and occupancy statistics for simulated systems.
+//!
+//! Knowing *that* a system runs at 2/3 is the analysis; knowing *which*
+//! shells stall and *which* queues run full is what a designer acts on.
+//! [`SimStats`] aggregates a finished simulation into per-block stall
+//! counts, per-channel queue high-water marks, and occupancy histograms.
+
+use lis_core::{BlockId, ChannelId, LisSystem};
+
+use crate::simulator::LisSimulator;
+
+/// Aggregated statistics of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimStats {
+    steps: u64,
+    /// Per block: periods in which the shell did not fire.
+    stalls: Vec<u64>,
+    /// Per channel: maximum number of valid data items buffered on the
+    /// consumer side (input queue + the in-flight item) at any period
+    /// boundary. Bounded by `queue_capacity + 1`.
+    queue_high_water: Vec<u64>,
+    /// Per channel: histogram of queue occupancy (index = items waiting),
+    /// sampled at every period boundary.
+    occupancy: Vec<Vec<u64>>,
+}
+
+impl SimStats {
+    /// Number of periods the statistics cover.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Periods in which block `b`'s shell was stalled (did not fire).
+    pub fn stalls(&self, b: BlockId) -> u64 {
+        self.stalls[b.index()]
+    }
+
+    /// Fraction of periods block `b` was stalled.
+    pub fn stall_ratio(&self, b: BlockId) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.stalls[b.index()] as f64 / self.steps as f64
+        }
+    }
+
+    /// The maximum queue occupancy seen on channel `c`.
+    pub fn queue_high_water(&self, c: ChannelId) -> u64 {
+        self.queue_high_water[c.index()]
+    }
+
+    /// Histogram of queue occupancy for channel `c`: entry `k` counts the
+    /// period boundaries at which exactly `k` valid items were waiting.
+    pub fn occupancy_histogram(&self, c: ChannelId) -> &[u64] {
+        &self.occupancy[c.index()]
+    }
+
+    /// The block that stalls the most (ties broken by lower id); `None`
+    /// for empty systems.
+    pub fn worst_block(&self) -> Option<BlockId> {
+        self.stalls
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+            .map(|(i, _)| BlockId::new(i))
+    }
+}
+
+/// Collects statistics while driving a simulator for `steps` periods.
+///
+/// The occupancy of a channel counts the valid items buffered on its
+/// consumer side — the shell's input queue plus the in-flight item — which
+/// is the token count of the channel's last forward place and is bounded by
+/// `queue_capacity + 1`.
+///
+/// # Examples
+///
+/// Fig. 1 under backpressure: `B` stalls one period in three, and the
+/// lower channel fills up completely (one queue slot + the in-flight item).
+///
+/// ```
+/// use lis_core::figures;
+/// use lis_sim::{collect_stats, Adder, EvenOddGenerator, LisSimulator, QueueMode};
+///
+/// let (sys, _, lower) = figures::fig1();
+/// let mut sim = LisSimulator::new(
+///     &sys,
+///     vec![Box::new(EvenOddGenerator::new()), Box::new(Adder::new(1))],
+///     QueueMode::Finite,
+/// );
+/// let stats = collect_stats(&sys, &mut sim, 3000);
+/// let b = sys.block_by_name("B").expect("exists");
+/// assert!((stats.stall_ratio(b) - 1.0 / 3.0).abs() < 0.01);
+/// assert_eq!(stats.queue_high_water(lower), 2);
+/// ```
+pub fn collect_stats(sys: &LisSystem, sim: &mut LisSimulator, steps: u64) -> SimStats {
+    let n_blocks = sys.block_count();
+    let n_channels = sys.channel_count();
+    let mut stalls = vec![0u64; n_blocks];
+    let mut queue_high_water = vec![0u64; n_channels];
+    let mut occupancy = vec![Vec::new(); n_channels];
+
+    let fired_before: Vec<u64> = sys.block_ids().map(|b| sim.firings(b)).collect();
+    let mut fired_prev = fired_before;
+
+    for _ in 0..steps {
+        sim.step();
+        for b in sys.block_ids() {
+            let now = sim.firings(b);
+            if now == fired_prev[b.index()] {
+                stalls[b.index()] += 1;
+            }
+            fired_prev[b.index()] = now;
+        }
+        for c in sys.channel_ids() {
+            let occ = sim.queue_occupancy(c);
+            let hw = &mut queue_high_water[c.index()];
+            *hw = (*hw).max(occ);
+            let hist = &mut occupancy[c.index()];
+            if hist.len() <= occ as usize {
+                hist.resize(occ as usize + 1, 0);
+            }
+            hist[occ as usize] += 1;
+        }
+    }
+
+    SimStats {
+        steps,
+        stalls,
+        queue_high_water,
+        occupancy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_model::{Adder, CoreModel, EvenOddGenerator, Passthrough};
+    use crate::simulator::QueueMode;
+    use lis_core::figures;
+
+    fn fig1_cores() -> Vec<Box<dyn CoreModel>> {
+        vec![Box::new(EvenOddGenerator::new()), Box::new(Adder::new(1))]
+    }
+
+    #[test]
+    fn fig1_stall_pattern() {
+        let (sys, upper, lower) = figures::fig1();
+        let mut sim = LisSimulator::new(&sys, fig1_cores(), QueueMode::Finite);
+        let stats = collect_stats(&sys, &mut sim, 3000);
+        let a = sys.block_by_name("A").unwrap();
+        let b = sys.block_by_name("B").unwrap();
+        // Both run at 2/3, so both stall one period in three.
+        assert!((stats.stall_ratio(a) - 1.0 / 3.0).abs() < 0.01);
+        assert!((stats.stall_ratio(b) - 1.0 / 3.0).abs() < 0.01);
+        // Occupancy never exceeds capacity + 1 (queue + in-flight item);
+        // the lower channel saturates while the upper one drains through
+        // the relay station.
+        assert!(stats.queue_high_water(upper) <= 2);
+        assert_eq!(stats.queue_high_water(lower), 2);
+        assert_eq!(stats.steps(), 3000);
+        // Histogram mass sums to the step count.
+        let total: u64 = stats.occupancy_histogram(lower).iter().sum();
+        assert_eq!(total, 3000);
+    }
+
+    #[test]
+    fn sized_system_never_stalls_after_warmup() {
+        let (sys, _, _) = figures::fig6();
+        let mut sim = LisSimulator::new(&sys, fig1_cores(), QueueMode::Finite);
+        // Warm up past the transient, then measure.
+        sim.run(10);
+        let stats = collect_stats(&sys, &mut sim, 1000);
+        for b in sys.block_ids() {
+            assert_eq!(stats.stalls(b), 0, "{b:?} stalled after sizing");
+        }
+    }
+
+    #[test]
+    fn occupancy_respects_capacity() {
+        let (mut sys, _, lower) = figures::fig1();
+        sys.set_queue_capacity(lower, 3).unwrap();
+        let mut sim = LisSimulator::new(&sys, fig1_cores(), QueueMode::Finite);
+        let stats = collect_stats(&sys, &mut sim, 2000);
+        assert!(stats.queue_high_water(lower) <= 4);
+        assert!(stats.occupancy_histogram(lower).len() <= 5);
+    }
+
+    #[test]
+    fn worst_block_identifies_the_stalled_one() {
+        // source -> sink where the sink is throttled to 1/2 by a ring.
+        let mut sys = lis_core::LisSystem::new();
+        let src = sys.add_block("src");
+        let dst = sys.add_block("dst");
+        sys.add_channel(src, dst);
+        let aux = crate::simulator::attach_throttle(&mut sys, dst, 1, 2);
+        assert!(aux.is_empty()); // rate 1/2 needs no aux blocks, one rs ring
+        let cores: Vec<Box<dyn CoreModel>> = vec![
+            Box::new(Passthrough::new(1, 0)),
+            Box::new(Passthrough::new(1, 0)), // dst: ring output
+        ];
+        let mut sim = LisSimulator::new(&sys, cores, QueueMode::Finite);
+        let stats = collect_stats(&sys, &mut sim, 2000);
+        assert!(stats.stall_ratio(dst) > 0.45);
+        assert!(stats.worst_block().is_some());
+    }
+
+    #[test]
+    fn empty_run_statistics() {
+        let (sys, _, _) = figures::fig1();
+        let mut sim = LisSimulator::new(&sys, fig1_cores(), QueueMode::Finite);
+        let stats = collect_stats(&sys, &mut sim, 0);
+        let a = sys.block_by_name("A").unwrap();
+        assert_eq!(stats.stall_ratio(a), 0.0);
+        assert_eq!(stats.steps(), 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! VCD (Value Change Dump) waveform export.
+//!
+//! Dumps a simulation as an IEEE-1364 VCD file viewable in GTKWave &c.:
+//! per channel, the presented data value and a `void` flag (the τ's of the
+//! protocol); per block, a `stall` flag. This is the waveform a designer
+//! would inspect on the RTL implementation — the simulator reproduces it
+//! from the protocol-level model.
+
+use std::fmt::Write as _;
+
+use lis_core::{BlockId, ChannelId, LisSystem};
+
+use crate::core_model::Value;
+use crate::simulator::LisSimulator;
+
+/// Identifier characters usable as VCD short codes.
+const ID_CHARS: &[u8] = b"!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~";
+
+fn short_id(mut n: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push(ID_CHARS[n % ID_CHARS.len()] as char);
+        n /= ID_CHARS.len();
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders the recorded traces of a finished simulation as a VCD document.
+///
+/// Signals:
+///
+/// * `<channel>_data` (64-bit vector) — the value presented on the channel
+///   at each period; holds its previous value during voids;
+/// * `<channel>_void` (1 bit) — high when the producer emitted τ;
+/// * `<block>_stall` (1 bit) — high when the shell did not fire.
+///
+/// # Examples
+///
+/// ```
+/// use lis_core::figures;
+/// use lis_sim::{to_vcd, Adder, EvenOddGenerator, LisSimulator, QueueMode};
+///
+/// let (sys, _, _) = figures::fig1();
+/// let mut sim = LisSimulator::new(
+///     &sys,
+///     vec![Box::new(EvenOddGenerator::new()), Box::new(Adder::new(1))],
+///     QueueMode::Finite,
+/// );
+/// sim.run(12);
+/// let vcd = to_vcd(&sys, &sim);
+/// assert!(vcd.starts_with("$date"));
+/// assert!(vcd.contains("$var wire 1"));
+/// assert!(vcd.contains("#0"));
+/// ```
+pub fn to_vcd(sys: &LisSystem, sim: &LisSimulator) -> String {
+    let steps = sim.steps();
+    let mut out = String::new();
+    out.push_str("$date synthetic $end\n");
+    out.push_str("$version lis-sim VCD export $end\n");
+    out.push_str("$timescale 1 ns $end\n");
+    out.push_str("$scope module lis $end\n");
+
+    struct Sig {
+        id: String,
+        kind: SigKind,
+    }
+    enum SigKind {
+        ChannelData(ChannelId),
+        ChannelVoid(ChannelId),
+        BlockStall(BlockId),
+    }
+
+    let mut signals: Vec<Sig> = Vec::new();
+    let mut next = 0usize;
+    let mut fresh = |signals: &mut Vec<Sig>, kind: SigKind| {
+        let id = short_id(next);
+        next += 1;
+        signals.push(Sig { id, kind });
+    };
+
+    for c in sys.channel_ids() {
+        let label = format!(
+            "{}_to_{}_{}",
+            sanitize(sys.block_name(sys.channel_from(c))),
+            sanitize(sys.block_name(sys.channel_to(c))),
+            c.index()
+        );
+        fresh(&mut signals, SigKind::ChannelData(c));
+        let _ = writeln!(
+            out,
+            "$var wire 64 {} {label}_data $end",
+            signals.last().expect("just pushed").id
+        );
+        fresh(&mut signals, SigKind::ChannelVoid(c));
+        let _ = writeln!(
+            out,
+            "$var wire 1 {} {label}_void $end",
+            signals.last().expect("just pushed").id
+        );
+    }
+    for b in sys.block_ids() {
+        fresh(&mut signals, SigKind::BlockStall(b));
+        let _ = writeln!(
+            out,
+            "$var wire 1 {} {}_stall $end",
+            signals.last().expect("just pushed").id,
+            sanitize(sys.block_name(b))
+        );
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    // Pre-extract traces.
+    let channel_traces: Vec<Vec<Option<Value>>> =
+        sys.channel_ids().map(|c| sim.channel_trace(c)).collect();
+    let block_fired: Vec<Vec<bool>> = sys.block_ids().map(|b| sim.block_fired_trace(b)).collect();
+
+    let fmt_bits = |v: Value| -> String { format!("b{:064b}", v as u64) };
+
+    let mut last_data: Vec<Option<Value>> = vec![None; channel_traces.len()];
+    let mut last_void: Vec<Option<bool>> = vec![None; channel_traces.len()];
+    let mut last_stall: Vec<Option<bool>> = vec![None; block_fired.len()];
+
+    for t in 0..steps as usize {
+        let mut changes = String::new();
+        let mut ci = 0usize;
+        let mut bi = 0usize;
+        for sig in &signals {
+            match sig.kind {
+                SigKind::ChannelData(c) => {
+                    ci = c.index();
+                    if let Some(v) = channel_traces[ci][t] {
+                        if last_data[ci] != Some(v) {
+                            let _ = writeln!(changes, "{} {}", fmt_bits(v), sig.id);
+                            last_data[ci] = Some(v);
+                        }
+                    }
+                }
+                SigKind::ChannelVoid(c) => {
+                    let idx = c.index();
+                    let is_void = channel_traces[idx][t].is_none();
+                    if last_void[idx] != Some(is_void) {
+                        let _ = writeln!(changes, "{}{}", u8::from(is_void), sig.id);
+                        last_void[idx] = Some(is_void);
+                    }
+                }
+                SigKind::BlockStall(b) => {
+                    bi = b.index();
+                    let stalled = !block_fired[bi][t];
+                    if last_stall[bi] != Some(stalled) {
+                        let _ = writeln!(changes, "{}{}", u8::from(stalled), sig.id);
+                        last_stall[bi] = Some(stalled);
+                    }
+                }
+            }
+        }
+        let _ = (ci, bi);
+        if !changes.is_empty() || t == 0 {
+            let _ = writeln!(out, "#{t}");
+            out.push_str(&changes);
+        }
+    }
+    let _ = writeln!(out, "#{steps}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_model::{Adder, CoreModel, EvenOddGenerator};
+    use crate::simulator::QueueMode;
+    use lis_core::figures;
+
+    fn fig1_sim(steps: u64, mode: QueueMode) -> (lis_core::LisSystem, LisSimulator) {
+        let (sys, _, _) = figures::fig1();
+        let cores: Vec<Box<dyn CoreModel>> =
+            vec![Box::new(EvenOddGenerator::new()), Box::new(Adder::new(1))];
+        let mut sim = LisSimulator::new(&sys, cores, mode);
+        sim.run(steps);
+        (sys, sim)
+    }
+
+    #[test]
+    fn header_and_definitions() {
+        let (sys, sim) = fig1_sim(8, QueueMode::Finite);
+        let vcd = to_vcd(&sys, &sim);
+        assert!(vcd.contains("$timescale 1 ns $end"));
+        assert!(vcd.contains("$scope module lis $end"));
+        assert!(vcd.contains("A_to_B_0_data"));
+        assert!(vcd.contains("A_to_B_1_void"));
+        assert!(vcd.contains("A_stall"));
+        assert!(vcd.contains("B_stall"));
+        assert!(vcd.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn initial_values_dumped_at_time_zero() {
+        let (sys, sim) = fig1_sim(4, QueueMode::Infinite);
+        let vcd = to_vcd(&sys, &sim);
+        let after_zero = vcd.split("#0\n").nth(1).expect("time zero present");
+        // At t0, A presents 0 on the upper channel: a 64-bit zero vector.
+        assert!(after_zero.contains(&format!("b{:064b}", 0)));
+    }
+
+    #[test]
+    fn void_signal_tracks_taus() {
+        // Under backpressure B stalls every third period; its stall signal
+        // must toggle, so both '0' and '1' edges for the stall id exist.
+        let (sys, sim) = fig1_sim(30, QueueMode::Finite);
+        let vcd = to_vcd(&sys, &sim);
+        // Find B_stall's id.
+        let line = vcd
+            .lines()
+            .find(|l| l.contains("B_stall"))
+            .expect("B_stall declared");
+        let id = line.split_whitespace().nth(3).expect("id field");
+        assert!(vcd.contains(&format!("\n1{id}\n")) || vcd.contains(&format!("\n1{id}")));
+        assert!(vcd.contains(&format!("\n0{id}\n")) || vcd.contains(&format!("\n0{id}")));
+    }
+
+    #[test]
+    fn short_ids_are_unique_and_printable() {
+        let ids: Vec<String> = (0..500).map(short_id).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        for id in &ids {
+            assert!(id.bytes().all(|b| (33..=126).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("rs1(A->B)"), "rs1_A__B_");
+        assert_eq!(sanitize("plain_name9"), "plain_name9");
+    }
+
+    #[test]
+    fn final_timestamp_present() {
+        let (sys, sim) = fig1_sim(5, QueueMode::Finite);
+        let vcd = to_vcd(&sys, &sim);
+        assert!(vcd.trim_end().ends_with("#5"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Exports the paper's systems as `.lis` netlist files for use with the
+//! `lis` command-line tool.
+//!
+//! Run with: `cargo run --example export_netlists [output-dir]`
+//! (default output directory: `examples/netlists`)
+
+use lis::cofdm::{cofdm_soc, table6_scenario};
+use lis::core::{expand_block_latency, figures, to_netlist};
+use lis::gen::mesh;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "examples/netlists".to_string());
+    std::fs::create_dir_all(&dir)?;
+
+    let (fig1, _, _) = figures::fig1();
+    let (fig15, _) = figures::fig15();
+    // A 3x3 NoC mesh with a pipelined corner link.
+    let m = mesh(3, 3);
+    let mut noc = m.system.clone();
+    noc.add_relay_station(lis::core::ChannelId::new(0));
+    // Fig. 1 with a latency-3 producer (multi-cycle core demo).
+    let pipelined = expand_block_latency(&fig1, lis::core::BlockId::new(0), 3).system;
+    let exports = [
+        ("fig1.lis", to_netlist(&fig1)),
+        ("fig15.lis", to_netlist(&fig15)),
+        ("cofdm.lis", to_netlist(&cofdm_soc().system)),
+        ("cofdm_table6.lis", to_netlist(&table6_scenario().system)),
+        ("mesh3x3.lis", to_netlist(&noc)),
+        ("fig1_pipelined.lis", to_netlist(&pipelined)),
+    ];
+    for (name, text) in exports {
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, text)?;
+        println!("wrote {path}");
+    }
+    println!("\ntry: cargo run -p lis-cli -- analyze {dir}/cofdm_table6.lis");
+    Ok(())
+}

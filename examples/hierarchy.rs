@@ -1,0 +1,70 @@
+//! Hierarchical design: compose subsystems, analyze the whole, repair the
+//! cheapest way, and dump a waveform of the result.
+//!
+//! Run with: `cargo run --example hierarchy`
+
+use lis::core::{ideal_mst, instantiate, practical_mst, to_netlist, LisSystem};
+use lis::rsopt::{repair, RepairOptions, RepairPlan};
+use lis::sim::{to_vcd, CoreModel, LisSimulator, Passthrough, QueueMode};
+
+/// A reusable subsystem: a two-stage compute cluster whose internal result
+/// loops back (think processor + coprocessor with a handshake).
+fn cluster() -> LisSystem {
+    let mut sys = LisSystem::new();
+    let cpu = sys.add_block("cpu");
+    let acc = sys.add_block("acc");
+    sys.add_channel(cpu, acc);
+    sys.add_channel(acc, cpu);
+    sys
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Top level: the left cluster feeds the right cluster's cpu from both
+    // of its blocks — reconvergent paths (the left cluster's internal loop
+    // links them). Floorplanning made the cpu-to-cpu wire long.
+    let mut soc = LisSystem::new();
+    let left = instantiate(&mut soc, &cluster(), "left");
+    let right = instantiate(&mut soc, &cluster(), "right");
+    let long_link = soc.add_channel(left.blocks[0], right.blocks[0]);
+    soc.add_channel(left.blocks[1], right.blocks[0]);
+    soc.add_relay_station(long_link);
+
+    println!("{soc}");
+    println!("ideal MST:     {}", ideal_mst(&soc));
+    println!("practical MST: {}", practical_mst(&soc));
+
+    // Pick the cheapest repair under default costs.
+    let plan = repair(&soc, &RepairOptions::default())?;
+    match &plan {
+        RepairPlan::NothingToDo => println!("no repair needed"),
+        RepairPlan::QueueSizing { cost, .. } => println!("repair: queue sizing, cost {cost}"),
+        RepairPlan::Insertion { cost, .. } => println!("repair: insertion, cost {cost}"),
+    }
+    let mut fixed = soc.clone();
+    plan.apply(&mut fixed);
+    println!("MST after repair: {}", practical_mst(&fixed));
+
+    // Dump a waveform of the repaired system.
+    let cores: Vec<Box<dyn CoreModel>> = fixed
+        .block_ids()
+        .map(|b| {
+            let outs = fixed
+                .channel_ids()
+                .filter(|&c| fixed.channel_from(c) == b)
+                .count();
+            Box::new(Passthrough::new(outs, 0)) as Box<dyn CoreModel>
+        })
+        .collect();
+    let mut sim = LisSimulator::new(&fixed, cores, QueueMode::Finite);
+    sim.run(64);
+    let vcd = to_vcd(&fixed, &sim);
+    let out = std::env::temp_dir().join("lis_hierarchy.vcd");
+    std::fs::write(&out, vcd)?;
+    println!("waveform written to {} (open with GTKWave)", out.display());
+
+    // And persist the repaired netlist.
+    let netlist = std::env::temp_dir().join("lis_hierarchy_fixed.lis");
+    std::fs::write(&netlist, to_netlist(&fixed))?;
+    println!("repaired netlist written to {}", netlist.display());
+    Ok(())
+}

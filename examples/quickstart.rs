@@ -1,0 +1,67 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Builds the two-core system of Fig. 1, checks its ideal and practical
+//! throughput, watches the degradation in a cycle-accurate simulation, and
+//! repairs it twice — once by queue sizing, once by relay-station insertion.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lis::core::{classify, ideal_mst, practical_mst, LisSystem};
+use lis::qs::{solve, verify_solution, Algorithm, QsConfig};
+use lis::rsopt::exhaustive_insertion;
+use lis::sim::{Adder, CoreModel, EvenOddGenerator, LisSimulator, QueueMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A emits even numbers on one channel and odd numbers on another; B adds
+    // them. The upper channel is long, so wire pipelining inserts a relay
+    // station on it.
+    let mut sys = LisSystem::new();
+    let a = sys.add_block("A");
+    let b = sys.add_block("B");
+    let upper = sys.add_channel(a, b);
+    let lower = sys.add_channel(a, b);
+    sys.add_relay_station(upper);
+
+    println!("{sys}");
+    println!("topology class: {}", classify(&sys));
+    println!("ideal MST (infinite queues):    {}", ideal_mst(&sys));
+    println!("practical MST (q = 1, stops):   {}", practical_mst(&sys));
+
+    // Watch the backpressure stalls in simulation.
+    let cores = || -> Vec<Box<dyn CoreModel>> {
+        vec![Box::new(EvenOddGenerator::new()), Box::new(Adder::new(1))]
+    };
+    let mut sim = LisSimulator::new(&sys, cores(), QueueMode::Finite);
+    sim.run(3000);
+    println!(
+        "measured rate of A over 3000 cycles: {:.4}",
+        sim.throughput(a).to_f64()
+    );
+
+    // Fix 1: queue sizing. The solver finds the minimal extra buffering.
+    let report = solve(&sys, Algorithm::Exact, &QsConfig::default())?;
+    println!(
+        "\nqueue sizing: {} extra slot(s) restore MST {} (proof: {})",
+        report.total_extra,
+        report.target,
+        verify_solution(&sys, &report)
+    );
+    for (c, w) in &report.extra_tokens {
+        println!(
+            "  channel {} -> {}: queue 1 -> {}",
+            sys.block_name(sys.channel_from(*c)),
+            sys.block_name(sys.channel_to(*c)),
+            1 + w
+        );
+    }
+
+    // Fix 2: relay-station insertion (path equalization).
+    let best = exhaustive_insertion(&sys, 1);
+    println!(
+        "\nrelay-station insertion: {} station(s) reach practical MST {}",
+        best.inserted, best.practical
+    );
+    assert_eq!(best.placements, vec![(lower, 1)]);
+
+    Ok(())
+}

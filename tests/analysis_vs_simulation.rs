@@ -1,0 +1,103 @@
+//! Cross-validation of the three throughput oracles on random systems:
+//! Karp's algorithm, Lawler's parametric search, minimum over enumerated
+//! cycles, step-semantics firing, and the value-level LIS simulator must all
+//! agree.
+
+use lis::core::{practical_mst, LisModel};
+use lis::gen::{generate, GeneratorConfig, InsertionPolicy};
+use lis::marked_graph::cycles::elementary_cycles;
+use lis::marked_graph::mcm::{karp, lawler};
+use lis::marked_graph::{FiringEngine, Ratio};
+use lis::sim::{CoreModel, LisSimulator, Passthrough, QueueMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_config(seed: u64) -> lis::core::LisSystem {
+    let cfg = GeneratorConfig {
+        vertices: 12,
+        sccs: 3,
+        min_cycles_per_scc: 2,
+        relay_stations: 4,
+        reconvergent_paths: true,
+        policy: InsertionPolicy::Scc,
+        extra_inter_edges: Some(2),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(&cfg, &mut rng).system
+}
+
+#[test]
+fn karp_lawler_and_cycle_enumeration_agree() {
+    for seed in 0..15 {
+        let sys = small_config(seed);
+        let g = LisModel::doubled(&sys).into_graph();
+        let k = karp(&g).expect("doubled graph has cycles");
+        assert_eq!(Some(k), lawler(&g), "seed {seed}");
+        let min_enumerated = elementary_cycles(&g, 1_000_000)
+            .expect("bounded")
+            .iter()
+            .map(|c| g.cycle_mean(c))
+            .min()
+            .expect("has cycles");
+        assert_eq!(k, min_enumerated, "seed {seed}");
+    }
+}
+
+#[test]
+fn firing_engine_converges_to_analytic_mst() {
+    for seed in 0..8 {
+        let sys = small_config(seed);
+        let analytic = practical_mst(&sys).to_f64();
+        let g = LisModel::doubled(&sys).into_graph();
+        let mut engine = FiringEngine::new(&g);
+        engine.run(5000);
+        // In the doubled graph of a connected LIS every transition settles
+        // at the system MST.
+        for t in g.transition_ids() {
+            let measured = engine.throughput(t).to_f64();
+            assert!(
+                (measured - analytic).abs() < 0.02,
+                "seed {seed}, {t:?}: measured {measured} vs analytic {analytic}"
+            );
+        }
+    }
+}
+
+#[test]
+fn value_simulator_matches_firing_engine() {
+    for seed in 0..5 {
+        let sys = small_config(seed);
+        let cores: Vec<Box<dyn CoreModel>> = sys
+            .block_ids()
+            .map(|b| {
+                let outs = sys
+                    .channel_ids()
+                    .filter(|&c| sys.channel_from(c) == b)
+                    .count();
+                Box::new(Passthrough::new(outs, 0)) as Box<dyn CoreModel>
+            })
+            .collect();
+        let mut sim = LisSimulator::new(&sys, cores, QueueMode::Finite);
+        sim.run(5000);
+        let analytic = practical_mst(&sys).to_f64();
+        for b in sys.block_ids() {
+            let measured = sim.throughput(b).to_f64();
+            assert!(
+                (measured - analytic).abs() < 0.02,
+                "seed {seed}, {b:?}: measured {measured} vs analytic {analytic}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_periodic_rate_equals_mst_on_fig1() {
+    let (sys, _, _) = lis::core::figures::fig1();
+    let g = LisModel::doubled(&sys).into_graph();
+    let mut engine = FiringEngine::new(&g);
+    let a = g.transition_ids().next().expect("nonempty");
+    assert_eq!(
+        engine.periodic_throughput(a, 10_000),
+        Some(Ratio::new(2, 3))
+    );
+}

@@ -1,0 +1,142 @@
+//! Deep end-to-end checks on the COFDM case study: exhaustive
+//! single-station insertion, repair-strategy selection, behavioral stream
+//! integrity through both simulators.
+
+use lis::cofdm::{cofdm_soc, table6_scenario};
+use lis::core::{ideal_mst, practical_mst};
+use lis::marked_graph::Ratio;
+use lis::qs::{solve, verify_solution, Algorithm, QsConfig};
+use lis::rsopt::{repair, RepairOptions, RepairPlan};
+use lis::sim::{
+    valid_values, CoreModel, LisSimulator, Passthrough, QueueMode, RtlSimulator, SequenceSource,
+    Sink, Value,
+};
+
+#[test]
+fn every_single_station_insertion_is_solvable() {
+    // 30 cases: one relay station per channel, q = 1. Whenever backpressure
+    // degrades the throughput, queue sizing repairs it and verifies.
+    let soc = cofdm_soc();
+    let mut degraded = 0;
+    for c in soc.system.channel_ids() {
+        let mut sys = soc.system.clone();
+        sys.add_relay_station(c);
+        let report = solve(&sys, Algorithm::Exact, &QsConfig::default()).expect("bounded");
+        assert!(report.optimal, "channel {c:?}");
+        assert!(verify_solution(&sys, &report), "channel {c:?}");
+        if practical_mst(&sys) < ideal_mst(&sys) {
+            degraded += 1;
+            assert!(report.total_extra > 0, "channel {c:?}");
+        } else {
+            assert_eq!(report.total_extra, 0, "channel {c:?}");
+        }
+    }
+    // A meaningful fraction of single insertions degrade on this topology.
+    assert!(degraded > 0);
+}
+
+#[test]
+fn explain_identifies_the_strict_bottlenecks() {
+    // The unique worst cycle (the 4/6 one) runs through exactly two shell
+    // queues — behind backedges (Pilot, Control) and (Control, FEC) — and
+    // one extra slot on either lifts the minimum, so both are strict
+    // bottlenecks. The (FFT_in, Control) queue fixes only a 5/7 cycle and
+    // is not.
+    let soc = table6_scenario();
+    let report = lis::core::explain(&soc.system);
+    assert!(report.is_degraded());
+    assert_eq!(report.bottleneck_queues.len(), 2);
+    assert!(report.bottleneck_queues.contains(&soc.control_pilot));
+    assert!(!report.bottleneck_queues.contains(&soc.control_fft_in));
+    assert!(report
+        .critical_cycle
+        .as_deref()
+        .expect("degraded")
+        .contains("Control*"));
+}
+
+#[test]
+fn repair_strategy_on_the_table6_scenario() {
+    let soc = table6_scenario();
+    let plan = repair(&soc.system, &RepairOptions::default()).expect("bounded");
+    // Insertion cannot restore 3/4 here (the stations sit on the critical
+    // ideal loop); queue sizing with 2 slots is the answer.
+    match &plan {
+        RepairPlan::QueueSizing { extra_slots, cost } => {
+            assert_eq!(extra_slots.iter().map(|&(_, w)| w).sum::<u64>(), 2);
+            assert_eq!(*cost, 2.0);
+        }
+        other => panic!("expected queue sizing, got {other:?}"),
+    }
+    let mut fixed = soc.system.clone();
+    plan.apply(&mut fixed);
+    assert_eq!(practical_mst(&fixed), Ratio::new(3, 4));
+}
+
+/// Behavioral cores for the SoC: PI emits a packet counter; every other
+/// block forwards its first input; sinks count.
+fn behavioral_cores(sys: &lis::core::LisSystem, pi: lis::core::BlockId) -> Vec<Box<dyn CoreModel>> {
+    sys.block_ids()
+        .map(|b| {
+            let outs = sys
+                .channel_ids()
+                .filter(|&c| sys.channel_from(c) == b)
+                .count();
+            if b == pi {
+                let script: Vec<Value> = (100..200).collect();
+                Box::new(SequenceSource::new(script, outs)) as Box<dyn CoreModel>
+            } else if outs == 0 {
+                Box::new(Sink::new(0)) as Box<dyn CoreModel>
+            } else {
+                Box::new(Passthrough::new(outs, 0)) as Box<dyn CoreModel>
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn both_simulators_agree_on_the_soc_streams() {
+    let soc = table6_scenario();
+    let sys = &soc.system;
+    let mut mg = LisSimulator::new(sys, behavioral_cores(sys, soc.pi), QueueMode::Finite);
+    let mut rtl = RtlSimulator::new(sys, behavioral_cores(sys, soc.pi));
+    mg.run(1200);
+    rtl.run(1200);
+    let analytic = practical_mst(sys).to_f64();
+    for b in sys.block_ids() {
+        let m = mg.throughput(b).to_f64();
+        let r = rtl.throughput(b).to_f64();
+        assert!((m - analytic).abs() < 0.02, "{b:?}: mg {m} vs {analytic}");
+        assert!((r - analytic).abs() < 0.02, "{b:?}: rtl {r} vs {analytic}");
+    }
+    // The valid-data streams on the pipelined channels are identical
+    // (latency equivalence between implementations).
+    for c in [soc.fec_spread, soc.spread_pilot] {
+        let vm = valid_values(&mg.channel_trace(c));
+        let vr = valid_values(&rtl.channel_trace(c));
+        let n = vm.len().min(vr.len());
+        assert!(n > 500, "too few transfers: {n}");
+        assert_eq!(vm[..n], vr[..n], "channel {c:?} streams diverge");
+    }
+}
+
+#[test]
+fn queue_sizing_speeds_up_the_simulated_soc() {
+    let soc = table6_scenario();
+    let mut fixed = soc.system.clone();
+    let report = solve(&fixed, Algorithm::Exact, &QsConfig::default()).expect("bounded");
+    lis::qs::apply_solution(&mut fixed, &report);
+
+    let mut before = LisSimulator::new(
+        &soc.system,
+        behavioral_cores(&soc.system, soc.pi),
+        QueueMode::Finite,
+    );
+    let mut after = LisSimulator::new(&fixed, behavioral_cores(&fixed, soc.pi), QueueMode::Finite);
+    before.run(3000);
+    after.run(3000);
+    let fec_before = before.throughput(soc.fec).to_f64();
+    let fec_after = after.throughput(soc.fec).to_f64();
+    assert!(fec_before < 0.68); // ~2/3
+    assert!(fec_after > 0.74); // ~3/4
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the workspace's core invariants.
+
+use lis::core::{ideal_mst, practical_mst, LisModel, LisSystem};
+use lis::marked_graph::{FiringEngine, MarkedGraph, Ratio};
+use proptest::prelude::*;
+
+/// Strategy: a random LIS as (block count, channel endpoints, rs flags, q).
+fn arb_lis() -> impl Strategy<Value = LisSystem> {
+    (2usize..8)
+        .prop_flat_map(|n| {
+            let channels = proptest::collection::vec(((0..n), (0..n), 0u32..3, 1u64..4), 1..14);
+            (Just(n), channels)
+        })
+        .prop_map(|(n, channels)| {
+            let mut sys = LisSystem::new();
+            let blocks: Vec<_> = (0..n).map(|i| sys.add_block(format!("b{i}"))).collect();
+            for (from, to, rs, q) in channels {
+                let c = sys.add_channel(blocks[from], blocks[to]);
+                for _ in 0..rs {
+                    sys.add_relay_station(c);
+                }
+                sys.set_queue_capacity(c, q).expect("q >= 1");
+            }
+            sys
+        })
+}
+
+/// Strategy: a random live marked graph (ring + chords, every place ≥ 0
+/// tokens with at least one token per ring).
+fn arb_marked_graph() -> impl Strategy<Value = MarkedGraph> {
+    (2usize..8)
+        .prop_flat_map(|n| {
+            let ring_tokens = proptest::collection::vec(0u64..3, n);
+            let chords = proptest::collection::vec(((0..n), (0..n), 0u64..3), 0..8);
+            (Just(n), ring_tokens, chords)
+        })
+        .prop_map(|(n, ring_tokens, chords)| {
+            let mut g = MarkedGraph::new();
+            let ts: Vec<_> = (0..n).map(|i| g.add_transition(format!("t{i}"))).collect();
+            let mut any = false;
+            for (i, &tok) in ring_tokens.iter().enumerate() {
+                any |= tok > 0;
+                let tok = if i == n - 1 && !any { 1 } else { tok };
+                g.add_place(ts[i], ts[(i + 1) % n], tok);
+            }
+            for (u, v, tok) in chords {
+                g.add_place(ts[u], ts[v], tok.max(u64::from(u == v))); // live self-loops
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Doubling (adding backpressure) can only lower the MST.
+    #[test]
+    fn doubling_never_increases_mst(sys in arb_lis()) {
+        prop_assert!(practical_mst(&sys) <= ideal_mst(&sys));
+    }
+
+    /// Growing any queue can only help (monotonicity of queue sizing).
+    #[test]
+    fn queue_growth_is_monotone(sys in arb_lis(), extra in 1u64..3) {
+        let before = practical_mst(&sys);
+        for c in sys.channel_ids() {
+            let mut grown = sys.clone();
+            grown.grow_queue(c, extra);
+            prop_assert!(practical_mst(&grown) >= before, "channel {c:?}");
+        }
+    }
+
+    /// The conservative uniform size q = r + 1 always restores the ideal MST.
+    #[test]
+    fn conservative_fixed_q_always_works(sys in arb_lis()) {
+        let q = lis::core::conservative_fixed_q(&sys);
+        prop_assert!(lis::core::fixed_q_preserves_mst(&sys, q));
+    }
+
+    /// Relay-station insertion never raises the ideal MST.
+    #[test]
+    fn insertion_never_raises_ideal_mst(sys in arb_lis()) {
+        let before = ideal_mst(&sys);
+        for c in sys.channel_ids() {
+            let mut s = sys.clone();
+            s.add_relay_station(c);
+            prop_assert!(ideal_mst(&s) <= before);
+        }
+    }
+
+    /// Token counts along any cycle are invariant under firing.
+    #[test]
+    fn cycle_tokens_invariant_under_firing(g in arb_marked_graph(), steps in 1u64..60) {
+        let cycles = lis::marked_graph::cycles::elementary_cycles(&g, 10_000).expect("bounded");
+        let mut engine = FiringEngine::new(&g);
+        let before: Vec<u64> = cycles.iter().map(|c| engine.marking().cycle_tokens(c)).collect();
+        engine.run(steps);
+        for (c, b) in cycles.iter().zip(before) {
+            prop_assert_eq!(engine.marking().cycle_tokens(c), b);
+        }
+    }
+
+    /// Karp and Lawler agree on arbitrary live marked graphs.
+    #[test]
+    fn karp_equals_lawler(g in arb_marked_graph()) {
+        prop_assert_eq!(lis::marked_graph::mcm::karp(&g), lis::marked_graph::mcm::lawler(&g));
+    }
+
+    /// The doubled model's structure: every channel contributes paired
+    /// forward/backward places, and edge/backedge two-cycles hold >= 2 tokens.
+    #[test]
+    fn doubled_model_pairs_and_two_cycles(sys in arb_lis()) {
+        let m = LisModel::doubled(&sys);
+        let g = m.graph();
+        for c in sys.channel_ids() {
+            let f = m.forward_places(c);
+            let b = m.backward_places(c);
+            prop_assert_eq!(f.len(), b.len());
+            prop_assert_eq!(f.len() as u32, sys.relay_stations_on(c) + 1);
+            for (&fp, &bp) in f.iter().zip(b.iter()) {
+                prop_assert_eq!(g.source(fp), g.target(bp));
+                prop_assert_eq!(g.target(fp), g.source(bp));
+                prop_assert!(g.tokens(fp) + g.tokens(bp) >= 2);
+            }
+        }
+        // Doubled graphs of LISs are always live: no token-free cycle.
+        prop_assert!(g.check_live().is_ok());
+    }
+
+    /// The two protocol implementations — RTL and marked-graph executor —
+    /// sustain the same per-block rates on arbitrary systems. (The global
+    /// analytic MST only bounds connected components, so the comparison is
+    /// implementation-vs-implementation, per block.)
+    #[test]
+    fn rtl_matches_marked_graph_simulator(sys in arb_lis()) {
+        use lis::sim::{CoreModel, LisSimulator, Passthrough, QueueMode, RtlSimulator};
+        let cores = || -> Vec<Box<dyn CoreModel>> {
+            sys.block_ids()
+                .map(|b| {
+                    let outs = sys
+                        .channel_ids()
+                        .filter(|&c| sys.channel_from(c) == b)
+                        .count();
+                    Box::new(Passthrough::new(outs, 0)) as Box<dyn CoreModel>
+                })
+                .collect()
+        };
+        let mut rtl = RtlSimulator::new(&sys, cores());
+        rtl.run(3000);
+        let mut mg = LisSimulator::new(&sys, cores(), QueueMode::Finite);
+        mg.run(3000);
+        // The global MST lower-bounds every block's sustained rate.
+        let floor = practical_mst(&sys).to_f64();
+        for b in sys.block_ids() {
+            let r = rtl.throughput(b).to_f64();
+            let m = mg.throughput(b).to_f64();
+            prop_assert!((r - m).abs() < 0.03, "{b:?}: rtl {} vs mg {}", r, m);
+            prop_assert!(r >= floor - 0.03, "{b:?}: rtl {} below floor {}", r, floor);
+        }
+    }
+
+    /// Ratios: ordering is total and consistent with subtraction sign.
+    #[test]
+    fn ratio_order_consistency(a in -50i64..50, b in 1i64..20, c in -50i64..50, d in 1i64..20) {
+        let x = Ratio::new(a, b);
+        let y = Ratio::new(c, d);
+        prop_assert_eq!(x < y, (x - y).numer() < 0);
+        prop_assert_eq!(x == y, (x - y).numer() == 0);
+        prop_assert_eq!((x + y) - y, x);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests of the netlist text format: every system round-trips
+//! through serialize → parse, including hostile block names.
+
+use lis::core::{parse_netlist, practical_mst, to_netlist, LisSystem};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Bare identifiers.
+        "[A-Za-z][A-Za-z0-9_.-]{0,12}",
+        // Arbitrary printable strings (forced into quotes by the writer).
+        "[ -~]{1,16}",
+    ]
+}
+
+fn arb_system() -> impl Strategy<Value = LisSystem> {
+    (
+        proptest::collection::vec((arb_name(), proptest::bool::ANY), 1..6),
+        proptest::collection::vec((0usize..6, 0usize..6, 0u32..3, 1u64..5), 0..10),
+    )
+        .prop_map(|(names, channels)| {
+            let mut sys = LisSystem::new();
+            let mut used = std::collections::HashSet::new();
+            let blocks: Vec<_> = names
+                .into_iter()
+                .enumerate()
+                .map(|(i, (n, initialized))| {
+                    // Block names must be unique for the format to round-trip.
+                    let name = if used.insert(n.clone()) {
+                        n
+                    } else {
+                        format!("{n}#{i}")
+                    };
+                    used.insert(name.clone());
+                    if initialized {
+                        sys.add_block(name)
+                    } else {
+                        sys.add_uninitialized_block(name)
+                    }
+                })
+                .collect();
+            for (from, to, rs, q) in channels {
+                let c = sys.add_channel(blocks[from % blocks.len()], blocks[to % blocks.len()]);
+                for _ in 0..rs {
+                    sys.add_relay_station(c);
+                }
+                sys.set_queue_capacity(c, q).expect("q >= 1");
+            }
+            sys
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn round_trip_preserves_structure(sys in arb_system()) {
+        let text = to_netlist(&sys);
+        let round = parse_netlist(&text).expect("own output parses");
+        prop_assert_eq!(round.block_count(), sys.block_count());
+        prop_assert_eq!(round.channel_count(), sys.channel_count());
+        for b in sys.block_ids() {
+            prop_assert_eq!(round.block_name(b), sys.block_name(b));
+            prop_assert_eq!(round.is_initialized(b), sys.is_initialized(b));
+        }
+        for c in sys.channel_ids() {
+            prop_assert_eq!(round.channel_from(c), sys.channel_from(c));
+            prop_assert_eq!(round.channel_to(c), sys.channel_to(c));
+            prop_assert_eq!(round.relay_stations_on(c), sys.relay_stations_on(c));
+            prop_assert_eq!(round.queue_capacity(c), sys.queue_capacity(c));
+        }
+        // Semantics round-trip too.
+        prop_assert_eq!(practical_mst(&round), practical_mst(&sys));
+    }
+
+    #[test]
+    fn second_round_trip_is_identical_text(sys in arb_system()) {
+        let once = to_netlist(&sys);
+        let twice = to_netlist(&parse_netlist(&once).expect("parses"));
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(text in "[ -~\\n]{0,300}") {
+        let _ = parse_netlist(&text); // Ok or Err, never panic
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers(
+        good_lines in 0usize..5,
+        bad in "[a-z]{1,8}",
+    ) {
+        let mut text = String::new();
+        for i in 0..good_lines {
+            text.push_str(&format!("block b{i}\n"));
+        }
+        text.push_str(&format!("{bad}!\n"));
+        match parse_netlist(&text) {
+            Ok(_) => prop_assert!(bad == "block"),
+            Err(e) => prop_assert_eq!(e.line, good_lines + 1),
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Every closed-form number the paper states, checked across crate
+//! boundaries through the `lis` facade.
+
+use lis::cofdm::{cofdm_soc, table6_scenario};
+use lis::core::{classify, figures, ideal_mst, practical_mst, TopologyClass};
+use lis::marked_graph::Ratio;
+use lis::qs::{extract_instance, solve, verify_solution, Algorithm, QsConfig};
+use lis::rsopt::exhaustive_insertion;
+
+#[test]
+fn fig1_fig5_fig6_numbers() {
+    let (sys, _, lower) = figures::fig1();
+    assert_eq!(ideal_mst(&sys), Ratio::ONE);
+    assert_eq!(practical_mst(&sys), Ratio::new(2, 3)); // Fig. 5
+    let mut sized = sys.clone();
+    sized.set_queue_capacity(lower, 2).unwrap();
+    assert_eq!(practical_mst(&sized), Ratio::ONE); // Fig. 6
+}
+
+#[test]
+fn fig2_right_equalization() {
+    let (sys, _, _) = figures::fig2_right();
+    assert_eq!(practical_mst(&sys), Ratio::ONE);
+}
+
+#[test]
+fn fig10_limit_cycle() {
+    assert_eq!(lis::core::mst(&figures::fig10()), Ratio::new(5, 6));
+}
+
+#[test]
+fn fig15_counterexample() {
+    let (sys, _) = figures::fig15();
+    assert_eq!(ideal_mst(&sys), Ratio::new(5, 6));
+    assert_eq!(practical_mst(&sys), Ratio::new(3, 4));
+    // No insertion of up to two stations restores 5/6 (Section VI).
+    for budget in 0..=2 {
+        assert!(exhaustive_insertion(&sys, budget).practical < Ratio::new(5, 6));
+    }
+    // Queue sizing does (contrast).
+    let report = solve(&sys, Algorithm::Exact, &QsConfig::default()).unwrap();
+    assert!(verify_solution(&sys, &report));
+}
+
+#[test]
+fn intro_uplink_downlink_rates() {
+    let (sys, _) = figures::uplink_downlink();
+    assert_eq!(ideal_mst(&sys), Ratio::new(2, 3));
+}
+
+#[test]
+fn cofdm_census_and_table6() {
+    let soc = cofdm_soc();
+    assert_eq!(soc.system.block_count(), 12);
+    assert_eq!(soc.system.channel_count(), 30);
+    // C(30,2) = 435 possible two-station insertions, as the paper computes.
+    let n = soc.system.channel_count();
+    assert_eq!(n * (n - 1) / 2, 435);
+
+    let t6 = table6_scenario();
+    assert_eq!(ideal_mst(&t6.system), Ratio::new(3, 4));
+    let inst = extract_instance(&t6.system, 10_000_000).unwrap();
+    assert_eq!(inst.cycles.len(), 6);
+    assert!(inst.cycles.iter().all(|c| c.deficit == 1));
+    // Two extra tokens fix all six cycles (one shared backedge covers five).
+    let report = solve(&t6.system, Algorithm::Exact, &QsConfig::default()).unwrap();
+    assert_eq!(report.total_extra, 2);
+    assert!(verify_solution(&t6.system, &report));
+}
+
+#[test]
+fn single_station_with_q2_never_degrades() {
+    // Section IX closing observation, checked exhaustively on the SoC:
+    // one relay station anywhere, uniform q = 2, no degradation.
+    let soc = cofdm_soc();
+    for c in soc.system.channel_ids() {
+        let mut sys = soc.system.clone();
+        sys.add_relay_station(c);
+        sys.set_uniform_queue_capacity(2);
+        assert_eq!(
+            practical_mst(&sys),
+            ideal_mst(&sys),
+            "degradation with one station on {c:?} and q = 2"
+        );
+    }
+}
+
+#[test]
+fn topology_classes_match_table2() {
+    let (fig1, _, _) = figures::fig1();
+    assert_eq!(classify(&fig1), TopologyClass::General);
+    let (fig15, _) = figures::fig15();
+    assert_eq!(classify(&fig15), TopologyClass::General);
+    let soc = cofdm_soc();
+    assert_eq!(classify(&soc.system), TopologyClass::General);
+}

@@ -1,0 +1,128 @@
+//! Multi-cycle cores (paper footnote 3) through the whole stack: latency
+//! expansion, analysis, queue sizing, and both simulators.
+
+use lis::core::{expand_block_latency, ideal_mst, practical_mst, LisSystem};
+use lis::marked_graph::Ratio;
+use lis::qs::{solve, verify_solution, Algorithm, QsConfig};
+use lis::sim::{
+    valid_values, CoreModel, LisSimulator, Passthrough, QueueMode, RtlSimulator, SequenceSource,
+};
+
+fn stage_cores(sys: &LisSystem, source: lis::core::BlockId) -> Vec<Box<dyn CoreModel>> {
+    sys.block_ids()
+        .map(|b| {
+            let outs = sys
+                .channel_ids()
+                .filter(|&c| sys.channel_from(c) == b)
+                .count();
+            if b == source {
+                Box::new(SequenceSource::new((1..=200).collect(), outs)) as Box<dyn CoreModel>
+            } else {
+                Box::new(Passthrough::new(outs.max(1), 0)) as Box<dyn CoreModel>
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn pipelined_adder_streams_with_latency_but_full_rate() {
+    // src -> M(latency 3) -> dst, feed-forward: rate 1, first valid output
+    // of the final stage delayed by the pipeline depth.
+    let mut sys = LisSystem::new();
+    let src = sys.add_block("src");
+    let m = sys.add_block("M");
+    let dst = sys.add_block("dst");
+    sys.add_channel(src, m);
+    let m_dst = sys.add_channel(m, dst);
+    let e = expand_block_latency(&sys, m, 3);
+    assert_eq!(ideal_mst(&e.system), Ratio::ONE);
+    assert_eq!(practical_mst(&e.system), Ratio::ONE);
+
+    let src2 = e.system.block_by_name("src").expect("exists");
+    let mut sim = LisSimulator::new(&e.system, stage_cores(&e.system, src2), QueueMode::Finite);
+    sim.run(50);
+    // The channel into dst: first two periods void (two uninitialized
+    // stages), then the stream flows at rate 1.
+    let tail_channel = e.channel_map[m_dst.index()];
+    let trace = sim.channel_trace(tail_channel);
+    assert_eq!(trace[0], None);
+    assert_eq!(trace[1], None);
+    assert!(trace[2].is_some());
+    let valid = valid_values(&trace);
+    assert!(valid.len() >= 47);
+}
+
+#[test]
+fn rtl_agrees_on_pipelined_cores() {
+    let mut sys = LisSystem::new();
+    let src = sys.add_block("src");
+    let m = sys.add_block("M");
+    let dst = sys.add_block("dst");
+    sys.add_channel(src, m);
+    sys.add_channel(m, dst);
+    sys.add_channel(dst, src); // close the loop: latency now costs rate
+    let e = expand_block_latency(&sys, m, 2);
+    let expected = Ratio::new(3, 4); // 3 shells over 4 places
+    assert_eq!(ideal_mst(&e.system), expected);
+
+    let src2 = e.system.block_by_name("src").expect("exists");
+    let mut mg = LisSimulator::new(&e.system, stage_cores(&e.system, src2), QueueMode::Finite);
+    let mut rtl = RtlSimulator::new(&e.system, stage_cores(&e.system, src2));
+    mg.run(4000);
+    rtl.run(4000);
+    for b in e.system.block_ids() {
+        let m_rate = mg.throughput(b).to_f64();
+        let r_rate = rtl.throughput(b).to_f64();
+        assert!(
+            (m_rate - expected.to_f64()).abs() < 0.02,
+            "{b:?} mg {m_rate}"
+        );
+        assert!(
+            (r_rate - expected.to_f64()).abs() < 0.02,
+            "{b:?} rtl {r_rate}"
+        );
+    }
+}
+
+#[test]
+fn queue_sizing_handles_pipelined_reconvergence() {
+    // Unbalanced reconvergence created by a pipelined core: the QS pipeline
+    // treats the stage hops like any other blocks.
+    let mut sys = LisSystem::new();
+    let a = sys.add_block("A");
+    let m = sys.add_block("M");
+    let b = sys.add_block("B");
+    sys.add_channel(a, m);
+    sys.add_channel(m, b);
+    sys.add_channel(a, b);
+    let e = expand_block_latency(&sys, m, 3);
+    assert!(practical_mst(&e.system) < Ratio::ONE);
+    let report = solve(&e.system, Algorithm::Exact, &QsConfig::default()).expect("bounded");
+    assert!(report.optimal);
+    assert!(report.total_extra > 0);
+    assert!(verify_solution(&e.system, &report));
+}
+
+#[test]
+fn deeper_pipelines_need_more_queue_slots() {
+    // The deficit on the direct path grows with the pipeline depth.
+    let mut totals = Vec::new();
+    for latency in 2..=5u32 {
+        let mut sys = LisSystem::new();
+        let a = sys.add_block("A");
+        let m = sys.add_block("M");
+        let b = sys.add_block("B");
+        sys.add_channel(a, m);
+        sys.add_channel(m, b);
+        sys.add_channel(a, b);
+        let e = expand_block_latency(&sys, m, latency);
+        let report = solve(&e.system, Algorithm::Exact, &QsConfig::default()).expect("bounded");
+        assert!(verify_solution(&e.system, &report));
+        totals.push(report.total_extra);
+    }
+    assert!(
+        totals.windows(2).all(|w| w[0] <= w[1]),
+        "queue cost should grow with latency: {totals:?}"
+    );
+    assert!(totals[totals.len() - 1] > totals[0]);
+}

@@ -1,0 +1,113 @@
+//! End-to-end queue-sizing pipeline checks on random systems: both solvers
+//! always verify, the exact never spends more than the heuristic, the
+//! simplification rules and SCC collapsing never change the exact optimum,
+//! and the Vertex Cover oracle agrees with the exact solver.
+
+use std::time::Duration;
+
+use lis::gen::{generate, vc_to_qs, GeneratorConfig, InsertionPolicy, VcInstance};
+use lis::qs::{solve, verify_solution, Algorithm, QsConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_system(seed: u64, vertices: usize, sccs: usize, rs: usize) -> lis::core::LisSystem {
+    let cfg = GeneratorConfig {
+        vertices,
+        sccs,
+        min_cycles_per_scc: 2,
+        relay_stations: rs,
+        reconvergent_paths: true,
+        policy: InsertionPolicy::Scc,
+        extra_inter_edges: Some(2),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(&cfg, &mut rng).system
+}
+
+#[test]
+fn both_solvers_verify_on_random_systems() {
+    let cfg = QsConfig {
+        budget: Some(Duration::from_secs(5)),
+        ..QsConfig::default()
+    };
+    for seed in 0..12 {
+        let sys = random_system(seed, 16, 4, 5);
+        let heur = solve(&sys, Algorithm::Heuristic, &cfg).unwrap();
+        let exact = solve(&sys, Algorithm::Exact, &cfg).unwrap();
+        assert!(verify_solution(&sys, &heur), "seed {seed} heuristic");
+        assert!(verify_solution(&sys, &exact), "seed {seed} exact");
+        assert!(
+            exact.total_extra <= heur.total_extra,
+            "seed {seed}: exact {} > heuristic {}",
+            exact.total_extra,
+            heur.total_extra
+        );
+    }
+}
+
+#[test]
+fn simplification_and_collapsing_preserve_the_exact_optimum() {
+    for seed in 0..8 {
+        let sys = random_system(seed + 100, 14, 3, 4);
+        let variants = [
+            QsConfig::default(),
+            QsConfig {
+                simplify: false,
+                ..QsConfig::default()
+            },
+            QsConfig {
+                collapse_sccs: false,
+                ..QsConfig::default()
+            },
+            QsConfig {
+                simplify: false,
+                collapse_sccs: false,
+                ..QsConfig::default()
+            },
+        ];
+        let totals: Vec<u64> = variants
+            .iter()
+            .map(|cfg| {
+                let r = solve(&sys, Algorithm::Exact, cfg).unwrap();
+                assert!(r.optimal, "seed {seed}: exact must finish on this size");
+                assert!(verify_solution(&sys, &r), "seed {seed}");
+                r.total_extra
+            })
+            .collect();
+        assert!(
+            totals.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: optima differ across pipeline variants: {totals:?}"
+        );
+    }
+}
+
+#[test]
+fn exact_optimum_equals_min_vertex_cover_on_random_graphs() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for trial in 0..6 {
+        let vc = VcInstance::random(6, 0.4, &mut rng);
+        let red = vc_to_qs(&vc);
+        let report = solve(&red.system, Algorithm::Exact, &QsConfig::default()).unwrap();
+        assert!(report.optimal, "trial {trial}");
+        assert_eq!(
+            report.total_extra as usize,
+            vc.min_cover_size(),
+            "trial {trial}: {vc:?}"
+        );
+        let cover = red.cover_from_solution(&report.extra_tokens);
+        assert!(vc.is_cover(&cover), "trial {trial}");
+    }
+}
+
+#[test]
+fn applying_a_solution_is_idempotent_for_throughput() {
+    let sys = random_system(42, 16, 4, 6);
+    let report = solve(&sys, Algorithm::Heuristic, &QsConfig::default()).unwrap();
+    let mut resized = sys.clone();
+    lis::qs::apply_solution(&mut resized, &report);
+    let after_once = lis::core::practical_mst(&resized);
+    // Sizing again on the already-fixed system finds nothing to do.
+    let second = solve(&resized, Algorithm::Heuristic, &QsConfig::default()).unwrap();
+    assert_eq!(second.total_extra, 0);
+    assert_eq!(after_once, report.target);
+}
