@@ -1,17 +1,23 @@
-//! Minimum-cycle-mean kernel benchmarks: Karp vs Lawler.
+//! Minimum-cycle-mean kernel benchmarks: Karp vs Lawler, serial vs
+//! parallel SCC fan-out, and from-scratch vs incremental re-evaluation.
 //!
 //! These back the CPU-time columns of Tables IV/V: every queue-sizing
-//! verification is one MCM computation on the doubled graph.
+//! verification is one MCM computation on the doubled graph. The
+//! incremental engine answers the queue-sizing query pattern (same graph,
+//! different backedge tokens) without rebuilding anything — the speedups
+//! recorded in `results/parallel_speedup.txt` come from the same workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lis_core::LisModel;
 use lis_gen::{generate, GeneratorConfig, InsertionPolicy};
-use marked_graph::mcm::{karp, lawler};
+use marked_graph::incremental::IncrementalMcm;
+use marked_graph::mcm::{karp, karp_parallel, lawler, lawler_parallel};
+use marked_graph::{PlaceId, Ratio};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn doubled_graph(vertices: usize, sccs: usize) -> marked_graph::MarkedGraph {
-    let cfg = GeneratorConfig {
+fn fig_cfg(vertices: usize, sccs: usize) -> GeneratorConfig {
+    GeneratorConfig {
         vertices,
         sccs,
         min_cycles_per_scc: 5,
@@ -19,9 +25,12 @@ fn doubled_graph(vertices: usize, sccs: usize) -> marked_graph::MarkedGraph {
         reconvergent_paths: true,
         policy: InsertionPolicy::Scc,
         extra_inter_edges: None,
-    };
+    }
+}
+
+fn doubled_graph(vertices: usize, sccs: usize) -> marked_graph::MarkedGraph {
     let mut rng = StdRng::seed_from_u64(7);
-    let lis = generate(&cfg, &mut rng);
+    let lis = generate(&fig_cfg(vertices, sccs), &mut rng);
     LisModel::doubled(&lis.system).into_graph()
 }
 
@@ -32,12 +41,90 @@ fn bench_mcm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("karp", v), &g, |b, g| {
             b.iter(|| karp(std::hint::black_box(g)))
         });
+        group.bench_with_input(BenchmarkId::new("karp_parallel", v), &g, |b, g| {
+            b.iter(|| karp_parallel(std::hint::black_box(g)))
+        });
         group.bench_with_input(BenchmarkId::new("lawler", v), &g, |b, g| {
             b.iter(|| lawler(std::hint::black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("lawler_parallel", v), &g, |b, g| {
+            b.iter(|| lawler_parallel(std::hint::black_box(g)))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_mcm);
+/// Deterministic batch of queue-sizing-shaped queries: token overrides on
+/// shell backedges of the doubled graph (exactly what the queue-sizing
+/// solvers ask while exploring assignments).
+fn backedge_queries(
+    model: &LisModel,
+    sys: &lis_core::LisSystem,
+    count: usize,
+) -> Vec<Vec<(PlaceId, u64)>> {
+    let backedges: Vec<(PlaceId, u64)> = sys
+        .channel_ids()
+        .filter_map(|c| model.queue_backedge(c))
+        .map(|p| (p, model.graph().tokens(p)))
+        .collect();
+    (0..count)
+        .map(|i| {
+            backedges
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| (i >> (j % 7)) & 1 == 1)
+                .map(|(_, &(p, base))| (p, base + 1 + (i % 3) as u64))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcm_incremental");
+    group.sample_size(10);
+    for (v, s) in [(100usize, 10usize), (200, 10)] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lis = generate(&fig_cfg(v, s), &mut rng);
+        let model = LisModel::doubled(&lis.system);
+        let queries = backedge_queries(&model, &lis.system, 64);
+        let g = model.graph();
+
+        // Baseline: every query clones the graph, patches tokens, reruns Karp.
+        group.bench_with_input(
+            BenchmarkId::new("scratch_karp_64_queries", v),
+            &(g, &queries),
+            |b, (g, queries)| {
+                b.iter(|| {
+                    let mut acc = Ratio::ONE;
+                    for q in queries.iter() {
+                        let mut patched = (*g).clone();
+                        for &(p, tok) in q {
+                            patched.set_tokens(p, tok);
+                        }
+                        acc = acc.min(karp(&patched).expect("cyclic"));
+                    }
+                    acc
+                })
+            },
+        );
+        // Incremental: one decomposition, per-SCC re-solves plus memo cache.
+        group.bench_with_input(
+            BenchmarkId::new("incremental_64_queries", v),
+            &(g, &queries),
+            |b, (g, queries)| {
+                let mut inc = IncrementalMcm::new(g);
+                b.iter(|| {
+                    let mut acc = Ratio::ONE;
+                    for q in queries.iter() {
+                        acc = acc.min(inc.mcm_with_tokens(q).expect("cyclic"));
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcm, bench_incremental);
 criterion_main!(benches);

@@ -113,10 +113,15 @@ fn main() {
         for (bound, sym, sink, idx) in variants {
             let out = exact_solve_with(
                 &td,
+                // Memo off: the ablation isolates the bound/symmetry axes,
+                // and the node counts stay comparable with the historical
+                // (pre-memo) runs in `results/ablation.txt`.
                 &ExactOptions {
                     budget: Some(Duration::from_secs(opts.timeout.as_secs().min(5))),
                     disjoint_bound: bound,
                     symmetry_breaking: sym,
+                    memo: false,
+                    ..ExactOptions::default()
                 },
             );
             if out.optimal {

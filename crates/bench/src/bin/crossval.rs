@@ -47,12 +47,15 @@ fn main() {
         extra_inter_edges: Some(2),
     };
 
-    let mut exact_disagreements = 0usize;
-    let mut worst_sim_dev = 0.0f64;
-    let mut worst_periodic_dev = 0usize;
     let horizon = 6000u64;
 
-    for trial in 0..opts.trials {
+    // Per-trial outcome: (exact disagreement?, periodic deviation?, worst
+    // simulator deviation, diagnostics). Trials are independent (seeded
+    // `seed ^ trial`) and run in parallel; `par_map` preserves trial order,
+    // so the aggregation below matches the serial loop bit for bit.
+    let trials: Vec<usize> = (0..opts.trials).collect();
+    let outcomes: Vec<(bool, bool, f64, Vec<String>)> = lis_par::par_map(&trials, |&trial| {
+        let mut notes = Vec::new();
         let mut rng = StdRng::seed_from_u64(opts.seed ^ trial as u64);
         let lis = generate(&cfg, &mut rng);
         let sys = &lis.system;
@@ -67,12 +70,15 @@ fn main() {
             .map(|c| g.cycle_mean(c))
             .min()
             .expect("cyclic");
-        if k != l || k != e {
-            exact_disagreements += 1;
-            eprintln!("trial {trial}: karp {k} lawler {l} enumeration {e}");
+        let exact_disagreement = k != l || k != e;
+        if exact_disagreement {
+            notes.push(format!(
+                "trial {trial}: karp {k} lawler {l} enumeration {e}"
+            ));
         }
 
         // Step-semantics exact periodic rate.
+        let mut periodic_dev = false;
         let mut engine = FiringEngine::new(&g);
         match engine.periodic_behavior(200_000) {
             Some(p) => {
@@ -83,22 +89,38 @@ fn main() {
                 );
                 let analytic = practical_mst(sys);
                 if rate != analytic.min(marked_graph::Ratio::ONE) && rate != analytic {
-                    worst_periodic_dev += 1;
-                    eprintln!("trial {trial}: periodic rate {rate} vs analytic {analytic}");
+                    periodic_dev = true;
+                    notes.push(format!(
+                        "trial {trial}: periodic rate {rate} vs analytic {analytic}"
+                    ));
                 }
             }
-            None => eprintln!("trial {trial}: no periodic regime within budget"),
+            None => notes.push(format!("trial {trial}: no periodic regime within budget")),
         }
 
         // Finite-horizon simulators.
         let analytic = practical_mst(sys).to_f64();
+        let mut sim_dev = 0.0f64;
         let mut mg = LisSimulator::new(sys, passthrough_cores(sys), QueueMode::Finite);
         mg.run(horizon);
         let mut rtl = RtlSimulator::new(sys, passthrough_cores(sys));
         rtl.run(horizon);
         for b in sys.block_ids() {
-            worst_sim_dev = worst_sim_dev.max((mg.throughput(b).to_f64() - analytic).abs());
-            worst_sim_dev = worst_sim_dev.max((rtl.throughput(b).to_f64() - analytic).abs());
+            sim_dev = sim_dev.max((mg.throughput(b).to_f64() - analytic).abs());
+            sim_dev = sim_dev.max((rtl.throughput(b).to_f64() - analytic).abs());
+        }
+        (exact_disagreement, periodic_dev, sim_dev, notes)
+    });
+
+    let mut exact_disagreements = 0usize;
+    let mut worst_sim_dev = 0.0f64;
+    let mut worst_periodic_dev = 0usize;
+    for (exact_disagreement, periodic_dev, sim_dev, notes) in &outcomes {
+        exact_disagreements += usize::from(*exact_disagreement);
+        worst_periodic_dev += usize::from(*periodic_dev);
+        worst_sim_dev = worst_sim_dev.max(*sim_dev);
+        for n in notes {
+            eprintln!("{n}");
         }
     }
 

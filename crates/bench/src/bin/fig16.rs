@@ -8,53 +8,12 @@
 //!   q = 1 degrade by roughly 15–30%, and larger q recovers most of it;
 //! * `any` insertion: the MST is much lower regardless of queue size, and
 //!   queue size barely matters (the limiting cycles have no backedges).
+//!
+//! The sweep lives in [`lis_bench::experiments::fig16`], where the trials
+//! run in parallel with deterministic per-trial seeds.
 
-use lis_bench::{mean, ExpOptions, Table};
-use lis_core::{ideal_mst, practical_mst};
-use lis_gen::{generate, GeneratorConfig, InsertionPolicy};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lis_bench::{experiments, ExpOptions};
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    let mut t = Table::new(
-        format!(
-            "Fig. 16: MST, v=50 s=5 c=5 rp=1, {} trials (columns: policy / queue regime)",
-            opts.trials
-        ),
-        &[
-            "rs", "scc inf", "scc q=1", "scc q=2", "scc q=3", "any inf", "any q=1", "any q=2",
-            "any q=3",
-        ],
-    );
-
-    for rs in 1..=10usize {
-        let mut cells = vec![rs.to_string()];
-        for policy in [InsertionPolicy::Scc, InsertionPolicy::Any] {
-            let cfg = GeneratorConfig::fig16(rs, policy);
-            let mut inf = Vec::new();
-            let mut finite = vec![Vec::new(), Vec::new(), Vec::new()];
-            for trial in 0..opts.trials {
-                let mut rng = StdRng::seed_from_u64(
-                    opts.seed
-                        ^ (rs as u64) << 32
-                        ^ trial as u64
-                        ^ ((policy == InsertionPolicy::Any) as u64) << 48,
-                );
-                let lis = generate(&cfg, &mut rng);
-                inf.push(ideal_mst(&lis.system).to_f64());
-                for (qi, q) in [1u64, 2, 3].into_iter().enumerate() {
-                    let mut sys = lis.system.clone();
-                    sys.set_uniform_queue_capacity(q);
-                    finite[qi].push(practical_mst(&sys).to_f64());
-                }
-            }
-            cells.push(format!("{:.3}", mean(&inf)));
-            for qs in &finite {
-                cells.push(format!("{:.3}", mean(qs)));
-            }
-        }
-        t.row(&cells);
-    }
-    t.print();
+    print!("{}", experiments::fig16(&ExpOptions::from_args()));
 }

@@ -24,25 +24,26 @@ fn main() {
         &header_refs,
     );
 
-    // Generate each trial's system once; sweep q on clones.
-    let mut systems: Vec<Vec<lis_core::LisSystem>> = Vec::new();
-    for (i, &rs) in rs_counts.iter().enumerate() {
-        let cfg = GeneratorConfig::fig16(rs, InsertionPolicy::Scc);
-        let mut per_rs = Vec::new();
-        for trial in 0..opts.trials {
-            let mut rng = StdRng::seed_from_u64(opts.seed ^ ((i as u64) << 40) ^ trial as u64);
-            per_rs.push(generate(&cfg, &mut rng).system);
-        }
-        systems.push(per_rs);
-    }
+    // Generate each trial's system once (trials in parallel, per-trial
+    // seeds, order preserved by par_map); sweep q on clones.
+    let trials: Vec<usize> = (0..opts.trials).collect();
+    let systems: Vec<Vec<lis_core::LisSystem>> = rs_counts
+        .iter()
+        .enumerate()
+        .map(|(i, &rs)| {
+            let cfg = GeneratorConfig::fig16(rs, InsertionPolicy::Scc);
+            lis_par::par_map(&trials, |&trial| {
+                let mut rng = StdRng::seed_from_u64(opts.seed ^ ((i as u64) << 40) ^ trial as u64);
+                generate(&cfg, &mut rng).system
+            })
+        })
+        .collect();
 
     for q in 1..=8u64 {
         let mut cells = vec![q.to_string()];
         for per_rs in &systems {
-            let ratios: Vec<f64> = per_rs
-                .iter()
-                .map(|sys| fixed_q_mst_ratio(sys, q).to_f64())
-                .collect();
+            let ratios: Vec<f64> =
+                lis_par::par_map(per_rs, |sys| fixed_q_mst_ratio(sys, q).to_f64());
             cells.push(format!("{:.3}", mean(&ratios)));
         }
         t.row(&cells);

@@ -5,160 +5,12 @@
 //! random instances, sprinkles relay stations, and *measures* whether fixed
 //! queues of size one preserve the ideal MST — confirming the guarantee for
 //! trees and reconvergence-free (networks of) SCCs, and exhibiting
-//! violations for general topologies.
+//! violations for general topologies. The sweep itself lives in
+//! [`lis_bench::experiments::table2`], where the trials run in parallel
+//! with deterministic per-trial seeds.
 
-use lis_bench::{ExpOptions, Table};
-use lis_core::{classify, fixed_q_preserves_mst, LisSystem, TopologyClass};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Random tree with stations on random channels.
-fn random_tree(n: usize, rs: usize, rng: &mut StdRng) -> LisSystem {
-    let mut sys = LisSystem::new();
-    let blocks: Vec<_> = (0..n).map(|i| sys.add_block(format!("b{i}"))).collect();
-    let mut channels = Vec::new();
-    for i in 1..n {
-        let parent = rng.gen_range(0..i);
-        // Random orientation keeps it a DAG without reconvergence.
-        if rng.gen_bool(0.5) {
-            channels.push(sys.add_channel(blocks[parent], blocks[i]));
-        } else {
-            channels.push(sys.add_channel(blocks[i], blocks[parent]));
-        }
-    }
-    for _ in 0..rs {
-        let c = channels[rng.gen_range(0..channels.len())];
-        sys.add_relay_station(c);
-    }
-    sys
-}
-
-/// Random "cactus" SCC: directed rings glued at articulation points.
-fn random_cactus(rings: usize, ring_len: usize, rs: usize, rng: &mut StdRng) -> LisSystem {
-    let mut sys = LisSystem::new();
-    let hub = sys.add_block("hub0");
-    let mut hubs = vec![hub];
-    let mut channels = Vec::new();
-    for r in 0..rings {
-        let attach = hubs[rng.gen_range(0..hubs.len())];
-        let mut prev = attach;
-        for k in 1..ring_len {
-            let b = sys.add_block(format!("r{r}n{k}"));
-            channels.push(sys.add_channel(prev, b));
-            prev = b;
-            if k == ring_len / 2 {
-                hubs.push(b);
-            }
-        }
-        channels.push(sys.add_channel(prev, attach));
-    }
-    for _ in 0..rs {
-        let c = channels[rng.gen_range(0..channels.len())];
-        sys.add_relay_station(c);
-    }
-    sys
-}
-
-/// Two cactus SCCs joined by a tree of inter-SCC channels.
-fn random_network(rs: usize, rng: &mut StdRng) -> LisSystem {
-    let mut sys = LisSystem::new();
-    let ring = |sys: &mut LisSystem, tag: &str, len: usize| -> Vec<lis_core::BlockId> {
-        let blocks: Vec<_> = (0..len)
-            .map(|i| sys.add_block(format!("{tag}{i}")))
-            .collect();
-        for i in 0..len {
-            sys.add_channel(blocks[i], blocks[(i + 1) % len]);
-        }
-        blocks
-    };
-    let a = ring(&mut sys, "a", 4);
-    let b = ring(&mut sys, "b", 3);
-    let bridge = sys.add_channel(a[rng.gen_range(0..4)], b[rng.gen_range(0..3)]);
-    for _ in 0..rs {
-        sys.add_relay_station(bridge);
-    }
-    sys
-}
-
-/// The general (reconvergent) shape: Fig. 1 with extra stations.
-fn general(rs: usize) -> LisSystem {
-    let (mut sys, upper, _) = lis_core::figures::fig1();
-    for _ in 1..rs.max(1) {
-        sys.add_relay_station(upper);
-    }
-    sys
-}
+use lis_bench::{experiments, ExpOptions};
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut t = Table::new(
-        "Table II: topology classes vs fixed queue sizing (q = 1)",
-        &[
-            "topology",
-            "trials",
-            "classified as",
-            "q=1 preserves MST",
-            "guaranteed by Table II",
-        ],
-    );
-
-    let run = |name: &str,
-               gen: &mut dyn FnMut(&mut StdRng) -> LisSystem,
-               rng: &mut StdRng,
-               t: &mut Table| {
-        let mut preserved = 0;
-        let mut class: Option<TopologyClass> = None;
-        for _ in 0..opts.trials {
-            let sys = gen(rng);
-            class = Some(classify(&sys));
-            if fixed_q_preserves_mst(&sys, 1) {
-                preserved += 1;
-            }
-        }
-        let class = class.expect("at least one trial");
-        t.row(&[
-            name.to_string(),
-            opts.trials.to_string(),
-            class.to_string(),
-            format!("{preserved}/{}", opts.trials),
-            if class.fixed_q1_suffices() {
-                "yes"
-            } else {
-                "no"
-            }
-            .to_string(),
-        ]);
-    };
-
-    run(
-        "tree (random, 12 blocks, 4 rs)",
-        &mut |rng| random_tree(12, 4, rng),
-        &mut rng,
-        &mut t,
-    );
-    run(
-        "SCC, no reconvergent paths (cactus)",
-        &mut |rng| random_cactus(3, 4, 5, rng),
-        &mut rng,
-        &mut t,
-    );
-    run(
-        "network of SCCs, no reconvergence",
-        &mut |rng| random_network(3, rng),
-        &mut rng,
-        &mut t,
-    );
-    run(
-        "general (reconvergent paths, Fig. 1)",
-        &mut |_| general(1),
-        &mut rng,
-        &mut t,
-    );
-    t.print();
-    println!();
-    println!(
-        "conservative bound check: q = r+1 restores the ideal MST on the general case: {}",
-        fixed_q_preserves_mst(&general(1), lis_core::conservative_fixed_q(&general(1)))
-    );
+    print!("{}", experiments::table2(&ExpOptions::from_args()));
 }

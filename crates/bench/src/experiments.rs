@@ -1,0 +1,257 @@
+//! Parallel experiment drivers for the table/figure binaries.
+//!
+//! The sweeps that used to live inside `src/bin/table2.rs` and
+//! `src/bin/fig16.rs` are exposed here as functions returning the rendered
+//! output as a `String`, so tests can assert that two runs with the same
+//! seed — at any thread count — produce byte-identical output.
+//!
+//! Determinism strategy: every trial derives its own seed from the base
+//! seed, the sweep coordinates and the trial index, so trials are
+//! independent of execution order. Trials fan out with
+//! [`lis_par::par_map`], which preserves input order, and all reductions
+//! (counts, means) run over the trial-ordered result vector — identical,
+//! bit for bit, to a serial loop over the same per-trial seeds.
+
+use lis_core::{
+    classify, fixed_q_preserves_mst, ideal_mst, practical_mst, LisSystem, TopologyClass,
+};
+use lis_gen::{generate, GeneratorConfig, InsertionPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{mean, ExpOptions, Table};
+
+/// Random tree with stations on random channels.
+fn random_tree(n: usize, rs: usize, rng: &mut StdRng) -> LisSystem {
+    let mut sys = LisSystem::new();
+    let blocks: Vec<_> = (0..n).map(|i| sys.add_block(format!("b{i}"))).collect();
+    let mut channels = Vec::new();
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        // Random orientation keeps it a DAG without reconvergence.
+        if rng.gen_bool(0.5) {
+            channels.push(sys.add_channel(blocks[parent], blocks[i]));
+        } else {
+            channels.push(sys.add_channel(blocks[i], blocks[parent]));
+        }
+    }
+    for _ in 0..rs {
+        let c = channels[rng.gen_range(0..channels.len())];
+        sys.add_relay_station(c);
+    }
+    sys
+}
+
+/// Random "cactus" SCC: directed rings glued at articulation points.
+fn random_cactus(rings: usize, ring_len: usize, rs: usize, rng: &mut StdRng) -> LisSystem {
+    let mut sys = LisSystem::new();
+    let hub = sys.add_block("hub0");
+    let mut hubs = vec![hub];
+    let mut channels = Vec::new();
+    for r in 0..rings {
+        let attach = hubs[rng.gen_range(0..hubs.len())];
+        let mut prev = attach;
+        for k in 1..ring_len {
+            let b = sys.add_block(format!("r{r}n{k}"));
+            channels.push(sys.add_channel(prev, b));
+            prev = b;
+            if k == ring_len / 2 {
+                hubs.push(b);
+            }
+        }
+        channels.push(sys.add_channel(prev, attach));
+    }
+    for _ in 0..rs {
+        let c = channels[rng.gen_range(0..channels.len())];
+        sys.add_relay_station(c);
+    }
+    sys
+}
+
+/// Two cactus SCCs joined by a tree of inter-SCC channels.
+fn random_network(rs: usize, rng: &mut StdRng) -> LisSystem {
+    let mut sys = LisSystem::new();
+    let ring = |sys: &mut LisSystem, tag: &str, len: usize| -> Vec<lis_core::BlockId> {
+        let blocks: Vec<_> = (0..len)
+            .map(|i| sys.add_block(format!("{tag}{i}")))
+            .collect();
+        for i in 0..len {
+            sys.add_channel(blocks[i], blocks[(i + 1) % len]);
+        }
+        blocks
+    };
+    let a = ring(&mut sys, "a", 4);
+    let b = ring(&mut sys, "b", 3);
+    let bridge = sys.add_channel(a[rng.gen_range(0..4usize)], b[rng.gen_range(0..3usize)]);
+    for _ in 0..rs {
+        sys.add_relay_station(bridge);
+    }
+    sys
+}
+
+/// The general (reconvergent) shape: Fig. 1 with extra stations.
+fn general(rs: usize) -> LisSystem {
+    let (mut sys, upper, _) = lis_core::figures::fig1();
+    for _ in 1..rs.max(1) {
+        sys.add_relay_station(upper);
+    }
+    sys
+}
+
+/// One Table II row: run `opts.trials` independent trials of one topology
+/// generator in parallel and reduce in trial order.
+fn table2_row<G>(name: &str, topo: u64, opts: &ExpOptions, t: &mut Table, generator: G)
+where
+    G: Fn(&mut StdRng) -> LisSystem + Sync,
+{
+    let trials: Vec<usize> = (0..opts.trials).collect();
+    let results: Vec<(TopologyClass, bool)> = lis_par::par_map(&trials, |&trial| {
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ (topo << 32) ^ trial as u64);
+        let sys = generator(&mut rng);
+        (classify(&sys), fixed_q_preserves_mst(&sys, 1))
+    });
+    let preserved = results.iter().filter(|&&(_, p)| p).count();
+    let class = results.last().expect("at least one trial").0;
+    t.row(&[
+        name.to_string(),
+        opts.trials.to_string(),
+        class.to_string(),
+        format!("{preserved}/{}", opts.trials),
+        if class.fixed_q1_suffices() {
+            "yes"
+        } else {
+            "no"
+        }
+        .to_string(),
+    ]);
+}
+
+/// Table II — classification of LIS topologies and the fixed-queue-sizing
+/// guarantee. For each topology class the paper describes, generates random
+/// instances, sprinkles relay stations, and *measures* whether fixed queues
+/// of size one preserve the ideal MST. Trial `t` of topology `i` is seeded
+/// with `seed ^ (i << 32) ^ t`.
+pub fn table2(opts: &ExpOptions) -> String {
+    let mut t = Table::new(
+        "Table II: topology classes vs fixed queue sizing (q = 1)",
+        &[
+            "topology",
+            "trials",
+            "classified as",
+            "q=1 preserves MST",
+            "guaranteed by Table II",
+        ],
+    );
+    table2_row("tree (random, 12 blocks, 4 rs)", 0, opts, &mut t, |rng| {
+        random_tree(12, 4, rng)
+    });
+    table2_row(
+        "SCC, no reconvergent paths (cactus)",
+        1,
+        opts,
+        &mut t,
+        |rng| random_cactus(3, 4, 5, rng),
+    );
+    table2_row(
+        "network of SCCs, no reconvergence",
+        2,
+        opts,
+        &mut t,
+        |rng| random_network(3, rng),
+    );
+    table2_row("general (reconvergent paths, Fig. 1)", 3, opts, &mut t, {
+        |_| general(1)
+    });
+    let mut out = t.render();
+    out.push('\n');
+    out.push_str(&format!(
+        "conservative bound check: q = r+1 restores the ideal MST on the general case: {}\n",
+        fixed_q_preserves_mst(&general(1), lis_core::conservative_fixed_q(&general(1)))
+    ));
+    out
+}
+
+/// Fig. 16 — MST of random LISs (v=50, s=5, c=5, rp=1) under infinite and
+/// finite queues, for both relay-station insertion policies. The per-trial
+/// seed derivation matches the original serial binary exactly, and the
+/// means reduce over the trial-ordered sample vectors, so the output is
+/// byte-identical to the historical serial runs in `results/fig16.txt`.
+pub fn fig16(opts: &ExpOptions) -> String {
+    let mut t = Table::new(
+        format!(
+            "Fig. 16: MST, v=50 s=5 c=5 rp=1, {} trials (columns: policy / queue regime)",
+            opts.trials
+        ),
+        &[
+            "rs", "scc inf", "scc q=1", "scc q=2", "scc q=3", "any inf", "any q=1", "any q=2",
+            "any q=3",
+        ],
+    );
+
+    let trials: Vec<usize> = (0..opts.trials).collect();
+    for rs in 1..=10usize {
+        let mut cells = vec![rs.to_string()];
+        for policy in [InsertionPolicy::Scc, InsertionPolicy::Any] {
+            let cfg = GeneratorConfig::fig16(rs, policy);
+            let samples: Vec<(f64, [f64; 3])> = lis_par::par_map(&trials, |&trial| {
+                let mut rng = StdRng::seed_from_u64(
+                    opts.seed
+                        ^ (rs as u64) << 32
+                        ^ trial as u64
+                        ^ ((policy == InsertionPolicy::Any) as u64) << 48,
+                );
+                let lis = generate(&cfg, &mut rng);
+                let inf = ideal_mst(&lis.system).to_f64();
+                let mut finite = [0.0f64; 3];
+                for (qi, q) in [1u64, 2, 3].into_iter().enumerate() {
+                    let mut sys = lis.system.clone();
+                    sys.set_uniform_queue_capacity(q);
+                    finite[qi] = practical_mst(&sys).to_f64();
+                }
+                (inf, finite)
+            });
+            let inf: Vec<f64> = samples.iter().map(|&(i, _)| i).collect();
+            cells.push(format!("{:.3}", mean(&inf)));
+            for qi in 0..3 {
+                let qs: Vec<f64> = samples.iter().map(|&(_, f)| f[qi]).collect();
+                cells.push(format!("{:.3}", mean(&qs)));
+            }
+        }
+        t.row(&cells);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ExpOptions {
+        ExpOptions {
+            trials: 4,
+            ..ExpOptions::default()
+        }
+    }
+
+    #[test]
+    fn table2_reports_all_four_topologies() {
+        let out = table2(&small());
+        assert!(out.contains("tree (random, 12 blocks, 4 rs)"));
+        assert!(out.contains("general (reconvergent paths, Fig. 1)"));
+        assert!(out.contains("conservative bound check"));
+        // The general topology (Fig. 1) is a fixed instance with no q=1
+        // guarantee; its row must say so.
+        assert!(out
+            .lines()
+            .any(|l| l.contains("general") && l.contains("no")));
+    }
+
+    #[test]
+    fn fig16_has_one_row_per_station_count() {
+        let out = fig16(&small());
+        let rows: Vec<&str> = out.lines().skip(3).collect(); // title, header, rule
+        assert_eq!(rows.len(), 10);
+        assert!(rows[0].trim_start().starts_with('1'));
+        assert!(rows[9].trim_start().starts_with("10"));
+    }
+}

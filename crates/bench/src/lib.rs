@@ -3,10 +3,14 @@
 //! Every table and figure of the paper's evaluation has a binary in
 //! `src/bin/` that regenerates it (`table1` … `table6`, `fig15` … `fig17`);
 //! this library provides the text-table renderer, summary statistics, and
-//! the tiny argument parser they share.
+//! the tiny argument parser they share, plus the parallel sweep drivers in
+//! [`experiments`] (trial loops fan out through `lis-par` with derived
+//! per-trial seeds, so output is identical at every thread count).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod experiments;
 
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,64 @@
+//! Determinism of the parallel experiment sweeps: the same seed must
+//! produce byte-identical output, at any thread count, on every run.
+//!
+//! This is the contract that lets `results/` be regenerated reproducibly
+//! and lets CI compare experiment output across machines.
+
+use lis_bench::{experiments, ExpOptions};
+
+fn opts(trials: usize) -> ExpOptions {
+    ExpOptions {
+        trials,
+        ..ExpOptions::default()
+    }
+}
+
+#[test]
+fn table2_output_is_identical_across_runs_and_thread_counts() {
+    let o = opts(6);
+    let first = lis_par::with_threads(4, || experiments::table2(&o));
+    let second = lis_par::with_threads(4, || experiments::table2(&o));
+    assert_eq!(
+        first, second,
+        "same seed, same thread count, different output"
+    );
+    let serial = lis_par::with_threads(1, || experiments::table2(&o));
+    assert_eq!(
+        first, serial,
+        "parallel output diverged from the serial run"
+    );
+}
+
+#[test]
+fn fig16_output_is_identical_across_runs_and_thread_counts() {
+    let o = opts(3);
+    let first = lis_par::with_threads(4, || experiments::fig16(&o));
+    let second = lis_par::with_threads(4, || experiments::fig16(&o));
+    assert_eq!(
+        first, second,
+        "same seed, same thread count, different output"
+    );
+    let serial = lis_par::with_threads(1, || experiments::fig16(&o));
+    assert_eq!(
+        first, serial,
+        "parallel output diverged from the serial run"
+    );
+}
+
+#[test]
+fn the_seed_reaches_the_sampled_systems() {
+    // Different seeds must actually change the measurements (guards against
+    // a derivation bug that ignores `opts.seed`).
+    let a = experiments::fig16(&ExpOptions {
+        trials: 3,
+        seed: 1,
+        ..ExpOptions::default()
+    });
+    let b = experiments::fig16(&ExpOptions {
+        trials: 3,
+        seed: 99,
+        ..ExpOptions::default()
+    });
+    assert_ne!(a, b);
+    assert_eq!(a.lines().count(), b.lines().count());
+}

@@ -249,7 +249,7 @@ fn simulate(sys: &LisSystem, rest: &[String]) -> CliResult {
     let mut saturated = false;
     for c in sys.channel_ids() {
         let hw = stats.queue_high_water(c);
-        if hw >= sys.queue_capacity(c) + 1 {
+        if hw > sys.queue_capacity(c) {
             if !saturated {
                 println!("saturated channels (queue + in-flight item full):");
                 saturated = true;

@@ -1,0 +1,272 @@
+//! Vendored, dependency-free subset of the `criterion` benchmarking API.
+//!
+//! Offline builds cannot fetch the real criterion crate, so this shim
+//! provides the entry points the workspace's `benches/` use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple but honest measurement loop: per benchmark it warms up,
+//! collects `sample_size` timed samples (auto-calibrated iteration counts),
+//! and reports the median, minimum and maximum time per iteration.
+//!
+//! Statistical analysis, HTML reports and comparison against saved
+//! baselines are out of scope; the numbers printed are real wall-clock
+//! measurements suitable for the speedup tracking in `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for a parameterized benchmark, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Samples of (total elapsed, iterations) collected by `iter`.
+    samples: Vec<(Duration, u64)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly and records per-iteration timings.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up and calibration: find an iteration count that runs for
+        // at least ~1ms so Instant overhead is negligible.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push((start.elapsed(), iters));
+        }
+    }
+}
+
+/// One benchmark group; prints results as benchmarks complete.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Runs and reports one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id.name);
+        match summarize(&bencher.samples) {
+            Some((median, min, max)) => println!(
+                "bench: {label:<48} median {} (min {}, max {}) over {} samples",
+                fmt_ns(median),
+                fmt_ns(min),
+                fmt_ns(max),
+                bencher.samples.len(),
+            ),
+            None => println!("bench: {label:<48} no samples collected"),
+        }
+    }
+
+    /// Ends the group (kept for API compatibility; results are printed
+    /// eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-iteration nanoseconds: (median, min, max).
+fn summarize(samples: &[(Duration, u64)]) -> Option<(f64, f64, f64)> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut per_iter: Vec<f64> = samples
+        .iter()
+        .map(|&(d, n)| d.as_secs_f64() * 1e9 / n as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median = per_iter[per_iter.len() / 2];
+    Some((median, per_iter[0], per_iter[per_iter.len() - 1]))
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+/// Command-line arguments (as passed by `cargo bench`) are accepted and
+/// ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let _args: Vec<String> = std::env::args().collect();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 3,
+        };
+        b.iter(|| 21u64 * 2);
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&(_, n)| n >= 1));
+    }
+
+    #[test]
+    fn summary_orders_min_median_max() {
+        let samples = vec![
+            (Duration::from_nanos(300), 1),
+            (Duration::from_nanos(100), 1),
+            (Duration::from_nanos(200), 1),
+        ];
+        let (median, min, max) = summarize(&samples).unwrap();
+        assert!(min <= median && median <= max);
+        assert_eq!(min, 100.0);
+        assert_eq!(max, 300.0);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert_eq!(fmt_ns(12.0), "12ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000ms");
+        assert_eq!(fmt_ns(3e9), "3.000s");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+}

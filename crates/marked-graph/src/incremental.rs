@@ -1,0 +1,451 @@
+//! Incremental minimum-cycle-mean re-evaluation.
+//!
+//! Queue sizing explores many token assignments of the *same* graph: each
+//! candidate solution only bumps the token counts of a few backedge places.
+//! Recomputing the MCM from scratch per candidate repeats the SCC
+//! decomposition and re-solves every component, even though token changes
+//! never alter the graph's structure. [`IncrementalMcm`] factors that work:
+//!
+//! * the SCC decomposition and per-component [`LocalScc`] views are built
+//!   **once**, at construction;
+//! * a query ([`IncrementalMcm::mcm_with_tokens`]) re-solves **only the
+//!   components containing a changed place** — untouched components reuse
+//!   their base mean;
+//! * re-solves are memoized per component, keyed by the normalized token
+//!   delta vector, so revisiting an assignment (binary search over budgets,
+//!   branch-and-bound backtracking) is a hash lookup.
+//!
+//! Token overrides on places that are not internal to any cyclic component
+//! are ignored: such a place lies on no cycle (every cycle is contained in
+//! one SCC), so its marking cannot affect any cycle mean. This makes a
+//! query sound for arbitrary override sets, not just backedges.
+//!
+//! Results are exactly those of the from-scratch solvers: the same exact
+//! rational mean as [`crate::mcm::karp`] on the modified graph, and — via
+//! [`IncrementalMcm::result_with_tokens`] — the same critical cycle as
+//! [`crate::mcm::minimum_cycle_mean`] under the shared tie-break (lowest
+//! component id attaining the minimum mean).
+
+use std::collections::HashMap;
+
+use crate::error::GraphError;
+use crate::graph::{MarkedGraph, PlaceId};
+use crate::mcm::{critical_cycle_local, karp_local, LocalScc, McmResult};
+use crate::ratio::Ratio;
+use crate::scc::SccDecomposition;
+
+/// Per-component memo entries kept before the cache stops growing. Queries
+/// past the cap still compute correctly; they just aren't remembered.
+const CACHE_CAP: usize = 4096;
+
+/// One cyclic component with its memoized re-evaluations.
+struct CompState {
+    /// Component id in the underlying [`SccDecomposition`].
+    comp_id: usize,
+    /// Mutable local view; edge weights are patched during a re-solve and
+    /// always restored before the query returns.
+    local: LocalScc,
+    /// Mean under the base marking.
+    base_mean: Ratio,
+    /// Normalized delta vector (sorted by place id) → mean.
+    cache: HashMap<Vec<(PlaceId, u64)>, Ratio>,
+}
+
+/// Cache-effectiveness counters reported by [`IncrementalMcm::cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Component re-evaluations answered from the memo (or the base mean).
+    pub hits: u64,
+    /// Component re-evaluations that ran Karp's dynamic program.
+    pub misses: u64,
+    /// Total memo entries currently held across components.
+    pub entries: usize,
+}
+
+/// Incremental MCM engine for one graph under varying token assignments.
+///
+/// # Examples
+///
+/// ```
+/// use marked_graph::incremental::IncrementalMcm;
+/// use marked_graph::{mcm, MarkedGraph, Ratio};
+///
+/// let mut g = MarkedGraph::new();
+/// let a = g.add_transition("A");
+/// let b = g.add_transition("B");
+/// g.add_place(a, b, 1);
+/// let back = g.add_place(b, a, 0);
+///
+/// let mut inc = IncrementalMcm::new(&g);
+/// assert_eq!(inc.base_mean(), Some(Ratio::new(1, 2)));
+/// // Granting the backedge one extra token: same as mutating the graph.
+/// assert_eq!(inc.mcm_with_tokens(&[(back, 1)]), Some(Ratio::ONE));
+/// g.set_tokens(back, 1);
+/// assert_eq!(mcm::karp(&g), Some(Ratio::ONE));
+/// ```
+pub struct IncrementalMcm {
+    /// Cyclic components in ascending component-id order.
+    comps: Vec<CompState>,
+    /// place → (slot in `comps`, local vertex, edge index), for every place
+    /// internal to a cyclic component.
+    place_index: HashMap<PlaceId, (usize, usize, usize)>,
+    /// Whether the source graph had no transitions at all.
+    graph_empty: bool,
+    hits: u64,
+    misses: u64,
+}
+
+impl IncrementalMcm {
+    /// Builds the engine: one SCC decomposition, one base solve per cyclic
+    /// component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any transition has a delay other than 1, matching the MCM
+    /// solvers' restriction.
+    pub fn new(graph: &MarkedGraph) -> IncrementalMcm {
+        for t in graph.transition_ids() {
+            assert_eq!(graph.delay(t), 1, "MCM solvers require unit delays");
+        }
+        let scc = SccDecomposition::compute(graph);
+        let mut comps = Vec::new();
+        let mut place_index = HashMap::new();
+        for c in scc.component_ids() {
+            if !scc.is_cyclic(graph, c) {
+                continue;
+            }
+            let local = LocalScc::build(graph, &scc, c);
+            let slot = comps.len();
+            for (v, out) in local.edges.iter().enumerate() {
+                for (e, &(_, _, p)) in out.iter().enumerate() {
+                    place_index.insert(p, (slot, v, e));
+                }
+            }
+            let base_mean = karp_local(&local).expect("cyclic SCC has a cycle");
+            comps.push(CompState {
+                comp_id: c,
+                local,
+                base_mean,
+                cache: HashMap::new(),
+            });
+        }
+        IncrementalMcm {
+            comps,
+            place_index,
+            graph_empty: graph.is_empty(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The minimum cycle mean under the base marking (`None` if acyclic),
+    /// equal to [`crate::mcm::karp`] on the source graph.
+    pub fn base_mean(&self) -> Option<Ratio> {
+        self.comps.iter().map(|c| c.base_mean).reduce(Ratio::min)
+    }
+
+    /// The minimum cycle mean with the given places' token counts
+    /// **overridden** to the paired values (absolute counts, not
+    /// increments). Places absent from `overrides` keep their base tokens;
+    /// duplicate entries resolve to the last one; overrides on places that
+    /// lie on no cycle are ignored (they cannot affect any mean).
+    ///
+    /// Returns `None` when the graph is acyclic. The value is exactly
+    /// [`crate::mcm::karp`] of the graph with the overrides applied.
+    pub fn mcm_with_tokens(&mut self, overrides: &[(PlaceId, u64)]) -> Option<Ratio> {
+        let per_comp = self.normalize(overrides);
+        let mut best: Option<Ratio> = None;
+        for slot in 0..self.comps.len() {
+            let mean = self.comp_mean(slot, per_comp.get(&slot).map(Vec::as_slice));
+            best = Some(best.map_or(mean, |b: Ratio| b.min(mean)));
+        }
+        best
+    }
+
+    /// Like [`Self::mcm_with_tokens`], but also extracts a critical cycle,
+    /// reproducing [`crate::mcm::minimum_cycle_mean`] on the modified graph
+    /// bit for bit (same tie-break: lowest component id attaining the
+    /// minimum).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Empty`] for an empty source graph, [`GraphError::Acyclic`]
+    /// when there are no cycles.
+    pub fn result_with_tokens(
+        &mut self,
+        overrides: &[(PlaceId, u64)],
+    ) -> Result<McmResult, GraphError> {
+        if self.graph_empty {
+            return Err(GraphError::Empty);
+        }
+        let per_comp = self.normalize(overrides);
+        let mut best: Option<(Ratio, usize)> = None;
+        for slot in 0..self.comps.len() {
+            let mean = self.comp_mean(slot, per_comp.get(&slot).map(Vec::as_slice));
+            // comps are in ascending component-id order, so "only strictly
+            // smaller displaces" picks the lowest component id on a tie —
+            // the same rule as minimum_cycle_mean.
+            if best.is_none_or(|(m, _)| mean < m) {
+                best = Some((mean, slot));
+            }
+        }
+        let (mean, slot) = best.ok_or(GraphError::Acyclic)?;
+        let deltas = per_comp.get(&slot).map(Vec::as_slice).unwrap_or(&[]);
+        let saved = self.apply(slot, deltas);
+        let critical_cycle = critical_cycle_local(&self.comps[slot].local, mean);
+        self.restore(slot, deltas, &saved);
+        Ok(McmResult {
+            mean,
+            critical_cycle,
+        })
+    }
+
+    /// Hit/miss/occupancy counters for the per-component memo.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.comps.iter().map(|c| c.cache.len()).sum(),
+        }
+    }
+
+    /// Groups overrides by component slot as sorted, deduplicated,
+    /// base-differing delta vectors — the canonical memo keys.
+    fn normalize(&self, overrides: &[(PlaceId, u64)]) -> HashMap<usize, Vec<(PlaceId, u64)>> {
+        let mut latest: HashMap<PlaceId, u64> = HashMap::new();
+        for &(p, tokens) in overrides {
+            latest.insert(p, tokens);
+        }
+        let mut per_comp: HashMap<usize, Vec<(PlaceId, u64)>> = HashMap::new();
+        for (p, tokens) in latest {
+            let Some(&(slot, v, e)) = self.place_index.get(&p) else {
+                continue; // not on any cycle: cannot affect a mean
+            };
+            if self.comps[slot].local.edges[v][e].1 == tokens as i64 {
+                continue; // equal to the base marking: not a delta
+            }
+            per_comp.entry(slot).or_default().push((p, tokens));
+        }
+        for deltas in per_comp.values_mut() {
+            deltas.sort_unstable_by_key(|&(p, _)| p);
+        }
+        per_comp
+    }
+
+    /// Mean of one component under `deltas` (`None`/empty = base marking),
+    /// via the memo when possible.
+    fn comp_mean(&mut self, slot: usize, deltas: Option<&[(PlaceId, u64)]>) -> Ratio {
+        let deltas = match deltas {
+            None | Some([]) => {
+                self.hits += 1;
+                return self.comps[slot].base_mean;
+            }
+            Some(d) => d,
+        };
+        if let Some(&mean) = self.comps[slot].cache.get(deltas) {
+            self.hits += 1;
+            return mean;
+        }
+        self.misses += 1;
+        let saved = self.apply(slot, deltas);
+        let mean = karp_local(&self.comps[slot].local).expect("cyclic SCC has a cycle");
+        self.restore(slot, deltas, &saved);
+        let cache = &mut self.comps[slot].cache;
+        if cache.len() < CACHE_CAP {
+            cache.insert(deltas.to_vec(), mean);
+        }
+        mean
+    }
+
+    /// Patches the component's edge weights, returning the saved originals.
+    fn apply(&mut self, slot: usize, deltas: &[(PlaceId, u64)]) -> Vec<i64> {
+        let mut saved = Vec::with_capacity(deltas.len());
+        for &(p, tokens) in deltas {
+            let (s, v, e) = self.place_index[&p];
+            debug_assert_eq!(s, slot);
+            let weight = &mut self.comps[slot].local.edges[v][e].1;
+            saved.push(*weight);
+            *weight = tokens as i64;
+        }
+        saved
+    }
+
+    /// Undoes [`Self::apply`].
+    fn restore(&mut self, slot: usize, deltas: &[(PlaceId, u64)], saved: &[i64]) {
+        for (&(p, _), &w) in deltas.iter().zip(saved) {
+            let (s, v, e) = self.place_index[&p];
+            debug_assert_eq!(s, slot);
+            self.comps[slot].local.edges[v][e].1 = w;
+        }
+    }
+
+    /// Number of cyclic components being tracked.
+    pub fn component_count(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Component ids of the tracked (cyclic) components, ascending.
+    pub fn component_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        self.comps.iter().map(|c| c.comp_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcm;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Ring + chords + a detached acyclic tail, with every place returned
+    /// for override fuzzing.
+    fn random_graph(seed: u64) -> (MarkedGraph, Vec<PlaceId>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = MarkedGraph::new();
+        let n = rng.gen_range(2..10usize);
+        let ts: Vec<_> = (0..n).map(|i| g.add_transition(format!("t{i}"))).collect();
+        let mut places = Vec::new();
+        for i in 0..n {
+            places.push(g.add_place(ts[i], ts[(i + 1) % n], rng.gen_range(0..4u64)));
+        }
+        for _ in 0..rng.gen_range(0..n) {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            places.push(g.add_place(ts[u], ts[v], rng.gen_range(0..4u64)));
+        }
+        // Acyclic tail: place overrides here must be ignored.
+        let tail = g.add_transition("tail");
+        places.push(g.add_place(ts[0], tail, rng.gen_range(0..4u64)));
+        (g, places)
+    }
+
+    #[test]
+    fn matches_karp_under_random_overrides() {
+        for seed in 0..30 {
+            let (mut g, places) = random_graph(seed);
+            let mut inc = IncrementalMcm::new(&g);
+            assert_eq!(inc.base_mean(), mcm::karp(&g), "seed {seed}");
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+            for query in 0..20 {
+                let k = rng.gen_range(0..4usize);
+                let overrides: Vec<(PlaceId, u64)> = (0..k)
+                    .map(|_| {
+                        (
+                            places[rng.gen_range(0..places.len())],
+                            rng.gen_range(0..5u64),
+                        )
+                    })
+                    .collect();
+                // Oracle: mutate a clone and run Karp from scratch.
+                let saved: Vec<u64> = overrides.iter().map(|&(p, _)| g.tokens(p)).collect();
+                for &(p, t) in &overrides {
+                    g.set_tokens(p, t);
+                }
+                let expect = mcm::karp(&g);
+                let expect_full = mcm::minimum_cycle_mean(&g);
+                for (&(p, _), &t) in overrides.iter().zip(&saved) {
+                    g.set_tokens(p, t);
+                }
+                assert_eq!(
+                    inc.mcm_with_tokens(&overrides),
+                    expect,
+                    "seed {seed} query {query} overrides {overrides:?}"
+                );
+                assert_eq!(
+                    inc.result_with_tokens(&overrides).ok(),
+                    expect_full.ok(),
+                    "seed {seed} query {query}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        g.add_place(a, b, 1);
+        let back = g.add_place(b, a, 0);
+        let mut inc = IncrementalMcm::new(&g);
+        let first = inc.mcm_with_tokens(&[(back, 3)]);
+        let stats = inc.cache_stats();
+        assert_eq!(stats.misses, 1);
+        let second = inc.mcm_with_tokens(&[(back, 3)]);
+        assert_eq!(first, second);
+        let stats = inc.cache_stats();
+        assert_eq!(stats.misses, 1, "second query must be a cache hit");
+        assert!(stats.hits >= 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn base_marking_queries_never_resolve() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        let fwd = g.add_place(a, b, 1);
+        g.add_place(b, a, 0);
+        let mut inc = IncrementalMcm::new(&g);
+        // Overriding to the base value is not a delta.
+        assert_eq!(inc.mcm_with_tokens(&[(fwd, 1)]), inc.base_mean());
+        assert_eq!(inc.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn duplicate_overrides_last_one_wins() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        g.add_place(a, b, 0);
+        let back = g.add_place(b, a, 0);
+        let mut inc = IncrementalMcm::new(&g);
+        assert_eq!(
+            inc.mcm_with_tokens(&[(back, 7), (back, 2)]),
+            Some(Ratio::ONE)
+        );
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_mean() {
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        let p = g.add_place(a, b, 1);
+        let mut inc = IncrementalMcm::new(&g);
+        assert_eq!(inc.base_mean(), None);
+        assert_eq!(inc.mcm_with_tokens(&[(p, 5)]), None);
+        assert_eq!(
+            inc.result_with_tokens(&[]).unwrap_err(),
+            GraphError::Acyclic
+        );
+        assert_eq!(inc.component_count(), 0);
+    }
+
+    #[test]
+    fn empty_graph_reports_empty() {
+        let g = MarkedGraph::new();
+        let mut inc = IncrementalMcm::new(&g);
+        assert_eq!(inc.result_with_tokens(&[]).unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn untouched_components_reuse_base_means() {
+        // Two disconnected rings; overriding only the second must not
+        // re-solve the first.
+        let mut g = MarkedGraph::new();
+        let a0 = g.add_transition("a0");
+        let a1 = g.add_transition("a1");
+        g.add_place(a0, a1, 1);
+        g.add_place(a1, a0, 1);
+        let b0 = g.add_transition("b0");
+        let b1 = g.add_transition("b1");
+        g.add_place(b0, b1, 1);
+        let back = g.add_place(b1, b0, 0);
+        let mut inc = IncrementalMcm::new(&g);
+        assert_eq!(inc.component_count(), 2);
+        assert_eq!(inc.mcm_with_tokens(&[(back, 9)]), Some(Ratio::ONE));
+        // Exactly one dynamic-program run: the b-ring.
+        assert_eq!(inc.cache_stats().misses, 1);
+    }
+}

@@ -14,7 +14,11 @@
 //! * [`mcm`] — minimum cycle mean via Karp's algorithm and Lawler's
 //!   parametric search, plus critical-cycle extraction. The reciprocal of
 //!   the minimum cycle mean is the cycle time; capped at 1 it becomes the
-//!   maximal sustainable throughput of a LIS.
+//!   maximal sustainable throughput of a LIS. Per-SCC solves fan out in
+//!   parallel; serial reference implementations are kept as oracles.
+//! * [`incremental`] — [`incremental::IncrementalMcm`] re-evaluates the MCM
+//!   under token overrides, re-solving only the touched components with a
+//!   memo cache keyed by the delta vector.
 //! * [`cycles`] — Johnson's elementary-cycle enumeration, the input to the
 //!   Token Deficit abstraction used by queue sizing.
 //! * [`SccDecomposition`] — Tarjan SCCs and the condensation DAG.
@@ -65,6 +69,7 @@ pub mod dot;
 mod error;
 mod firing;
 mod graph;
+pub mod incremental;
 pub mod mcm;
 mod ratio;
 mod scc;

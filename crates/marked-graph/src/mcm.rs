@@ -14,6 +14,16 @@
 //! connected component and also extracts a *critical cycle* (a cycle whose
 //! mean attains the minimum) through shortest-path potentials and tight
 //! edges.
+//!
+//! Because the SCCs are independent, the per-component solves fan out in
+//! parallel (via `lis-par`); [`minimum_cycle_mean_serial`], [`karp`] and
+//! [`lawler`] remain single-threaded reference implementations. Parallel
+//! and serial paths are bit-identical: means are exact rationals reduced
+//! with `min` in component-id order, and ties between components with the
+//! same mean always resolve to the lowest component id, so the reported
+//! critical cycle never depends on scheduling. For repeated evaluation of
+//! the same graph under different token assignments, see
+//! [`crate::incremental::IncrementalMcm`].
 
 use crate::error::GraphError;
 use crate::graph::{MarkedGraph, PlaceId, TransitionId};
@@ -29,18 +39,19 @@ pub struct McmResult {
     pub critical_cycle: Vec<PlaceId>,
 }
 
-/// A view of one SCC as a local edge list, shared by the algorithms below.
-struct LocalScc {
+/// A view of one SCC as a local edge list, shared by the algorithms below
+/// and by the incremental engine in [`crate::incremental`].
+pub(crate) struct LocalScc {
     /// Global transition id per local vertex.
-    vertices: Vec<TransitionId>,
+    pub(crate) vertices: Vec<TransitionId>,
     /// `edges[v]` = outgoing internal edges of local vertex `v` as
     /// `(local_target, token_weight, place)`.
-    edges: Vec<Vec<(usize, i64, PlaceId)>>,
-    edge_count: usize,
+    pub(crate) edges: Vec<Vec<(usize, i64, PlaceId)>>,
+    pub(crate) edge_count: usize,
 }
 
 impl LocalScc {
-    fn build(graph: &MarkedGraph, scc: &SccDecomposition, comp: usize) -> LocalScc {
+    pub(crate) fn build(graph: &MarkedGraph, scc: &SccDecomposition, comp: usize) -> LocalScc {
         let vertices: Vec<TransitionId> = scc.members(comp).to_vec();
         let mut local_of = std::collections::HashMap::new();
         for (i, &t) in vertices.iter().enumerate() {
@@ -63,7 +74,7 @@ impl LocalScc {
         }
     }
 
-    fn n(&self) -> usize {
+    pub(crate) fn n(&self) -> usize {
         self.vertices.len()
     }
 }
@@ -111,13 +122,20 @@ pub fn minimum_cycle_mean(graph: &MarkedGraph) -> Result<McmResult, GraphError> 
         assert_eq!(graph.delay(t), 1, "MCM solvers require unit delays");
     }
     let scc = SccDecomposition::compute(graph);
+    let cyclic: Vec<usize> = scc
+        .component_ids()
+        .filter(|&c| scc.is_cyclic(graph, c))
+        .collect();
+    // Fan the SCCs out in parallel; every component is independent. The
+    // results come back in component-id order (par_map is order-
+    // preserving), so the reduction below is identical to the serial loop.
+    let means: Vec<(Ratio, usize)> = lis_par::par_map(&cyclic, |&c| (karp_scc(graph, &scc, c), c));
+    // Tie-break: the *lowest* component id among those attaining the
+    // minimum mean wins (only a strictly smaller mean displaces the
+    // incumbent). This is the documented deterministic choice of critical
+    // cycle, matching [`minimum_cycle_mean_serial`] bit for bit.
     let mut best: Option<(Ratio, usize)> = None;
-    for c in scc.component_ids() {
-        if !scc.is_cyclic(graph, c) {
-            continue;
-        }
-        let local = LocalScc::build(graph, &scc, c);
-        let mean = karp_local(&local).expect("cyclic SCC has a cycle");
+    for (mean, c) in means {
         if best.is_none_or(|(m, _)| mean < m) {
             best = Some((mean, c));
         }
@@ -129,6 +147,50 @@ pub fn minimum_cycle_mean(graph: &MarkedGraph) -> Result<McmResult, GraphError> 
         mean,
         critical_cycle,
     })
+}
+
+/// Serial reference implementation of [`minimum_cycle_mean`].
+///
+/// Iterates the SCCs one by one on the calling thread; kept as the oracle
+/// the parallel fan-out is validated against (`tests/invariants.rs`). The
+/// two are bit-identical on every input: same mean, same critical cycle
+/// under the same tie-break (lowest component id attaining the minimum).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Acyclic`] if the graph has no cycles and
+/// [`GraphError::Empty`] if it has no transitions.
+pub fn minimum_cycle_mean_serial(graph: &MarkedGraph) -> Result<McmResult, GraphError> {
+    if graph.is_empty() {
+        return Err(GraphError::Empty);
+    }
+    for t in graph.transition_ids() {
+        assert_eq!(graph.delay(t), 1, "MCM solvers require unit delays");
+    }
+    let scc = SccDecomposition::compute(graph);
+    let mut best: Option<(Ratio, usize)> = None;
+    for c in scc.component_ids() {
+        if !scc.is_cyclic(graph, c) {
+            continue;
+        }
+        let mean = karp_scc(graph, &scc, c);
+        if best.is_none_or(|(m, _)| mean < m) {
+            best = Some((mean, c));
+        }
+    }
+    let (mean, comp) = best.ok_or(GraphError::Acyclic)?;
+    let local = LocalScc::build(graph, &scc, comp);
+    let critical_cycle = critical_cycle_local(&local, mean);
+    Ok(McmResult {
+        mean,
+        critical_cycle,
+    })
+}
+
+/// Karp's mean of one cyclic SCC (helper shared by the entry points).
+fn karp_scc(graph: &MarkedGraph, scc: &SccDecomposition, comp: usize) -> Ratio {
+    let local = LocalScc::build(graph, scc, comp);
+    karp_local(&local).expect("cyclic SCC has a cycle")
 }
 
 /// Karp's minimum cycle mean over the whole graph (minimum across SCCs).
@@ -154,11 +216,39 @@ pub fn karp(graph: &MarkedGraph) -> Option<Ratio> {
         if !scc.is_cyclic(graph, c) {
             continue;
         }
-        let local = LocalScc::build(graph, &scc, c);
-        let mean = karp_local(&local).expect("cyclic SCC has a cycle");
+        let mean = karp_scc(graph, &scc, c);
         best = Some(best.map_or(mean, |m: Ratio| m.min(mean)));
     }
     best
+}
+
+/// [`karp`] with the per-SCC dynamic programs fanned out in parallel.
+///
+/// Returns exactly the same value as [`karp`] on every input: cycle means
+/// are exact rationals and `min` is associative, so the reduction order
+/// (input order, preserved by the parallel map) cannot change the result.
+///
+/// # Examples
+///
+/// ```
+/// use marked_graph::{mcm::{karp, karp_parallel}, MarkedGraph};
+///
+/// let mut g = MarkedGraph::new();
+/// let a = g.add_transition("A");
+/// let b = g.add_transition("B");
+/// g.add_place(a, b, 1);
+/// g.add_place(b, a, 0);
+/// assert_eq!(karp_parallel(&g), karp(&g));
+/// ```
+pub fn karp_parallel(graph: &MarkedGraph) -> Option<Ratio> {
+    let scc = SccDecomposition::compute(graph);
+    let cyclic: Vec<usize> = scc
+        .component_ids()
+        .filter(|&c| scc.is_cyclic(graph, c))
+        .collect();
+    lis_par::par_map(&cyclic, |&c| karp_scc(graph, &scc, c))
+        .into_iter()
+        .reduce(Ratio::min)
 }
 
 /// Karp's dynamic program on one SCC.
@@ -166,7 +256,7 @@ pub fn karp(graph: &MarkedGraph) -> Option<Ratio> {
 /// `D_k(v)` = minimum token weight of a walk with exactly `k` edges from an
 /// arbitrary root to `v`; the minimum cycle mean is
 /// `min_v max_k (D_n(v) - D_k(v)) / (n - k)`.
-fn karp_local(local: &LocalScc) -> Option<Ratio> {
+pub(crate) fn karp_local(local: &LocalScc) -> Option<Ratio> {
     let n = local.n();
     if local.edge_count == 0 {
         return None;
@@ -208,7 +298,7 @@ fn karp_local(local: &LocalScc) -> Option<Ratio> {
 /// cycles exactly zero); every edge of a critical cycle is *tight*
 /// (`phi(u) + r(e) == phi(v)`), so any cycle in the tight subgraph is
 /// critical.
-fn critical_cycle_local(local: &LocalScc, mean: Ratio) -> Vec<PlaceId> {
+pub(crate) fn critical_cycle_local(local: &LocalScc, mean: Ratio) -> Vec<PlaceId> {
     let n = local.n();
     let num = mean.numer();
     let den = mean.denom();
@@ -332,6 +422,25 @@ pub fn lawler(graph: &MarkedGraph) -> Option<Ratio> {
         best = Some(best.map_or(mean, |m: Ratio| m.min(mean)));
     }
     best
+}
+
+/// [`lawler`] with the per-SCC parametric searches fanned out in parallel.
+///
+/// Bit-identical to [`lawler`]: each SCC's Stern–Brocot walk is
+/// self-contained and the final `min` over exact rationals is
+/// order-insensitive.
+pub fn lawler_parallel(graph: &MarkedGraph) -> Option<Ratio> {
+    let scc = SccDecomposition::compute(graph);
+    let cyclic: Vec<usize> = scc
+        .component_ids()
+        .filter(|&c| scc.is_cyclic(graph, c))
+        .collect();
+    lis_par::par_map(&cyclic, |&c| {
+        let local = LocalScc::build(graph, &scc, c);
+        lawler_local(&local)
+    })
+    .into_iter()
+    .reduce(Ratio::min)
 }
 
 /// Whether some cycle has mean strictly below `lambda` (num/den).
@@ -562,6 +671,68 @@ mod tests {
             let r = minimum_cycle_mean(&g).unwrap();
             assert_eq!(g.cycle_mean(&r.critical_cycle), r.mean, "trial {trial}");
             assert_eq!(Some(r.mean), k, "trial {trial}");
+        }
+    }
+
+    /// Random multi-SCC graphs: chains of rings joined by acyclic bridges,
+    /// so the parallel fan-out has several components to distribute.
+    fn random_multi_scc(seed: u64) -> MarkedGraph {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = MarkedGraph::new();
+        let mut prev_exit: Option<TransitionId> = None;
+        for comp in 0..rng.gen_range(2..6usize) {
+            let n = rng.gen_range(1..6usize);
+            let ts: Vec<_> = (0..n)
+                .map(|i| g.add_transition(format!("c{comp}t{i}")))
+                .collect();
+            for i in 0..n {
+                g.add_place(ts[i], ts[(i + 1) % n], rng.gen_range(0..3u64));
+            }
+            if let Some(exit) = prev_exit {
+                g.add_place(exit, ts[0], rng.gen_range(0..3u64));
+            }
+            prev_exit = Some(ts[n - 1]);
+        }
+        g
+    }
+
+    #[test]
+    fn parallel_entry_points_match_serial_oracles() {
+        for seed in 0..40 {
+            let g = random_multi_scc(seed);
+            assert_eq!(karp_parallel(&g), karp(&g), "seed {seed}");
+            assert_eq!(lawler_parallel(&g), lawler(&g), "seed {seed}");
+            let par = minimum_cycle_mean(&g).unwrap();
+            let ser = minimum_cycle_mean_serial(&g).unwrap();
+            assert_eq!(
+                par, ser,
+                "seed {seed}: parallel result must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_tie_break_picks_lowest_component() {
+        // Two disconnected rings with the *same* mean 1/2; the critical
+        // cycle must come from the first (lowest-id) component under both
+        // entry points.
+        let mut g = MarkedGraph::new();
+        let a0 = g.add_transition("a0");
+        let a1 = g.add_transition("a1");
+        g.add_place(a0, a1, 1);
+        g.add_place(a1, a0, 0);
+        let b0 = g.add_transition("b0");
+        let b1 = g.add_transition("b1");
+        g.add_place(b0, b1, 0);
+        g.add_place(b1, b0, 1);
+        let par = lis_par::with_threads(4, || minimum_cycle_mean(&g).unwrap());
+        let ser = minimum_cycle_mean_serial(&g).unwrap();
+        assert_eq!(par, ser);
+        // Both places of the winning cycle belong to the a-ring.
+        for &p in &par.critical_cycle {
+            assert!(g.source(p) == a0 || g.source(p) == a1);
         }
     }
 }

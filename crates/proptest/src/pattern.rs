@@ -1,0 +1,237 @@
+//! A practical subset of regex string generation: literal characters,
+//! character classes (`[A-Za-z0-9_.-]`, escapes like `\n`), and `{m,n}` /
+//! `{n}` repetition. This covers every pattern the workspace's property
+//! tests use; anything outside the subset panics loudly at parse time
+//! rather than generating surprising strings.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One parsed pattern atom with its repetition bounds (inclusive).
+struct Atom {
+    /// Candidate characters, expanded from the class or a single literal.
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// A parsed generator for one pattern string.
+pub struct Pattern {
+    atoms: Vec<Atom>,
+}
+
+impl Pattern {
+    /// Parses `pattern`, panicking on syntax outside the supported subset.
+    pub fn parse(pattern: &str) -> Pattern {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let candidates = match c {
+                '[' => parse_class(&mut chars, pattern),
+                '\\' => {
+                    vec![unescape(chars.next().unwrap_or_else(|| {
+                        panic!("dangling escape in pattern {pattern:?}")
+                    }))]
+                }
+                '(' | ')' | '|' | '*' | '+' | '?' | '.' => {
+                    panic!("unsupported regex feature {c:?} in pattern {pattern:?}")
+                }
+                lit => vec![lit],
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                parse_repetition(&mut chars, pattern)
+            } else {
+                (1, 1)
+            };
+            atoms.push(Atom {
+                chars: candidates,
+                min,
+                max,
+            });
+        }
+        Pattern { atoms }
+    }
+
+    /// Draws one string matching the pattern.
+    pub fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..count {
+                out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// Parses the body of a `[...]` class (the `[` is already consumed),
+/// expanding ranges like `A-Z`. A `-` first, last, or after a range is a
+/// literal.
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut members: Vec<char> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in pattern {pattern:?}"));
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    members.push(p);
+                }
+                break;
+            }
+            '\\' => {
+                if let Some(p) =
+                    pending.replace(unescape(chars.next().unwrap_or_else(|| {
+                        panic!("dangling escape in class of pattern {pattern:?}")
+                    })))
+                {
+                    members.push(p);
+                }
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().expect("checked above");
+                let hi = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("unterminated range in pattern {pattern:?}"));
+                let hi = if hi == '\\' {
+                    unescape(chars.next().unwrap_or_else(|| {
+                        panic!("dangling escape in class of pattern {pattern:?}")
+                    }))
+                } else {
+                    hi
+                };
+                assert!(
+                    lo <= hi,
+                    "inverted range {lo:?}-{hi:?} in pattern {pattern:?}"
+                );
+                members.extend(lo..=hi);
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    members.push(p);
+                }
+            }
+        }
+    }
+    assert!(
+        !members.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    members
+}
+
+/// Parses `m,n}` or `n}` (the `{` is already consumed). Both bounds are
+/// inclusive in the returned pair, matching regex semantics.
+fn parse_repetition(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    let mut first = String::new();
+    let mut second: Option<String> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"));
+        match c {
+            '}' => break,
+            ',' => second = Some(String::new()),
+            d if d.is_ascii_digit() => match &mut second {
+                Some(s) => s.push(d),
+                None => first.push(d),
+            },
+            other => panic!("bad repetition character {other:?} in pattern {pattern:?}"),
+        }
+    }
+    let min: usize = first
+        .parse()
+        .unwrap_or_else(|_| panic!("bad repetition bound in pattern {pattern:?}"));
+    let max = match second {
+        None => min,
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("bad repetition bound in pattern {pattern:?}")),
+    };
+    assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let p = Pattern::parse(pattern);
+        let mut rng = StdRng::seed_from_u64(11);
+        (0..n).map(|_| p.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        for s in gen_many("[A-Za-z][A-Za-z0-9_.-]{0,12}", 200) {
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_alphabetic(), "{s:?}");
+            assert!(
+                cs.all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_with_newline() {
+        let mut seen_newline = false;
+        for s in gen_many("[ -~\\n]{0,300}", 300) {
+            assert!(s.len() <= 300);
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c) || c == '\n', "{c:?}");
+                seen_newline |= c == '\n';
+            }
+        }
+        assert!(seen_newline, "newline escape should be reachable");
+    }
+
+    #[test]
+    fn exact_repetition_and_literals() {
+        for s in gen_many("[0-9]{3}", 50) {
+            assert_eq!(s.len(), 3);
+            assert!(s.chars().all(|c| c.is_ascii_digit()));
+        }
+        assert_eq!(gen_many("abc", 1), vec!["abc".to_string()]);
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let p = Pattern::parse("[a-c-]");
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.extend(p.generate(&mut rng).chars());
+        }
+        assert_eq!(
+            seen,
+            ['a', 'b', 'c', '-'].into_iter().collect(),
+            "class should be exactly a, b, c and literal dash"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex feature")]
+    fn alternation_rejected() {
+        Pattern::parse("a|b");
+    }
+}

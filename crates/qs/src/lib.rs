@@ -15,9 +15,17 @@
 //!    (subset sets, singleton cycles, SCC contraction);
 //! 4. [`heuristic_solve`] (the paper's polynomial trim-down),
 //!    [`greedy_cover_solve`] (a max-coverage baseline), or [`exact_solve`]
-//!    (binary search + depth-K branch and bound with a wall-clock budget);
+//!    (binary search + depth-K branch and bound with a wall-clock budget,
+//!    optionally memoized and with parallel root branching);
 //! 5. [`verify_solution`] — recompute `θ(d[G])` with Karp's algorithm, the
 //!    polynomial certificate of the NP-membership argument.
+//!
+//! [`ThroughputOracle`] answers repeated "θ(d[G]) with these extra slots?"
+//! queries incrementally (one doubled model, per-SCC re-solves with a memo
+//! cache); it backs [`verify_solution_incremental`] and the oracle-based
+//! trim pass ([`trim_weights`], [`QsConfig::oracle_trim`]) that can tighten
+//! solutions past the Token Deficit abstraction when cycle enumeration was
+//! truncated.
 //!
 //! [`solve`] runs the whole pipeline on a [`lis_core::LisSystem`].
 //!
@@ -45,6 +53,7 @@ mod fixed;
 mod greedy;
 mod heuristic;
 mod lp;
+mod oracle;
 mod solve;
 mod td;
 
@@ -56,10 +65,14 @@ pub use deficit::{
 pub use error::QsError;
 pub use exact::{brute_force_optimum, exact_solve, exact_solve_with, ExactOptions, ExactOutcome};
 pub use fixed::{minimal_uniform_q, sufficient_queue_capacities};
-pub use greedy::greedy_cover_solve;
-pub use heuristic::heuristic_solve;
+pub use greedy::{greedy_cover_solve, greedy_cover_solve_trimmed};
+pub use heuristic::{heuristic_solve, heuristic_solve_trimmed};
 pub use lp::{to_lp, to_lp_from_td};
-pub use solve::{apply_solution, solve, verify_solution, Algorithm, QsConfig, QsReport};
+pub use oracle::{trim_weights, ThroughputOracle};
+pub use solve::{
+    apply_solution, solve, verify_solution, verify_solution_incremental, Algorithm, QsConfig,
+    QsReport,
+};
 pub use td::{simplify, Simplified, TdInstance, TdSolution};
 
 #[cfg(test)]

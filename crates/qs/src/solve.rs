@@ -13,8 +13,9 @@ use marked_graph::Ratio;
 use crate::collapse::collapse_sccs;
 use crate::deficit::{extract_instance, DEFAULT_CYCLE_LIMIT};
 use crate::error::QsError;
-use crate::exact::exact_solve;
+use crate::exact::{exact_solve_with, ExactOptions};
 use crate::heuristic::heuristic_solve;
+use crate::oracle::{trim_weights, ThroughputOracle};
 use crate::td::{simplify, TdInstance, TdSolution};
 
 /// Which solver to run.
@@ -37,6 +38,16 @@ pub struct QsConfig {
     pub collapse_sccs: bool,
     /// Wall-clock budget for the exact solver (`None` = run to completion).
     pub budget: Option<Duration>,
+    /// Explore the exact search's root branches on worker threads
+    /// ([`ExactOptions::parallel_root`]). Results are identical to the
+    /// serial search; only wall-clock time changes.
+    pub parallel: bool,
+    /// After solving, trim the solution against the real throughput with
+    /// the incremental [`ThroughputOracle`]. Never breaks feasibility (each
+    /// removal is verified); can go below the Token Deficit optimum when
+    /// cycle enumeration was truncated. Off by default to keep the paper's
+    /// reported numbers.
+    pub oracle_trim: bool,
 }
 
 impl Default for QsConfig {
@@ -46,6 +57,8 @@ impl Default for QsConfig {
             simplify: true,
             collapse_sccs: true,
             budget: None,
+            parallel: false,
+            oracle_trim: false,
         }
     }
 }
@@ -97,6 +110,24 @@ pub struct QsReport {
 /// # Ok::<(), lis_qs::QsError>(())
 /// ```
 pub fn solve(sys: &LisSystem, algo: Algorithm, cfg: &QsConfig) -> Result<QsReport, QsError> {
+    let mut report = solve_core(sys, algo, cfg)?;
+    if cfg.oracle_trim && report.total_extra > 0 {
+        let mut oracle = ThroughputOracle::new(sys);
+        let mut weights: Vec<u64> = report.extra_tokens.iter().map(|&(_, w)| w).collect();
+        let labels: Vec<ChannelId> = report.extra_tokens.iter().map(|&(c, _)| c).collect();
+        trim_weights(&mut weights, &labels, &mut oracle, report.target);
+        report.extra_tokens = labels
+            .into_iter()
+            .zip(weights)
+            .filter(|&(_, w)| w > 0)
+            .collect();
+        report.total_extra = report.extra_tokens.iter().map(|&(_, w)| w).sum();
+    }
+    Ok(report)
+}
+
+/// The pipeline proper, without the oracle-trim post-pass.
+fn solve_core(sys: &LisSystem, algo: Algorithm, cfg: &QsConfig) -> Result<QsReport, QsError> {
     // Rule 4: collapse SCCs when applicable, then solve on the smaller
     // system and map channels back.
     if cfg.collapse_sccs {
@@ -104,7 +135,8 @@ pub fn solve(sys: &LisSystem, algo: Algorithm, cfg: &QsConfig) -> Result<QsRepor
             if col.system.block_count() < sys.block_count() {
                 let mut sub_cfg = cfg.clone();
                 sub_cfg.collapse_sccs = false;
-                let sub = solve(&col.system, algo, &sub_cfg)?;
+                sub_cfg.oracle_trim = false;
+                let sub = solve_core(&col.system, algo, &sub_cfg)?;
                 let extra_tokens = sub
                     .extra_tokens
                     .iter()
@@ -153,7 +185,7 @@ fn run_solver(td: &TdInstance, algo: Algorithm, cfg: &QsConfig) -> (TdSolution, 
         let (reduced_sol, optimal, nodes) = match algo {
             Algorithm::Heuristic => (heuristic_solve(&simp.instance), false, 0),
             Algorithm::Exact => {
-                let out = exact_solve(&simp.instance, cfg.budget);
+                let out = exact_solve_with(&simp.instance, &exact_options(cfg));
                 (out.solution, out.optimal, out.nodes)
             }
         };
@@ -168,10 +200,18 @@ fn run_solver(td: &TdInstance, algo: Algorithm, cfg: &QsConfig) -> (TdSolution, 
                 (sol, trivially_optimal, 0)
             }
             Algorithm::Exact => {
-                let out = exact_solve(td, cfg.budget);
+                let out = exact_solve_with(td, &exact_options(cfg));
                 (out.solution, out.optimal, out.nodes)
             }
         }
+    }
+}
+
+fn exact_options(cfg: &QsConfig) -> ExactOptions {
+    ExactOptions {
+        budget: cfg.budget,
+        parallel_root: cfg.parallel,
+        ..ExactOptions::default()
     }
 }
 
@@ -189,6 +229,14 @@ pub fn verify_solution(sys: &LisSystem, report: &QsReport) -> bool {
     let mut resized = sys.clone();
     apply_solution(&mut resized, report);
     lis_core::practical_mst(&resized) == report.target
+}
+
+/// [`verify_solution`] through a reusable [`ThroughputOracle`]: no clone,
+/// no model rebuild, only the components touched by the solution are
+/// re-analyzed. Equivalent to the from-scratch check on every input; use it
+/// when verifying many reports against the same system.
+pub fn verify_solution_incremental(oracle: &mut ThroughputOracle, report: &QsReport) -> bool {
+    oracle.practical_mst_with_extra(&report.extra_tokens) == report.target
 }
 
 #[cfg(test)]
@@ -270,6 +318,66 @@ mod tests {
             assert!(*c == up || *c == down || c.index() < 6);
         }
         assert!(verify_solution(&sys, &report));
+    }
+
+    #[test]
+    fn parallel_config_reproduces_serial_reports() {
+        let (sys, _) = figures::fig15();
+        let serial = solve(&sys, Algorithm::Exact, &QsConfig::default()).unwrap();
+        let parallel = lis_par::with_threads(4, || {
+            solve(
+                &sys,
+                Algorithm::Exact,
+                &QsConfig {
+                    parallel: true,
+                    ..QsConfig::default()
+                },
+            )
+            .unwrap()
+        });
+        assert_eq!(serial.total_extra, parallel.total_extra);
+        assert_eq!(serial.extra_tokens, parallel.extra_tokens);
+        assert_eq!(serial.optimal, parallel.optimal);
+    }
+
+    #[test]
+    fn oracle_trim_preserves_feasibility() {
+        let (sys, _) = figures::fig15();
+        for algo in [Algorithm::Heuristic, Algorithm::Exact] {
+            let plain = solve(&sys, algo, &QsConfig::default()).unwrap();
+            let trimmed = solve(
+                &sys,
+                algo,
+                &QsConfig {
+                    oracle_trim: true,
+                    ..QsConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(verify_solution(&sys, &trimmed), "{algo:?}");
+            assert!(trimmed.total_extra <= plain.total_extra, "{algo:?}");
+            let mut oracle = ThroughputOracle::new(&sys);
+            assert!(verify_solution_incremental(&mut oracle, &trimmed));
+        }
+    }
+
+    #[test]
+    fn incremental_verification_agrees_with_clone_based() {
+        let (sys, _, _) = figures::fig1();
+        let report = solve(&sys, Algorithm::Exact, &QsConfig::default()).unwrap();
+        let mut oracle = ThroughputOracle::new(&sys);
+        assert_eq!(
+            verify_solution(&sys, &report),
+            verify_solution_incremental(&mut oracle, &report)
+        );
+        // A broken report must fail both ways.
+        let mut broken = report.clone();
+        broken.extra_tokens.clear();
+        assert_eq!(
+            verify_solution(&sys, &broken),
+            verify_solution_incremental(&mut oracle, &broken)
+        );
+        assert!(!verify_solution(&sys, &broken));
     }
 
     #[test]

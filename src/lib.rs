@@ -18,7 +18,9 @@
 //!   Vertex Cover reduction of the NP-completeness proof;
 //! * [`sim`] (`lis-sim`) — the value-level cycle-accurate LIS simulator
 //!   (traces, latency equivalence, measured throughput);
-//! * [`cofdm`] (`lis-cofdm`) — the COFDM UWB transmitter case study.
+//! * [`cofdm`] (`lis-cofdm`) — the COFDM UWB transmitter case study;
+//! * [`par`] (`lis-par`) — the scoped-thread work-stealing pool behind the
+//!   parallel MCM fan-out and the experiment sweeps.
 //!
 //! # Examples
 //!
@@ -36,6 +38,7 @@
 pub use lis_cofdm as cofdm;
 pub use lis_core as core;
 pub use lis_gen as gen;
+pub use lis_par as par;
 pub use lis_qs as qs;
 pub use lis_rsopt as rsopt;
 pub use lis_sim as sim;

@@ -159,6 +159,41 @@ proptest! {
         }
     }
 
+    /// The parallel MCM entry points (per-SCC fan-out through `lis-par`)
+    /// return exactly what the serial Karp and Lawler oracles return.
+    #[test]
+    fn parallel_mcm_matches_serial(g in arb_marked_graph()) {
+        use lis::marked_graph::mcm;
+        prop_assert_eq!(mcm::karp_parallel(&g), mcm::karp(&g));
+        prop_assert_eq!(mcm::lawler_parallel(&g), mcm::lawler(&g));
+        prop_assert_eq!(mcm::minimum_cycle_mean(&g), mcm::minimum_cycle_mean_serial(&g));
+    }
+
+    /// The incremental engine answers token-override queries exactly like
+    /// patching a clone and rerunning Karp (and Lawler) from scratch.
+    #[test]
+    fn incremental_mcm_matches_clone_based(g in arb_marked_graph(), seed in 0u64..1_000) {
+        use lis::marked_graph::incremental::IncrementalMcm;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let places: Vec<_> = g.place_ids().collect();
+        let mut inc = IncrementalMcm::new(&g);
+        prop_assert_eq!(inc.base_mean(), lis::marked_graph::mcm::karp(&g));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let k = rng.gen_range(0..5usize).min(places.len());
+            let overrides: Vec<_> = (0..k)
+                .map(|_| (places[rng.gen_range(0..places.len())], rng.gen_range(0..4u64)))
+                .collect();
+            let mut patched = g.clone();
+            for &(p, tok) in &overrides {
+                patched.set_tokens(p, tok);
+            }
+            prop_assert_eq!(inc.mcm_with_tokens(&overrides), lis::marked_graph::mcm::karp(&patched));
+            prop_assert_eq!(inc.mcm_with_tokens(&overrides), lis::marked_graph::mcm::lawler(&patched));
+        }
+    }
+
     /// Ratios: ordering is total and consistent with subtraction sign.
     #[test]
     fn ratio_order_consistency(a in -50i64..50, b in 1i64..20, c in -50i64..50, d in 1i64..20) {
