@@ -1,0 +1,248 @@
+//! Load generator for the `lis-server` analysis daemon; records sustained
+//! throughput and cache effectiveness into `results/server_loadgen.txt`.
+//!
+//! The daemon is started in-process on an ephemeral port and hammered by
+//! `--clients` keep-alive TCP connections with a mixed workload:
+//!
+//! * **hot** requests cycle through a small set of generated netlists and
+//!   alternate between `/analyze` and `/qs` — after the first round these
+//!   are all answered from the content-addressed result cache;
+//! * every `--cold-every`-th request submits a netlist nobody has seen
+//!   before, forcing a full parse + analysis on the worker pool.
+//!
+//! Threshold flags (`--min-rps`, `--min-hit-rate`, `--min-success`) turn
+//! the binary into a CI gate: the process exits nonzero when a measured
+//! value falls below its floor.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lis_core::to_netlist;
+use lis_gen::{generate, GeneratorConfig, InsertionPolicy};
+use lis_server::wire::{obj, Json};
+use lis_server::{parse_metric, Client, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const OUT_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/server_loadgen.txt"
+);
+
+/// Hot-set netlists: small enough that a cold analysis is quick, varied
+/// enough that cache keys differ.
+const HOT_SET: usize = 8;
+
+fn netlist(seed: u64, vertices: usize) -> String {
+    let cfg = GeneratorConfig {
+        vertices,
+        sccs: 2,
+        min_cycles_per_scc: 2,
+        relay_stations: 3,
+        reconvergent_paths: true,
+        policy: InsertionPolicy::Scc,
+        extra_inter_edges: None,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    to_netlist(&generate(&cfg, &mut rng).system)
+}
+
+struct ClientStats {
+    requests: u64,
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+}
+
+fn run_client(
+    addr: std::net::SocketAddr,
+    hot: Arc<Vec<String>>,
+    id: u64,
+    deadline: Instant,
+    cold_every: u64,
+) -> ClientStats {
+    let mut stats = ClientStats {
+        requests: 0,
+        ok: 0,
+        rejected: 0,
+        errors: 0,
+    };
+    let mut client = Client::connect(addr).expect("connect to in-process daemon");
+    let mut i = 0u64;
+    while Instant::now() < deadline {
+        i += 1;
+        let (route, body);
+        if cold_every > 0 && i.is_multiple_of(cold_every) {
+            // A netlist no one has ever submitted: unique per client+index,
+            // offset past the hot-set seed range.
+            route = "/analyze";
+            body = obj([(
+                "netlist",
+                Json::str(netlist(1_000_000 + id * 1_000_000 + i, 12)),
+            )])
+            .to_string();
+        } else {
+            let n = (i as usize) % hot.len();
+            route = if i.is_multiple_of(2) {
+                "/analyze"
+            } else {
+                "/qs"
+            };
+            body = obj([("netlist", Json::str(&hot[n]))]).to_string();
+        }
+        stats.requests += 1;
+        match client.request("POST", route, body.as_bytes()) {
+            Ok(resp) if resp.status == 200 => stats.ok += 1,
+            Ok(resp) if resp.status == 503 || resp.status == 504 => stats.rejected += 1,
+            Ok(_) => stats.errors += 1,
+            Err(_) => {
+                stats.errors += 1;
+                // Keep-alive stream poisoned; reconnect and continue.
+                match Client::connect(addr) {
+                    Ok(c) => client = c,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    stats
+}
+
+fn arg<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    match args.iter().position(|a| a == name) {
+        None => default,
+        Some(i) => {
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("{name} needs a value"));
+            v.parse()
+                .unwrap_or_else(|e| panic!("{name}: {e} (got {v:?})"))
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let clients: u64 = arg(&args, "--clients", 8);
+    let duration = Duration::from_millis(arg(&args, "--duration-ms", 2_000));
+    let cold_every: u64 = arg(&args, "--cold-every", 64);
+    let min_rps: f64 = arg(&args, "--min-rps", 0.0);
+    let min_hit_rate: f64 = arg(&args, "--min-hit-rate", 0.0);
+    let min_success: f64 = arg(&args, "--min-success", 0.0);
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let daemon = std::thread::spawn(move || server.run());
+
+    let hot = Arc::new(
+        (0..HOT_SET as u64)
+            .map(|s| netlist(s, 16))
+            .collect::<Vec<_>>(),
+    );
+
+    // Warm the cache so the measured window reflects steady state.
+    {
+        let mut warm = Client::connect(addr).expect("connect");
+        for n in hot.iter() {
+            let body = obj([("netlist", Json::str(n))]).to_string();
+            for route in ["/analyze", "/qs"] {
+                let resp = warm
+                    .request("POST", route, body.as_bytes())
+                    .expect("warmup");
+                assert_eq!(resp.status, 200, "warmup request failed");
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let deadline = started + duration;
+    let stats: Vec<ClientStats> = {
+        let handles: Vec<_> = (0..clients)
+            .map(|id| {
+                let hot = Arc::clone(&hot);
+                std::thread::spawn(move || run_client(addr, hot, id, deadline, cold_every))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    };
+    let elapsed = started.elapsed();
+
+    let mut admin = Client::connect(addr).expect("connect");
+    let exposition = admin.metrics().expect("metrics");
+    assert_eq!(admin.shutdown().expect("shutdown"), 200);
+    daemon.join().expect("daemon thread").expect("clean exit");
+
+    let requests: u64 = stats.iter().map(|s| s.requests).sum();
+    let ok: u64 = stats.iter().map(|s| s.ok).sum();
+    let rejected: u64 = stats.iter().map(|s| s.rejected).sum();
+    let errors: u64 = stats.iter().map(|s| s.errors).sum();
+    let rps = requests as f64 / elapsed.as_secs_f64();
+    let success = if requests > 0 {
+        ok as f64 / requests as f64
+    } else {
+        0.0
+    };
+    let hits = parse_metric(&exposition, "lis_cache_hits_total").unwrap_or(0.0);
+    let misses = parse_metric(&exposition, "lis_cache_misses_total").unwrap_or(0.0);
+    let hit_rate = if hits + misses > 0.0 {
+        hits / (hits + misses)
+    } else {
+        0.0
+    };
+    let shed = parse_metric(&exposition, "lis_shed_total").unwrap_or(0.0);
+
+    let mut report = String::new();
+    writeln!(
+        report,
+        "lis-server load generation\n\
+         ==========================\n\
+         in-process daemon on an ephemeral port, {clients} keep-alive client(s),\n\
+         {} worker(s), {:.1} s measured window (after a cache warmup pass).\n\
+         workload: {HOT_SET} hot netlists alternating /analyze and /qs, plus one\n\
+         never-seen-before cold /analyze every {cold_every} requests per client.\n\
+         Regenerate with:\n\
+         \x20   cargo run --release -p lis-bench --bin loadgen\n",
+        lis_par::max_threads(),
+        elapsed.as_secs_f64(),
+    )
+    .expect("write to String");
+    writeln!(
+        report,
+        "requests:      {requests:>10}   ({rps:>10.0} req/s)\n\
+         success (200): {ok:>10}   ({:>9.2}% of requests)\n\
+         shed/timeout:  {rejected:>10}   (server-side shed counter: {shed:.0})\n\
+         client errors: {errors:>10}\n\
+         cache hits:    {:>10.0}   misses: {:.0}   hit rate: {:.2}%",
+        100.0 * success,
+        hits,
+        misses,
+        100.0 * hit_rate,
+    )
+    .expect("write to String");
+
+    std::fs::write(OUT_PATH, &report).expect("write results/server_loadgen.txt");
+    print!("{report}");
+    eprintln!("\nwrote {OUT_PATH}");
+
+    let mut failed = false;
+    for (name, value, floor) in [
+        ("req/s", rps, min_rps),
+        ("cache hit rate", hit_rate, min_hit_rate),
+        ("success rate", success, min_success),
+    ] {
+        if value < floor {
+            eprintln!("FAIL: {name} {value:.3} below the required {floor:.3}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -11,9 +11,9 @@ use lis_sim::{CoreModel, LisSimulator, Passthrough, QueueMode};
 type CliResult = Result<(), Box<dyn Error>>;
 
 const USAGE: &str = "\
-usage: lis <command> <netlist> [options]
+usage: lis [--threads N] <command> ...
 
-commands:
+analysis commands (local, netlist from a file):
   analyze  <netlist>                     throughput analysis + topology class
   qs       <netlist> [--exact] [--apply OUT]
   insert   <netlist> [--budget N] [--apply OUT]
@@ -21,13 +21,33 @@ commands:
   simulate <netlist> [--steps N]
   vcd      <netlist> [--steps N]         waveform dump to stdout (GTKWave)
   dot      <netlist> [--doubled]
+
+server commands (analysis as a service):
+  serve  <addr> [--queue N] [--cache N] [--timeout-ms N]
+                                         run the analysis daemon on addr
+                                         (e.g. 127.0.0.1:7171)
+  client <addr> analyze|qs|insert|dot <netlist> [--exact] [--budget N] [--doubled]
+                                         run one request against a daemon
+  client <addr> metrics                  print the Prometheus exposition
+  client <addr> shutdown                 drain the daemon and stop it
+
+global options:
+  --threads N    cap the worker/analysis thread pool at N threads
+                 (default: LIS_THREADS env var, then available parallelism);
+                 `serve` uses this as its worker-pool size
 ";
 
 /// Parses the command line and runs the selected command.
 pub fn dispatch(args: &[String]) -> CliResult {
+    let args = apply_threads_flag(args)?;
     let Some(command) = args.first() else {
         return Err(USAGE.into());
     };
+    match command.as_str() {
+        "serve" => return serve(&args[1..]),
+        "client" => return client_cmd(&args[1..]),
+        _ => {}
+    }
     let Some(path) = args.get(1) else {
         return Err(format!("missing netlist path\n{USAGE}").into());
     };
@@ -43,6 +63,106 @@ pub fn dispatch(args: &[String]) -> CliResult {
         "vcd" => vcd(&sys, rest),
         "dot" => dot(&sys, rest),
         other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
+    }
+}
+
+/// Strips a global `--threads N` flag (anywhere on the line) and applies it
+/// process-wide via [`lis_par::set_max_threads`].
+fn apply_threads_flag(args: &[String]) -> Result<Vec<String>, Box<dyn Error>> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--threads" {
+            let v = iter.next().ok_or("--threads needs a value")?;
+            let n: usize = v
+                .parse()
+                .map_err(|e| format!("--threads: {e} (got {v:?})"))?;
+            if n == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            lis_par::set_max_threads(n);
+        } else {
+            out.push(a.clone());
+        }
+    }
+    Ok(out)
+}
+
+fn serve(rest: &[String]) -> CliResult {
+    let Some(addr) = rest.first() else {
+        return Err(format!("serve needs a listen address\n{USAGE}").into());
+    };
+    let rest = &rest[1..];
+    let config = lis_server::ServerConfig {
+        workers: lis_par::max_threads(),
+        queue_capacity: option(rest, "--queue", 256usize)?,
+        cache_capacity: option(rest, "--cache", 4096usize)?,
+        request_timeout: std::time::Duration::from_millis(option(rest, "--timeout-ms", 30_000u64)?),
+        ..lis_server::ServerConfig::default()
+    };
+    let workers = config.workers;
+    let server = lis_server::Server::bind(addr.as_str(), config)?;
+    println!(
+        "lis-server listening on {} ({} worker(s); POST /shutdown to stop)",
+        server.local_addr()?,
+        workers
+    );
+    server.run()?;
+    println!("lis-server drained and stopped");
+    Ok(())
+}
+
+fn client_cmd(rest: &[String]) -> CliResult {
+    use lis_server::{Client, Json};
+    let (Some(addr), Some(cmd)) = (rest.first(), rest.get(1)) else {
+        return Err(format!("client needs an address and a command\n{USAGE}").into());
+    };
+    let mut client = Client::connect(addr.as_str())?;
+    match cmd.as_str() {
+        "metrics" => {
+            print!("{}", client.metrics()?);
+            Ok(())
+        }
+        "shutdown" => {
+            let status = client.shutdown()?;
+            if status != 200 {
+                return Err(format!("shutdown request failed with status {status}").into());
+            }
+            println!("server is draining");
+            Ok(())
+        }
+        route @ ("analyze" | "qs" | "insert" | "dot") => {
+            let Some(path) = rest.get(2) else {
+                return Err(format!("client {route} needs a netlist path\n{USAGE}").into());
+            };
+            let netlist =
+                fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let flags = &rest[3..];
+            let mut options: Vec<(String, Json)> = Vec::new();
+            if flag(flags, "--exact") {
+                options.push(("exact".into(), Json::Bool(true)));
+            }
+            if flag(flags, "--doubled") {
+                options.push(("doubled".into(), Json::Bool(true)));
+            }
+            if let Some(i) = flags.iter().position(|a| a == "--budget") {
+                let v = flags.get(i + 1).ok_or("--budget needs a value")?;
+                let n: u64 = v.parse().map_err(|e| format!("--budget: {e}"))?;
+                options.push(("budget".into(), Json::Num(n as f64)));
+            }
+            let options = if options.is_empty() {
+                Json::Null
+            } else {
+                Json::Obj(options)
+            };
+            let (status, body) = client.analysis(route, &netlist, options)?;
+            println!("{body}");
+            if status != 200 {
+                return Err(format!("server answered {status}").into());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown client command {other:?}\n{USAGE}").into()),
     }
 }
 
@@ -398,6 +518,64 @@ mod tests {
             lis_core::parse_netlist(&std::fs::read_to_string(&out).expect("read")).expect("parse");
         assert_eq!(lis_core::practical_mst(&resized), marked_graph::Ratio::ONE);
         let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn threads_flag_is_stripped_and_applied() {
+        // Restore whatever the process-wide budget was before the test.
+        let previous = lis_par::set_max_threads(0);
+        lis_par::set_max_threads(previous);
+
+        let args: Vec<String> = ["--threads", "3", "analyze", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let stripped = apply_threads_flag(&args).expect("valid flag");
+        assert_eq!(stripped, vec!["analyze".to_string(), "x".to_string()]);
+        assert_eq!(lis_par::max_threads(), 3);
+        lis_par::set_max_threads(previous);
+
+        assert!(apply_threads_flag(&["--threads".to_string()]).is_err());
+        assert!(apply_threads_flag(&["--threads".to_string(), "0".to_string()]).is_err());
+        assert!(apply_threads_flag(&["--threads".to_string(), "moose".to_string()]).is_err());
+    }
+
+    #[test]
+    fn serve_and_client_round_trip() {
+        // Drive `client` against an in-process daemon; `serve` itself is
+        // exercised via its building blocks (Server::bind + run) because it
+        // blocks until shutdown.
+        let server = lis_server::Server::bind("127.0.0.1:0", lis_server::ServerConfig::default())
+            .expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let daemon = std::thread::spawn(move || server.run());
+
+        let path = write_fig1();
+        dispatch(&[
+            "client".into(),
+            addr.to_string(),
+            "analyze".into(),
+            path.to_str().into(),
+        ])
+        .expect("client analyze");
+        dispatch(&[
+            "client".into(),
+            addr.to_string(),
+            "qs".into(),
+            path.to_str().into(),
+            "--exact".into(),
+        ])
+        .expect("client qs --exact");
+        dispatch(&["client".into(), addr.to_string(), "metrics".into()]).expect("client metrics");
+
+        // Bad usage surfaces as errors, not panics.
+        assert!(dispatch(&["client".into()]).is_err());
+        assert!(dispatch(&["client".into(), addr.to_string(), "frobnicate".into()]).is_err());
+        assert!(dispatch(&["client".into(), addr.to_string(), "analyze".into()]).is_err());
+        assert!(dispatch(&["serve".into()]).is_err());
+
+        dispatch(&["client".into(), addr.to_string(), "shutdown".into()]).expect("client shutdown");
+        daemon.join().expect("daemon").expect("clean exit");
     }
 
     #[test]

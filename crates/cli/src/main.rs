@@ -9,7 +9,12 @@
 //!                                     relay-station insertion search
 //! lis simulate <netlist> [--steps N]  cycle-accurate simulation
 //! lis dot      <netlist> [--doubled]  Graphviz export
+//! lis serve    <addr>                 analysis-as-a-service daemon
+//! lis client   <addr> <cmd> <netlist> one request against a daemon
 //! ```
+//!
+//! A global `--threads N` flag caps the analysis thread pool; `lis serve`
+//! uses it as the worker-pool size.
 //!
 //! Netlists use the `lis-core` text format (see `lis_core::parse_netlist`):
 //!

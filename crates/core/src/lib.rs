@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canonical;
 mod compose;
 mod error;
 mod explain;
@@ -51,6 +52,7 @@ mod pipelining;
 mod system;
 mod topology;
 
+pub use canonical::canonical_hash;
 pub use compose::{instantiate, Instantiation};
 pub use error::LisError;
 pub use explain::{describe_cycle, explain, AnalysisReport};

@@ -393,6 +393,20 @@ mod tests {
     }
 
     #[test]
+    fn error_message_carries_the_offending_line_number() {
+        // The server surfaces these messages verbatim in 400 responses, so
+        // the rendered string — not just the struct field — must name the
+        // line the user has to fix.
+        let e = parse_netlist("block A\nblock B\nchannel A -> B rs=oops\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(
+            e.to_string().contains("netlist line 3"),
+            "rendered error {:?} does not name line 3",
+            e.to_string()
+        );
+    }
+
+    #[test]
     fn uninitialized_blocks_round_trip() {
         let text = "block A\nblock X uninitialized\nchannel A -> X q=2\n";
         let sys = parse_netlist(text).unwrap();

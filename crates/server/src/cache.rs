@@ -1,0 +1,191 @@
+//! The content-addressed result cache.
+//!
+//! Keys are *content* hashes, not request texts: the netlist is parsed
+//! first and hashed in canonical form ([`lis_core::canonical_hash`]), so
+//! two requests whose netlists differ only in comments, whitespace, or
+//! quoting share a cache entry. The request kind and its options are
+//! hashed alongside (an `analyze` and a `qs --exact` of the same system
+//! are distinct entries).
+//!
+//! Values are fully rendered response bodies ([`CachedResponse`]), shared
+//! by `Arc` — a hit writes the exact bytes of the original computation to
+//! the socket, which is what lets the end-to-end tests assert
+//! byte-identical repeat responses.
+//!
+//! Eviction is FIFO by insertion order, bounded by `capacity`. Analysis
+//! results never go stale (the key pins the full input), so recency
+//! tracking buys little; FIFO keeps the lock hold times tiny.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::Metrics;
+
+/// A cache key: canonical system hash plus request-kind hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// `lis_core::canonical_hash` of the parsed netlist.
+    pub system: u64,
+    /// FNV-1a of the request kind and options (see `RequestKind::token`).
+    pub request: u64,
+}
+
+/// A cached, fully rendered response.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CachedResponse {
+    /// HTTP status of the original computation (200, or a deterministic
+    /// failure such as 422).
+    pub status: u16,
+    /// The exact JSON body bytes originally sent.
+    pub body: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Arc<CachedResponse>>,
+    order: VecDeque<CacheKey>,
+}
+
+/// A bounded, thread-safe, content-addressed response cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` responses (0 disables
+    /// caching entirely).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+        }
+    }
+
+    /// Looks up a key, counting the outcome in `metrics`.
+    pub fn get(&self, key: CacheKey, metrics: &Metrics) -> Option<Arc<CachedResponse>> {
+        let hit = self
+            .inner
+            .lock()
+            .expect("cache lock")
+            .map
+            .get(&key)
+            .cloned();
+        match &hit {
+            Some(_) => metrics.cache_hits.fetch_add(1, Ordering::Relaxed),
+            None => metrics.cache_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Inserts a response, evicting the oldest entries beyond capacity.
+    /// Re-inserting an existing key refreshes the value without growing
+    /// the order queue.
+    pub fn insert(&self, key: CacheKey, response: Arc<CachedResponse>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.insert(key, response).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                let oldest = inner.order.pop_front().expect("order tracks map");
+                inner.map.remove(&oldest);
+            }
+        }
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            system: n,
+            request: n ^ 0xdead_beef,
+        }
+    }
+
+    fn resp(tag: u8) -> Arc<CachedResponse> {
+        Arc::new(CachedResponse {
+            status: 200,
+            body: vec![tag; 3],
+        })
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = ResultCache::new(8);
+        let metrics = Metrics::new();
+        assert!(cache.get(key(1), &metrics).is_none());
+        cache.insert(key(1), resp(1));
+        let hit = cache.get(key(1), &metrics).expect("hit");
+        assert_eq!(hit.body, vec![1, 1, 1]);
+        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn same_system_different_request_kind_do_not_collide() {
+        let cache = ResultCache::new(8);
+        let metrics = Metrics::new();
+        let a = CacheKey {
+            system: 7,
+            request: 1,
+        };
+        let b = CacheKey {
+            system: 7,
+            request: 2,
+        };
+        cache.insert(a, resp(1));
+        cache.insert(b, resp(2));
+        assert_eq!(cache.get(a, &metrics).unwrap().body, vec![1, 1, 1]);
+        assert_eq!(cache.get(b, &metrics).unwrap().body, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let cache = ResultCache::new(2);
+        let metrics = Metrics::new();
+        cache.insert(key(1), resp(1));
+        cache.insert(key(2), resp(2));
+        cache.insert(key(3), resp(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(key(1), &metrics).is_none(), "oldest evicted");
+        assert!(cache.get(key(2), &metrics).is_some());
+        assert!(cache.get(key(3), &metrics).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating_order() {
+        let cache = ResultCache::new(2);
+        let metrics = Metrics::new();
+        cache.insert(key(1), resp(1));
+        cache.insert(key(1), resp(9));
+        cache.insert(key(2), resp(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(key(1), &metrics).unwrap().body, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::new(0);
+        let metrics = Metrics::new();
+        cache.insert(key(1), resp(1));
+        assert!(cache.is_empty());
+        assert!(cache.get(key(1), &metrics).is_none());
+    }
+}

@@ -1,0 +1,109 @@
+//! A small blocking client for the daemon's wire protocol, used by
+//! `lis client`, the end-to-end tests, and the `loadgen` workload driver.
+//!
+//! One [`Client`] owns one persistent (keep-alive) connection; requests on
+//! it are strictly sequential. Drop the client to close the connection.
+
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::http::{read_response, write_request, Response};
+use crate::wire::{obj, Json};
+
+/// A persistent connection to a `lis-server` daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // Generous guard so a wedged server cannot hang the client forever.
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends one raw request and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and HTTP-framing errors.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        write_request(&mut self.writer, method, path, body)?;
+        read_response(&mut self.reader)
+    }
+
+    /// POSTs a JSON value, returning the status and parsed JSON body.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors pass through; a non-JSON response body surfaces as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn post_json(&mut self, path: &str, body: &Json) -> io::Result<(u16, Json)> {
+        let response = self.request("POST", path, body.to_string().as_bytes())?;
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))?;
+        let json = Json::parse(text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("non-JSON response body: {e}"),
+            )
+        })?;
+        Ok((response.status, json))
+    }
+
+    /// Issues an analysis request (`route` is `"analyze"`, `"qs"`,
+    /// `"insert"`, or `"dot"`) for a netlist text, with request options.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::post_json`].
+    pub fn analysis(
+        &mut self,
+        route: &str,
+        netlist: &str,
+        options: Json,
+    ) -> io::Result<(u16, Json)> {
+        let body = obj([("netlist", Json::str(netlist)), ("options", options)]);
+        self.post_json(&format!("/{route}"), &body)
+    }
+
+    /// Fetches the Prometheus exposition from `GET /metrics`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors pass through; a non-200 status or non-UTF-8 body is
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn metrics(&mut self) -> io::Result<String> {
+        let response = self.request("GET", "/metrics", b"")?;
+        if response.status != 200 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("/metrics answered {}", response.status),
+            ));
+        }
+        String::from_utf8(response.body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 metrics"))
+    }
+
+    /// Asks the daemon to drain and exit. Returns the response status.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn shutdown(&mut self) -> io::Result<u16> {
+        Ok(self.request("POST", "/shutdown", b"")?.status)
+    }
+}

@@ -1,0 +1,194 @@
+//! The server's typed error taxonomy.
+//!
+//! Every failure a request can hit maps to exactly one variant, one HTTP
+//! status, and one machine-readable `kind` string in the JSON error body —
+//! so clients can distinguish "your netlist is wrong" (fix the input) from
+//! "the analysis timed out" (retry with a bigger budget) from "the server
+//! is shedding load" (back off and retry).
+
+use std::fmt;
+
+use lis_core::ParseNetlistError;
+
+use crate::wire::{obj, Json};
+
+/// Everything that can go wrong while serving a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The request body was not valid JSON or lacked required fields → 400.
+    BadRequest(String),
+    /// The netlist failed to parse; carries the offending line → 400.
+    Parse(ParseNetlistError),
+    /// The netlist parsed but analysis failed (e.g. cycle-enumeration
+    /// limits) → 422.
+    Analysis(String),
+    /// The analysis ran past the per-request deadline → 504.
+    Timeout {
+        /// The deadline that was exceeded, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// The worker queue was full; the request was shed → 503.
+    Overloaded {
+        /// Queue capacity at the moment of shedding.
+        queue_capacity: usize,
+    },
+    /// The daemon is draining for shutdown → 503.
+    ShuttingDown,
+    /// No such route → 404.
+    NotFound(String),
+    /// Route exists but not with this method → 405.
+    MethodNotAllowed,
+}
+
+impl ServerError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServerError::BadRequest(_) | ServerError::Parse(_) => 400,
+            ServerError::Analysis(_) => 422,
+            ServerError::Timeout { .. } => 504,
+            ServerError::Overloaded { .. } | ServerError::ShuttingDown => 503,
+            ServerError::NotFound(_) => 404,
+            ServerError::MethodNotAllowed => 405,
+        }
+    }
+
+    /// The machine-readable kind tag used in the JSON body.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServerError::BadRequest(_) => "bad_request",
+            ServerError::Parse(_) => "parse_error",
+            ServerError::Analysis(_) => "analysis_error",
+            ServerError::Timeout { .. } => "timeout",
+            ServerError::Overloaded { .. } => "overloaded",
+            ServerError::ShuttingDown => "shutting_down",
+            ServerError::NotFound(_) => "not_found",
+            ServerError::MethodNotAllowed => "method_not_allowed",
+        }
+    }
+
+    /// The JSON error body:
+    /// `{"error": {"kind": ..., "message": ..., <extras>}}`.
+    ///
+    /// Parse errors carry a `line` field; timeouts their `timeout_ms`;
+    /// overload the `queue_capacity` that was exceeded.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("kind".to_string(), Json::str(self.kind())),
+            ("message".to_string(), Json::str(self.to_string())),
+        ];
+        match self {
+            ServerError::Parse(e) => {
+                fields.push(("line".to_string(), Json::num(e.line as f64)));
+            }
+            ServerError::Timeout { timeout_ms } => {
+                fields.push(("timeout_ms".to_string(), Json::num(*timeout_ms as f64)));
+            }
+            ServerError::Overloaded { queue_capacity } => {
+                fields.push((
+                    "queue_capacity".to_string(),
+                    Json::num(*queue_capacity as f64),
+                ));
+            }
+            _ => {}
+        }
+        obj([("error", Json::Obj(fields))])
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServerError::Parse(e) => write!(f, "{e}"),
+            ServerError::Analysis(m) => write!(f, "analysis failed: {m}"),
+            ServerError::Timeout { timeout_ms } => {
+                write!(f, "analysis exceeded the {timeout_ms} ms deadline")
+            }
+            ServerError::Overloaded { queue_capacity } => write!(
+                f,
+                "worker queue full ({queue_capacity} jobs); request shed, retry later"
+            ),
+            ServerError::ShuttingDown => write!(f, "server is draining for shutdown"),
+            ServerError::NotFound(path) => write!(f, "no such route {path:?}"),
+            ServerError::MethodNotAllowed => write!(f, "method not allowed on this route"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<ParseNetlistError> for ServerError {
+    fn from(e: ParseNetlistError) -> ServerError {
+        ServerError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_and_kinds_are_distinct_and_stable() {
+        let parse_err = lis_core::parse_netlist("blok A\n").unwrap_err();
+        let cases: Vec<(ServerError, u16, &str)> = vec![
+            (ServerError::BadRequest("x".into()), 400, "bad_request"),
+            (ServerError::Parse(parse_err), 400, "parse_error"),
+            (ServerError::Analysis("x".into()), 422, "analysis_error"),
+            (ServerError::Timeout { timeout_ms: 10 }, 504, "timeout"),
+            (
+                ServerError::Overloaded { queue_capacity: 4 },
+                503,
+                "overloaded",
+            ),
+            (ServerError::ShuttingDown, 503, "shutting_down"),
+            (ServerError::NotFound("/x".into()), 404, "not_found"),
+            (ServerError::MethodNotAllowed, 405, "method_not_allowed"),
+        ];
+        for (e, status, kind) in &cases {
+            assert_eq!(e.status(), *status, "{e:?}");
+            assert_eq!(e.kind(), *kind, "{e:?}");
+            let body = e.to_json();
+            assert_eq!(
+                body.get("error").unwrap().get("kind").unwrap().as_str(),
+                Some(*kind)
+            );
+        }
+    }
+
+    #[test]
+    fn parse_errors_surface_the_line_number() {
+        let e = ServerError::from(lis_core::parse_netlist("block A\nblok B\n").unwrap_err());
+        let body = e.to_json();
+        let error = body.get("error").unwrap();
+        assert_eq!(error.get("line").unwrap().as_u64(), Some(2));
+        assert!(error
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("netlist line 2"));
+    }
+
+    #[test]
+    fn overload_and_timeout_carry_their_parameters() {
+        let shed = ServerError::Overloaded { queue_capacity: 64 }.to_json();
+        assert_eq!(
+            shed.get("error")
+                .unwrap()
+                .get("queue_capacity")
+                .unwrap()
+                .as_u64(),
+            Some(64)
+        );
+        let late = ServerError::Timeout { timeout_ms: 250 }.to_json();
+        assert_eq!(
+            late.get("error")
+                .unwrap()
+                .get("timeout_ms")
+                .unwrap()
+                .as_u64(),
+            Some(250)
+        );
+    }
+}

@@ -1,0 +1,378 @@
+//! A minimal HTTP/1.1 subset over `std::net`, shared by server and client.
+//!
+//! Supported: request line + headers + `Content-Length` bodies, persistent
+//! connections (`Connection: keep-alive` semantics, the HTTP/1.1 default),
+//! and explicit `Connection: close`. Not supported (and rejected where it
+//! matters): chunked transfer encoding, HTTP/0.9/2, multi-line header
+//! folding. That subset is exactly what `lis client` and `loadgen` speak,
+//! and keeps the parser small enough to audit.
+//!
+//! Hard limits guard the daemon against hostile or broken peers: the head
+//! (request/status line + headers) may not exceed [`MAX_HEAD_BYTES`] and
+//! bodies may not exceed [`MAX_BODY_BYTES`].
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum bytes of request/status line plus headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum accepted `Content-Length`.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed HTTP request (server side) with its body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Request target, e.g. `/analyze` (query strings are kept verbatim).
+    pub path: String,
+    /// Header name/value pairs; names are lowercased during parsing.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when there is no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to tear the connection down after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A parsed HTTP response (client side) with its body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code, e.g. 200.
+    pub status: u16,
+    /// Header name/value pairs; names are lowercased during parsing.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+fn read_head(reader: &mut impl BufRead) -> io::Result<Option<Vec<String>>> {
+    let mut lines = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            // Clean EOF before any bytes: the peer closed an idle
+            // connection. EOF mid-head is a protocol error.
+            if lines.is_empty() && total == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        total += n;
+        if total > MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            if lines.is_empty() {
+                // Tolerate stray blank lines before the request line.
+                continue;
+            }
+            return Ok(Some(lines));
+        }
+        lines.push(trimmed.to_string());
+    }
+}
+
+fn parse_headers(lines: &[String]) -> io::Result<Vec<(String, String)>> {
+    lines
+        .iter()
+        .map(|line| {
+            let (name, value) = line.split_once(':').ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad header {line:?}"))
+            })?;
+            Ok((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect()
+}
+
+fn read_body(reader: &mut impl BufRead, headers: &[(String, String)]) -> io::Result<Vec<u8>> {
+    let length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if length > MAX_BODY_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "chunked transfer encoding is not supported",
+        ));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Reads one request from a connection.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly between
+/// requests (normal keep-alive teardown).
+///
+/// # Errors
+///
+/// I/O errors pass through; protocol violations surface as
+/// [`io::ErrorKind::InvalidData`] and mid-request EOF as
+/// [`io::ErrorKind::UnexpectedEof`].
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let Some(lines) = read_head(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = lines[0].split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad request line {:?}", lines[0]),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version:?}"),
+        ));
+    }
+    let headers = parse_headers(&lines[1..])?;
+    let body = read_body(reader, &headers)?;
+    Ok(Some(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// Reads one response from a connection (client side).
+///
+/// # Errors
+///
+/// Same taxonomy as [`read_request`]; a clean EOF before the status line is
+/// `UnexpectedEof` here, because the client is always owed a response.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
+    let Some(lines) = read_head(reader)? else {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection without responding",
+        ));
+    };
+    let mut parts = lines[0].split_whitespace();
+    let status = match (parts.next(), parts.next()) {
+        (Some(v), Some(code)) if v.starts_with("HTTP/1.") => code.parse::<u16>().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line {:?}", lines[0]),
+            )
+        })?,
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line {:?}", lines[0]),
+            ))
+        }
+    };
+    let headers = parse_headers(&lines[1..])?;
+    let body = read_body(reader, &headers)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Writes a complete response, with `Content-Length` framing.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Writes a complete request, with `Content-Length` framing when a body is
+/// present.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_request(
+    writer: &mut impl Write,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: lis\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trip() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/analyze", b"{\"x\":1}").unwrap();
+        let req = read_request(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .expect("one request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/analyze");
+        assert_eq!(req.body, b"{\"x\":1}");
+        assert_eq!(req.header("host"), Some("lis"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 503, "application/json", b"{}", false).unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.body, b"{}");
+        assert_eq!(resp.header("connection"), Some("close"));
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn two_pipelined_requests_parse_in_order() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "GET", "/metrics", b"").unwrap();
+        write_request(&mut wire, "POST", "/shutdown", b"").unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        assert_eq!(read_request(&mut reader).unwrap().unwrap().path, "/metrics");
+        assert_eq!(
+            read_request(&mut reader).unwrap().unwrap().path,
+            "/shutdown"
+        );
+        assert!(read_request(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn connection_close_is_detected() {
+        let wire = b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap();
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn protocol_violations_are_invalid_data() {
+        let cases: &[&[u8]] = &[
+            b"GARBAGE\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ];
+        for wire in cases {
+            let err = read_request(&mut BufReader::new(&wire[..])).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{wire:?}");
+        }
+    }
+
+    #[test]
+    fn eof_mid_request_is_unexpected_eof() {
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        let err = read_request(&mut BufReader::new(&wire[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let err = read_request(&mut BufReader::new(&b"GET / HT"[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        wire.extend_from_slice(format!("X-Pad: {}\r\n\r\n", "a".repeat(MAX_HEAD_BYTES)).as_bytes());
+        let err = read_request(&mut BufReader::new(&wire[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_emitted_codes() {
+        for code in [200, 400, 404, 405, 413, 422, 500, 503, 504] {
+            assert_ne!(reason(code), "Unknown", "{code}");
+        }
+        assert_eq!(reason(299), "Unknown");
+    }
+}

@@ -1,0 +1,439 @@
+//! Analysis request kinds: parsing from the wire, cache identity, and
+//! execution against the analysis engine.
+//!
+//! Every `POST` analysis route carries the same envelope:
+//!
+//! ```json
+//! {"netlist": "<lis-core netlist text>", "options": { ... }}
+//! ```
+//!
+//! The route selects the job, `options` its knobs. Execution is pure: the
+//! same parsed system and kind always produce the same JSON (the solvers
+//! underneath are deterministic), which is what makes the responses safe
+//! to cache by content hash.
+
+use lis_core::{canonical_hash, classify, explain, LisModel, LisSystem, TopologyClass};
+use lis_qs::{solve, verify_solution, Algorithm, QsConfig};
+use lis_rsopt::{exhaustive_insertion, greedy_insertion};
+use marked_graph::Ratio;
+
+use crate::cache::CacheKey;
+use crate::error::ServerError;
+use crate::wire::{obj, Json};
+
+/// A decoded analysis request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Throughput analysis + topology classification (`POST /analyze`).
+    Analyze,
+    /// Queue sizing (`POST /qs`), heuristic or exact.
+    Qs {
+        /// Run the exact branch-and-bound instead of the heuristic.
+        exact: bool,
+    },
+    /// Relay-station insertion search (`POST /insert`).
+    Insert {
+        /// Maximum stations to insert.
+        budget: u32,
+    },
+    /// Graphviz export of the marked-graph model (`POST /dot`).
+    Dot {
+        /// Export the doubled model `d[G]` instead of the ideal `G`.
+        doubled: bool,
+    },
+}
+
+impl RequestKind {
+    /// Decodes a request body for the analysis route `route`
+    /// (`"analyze"`, `"qs"`, `"insert"`, or `"dot"`), returning the
+    /// netlist text and the decoded kind.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::BadRequest`] on missing/ill-typed fields.
+    pub fn decode(route: &str, body: &Json) -> Result<(String, RequestKind), ServerError> {
+        let netlist = body
+            .get("netlist")
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                ServerError::BadRequest("body must be {\"netlist\": \"...\", ...}".into())
+            })?
+            .to_string();
+        let options = body.get("options").unwrap_or(&Json::Null);
+        let opt_bool = |name: &str| -> Result<bool, ServerError> {
+            match options.get(name) {
+                None => Ok(false),
+                Some(v) => v.as_bool().ok_or_else(|| {
+                    ServerError::BadRequest(format!("option {name:?} must be a boolean"))
+                }),
+            }
+        };
+        let kind = match route {
+            "analyze" => RequestKind::Analyze,
+            "qs" => RequestKind::Qs {
+                exact: opt_bool("exact")?,
+            },
+            "insert" => {
+                let budget = match options.get("budget") {
+                    None => 2,
+                    Some(v) => v.as_u64().filter(|&b| b <= 16).ok_or_else(|| {
+                        ServerError::BadRequest(
+                            "option \"budget\" must be an integer in 0..=16".into(),
+                        )
+                    })? as u32,
+                };
+                RequestKind::Insert { budget }
+            }
+            "dot" => RequestKind::Dot {
+                doubled: opt_bool("doubled")?,
+            },
+            other => return Err(ServerError::NotFound(format!("/{other}"))),
+        };
+        Ok((netlist, kind))
+    }
+
+    /// A stable token naming the kind *and* every option that affects the
+    /// result — the request half of the cache key.
+    pub fn token(&self) -> String {
+        match self {
+            RequestKind::Analyze => "analyze".into(),
+            RequestKind::Qs { exact } => format!("qs:exact={exact}"),
+            RequestKind::Insert { budget } => format!("insert:budget={budget}"),
+            RequestKind::Dot { doubled } => format!("dot:doubled={doubled}"),
+        }
+    }
+
+    /// The content-addressed cache key for this kind applied to `sys`.
+    pub fn cache_key(&self, sys: &LisSystem) -> CacheKey {
+        let token = self.token();
+        let request = token.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        CacheKey {
+            system: canonical_hash(sys),
+            request,
+        }
+    }
+
+    /// Runs the job. Deterministic in `(sys, self)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Analysis`] when the underlying solver fails (e.g.
+    /// cycle-enumeration limits).
+    pub fn execute(&self, sys: &LisSystem) -> Result<Json, ServerError> {
+        match self {
+            RequestKind::Analyze => Ok(analyze(sys)),
+            RequestKind::Qs { exact } => qs(sys, *exact),
+            RequestKind::Insert { budget } => Ok(insert(sys, *budget)),
+            RequestKind::Dot { doubled } => Ok(dot(sys, *doubled)),
+        }
+    }
+}
+
+fn ratio_json(r: Ratio) -> Json {
+    obj([
+        ("num", Json::num(r.numer() as f64)),
+        ("den", Json::num(r.denom() as f64)),
+    ])
+}
+
+fn class_label(class: TopologyClass) -> &'static str {
+    match class {
+        TopologyClass::Tree => "tree",
+        TopologyClass::SccNoReconvergence => "scc_no_reconvergence",
+        TopologyClass::NetworkNoReconvergence => "network_no_reconvergence",
+        TopologyClass::General => "general",
+    }
+}
+
+fn channel_json(sys: &LisSystem, c: lis_core::ChannelId) -> Json {
+    obj([
+        ("channel", Json::num(c.index() as f64)),
+        ("from", Json::str(sys.block_name(sys.channel_from(c)))),
+        ("to", Json::str(sys.block_name(sys.channel_to(c)))),
+    ])
+}
+
+fn analyze(sys: &LisSystem) -> Json {
+    let report = explain(sys);
+    let bottlenecks: Vec<Json> = report
+        .bottleneck_queues
+        .iter()
+        .map(|&c| channel_json(sys, c))
+        .collect();
+    obj([
+        ("blocks", Json::num(sys.block_count() as f64)),
+        ("channels", Json::num(sys.channel_count() as f64)),
+        (
+            "relay_stations",
+            Json::num(f64::from(sys.relay_station_count())),
+        ),
+        ("topology_class", Json::str(class_label(classify(sys)))),
+        ("ideal_mst", ratio_json(report.ideal)),
+        ("practical_mst", ratio_json(report.practical)),
+        ("degraded", Json::Bool(report.is_degraded())),
+        (
+            "critical_cycle",
+            report
+                .critical_cycle
+                .as_deref()
+                .map_or(Json::Null, Json::str),
+        ),
+        ("bottleneck_queues", Json::Arr(bottlenecks)),
+    ])
+}
+
+fn qs(sys: &LisSystem, exact: bool) -> Result<Json, ServerError> {
+    let algo = if exact {
+        Algorithm::Exact
+    } else {
+        Algorithm::Heuristic
+    };
+    let report =
+        solve(sys, algo, &QsConfig::default()).map_err(|e| ServerError::Analysis(e.to_string()))?;
+    if !verify_solution(sys, &report) {
+        return Err(ServerError::Analysis(
+            "queue-sizing solution failed verification".into(),
+        ));
+    }
+    let extra: Vec<Json> = report
+        .extra_tokens
+        .iter()
+        .map(|&(c, w)| {
+            let mut entry = match channel_json(sys, c) {
+                Json::Obj(pairs) => pairs,
+                _ => unreachable!("channel_json returns an object"),
+            };
+            entry.push(("extra_slots".into(), Json::num(w as f64)));
+            entry.push((
+                "new_capacity".into(),
+                Json::num((sys.queue_capacity(c) + w) as f64),
+            ));
+            Json::Obj(entry)
+        })
+        .collect();
+    Ok(obj([
+        ("target_mst", ratio_json(report.target)),
+        ("practical_before", ratio_json(report.practical_before)),
+        ("total_extra", Json::num(report.total_extra as f64)),
+        ("optimal", Json::Bool(report.optimal)),
+        (
+            "deficient_cycles",
+            Json::num(report.deficient_cycles as f64),
+        ),
+        ("extra_tokens", Json::Arr(extra)),
+    ]))
+}
+
+fn insert(sys: &LisSystem, budget: u32) -> Json {
+    // Exhaustive search is exponential in the budget; same feasibility
+    // cutoff the CLI uses.
+    let exhaustive_feasible = (sys.channel_count() as u64).pow(budget.min(6)) <= 2_000_000;
+    let result = if exhaustive_feasible {
+        exhaustive_insertion(sys, budget)
+    } else {
+        greedy_insertion(sys, budget)
+    };
+    let placements: Vec<Json> = result
+        .placements
+        .iter()
+        .map(|&(c, n)| {
+            let mut entry = match channel_json(sys, c) {
+                Json::Obj(pairs) => pairs,
+                _ => unreachable!("channel_json returns an object"),
+            };
+            entry.push(("stations".into(), Json::num(f64::from(n))));
+            Json::Obj(entry)
+        })
+        .collect();
+    obj([
+        (
+            "search",
+            Json::str(if exhaustive_feasible {
+                "exhaustive"
+            } else {
+                "greedy"
+            }),
+        ),
+        ("practical_mst", ratio_json(result.practical)),
+        ("ideal_mst", ratio_json(result.ideal)),
+        ("inserted", Json::num(f64::from(result.inserted))),
+        ("placements", Json::Arr(placements)),
+    ])
+}
+
+fn dot(sys: &LisSystem, doubled: bool) -> Json {
+    let model = if doubled {
+        LisModel::doubled(sys)
+    } else {
+        LisModel::ideal(sys)
+    };
+    obj([
+        (
+            "model",
+            Json::str(if doubled { "doubled" } else { "ideal" }),
+        ),
+        ("dot", Json::str(marked_graph::dot::to_dot(model.graph()))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_core::parse_netlist;
+
+    const FIG1: &str = "block A\nblock B\nchannel A -> B rs=1\nchannel A -> B\n";
+
+    fn fig1() -> LisSystem {
+        parse_netlist(FIG1).expect("fig1 parses")
+    }
+
+    #[test]
+    fn decode_accepts_every_route_and_option() {
+        let body = Json::parse(&format!(
+            r#"{{"netlist": {}, "options": {{"exact": true, "budget": 3, "doubled": true}}}}"#,
+            Json::str(FIG1)
+        ))
+        .unwrap();
+        let (text, kind) = RequestKind::decode("analyze", &body).unwrap();
+        assert_eq!(text, FIG1);
+        assert_eq!(kind, RequestKind::Analyze);
+        assert_eq!(
+            RequestKind::decode("qs", &body).unwrap().1,
+            RequestKind::Qs { exact: true }
+        );
+        assert_eq!(
+            RequestKind::decode("insert", &body).unwrap().1,
+            RequestKind::Insert { budget: 3 }
+        );
+        assert_eq!(
+            RequestKind::decode("dot", &body).unwrap().1,
+            RequestKind::Dot { doubled: true }
+        );
+    }
+
+    #[test]
+    fn decode_defaults_options() {
+        let body = Json::parse(&format!(r#"{{"netlist": {}}}"#, Json::str(FIG1))).unwrap();
+        assert_eq!(
+            RequestKind::decode("qs", &body).unwrap().1,
+            RequestKind::Qs { exact: false }
+        );
+        assert_eq!(
+            RequestKind::decode("insert", &body).unwrap().1,
+            RequestKind::Insert { budget: 2 }
+        );
+    }
+
+    #[test]
+    fn decode_rejects_bad_envelopes() {
+        let no_netlist = Json::parse(r#"{"options": {}}"#).unwrap();
+        assert!(matches!(
+            RequestKind::decode("analyze", &no_netlist),
+            Err(ServerError::BadRequest(_))
+        ));
+        let bad_opt = Json::parse(&format!(
+            r#"{{"netlist": {}, "options": {{"exact": 1}}}}"#,
+            Json::str(FIG1)
+        ))
+        .unwrap();
+        assert!(matches!(
+            RequestKind::decode("qs", &bad_opt),
+            Err(ServerError::BadRequest(_))
+        ));
+        let big_budget = Json::parse(&format!(
+            r#"{{"netlist": {}, "options": {{"budget": 999}}}}"#,
+            Json::str(FIG1)
+        ))
+        .unwrap();
+        assert!(matches!(
+            RequestKind::decode("insert", &big_budget),
+            Err(ServerError::BadRequest(_))
+        ));
+        let ok = Json::parse(&format!(r#"{{"netlist": {}}}"#, Json::str(FIG1))).unwrap();
+        assert!(matches!(
+            RequestKind::decode("nonsense", &ok),
+            Err(ServerError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn cache_keys_separate_kinds_and_share_equivalent_netlists() {
+        let sys = fig1();
+        let noisy = parse_netlist(
+            "# same system\nblock \"A\"\nblock B\nchannel A -> B rs=1 q=1\nchannel A -> B\n",
+        )
+        .unwrap();
+        let analyze = RequestKind::Analyze;
+        let qs_h = RequestKind::Qs { exact: false };
+        let qs_x = RequestKind::Qs { exact: true };
+        assert_eq!(analyze.cache_key(&sys), analyze.cache_key(&noisy));
+        assert_ne!(analyze.cache_key(&sys), qs_h.cache_key(&sys));
+        assert_ne!(qs_h.cache_key(&sys), qs_x.cache_key(&sys));
+    }
+
+    #[test]
+    fn analyze_reports_the_fig1_numbers() {
+        let out = RequestKind::Analyze.execute(&fig1()).unwrap();
+        assert_eq!(out.get("blocks").unwrap().as_u64(), Some(2));
+        assert_eq!(out.get("topology_class").unwrap().as_str(), Some("general"));
+        let practical = out.get("practical_mst").unwrap();
+        assert_eq!(practical.get("num").unwrap().as_u64(), Some(2));
+        assert_eq!(practical.get("den").unwrap().as_u64(), Some(3));
+        assert_eq!(out.get("degraded").unwrap().as_bool(), Some(true));
+        assert!(!out
+            .get("bottleneck_queues")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn qs_exact_fixes_fig1_with_one_slot() {
+        let out = RequestKind::Qs { exact: true }.execute(&fig1()).unwrap();
+        assert_eq!(out.get("total_extra").unwrap().as_u64(), Some(1));
+        assert_eq!(out.get("optimal").unwrap().as_bool(), Some(true));
+        let extra = out.get("extra_tokens").unwrap().as_arr().unwrap();
+        assert_eq!(extra.len(), 1);
+        assert_eq!(extra[0].get("extra_slots").unwrap().as_u64(), Some(1));
+        assert_eq!(extra[0].get("new_capacity").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn insert_and_dot_run_on_fig1() {
+        let out = RequestKind::Insert { budget: 1 }.execute(&fig1()).unwrap();
+        assert_eq!(out.get("search").unwrap().as_str(), Some("exhaustive"));
+        assert!(out.get("practical_mst").unwrap().get("num").is_some());
+        let ideal = RequestKind::Dot { doubled: false }
+            .execute(&fig1())
+            .unwrap();
+        assert!(ideal
+            .get("dot")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("digraph"));
+        let doubled = RequestKind::Dot { doubled: true }.execute(&fig1()).unwrap();
+        assert!(
+            doubled.get("dot").unwrap().as_str().unwrap().len()
+                > ideal.get("dot").unwrap().as_str().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let sys = fig1();
+        for kind in [
+            RequestKind::Analyze,
+            RequestKind::Qs { exact: false },
+            RequestKind::Insert { budget: 2 },
+            RequestKind::Dot { doubled: true },
+        ] {
+            let a = kind.execute(&sys).unwrap().to_string();
+            let b = kind.execute(&sys).unwrap().to_string();
+            assert_eq!(a, b, "{kind:?} was not deterministic");
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Server observability: counters, gauges, and latency histograms rendered
+//! in the Prometheus text exposition format.
+//!
+//! The `/metrics` endpoint exists so the daemon can be measured with the
+//! classic bottleneck/Little's-law toolkit: request rate and latency
+//! histogram give the arrival and service processes, queue depth the
+//! population, and the cache hit ratio the effective service demand. All
+//! cells are lock-free atomics, so the hot path pays a handful of relaxed
+//! increments per request.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The request routes tracked per-counter. `Other` aggregates 404s and
+/// anything unrecognized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /analyze`.
+    Analyze,
+    /// `POST /qs`.
+    Qs,
+    /// `POST /insert`.
+    Insert,
+    /// `POST /dot`.
+    Dot,
+    /// `GET /metrics`.
+    Metrics,
+    /// `GET /healthz`.
+    Healthz,
+    /// `POST /shutdown`.
+    Shutdown,
+    /// Anything else.
+    Other,
+}
+
+impl Route {
+    const ALL: [Route; 8] = [
+        Route::Analyze,
+        Route::Qs,
+        Route::Insert,
+        Route::Dot,
+        Route::Metrics,
+        Route::Healthz,
+        Route::Shutdown,
+        Route::Other,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            Route::Analyze => "analyze",
+            Route::Qs => "qs",
+            Route::Insert => "insert",
+            Route::Dot => "dot",
+            Route::Metrics => "metrics",
+            Route::Healthz => "healthz",
+            Route::Shutdown => "shutdown",
+            Route::Other => "other",
+        }
+    }
+}
+
+/// The status classes tracked per-counter.
+const STATUSES: [u16; 9] = [200, 400, 404, 405, 413, 422, 500, 503, 504];
+
+fn status_slot(status: u16) -> usize {
+    STATUSES
+        .iter()
+        .position(|&s| s == status)
+        .unwrap_or(STATUSES.len() - 3) // unknown codes count as 500
+}
+
+/// Upper bounds (seconds) of the latency histogram buckets; an implicit
+/// `+Inf` bucket follows.
+pub const LATENCY_BUCKETS: [f64; 14] = [
+    0.000_05, 0.000_1, 0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0,
+];
+
+/// A cumulative latency histogram with fixed buckets.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
+    sum_nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        let slot = LATENCY_BUCKETS
+            .iter()
+            .position(|&le| secs <= le)
+            .unwrap_or(LATENCY_BUCKETS.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, out: &mut String, name: &str) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(
+            out,
+            "{name}_sum {}",
+            self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+        );
+        let _ = writeln!(out, "{name}_count {}", self.count.load(Ordering::Relaxed));
+    }
+}
+
+/// All metrics the daemon exports. One instance is shared by every
+/// connection handler and worker.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `requests[route][status]`.
+    requests: [[AtomicU64; STATUSES.len()]; Route::ALL.len()],
+    /// Cache lookups that were answered without running analysis.
+    pub cache_hits: AtomicU64,
+    /// Cache lookups that had to run analysis.
+    pub cache_misses: AtomicU64,
+    /// Jobs currently waiting in the worker-pool queue.
+    pub queue_depth: AtomicI64,
+    /// Jobs rejected because the queue was full (overload shedding).
+    pub shed_total: AtomicU64,
+    /// Requests that hit the per-request timeout.
+    pub timeouts_total: AtomicU64,
+    /// End-to-end request latency (receipt to response write).
+    pub latency: Histogram,
+}
+
+impl Metrics {
+    /// Creates a zeroed metrics registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Counts one finished request.
+    pub fn record_request(&self, route: Route, status: u16, elapsed: Duration) {
+        let r = Route::ALL.iter().position(|&x| x == route).expect("route");
+        self.requests[r][status_slot(status)].fetch_add(1, Ordering::Relaxed);
+        self.latency.observe(elapsed);
+    }
+
+    /// Total requests across all routes and statuses.
+    pub fn requests_total(&self) -> u64 {
+        self.requests
+            .iter()
+            .flatten()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Requests counted for one route/status cell (test observability).
+    pub fn requests_for(&self, route: Route, status: u16) -> u64 {
+        let r = Route::ALL.iter().position(|&x| x == route).expect("route");
+        self.requests[r][status_slot(status)].load(Ordering::Relaxed)
+    }
+
+    /// Renders everything in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        let _ = writeln!(out, "# TYPE lis_requests_total counter");
+        for (r, route) in Route::ALL.iter().enumerate() {
+            for (s, status) in STATUSES.iter().enumerate() {
+                let n = self.requests[r][s].load(Ordering::Relaxed);
+                if n > 0 {
+                    let _ = writeln!(
+                        out,
+                        "lis_requests_total{{route=\"{}\",status=\"{status}\"}} {n}",
+                        route.label()
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "# TYPE lis_cache_hits_total counter");
+        let _ = writeln!(
+            out,
+            "lis_cache_hits_total {}",
+            self.cache_hits.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# TYPE lis_cache_misses_total counter");
+        let _ = writeln!(
+            out,
+            "lis_cache_misses_total {}",
+            self.cache_misses.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# TYPE lis_queue_depth gauge");
+        let _ = writeln!(
+            out,
+            "lis_queue_depth {}",
+            self.queue_depth.load(Ordering::Relaxed).max(0)
+        );
+        let _ = writeln!(out, "# TYPE lis_shed_total counter");
+        let _ = writeln!(
+            out,
+            "lis_shed_total {}",
+            self.shed_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# TYPE lis_timeouts_total counter");
+        let _ = writeln!(
+            out,
+            "lis_timeouts_total {}",
+            self.timeouts_total.load(Ordering::Relaxed)
+        );
+        self.latency.render(&mut out, "lis_request_seconds");
+        out
+    }
+}
+
+/// Reads one sample back out of a Prometheus text exposition (exact
+/// metric-name match, first occurrence). Used by `loadgen` and the
+/// end-to-end tests to assert on `/metrics` output.
+pub fn parse_metric(exposition: &str, name: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?; // exact name: no labels, no prefix match
+        rest.trim().parse().ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_land_in_the_right_cells() {
+        let m = Metrics::new();
+        m.record_request(Route::Analyze, 200, Duration::from_micros(80));
+        m.record_request(Route::Analyze, 200, Duration::from_micros(80));
+        m.record_request(Route::Qs, 400, Duration::from_millis(2));
+        m.record_request(Route::Other, 404, Duration::from_micros(1));
+        assert_eq!(m.requests_for(Route::Analyze, 200), 2);
+        assert_eq!(m.requests_for(Route::Qs, 400), 1);
+        assert_eq!(m.requests_total(), 4);
+        assert_eq!(m.latency.count(), 4);
+    }
+
+    #[test]
+    fn unknown_status_codes_count_as_500() {
+        let m = Metrics::new();
+        m.record_request(Route::Dot, 299, Duration::ZERO);
+        assert_eq!(m.requests_for(Route::Dot, 500), 1);
+    }
+
+    #[test]
+    fn render_is_valid_prometheus_text() {
+        let m = Metrics::new();
+        m.record_request(Route::Analyze, 200, Duration::from_micros(300));
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        m.queue_depth.store(2, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("lis_requests_total{route=\"analyze\",status=\"200\"} 1"));
+        assert!(text.contains("lis_cache_hits_total 3"));
+        assert!(text.contains("lis_cache_misses_total 1"));
+        assert!(text.contains("lis_queue_depth 2"));
+        assert!(text.contains("lis_request_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lis_request_seconds_count 1"));
+        // Every exposition line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_metric_reads_render_back() {
+        let m = Metrics::new();
+        m.cache_hits.fetch_add(41, Ordering::Relaxed);
+        let text = m.render();
+        assert_eq!(parse_metric(&text, "lis_cache_hits_total"), Some(41.0));
+        assert_eq!(parse_metric(&text, "lis_cache_misses_total"), Some(0.0));
+        // Exact-name match: a prefix must not pick up the labeled series.
+        assert_eq!(parse_metric(&text, "lis_cache_hits"), None);
+        assert_eq!(parse_metric(&text, "nope"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.observe(Duration::from_nanos(10)); // first bucket
+        h.observe(Duration::from_secs(5)); // +Inf bucket
+        let mut out = String::new();
+        h.render(&mut out, "x");
+        assert!(out.contains("x_bucket{le=\"0.00005\"} 1"));
+        assert!(out.contains("x_bucket{le=\"1\"} 1"));
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 2"));
+        assert!(out.contains("x_count 2"));
+    }
+}

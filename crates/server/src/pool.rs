@@ -1,0 +1,250 @@
+//! A bounded worker pool with overload shedding and graceful drain.
+//!
+//! Analysis jobs are CPU-bound, so the pool runs a fixed number of worker
+//! threads (sized from [`lis_par::max_threads`] by default — the same knob
+//! the CLI's `--threads` flag and `LIS_THREADS` set) over a bounded FIFO
+//! queue. A full queue **rejects** new work instead of blocking the
+//! submitter: connection handlers translate that into a typed 503, which
+//! keeps tail latency bounded under overload instead of letting the queue
+//! grow without limit.
+//!
+//! [`WorkerPool::drain`] implements graceful shutdown: no new work is
+//! accepted, every queued and in-flight job runs to completion, and the
+//! worker threads are joined.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; the job was shed.
+    Overloaded,
+    /// The pool is draining and accepts no new work.
+    ShuttingDown,
+}
+
+#[derive(Default)]
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    draining: AtomicBool,
+    /// Mirror of the queue length for lock-free metrics reads.
+    depth: AtomicI64,
+}
+
+/// A fixed-size thread pool over a bounded job queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+    capacity: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads servicing a queue of at most `capacity`
+    /// pending jobs. Both must be nonzero.
+    pub fn new(workers: usize, capacity: usize) -> WorkerPool {
+        assert!(workers > 0, "a pool needs at least one worker");
+        assert!(capacity > 0, "a pool needs at least one queue slot");
+        let shared = Arc::new(Shared::default());
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lis-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: Mutex::new(handles),
+            worker_count: workers,
+            capacity,
+        }
+    }
+
+    /// Queue capacity this pool was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Jobs currently queued (excluding in-flight ones).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.depth.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// Enqueues a job.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the queue is full,
+    /// [`SubmitError::ShuttingDown`] after [`drain`](WorkerPool::drain)
+    /// began.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        if self.shared.draining.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut queue = self.shared.queue.lock().expect("pool lock");
+        if queue.len() >= self.capacity {
+            return Err(SubmitError::Overloaded);
+        }
+        queue.push_back(Box::new(job));
+        self.shared
+            .depth
+            .store(queue.len() as i64, Ordering::Relaxed);
+        drop(queue);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Stops accepting work, runs every queued job to completion, and joins
+    /// the workers. Safe to call more than once; later calls are no-ops.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("pool lock"));
+        for handle in handles {
+            handle.join().expect("worker panicked");
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.depth.store(queue.len() as i64, Ordering::Relaxed);
+                    break Some(job);
+                }
+                if shared.draining.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared.available.wait(queue).expect("pool lock");
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_results_come_back() {
+        let pool = WorkerPool::new(4, 64);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..32usize {
+            let tx = tx.clone();
+            pool.submit(move || tx.send(i * i).expect("send"))
+                .expect("submit");
+        }
+        let mut got: Vec<usize> = rx.iter().take(32).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..32).map(|i| i * i).collect::<Vec<_>>());
+        pool.drain();
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let pool = WorkerPool::new(1, 1);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        // Occupy the single worker...
+        pool.submit(move || {
+            block_rx.recv().expect("release");
+        })
+        .expect("first job");
+        // ...then fill the single queue slot. Submission order guarantees
+        // the worker has or will take the first job; poll until the queue
+        // slot is actually the blocker.
+        let started = std::time::Instant::now();
+        loop {
+            match pool.submit(|| {}) {
+                Ok(()) if pool.queue_depth() >= 1 => break,
+                Ok(()) => {}
+                Err(SubmitError::Overloaded) => break,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+            assert!(started.elapsed() < Duration::from_secs(5), "never filled");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Now the queue is full: the next submission must shed.
+        let mut shed = false;
+        for _ in 0..100 {
+            if pool.submit(|| {}) == Err(SubmitError::Overloaded) {
+                shed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(shed, "full queue never shed a job");
+        block_tx.send(()).expect("unblock");
+        pool.drain();
+    }
+
+    #[test]
+    fn drain_completes_every_queued_job() {
+        let pool = WorkerPool::new(2, 128);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                std::thread::sleep(Duration::from_micros(50));
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("submit");
+        }
+        pool.drain();
+        assert_eq!(done.load(Ordering::Relaxed), 100, "drain dropped jobs");
+    }
+
+    #[test]
+    fn submissions_after_drain_are_rejected() {
+        let pool = WorkerPool::new(1, 4);
+        pool.drain();
+        assert_eq!(pool.submit(|| {}), Err(SubmitError::ShuttingDown));
+        pool.drain(); // second drain is a no-op
+    }
+
+    #[test]
+    fn queue_depth_tracks_the_queue() {
+        let pool = WorkerPool::new(1, 8);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            block_rx.recv().expect("release");
+        })
+        .expect("submit");
+        // Wait for the worker to pick the blocker up, then stack two more.
+        let started = std::time::Instant::now();
+        while pool.queue_depth() != 0 {
+            assert!(started.elapsed() < Duration::from_secs(5));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.submit(|| {}).expect("submit");
+        pool.submit(|| {}).expect("submit");
+        assert_eq!(pool.queue_depth(), 2);
+        block_tx.send(()).expect("unblock");
+        pool.drain();
+    }
+}

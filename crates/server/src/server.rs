@@ -1,0 +1,357 @@
+//! The `lis-server` daemon: accept loop, connection handlers, routing, and
+//! graceful shutdown.
+//!
+//! Architecture (one box per thread kind):
+//!
+//! ```text
+//!  accept loop ──spawns──▶ connection handler (1/conn, keep-alive loop)
+//!                              │  cache hit ──▶ respond from ResultCache
+//!                              │  cache miss ─▶ WorkerPool (bounded queue)
+//!                              │                   │ analysis job
+//!                              ◀── recv_timeout ───┘ (result also cached)
+//! ```
+//!
+//! Handlers never run analysis themselves: they parse, consult the
+//! content-addressed cache, and otherwise wait (with a deadline) on a
+//! worker. A full queue is answered with a typed 503 immediately — the
+//! daemon sheds load instead of queueing unboundedly. `POST /shutdown`
+//! flips a flag: the accept loop stops, handlers finish their in-flight
+//! request and close, and the pool drains every queued job before
+//! [`Server::run`] returns.
+
+use std::io::{self, BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use lis_core::parse_netlist;
+
+use crate::cache::{CachedResponse, ResultCache};
+use crate::error::ServerError;
+use crate::http::{read_request, write_response, Request};
+use crate::jobs::RequestKind;
+use crate::metrics::{Metrics, Route};
+use crate::pool::{SubmitError, WorkerPool};
+use crate::wire::{obj, Json};
+
+/// How long an idle keep-alive connection sleeps between shutdown-flag
+/// checks while waiting for the next request.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Read deadline once a request has started arriving (slow-client guard).
+const ACTIVE_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Tuning knobs for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads running analysis jobs. Defaults to
+    /// [`lis_par::max_threads`], which honors the CLI `--threads` flag and
+    /// the `LIS_THREADS` environment variable.
+    pub workers: usize,
+    /// Bounded job-queue capacity; submissions beyond it are shed with a
+    /// typed 503.
+    pub queue_capacity: usize,
+    /// Per-request deadline: a job not finished by then answers 504.
+    pub request_timeout: Duration,
+    /// Maximum cached responses (content-addressed; 0 disables caching).
+    pub cache_capacity: usize,
+    /// Test instrumentation: sleep this long inside every analysis job.
+    /// `None` in production; the end-to-end tests use it to exercise the
+    /// overload-shed and timeout paths deterministically.
+    pub job_delay_for_tests: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: lis_par::max_threads(),
+            queue_capacity: 256,
+            request_timeout: Duration::from_secs(30),
+            cache_capacity: 4096,
+            job_delay_for_tests: None,
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection handler.
+struct State {
+    metrics: Metrics,
+    cache: ResultCache,
+    pool: WorkerPool,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    config: ServerConfig,
+}
+
+/// The analysis daemon. Bind with [`Server::bind`], serve with
+/// [`Server::run`] (blocks until `POST /shutdown`).
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Binds the listening socket and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (address in use, permission, ...).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let pool = WorkerPool::new(config.workers.max(1), config.queue_capacity.max(1));
+        let state = Arc::new(State {
+            metrics: Metrics::new(),
+            cache: ResultCache::new(config.cache_capacity),
+            pool,
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            config,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `POST /shutdown`, then drains and returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns fatal accept-loop errors; per-connection errors are handled
+    /// in the connection's own thread.
+    pub fn run(self) -> io::Result<()> {
+        let mut handler_threads = Vec::new();
+        while !self.state.shutdown.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&self.state);
+                    state.active_connections.fetch_add(1, Ordering::AcqRel);
+                    handler_threads.push(std::thread::spawn(move || {
+                        let _ = handle_connection(stream, &state);
+                        state.active_connections.fetch_sub(1, Ordering::AcqRel);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+            // Reap finished handlers so long-running servers don't
+            // accumulate joinable threads.
+            handler_threads.retain(|h| !h.is_finished());
+        }
+        // Drain: handlers notice the flag within IDLE_POLL and wind down
+        // after at most one more request each; give stragglers a deadline.
+        let deadline = Instant::now() + self.state.config.request_timeout + Duration::from_secs(5);
+        while self.state.active_connections.load(Ordering::Acquire) > 0 && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for h in handler_threads {
+            if h.is_finished() {
+                let _ = h.join();
+            }
+        }
+        // Every queued job runs to completion before the pool stops.
+        self.state.pool.drain();
+        Ok(())
+    }
+}
+
+/// Serves one connection's keep-alive request loop.
+fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Idle wait: poll for the first byte so the shutdown flag is
+        // observed between requests without dropping partial reads.
+        match reader.fill_buf() {
+            Ok([]) => return Ok(()), // clean EOF
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        reader
+            .get_ref()
+            .set_read_timeout(Some(ACTIVE_READ_TIMEOUT))?;
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Protocol violation: answer 400 and hang up.
+                let body = ServerError::BadRequest(e.to_string()).to_json().to_string();
+                write_response(&mut writer, 400, "application/json", body.as_bytes(), false)?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        reader.get_ref().set_read_timeout(Some(IDLE_POLL))?;
+
+        let started = Instant::now();
+        let (route, status, content_type, body) = dispatch(&request, state);
+        let shutting_down = state.shutdown.load(Ordering::Acquire);
+        let keep_alive = !request.wants_close() && !shutting_down;
+        state
+            .metrics
+            .record_request(route, status, started.elapsed());
+        write_response(&mut writer, status, content_type, &body, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Routes one request. Returns `(route label, status, content type, body)`.
+fn dispatch(request: &Request, state: &Arc<State>) -> (Route, u16, &'static str, Vec<u8>) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/metrics") => {
+            state
+                .metrics
+                .queue_depth
+                .store(state.pool.queue_depth() as i64, Ordering::Relaxed);
+            (
+                Route::Metrics,
+                200,
+                "text/plain; version=0.0.4",
+                state.metrics.render().into_bytes(),
+            )
+        }
+        ("GET", "/healthz") => (
+            Route::Healthz,
+            200,
+            "application/json",
+            obj([("ok", Json::Bool(true))]).to_string().into_bytes(),
+        ),
+        ("POST", "/shutdown") => {
+            state.shutdown.store(true, Ordering::Release);
+            (
+                Route::Shutdown,
+                200,
+                "application/json",
+                obj([("ok", Json::Bool(true)), ("draining", Json::Bool(true))])
+                    .to_string()
+                    .into_bytes(),
+            )
+        }
+        ("POST", path @ ("/analyze" | "/qs" | "/insert" | "/dot")) => {
+            let route = match path {
+                "/analyze" => Route::Analyze,
+                "/qs" => Route::Qs,
+                "/insert" => Route::Insert,
+                _ => Route::Dot,
+            };
+            match analysis_request(&path[1..], request, state) {
+                Ok((status, body)) => (route, status, "application/json", body),
+                Err(e) => (
+                    route,
+                    e.status(),
+                    "application/json",
+                    e.to_json().to_string().into_bytes(),
+                ),
+            }
+        }
+        (_, "/metrics" | "/healthz" | "/shutdown" | "/analyze" | "/qs" | "/insert" | "/dot") => {
+            let e = ServerError::MethodNotAllowed;
+            (
+                Route::Other,
+                e.status(),
+                "application/json",
+                e.to_json().to_string().into_bytes(),
+            )
+        }
+        (_, path) => {
+            let e = ServerError::NotFound(path.to_string());
+            (
+                Route::Other,
+                e.status(),
+                "application/json",
+                e.to_json().to_string().into_bytes(),
+            )
+        }
+    }
+}
+
+/// Serves one analysis request: decode → cache probe → worker pool.
+fn analysis_request(
+    route: &str,
+    request: &Request,
+    state: &Arc<State>,
+) -> Result<(u16, Vec<u8>), ServerError> {
+    if state.shutdown.load(Ordering::Acquire) {
+        return Err(ServerError::ShuttingDown);
+    }
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| ServerError::BadRequest("body is not UTF-8".into()))?;
+    let envelope = Json::parse(text).map_err(|e| ServerError::BadRequest(format!("body: {e}")))?;
+    let (netlist, kind) = RequestKind::decode(route, &envelope)?;
+    let sys = parse_netlist(&netlist)?;
+    let key = kind.cache_key(&sys);
+
+    if let Some(cached) = state.cache.get(key, &state.metrics) {
+        return Ok((cached.status, cached.body.clone()));
+    }
+
+    // Cache miss: hand the analysis to the pool and wait with a deadline.
+    // The worker populates the cache itself, so a computation whose
+    // handler timed out is still paid for only once.
+    let (tx, rx) = mpsc::sync_channel::<Arc<CachedResponse>>(1);
+    let job_state = Arc::clone(state);
+    let job = move || {
+        if let Some(d) = job_state.config.job_delay_for_tests {
+            std::thread::sleep(d);
+        }
+        let (status, body) = match kind.execute(&sys) {
+            Ok(json) => (200, json.to_string().into_bytes()),
+            Err(e) => (e.status(), e.to_json().to_string().into_bytes()),
+        };
+        // Results are deterministic in (system, kind), so failures are as
+        // cacheable as successes.
+        let response = Arc::new(CachedResponse { status, body });
+        job_state.cache.insert(key, Arc::clone(&response));
+        // The handler may have timed out and dropped the receiver; the
+        // cache insert above already preserved the work.
+        let _ = tx.send(response);
+    };
+    match state.pool.submit(job) {
+        Ok(()) => {}
+        Err(SubmitError::Overloaded) => {
+            state.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::Overloaded {
+                queue_capacity: state.pool.capacity(),
+            });
+        }
+        Err(SubmitError::ShuttingDown) => return Err(ServerError::ShuttingDown),
+    }
+    match rx.recv_timeout(state.config.request_timeout) {
+        Ok(response) => Ok((response.status, response.body.clone())),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            state.metrics.timeouts_total.fetch_add(1, Ordering::Relaxed);
+            Err(ServerError::Timeout {
+                timeout_ms: state.config.request_timeout.as_millis() as u64,
+            })
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServerError::Analysis(
+            "analysis worker dropped the result".into(),
+        )),
+    }
+}

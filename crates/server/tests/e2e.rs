@@ -1,0 +1,316 @@
+//! End-to-end daemon tests over real TCP sockets on ephemeral ports:
+//! analyze/qs round trips, byte-identical cached repeats, the typed
+//! overload-shed and timeout paths, and graceful drain on shutdown.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use lis_server::wire::{obj, Json};
+use lis_server::{parse_metric, Client, Server, ServerConfig};
+
+const FIG1: &str = "block A\nblock B\nchannel A -> B rs=1\nchannel A -> B\n";
+
+fn start(config: ServerConfig) -> (std::net::SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn stop(addr: std::net::SocketAddr, daemon: JoinHandle<std::io::Result<()>>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    assert_eq!(client.shutdown().expect("shutdown request"), 200);
+    daemon.join().expect("daemon thread").expect("clean exit");
+}
+
+#[test]
+fn analyze_and_qs_round_trip_with_byte_identical_cached_repeats() {
+    let (addr, daemon) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // First analyze: a miss that computes the Fig. 1 numbers.
+    let first = client
+        .request(
+            "POST",
+            "/analyze",
+            obj([("netlist", Json::str(FIG1))]).to_string().as_bytes(),
+        )
+        .expect("analyze");
+    assert_eq!(first.status, 200);
+    let parsed = Json::parse(std::str::from_utf8(&first.body).unwrap()).expect("json body");
+    assert_eq!(
+        parsed
+            .get("practical_mst")
+            .unwrap()
+            .get("num")
+            .unwrap()
+            .as_u64(),
+        Some(2)
+    );
+    assert_eq!(
+        parsed
+            .get("practical_mst")
+            .unwrap()
+            .get("den")
+            .unwrap()
+            .as_u64(),
+        Some(3)
+    );
+
+    // Repeat the same query (different textual formatting of the same
+    // system, and from a fresh connection): must be a cache hit with a
+    // byte-identical body.
+    let noisy = "# same Fig. 1 system\nblock \"A\"\nblock B\n\
+                 channel A -> B rs=1 q=1\nchannel  A  ->  B\n";
+    let mut other = Client::connect(addr).expect("second connection");
+    for _ in 0..3 {
+        let repeat = other
+            .request(
+                "POST",
+                "/analyze",
+                obj([("netlist", Json::str(noisy))]).to_string().as_bytes(),
+            )
+            .expect("cached analyze");
+        assert_eq!(repeat.status, 200);
+        assert_eq!(
+            repeat.body, first.body,
+            "cached body must be byte-identical"
+        );
+    }
+
+    // qs (exact) round trip, twice: second is a hit, byte-identical.
+    let qs_options = obj([("exact", Json::Bool(true))]);
+    let (status, qs_first) = client.analysis("qs", FIG1, qs_options.clone()).expect("qs");
+    assert_eq!(status, 200);
+    assert_eq!(qs_first.get("total_extra").unwrap().as_u64(), Some(1));
+    let (_, qs_second) = client.analysis("qs", FIG1, qs_options).expect("qs repeat");
+    assert_eq!(qs_first.to_string(), qs_second.to_string());
+
+    // The hit counter must reflect the repeats.
+    let exposition = client.metrics().expect("metrics");
+    let hits = parse_metric(&exposition, "lis_cache_hits_total").expect("hits metric");
+    let misses = parse_metric(&exposition, "lis_cache_misses_total").expect("misses metric");
+    assert!(hits >= 4.0, "expected >= 4 cache hits, saw {hits}");
+    assert!(misses >= 2.0, "expected >= 2 misses, saw {misses}");
+    assert!(exposition.contains("lis_requests_total{route=\"analyze\",status=\"200\"}"));
+    assert!(exposition.contains("lis_request_seconds_bucket{le=\"+Inf\"}"));
+    assert!(exposition.contains("lis_queue_depth"));
+
+    stop(addr, daemon);
+}
+
+#[test]
+fn parse_errors_answer_400_with_the_offending_line() {
+    let (addr, daemon) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let (status, body) = client
+        .analysis("analyze", "block A\nblok B\n", Json::Null)
+        .expect("bad netlist request");
+    assert_eq!(status, 400);
+    let error = body.get("error").expect("error object");
+    assert_eq!(error.get("kind").unwrap().as_str(), Some("parse_error"));
+    assert_eq!(error.get("line").unwrap().as_u64(), Some(2));
+    assert!(error
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("netlist line 2"));
+    stop(addr, daemon);
+}
+
+#[test]
+fn unknown_routes_and_methods_get_typed_errors() {
+    let (addr, daemon) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let missing = client.request("POST", "/frobnicate", b"{}").expect("404");
+    assert_eq!(missing.status, 404);
+    let wrong_method = client.request("GET", "/analyze", b"").expect("405");
+    assert_eq!(wrong_method.status, 405);
+    let bad_json = client
+        .request("POST", "/analyze", b"not json")
+        .expect("400");
+    assert_eq!(bad_json.status, 400);
+    let health = client.request("GET", "/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200);
+    stop(addr, daemon);
+}
+
+#[test]
+fn overload_sheds_with_a_typed_503_instead_of_hanging() {
+    // One slow worker, one queue slot: concurrent cache-missing requests
+    // must shed. The artificial job delay makes the race deterministic.
+    let (addr, daemon) = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        request_timeout: Duration::from_secs(30),
+        cache_capacity: 1024,
+        job_delay_for_tests: Some(Duration::from_millis(300)),
+    });
+
+    // Distinct netlists so every request is a cache miss.
+    let netlist = |i: usize| {
+        format!(
+            "block A\nblock B\nchannel A -> B rs={}\nchannel A -> B\n",
+            i + 1
+        )
+    };
+    let results: Vec<(u16, Json)> = {
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let text = netlist(i);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client
+                        .analysis("analyze", &text, Json::Null)
+                        .expect("request completes")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    };
+    let ok = results.iter().filter(|(s, _)| *s == 200).count();
+    let shed: Vec<&Json> = results
+        .iter()
+        .filter(|(s, _)| *s == 503)
+        .map(|(_, b)| b)
+        .collect();
+    assert!(ok >= 1, "at least the in-flight request must succeed");
+    assert!(
+        !shed.is_empty(),
+        "six concurrent jobs on a 1+1 pool must shed"
+    );
+    for body in shed {
+        let error = body.get("error").expect("typed 503 body");
+        assert_eq!(error.get("kind").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(error.get("queue_capacity").unwrap().as_u64(), Some(1));
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    let exposition = client.metrics().expect("metrics");
+    assert!(parse_metric(&exposition, "lis_shed_total").expect("shed metric") >= 1.0);
+    stop(addr, daemon);
+}
+
+#[test]
+fn slow_jobs_hit_the_typed_timeout() {
+    let (addr, daemon) = start(ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        request_timeout: Duration::from_millis(100),
+        cache_capacity: 1024,
+        job_delay_for_tests: Some(Duration::from_millis(600)),
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let (status, body) = client
+        .analysis("analyze", FIG1, Json::Null)
+        .expect("timed-out request still answers");
+    assert_eq!(status, 504);
+    let error = body.get("error").expect("typed timeout body");
+    assert_eq!(error.get("kind").unwrap().as_str(), Some("timeout"));
+    assert_eq!(error.get("timeout_ms").unwrap().as_u64(), Some(100));
+
+    // The worker finishes in the background and caches the result: after
+    // the delay, the same query is a sub-deadline cache hit.
+    std::thread::sleep(Duration::from_millis(800));
+    let (status, body) = client
+        .analysis("analyze", FIG1, Json::Null)
+        .expect("cached retry");
+    assert_eq!(status, 200, "timed-out work should still land in the cache");
+    assert_eq!(body.get("degraded").unwrap().as_bool(), Some(true));
+    stop(addr, daemon);
+}
+
+#[test]
+fn shutdown_drains_queued_work_before_exit() {
+    let (addr, daemon) = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        request_timeout: Duration::from_secs(30),
+        cache_capacity: 1024,
+        job_delay_for_tests: Some(Duration::from_millis(200)),
+    });
+
+    // Park several jobs on the single worker, then shut down mid-flight.
+    let inflight: Vec<_> = (0..3)
+        .map(|i| {
+            let text = format!("block A\nblock B\nchannel A -> B rs={}\n", i + 1);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client
+                    .analysis("analyze", &text, Json::Null)
+                    .expect("answered")
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    let mut admin = Client::connect(addr).expect("admin connect");
+    assert_eq!(admin.shutdown().expect("shutdown"), 200);
+
+    // Every request that was accepted before the shutdown must still get
+    // its real answer: drain, don't drop.
+    for h in inflight {
+        let (status, _body) = h.join().expect("client thread");
+        assert!(
+            status == 200 || status == 503,
+            "in-flight request got unexpected status {status}"
+        );
+    }
+    daemon.join().expect("daemon thread").expect("clean exit");
+
+    // The daemon is gone: new connections must fail (the listener closed).
+    std::thread::sleep(Duration::from_millis(50));
+    let refused = std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    assert!(
+        refused.is_err() || {
+            // Some OSes accept briefly into a dead backlog; a request on
+            // such a socket must then fail.
+            let mut c = Client::connect(addr).expect("backlog connect");
+            c.request("GET", "/healthz", b"").is_err()
+        },
+        "daemon still serving after shutdown"
+    );
+}
+
+#[test]
+fn concurrent_clients_hammering_the_cache_agree_bytewise() {
+    let (addr, daemon) = start(ServerConfig::default());
+    let bodies: Vec<Vec<u8>> = {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut out = Vec::new();
+                    for _ in 0..20 {
+                        let resp = client
+                            .request(
+                                "POST",
+                                "/qs",
+                                obj([("netlist", Json::str(FIG1))]).to_string().as_bytes(),
+                            )
+                            .expect("qs");
+                        assert_eq!(resp.status, 200);
+                        out.push(resp.body);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client"))
+            .collect()
+    };
+    let first = Arc::new(bodies[0].clone());
+    for body in &bodies {
+        assert_eq!(body, first.as_ref(), "responses diverged across clients");
+    }
+    let mut client = Client::connect(addr).expect("connect");
+    let exposition = client.metrics().expect("metrics");
+    let hits = parse_metric(&exposition, "lis_cache_hits_total").expect("hits");
+    assert!(hits >= 150.0, "160 repeats should mostly hit, saw {hits}");
+    stop(addr, daemon);
+}
