@@ -1,5 +1,6 @@
-//! Minimum-cycle-mean kernel benchmarks: Karp vs Lawler, serial vs
-//! parallel SCC fan-out, and from-scratch vs incremental re-evaluation.
+//! Minimum-cycle-mean kernel benchmarks: Karp vs Lawler vs Howard, serial
+//! vs parallel SCC fan-out, and from-scratch vs incremental re-evaluation
+//! (the incremental rows compare warm-started Howard against Karp).
 //!
 //! These back the CPU-time columns of Tables IV/V: every queue-sizing
 //! verification is one MCM computation on the doubled graph. The
@@ -11,8 +12,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lis_core::LisModel;
 use lis_gen::{generate, GeneratorConfig, InsertionPolicy};
 use marked_graph::incremental::IncrementalMcm;
-use marked_graph::mcm::{karp, karp_parallel, lawler, lawler_parallel};
-use marked_graph::{PlaceId, Ratio};
+use marked_graph::mcm::{karp, karp_parallel, lawler, lawler_parallel, mcm_serial};
+use marked_graph::{McmEngine, PlaceId, Ratio};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -49,6 +50,9 @@ fn bench_mcm(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("lawler_parallel", v), &g, |b, g| {
             b.iter(|| lawler_parallel(std::hint::black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("howard", v), &g, |b, g| {
+            b.iter(|| mcm_serial(std::hint::black_box(g), McmEngine::Howard))
         });
     }
     group.finish();
@@ -107,21 +111,24 @@ fn bench_incremental(c: &mut Criterion) {
                 })
             },
         );
-        // Incremental: one decomposition, per-SCC re-solves plus memo cache.
-        group.bench_with_input(
-            BenchmarkId::new("incremental_64_queries", v),
-            &(g, &queries),
-            |b, (g, queries)| {
-                let mut inc = IncrementalMcm::new(g);
-                b.iter(|| {
-                    let mut acc = Ratio::ONE;
-                    for q in queries.iter() {
-                        acc = acc.min(inc.mcm_with_tokens(q).expect("cyclic"));
-                    }
-                    acc
-                })
-            },
-        );
+        // Incremental: one decomposition, per-SCC re-solves plus memo
+        // cache, once per engine (the default is warm-started Howard).
+        for engine in [McmEngine::Howard, McmEngine::Karp] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("incremental_{engine}_64_queries"), v),
+                &(g, &queries),
+                |b, (g, queries)| {
+                    let mut inc = IncrementalMcm::with_engine(g, engine);
+                    b.iter(|| {
+                        let mut acc = Ratio::ONE;
+                        for q in queries.iter() {
+                            acc = acc.min(inc.mcm_with_tokens(q).expect("cyclic"));
+                        }
+                        acc
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fs;
 
-use lis_core::{parse_netlist, practical_mst, to_netlist, LisModel, LisSystem};
+use lis_core::{parse_netlist, practical_mst, to_netlist, LisModel, LisSystem, McmEngine};
 use lis_qs::{solve, verify_solution, Algorithm, QsConfig};
 use lis_rsopt::{equalize_dag, exhaustive_insertion, greedy_insertion};
 use lis_sim::{CoreModel, LisSimulator, Passthrough, QueueMode};
@@ -35,17 +35,21 @@ global options:
   --threads N    cap the worker/analysis thread pool at N threads
                  (default: LIS_THREADS env var, then available parallelism);
                  `serve` uses this as its worker-pool size
+  --engine E     MCM algorithm for throughput analysis: howard (default),
+                 karp, or lawler; all three give identical answers.
+                 `client` forwards the choice to the daemon
 ";
 
 /// Parses the command line and runs the selected command.
 pub fn dispatch(args: &[String]) -> CliResult {
     let args = apply_threads_flag(args)?;
+    let (args, engine) = apply_engine_flag(&args)?;
     let Some(command) = args.first() else {
         return Err(USAGE.into());
     };
     match command.as_str() {
         "serve" => return serve(&args[1..]),
-        "client" => return client_cmd(&args[1..]),
+        "client" => return client_cmd(&args[1..], engine),
         _ => {}
     }
     let Some(path) = args.get(1) else {
@@ -55,8 +59,8 @@ pub fn dispatch(args: &[String]) -> CliResult {
     let sys = parse_netlist(&text)?;
     let rest = &args[2..];
     match command.as_str() {
-        "analyze" => analyze(&sys),
-        "qs" => qs(&sys, rest),
+        "analyze" => analyze(&sys, engine),
+        "qs" => qs(&sys, rest, engine),
         "insert" => insert(&sys, rest),
         "repair" => repair_cmd(&sys, rest),
         "simulate" => simulate(&sys, rest),
@@ -88,6 +92,23 @@ fn apply_threads_flag(args: &[String]) -> Result<Vec<String>, Box<dyn Error>> {
     Ok(out)
 }
 
+/// Strips a global `--engine NAME` flag (anywhere on the line) and returns
+/// the selected MCM engine, defaulting to [`McmEngine::Howard`].
+fn apply_engine_flag(args: &[String]) -> Result<(Vec<String>, McmEngine), Box<dyn Error>> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut engine = McmEngine::default();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--engine" {
+            let v = iter.next().ok_or("--engine needs a value")?;
+            engine = v.parse().map_err(|e| format!("--engine: {e}"))?;
+        } else {
+            out.push(a.clone());
+        }
+    }
+    Ok((out, engine))
+}
+
 fn serve(rest: &[String]) -> CliResult {
     let Some(addr) = rest.first() else {
         return Err(format!("serve needs a listen address\n{USAGE}").into());
@@ -112,7 +133,7 @@ fn serve(rest: &[String]) -> CliResult {
     Ok(())
 }
 
-fn client_cmd(rest: &[String]) -> CliResult {
+fn client_cmd(rest: &[String], engine: McmEngine) -> CliResult {
     use lis_server::{Client, Json};
     let (Some(addr), Some(cmd)) = (rest.first(), rest.get(1)) else {
         return Err(format!("client needs an address and a command\n{USAGE}").into());
@@ -139,6 +160,9 @@ fn client_cmd(rest: &[String]) -> CliResult {
                 fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let flags = &rest[3..];
             let mut options: Vec<(String, Json)> = Vec::new();
+            if matches!(route, "analyze" | "qs") && engine != McmEngine::default() {
+                options.push(("engine".into(), Json::Str(engine.to_string())));
+            }
             if flag(flags, "--exact") {
                 options.push(("exact".into(), Json::Bool(true)));
             }
@@ -185,9 +209,9 @@ where
     }
 }
 
-fn analyze(sys: &LisSystem) -> CliResult {
+fn analyze(sys: &LisSystem, engine: McmEngine) -> CliResult {
     print!("{sys}");
-    let report = lis_core::explain(sys);
+    let report = lis_core::explain_with(sys, engine);
     print!("{report}");
     if report.is_degraded() {
         for c in &report.bottleneck_queues {
@@ -204,13 +228,17 @@ fn analyze(sys: &LisSystem) -> CliResult {
     Ok(())
 }
 
-fn qs(sys: &LisSystem, rest: &[String]) -> CliResult {
+fn qs(sys: &LisSystem, rest: &[String], engine: McmEngine) -> CliResult {
     let algo = if flag(rest, "--exact") {
         Algorithm::Exact
     } else {
         Algorithm::Heuristic
     };
-    let report = solve(sys, algo, &QsConfig::default())?;
+    let cfg = QsConfig {
+        engine,
+        ..QsConfig::default()
+    };
+    let report = solve(sys, algo, &cfg)?;
     println!(
         "target MST {} | before {} | deficient cycles {}",
         report.target, report.practical_before, report.deficient_cycles
@@ -538,6 +566,39 @@ mod tests {
         assert!(apply_threads_flag(&["--threads".to_string()]).is_err());
         assert!(apply_threads_flag(&["--threads".to_string(), "0".to_string()]).is_err());
         assert!(apply_threads_flag(&["--threads".to_string(), "moose".to_string()]).is_err());
+    }
+
+    #[test]
+    fn engine_flag_is_stripped_and_parsed() {
+        let args: Vec<String> = ["analyze", "x", "--engine", "karp"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (stripped, engine) = apply_engine_flag(&args).expect("valid flag");
+        assert_eq!(stripped, vec!["analyze".to_string(), "x".to_string()]);
+        assert_eq!(engine, McmEngine::Karp);
+
+        let (_, default) = apply_engine_flag(&["analyze".to_string()]).expect("no flag");
+        assert_eq!(default, McmEngine::Howard);
+
+        assert!(apply_engine_flag(&["--engine".to_string()]).is_err());
+        assert!(apply_engine_flag(&["--engine".to_string(), "dijkstra".to_string()]).is_err());
+    }
+
+    #[test]
+    fn analysis_commands_accept_every_engine() {
+        let path = write_fig1();
+        for engine in ["howard", "karp", "lawler"] {
+            for cmd in ["analyze", "qs"] {
+                dispatch(&[
+                    cmd.into(),
+                    path.to_str().into(),
+                    "--engine".into(),
+                    engine.into(),
+                ])
+                .unwrap_or_else(|e| panic!("{cmd} --engine {engine} failed: {e}"));
+            }
+        }
     }
 
     #[test]

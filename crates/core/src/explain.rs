@@ -8,10 +8,10 @@
 use std::fmt;
 
 use marked_graph::sensitivity::bottleneck_places;
-use marked_graph::{PlaceId, Ratio};
+use marked_graph::{McmEngine, PlaceId, Ratio};
 
 use crate::model::LisModel;
-use crate::mst::{ideal_mst, mst_with_critical_cycle};
+use crate::mst::{ideal_mst_with, mst_with_critical_cycle_with};
 use crate::system::{ChannelId, LisSystem};
 use crate::topology::{classify, TopologyClass};
 
@@ -63,6 +63,8 @@ pub struct AnalysisReport {
     /// Channels whose queue is a strict bottleneck: one extra slot raises
     /// the practical MST.
     pub bottleneck_queues: Vec<ChannelId>,
+    /// The MCM engine that produced the throughput numbers.
+    pub engine: McmEngine,
 }
 
 impl AnalysisReport {
@@ -75,6 +77,7 @@ impl AnalysisReport {
 impl fmt::Display for AnalysisReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "topology class: {}", self.class)?;
+        writeln!(f, "mcm engine: {}", self.engine)?;
         writeln!(
             f,
             "ideal MST {} = {:.4}; practical MST {} = {:.4}",
@@ -120,11 +123,17 @@ impl fmt::Display for AnalysisReport {
 /// assert_eq!(report.bottleneck_queues, vec![lower]);
 /// ```
 pub fn explain(sys: &LisSystem) -> AnalysisReport {
+    explain_with(sys, McmEngine::default())
+}
+
+/// [`explain`] with an explicit MCM engine choice. Every engine produces
+/// the identical report (modulo the `engine` field itself).
+pub fn explain_with(sys: &LisSystem, engine: McmEngine) -> AnalysisReport {
     let class = classify(sys);
-    let ideal = ideal_mst(sys);
+    let ideal = ideal_mst_with(sys, engine);
     let model = LisModel::doubled(sys);
     let (practical_raw, cycle) =
-        mst_with_critical_cycle(model.graph()).unwrap_or((Ratio::ONE, None));
+        mst_with_critical_cycle_with(model.graph(), engine).unwrap_or((Ratio::ONE, None));
     let practical = practical_raw.min(ideal);
     let degraded = practical < ideal;
 
@@ -153,6 +162,7 @@ pub fn explain(sys: &LisSystem) -> AnalysisReport {
         practical,
         critical_cycle,
         bottleneck_queues,
+        engine,
     }
 }
 

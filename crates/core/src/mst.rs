@@ -11,7 +11,7 @@
 //! All three cases collapse to `min(1, minimum cycle mean over all cycles)`,
 //! with the convention that an acyclic graph has no cycles and contributes 1.
 
-use marked_graph::mcm::{self, McmResult};
+use marked_graph::mcm::{self, McmEngine, McmResult};
 use marked_graph::{GraphError, MarkedGraph, PlaceId, Ratio};
 
 use crate::model::LisModel;
@@ -35,7 +35,12 @@ use crate::system::LisSystem;
 /// assert_eq!(mst(&g), Ratio::new(1, 2)); // 1 token / 2 places
 /// ```
 pub fn mst(graph: &MarkedGraph) -> Ratio {
-    match mcm::karp(graph) {
+    mst_with(graph, McmEngine::default())
+}
+
+/// [`mst`] with an explicit MCM engine choice; all engines agree exactly.
+pub fn mst_with(graph: &MarkedGraph, engine: McmEngine) -> Ratio {
+    match mcm::mcm_serial(graph, engine) {
         Some(mean) => mean.min(Ratio::ONE),
         None => Ratio::ONE,
     }
@@ -53,10 +58,22 @@ pub fn mst(graph: &MarkedGraph) -> Ratio {
 pub fn mst_with_critical_cycle(
     graph: &MarkedGraph,
 ) -> Result<(Ratio, Option<Vec<PlaceId>>), GraphError> {
+    mst_with_critical_cycle_with(graph, McmEngine::default())
+}
+
+/// [`mst_with_critical_cycle`] with an explicit MCM engine choice.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Empty`] for graphs with no transitions.
+pub fn mst_with_critical_cycle_with(
+    graph: &MarkedGraph,
+    engine: McmEngine,
+) -> Result<(Ratio, Option<Vec<PlaceId>>), GraphError> {
     if graph.is_empty() {
         return Err(GraphError::Empty);
     }
-    match mcm::minimum_cycle_mean(graph) {
+    match mcm::minimum_cycle_mean_with(graph, engine) {
         Ok(McmResult {
             mean,
             critical_cycle,
@@ -87,6 +104,11 @@ pub fn ideal_mst(sys: &LisSystem) -> Ratio {
     mst(LisModel::ideal(sys).graph())
 }
 
+/// [`ideal_mst`] with an explicit MCM engine choice.
+pub fn ideal_mst_with(sys: &LisSystem, engine: McmEngine) -> Ratio {
+    mst_with(LisModel::ideal(sys).graph(), engine)
+}
+
 /// The MST of the *practical* LIS (finite queues with backpressure), i.e.
 /// `θ(d[G])` for the system's current queue capacities.
 ///
@@ -107,6 +129,11 @@ pub fn ideal_mst(sys: &LisSystem) -> Ratio {
 /// ```
 pub fn practical_mst(sys: &LisSystem) -> Ratio {
     mst(LisModel::doubled(sys).graph())
+}
+
+/// [`practical_mst`] with an explicit MCM engine choice.
+pub fn practical_mst_with(sys: &LisSystem, engine: McmEngine) -> Ratio {
+    mst_with(LisModel::doubled(sys).graph(), engine)
 }
 
 /// How much throughput backpressure costs: `ideal - practical`, always ≥ 0.

@@ -6,14 +6,19 @@
 //! decomposition and re-solves every component, even though token changes
 //! never alter the graph's structure. [`IncrementalMcm`] factors that work:
 //!
-//! * the SCC decomposition and per-component [`LocalScc`] views are built
+//! * the SCC decomposition and per-component [`CsrScc`] snapshots are built
 //!   **once**, at construction;
 //! * a query ([`IncrementalMcm::mcm_with_tokens`]) re-solves **only the
 //!   components containing a changed place** — untouched components reuse
 //!   their base mean;
 //! * re-solves are memoized per component, keyed by the normalized token
 //!   delta vector, so revisiting an assignment (binary search over budgets,
-//!   branch-and-bound backtracking) is a hash lookup.
+//!   branch-and-bound backtracking) is a hash lookup;
+//! * with the default [`McmEngine::Howard`] engine, each component keeps
+//!   its converged policy and **warm-starts** the next re-solve from it. A
+//!   small token override rarely moves the optimal policy far, so warm
+//!   solves typically finish in one or two sweeps instead of a full cold
+//!   solve — this is where branch-and-bound spends its life.
 //!
 //! Token overrides on places that are not internal to any cyclic component
 //! are ignored: such a place lies on no cycle (every cycle is contained in
@@ -28,9 +33,11 @@
 
 use std::collections::HashMap;
 
+use crate::csr::CsrScc;
 use crate::error::GraphError;
 use crate::graph::{MarkedGraph, PlaceId};
-use crate::mcm::{critical_cycle_local, karp_local, LocalScc, McmResult};
+use crate::howard::HowardScratch;
+use crate::mcm::{critical_cycle_csr, solve_csr, McmEngine, McmResult};
 use crate::ratio::Ratio;
 use crate::scc::SccDecomposition;
 
@@ -42,13 +49,16 @@ const CACHE_CAP: usize = 4096;
 struct CompState {
     /// Component id in the underlying [`SccDecomposition`].
     comp_id: usize,
-    /// Mutable local view; edge weights are patched during a re-solve and
+    /// Mutable CSR snapshot; edge weights are patched during a re-solve and
     /// always restored before the query returns.
-    local: LocalScc,
+    csr: CsrScc,
     /// Mean under the base marking.
     base_mean: Ratio,
     /// Normalized delta vector (sorted by place id) → mean.
     cache: HashMap<Vec<(PlaceId, u64)>, Ratio>,
+    /// Howard's converged policy, persisted to warm-start the next solve
+    /// (unused by the other engines).
+    policy: Vec<u32>,
 }
 
 /// Cache-effectiveness counters reported by [`IncrementalMcm::cache_stats`].
@@ -56,7 +66,7 @@ struct CompState {
 pub struct CacheStats {
     /// Component re-evaluations answered from the memo (or the base mean).
     pub hits: u64,
-    /// Component re-evaluations that ran Karp's dynamic program.
+    /// Component re-evaluations that ran the MCM engine.
     pub misses: u64,
     /// Total memo entries currently held across components.
     pub entries: usize,
@@ -86,56 +96,79 @@ pub struct CacheStats {
 pub struct IncrementalMcm {
     /// Cyclic components in ascending component-id order.
     comps: Vec<CompState>,
-    /// place → (slot in `comps`, local vertex, edge index), for every place
-    /// internal to a cyclic component.
-    place_index: HashMap<PlaceId, (usize, usize, usize)>,
+    /// place → (slot in `comps`, CSR edge index), for every place internal
+    /// to a cyclic component.
+    place_index: HashMap<PlaceId, (usize, usize)>,
     /// Whether the source graph had no transitions at all.
     graph_empty: bool,
+    /// Which MCM algorithm runs the per-component re-solves.
+    engine: McmEngine,
+    /// Shared Howard scratch, reused across components and queries.
+    scratch: HowardScratch,
     hits: u64,
     misses: u64,
 }
 
 impl IncrementalMcm {
-    /// Builds the engine: one SCC decomposition, one base solve per cyclic
-    /// component.
+    /// Builds the engine with the default algorithm ([`McmEngine::Howard`]):
+    /// one SCC decomposition, one base solve per cyclic component.
     ///
     /// # Panics
     ///
     /// Panics if any transition has a delay other than 1, matching the MCM
     /// solvers' restriction.
     pub fn new(graph: &MarkedGraph) -> IncrementalMcm {
+        IncrementalMcm::with_engine(graph, McmEngine::default())
+    }
+
+    /// [`IncrementalMcm::new`] with an explicit engine choice. All engines
+    /// answer queries identically; Howard additionally warm-starts each
+    /// component's re-solves from its previously converged policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any transition has a delay other than 1.
+    pub fn with_engine(graph: &MarkedGraph, engine: McmEngine) -> IncrementalMcm {
         for t in graph.transition_ids() {
             assert_eq!(graph.delay(t), 1, "MCM solvers require unit delays");
         }
         let scc = SccDecomposition::compute(graph);
         let mut comps = Vec::new();
         let mut place_index = HashMap::new();
+        let mut scratch = HowardScratch::new();
         for c in scc.component_ids() {
             if !scc.is_cyclic(graph, c) {
                 continue;
             }
-            let local = LocalScc::build(graph, &scc, c);
+            let csr = CsrScc::build(graph, &scc, c);
             let slot = comps.len();
-            for (v, out) in local.edges.iter().enumerate() {
-                for (e, &(_, _, p)) in out.iter().enumerate() {
-                    place_index.insert(p, (slot, v, e));
-                }
+            for e in 0..csr.edge_count() {
+                place_index.insert(csr.place(e), (slot, e));
             }
-            let base_mean = karp_local(&local).expect("cyclic SCC has a cycle");
+            let mut policy = Vec::new();
+            let base_mean = solve_csr(&csr, engine, &mut scratch, &mut policy);
             comps.push(CompState {
                 comp_id: c,
-                local,
+                csr,
                 base_mean,
                 cache: HashMap::new(),
+                policy,
             });
         }
         IncrementalMcm {
             comps,
             place_index,
             graph_empty: graph.is_empty(),
+            engine,
+            scratch,
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// The algorithm running the per-component re-solves.
+    pub fn engine(&self) -> McmEngine {
+        self.engine
     }
 
     /// The minimum cycle mean under the base marking (`None` if acyclic),
@@ -192,7 +225,7 @@ impl IncrementalMcm {
         let (mean, slot) = best.ok_or(GraphError::Acyclic)?;
         let deltas = per_comp.get(&slot).map(Vec::as_slice).unwrap_or(&[]);
         let saved = self.apply(slot, deltas);
-        let critical_cycle = critical_cycle_local(&self.comps[slot].local, mean);
+        let critical_cycle = critical_cycle_csr(&self.comps[slot].csr, mean);
         self.restore(slot, deltas, &saved);
         Ok(McmResult {
             mean,
@@ -218,10 +251,10 @@ impl IncrementalMcm {
         }
         let mut per_comp: HashMap<usize, Vec<(PlaceId, u64)>> = HashMap::new();
         for (p, tokens) in latest {
-            let Some(&(slot, v, e)) = self.place_index.get(&p) else {
+            let Some(&(slot, e)) = self.place_index.get(&p) else {
                 continue; // not on any cycle: cannot affect a mean
             };
-            if self.comps[slot].local.edges[v][e].1 == tokens as i64 {
+            if self.comps[slot].csr.weight(e) == tokens as i64 {
                 continue; // equal to the base marking: not a delta
             }
             per_comp.entry(slot).or_default().push((p, tokens));
@@ -248,7 +281,12 @@ impl IncrementalMcm {
         }
         self.misses += 1;
         let saved = self.apply(slot, deltas);
-        let mean = karp_local(&self.comps[slot].local).expect("cyclic SCC has a cycle");
+        let engine = self.engine;
+        let comp = &mut self.comps[slot];
+        // Warm start: `comp.policy` holds the policy Howard converged to on
+        // the previous solve of this component; for a small token delta it
+        // is usually one improvement sweep away from optimal.
+        let mean = solve_csr(&comp.csr, engine, &mut self.scratch, &mut comp.policy);
         self.restore(slot, deltas, &saved);
         let cache = &mut self.comps[slot].cache;
         if cache.len() < CACHE_CAP {
@@ -261,9 +299,9 @@ impl IncrementalMcm {
     fn apply(&mut self, slot: usize, deltas: &[(PlaceId, u64)]) -> Vec<i64> {
         let mut saved = Vec::with_capacity(deltas.len());
         for &(p, tokens) in deltas {
-            let (s, v, e) = self.place_index[&p];
+            let (s, e) = self.place_index[&p];
             debug_assert_eq!(s, slot);
-            let weight = &mut self.comps[slot].local.edges[v][e].1;
+            let weight = &mut self.comps[slot].csr.weights[e];
             saved.push(*weight);
             *weight = tokens as i64;
         }
@@ -273,9 +311,9 @@ impl IncrementalMcm {
     /// Undoes [`Self::apply`].
     fn restore(&mut self, slot: usize, deltas: &[(PlaceId, u64)], saved: &[i64]) {
         for (&(p, _), &w) in deltas.iter().zip(saved) {
-            let (s, v, e) = self.place_index[&p];
+            let (s, e) = self.place_index[&p];
             debug_assert_eq!(s, slot);
-            self.comps[slot].local.edges[v][e].1 = w;
+            self.comps[slot].csr.weights[e] = w;
         }
     }
 
@@ -361,6 +399,44 @@ mod tests {
     }
 
     #[test]
+    fn every_engine_answers_identically() {
+        for seed in 0..10 {
+            let (g, places) = random_graph(seed);
+            let mut engines: Vec<IncrementalMcm> = McmEngine::ALL
+                .iter()
+                .map(|&e| IncrementalMcm::with_engine(&g, e))
+                .collect();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+            for query in 0..15 {
+                let k = rng.gen_range(0..3usize);
+                let overrides: Vec<(PlaceId, u64)> = (0..k)
+                    .map(|_| {
+                        (
+                            places[rng.gen_range(0..places.len())],
+                            rng.gen_range(0..5u64),
+                        )
+                    })
+                    .collect();
+                let answers: Vec<_> = engines
+                    .iter_mut()
+                    .map(|inc| {
+                        (
+                            inc.mcm_with_tokens(&overrides),
+                            inc.result_with_tokens(&overrides).ok(),
+                        )
+                    })
+                    .collect();
+                for pair in answers.windows(2) {
+                    assert_eq!(
+                        pair[0], pair[1],
+                        "seed {seed} query {query} overrides {overrides:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn repeat_queries_hit_the_cache() {
         let mut g = MarkedGraph::new();
         let a = g.add_transition("A");
@@ -420,6 +496,7 @@ mod tests {
             GraphError::Acyclic
         );
         assert_eq!(inc.component_count(), 0);
+        assert_eq!(inc.engine(), McmEngine::Howard);
     }
 
     #[test]
@@ -445,7 +522,7 @@ mod tests {
         let mut inc = IncrementalMcm::new(&g);
         assert_eq!(inc.component_count(), 2);
         assert_eq!(inc.mcm_with_tokens(&[(back, 9)]), Some(Ratio::ONE));
-        // Exactly one dynamic-program run: the b-ring.
+        // Exactly one engine run: the b-ring.
         assert_eq!(inc.cache_stats().misses, 1);
     }
 }

@@ -11,14 +11,21 @@
 //!   one consumer.
 //! * [`FiringEngine`] — step-semantics execution (all enabled transitions
 //!   fire concurrently once per clock period).
-//! * [`mcm`] — minimum cycle mean via Karp's algorithm and Lawler's
-//!   parametric search, plus critical-cycle extraction. The reciprocal of
-//!   the minimum cycle mean is the cycle time; capped at 1 it becomes the
+//! * [`mcm`] — minimum cycle mean with three interchangeable engines
+//!   ([`mcm::McmEngine`]): Howard's policy iteration (the default, running
+//!   on the flat CSR kernel in [`csr`]/[`howard`]), Karp's dynamic program
+//!   (the cross-validation oracle), and Lawler's parametric search. All
+//!   three return bit-identical exact rationals; the reciprocal of the
+//!   minimum cycle mean is the cycle time, capped at 1 it becomes the
 //!   maximal sustainable throughput of a LIS. Per-SCC solves fan out in
 //!   parallel; serial reference implementations are kept as oracles.
+//! * [`csr`] — [`csr::CsrScc`], a flat compressed-sparse-row snapshot of
+//!   one SCC, built once and reused by every engine and query.
+//! * [`howard`] — Howard's policy iteration over the CSR snapshot, with
+//!   reusable scratch buffers and warm-startable policies.
 //! * [`incremental`] — [`incremental::IncrementalMcm`] re-evaluates the MCM
 //!   under token overrides, re-solving only the touched components with a
-//!   memo cache keyed by the delta vector.
+//!   memo cache keyed by the delta vector and warm-started policies.
 //! * [`cycles`] — Johnson's elementary-cycle enumeration, the input to the
 //!   Token Deficit abstraction used by queue sizing.
 //! * [`SccDecomposition`] — Tarjan SCCs and the condensation DAG.
@@ -64,11 +71,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod cycles;
 pub mod dot;
 mod error;
 mod firing;
 mod graph;
+pub mod howard;
 pub mod incremental;
 pub mod mcm;
 mod ratio;
@@ -79,6 +88,7 @@ pub mod structure;
 pub use error::GraphError;
 pub use firing::{FiringEngine, Marking, PeriodicBehavior};
 pub use graph::{MarkedGraph, PlaceId, TransitionId};
+pub use mcm::McmEngine;
 pub use ratio::Ratio;
 pub use scc::SccDecomposition;
 

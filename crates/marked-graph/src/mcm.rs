@@ -2,31 +2,42 @@
 //!
 //! The cycle time of a strongly connected marked graph is the reciprocal of
 //! its minimum cycle mean — the minimum over cycles of tokens-per-place
-//! (Section III-B of the paper). Two independent algorithms are provided:
+//! (Section III-B of the paper). Three interchangeable engines are provided,
+//! selected by [`McmEngine`]:
 //!
-//! * [`karp`] — Karp's dynamic program, O(|V||E|), exact rationals. This is
-//!   the algorithm the paper uses to check QS solutions.
-//! * [`lawler`] — Lawler's parametric binary search with Bellman–Ford
-//!   negative-cycle detection, snapped to the exact rational via
-//!   Stern–Brocot best approximation. Used to cross-validate Karp.
+//! * [`McmEngine::Howard`] — Howard's policy iteration over a flat CSR
+//!   snapshot ([`crate::csr::CsrScc`], [`crate::howard`]). The default: the
+//!   empirically fastest MCM algorithm on sparse strongly connected graphs,
+//!   with warm-startable policies for repeated queries.
+//! * [`McmEngine::Karp`] — Karp's dynamic program, O(|V||E|), exact
+//!   rationals. The algorithm the paper uses to check QS solutions; kept as
+//!   the cross-validation oracle.
+//! * [`McmEngine::Lawler`] — Lawler's parametric binary search with
+//!   Bellman–Ford negative-cycle detection, snapped to the exact rational
+//!   via Stern–Brocot best approximation.
+//!
+//! All three run on the same CSR snapshot with exact rational arithmetic,
+//! so they return bit-identical means — and, because the critical-cycle
+//! extraction depends only on the mean and the shared canonical edge order,
+//! bit-identical critical cycles.
 //!
 //! [`minimum_cycle_mean`] is the main entry point: it runs per strongly
 //! connected component and also extracts a *critical cycle* (a cycle whose
 //! mean attains the minimum) through shortest-path potentials and tight
-//! edges.
-//!
-//! Because the SCCs are independent, the per-component solves fan out in
-//! parallel (via `lis-par`); [`minimum_cycle_mean_serial`], [`karp`] and
-//! [`lawler`] remain single-threaded reference implementations. Parallel
-//! and serial paths are bit-identical: means are exact rationals reduced
-//! with `min` in component-id order, and ties between components with the
-//! same mean always resolve to the lowest component id, so the reported
-//! critical cycle never depends on scheduling. For repeated evaluation of
-//! the same graph under different token assignments, see
+//! edges. Because the SCCs are independent, the per-component solves fan
+//! out in parallel (via `lis-par`); [`minimum_cycle_mean_serial`], [`karp`]
+//! and [`lawler`] remain single-threaded reference implementations.
+//! Parallel and serial paths are bit-identical: means are exact rationals
+//! reduced with `min` in component-id order, and ties between components
+//! with the same mean always resolve to the lowest component id, so the
+//! reported critical cycle never depends on scheduling. For repeated
+//! evaluation of the same graph under different token assignments, see
 //! [`crate::incremental::IncrementalMcm`].
 
+use crate::csr::CsrScc;
 use crate::error::GraphError;
-use crate::graph::{MarkedGraph, PlaceId, TransitionId};
+use crate::graph::{MarkedGraph, PlaceId};
+use crate::howard::{howard_csr, HowardScratch};
 use crate::ratio::Ratio;
 use crate::scc::SccDecomposition;
 
@@ -39,47 +50,78 @@ pub struct McmResult {
     pub critical_cycle: Vec<PlaceId>,
 }
 
-/// A view of one SCC as a local edge list, shared by the algorithms below
-/// and by the incremental engine in [`crate::incremental`].
-pub(crate) struct LocalScc {
-    /// Global transition id per local vertex.
-    pub(crate) vertices: Vec<TransitionId>,
-    /// `edges[v]` = outgoing internal edges of local vertex `v` as
-    /// `(local_target, token_weight, place)`.
-    pub(crate) edges: Vec<Vec<(usize, i64, PlaceId)>>,
-    pub(crate) edge_count: usize,
+/// Which MCM algorithm to run per SCC. All engines return bit-identical
+/// results; they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum McmEngine {
+    /// Howard's policy iteration (default; fastest, warm-startable).
+    #[default]
+    Howard,
+    /// Karp's dynamic program (the cross-validation oracle).
+    Karp,
+    /// Lawler's parametric search with Stern–Brocot snapping.
+    Lawler,
 }
 
-impl LocalScc {
-    pub(crate) fn build(graph: &MarkedGraph, scc: &SccDecomposition, comp: usize) -> LocalScc {
-        let vertices: Vec<TransitionId> = scc.members(comp).to_vec();
-        let mut local_of = std::collections::HashMap::new();
-        for (i, &t) in vertices.iter().enumerate() {
-            local_of.insert(t, i);
-        }
-        let mut edges = vec![Vec::new(); vertices.len()];
-        let mut edge_count = 0;
-        for (i, &t) in vertices.iter().enumerate() {
-            for &p in graph.outputs(t) {
-                if let Some(&j) = local_of.get(&graph.target(p)) {
-                    edges[i].push((j, graph.tokens(p) as i64, p));
-                    edge_count += 1;
-                }
-            }
-        }
-        LocalScc {
-            vertices,
-            edges,
-            edge_count,
-        }
-    }
+impl McmEngine {
+    /// All engines, in display order.
+    pub const ALL: [McmEngine; 3] = [McmEngine::Howard, McmEngine::Karp, McmEngine::Lawler];
 
-    pub(crate) fn n(&self) -> usize {
-        self.vertices.len()
+    /// The lowercase name used by CLI flags, server options, and metrics
+    /// labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            McmEngine::Howard => "howard",
+            McmEngine::Karp => "karp",
+            McmEngine::Lawler => "lawler",
+        }
     }
 }
 
-/// Computes the minimum cycle mean and one critical cycle of `graph`.
+impl std::fmt::Display for McmEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for McmEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<McmEngine, String> {
+        match s {
+            "howard" => Ok(McmEngine::Howard),
+            "karp" => Ok(McmEngine::Karp),
+            "lawler" => Ok(McmEngine::Lawler),
+            other => Err(format!(
+                "unknown MCM engine {other:?} (expected howard, karp, or lawler)"
+            )),
+        }
+    }
+}
+
+/// Solves one CSR snapshot with the chosen engine, reusing the caller's
+/// Howard scratch/policy buffers (ignored by the other engines).
+pub(crate) fn solve_csr(
+    csr: &CsrScc,
+    engine: McmEngine,
+    scratch: &mut HowardScratch,
+    policy: &mut Vec<u32>,
+) -> Ratio {
+    match engine {
+        McmEngine::Howard => howard_csr(csr, scratch, policy),
+        McmEngine::Karp => karp_csr(csr),
+        McmEngine::Lawler => lawler_csr(csr),
+    }
+}
+
+fn assert_unit_delays(graph: &MarkedGraph) {
+    for t in graph.transition_ids() {
+        assert_eq!(graph.delay(t), 1, "MCM solvers require unit delays");
+    }
+}
+
+/// Computes the minimum cycle mean and one critical cycle of `graph` with
+/// the default engine ([`McmEngine::Howard`]).
 ///
 /// The mean of a cycle is its token count divided by its place count
 /// (unit transition delays, as in the paper's synchronous setting).
@@ -115,12 +157,27 @@ impl LocalScc {
 /// # Ok::<(), marked_graph::GraphError>(())
 /// ```
 pub fn minimum_cycle_mean(graph: &MarkedGraph) -> Result<McmResult, GraphError> {
+    minimum_cycle_mean_with(graph, McmEngine::default())
+}
+
+/// [`minimum_cycle_mean`] with an explicit engine choice.
+///
+/// All engines return the same [`McmResult`] bit for bit: the mean is the
+/// same exact rational, and the critical cycle is extracted from the same
+/// CSR snapshot by the same engine-independent tight-edge search.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Acyclic`] if the graph has no cycles and
+/// [`GraphError::Empty`] if it has no transitions.
+pub fn minimum_cycle_mean_with(
+    graph: &MarkedGraph,
+    engine: McmEngine,
+) -> Result<McmResult, GraphError> {
     if graph.is_empty() {
         return Err(GraphError::Empty);
     }
-    for t in graph.transition_ids() {
-        assert_eq!(graph.delay(t), 1, "MCM solvers require unit delays");
-    }
+    assert_unit_delays(graph);
     let scc = SccDecomposition::compute(graph);
     let cyclic: Vec<usize> = scc
         .component_ids()
@@ -129,20 +186,27 @@ pub fn minimum_cycle_mean(graph: &MarkedGraph) -> Result<McmResult, GraphError> 
     // Fan the SCCs out in parallel; every component is independent. The
     // results come back in component-id order (par_map is order-
     // preserving), so the reduction below is identical to the serial loop.
-    let means: Vec<(Ratio, usize)> = lis_par::par_map(&cyclic, |&c| (karp_scc(graph, &scc, c), c));
+    // Each closure keeps its CSR snapshot so the winner's is reused for the
+    // critical-cycle extraction instead of being rebuilt.
+    let solved: Vec<(Ratio, usize, CsrScc)> = lis_par::par_map(&cyclic, |&c| {
+        let csr = CsrScc::build(graph, &scc, c);
+        let mut scratch = HowardScratch::new();
+        let mut policy = Vec::new();
+        let mean = solve_csr(&csr, engine, &mut scratch, &mut policy);
+        (mean, c, csr)
+    });
     // Tie-break: the *lowest* component id among those attaining the
     // minimum mean wins (only a strictly smaller mean displaces the
     // incumbent). This is the documented deterministic choice of critical
     // cycle, matching [`minimum_cycle_mean_serial`] bit for bit.
-    let mut best: Option<(Ratio, usize)> = None;
-    for (mean, c) in means {
-        if best.is_none_or(|(m, _)| mean < m) {
-            best = Some((mean, c));
+    let mut best: Option<(Ratio, usize, CsrScc)> = None;
+    for (mean, c, csr) in solved {
+        if best.as_ref().is_none_or(|(m, _, _)| mean < *m) {
+            best = Some((mean, c, csr));
         }
     }
-    let (mean, comp) = best.ok_or(GraphError::Acyclic)?;
-    let local = LocalScc::build(graph, &scc, comp);
-    let critical_cycle = critical_cycle_local(&local, mean);
+    let (mean, _comp, csr) = best.ok_or(GraphError::Acyclic)?;
+    let critical_cycle = critical_cycle_csr(&csr, mean);
     Ok(McmResult {
         mean,
         critical_cycle,
@@ -161,36 +225,85 @@ pub fn minimum_cycle_mean(graph: &MarkedGraph) -> Result<McmResult, GraphError> 
 /// Returns [`GraphError::Acyclic`] if the graph has no cycles and
 /// [`GraphError::Empty`] if it has no transitions.
 pub fn minimum_cycle_mean_serial(graph: &MarkedGraph) -> Result<McmResult, GraphError> {
+    minimum_cycle_mean_serial_with(graph, McmEngine::default())
+}
+
+/// [`minimum_cycle_mean_serial`] with an explicit engine choice.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Acyclic`] if the graph has no cycles and
+/// [`GraphError::Empty`] if it has no transitions.
+pub fn minimum_cycle_mean_serial_with(
+    graph: &MarkedGraph,
+    engine: McmEngine,
+) -> Result<McmResult, GraphError> {
     if graph.is_empty() {
         return Err(GraphError::Empty);
     }
-    for t in graph.transition_ids() {
-        assert_eq!(graph.delay(t), 1, "MCM solvers require unit delays");
-    }
+    assert_unit_delays(graph);
     let scc = SccDecomposition::compute(graph);
-    let mut best: Option<(Ratio, usize)> = None;
+    let mut scratch = HowardScratch::new();
+    let mut policy = Vec::new();
+    let mut best: Option<(Ratio, usize, CsrScc)> = None;
     for c in scc.component_ids() {
         if !scc.is_cyclic(graph, c) {
             continue;
         }
-        let mean = karp_scc(graph, &scc, c);
-        if best.is_none_or(|(m, _)| mean < m) {
-            best = Some((mean, c));
+        let csr = CsrScc::build(graph, &scc, c);
+        policy.clear();
+        let mean = solve_csr(&csr, engine, &mut scratch, &mut policy);
+        if best.as_ref().is_none_or(|(m, _, _)| mean < *m) {
+            best = Some((mean, c, csr));
         }
     }
-    let (mean, comp) = best.ok_or(GraphError::Acyclic)?;
-    let local = LocalScc::build(graph, &scc, comp);
-    let critical_cycle = critical_cycle_local(&local, mean);
+    let (mean, _comp, csr) = best.ok_or(GraphError::Acyclic)?;
+    let critical_cycle = critical_cycle_csr(&csr, mean);
     Ok(McmResult {
         mean,
         critical_cycle,
     })
 }
 
-/// Karp's mean of one cyclic SCC (helper shared by the entry points).
-fn karp_scc(graph: &MarkedGraph, scc: &SccDecomposition, comp: usize) -> Ratio {
-    let local = LocalScc::build(graph, scc, comp);
-    karp_local(&local).expect("cyclic SCC has a cycle")
+/// Minimum cycle mean over the whole graph with the chosen engine, serially
+/// (minimum across SCCs on the calling thread). Returns `None` for acyclic
+/// graphs. Howard's scratch and policy buffers are reused across SCCs.
+pub fn mcm_serial(graph: &MarkedGraph, engine: McmEngine) -> Option<Ratio> {
+    let scc = SccDecomposition::compute(graph);
+    let mut scratch = HowardScratch::new();
+    let mut policy = Vec::new();
+    let mut best: Option<Ratio> = None;
+    for c in scc.component_ids() {
+        if !scc.is_cyclic(graph, c) {
+            continue;
+        }
+        let csr = CsrScc::build(graph, &scc, c);
+        policy.clear();
+        let mean = solve_csr(&csr, engine, &mut scratch, &mut policy);
+        best = Some(best.map_or(mean, |m: Ratio| m.min(mean)));
+    }
+    best
+}
+
+/// [`mcm_serial`] with the per-SCC solves fanned out in parallel.
+///
+/// Returns exactly the same value on every input: cycle means are exact
+/// rationals and `min` is associative, so the reduction order (input order,
+/// preserved by the parallel map) cannot change the result.
+pub fn mcm_parallel(graph: &MarkedGraph, engine: McmEngine) -> Option<Ratio> {
+    let scc = SccDecomposition::compute(graph);
+    let cyclic: Vec<usize> = scc
+        .component_ids()
+        .filter(|&c| scc.is_cyclic(graph, c))
+        .collect();
+    lis_par::par_map(&cyclic, |&c| {
+        let csr = CsrScc::build(graph, &scc, c);
+        let mut scratch = HowardScratch::new();
+        let mut policy = Vec::new();
+        solve_csr(&csr, engine, &mut scratch, &mut policy)
+    })
+    .into_iter()
+    .reduce(Ratio::min)
 }
 
 /// Karp's minimum cycle mean over the whole graph (minimum across SCCs).
@@ -210,23 +323,33 @@ fn karp_scc(graph: &MarkedGraph, scc: &SccDecomposition, comp: usize) -> Ratio {
 /// assert_eq!(karp(&g), Some(Ratio::new(1, 2)));
 /// ```
 pub fn karp(graph: &MarkedGraph) -> Option<Ratio> {
-    let scc = SccDecomposition::compute(graph);
-    let mut best: Option<Ratio> = None;
-    for c in scc.component_ids() {
-        if !scc.is_cyclic(graph, c) {
-            continue;
-        }
-        let mean = karp_scc(graph, &scc, c);
-        best = Some(best.map_or(mean, |m: Ratio| m.min(mean)));
-    }
-    best
+    mcm_serial(graph, McmEngine::Karp)
+}
+
+/// Howard's minimum cycle mean over the whole graph (minimum across SCCs).
+///
+/// Returns `None` for acyclic graphs; bit-identical to [`karp`] and
+/// [`lawler`] on every input.
+///
+/// # Examples
+///
+/// ```
+/// use marked_graph::{mcm::{howard, karp}, MarkedGraph};
+///
+/// let mut g = MarkedGraph::new();
+/// let a = g.add_transition("A");
+/// let b = g.add_transition("B");
+/// g.add_place(a, b, 1);
+/// g.add_place(b, a, 0);
+/// assert_eq!(howard(&g), karp(&g));
+/// ```
+pub fn howard(graph: &MarkedGraph) -> Option<Ratio> {
+    mcm_serial(graph, McmEngine::Howard)
 }
 
 /// [`karp`] with the per-SCC dynamic programs fanned out in parallel.
 ///
-/// Returns exactly the same value as [`karp`] on every input: cycle means
-/// are exact rationals and `min` is associative, so the reduction order
-/// (input order, preserved by the parallel map) cannot change the result.
+/// Returns exactly the same value as [`karp`] on every input.
 ///
 /// # Examples
 ///
@@ -241,46 +364,54 @@ pub fn karp(graph: &MarkedGraph) -> Option<Ratio> {
 /// assert_eq!(karp_parallel(&g), karp(&g));
 /// ```
 pub fn karp_parallel(graph: &MarkedGraph) -> Option<Ratio> {
-    let scc = SccDecomposition::compute(graph);
-    let cyclic: Vec<usize> = scc
-        .component_ids()
-        .filter(|&c| scc.is_cyclic(graph, c))
-        .collect();
-    lis_par::par_map(&cyclic, |&c| karp_scc(graph, &scc, c))
-        .into_iter()
-        .reduce(Ratio::min)
+    mcm_parallel(graph, McmEngine::Karp)
 }
 
-/// Karp's dynamic program on one SCC.
+/// Karp's dynamic program on one CSR snapshot.
 ///
 /// `D_k(v)` = minimum token weight of a walk with exactly `k` edges from an
 /// arbitrary root to `v`; the minimum cycle mean is
-/// `min_v max_k (D_n(v) - D_k(v)) / (n - k)`.
-pub(crate) fn karp_local(local: &LocalScc) -> Option<Ratio> {
-    let n = local.n();
-    if local.edge_count == 0 {
-        return None;
-    }
-    // dp[k][v]; use i64 with a None sentinel.
-    let mut dp: Vec<Vec<Option<i64>>> = vec![vec![None; n]; n + 1];
-    dp[0][0] = Some(0);
+/// `min_v max_k (D_n(v) - D_k(v)) / (n - k)`. The DP table is one flat
+/// `(n + 1) × n` slab with an `i64::MAX` sentinel for "unreachable".
+///
+/// # Panics
+///
+/// Panics if the snapshot has no cycle (never the case for a cyclic SCC).
+pub(crate) fn karp_csr(csr: &CsrScc) -> Ratio {
+    let n = csr.n();
+    assert!(csr.edge_count() > 0, "cyclic SCC has a cycle");
+    const UNSET: i64 = i64::MAX;
+    let mut dp: Vec<i64> = vec![UNSET; (n + 1) * n];
+    dp[0] = 0; // dp[0][0]
     for k in 0..n {
-        for v in 0..n {
-            let Some(dv) = dp[k][v] else { continue };
-            for &(w, weight, _) in &local.edges[v] {
-                let cand = dv + weight;
-                if dp[k + 1][w].is_none_or(|cur| cand < cur) {
-                    dp[k + 1][w] = Some(cand);
+        let (head, tail) = dp[k * n..].split_at_mut(n);
+        let next = &mut tail[..n];
+        for (v, &dv) in head.iter().enumerate() {
+            if dv == UNSET {
+                continue;
+            }
+            for e in csr.out(v) {
+                let w = csr.target(e);
+                let cand = dv + csr.weight(e);
+                if cand < next[w] {
+                    next[w] = cand;
                 }
             }
         }
     }
+    let last = &dp[n * n..];
     let mut best: Option<Ratio> = None;
     for v in 0..n {
-        let Some(dn) = dp[n][v] else { continue };
+        let dn = last[v];
+        if dn == UNSET {
+            continue;
+        }
         let mut worst: Option<Ratio> = None;
-        for (k, row) in dp.iter().enumerate().take(n) {
-            let Some(dk) = row[v] else { continue };
+        for k in 0..n {
+            let dk = dp[k * n + v];
+            if dk == UNSET {
+                continue;
+            }
             let mean = Ratio::new(dn - dk, (n - k) as i64);
             worst = Some(worst.map_or(mean, |m: Ratio| m.max(mean)));
         }
@@ -288,18 +419,19 @@ pub(crate) fn karp_local(local: &LocalScc) -> Option<Ratio> {
             best = Some(best.map_or(w, |b: Ratio| b.min(w)));
         }
     }
-    best
+    best.expect("cyclic SCC has a cycle")
 }
 
-/// Extracts a cycle whose mean equals `mean` from one SCC.
+/// Extracts a cycle whose mean equals `mean` from one CSR snapshot.
 ///
 /// Uses shortest-path potentials under reduced weights
 /// `r(e) = den*w(e) - num` (all cycles then have nonnegative total, critical
 /// cycles exactly zero); every edge of a critical cycle is *tight*
 /// (`phi(u) + r(e) == phi(v)`), so any cycle in the tight subgraph is
-/// critical.
-pub(crate) fn critical_cycle_local(local: &LocalScc, mean: Ratio) -> Vec<PlaceId> {
-    let n = local.n();
+/// critical. The traversal follows the snapshot's canonical edge order, so
+/// the returned cycle is independent of which engine produced `mean`.
+pub(crate) fn critical_cycle_csr(csr: &CsrScc, mean: Ratio) -> Vec<PlaceId> {
+    let n = csr.n();
     let num = mean.numer();
     let den = mean.denom();
     let reduced = |w: i64| den * w - num;
@@ -313,8 +445,9 @@ pub(crate) fn critical_cycle_local(local: &LocalScc, mean: Ratio) -> Vec<PlaceId
             if phi[v] == i64::MAX {
                 continue;
             }
-            for &(w, weight, _) in &local.edges[v] {
-                let cand = phi[v] + reduced(weight);
+            for e in csr.out(v) {
+                let w = csr.target(e);
+                let cand = phi[v] + reduced(csr.weight(e));
                 if cand < phi[w] {
                     phi[w] = cand;
                     changed = true;
@@ -326,7 +459,8 @@ pub(crate) fn critical_cycle_local(local: &LocalScc, mean: Ratio) -> Vec<PlaceId
         }
     }
 
-    // DFS for a cycle within tight edges.
+    // DFS for a cycle within tight edges. `next` counts per-vertex edge
+    // offsets so the visit order matches the canonical CSR edge order.
     #[derive(Clone, Copy, PartialEq)]
     enum Color {
         White,
@@ -334,7 +468,7 @@ pub(crate) fn critical_cycle_local(local: &LocalScc, mean: Ratio) -> Vec<PlaceId
         Black,
     }
     let mut color = vec![Color::White; n];
-    // (vertex, edge index) path for reconstruction.
+    // (vertex, per-vertex edge index) path for reconstruction.
     let mut path: Vec<(usize, usize)> = Vec::new();
     let mut stack: Vec<(usize, usize)> = Vec::new();
     for root in 0..n {
@@ -345,15 +479,17 @@ pub(crate) fn critical_cycle_local(local: &LocalScc, mean: Ratio) -> Vec<PlaceId
         color[root] = Color::Gray;
         path.clear();
         while let Some(&(v, next)) = stack.last() {
-            if next >= local.edges[v].len() {
+            let out = csr.out(v);
+            if next >= out.len() {
                 color[v] = Color::Black;
                 stack.pop();
                 path.pop();
                 continue;
             }
             stack.last_mut().expect("stack nonempty").1 += 1;
-            let (w, weight, _place) = local.edges[v][next];
-            if phi[v] + reduced(weight) != phi[w] {
+            let e = out.start + next;
+            let w = csr.target(e);
+            if phi[v] + reduced(csr.weight(e)) != phi[w] {
                 continue; // not tight
             }
             match color[w] {
@@ -374,9 +510,9 @@ pub(crate) fn critical_cycle_local(local: &LocalScc, mean: Ratio) -> Vec<PlaceId
                         .expect("gray vertex lies on the DFS chain");
                     let mut places: Vec<PlaceId> = path[start..]
                         .iter()
-                        .map(|&(u, ei)| local.edges[u][ei].2)
+                        .map(|&(u, ei)| csr.place(csr.out(u).start + ei))
                         .collect();
-                    places.push(local.edges[v][next].2);
+                    places.push(csr.place(e));
                     return places;
                 }
                 Color::Black => {}
@@ -411,17 +547,7 @@ pub(crate) fn critical_cycle_local(local: &LocalScc, mean: Ratio) -> Vec<PlaceId
 /// assert_eq!(lawler(&g), karp(&g));
 /// ```
 pub fn lawler(graph: &MarkedGraph) -> Option<Ratio> {
-    let scc = SccDecomposition::compute(graph);
-    let mut best: Option<Ratio> = None;
-    for c in scc.component_ids() {
-        if !scc.is_cyclic(graph, c) {
-            continue;
-        }
-        let local = LocalScc::build(graph, &scc, c);
-        let mean = lawler_local(&local);
-        best = Some(best.map_or(mean, |m: Ratio| m.min(mean)));
-    }
-    best
+    mcm_serial(graph, McmEngine::Lawler)
 }
 
 /// [`lawler`] with the per-SCC parametric searches fanned out in parallel.
@@ -430,30 +556,21 @@ pub fn lawler(graph: &MarkedGraph) -> Option<Ratio> {
 /// self-contained and the final `min` over exact rationals is
 /// order-insensitive.
 pub fn lawler_parallel(graph: &MarkedGraph) -> Option<Ratio> {
-    let scc = SccDecomposition::compute(graph);
-    let cyclic: Vec<usize> = scc
-        .component_ids()
-        .filter(|&c| scc.is_cyclic(graph, c))
-        .collect();
-    lis_par::par_map(&cyclic, |&c| {
-        let local = LocalScc::build(graph, &scc, c);
-        lawler_local(&local)
-    })
-    .into_iter()
-    .reduce(Ratio::min)
+    mcm_parallel(graph, McmEngine::Lawler)
 }
 
 /// Whether some cycle has mean strictly below `lambda` (num/den).
-fn has_cycle_below(local: &LocalScc, num: i64, den: i64) -> bool {
+fn has_cycle_below(csr: &CsrScc, num: i64, den: i64) -> bool {
     // Cycle mean < num/den  ⟺  Σ(den*w - num) < 0 over the cycle.
-    let n = local.n();
+    let n = csr.n();
     let reduced = |w: i64| den * w - num;
     let mut dist = vec![0i64; n];
     for _ in 0..n {
         let mut changed = false;
         for v in 0..n {
-            for &(w, weight, _) in &local.edges[v] {
-                let cand = dist[v].saturating_add(reduced(weight));
+            for e in csr.out(v) {
+                let w = csr.target(e);
+                let cand = dist[v].saturating_add(reduced(csr.weight(e)));
                 if cand < dist[w] {
                     dist[w] = cand;
                     changed = true;
@@ -468,8 +585,8 @@ fn has_cycle_below(local: &LocalScc, num: i64, den: i64) -> bool {
     true
 }
 
-fn lawler_local(local: &LocalScc) -> Ratio {
-    let n = local.n() as i64;
+pub(crate) fn lawler_csr(csr: &CsrScc) -> Ratio {
+    let n = csr.n() as i64;
     // Stern–Brocot walk. Invariant: lo = a/b is feasible ("no cycle with
     // mean below a/b", i.e. λ* ≥ a/b) and hi = c/d is infeasible (λ* < c/d),
     // with lo/hi Farey neighbors (c*b - a*d = 1). Because an elementary
@@ -487,7 +604,7 @@ fn lawler_local(local: &LocalScc) -> Ratio {
             // lo is the best feasible rational with denominator ≤ n.
             return Ratio::new(a, b);
         }
-        if has_cycle_below(local, mn, md) {
+        if has_cycle_below(csr, mn, md) {
             // λ* < mediant: tighten hi.
             c = mn;
             d = md;
@@ -502,6 +619,7 @@ fn lawler_local(local: &LocalScc) -> Ratio {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::TransitionId;
 
     fn ring(tokens: &[u64]) -> MarkedGraph {
         let mut g = MarkedGraph::new();
@@ -549,6 +667,7 @@ mod tests {
         assert_eq!(minimum_cycle_mean(&g).unwrap_err(), GraphError::Acyclic);
         assert_eq!(karp(&g), None);
         assert_eq!(lawler(&g), None);
+        assert_eq!(howard(&g), None);
     }
 
     #[test]
@@ -572,6 +691,7 @@ mod tests {
         let g = ring(&[0, 0, 0]);
         assert_eq!(minimum_cycle_mean(&g).unwrap().mean, Ratio::ZERO);
         assert_eq!(lawler(&g), Some(Ratio::ZERO));
+        assert_eq!(howard(&g), Some(Ratio::ZERO));
     }
 
     #[test]
@@ -593,6 +713,7 @@ mod tests {
         assert_eq!(r.mean, Ratio::new(1, 3));
         assert_eq!(karp(&g), Some(Ratio::new(1, 3)));
         assert_eq!(lawler(&g), Some(Ratio::new(1, 3)));
+        assert_eq!(howard(&g), Some(Ratio::new(1, 3)));
     }
 
     #[test]
@@ -641,6 +762,16 @@ mod tests {
         let g = ring(&[5, 4]);
         assert_eq!(karp(&g), Some(Ratio::new(9, 2)));
         assert_eq!(lawler(&g), Some(Ratio::new(9, 2)));
+        assert_eq!(howard(&g), Some(Ratio::new(9, 2)));
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for engine in McmEngine::ALL {
+            assert_eq!(engine.as_str().parse::<McmEngine>(), Ok(engine));
+        }
+        assert!("dijkstra".parse::<McmEngine>().is_err());
+        assert_eq!(McmEngine::default(), McmEngine::Howard);
     }
 
     #[test]
@@ -663,14 +794,27 @@ mod tests {
             }
             let k = karp(&g);
             let l = lawler(&g);
+            let h = howard(&g);
             assert_eq!(
                 k, l,
                 "trial {trial} mismatch: karp={k:?} lawler={l:?}\n{g:?}"
             );
-            // The critical cycle's mean must equal the reported minimum.
+            assert_eq!(
+                k, h,
+                "trial {trial} mismatch: karp={k:?} howard={h:?}\n{g:?}"
+            );
+            // The critical cycle's mean must equal the reported minimum,
+            // and every engine must report the identical McmResult.
             let r = minimum_cycle_mean(&g).unwrap();
             assert_eq!(g.cycle_mean(&r.critical_cycle), r.mean, "trial {trial}");
             assert_eq!(Some(r.mean), k, "trial {trial}");
+            for engine in McmEngine::ALL {
+                assert_eq!(
+                    minimum_cycle_mean_with(&g, engine).unwrap(),
+                    r,
+                    "trial {trial} engine {engine}"
+                );
+            }
         }
     }
 
@@ -704,12 +848,31 @@ mod tests {
             let g = random_multi_scc(seed);
             assert_eq!(karp_parallel(&g), karp(&g), "seed {seed}");
             assert_eq!(lawler_parallel(&g), lawler(&g), "seed {seed}");
+            for engine in McmEngine::ALL {
+                assert_eq!(
+                    mcm_parallel(&g, engine),
+                    mcm_serial(&g, engine),
+                    "seed {seed} engine {engine}"
+                );
+            }
             let par = minimum_cycle_mean(&g).unwrap();
             let ser = minimum_cycle_mean_serial(&g).unwrap();
             assert_eq!(
                 par, ser,
                 "seed {seed}: parallel result must be bit-identical"
             );
+            for engine in McmEngine::ALL {
+                assert_eq!(
+                    minimum_cycle_mean_with(&g, engine).unwrap(),
+                    par,
+                    "seed {seed} engine {engine}"
+                );
+                assert_eq!(
+                    minimum_cycle_mean_serial_with(&g, engine).unwrap(),
+                    ser,
+                    "seed {seed} engine {engine} (serial)"
+                );
+            }
         }
     }
 

@@ -3,13 +3,16 @@
 //! Once the minimum cycle mean is known, a designer wants to know *where*
 //! to spend buffering: which places lie on critical cycles, and which
 //! single-token additions actually raise the throughput. This module
-//! answers both questions exactly, by re-running Karp's algorithm under
+//! answers both questions exactly, by re-solving the MCM under
 //! hypothetical token additions — O(|P|) MCM computations, cheap at LIS
 //! scale and free of the false positives a purely structural analysis
 //! would give (a place can lie on *a* critical cycle without being on
-//! *all* of them).
+//! *all* of them). The per-place re-solves go through
+//! [`crate::incremental::IncrementalMcm`], so only the touched component
+//! is re-evaluated, warm-started from the previous Howard policy.
 
 use crate::graph::{MarkedGraph, PlaceId};
+use crate::incremental::IncrementalMcm;
 use crate::mcm;
 use crate::ratio::Ratio;
 
@@ -47,16 +50,18 @@ pub struct PlaceSensitivity {
 /// assert!(report.iter().all(|s| s.improves));
 /// ```
 pub fn token_sensitivity(graph: &MarkedGraph) -> Vec<PlaceSensitivity> {
-    let Some(base) = mcm::karp(graph) else {
+    let mut inc = IncrementalMcm::new(graph);
+    let Some(base) = inc.base_mean() else {
         return Vec::new();
     };
-    let mut scratch = graph.clone();
     graph
         .place_ids()
         .map(|p| {
-            scratch.add_tokens(p, 1);
-            let mean_after = mcm::karp(&scratch).expect("graph still cyclic");
-            scratch.set_tokens(p, graph.tokens(p));
+            // One extra token on `p`: only p's component is re-solved,
+            // warm-started; every other component reuses its base mean.
+            let mean_after = inc
+                .mcm_with_tokens(&[(p, graph.tokens(p) + 1)])
+                .expect("graph still cyclic");
             PlaceSensitivity {
                 place: p,
                 mean_after,
@@ -123,7 +128,7 @@ pub fn bottleneck_places(graph: &MarkedGraph) -> Vec<PlaceId> {
 /// assert_eq!(critical_places(&g), vec![p1, p2]);
 /// ```
 pub fn critical_places(graph: &MarkedGraph) -> Vec<PlaceId> {
-    let Some(base) = mcm::karp(graph) else {
+    let Some(base) = mcm::howard(graph) else {
         return Vec::new();
     };
     graph

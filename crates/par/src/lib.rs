@@ -64,11 +64,17 @@ pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
     f()
 }
 
+/// Inputs of at most this many items run inline on the caller's thread:
+/// spawning even one scoped thread costs far more than a tiny map saves
+/// (a 1–2 SCC analysis is the common case for small LIS models).
+const SERIAL_CUTOFF: usize = 2;
+
 /// Parallel, order-preserving map over `0..n`.
 ///
 /// Semantically identical to `(0..n).map(f).collect()`; work is distributed
 /// over up to [`max_threads`] worker threads with an atomic work-stealing
-/// cursor. With a budget of 1 (or `n <= 1`) no threads are spawned at all.
+/// cursor. With a budget of 1, or `n` at most the serial cutoff (2), no
+/// threads are spawned at all.
 ///
 /// # Panics
 ///
@@ -80,7 +86,7 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let threads = max_threads().min(n);
-    if threads <= 1 {
+    if threads <= 1 || n <= SERIAL_CUTOFF {
         return (0..n).map(f).collect();
     }
     let cursor = AtomicUsize::new(0);
@@ -169,6 +175,27 @@ mod tests {
         let before = max_threads();
         with_threads(3, || assert_eq!(max_threads(), 3));
         assert_eq!(max_threads(), before);
+    }
+
+    #[test]
+    fn tiny_inputs_run_inline_and_in_order() {
+        let _lock = CAP_LOCK.lock().unwrap();
+        let main_id = std::thread::current().id();
+        for n in 0..=SERIAL_CUTOFF {
+            let out = with_threads(8, || {
+                par_map_indexed(n, |i| (i, std::thread::current().id()))
+            });
+            // Order-identical to the serial map...
+            assert_eq!(
+                out.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+                (0..n).collect::<Vec<_>>()
+            );
+            // ...and executed inline, no pool dispatch.
+            assert!(out.iter().all(|&(_, id)| id == main_id), "n={n}");
+        }
+        // Just past the cutoff, the parallel path still preserves order.
+        let out = with_threads(8, || par_map_indexed(SERIAL_CUTOFF + 1, |i| i * 2));
+        assert_eq!(out, vec![0, 2, 4]);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use lis_core::{ChannelId, LisModel, LisSystem};
 use marked_graph::cycles::elementary_cycles;
-use marked_graph::{PlaceId, Ratio};
+use marked_graph::{McmEngine, PlaceId, Ratio};
 
 use crate::error::QsError;
 
@@ -102,22 +102,53 @@ pub fn cycle_deficit(tokens: u64, len: u64, target: Ratio) -> u64 {
 /// # Ok::<(), lis_qs::QsError>(())
 /// ```
 pub fn extract_instance(sys: &LisSystem, cycle_limit: usize) -> Result<QsInstance, QsError> {
-    let ideal = lis_core::ideal_mst(sys);
+    extract_instance_with(sys, cycle_limit, McmEngine::default())
+}
+
+/// [`extract_instance`] with an explicit MCM engine for the ideal and
+/// practical throughput solves.
+///
+/// # Errors
+///
+/// Returns [`QsError::TooManyCycles`] if the doubled graph has more than
+/// `cycle_limit` elementary cycles.
+pub fn extract_instance_with(
+    sys: &LisSystem,
+    cycle_limit: usize,
+    engine: McmEngine,
+) -> Result<QsInstance, QsError> {
+    let ideal = lis_core::ideal_mst_with(sys, engine);
     let model = LisModel::doubled(sys);
-    extract_from_model(sys, &model, ideal, cycle_limit)
+    extract_from_model_with(sys, &model, ideal, cycle_limit, engine)
 }
 
 /// Like [`extract_instance`] but reuses an already-built doubled model and an
 /// already-computed ideal MST (the exhaustive relay-station searches call
 /// this in a loop).
 pub fn extract_from_model(
-    _sys: &LisSystem,
+    sys: &LisSystem,
     model: &LisModel,
     target: Ratio,
     cycle_limit: usize,
 ) -> Result<QsInstance, QsError> {
+    extract_from_model_with(sys, model, target, cycle_limit, McmEngine::default())
+}
+
+/// [`extract_from_model`] with an explicit MCM engine.
+///
+/// # Errors
+///
+/// Returns [`QsError::TooManyCycles`] if the doubled graph has more than
+/// `cycle_limit` elementary cycles.
+pub fn extract_from_model_with(
+    _sys: &LisSystem,
+    model: &LisModel,
+    target: Ratio,
+    cycle_limit: usize,
+    engine: McmEngine,
+) -> Result<QsInstance, QsError> {
     let graph = model.graph();
-    let practical = lis_core::mst(graph);
+    let practical = lis_core::mst_with(graph, engine);
     let all = elementary_cycles(graph, cycle_limit)?;
     let total_cycles = all.len();
     let mut cycles = Vec::new();

@@ -59,8 +59,8 @@ mod td;
 
 pub use collapse::{collapse_sccs, Collapsed};
 pub use deficit::{
-    cycle_deficit, extract_from_model, extract_instance, DeficientCycle, QsInstance,
-    DEFAULT_CYCLE_LIMIT,
+    cycle_deficit, extract_from_model, extract_from_model_with, extract_instance,
+    extract_instance_with, DeficientCycle, QsInstance, DEFAULT_CYCLE_LIMIT,
 };
 pub use error::QsError;
 pub use exact::{brute_force_optimum, exact_solve, exact_solve_with, ExactOptions, ExactOutcome};

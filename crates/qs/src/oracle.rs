@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 
 use lis_core::{ChannelId, LisModel, LisSystem};
 use marked_graph::incremental::{CacheStats, IncrementalMcm};
-use marked_graph::{PlaceId, Ratio};
+use marked_graph::{McmEngine, PlaceId, Ratio};
 
 /// Incremental `θ(d[G])` evaluator for one system under varying extra
 /// queue slots.
@@ -47,8 +47,14 @@ pub struct ThroughputOracle {
 }
 
 impl ThroughputOracle {
-    /// Builds the doubled model of `sys` and its incremental MCM engine.
+    /// Builds the doubled model of `sys` and its incremental MCM engine
+    /// (default algorithm: Howard with warm-started policies).
     pub fn new(sys: &LisSystem) -> ThroughputOracle {
+        ThroughputOracle::with_engine(sys, McmEngine::default())
+    }
+
+    /// [`ThroughputOracle::new`] with an explicit per-component MCM engine.
+    pub fn with_engine(sys: &LisSystem, engine: McmEngine) -> ThroughputOracle {
         let model = LisModel::doubled(sys);
         let backedges = sys
             .channel_ids()
@@ -58,8 +64,13 @@ impl ThroughputOracle {
                     .map(|p| (p, model.graph().tokens(p)))
             })
             .collect();
-        let inc = IncrementalMcm::new(model.graph());
+        let inc = IncrementalMcm::with_engine(model.graph(), engine);
         ThroughputOracle { inc, backedges }
+    }
+
+    /// The algorithm running the per-component re-solves.
+    pub fn engine(&self) -> McmEngine {
+        self.inc.engine()
     }
 
     /// `θ(d[G])` under the system's current queue capacities, equal to

@@ -8,10 +8,10 @@
 use std::time::Duration;
 
 use lis_core::{ChannelId, LisSystem};
-use marked_graph::Ratio;
+use marked_graph::{McmEngine, Ratio};
 
 use crate::collapse::collapse_sccs;
-use crate::deficit::{extract_instance, DEFAULT_CYCLE_LIMIT};
+use crate::deficit::{extract_instance_with, DEFAULT_CYCLE_LIMIT};
 use crate::error::QsError;
 use crate::exact::{exact_solve_with, ExactOptions};
 use crate::heuristic::heuristic_solve;
@@ -48,6 +48,10 @@ pub struct QsConfig {
     /// cycle enumeration was truncated. Off by default to keep the paper's
     /// reported numbers.
     pub oracle_trim: bool,
+    /// The MCM engine backing every throughput solve in the pipeline
+    /// (extraction, verification, oracle trimming). All engines give
+    /// identical answers; Howard (the default) is the fastest.
+    pub engine: McmEngine,
 }
 
 impl Default for QsConfig {
@@ -59,6 +63,7 @@ impl Default for QsConfig {
             budget: None,
             parallel: false,
             oracle_trim: false,
+            engine: McmEngine::default(),
         }
     }
 }
@@ -112,7 +117,7 @@ pub struct QsReport {
 pub fn solve(sys: &LisSystem, algo: Algorithm, cfg: &QsConfig) -> Result<QsReport, QsError> {
     let mut report = solve_core(sys, algo, cfg)?;
     if cfg.oracle_trim && report.total_extra > 0 {
-        let mut oracle = ThroughputOracle::new(sys);
+        let mut oracle = ThroughputOracle::with_engine(sys, cfg.engine);
         let mut weights: Vec<u64> = report.extra_tokens.iter().map(|&(_, w)| w).collect();
         let labels: Vec<ChannelId> = report.extra_tokens.iter().map(|&(c, _)| c).collect();
         trim_weights(&mut weights, &labels, &mut oracle, report.target);
@@ -148,14 +153,14 @@ fn solve_core(sys: &LisSystem, algo: Algorithm, cfg: &QsConfig) -> Result<QsRepo
                 // shortens cycles, changing their means (not their deficits).
                 return Ok(QsReport {
                     extra_tokens,
-                    practical_before: lis_core::practical_mst(sys),
+                    practical_before: lis_core::practical_mst_with(sys, cfg.engine),
                     ..sub
                 });
             }
         }
     }
 
-    let inst = extract_instance(sys, cfg.cycle_limit)?;
+    let inst = extract_instance_with(sys, cfg.cycle_limit, cfg.engine)?;
     let (td, labels) = TdInstance::from_qs(&inst);
 
     let (solution, optimal, nodes) = run_solver(&td, algo, cfg);

@@ -12,10 +12,10 @@
 //! underneath are deterministic), which is what makes the responses safe
 //! to cache by content hash.
 
-use lis_core::{canonical_hash, classify, explain, LisModel, LisSystem, TopologyClass};
+use lis_core::{canonical_hash, classify, explain_with, LisModel, LisSystem, TopologyClass};
 use lis_qs::{solve, verify_solution, Algorithm, QsConfig};
 use lis_rsopt::{exhaustive_insertion, greedy_insertion};
-use marked_graph::Ratio;
+use marked_graph::{McmEngine, Ratio};
 
 use crate::cache::CacheKey;
 use crate::error::ServerError;
@@ -25,11 +25,16 @@ use crate::wire::{obj, Json};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RequestKind {
     /// Throughput analysis + topology classification (`POST /analyze`).
-    Analyze,
+    Analyze {
+        /// The MCM engine backing the throughput solves.
+        engine: McmEngine,
+    },
     /// Queue sizing (`POST /qs`), heuristic or exact.
     Qs {
         /// Run the exact branch-and-bound instead of the heuristic.
         exact: bool,
+        /// The MCM engine backing the throughput solves.
+        engine: McmEngine,
     },
     /// Relay-station insertion search (`POST /insert`).
     Insert {
@@ -68,10 +73,25 @@ impl RequestKind {
                 }),
             }
         };
+        let opt_engine = || -> Result<McmEngine, ServerError> {
+            match options.get("engine") {
+                None => Ok(McmEngine::default()),
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| {
+                        ServerError::BadRequest("option \"engine\" must be a string".into())
+                    })?
+                    .parse()
+                    .map_err(ServerError::BadRequest),
+            }
+        };
         let kind = match route {
-            "analyze" => RequestKind::Analyze,
+            "analyze" => RequestKind::Analyze {
+                engine: opt_engine()?,
+            },
             "qs" => RequestKind::Qs {
                 exact: opt_bool("exact")?,
+                engine: opt_engine()?,
             },
             "insert" => {
                 let budget = match options.get("budget") {
@@ -96,10 +116,21 @@ impl RequestKind {
     /// result — the request half of the cache key.
     pub fn token(&self) -> String {
         match self {
-            RequestKind::Analyze => "analyze".into(),
-            RequestKind::Qs { exact } => format!("qs:exact={exact}"),
+            RequestKind::Analyze { engine } => format!("analyze:engine={engine}"),
+            RequestKind::Qs { exact, engine } => format!("qs:exact={exact}:engine={engine}"),
             RequestKind::Insert { budget } => format!("insert:budget={budget}"),
             RequestKind::Dot { doubled } => format!("dot:doubled={doubled}"),
+        }
+    }
+
+    /// The MCM engine label for the per-engine latency metrics, for the
+    /// kinds whose runtime is dominated by throughput solves.
+    pub fn engine_label(&self) -> Option<&'static str> {
+        match self {
+            RequestKind::Analyze { engine } | RequestKind::Qs { engine, .. } => {
+                Some(engine.as_str())
+            }
+            RequestKind::Insert { .. } | RequestKind::Dot { .. } => None,
         }
     }
 
@@ -123,8 +154,8 @@ impl RequestKind {
     /// cycle-enumeration limits).
     pub fn execute(&self, sys: &LisSystem) -> Result<Json, ServerError> {
         match self {
-            RequestKind::Analyze => Ok(analyze(sys)),
-            RequestKind::Qs { exact } => qs(sys, *exact),
+            RequestKind::Analyze { engine } => Ok(analyze(sys, *engine)),
+            RequestKind::Qs { exact, engine } => qs(sys, *exact, *engine),
             RequestKind::Insert { budget } => Ok(insert(sys, *budget)),
             RequestKind::Dot { doubled } => Ok(dot(sys, *doubled)),
         }
@@ -155,8 +186,8 @@ fn channel_json(sys: &LisSystem, c: lis_core::ChannelId) -> Json {
     ])
 }
 
-fn analyze(sys: &LisSystem) -> Json {
-    let report = explain(sys);
+fn analyze(sys: &LisSystem, engine: McmEngine) -> Json {
+    let report = explain_with(sys, engine);
     let bottlenecks: Vec<Json> = report
         .bottleneck_queues
         .iter()
@@ -170,6 +201,7 @@ fn analyze(sys: &LisSystem) -> Json {
             Json::num(f64::from(sys.relay_station_count())),
         ),
         ("topology_class", Json::str(class_label(classify(sys)))),
+        ("engine", Json::str(report.engine.as_str())),
         ("ideal_mst", ratio_json(report.ideal)),
         ("practical_mst", ratio_json(report.practical)),
         ("degraded", Json::Bool(report.is_degraded())),
@@ -184,14 +216,17 @@ fn analyze(sys: &LisSystem) -> Json {
     ])
 }
 
-fn qs(sys: &LisSystem, exact: bool) -> Result<Json, ServerError> {
+fn qs(sys: &LisSystem, exact: bool, engine: McmEngine) -> Result<Json, ServerError> {
     let algo = if exact {
         Algorithm::Exact
     } else {
         Algorithm::Heuristic
     };
-    let report =
-        solve(sys, algo, &QsConfig::default()).map_err(|e| ServerError::Analysis(e.to_string()))?;
+    let cfg = QsConfig {
+        engine,
+        ..QsConfig::default()
+    };
+    let report = solve(sys, algo, &cfg).map_err(|e| ServerError::Analysis(e.to_string()))?;
     if !verify_solution(sys, &report) {
         return Err(ServerError::Analysis(
             "queue-sizing solution failed verification".into(),
@@ -214,6 +249,7 @@ fn qs(sys: &LisSystem, exact: bool) -> Result<Json, ServerError> {
         })
         .collect();
     Ok(obj([
+        ("engine", Json::str(engine.as_str())),
         ("target_mst", ratio_json(report.target)),
         ("practical_before", ratio_json(report.practical_before)),
         ("total_extra", Json::num(report.total_extra as f64)),
@@ -298,10 +334,18 @@ mod tests {
         .unwrap();
         let (text, kind) = RequestKind::decode("analyze", &body).unwrap();
         assert_eq!(text, FIG1);
-        assert_eq!(kind, RequestKind::Analyze);
+        assert_eq!(
+            kind,
+            RequestKind::Analyze {
+                engine: McmEngine::Howard
+            }
+        );
         assert_eq!(
             RequestKind::decode("qs", &body).unwrap().1,
-            RequestKind::Qs { exact: true }
+            RequestKind::Qs {
+                exact: true,
+                engine: McmEngine::Howard
+            }
         );
         assert_eq!(
             RequestKind::decode("insert", &body).unwrap().1,
@@ -318,12 +362,59 @@ mod tests {
         let body = Json::parse(&format!(r#"{{"netlist": {}}}"#, Json::str(FIG1))).unwrap();
         assert_eq!(
             RequestKind::decode("qs", &body).unwrap().1,
-            RequestKind::Qs { exact: false }
+            RequestKind::Qs {
+                exact: false,
+                engine: McmEngine::Howard
+            }
         );
         assert_eq!(
             RequestKind::decode("insert", &body).unwrap().1,
             RequestKind::Insert { budget: 2 }
         );
+    }
+
+    #[test]
+    fn decode_selects_and_validates_the_engine() {
+        for (name, engine) in [
+            ("howard", McmEngine::Howard),
+            ("karp", McmEngine::Karp),
+            ("lawler", McmEngine::Lawler),
+        ] {
+            let body = Json::parse(&format!(
+                r#"{{"netlist": {}, "options": {{"engine": "{name}"}}}}"#,
+                Json::str(FIG1)
+            ))
+            .unwrap();
+            assert_eq!(
+                RequestKind::decode("analyze", &body).unwrap().1,
+                RequestKind::Analyze { engine }
+            );
+            assert_eq!(
+                RequestKind::decode("qs", &body).unwrap().1,
+                RequestKind::Qs {
+                    exact: false,
+                    engine
+                }
+            );
+        }
+        let bad = Json::parse(&format!(
+            r#"{{"netlist": {}, "options": {{"engine": "dijkstra"}}}}"#,
+            Json::str(FIG1)
+        ))
+        .unwrap();
+        assert!(matches!(
+            RequestKind::decode("analyze", &bad),
+            Err(ServerError::BadRequest(_))
+        ));
+        let ill_typed = Json::parse(&format!(
+            r#"{{"netlist": {}, "options": {{"engine": 7}}}}"#,
+            Json::str(FIG1)
+        ))
+        .unwrap();
+        assert!(matches!(
+            RequestKind::decode("qs", &ill_typed),
+            Err(ServerError::BadRequest(_))
+        ));
     }
 
     #[test]
@@ -365,19 +456,58 @@ mod tests {
             "# same system\nblock \"A\"\nblock B\nchannel A -> B rs=1 q=1\nchannel A -> B\n",
         )
         .unwrap();
-        let analyze = RequestKind::Analyze;
-        let qs_h = RequestKind::Qs { exact: false };
-        let qs_x = RequestKind::Qs { exact: true };
+        let analyze = RequestKind::Analyze {
+            engine: McmEngine::Howard,
+        };
+        let analyze_karp = RequestKind::Analyze {
+            engine: McmEngine::Karp,
+        };
+        let qs_h = RequestKind::Qs {
+            exact: false,
+            engine: McmEngine::Howard,
+        };
+        let qs_x = RequestKind::Qs {
+            exact: true,
+            engine: McmEngine::Howard,
+        };
         assert_eq!(analyze.cache_key(&sys), analyze.cache_key(&noisy));
         assert_ne!(analyze.cache_key(&sys), qs_h.cache_key(&sys));
         assert_ne!(qs_h.cache_key(&sys), qs_x.cache_key(&sys));
+        // Different engines must not share cache entries.
+        assert_ne!(analyze.cache_key(&sys), analyze_karp.cache_key(&sys));
+    }
+
+    #[test]
+    fn engine_labels_cover_the_throughput_routes() {
+        assert_eq!(
+            RequestKind::Analyze {
+                engine: McmEngine::Karp
+            }
+            .engine_label(),
+            Some("karp")
+        );
+        assert_eq!(
+            RequestKind::Qs {
+                exact: true,
+                engine: McmEngine::Lawler
+            }
+            .engine_label(),
+            Some("lawler")
+        );
+        assert_eq!(RequestKind::Insert { budget: 1 }.engine_label(), None);
+        assert_eq!(RequestKind::Dot { doubled: false }.engine_label(), None);
     }
 
     #[test]
     fn analyze_reports_the_fig1_numbers() {
-        let out = RequestKind::Analyze.execute(&fig1()).unwrap();
+        let out = RequestKind::Analyze {
+            engine: McmEngine::Howard,
+        }
+        .execute(&fig1())
+        .unwrap();
         assert_eq!(out.get("blocks").unwrap().as_u64(), Some(2));
         assert_eq!(out.get("topology_class").unwrap().as_str(), Some("general"));
+        assert_eq!(out.get("engine").unwrap().as_str(), Some("howard"));
         let practical = out.get("practical_mst").unwrap();
         assert_eq!(practical.get("num").unwrap().as_u64(), Some(2));
         assert_eq!(practical.get("den").unwrap().as_u64(), Some(3));
@@ -392,7 +522,12 @@ mod tests {
 
     #[test]
     fn qs_exact_fixes_fig1_with_one_slot() {
-        let out = RequestKind::Qs { exact: true }.execute(&fig1()).unwrap();
+        let out = RequestKind::Qs {
+            exact: true,
+            engine: McmEngine::Howard,
+        }
+        .execute(&fig1())
+        .unwrap();
         assert_eq!(out.get("total_extra").unwrap().as_u64(), Some(1));
         assert_eq!(out.get("optimal").unwrap().as_bool(), Some(true));
         let extra = out.get("extra_tokens").unwrap().as_arr().unwrap();
@@ -426,8 +561,13 @@ mod tests {
     fn execution_is_deterministic() {
         let sys = fig1();
         for kind in [
-            RequestKind::Analyze,
-            RequestKind::Qs { exact: false },
+            RequestKind::Analyze {
+                engine: McmEngine::Howard,
+            },
+            RequestKind::Qs {
+                exact: false,
+                engine: McmEngine::Lawler,
+            },
             RequestKind::Insert { budget: 2 },
             RequestKind::Dot { doubled: true },
         ] {

@@ -106,21 +106,47 @@ impl Histogram {
     fn render(&self, out: &mut String, name: &str) {
         use std::fmt::Write as _;
         let _ = writeln!(out, "# TYPE {name} histogram");
+        self.render_series(out, name, "");
+    }
+
+    /// Renders the bucket/sum/count series with `labels` (e.g.
+    /// `engine="howard",`) prepended to each label set. No `# TYPE` line, so
+    /// several labeled series can share one metric name.
+    fn render_series(&self, out: &mut String, name: &str, labels: &str) {
+        use std::fmt::Write as _;
         let mut cumulative = 0u64;
         for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
             cumulative += self.buckets[i].load(Ordering::Relaxed);
-            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_bucket{{{labels}le=\"{le}\"}} {cumulative}");
         }
         cumulative += self.buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-        let _ = writeln!(
-            out,
-            "{name}_sum {}",
-            self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
-        );
-        let _ = writeln!(out, "{name}_count {}", self.count.load(Ordering::Relaxed));
+        let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {cumulative}");
+        if labels.is_empty() {
+            let _ = writeln!(
+                out,
+                "{name}_sum {}",
+                self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+            );
+            let _ = writeln!(out, "{name}_count {}", self.count.load(Ordering::Relaxed));
+        } else {
+            let labels = labels.trim_end_matches(',');
+            let _ = writeln!(
+                out,
+                "{name}_sum{{{labels}}} {}",
+                self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+            );
+            let _ = writeln!(
+                out,
+                "{name}_count{{{labels}}} {}",
+                self.count.load(Ordering::Relaxed)
+            );
+        }
     }
 }
+
+/// The MCM engine labels tracked by the per-engine latency histograms,
+/// matching [`marked_graph::McmEngine::as_str`].
+pub const ENGINE_LABELS: [&str; 3] = ["howard", "karp", "lawler"];
 
 /// All metrics the daemon exports. One instance is shared by every
 /// connection handler and worker.
@@ -140,6 +166,9 @@ pub struct Metrics {
     pub timeouts_total: AtomicU64,
     /// End-to-end request latency (receipt to response write).
     pub latency: Histogram,
+    /// Analysis-execution latency per MCM engine (cache misses on the
+    /// throughput routes only), indexed like [`ENGINE_LABELS`].
+    pub engine_latency: [Histogram; ENGINE_LABELS.len()],
 }
 
 impl Metrics {
@@ -153,6 +182,22 @@ impl Metrics {
         let r = Route::ALL.iter().position(|&x| x == route).expect("route");
         self.requests[r][status_slot(status)].fetch_add(1, Ordering::Relaxed);
         self.latency.observe(elapsed);
+    }
+
+    /// Records the analysis-execution time of one request answered by the
+    /// MCM engine `label`. Unknown labels are ignored.
+    pub fn record_engine(&self, label: &str, elapsed: Duration) {
+        if let Some(slot) = ENGINE_LABELS.iter().position(|&l| l == label) {
+            self.engine_latency[slot].observe(elapsed);
+        }
+    }
+
+    /// Observations recorded for one engine label (test observability).
+    pub fn engine_count(&self, label: &str) -> u64 {
+        ENGINE_LABELS
+            .iter()
+            .position(|&l| l == label)
+            .map_or(0, |slot| self.engine_latency[slot].count())
     }
 
     /// Total requests across all routes and statuses.
@@ -218,6 +263,19 @@ impl Metrics {
             self.timeouts_total.load(Ordering::Relaxed)
         );
         self.latency.render(&mut out, "lis_request_seconds");
+        if self.engine_latency.iter().any(|h| h.count() > 0) {
+            let _ = writeln!(out, "# TYPE lis_engine_request_seconds histogram");
+            for (slot, label) in ENGINE_LABELS.iter().enumerate() {
+                let h = &self.engine_latency[slot];
+                if h.count() > 0 {
+                    h.render_series(
+                        &mut out,
+                        "lis_engine_request_seconds",
+                        &format!("engine=\"{label}\","),
+                    );
+                }
+            }
+        }
         out
     }
 }
@@ -290,6 +348,34 @@ mod tests {
         // Exact-name match: a prefix must not pick up the labeled series.
         assert_eq!(parse_metric(&text, "lis_cache_hits"), None);
         assert_eq!(parse_metric(&text, "nope"), None);
+    }
+
+    #[test]
+    fn engine_latency_renders_labeled_series() {
+        let m = Metrics::new();
+        // Nothing recorded: the engine histogram family is omitted entirely.
+        assert!(!m.render().contains("lis_engine_request_seconds"));
+        m.record_engine("howard", Duration::from_micros(40));
+        m.record_engine("howard", Duration::from_micros(60));
+        m.record_engine("karp", Duration::from_millis(3));
+        m.record_engine("unknown", Duration::from_secs(1)); // ignored
+        assert_eq!(m.engine_count("howard"), 2);
+        assert_eq!(m.engine_count("karp"), 1);
+        assert_eq!(m.engine_count("lawler"), 0);
+        assert_eq!(m.engine_count("unknown"), 0);
+        let text = m.render();
+        assert!(text.contains("# TYPE lis_engine_request_seconds histogram"));
+        assert!(text.contains("lis_engine_request_seconds_count{engine=\"howard\"} 2"));
+        assert!(text.contains("lis_engine_request_seconds_count{engine=\"karp\"} 1"));
+        assert!(text.contains("lis_engine_request_seconds_bucket{engine=\"howard\",le=\"+Inf\"} 2"));
+        // The unlabeled lis_request_seconds series must stay parseable.
+        assert!(!text.contains("lis_engine_request_seconds_count{engine=\"lawler\"}"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line {line:?}"
+            );
+        }
     }
 
     #[test]

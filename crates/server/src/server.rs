@@ -320,10 +320,16 @@ fn analysis_request(
         if let Some(d) = job_state.config.job_delay_for_tests {
             std::thread::sleep(d);
         }
+        let executed = Instant::now();
         let (status, body) = match kind.execute(&sys) {
             Ok(json) => (200, json.to_string().into_bytes()),
             Err(e) => (e.status(), e.to_json().to_string().into_bytes()),
         };
+        // Per-engine analysis latency: cache misses only, so the histogram
+        // measures the engine and not the cache.
+        if let Some(label) = kind.engine_label() {
+            job_state.metrics.record_engine(label, executed.elapsed());
+        }
         // Results are deterministic in (system, kind), so failures are as
         // cacheable as successes.
         let response = Arc::new(CachedResponse { status, body });

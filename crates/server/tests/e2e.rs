@@ -95,6 +95,63 @@ fn analyze_and_qs_round_trip_with_byte_identical_cached_repeats() {
     assert!(exposition.contains("lis_requests_total{route=\"analyze\",status=\"200\"}"));
     assert!(exposition.contains("lis_request_seconds_bucket{le=\"+Inf\"}"));
     assert!(exposition.contains("lis_queue_depth"));
+    // Analysis latency is labeled with the (default) engine; cache hits do
+    // not add observations, so exactly the two misses are counted.
+    assert!(exposition.contains("lis_engine_request_seconds_count{engine=\"howard\"} 2"));
+
+    stop(addr, daemon);
+}
+
+#[test]
+fn engine_option_selects_the_engine_and_separates_the_cache() {
+    let (addr, daemon) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let mut means = Vec::new();
+    for engine in ["howard", "karp", "lawler"] {
+        let (status, body) = client
+            .analysis("analyze", FIG1, obj([("engine", Json::str(engine))]))
+            .expect("analyze with engine");
+        assert_eq!(status, 200, "engine {engine}");
+        assert_eq!(body.get("engine").unwrap().as_str(), Some(engine));
+        let practical = body.get("practical_mst").unwrap();
+        means.push((
+            practical.get("num").unwrap().as_u64(),
+            practical.get("den").unwrap().as_u64(),
+        ));
+    }
+    assert!(
+        means.iter().all(|&m| m == (Some(2), Some(3))),
+        "every engine must report the Fig. 1 practical MST, saw {means:?}"
+    );
+
+    // Each engine was a distinct cache entry (no cross-engine hits) and
+    // recorded one observation in its own latency series.
+    let exposition = client.metrics().expect("metrics");
+    let misses = parse_metric(&exposition, "lis_cache_misses_total").expect("misses metric");
+    assert!(misses >= 3.0, "expected >= 3 misses, saw {misses}");
+    for engine in ["howard", "karp", "lawler"] {
+        assert!(
+            exposition.contains(&format!(
+                "lis_engine_request_seconds_count{{engine=\"{engine}\"}} 1"
+            )),
+            "missing latency series for {engine}"
+        );
+    }
+
+    // Unknown engines are a client error, not a crash.
+    let (status, body) = client
+        .analysis("analyze", FIG1, obj([("engine", Json::str("dijkstra"))]))
+        .expect("bad engine request");
+    assert_eq!(status, 400);
+    assert!(body
+        .get("error")
+        .unwrap()
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("unknown MCM engine"));
 
     stop(addr, daemon);
 }

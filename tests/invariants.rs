@@ -194,6 +194,50 @@ proptest! {
         }
     }
 
+    /// Howard policy iteration is bit-identical to the Karp and Lawler
+    /// oracles — same mean AND same critical cycle — on arbitrary live
+    /// marked graphs, both through the serial entry point and the
+    /// per-SCC parallel fan-out.
+    #[test]
+    fn howard_equals_karp_and_lawler(g in arb_marked_graph()) {
+        use lis::marked_graph::mcm::{
+            minimum_cycle_mean_serial_with, minimum_cycle_mean_with, McmEngine,
+        };
+        let karp = minimum_cycle_mean_serial_with(&g, McmEngine::Karp);
+        let lawler = minimum_cycle_mean_serial_with(&g, McmEngine::Lawler);
+        let howard = minimum_cycle_mean_serial_with(&g, McmEngine::Howard);
+        prop_assert_eq!(&karp, &lawler);
+        prop_assert_eq!(&karp, &howard);
+        prop_assert_eq!(&karp, &minimum_cycle_mean_with(&g, McmEngine::Howard));
+    }
+
+    /// Warm-started Howard inside the incremental engine stays exact under
+    /// random token-override sequences: each query matches patching a
+    /// clone and rerunning Karp from scratch, even though consecutive
+    /// solves reuse the previous policy.
+    #[test]
+    fn incremental_howard_warm_start_matches_karp(g in arb_marked_graph(), seed in 0u64..1_000) {
+        use lis::marked_graph::incremental::IncrementalMcm;
+        use lis::marked_graph::mcm::McmEngine;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let places: Vec<_> = g.place_ids().collect();
+        let mut inc = IncrementalMcm::with_engine(&g, McmEngine::Howard);
+        prop_assert_eq!(inc.base_mean(), lis::marked_graph::mcm::karp(&g));
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b9));
+        for _ in 0..10 {
+            let k = rng.gen_range(0..5usize).min(places.len());
+            let overrides: Vec<_> = (0..k)
+                .map(|_| (places[rng.gen_range(0..places.len())], rng.gen_range(0..6u64)))
+                .collect();
+            let mut patched = g.clone();
+            for &(p, tok) in &overrides {
+                patched.set_tokens(p, tok);
+            }
+            prop_assert_eq!(inc.mcm_with_tokens(&overrides), lis::marked_graph::mcm::karp(&patched));
+        }
+    }
+
     /// Ratios: ordering is total and consistent with subtraction sign.
     #[test]
     fn ratio_order_consistency(a in -50i64..50, b in 1i64..20, c in -50i64..50, d in 1i64..20) {
