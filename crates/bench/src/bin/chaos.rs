@@ -1,0 +1,317 @@
+//! Chaos driver for the `lis-server` daemon; records goodput, tail
+//! latency, and recovery behavior under deterministic fault injection
+//! into `results/chaos.txt`.
+//!
+//! Three phases, all against in-process daemons on ephemeral ports:
+//!
+//! 1. **Reference** — a fault-free daemon answers every workload netlist
+//!    once; its 200 bodies are the ground truth (analysis is
+//!    deterministic and content-addressed, so any later correct answer
+//!    must be byte-identical).
+//! 2. **Chaos** — a daemon armed with `--spec` (default
+//!    `panic:0.05,truncate:0.02,garbage:0.01,slow_read:1ms`) serves the
+//!    same workload from `--clients` retrying clients. A request is
+//!    **lost** if, after retries, its final outcome is not a 200 with the
+//!    reference body. The run also proves schedule determinism: two
+//!    plans parsed from the same spec must agree on a decision digest.
+//! 3. **Recovery** — `force_panic_burst(2 × workers)` arms a guaranteed
+//!    panic streak on the daemon's own plan, then fresh (cache-missing)
+//!    requests are driven with a non-retrying prober until one succeeds;
+//!    the span from the first post-burst failure to the first success is
+//!    the recovery time.
+//!
+//! Threshold flags (`--max-lost`, `--require-respawns`) turn the binary
+//! into a CI gate; `--quick` shrinks the workload and skips the results
+//! file.
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use lis_core::to_netlist;
+use lis_gen::{generate, GeneratorConfig, InsertionPolicy};
+use lis_server::wire::{obj, Json};
+use lis_server::{
+    parse_metric, Client, FaultPlan, RetryPolicy, RetryingClient, Server, ServerConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/chaos.txt");
+
+fn netlist(seed: u64) -> String {
+    let cfg = GeneratorConfig {
+        vertices: 10,
+        sccs: 2,
+        min_cycles_per_scc: 2,
+        relay_stations: 2,
+        reconvergent_paths: true,
+        policy: InsertionPolicy::Scc,
+        extra_inter_edges: None,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    to_netlist(&generate(&cfg, &mut rng).system)
+}
+
+fn start(config: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let daemon = std::thread::spawn(move || server.run().expect("daemon run"));
+    (addr, daemon)
+}
+
+fn stop(addr: std::net::SocketAddr, daemon: std::thread::JoinHandle<()>) {
+    let mut admin = Client::connect(addr).expect("connect for shutdown");
+    assert_eq!(admin.shutdown().expect("shutdown"), 200);
+    daemon.join().expect("daemon joined cleanly");
+}
+
+fn analyze_body(netlist: &str) -> String {
+    obj([("netlist", Json::str(netlist))]).to_string()
+}
+
+/// One request's final outcome under chaos: `status == 200` with the
+/// reference body means the fault layer was fully absorbed. A transport
+/// failure after all retries is recorded as status 0.
+struct Outcome {
+    index: usize,
+    status: u16,
+    body: Vec<u8>,
+    latency: Duration,
+}
+
+fn arg<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    match args.iter().position(|a| a == name) {
+        None => default,
+        Some(i) => {
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("{name} needs a value"));
+            v.parse()
+                .unwrap_or_else(|e| panic!("{name}: {e} (got {v:?})"))
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let requests: usize = arg(&args, "--requests", if quick { 200 } else { 500 });
+    let clients: usize = arg(&args, "--clients", 4);
+    let workers: usize = arg(&args, "--workers", 4);
+    let seed: u64 = arg(&args, "--seed", 42);
+    let spec: String = arg(
+        &args,
+        "--spec",
+        format!("panic:0.05,truncate:0.02,garbage:0.01,slow_read:1ms,seed:{seed}"),
+    );
+    let max_lost: u64 = arg(&args, "--max-lost", 0);
+    let require_respawns = args.iter().any(|a| a == "--require-respawns");
+
+    // Distinct netlists: every request is a cache miss on first contact,
+    // so every request reaches the worker pool and draws from the
+    // injected-panic site.
+    let workload: Arc<Vec<String>> = Arc::new((0..requests as u64).map(netlist).collect());
+
+    // Schedule determinism: two plans parsed from one spec must agree on
+    // every decision. The digest also goes into the report so two full
+    // runs of the bench can be compared byte-for-byte.
+    let digest = FaultPlan::parse(&spec)
+        .expect("fault spec")
+        .schedule_digest(1 << 16);
+    assert_eq!(
+        digest,
+        FaultPlan::parse(&spec)
+            .expect("fault spec")
+            .schedule_digest(1 << 16),
+        "two plans from one spec must produce identical fault schedules"
+    );
+
+    // Phase 1: fault-free reference run records the expected bodies.
+    eprintln!("phase 1: fault-free reference run ({requests} requests)");
+    let expected: Vec<Vec<u8>> = {
+        let (addr, daemon) = start(ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let bodies = workload
+            .iter()
+            .map(|n| {
+                let resp = client
+                    .request("POST", "/analyze", analyze_body(n).as_bytes())
+                    .expect("reference request");
+                assert_eq!(resp.status, 200, "reference run must be fault-free");
+                resp.body
+            })
+            .collect();
+        stop(addr, daemon);
+        bodies
+    };
+
+    // Phase 2: the same workload against a fault-injected daemon. The
+    // plan Arc is shared with the daemon so phase 3 can arm a burst.
+    eprintln!("phase 2: chaos run under spec {spec:?}");
+    let plan = Arc::new(FaultPlan::parse(&spec).expect("fault spec"));
+    let (addr, daemon) = start(ServerConfig {
+        workers,
+        faults: Some(Arc::clone(&plan)),
+        ..ServerConfig::default()
+    });
+    let outcomes: Arc<Mutex<Vec<Outcome>>> = Arc::new(Mutex::new(Vec::with_capacity(requests)));
+    let chaos_started = Instant::now();
+    let retries_spent: u64 = {
+        let handles: Vec<_> = (0..clients.max(1))
+            .map(|c| {
+                let workload = Arc::clone(&workload);
+                let outcomes = Arc::clone(&outcomes);
+                std::thread::spawn(move || {
+                    let policy = RetryPolicy {
+                        max_attempts: 6,
+                        seed: c as u64,
+                        ..RetryPolicy::default()
+                    };
+                    let mut client = RetryingClient::connect(addr, policy).expect("connect");
+                    // Requests are striped across clients.
+                    for i in (c..workload.len()).step_by(clients.max(1)) {
+                        let body = analyze_body(&workload[i]);
+                        let started = Instant::now();
+                        let outcome = match client.request("POST", "/analyze", body.as_bytes()) {
+                            Ok(resp) => Outcome {
+                                index: i,
+                                status: resp.status,
+                                body: resp.body,
+                                latency: started.elapsed(),
+                            },
+                            Err(_) => Outcome {
+                                index: i,
+                                status: 0,
+                                body: Vec::new(),
+                                latency: started.elapsed(),
+                            },
+                        };
+                        outcomes.lock().expect("outcomes lock").push(outcome);
+                    }
+                    client.retries_used()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos client"))
+            .sum()
+    };
+    let chaos_elapsed = chaos_started.elapsed();
+
+    let (lost, transport_failures, p50, p99) = {
+        let outcomes = outcomes.lock().expect("outcomes lock");
+        let mut lost = 0u64;
+        let mut transport_failures = 0u64;
+        for o in outcomes.iter() {
+            if o.status == 0 {
+                transport_failures += 1;
+                lost += 1;
+            } else if o.status != 200 || o.body != expected[o.index] {
+                lost += 1;
+            }
+        }
+        let mut latencies: Vec<Duration> = outcomes.iter().map(|o| o.latency).collect();
+        latencies.sort_unstable();
+        let pick = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+        (lost, transport_failures, pick(0.50), pick(0.99))
+    };
+    let answered = requests as u64 - lost;
+    let goodput = answered as f64 / chaos_elapsed.as_secs_f64().max(1e-9);
+
+    // Phase 3: recovery after a guaranteed panic burst. Fresh netlists
+    // (cache misses) ensure the burst is consumed by real jobs; a
+    // non-retrying prober observes the raw failure streak.
+    eprintln!("phase 3: forced panic burst ({} jobs)", 2 * workers);
+    plan.force_panic_burst(2 * workers as u64);
+    let recovery_ms = {
+        let mut prober = RetryingClient::connect(addr, RetryPolicy::none()).expect("connect");
+        let mut first_failure: Option<Instant> = None;
+        let mut recovery = None;
+        for i in 0..10_000u64 {
+            let fresh = netlist(9_000_000 + i);
+            let body = analyze_body(&fresh);
+            let ok = matches!(
+                prober.request("POST", "/analyze", body.as_bytes()),
+                Ok(resp) if resp.status == 200
+            );
+            match (ok, first_failure) {
+                (false, None) => first_failure = Some(Instant::now()),
+                (true, Some(at)) => {
+                    recovery = Some(at.elapsed());
+                    break;
+                }
+                _ => {}
+            }
+        }
+        recovery.map(|d| d.as_secs_f64() * 1e3)
+    };
+
+    let mut admin = Client::connect(addr).expect("connect");
+    let exposition = admin.metrics().expect("metrics");
+    let panics = parse_metric(&exposition, "lis_worker_panics_total").unwrap_or(0.0);
+    let respawns = parse_metric(&exposition, "lis_worker_respawns_total").unwrap_or(0.0);
+    let injected = parse_metric(&exposition, "lis_faults_injected_total").unwrap_or(0.0);
+    stop(addr, daemon);
+
+    let mut report = String::new();
+    writeln!(
+        report,
+        "lis-server chaos run\n\
+         ====================\n\
+         fault spec: {spec}\n\
+         schedule digest (64k draws): {digest:#018x}  [identical across runs of this seed]\n\
+         workload: {requests} distinct netlists on /analyze, {clients} retrying client(s),\n\
+         {workers} worker(s). Reference bodies come from a fault-free daemon; a request\n\
+         counts as lost only if its final outcome differs from the reference.\n\
+         Regenerate with:\n\
+         \x20   cargo run --release -p lis-bench --bin chaos\n",
+    )
+    .expect("write to String");
+    writeln!(
+        report,
+        "answered identically: {answered:>8} / {requests}\n\
+         lost requests:        {lost:>8}   (transport-level: {transport_failures})\n\
+         retries spent:        {retries_spent:>8}\n\
+         goodput:              {goodput:>8.0} req/s under chaos\n\
+         latency p50 / p99:    {:>8.2} ms / {:.2} ms\n\
+         worker panics:        {panics:>8.0}\n\
+         worker respawns:      {respawns:>8.0}\n\
+         faults injected:      {injected:>8.0}\n\
+         recovery after burst: {}",
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+        recovery_ms.map_or(
+            "n/a (burst absorbed without a visible failure)".to_string(),
+            |ms| format!("{ms:.1} ms (first failure -> next success)"),
+        ),
+    )
+    .expect("write to String");
+
+    if !quick {
+        std::fs::write(OUT_PATH, &report).expect("write results/chaos.txt");
+        eprintln!("wrote {OUT_PATH}");
+    }
+    print!("{report}");
+
+    let mut failed = false;
+    if lost > max_lost {
+        eprintln!("FAIL: {lost} lost request(s), more than the allowed {max_lost}");
+        failed = true;
+    }
+    if require_respawns && respawns < 1.0 {
+        eprintln!("FAIL: no worker respawns recorded; fault injection never fired");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

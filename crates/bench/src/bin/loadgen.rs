@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use lis_core::to_netlist;
 use lis_gen::{generate, GeneratorConfig, InsertionPolicy};
 use lis_server::wire::{obj, Json};
-use lis_server::{parse_metric, Client, Server, ServerConfig};
+use lis_server::{parse_metric, Client, RetryPolicy, RetryingClient, Server, ServerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -53,6 +53,7 @@ struct ClientStats {
     ok: u64,
     rejected: u64,
     errors: u64,
+    retries: u64,
 }
 
 fn run_client(
@@ -67,8 +68,17 @@ fn run_client(
         ok: 0,
         rejected: 0,
         errors: 0,
+        retries: 0,
     };
-    let mut client = Client::connect(addr).expect("connect to in-process daemon");
+    // Transport-only retries: shed 503s / timed-out 504s are part of what
+    // this driver measures, so statuses are never retried — but a reset
+    // keep-alive stream is re-established under the policy instead of by
+    // hand, with a per-client jitter seed.
+    let policy = RetryPolicy {
+        seed: id,
+        ..RetryPolicy::io_only()
+    };
+    let mut client = RetryingClient::connect(addr, policy).expect("connect to in-process daemon");
     let mut i = 0u64;
     while Instant::now() < deadline {
         i += 1;
@@ -96,16 +106,10 @@ fn run_client(
             Ok(resp) if resp.status == 200 => stats.ok += 1,
             Ok(resp) if resp.status == 503 || resp.status == 504 => stats.rejected += 1,
             Ok(_) => stats.errors += 1,
-            Err(_) => {
-                stats.errors += 1;
-                // Keep-alive stream poisoned; reconnect and continue.
-                match Client::connect(addr) {
-                    Ok(c) => client = c,
-                    Err(_) => break,
-                }
-            }
+            Err(_) => stats.errors += 1,
         }
     }
+    stats.retries = client.retries_used();
     stats
 }
 
@@ -183,6 +187,7 @@ fn main() {
     let ok: u64 = stats.iter().map(|s| s.ok).sum();
     let rejected: u64 = stats.iter().map(|s| s.rejected).sum();
     let errors: u64 = stats.iter().map(|s| s.errors).sum();
+    let retries: u64 = stats.iter().map(|s| s.retries).sum();
     let rps = requests as f64 / elapsed.as_secs_f64();
     let success = if requests > 0 {
         ok as f64 / requests as f64
@@ -218,7 +223,7 @@ fn main() {
         "requests:      {requests:>10}   ({rps:>10.0} req/s)\n\
          success (200): {ok:>10}   ({:>9.2}% of requests)\n\
          shed/timeout:  {rejected:>10}   (server-side shed counter: {shed:.0})\n\
-         client errors: {errors:>10}\n\
+         client errors: {errors:>10}   (transport retries spent: {retries})\n\
          cache hits:    {:>10.0}   misses: {:.0}   hit rate: {:.2}%",
         100.0 * success,
         hits,

@@ -23,11 +23,16 @@ analysis commands (local, netlist from a file):
   dot      <netlist> [--doubled]
 
 server commands (analysis as a service):
-  serve  <addr> [--queue N] [--cache N] [--timeout-ms N]
-                                         run the analysis daemon on addr
-                                         (e.g. 127.0.0.1:7171)
+  serve  <addr> [--queue N] [--cache N] [--timeout-ms N] [--max-conns N]
+                [--faults SPEC]          run the analysis daemon on addr
+                                         (e.g. 127.0.0.1:7171); --faults (or
+                                         the LIS_FAULTS env var) arms
+                                         deterministic fault injection, e.g.
+                                         panic:0.01,slow_read:5ms,truncate:0.02
   client <addr> analyze|qs|insert|dot <netlist> [--exact] [--budget N] [--doubled]
                                          run one request against a daemon
+                                         (transient failures are retried;
+                                         --retries N caps them, default 3)
   client <addr> metrics                  print the Prometheus exposition
   client <addr> shutdown                 drain the daemon and stop it
 
@@ -114,19 +119,32 @@ fn serve(rest: &[String]) -> CliResult {
         return Err(format!("serve needs a listen address\n{USAGE}").into());
     };
     let rest = &rest[1..];
+    // --faults wins over the LIS_FAULTS environment variable.
+    let fault_spec = Some(option(rest, "--faults", String::new())?)
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("LIS_FAULTS").ok().filter(|s| !s.is_empty()));
+    let faults = fault_spec
+        .as_deref()
+        .map(|spec| lis_server::FaultPlan::parse(spec).map(std::sync::Arc::new))
+        .transpose()
+        .map_err(|e| format!("--faults: {e}"))?;
     let config = lis_server::ServerConfig {
         workers: lis_par::max_threads(),
         queue_capacity: option(rest, "--queue", 256usize)?,
         cache_capacity: option(rest, "--cache", 4096usize)?,
         request_timeout: std::time::Duration::from_millis(option(rest, "--timeout-ms", 30_000u64)?),
+        max_connections: option(rest, "--max-conns", 1024usize)?,
+        faults,
         ..lis_server::ServerConfig::default()
     };
     let workers = config.workers;
+    let chaos = config.faults.is_some();
     let server = lis_server::Server::bind(addr.as_str(), config)?;
     println!(
-        "lis-server listening on {} ({} worker(s); POST /shutdown to stop)",
+        "lis-server listening on {} ({} worker(s){}; POST /shutdown to stop)",
         server.local_addr()?,
-        workers
+        workers,
+        if chaos { "; FAULT INJECTION ARMED" } else { "" }
     );
     server.run()?;
     println!("lis-server drained and stopped");
@@ -134,11 +152,16 @@ fn serve(rest: &[String]) -> CliResult {
 }
 
 fn client_cmd(rest: &[String], engine: McmEngine) -> CliResult {
-    use lis_server::{Client, Json};
+    use lis_server::{Json, RetryPolicy, RetryingClient};
     let (Some(addr), Some(cmd)) = (rest.first(), rest.get(1)) else {
         return Err(format!("client needs an address and a command\n{USAGE}").into());
     };
-    let mut client = Client::connect(addr.as_str())?;
+    let retries: u32 = option(rest, "--retries", 3u32)?;
+    let policy = RetryPolicy {
+        max_attempts: retries.saturating_add(1),
+        ..RetryPolicy::default()
+    };
+    let mut client = RetryingClient::connect(addr.as_str(), policy)?;
     match cmd.as_str() {
         "metrics" => {
             print!("{}", client.metrics()?);
@@ -628,12 +651,29 @@ mod tests {
         ])
         .expect("client qs --exact");
         dispatch(&["client".into(), addr.to_string(), "metrics".into()]).expect("client metrics");
+        dispatch(&[
+            "client".into(),
+            addr.to_string(),
+            "analyze".into(),
+            path.to_str().into(),
+            "--retries".into(),
+            "0".into(),
+        ])
+        .expect("client analyze --retries 0");
 
         // Bad usage surfaces as errors, not panics.
         assert!(dispatch(&["client".into()]).is_err());
         assert!(dispatch(&["client".into(), addr.to_string(), "frobnicate".into()]).is_err());
         assert!(dispatch(&["client".into(), addr.to_string(), "analyze".into()]).is_err());
         assert!(dispatch(&["serve".into()]).is_err());
+        // A malformed fault spec is rejected before the daemon binds.
+        assert!(dispatch(&[
+            "serve".into(),
+            "127.0.0.1:0".into(),
+            "--faults".into(),
+            "panic:moose".into(),
+        ])
+        .is_err());
 
         dispatch(&["client".into(), addr.to_string(), "shutdown".into()]).expect("client shutdown");
         daemon.join().expect("daemon").expect("clean exit");

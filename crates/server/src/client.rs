@@ -3,6 +3,12 @@
 //!
 //! One [`Client`] owns one persistent (keep-alive) connection; requests on
 //! it are strictly sequential. Drop the client to close the connection.
+//!
+//! [`RetryingClient`] wraps the same API in a [`RetryPolicy`]: transient
+//! failures (connection reset, shed 503, timed-out 504, crashed-worker
+//! 500) are retried with seeded, jittered exponential backoff and the
+//! connection is re-established as needed. Client errors (400/422) are
+//! **never** retried — resending a malformed netlist cannot fix it.
 
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -105,5 +111,342 @@ impl Client {
     /// Propagates I/O errors.
     pub fn shutdown(&mut self) -> io::Result<u16> {
         Ok(self.request("POST", "/shutdown", b"")?.status)
+    }
+}
+
+/// When and how [`RetryingClient`] retries a failed request.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    /// Cap on any single backoff delay.
+    pub max_delay: Duration,
+    /// Response statuses worth retrying. Defaults to 500 (crashed worker),
+    /// 503 (shed/draining), and 504 (deadline) — all transient server
+    /// states. 400/422 are deliberately absent: client errors never heal.
+    pub retry_statuses: Vec<u16>,
+    /// Total retries this client may spend across its lifetime. A retry
+    /// *budget*, so a persistently failing server degrades to fail-fast
+    /// instead of amplifying load.
+    pub budget: u64,
+    /// Seed for the backoff jitter (deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(3),
+            max_delay: Duration::from_millis(250),
+            retry_statuses: vec![500, 503, 504],
+            budget: 1024,
+            seed: 0x5eed_0f2e_7241_e500,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retries: every request gets exactly one attempt.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            retry_statuses: Vec::new(),
+            budget: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Retries transport failures only; every HTTP status is final. For
+    /// drivers (like `loadgen`) that account shed/timeout statuses
+    /// themselves.
+    pub fn io_only() -> RetryPolicy {
+        RetryPolicy {
+            retry_statuses: Vec::new(),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The jittered exponential backoff before retry number `retry`
+    /// (1-based): `min(max, base · 2^(retry-1))` scaled by a seeded factor
+    /// in `[0.5, 1.0)` so synchronized clients desynchronize.
+    fn backoff(&self, retry: u32, rng_state: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (retry - 1).min(16))
+            .min(self.max_delay);
+        exp.mul_f64(0.5 + 0.5 * next_unit(rng_state))
+    }
+}
+
+/// SplitMix64 step, for dependency-free jitter.
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn next_unit(state: &mut u64) -> f64 {
+    (next_u64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Transport failures that a fresh connection can plausibly fix. Requests
+/// to the daemon are idempotent (analysis is deterministic and cached), so
+/// resending after a reset, truncation (`UnexpectedEof`), or garbled
+/// response (`InvalidData` from the HTTP parser) is always safe.
+fn is_retryable_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::InvalidData
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
+
+/// A [`Client`] wrapped in a [`RetryPolicy`]: reconnects after transport
+/// failures and retries transient statuses with jittered backoff.
+pub struct RetryingClient {
+    addr: std::net::SocketAddr,
+    policy: RetryPolicy,
+    client: Option<Client>,
+    rng_state: u64,
+    retries_used: u64,
+}
+
+impl RetryingClient {
+    /// Connects to a daemon. The initial connection is itself retried
+    /// under the policy.
+    ///
+    /// # Errors
+    ///
+    /// Address-resolution failures, or connection errors once the retry
+    /// budget is spent.
+    pub fn connect(addr: impl ToSocketAddrs, policy: RetryPolicy) -> io::Result<RetryingClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address to connect"))?;
+        let rng_state = policy.seed;
+        let mut client = RetryingClient {
+            addr,
+            policy,
+            client: None,
+            rng_state,
+            retries_used: 0,
+        };
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match client.ensure_connected().err() {
+                None => return Ok(client),
+                Some(e) if is_retryable_io(&e) && client.may_retry(attempt) => {
+                    client.pause(attempt);
+                }
+                Some(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Retries spent so far (across all requests).
+    pub fn retries_used(&self) -> u64 {
+        self.retries_used
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<&mut Client> {
+        if self.client.is_none() {
+            self.client = Some(Client::connect(self.addr)?);
+        }
+        Ok(self.client.as_mut().expect("client just ensured"))
+    }
+
+    fn may_retry(&self, attempt: u32) -> bool {
+        attempt < self.policy.max_attempts && self.retries_used < self.policy.budget
+    }
+
+    /// Burns one unit of retry budget and sleeps the backoff for `attempt`.
+    fn pause(&mut self, attempt: u32) {
+        self.retries_used += 1;
+        std::thread::sleep(self.policy.backoff(attempt, &mut self.rng_state));
+    }
+
+    /// Sends one request, retrying per the policy.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error, once attempts or budget run out;
+    /// non-retryable errors immediately.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let outcome = self
+                .ensure_connected()
+                .and_then(|c| c.request(method, path, body));
+            match outcome {
+                Ok(response) if self.policy.retry_statuses.contains(&response.status) => {
+                    // The server answered coherently: the connection is
+                    // still good, only the status says "come back later".
+                    if !self.may_retry(attempt) {
+                        return Ok(response);
+                    }
+                }
+                Ok(response) => return Ok(response),
+                Err(e) if is_retryable_io(&e) => {
+                    // Transport failure: the connection is suspect. Drop it
+                    // and reconnect on the next attempt.
+                    self.client = None;
+                    if !self.may_retry(attempt) {
+                        return Err(e);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+            self.pause(attempt);
+        }
+    }
+
+    /// POSTs a JSON value, with retries. See [`Client::post_json`].
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::request`]; a well-framed non-JSON body is
+    /// [`io::ErrorKind::InvalidData`] without further retries.
+    pub fn post_json(&mut self, path: &str, body: &Json) -> io::Result<(u16, Json)> {
+        let response = self.request("POST", path, body.to_string().as_bytes())?;
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))?;
+        let json = Json::parse(text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("non-JSON response body: {e}"),
+            )
+        })?;
+        Ok((response.status, json))
+    }
+
+    /// Issues an analysis request, with retries. See [`Client::analysis`].
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::post_json`].
+    pub fn analysis(
+        &mut self,
+        route: &str,
+        netlist: &str,
+        options: Json,
+    ) -> io::Result<(u16, Json)> {
+        let body = obj([("netlist", Json::str(netlist)), ("options", options)]);
+        self.post_json(&format!("/{route}"), &body)
+    }
+
+    /// Fetches `GET /metrics`, with transport retries. See
+    /// [`Client::metrics`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::metrics`].
+    pub fn metrics(&mut self) -> io::Result<String> {
+        let response = self.request("GET", "/metrics", b"")?;
+        if response.status != 200 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("/metrics answered {}", response.status),
+            ));
+        }
+        String::from_utf8(response.body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 metrics"))
+    }
+
+    /// Asks the daemon to drain and exit — exactly once, never retried:
+    /// shutdown is a control-plane action whose duplicate delivery during
+    /// a drain would just be noise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn shutdown(&mut self) -> io::Result<u16> {
+        Ok(self
+            .ensure_connected()?
+            .request("POST", "/shutdown", b"")?
+            .status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_capped_and_jittered() {
+        let policy = RetryPolicy::default();
+        let mut state = policy.seed;
+        let d1 = policy.backoff(1, &mut state);
+        let d8 = policy.backoff(8, &mut state);
+        // Jitter keeps every delay in [half, full) of the exponential step.
+        assert!(d1 >= policy.base_delay / 2 && d1 < policy.base_delay);
+        assert!(
+            d8 >= policy.max_delay / 2 && d8 < policy.max_delay,
+            "{d8:?}"
+        );
+        // Huge retry counts saturate instead of overflowing the shift.
+        let _ = policy.backoff(64, &mut state);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let (mut a, mut b) = (policy.seed, policy.seed);
+        for retry in 1..=10 {
+            assert_eq!(policy.backoff(retry, &mut a), policy.backoff(retry, &mut b));
+        }
+        let mut c = policy.seed ^ 1;
+        let schedule_a: Vec<_> = (1..=10).map(|r| policy.backoff(r, &mut a)).collect();
+        let schedule_c: Vec<_> = (1..=10).map(|r| policy.backoff(r, &mut c)).collect();
+        assert_ne!(
+            schedule_a, schedule_c,
+            "different seeds should jitter apart"
+        );
+    }
+
+    #[test]
+    fn client_errors_are_never_in_the_default_retry_set() {
+        let policy = RetryPolicy::default();
+        assert!(policy.retry_statuses.contains(&500));
+        assert!(policy.retry_statuses.contains(&503));
+        assert!(policy.retry_statuses.contains(&504));
+        assert!(!policy.retry_statuses.contains(&400));
+        assert!(!policy.retry_statuses.contains(&422));
+        assert!(RetryPolicy::none().retry_statuses.is_empty());
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert!(RetryPolicy::io_only().retry_statuses.is_empty());
+        assert!(RetryPolicy::io_only().max_attempts > 1);
+    }
+
+    #[test]
+    fn io_error_classification() {
+        for kind in [
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::InvalidData,
+        ] {
+            assert!(is_retryable_io(&io::Error::new(kind, "x")), "{kind:?}");
+        }
+        for kind in [
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::AddrInUse,
+            io::ErrorKind::InvalidInput,
+        ] {
+            assert!(!is_retryable_io(&io::Error::new(kind, "x")), "{kind:?}");
+        }
     }
 }

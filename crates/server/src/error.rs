@@ -34,6 +34,22 @@ pub enum ServerError {
     },
     /// The daemon is draining for shutdown → 503.
     ShuttingDown,
+    /// The worker executing this request panicked; the job was isolated
+    /// and the worker respawned, but this result is lost → 500. Safe to
+    /// retry: the request never produced a cached result.
+    WorkerCrashed,
+    /// The connection was rejected because the concurrent-connection cap
+    /// was reached → 429.
+    TooManyConnections {
+        /// The configured connection limit.
+        limit: usize,
+    },
+    /// The client fed bytes too slowly and ran past the per-request read
+    /// deadline (slow-loris defense) → 408.
+    SlowClient {
+        /// The read deadline that was exceeded, in milliseconds.
+        deadline_ms: u64,
+    },
     /// No such route → 404.
     NotFound(String),
     /// Route exists but not with this method → 405.
@@ -48,6 +64,9 @@ impl ServerError {
             ServerError::Analysis(_) => 422,
             ServerError::Timeout { .. } => 504,
             ServerError::Overloaded { .. } | ServerError::ShuttingDown => 503,
+            ServerError::WorkerCrashed => 500,
+            ServerError::TooManyConnections { .. } => 429,
+            ServerError::SlowClient { .. } => 408,
             ServerError::NotFound(_) => 404,
             ServerError::MethodNotAllowed => 405,
         }
@@ -62,6 +81,9 @@ impl ServerError {
             ServerError::Timeout { .. } => "timeout",
             ServerError::Overloaded { .. } => "overloaded",
             ServerError::ShuttingDown => "shutting_down",
+            ServerError::WorkerCrashed => "worker_crashed",
+            ServerError::TooManyConnections { .. } => "too_many_connections",
+            ServerError::SlowClient { .. } => "slow_client",
             ServerError::NotFound(_) => "not_found",
             ServerError::MethodNotAllowed => "method_not_allowed",
         }
@@ -90,6 +112,12 @@ impl ServerError {
                     Json::num(*queue_capacity as f64),
                 ));
             }
+            ServerError::TooManyConnections { limit } => {
+                fields.push(("limit".to_string(), Json::num(*limit as f64)));
+            }
+            ServerError::SlowClient { deadline_ms } => {
+                fields.push(("deadline_ms".to_string(), Json::num(*deadline_ms as f64)));
+            }
             _ => {}
         }
         obj([("error", Json::Obj(fields))])
@@ -110,6 +138,17 @@ impl fmt::Display for ServerError {
                 "worker queue full ({queue_capacity} jobs); request shed, retry later"
             ),
             ServerError::ShuttingDown => write!(f, "server is draining for shutdown"),
+            ServerError::WorkerCrashed => write!(
+                f,
+                "analysis worker crashed mid-job; the worker was respawned, retry the request"
+            ),
+            ServerError::TooManyConnections { limit } => {
+                write!(f, "connection limit reached ({limit}); retry later")
+            }
+            ServerError::SlowClient { deadline_ms } => write!(
+                f,
+                "request not received within the {deadline_ms} ms read deadline"
+            ),
             ServerError::NotFound(path) => write!(f, "no such route {path:?}"),
             ServerError::MethodNotAllowed => write!(f, "method not allowed on this route"),
         }
@@ -142,6 +181,17 @@ mod tests {
                 "overloaded",
             ),
             (ServerError::ShuttingDown, 503, "shutting_down"),
+            (ServerError::WorkerCrashed, 500, "worker_crashed"),
+            (
+                ServerError::TooManyConnections { limit: 8 },
+                429,
+                "too_many_connections",
+            ),
+            (
+                ServerError::SlowClient { deadline_ms: 100 },
+                408,
+                "slow_client",
+            ),
             (ServerError::NotFound("/x".into()), 404, "not_found"),
             (ServerError::MethodNotAllowed, 405, "method_not_allowed"),
         ];
@@ -189,6 +239,24 @@ mod tests {
                 .unwrap()
                 .as_u64(),
             Some(250)
+        );
+    }
+
+    #[test]
+    fn connection_and_read_limits_carry_their_parameters() {
+        let capped = ServerError::TooManyConnections { limit: 128 }.to_json();
+        assert_eq!(
+            capped.get("error").unwrap().get("limit").unwrap().as_u64(),
+            Some(128)
+        );
+        let slow = ServerError::SlowClient { deadline_ms: 750 }.to_json();
+        assert_eq!(
+            slow.get("error")
+                .unwrap()
+                .get("deadline_ms")
+                .unwrap()
+                .as_u64(),
+            Some(750)
         );
     }
 }

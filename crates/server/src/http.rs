@@ -11,7 +11,8 @@
 //! (request/status line + headers) may not exceed [`MAX_HEAD_BYTES`] and
 //! bodies may not exceed [`MAX_BODY_BYTES`].
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
+use std::time::Instant;
 
 /// Maximum bytes of request/status line plus headers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -77,7 +78,9 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -135,15 +138,24 @@ fn parse_headers(lines: &[String]) -> io::Result<Vec<(String, String)>> {
 }
 
 fn read_body(reader: &mut impl BufRead, headers: &[(String, String)]) -> io::Result<Vec<u8>> {
-    let length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| {
-            v.parse::<usize>()
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))
-        })
-        .transpose()?
-        .unwrap_or(0);
+    // Conflicting duplicate Content-Length headers are a request-smuggling
+    // vector: reject them rather than silently taking the first.
+    let mut length: Option<usize> = None;
+    for (k, v) in headers {
+        if k == "content-length" {
+            let n = v
+                .parse::<usize>()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?;
+            if length.is_some_and(|prev| prev != n) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "conflicting Content-Length headers",
+                ));
+            }
+            length = Some(n);
+        }
+    }
+    let length = length.unwrap_or(0);
     if length > MAX_BODY_BYTES {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
     }
@@ -238,6 +250,21 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
     })
 }
 
+/// Renders a complete response (head + body) to a byte buffer, with
+/// `Content-Length` framing. [`write_response`] sends exactly these bytes;
+/// the fault injector slices them to simulate a truncated peer.
+pub fn render_response(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut wire = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        reason(status),
+        body.len(),
+    )
+    .into_bytes();
+    wire.extend_from_slice(body);
+    wire
+}
+
 /// Writes a complete response, with `Content-Length` framing.
 ///
 /// # Errors
@@ -250,15 +277,72 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
-    let connection = if keep_alive { "keep-alive" } else { "close" };
-    write!(
-        writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
-        reason(status),
-        body.len(),
-    )?;
-    writer.write_all(body)?;
+    writer.write_all(&render_response(status, content_type, body, keep_alive))?;
     writer.flush()
+}
+
+/// A [`BufRead`] adapter that bounds how long one request may take to
+/// arrive — the slow-loris defense.
+///
+/// The wrapped stream must have a short socket read timeout (the server
+/// uses its idle-poll interval): each `WouldBlock`/`TimedOut` from the
+/// inner reader is retried until the wall-clock `deadline`, after which
+/// reads fail with [`io::ErrorKind::TimedOut`]. A peer that trickles one
+/// header byte per poll therefore cannot pin a connection handler for
+/// longer than the deadline, no matter how patient the socket timeout is.
+pub struct DeadlineReader<R> {
+    inner: R,
+    deadline: Instant,
+}
+
+impl<R: BufRead> DeadlineReader<R> {
+    /// Wraps `inner`; all reads must complete before `deadline`.
+    pub fn new(inner: R, deadline: Instant) -> DeadlineReader<R> {
+        DeadlineReader { inner, deadline }
+    }
+}
+
+impl<R: BufRead> Read for DeadlineReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let available = self.fill_buf()?;
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl<R: BufRead> BufRead for DeadlineReader<R> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        loop {
+            // Probe, then re-borrow: returning the borrow from inside the
+            // match would hold `self.inner` across the loop.
+            match self.inner.fill_buf() {
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if Instant::now() >= self.deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "request read deadline exceeded",
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.inner.consume(amt);
+    }
 }
 
 /// Writes a complete request, with `Content-Length` framing when a body is
@@ -344,6 +428,7 @@ mod tests {
             b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
             b"POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n",
             b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nhello",
         ];
         for wire in cases {
             let err = read_request(&mut BufReader::new(&wire[..])).unwrap_err();
@@ -369,10 +454,65 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_but_agreeing_content_lengths_are_tolerated() {
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
     fn reason_phrases_cover_the_emitted_codes() {
-        for code in [200, 400, 404, 405, 413, 422, 500, 503, 504] {
+        for code in [200, 400, 404, 405, 408, 413, 422, 429, 500, 503, 504] {
             assert_ne!(reason(code), "Unknown", "{code}");
         }
         assert_eq!(reason(299), "Unknown");
+    }
+
+    #[test]
+    fn render_response_matches_write_response_byte_for_byte() {
+        let mut written = Vec::new();
+        write_response(&mut written, 200, "application/json", b"{\"t\":1}", true).unwrap();
+        assert_eq!(
+            written,
+            render_response(200, "application/json", b"{\"t\":1}", true)
+        );
+    }
+
+    /// A reader that stalls forever, as a socket with a read timeout does.
+    struct Stall;
+
+    impl Read for Stall {
+        fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::WouldBlock, "stall"))
+        }
+    }
+
+    impl BufRead for Stall {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            Err(io::Error::new(io::ErrorKind::WouldBlock, "stall"))
+        }
+        fn consume(&mut self, _amt: usize) {}
+    }
+
+    #[test]
+    fn deadline_reader_times_out_a_stalled_peer() {
+        let deadline = Instant::now() + std::time::Duration::from_millis(10);
+        let mut reader = DeadlineReader::new(Stall, deadline);
+        let err = read_request(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn deadline_reader_passes_prompt_requests_through() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/analyze", b"{\"x\":1}").unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        let mut reader = DeadlineReader::new(BufReader::new(&wire[..]), deadline);
+        let req = read_request(&mut reader).unwrap().expect("one request");
+        assert_eq!(req.path, "/analyze");
+        assert_eq!(req.body, b"{\"x\":1}");
+        assert!(read_request(&mut reader).unwrap().is_none(), "clean EOF");
     }
 }

@@ -17,7 +17,14 @@
 //!   counters by route and status, cache hit/miss, queue depth, and a
 //!   request-latency histogram ([`metrics`]);
 //! * [`Client`] — the blocking keep-alive client behind `lis client` and
-//!   the `loadgen` workload driver.
+//!   the `loadgen` workload driver — and [`RetryingClient`], the same API
+//!   under a seeded [`RetryPolicy`] (jittered exponential backoff on
+//!   transport failures and transient statuses, never on 400/422);
+//! * chaos hardening ([`fault`]): a deterministic, seeded [`FaultPlan`]
+//!   (`LIS_FAULTS` / `lis serve --faults`) injects worker panics, slow
+//!   reads, truncated and garbled responses; workers isolate jobs with
+//!   `catch_unwind` and respawn on panic, slow-loris peers get a typed
+//!   408, and a connection cap answers 429.
 //!
 //! # Wire protocol
 //!
@@ -61,6 +68,7 @@
 pub mod cache;
 mod client;
 mod error;
+pub mod fault;
 pub mod http;
 mod jobs;
 pub mod metrics;
@@ -69,11 +77,12 @@ mod server;
 pub mod wire;
 
 pub use cache::{CacheKey, CachedResponse, ResultCache};
-pub use client::Client;
+pub use client::{Client, RetryPolicy, RetryingClient};
 pub use error::ServerError;
+pub use fault::{FaultPlan, WriteFault};
 pub use jobs::RequestKind;
 pub use metrics::{parse_metric, Metrics, Route};
-pub use pool::{SubmitError, WorkerPool};
+pub use pool::{DrainReport, SubmitError, WorkerPool};
 pub use server::{Server, ServerConfig};
 pub use wire::{Json, JsonError};
 
@@ -91,5 +100,8 @@ mod tests {
         assert_traits::<ResultCache>();
         assert_traits::<WorkerPool>();
         assert_traits::<ServerConfig>();
+        assert_traits::<FaultPlan>();
+        assert_traits::<RetryPolicy>();
+        assert_traits::<RetryingClient>();
     }
 }

@@ -60,7 +60,7 @@ impl Route {
 }
 
 /// The status classes tracked per-counter.
-const STATUSES: [u16; 9] = [200, 400, 404, 405, 413, 422, 500, 503, 504];
+const STATUSES: [u16; 11] = [200, 400, 404, 405, 408, 413, 422, 429, 500, 503, 504];
 
 fn status_slot(status: u16) -> usize {
     STATUSES
@@ -164,6 +164,14 @@ pub struct Metrics {
     pub shed_total: AtomicU64,
     /// Requests that hit the per-request timeout.
     pub timeouts_total: AtomicU64,
+    /// Worker jobs that panicked (mirrored from the pool on scrape).
+    pub worker_panics: AtomicU64,
+    /// Replacement workers spawned after panics (mirrored from the pool).
+    pub worker_respawns: AtomicU64,
+    /// Faults injected by the active [`crate::fault::FaultPlan`], if any.
+    pub faults_injected: AtomicU64,
+    /// Connections rejected at the concurrent-connection cap.
+    pub connections_rejected: AtomicU64,
     /// End-to-end request latency (receipt to response write).
     pub latency: Histogram,
     /// Analysis-execution latency per MCM engine (cache misses on the
@@ -262,6 +270,30 @@ impl Metrics {
             "lis_timeouts_total {}",
             self.timeouts_total.load(Ordering::Relaxed)
         );
+        let _ = writeln!(out, "# TYPE lis_worker_panics_total counter");
+        let _ = writeln!(
+            out,
+            "lis_worker_panics_total {}",
+            self.worker_panics.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# TYPE lis_worker_respawns_total counter");
+        let _ = writeln!(
+            out,
+            "lis_worker_respawns_total {}",
+            self.worker_respawns.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# TYPE lis_faults_injected_total counter");
+        let _ = writeln!(
+            out,
+            "lis_faults_injected_total {}",
+            self.faults_injected.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# TYPE lis_connections_rejected_total counter");
+        let _ = writeln!(
+            out,
+            "lis_connections_rejected_total {}",
+            self.connections_rejected.load(Ordering::Relaxed)
+        );
         self.latency.render(&mut out, "lis_request_seconds");
         if self.engine_latency.iter().any(|h| h.count() > 0) {
             let _ = writeln!(out, "# TYPE lis_engine_request_seconds histogram");
@@ -313,6 +345,35 @@ mod tests {
         let m = Metrics::new();
         m.record_request(Route::Dot, 299, Duration::ZERO);
         assert_eq!(m.requests_for(Route::Dot, 500), 1);
+    }
+
+    #[test]
+    fn chaos_statuses_have_their_own_cells() {
+        let m = Metrics::new();
+        m.record_request(Route::Analyze, 408, Duration::ZERO);
+        m.record_request(Route::Other, 429, Duration::ZERO);
+        assert_eq!(m.requests_for(Route::Analyze, 408), 1);
+        assert_eq!(m.requests_for(Route::Other, 429), 1);
+        // Neither leaked into the 500 fallback cell.
+        assert_eq!(m.requests_for(Route::Analyze, 500), 0);
+        assert_eq!(m.requests_for(Route::Other, 500), 0);
+    }
+
+    #[test]
+    fn robustness_counters_render() {
+        let m = Metrics::new();
+        m.worker_panics.store(3, Ordering::Relaxed);
+        m.worker_respawns.store(3, Ordering::Relaxed);
+        m.faults_injected.store(7, Ordering::Relaxed);
+        m.connections_rejected.store(2, Ordering::Relaxed);
+        let text = m.render();
+        assert_eq!(parse_metric(&text, "lis_worker_panics_total"), Some(3.0));
+        assert_eq!(parse_metric(&text, "lis_worker_respawns_total"), Some(3.0));
+        assert_eq!(parse_metric(&text, "lis_faults_injected_total"), Some(7.0));
+        assert_eq!(
+            parse_metric(&text, "lis_connections_rejected_total"),
+            Some(2.0)
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! A bounded worker pool with overload shedding and graceful drain.
+//! A bounded worker pool with overload shedding, panic isolation, and
+//! graceful drain.
 //!
 //! Analysis jobs are CPU-bound, so the pool runs a fixed number of worker
 //! threads (sized from [`lis_par::max_threads`] by default — the same knob
@@ -8,12 +9,21 @@
 //! keeps tail latency bounded under overload instead of letting the queue
 //! grow without limit.
 //!
+//! Jobs are isolated with `catch_unwind`: a panicking job takes down only
+//! itself. The worker that caught it retires (its thread-local state is
+//! suspect after an arbitrary unwind) and — unless the pool is draining —
+//! spawns a fresh replacement before exiting, so capacity is restored
+//! without the submitter noticing. [`WorkerPool::panics`] and
+//! [`WorkerPool::respawns`] expose the counts for metrics.
+//!
 //! [`WorkerPool::drain`] implements graceful shutdown: no new work is
 //! accepted, every queued and in-flight job runs to completion, and the
-//! worker threads are joined.
+//! worker threads are joined panic-tolerantly — a crashed worker is
+//! *reported* in the [`DrainReport`], never propagated into the caller.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -29,6 +39,17 @@ pub enum SubmitError {
     ShuttingDown,
 }
 
+/// What [`WorkerPool::drain`] observed while joining the workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Worker threads joined (initial workers plus any respawns).
+    pub joined: usize,
+    /// Joins that returned a panic instead of a clean exit. Always zero
+    /// unless a worker unwound *outside* job isolation — a pool bug, not
+    /// a job bug — and even then drain completes instead of crashing.
+    pub panicked: usize,
+}
+
 #[derive(Default)]
 struct Shared {
     queue: Mutex<VecDeque<Job>>,
@@ -36,12 +57,20 @@ struct Shared {
     draining: AtomicBool,
     /// Mirror of the queue length for lock-free metrics reads.
     depth: AtomicI64,
+    /// Handles of every live (or not-yet-joined) worker. Lives in the
+    /// shared state so a retiring worker can register its replacement.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Jobs that panicked inside a worker.
+    panics: AtomicU64,
+    /// Replacement workers spawned after a panic.
+    respawns: AtomicU64,
+    /// Next worker thread name suffix.
+    next_id: AtomicUsize,
 }
 
 /// A fixed-size thread pool over a bounded job queue.
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
     worker_count: usize,
     capacity: usize,
 }
@@ -53,18 +82,10 @@ impl WorkerPool {
         assert!(workers > 0, "a pool needs at least one worker");
         assert!(capacity > 0, "a pool needs at least one queue slot");
         let shared = Arc::new(Shared::default());
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("lis-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
+        let handles: Vec<JoinHandle<()>> = (0..workers).map(|_| spawn_worker(&shared)).collect();
+        *shared.handles.lock().expect("pool lock") = handles;
         WorkerPool {
             shared,
-            workers: Mutex::new(handles),
             worker_count: workers,
             capacity,
         }
@@ -83,6 +104,16 @@ impl WorkerPool {
     /// Jobs currently queued (excluding in-flight ones).
     pub fn queue_depth(&self) -> usize {
         self.shared.depth.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// Jobs that panicked inside a worker since the pool started.
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Replacement workers spawned after panics.
+    pub fn respawns(&self) -> u64 {
+        self.shared.respawns.load(Ordering::Relaxed)
     }
 
     /// Enqueues a job.
@@ -110,19 +141,43 @@ impl WorkerPool {
     }
 
     /// Stops accepting work, runs every queued job to completion, and joins
-    /// the workers. Safe to call more than once; later calls are no-ops.
-    pub fn drain(&self) {
+    /// the workers — panic-tolerantly: a worker that died unwinding is
+    /// counted in the report, not re-thrown into the caller. Safe to call
+    /// more than once; later calls are no-ops.
+    ///
+    /// Joining loops until the handle list stays empty, because a worker
+    /// that caught a panicking job just before the drain flag was set may
+    /// still be registering its replacement.
+    pub fn drain(&self) -> DrainReport {
         self.shared.draining.store(true, Ordering::Release);
         self.shared.available.notify_all();
-        let handles: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.workers.lock().expect("pool lock"));
-        for handle in handles {
-            handle.join().expect("worker panicked");
+        let mut report = DrainReport::default();
+        loop {
+            let handles: Vec<JoinHandle<()>> =
+                std::mem::take(&mut *self.shared.handles.lock().expect("pool lock"));
+            if handles.is_empty() {
+                return report;
+            }
+            for handle in handles {
+                report.joined += 1;
+                if handle.join().is_err() {
+                    report.panicked += 1;
+                }
+            }
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn spawn_worker(shared: &Arc<Shared>) -> JoinHandle<()> {
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("lis-worker-{id}"))
+        .spawn(move || worker_loop(&shared))
+        .expect("spawn worker")
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("pool lock");
@@ -138,7 +193,25 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match job {
-            Some(job) => job(),
+            Some(job) => {
+                if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    // The job panicked. Contain it, retire this worker
+                    // (its thread-locals are suspect after an arbitrary
+                    // unwind), and restore capacity with a fresh thread.
+                    // While draining, retiring would strand the remaining
+                    // queue if every worker hit a panicking job — so the
+                    // worker soldiers on instead: the drain guarantee
+                    // (every queued job runs) outranks thread freshness.
+                    shared.panics.fetch_add(1, Ordering::Relaxed);
+                    if shared.draining.load(Ordering::Acquire) {
+                        continue;
+                    }
+                    let replacement = spawn_worker(shared);
+                    shared.handles.lock().expect("pool lock").push(replacement);
+                    shared.respawns.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
             None => return,
         }
     }
@@ -150,6 +223,16 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
     use std::sync::mpsc;
     use std::time::Duration;
+
+    /// Panics with the injected-fault marker so the quiet hook keeps the
+    /// test output free of expected backtraces.
+    fn quiet_panic() -> ! {
+        crate::fault::silence_injected_panics();
+        std::panic::panic_any(format!(
+            "{} (pool test)",
+            crate::fault::INJECTED_PANIC_MARKER
+        ));
+    }
 
     #[test]
     fn jobs_run_and_results_come_back() {
@@ -215,8 +298,10 @@ mod tests {
             })
             .expect("submit");
         }
-        pool.drain();
+        let report = pool.drain();
         assert_eq!(done.load(Ordering::Relaxed), 100, "drain dropped jobs");
+        assert_eq!(report.joined, 2);
+        assert_eq!(report.panicked, 0);
     }
 
     #[test]
@@ -246,5 +331,59 @@ mod tests {
         assert_eq!(pool.queue_depth(), 2);
         block_tx.send(()).expect("unblock");
         pool.drain();
+    }
+
+    #[test]
+    fn panicking_job_respawns_the_worker_and_spares_the_rest() {
+        let pool = WorkerPool::new(2, 64);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(|| quiet_panic()).expect("submit panicker");
+        // Plenty of ordinary jobs; they must all complete even though one
+        // of the two workers died and was replaced mid-stream.
+        for i in 0..32usize {
+            let tx = tx.clone();
+            pool.submit(move || tx.send(i).expect("send"))
+                .expect("submit");
+        }
+        let mut got: Vec<usize> = rx.iter().take(32).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+        // The dying worker's bookkeeping races the result channel: poll.
+        let started = std::time::Instant::now();
+        while pool.panics() < 1 || pool.respawns() < 1 {
+            assert!(started.elapsed() < Duration::from_secs(5), "never counted");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.panics(), 1, "the panic was counted");
+        assert_eq!(pool.respawns(), 1, "a replacement was spawned");
+        let report = pool.drain();
+        // 2 original workers + 1 replacement, none of which unwound: the
+        // panic was contained at the job boundary.
+        assert_eq!(report.joined, 3);
+        assert_eq!(report.panicked, 0);
+    }
+
+    #[test]
+    fn drain_survives_a_storm_of_panicking_jobs() {
+        let pool = WorkerPool::new(3, 256);
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..60usize {
+            if i % 3 == 0 {
+                pool.submit(|| quiet_panic()).expect("submit panicker");
+            } else {
+                let done = Arc::clone(&done);
+                pool.submit(move || {
+                    done.fetch_add(1, Ordering::Relaxed);
+                })
+                .expect("submit");
+            }
+        }
+        // Drain must terminate (respawned workers are re-joined until the
+        // handle list stays empty) and never propagate a worker panic.
+        let report = pool.drain();
+        assert_eq!(done.load(Ordering::Relaxed), 40, "non-panicking jobs ran");
+        assert_eq!(pool.panics(), 20);
+        assert_eq!(report.panicked, 0, "panics were contained, not re-thrown");
+        assert!(report.joined >= 3, "at least the original workers joined");
     }
 }

@@ -19,7 +19,7 @@
 //! request and close, and the pool drains every queued job before
 //! [`Server::run`] returns.
 
-use std::io::{self, BufRead, BufReader};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -29,7 +29,8 @@ use lis_core::parse_netlist;
 
 use crate::cache::{CachedResponse, ResultCache};
 use crate::error::ServerError;
-use crate::http::{read_request, write_response, Request};
+use crate::fault::{FaultPlan, WriteFault};
+use crate::http::{read_request, render_response, write_response, DeadlineReader, Request};
 use crate::jobs::RequestKind;
 use crate::metrics::{Metrics, Route};
 use crate::pool::{SubmitError, WorkerPool};
@@ -38,9 +39,6 @@ use crate::wire::{obj, Json};
 /// How long an idle keep-alive connection sleeps between shutdown-flag
 /// checks while waiting for the next request.
 const IDLE_POLL: Duration = Duration::from_millis(100);
-
-/// Read deadline once a request has started arriving (slow-client guard).
-const ACTIVE_READ_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Tuning knobs for [`Server`].
 #[derive(Debug, Clone)]
@@ -56,6 +54,16 @@ pub struct ServerConfig {
     pub request_timeout: Duration,
     /// Maximum cached responses (content-addressed; 0 disables caching).
     pub cache_capacity: usize,
+    /// Concurrent-connection cap; connections beyond it are answered with
+    /// a typed 429 and closed before a handler thread is spawned.
+    pub max_connections: usize,
+    /// Wall-clock budget for one request to fully arrive once its first
+    /// byte lands (slow-loris defense). Exceeding it answers a typed 408
+    /// and closes the connection.
+    pub read_deadline: Duration,
+    /// Deterministic fault-injection schedule, if chaos-testing. `None`
+    /// (production) costs one pointer check per injection site.
+    pub faults: Option<Arc<FaultPlan>>,
     /// Test instrumentation: sleep this long inside every analysis job.
     /// `None` in production; the end-to-end tests use it to exercise the
     /// overload-shed and timeout paths deterministically.
@@ -69,6 +77,9 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             request_timeout: Duration::from_secs(30),
             cache_capacity: 4096,
+            max_connections: 1024,
+            read_deadline: Duration::from_secs(10),
+            faults: None,
             job_delay_for_tests: None,
         }
     }
@@ -98,6 +109,11 @@ impl Server {
     ///
     /// Propagates socket errors (address in use, permission, ...).
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        if config.faults.is_some() {
+            // Injected panics are expected events during chaos runs; keep
+            // them out of the logs (real panics still report normally).
+            crate::fault::silence_injected_panics();
+        }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let pool = WorkerPool::new(config.workers.max(1), config.queue_capacity.max(1));
@@ -131,7 +147,31 @@ impl Server {
         let mut handler_threads = Vec::new();
         while !self.state.shutdown.load(Ordering::Acquire) {
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
+                Ok((mut stream, _peer)) => {
+                    let active = self.state.active_connections.load(Ordering::Acquire);
+                    if active >= self.state.config.max_connections {
+                        // At the cap: answer a typed 429 on the accept
+                        // thread and close, without spawning a handler.
+                        self.state
+                            .metrics
+                            .connections_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        let e = ServerError::TooManyConnections {
+                            limit: self.state.config.max_connections,
+                        };
+                        let body = e.to_json().to_string();
+                        let _ = write_response(
+                            &mut stream,
+                            e.status(),
+                            "application/json",
+                            body.as_bytes(),
+                            false,
+                        );
+                        self.state
+                            .metrics
+                            .record_request(Route::Other, e.status(), Duration::ZERO);
+                        continue;
+                    }
                     let state = Arc::clone(&self.state);
                     state.active_connections.fetch_add(1, Ordering::AcqRel);
                     handler_threads.push(std::thread::spawn(move || {
@@ -172,6 +212,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
     stream.set_read_timeout(Some(IDLE_POLL))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    let slow_read = state.config.faults.as_ref().and_then(|p| p.slow_read());
     loop {
         // Idle wait: poll for the first byte so the shutdown flag is
         // observed between requests without dropping partial reads.
@@ -191,10 +232,16 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
             }
             Err(e) => return Err(e),
         }
-        reader
-            .get_ref()
-            .set_read_timeout(Some(ACTIVE_READ_TIMEOUT))?;
-        let request = match read_request(&mut reader) {
+        if let Some(delay) = slow_read {
+            // Fault injection: pretend the peer's bytes are trickling in.
+            std::thread::sleep(delay);
+        }
+        // The first byte arrived; the rest of the request must land within
+        // the read deadline. The socket keeps its short poll timeout — the
+        // DeadlineReader retries those polls until the wall-clock budget is
+        // spent, so a slow-loris peer cannot pin this handler.
+        let deadline = Instant::now() + state.config.read_deadline;
+        let request = match read_request(&mut DeadlineReader::new(&mut reader, deadline)) {
             Ok(Some(request)) => request,
             Ok(None) => return Ok(()),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
@@ -203,9 +250,28 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
                 write_response(&mut writer, 400, "application/json", body.as_bytes(), false)?;
                 return Ok(());
             }
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                // Slow client: answer a typed 408 and hang up.
+                let err = ServerError::SlowClient {
+                    deadline_ms: state.config.read_deadline.as_millis() as u64,
+                };
+                state.metrics.record_request(
+                    Route::Other,
+                    err.status(),
+                    state.config.read_deadline,
+                );
+                let body = err.to_json().to_string();
+                write_response(
+                    &mut writer,
+                    err.status(),
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                )?;
+                return Ok(());
+            }
             Err(e) => return Err(e),
         };
-        reader.get_ref().set_read_timeout(Some(IDLE_POLL))?;
 
         let started = Instant::now();
         let (route, status, content_type, body) = dispatch(&request, state);
@@ -214,7 +280,33 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
         state
             .metrics
             .record_request(route, status, started.elapsed());
-        write_response(&mut writer, status, content_type, &body, keep_alive)?;
+        // Fault injection on the write side, analysis routes only — the
+        // control plane (/metrics, /healthz, /shutdown) stays reliable so
+        // chaos runs can still observe and drain the daemon.
+        let analysis_route = matches!(
+            route,
+            Route::Analyze | Route::Qs | Route::Insert | Route::Dot
+        );
+        let write_fault = match &state.config.faults {
+            Some(plan) if analysis_route => plan.write_fault(),
+            _ => WriteFault::None,
+        };
+        match write_fault {
+            WriteFault::None => {
+                write_response(&mut writer, status, content_type, &body, keep_alive)?
+            }
+            WriteFault::Truncate => {
+                let wire = render_response(status, content_type, &body, keep_alive);
+                writer.write_all(&wire[..wire.len() / 2])?;
+                writer.flush()?;
+                return Ok(());
+            }
+            WriteFault::Garbage => {
+                writer.write_all(b"\x16\x03\x01LIS GARBAGE\r\n\r\n")?;
+                writer.flush()?;
+                return Ok(());
+            }
+        }
         if !keep_alive {
             return Ok(());
         }
@@ -229,6 +321,21 @@ fn dispatch(request: &Request, state: &Arc<State>) -> (Route, u16, &'static str,
                 .metrics
                 .queue_depth
                 .store(state.pool.queue_depth() as i64, Ordering::Relaxed);
+            // Pool- and plan-owned counters are mirrored at scrape time.
+            state
+                .metrics
+                .worker_panics
+                .store(state.pool.panics(), Ordering::Relaxed);
+            state
+                .metrics
+                .worker_respawns
+                .store(state.pool.respawns(), Ordering::Relaxed);
+            if let Some(plan) = &state.config.faults {
+                state
+                    .metrics
+                    .faults_injected
+                    .store(plan.injected(), Ordering::Relaxed);
+            }
             (
                 Route::Metrics,
                 200,
@@ -321,7 +428,29 @@ fn analysis_request(
             std::thread::sleep(d);
         }
         let executed = Instant::now();
-        let (status, body) = match kind.execute(&sys) {
+        // Isolate the analysis: a panic (injected or real) answers the
+        // waiting handler with a typed 500 *before* re-raising, so the
+        // pool can count it and respawn the worker. Crash responses are
+        // deliberately not cached — the fault is not a property of the
+        // (system, kind) pair.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(plan) = &job_state.config.faults {
+                plan.maybe_panic();
+            }
+            kind.execute(&sys)
+        }));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                let e = ServerError::WorkerCrashed;
+                let _ = tx.send(Arc::new(CachedResponse {
+                    status: e.status(),
+                    body: e.to_json().to_string().into_bytes(),
+                }));
+                std::panic::resume_unwind(payload);
+            }
+        };
+        let (status, body) = match result {
             Ok(json) => (200, json.to_string().into_bytes()),
             Err(e) => (e.status(), e.to_json().to_string().into_bytes()),
         };
@@ -356,8 +485,8 @@ fn analysis_request(
                 timeout_ms: state.config.request_timeout.as_millis() as u64,
             })
         }
-        Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServerError::Analysis(
-            "analysis worker dropped the result".into(),
-        )),
+        // The worker dropped the sender without answering: it died outside
+        // the isolated section. Same contract as an isolated crash.
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServerError::WorkerCrashed),
     }
 }

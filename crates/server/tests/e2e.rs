@@ -203,6 +203,7 @@ fn overload_sheds_with_a_typed_503_instead_of_hanging() {
         request_timeout: Duration::from_secs(30),
         cache_capacity: 1024,
         job_delay_for_tests: Some(Duration::from_millis(300)),
+        ..ServerConfig::default()
     });
 
     // Distinct netlists so every request is a cache miss.
@@ -260,6 +261,7 @@ fn slow_jobs_hit_the_typed_timeout() {
         request_timeout: Duration::from_millis(100),
         cache_capacity: 1024,
         job_delay_for_tests: Some(Duration::from_millis(600)),
+        ..ServerConfig::default()
     });
     let mut client = Client::connect(addr).expect("connect");
     let (status, body) = client
@@ -289,6 +291,7 @@ fn shutdown_drains_queued_work_before_exit() {
         request_timeout: Duration::from_secs(30),
         cache_capacity: 1024,
         job_delay_for_tests: Some(Duration::from_millis(200)),
+        ..ServerConfig::default()
     });
 
     // Park several jobs on the single worker, then shut down mid-flight.

@@ -3,7 +3,7 @@
 //! cycles, step-semantics firing, and the value-level LIS simulator must all
 //! agree.
 
-use lis::core::{practical_mst, LisModel};
+use lis::core::{practical_mst, practical_mst_with, LisModel, McmEngine};
 use lis::gen::{generate, GeneratorConfig, InsertionPolicy};
 use lis::marked_graph::cycles::elementary_cycles;
 use lis::marked_graph::mcm::{karp, lawler};
@@ -85,6 +85,47 @@ fn value_simulator_matches_firing_engine() {
             assert!(
                 (measured - analytic).abs() < 0.02,
                 "seed {seed}, {b:?}: measured {measured} vs analytic {analytic}"
+            );
+        }
+    }
+}
+
+/// Differential sweep across the full analysis stack: for seeded random
+/// systems, every `McmEngine` (Howard policy iteration, Karp, Lawler)
+/// must report the exact same sustainable rate, and the value-level
+/// simulator under *finite* queues must converge to it.
+#[test]
+fn all_three_mcm_engines_match_the_finite_queue_simulator() {
+    const ENGINES: [McmEngine; 3] = [McmEngine::Howard, McmEngine::Karp, McmEngine::Lawler];
+    for seed in 100..112 {
+        let sys = small_config(seed);
+        let rates: Vec<_> = ENGINES
+            .iter()
+            .map(|&e| practical_mst_with(&sys, e))
+            .collect();
+        assert!(
+            rates.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: engines disagree: {rates:?}"
+        );
+        let analytic = rates[0].to_f64();
+
+        let cores: Vec<Box<dyn CoreModel>> = sys
+            .block_ids()
+            .map(|b| {
+                let outs = sys
+                    .channel_ids()
+                    .filter(|&c| sys.channel_from(c) == b)
+                    .count();
+                Box::new(Passthrough::new(outs, 0)) as Box<dyn CoreModel>
+            })
+            .collect();
+        let mut sim = LisSimulator::new(&sys, cores, QueueMode::Finite);
+        sim.run(5000);
+        for b in sys.block_ids() {
+            let measured = sim.throughput(b).to_f64();
+            assert!(
+                (measured - analytic).abs() < 0.02,
+                "seed {seed}, {b:?}: simulated {measured} vs analytic {analytic}"
             );
         }
     }
