@@ -29,11 +29,23 @@ server commands (analysis as a service):
                                          the LIS_FAULTS env var) arms
                                          deterministic fault injection, e.g.
                                          panic:0.01,slow_read:5ms,truncate:0.02
+  gateway <addr> [--shards N] [--join a,b,...] [--shard-threads T]
+                 [--queue N] [--cache N] [--probe-ms N] [--no-hedge]
+                 [--hedge-rate R] [--hedge-seed S]
+                                         front a sharded cluster on addr:
+                                         spawn and supervise N local shard
+                                         daemons (default), or --join
+                                         already-running daemons; requests
+                                         route by rendezvous hashing with
+                                         failover and (seeded) hedging
   client <addr> analyze|qs|insert|dot <netlist> [--exact] [--budget N] [--doubled]
-                                         run one request against a daemon
-                                         (transient failures are retried;
-                                         --retries N caps them, default 3)
+                                         run one request against a daemon or
+                                         gateway (transient failures are
+                                         retried; --retries N caps them,
+                                         default 3); exits 2 on a 4xx
+                                         answer, 3 on a 5xx answer
   client <addr> metrics                  print the Prometheus exposition
+  client <addr> health                   print the /healthz readiness JSON
   client <addr> shutdown                 drain the daemon and stop it
 
 global options:
@@ -54,6 +66,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
     };
     match command.as_str() {
         "serve" => return serve(&args[1..]),
+        "gateway" => return gateway_cmd(&args[1..]),
         "client" => return client_cmd(&args[1..], engine),
         _ => {}
     }
@@ -151,6 +164,76 @@ fn serve(rest: &[String]) -> CliResult {
     Ok(())
 }
 
+/// A daemon answered with a non-200 status. Carried as its own error type
+/// so `main` can map the status class to a distinct exit code (2 for 4xx,
+/// 3 for 5xx) — shell scripts and CI gate on it.
+#[derive(Debug)]
+pub struct StatusError {
+    /// The HTTP status the daemon answered with.
+    pub status: u16,
+}
+
+impl std::fmt::Display for StatusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server answered {}", self.status)
+    }
+}
+
+impl Error for StatusError {}
+
+fn gateway_cmd(rest: &[String]) -> CliResult {
+    use lis_gateway::{Backends, ChildSpec, Gateway, GatewayConfig, HedgeConfig};
+    let Some(addr) = rest.first() else {
+        return Err(format!("gateway needs a listen address\n{USAGE}").into());
+    };
+    let rest = &rest[1..];
+    let join = option(rest, "--join", String::new())?;
+    let (backends, shard_count) = if join.is_empty() {
+        let count: usize = option(rest, "--shards", 3usize)?;
+        let spec = ChildSpec {
+            program: std::env::current_exe()?,
+            workers: option(rest, "--shard-threads", lis_par::max_threads())?,
+            queue_capacity: option(rest, "--queue", 256usize)?,
+            cache_capacity: option(rest, "--cache", 4096usize)?,
+        };
+        (Backends::Spawn { spec, count }, count)
+    } else {
+        let addrs = join
+            .split(',')
+            .map(|a| a.trim().parse())
+            .collect::<Result<Vec<std::net::SocketAddr>, _>>()
+            .map_err(|e| format!("--join: {e}"))?;
+        let count = addrs.len();
+        (Backends::Join(addrs), count)
+    };
+    let hedge = if flag(rest, "--no-hedge") {
+        None
+    } else {
+        let defaults = HedgeConfig::default();
+        Some(HedgeConfig {
+            rate: option(rest, "--hedge-rate", defaults.rate)?,
+            seed: option(rest, "--hedge-seed", defaults.seed)?,
+            ..defaults
+        })
+    };
+    let hedging = hedge.is_some();
+    let config = GatewayConfig {
+        probe_interval: std::time::Duration::from_millis(option(rest, "--probe-ms", 150u64)?),
+        hedge,
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::bind(addr.as_str(), backends, config)?;
+    println!(
+        "lis-gateway listening on {} ({} shard(s){}; POST /shutdown to stop)",
+        gateway.local_addr()?,
+        shard_count,
+        if hedging { "; hedging armed" } else { "" }
+    );
+    gateway.run()?;
+    println!("lis-gateway drained and stopped");
+    Ok(())
+}
+
 fn client_cmd(rest: &[String], engine: McmEngine) -> CliResult {
     use lis_server::{Json, RetryPolicy, RetryingClient};
     let (Some(addr), Some(cmd)) = (rest.first(), rest.get(1)) else {
@@ -167,10 +250,20 @@ fn client_cmd(rest: &[String], engine: McmEngine) -> CliResult {
             print!("{}", client.metrics()?);
             Ok(())
         }
+        "health" => {
+            let response = client.request("GET", "/healthz", b"")?;
+            println!("{}", String::from_utf8_lossy(&response.body));
+            if response.status != 200 {
+                return Err(Box::new(StatusError {
+                    status: response.status,
+                }));
+            }
+            Ok(())
+        }
         "shutdown" => {
             let status = client.shutdown()?;
             if status != 200 {
-                return Err(format!("shutdown request failed with status {status}").into());
+                return Err(Box::new(StatusError { status }));
             }
             println!("server is draining");
             Ok(())
@@ -205,7 +298,7 @@ fn client_cmd(rest: &[String], engine: McmEngine) -> CliResult {
             let (status, body) = client.analysis(route, &netlist, options)?;
             println!("{body}");
             if status != 200 {
-                return Err(format!("server answered {status}").into());
+                return Err(Box::new(StatusError { status }));
             }
             Ok(())
         }

@@ -35,7 +35,14 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            // Typed exit codes for daemon answers, so scripts and CI can
+            // distinguish "your request is wrong" (2) from "the service is
+            // unhealthy" (3) from local/transport failures (1).
+            match e.downcast_ref::<commands::StatusError>() {
+                Some(se) if (400..500).contains(&se.status) => ExitCode::from(2),
+                Some(_) => ExitCode::from(3),
+                None => ExitCode::FAILURE,
+            }
         }
     }
 }

@@ -1,0 +1,238 @@
+//! End-to-end cluster tests driving the real `lis` binary: a gateway that
+//! spawns and supervises shard children, serves the wire protocol, fails
+//! over when a shard is SIGKILLed, and respawns the corpse.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use lis_server::wire::{obj, Json};
+use lis_server::{parse_metric, Client};
+
+const FIG1: &str = "block A\nblock B\nchannel A -> B rs=1\nchannel A -> B\n";
+
+struct GatewayProcess {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Drop for GatewayProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Launches `lis gateway` with the given extra args and waits for its
+/// listening announcement.
+fn start_gateway(args: &[&str]) -> GatewayProcess {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lis"))
+        .arg("gateway")
+        .arg("127.0.0.1:0")
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn gateway");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("read gateway stdout") == 0 {
+            panic!("gateway exited before announcing its address");
+        }
+        if let Some(rest) = line.trim().strip_prefix("lis-gateway listening on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address token")
+                .parse()
+                .expect("parse gateway address");
+        }
+    };
+    // Keep the pipe open so the gateway's shutdown println cannot EPIPE.
+    std::mem::forget(reader);
+    GatewayProcess { child, addr }
+}
+
+fn analyze_body() -> String {
+    obj([("netlist", Json::str(FIG1))]).to_string()
+}
+
+fn json(body: &[u8]) -> Json {
+    Json::parse(std::str::from_utf8(body).expect("utf-8 body")).expect("json body")
+}
+
+#[test]
+fn gateway_serves_the_wire_protocol_with_failover_and_respawn() {
+    let gw = start_gateway(&["--shards", "2", "--shard-threads", "1", "--probe-ms", "50"]);
+    let mut client = Client::connect(gw.addr).expect("connect gateway");
+
+    // A fault-free single-server reference for byte-identity.
+    let reference = {
+        let server = lis_server::Server::bind("127.0.0.1:0", lis_server::ServerConfig::default())
+            .expect("bind reference");
+        let addr = server.local_addr().expect("addr");
+        let daemon = std::thread::spawn(move || server.run());
+        let mut direct = Client::connect(addr).expect("connect reference");
+        let response = direct
+            .request("POST", "/analyze", analyze_body().as_bytes())
+            .expect("reference analyze");
+        assert_eq!(response.status, 200);
+        let _ = direct.shutdown();
+        let _ = daemon.join();
+        response.body
+    };
+
+    // The gateway's healthz names the cluster topology, pids included.
+    let health = client.request("GET", "/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200);
+    let doc = json(&health.body);
+    assert_eq!(doc.get("role").unwrap().as_str(), Some("gateway"));
+    assert_eq!(doc.get("shard_count").unwrap().as_u64(), Some(2));
+    assert_eq!(doc.get("supervised").unwrap().as_bool(), Some(true));
+    let shards = doc.get("shards").unwrap().as_arr().unwrap().to_vec();
+    assert_eq!(shards.len(), 2);
+    let victim_pid = shards[0].get("pid").unwrap().as_u64().expect("shard pid");
+
+    // Analysis through the gateway is byte-identical to the single server,
+    // and the response carries a minted request id.
+    let via_gateway = client
+        .request("POST", "/analyze", analyze_body().as_bytes())
+        .expect("gateway analyze");
+    assert_eq!(via_gateway.status, 200);
+    assert_eq!(via_gateway.body, reference, "gateway must relay verbatim");
+    assert!(via_gateway.header("x-lis-request-id").is_some());
+
+    // A client-supplied id is propagated, not replaced.
+    let tagged = client
+        .request_with(
+            "POST",
+            "/analyze",
+            &[("X-LIS-Request-Id", "cli-e2e-1")],
+            analyze_body().as_bytes(),
+        )
+        .expect("tagged analyze");
+    assert_eq!(tagged.header("x-lis-request-id"), Some("cli-e2e-1"));
+
+    // SIGKILL one shard. Every request during the outage must still be
+    // answered (failover), and the supervisor must respawn the corpse.
+    let killed = Command::new("/bin/kill")
+        .args(["-9", &victim_pid.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "kill -9 {victim_pid} failed");
+    for _ in 0..20 {
+        let response = client
+            .request("POST", "/analyze", analyze_body().as_bytes())
+            .expect("analyze during outage");
+        assert_eq!(response.status, 200, "no request may be lost");
+        assert_eq!(response.body, reference);
+    }
+
+    // Wait for the respawn to land in the metrics.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let metrics = client.metrics().expect("gateway metrics");
+        if parse_metric(&metrics, "lis_gateway_shard_respawns_total").unwrap_or(0.0) >= 1.0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shard was never respawned:\n{metrics}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // The respawned shard must become routable again.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = client.request("GET", "/healthz", b"").expect("healthz");
+        let doc = json(&health.body);
+        if doc.get("healthy_shards").unwrap().as_u64() == Some(2) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "shard never recovered");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Drain the cluster; the gateway should exit cleanly.
+    let status = client.shutdown().expect("shutdown");
+    assert_eq!(status, 200);
+    drop(client);
+    let mut gw = gw;
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let exit = loop {
+        if let Some(exit) = gw.child.try_wait().expect("try_wait") {
+            break exit;
+        }
+        assert!(Instant::now() < deadline, "gateway never exited");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(exit.success(), "gateway exited with {exit:?}");
+}
+
+#[test]
+fn client_exit_codes_distinguish_4xx_5xx_and_transport() {
+    // A daemon to answer a 400: unparseable netlist in an otherwise valid
+    // request.
+    let server =
+        lis_server::Server::bind("127.0.0.1:0", lis_server::ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let daemon = std::thread::spawn(move || server.run());
+
+    let dir = std::env::temp_dir();
+    let bad = dir.join(format!("lis-gateway-cli-bad-{}.lis", std::process::id()));
+    std::fs::File::create(&bad)
+        .and_then(|mut f| f.write_all(b"blok A\n"))
+        .expect("write bad netlist");
+    let good = dir.join(format!("lis-gateway-cli-good-{}.lis", std::process::id()));
+    std::fs::File::create(&good)
+        .and_then(|mut f| f.write_all(FIG1.as_bytes()))
+        .expect("write good netlist");
+
+    let run = |addr: &str, netlist: &std::path::Path| {
+        Command::new(env!("CARGO_BIN_EXE_lis"))
+            .args(["client", addr, "analyze"])
+            .arg(netlist)
+            .args(["--retries", "0"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .expect("run client")
+    };
+
+    // 200 → success.
+    assert_eq!(run(&addr.to_string(), &good).code(), Some(0));
+    // 400 parse error → exit 2 (client-side fault).
+    assert_eq!(run(&addr.to_string(), &bad).code(), Some(2));
+    // Transport failure (nothing listening) → exit 1.
+    let unbound = {
+        // Grab a port and release it so the connect is refused.
+        let sock = std::net::TcpListener::bind("127.0.0.1:0").expect("bind probe");
+        sock.local_addr().expect("addr")
+    };
+    assert_eq!(run(&unbound.to_string(), &good).code(), Some(1));
+    // 5xx → exit 3: a gateway whose only shard is unreachable answers 502.
+    let gw = start_gateway(&["--join", &unbound.to_string(), "--no-hedge"]);
+    assert_eq!(run(&gw.addr.to_string(), &good).code(), Some(3));
+    drop(gw);
+
+    // `client health` prints the readiness JSON and exits 0.
+    let health = Command::new(env!("CARGO_BIN_EXE_lis"))
+        .args(["client", &addr.to_string(), "health"])
+        .output()
+        .expect("run client health");
+    assert!(health.status.success());
+    let doc = json(&health.stdout);
+    assert_eq!(doc.get("role").unwrap().as_str(), Some("server"));
+
+    let mut client = Client::connect(addr).expect("connect");
+    let _ = client.shutdown();
+    let _ = daemon.join();
+    let _ = std::fs::remove_file(bad);
+    let _ = std::fs::remove_file(good);
+}

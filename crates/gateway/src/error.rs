@@ -1,0 +1,83 @@
+//! Gateway-tier errors, in the same JSON envelope as
+//! [`lis_server::ServerError`] so clients parse one error shape across
+//! both tiers.
+
+use std::fmt;
+
+use lis_server::wire::{obj, Json};
+
+/// Failures that originate in the gateway itself (shard-side failures are
+/// relayed verbatim instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayError {
+    /// The shard table is empty or every shard is ejected → 503.
+    NoShards,
+    /// Every shard in failover order was tried and none produced a
+    /// relayable answer → 502.
+    AllShardsFailed {
+        /// How many shard attempts were made.
+        attempts: usize,
+    },
+}
+
+impl GatewayError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            GatewayError::NoShards => 503,
+            GatewayError::AllShardsFailed { .. } => 502,
+        }
+    }
+
+    /// The machine-readable kind tag used in the JSON body.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GatewayError::NoShards => "no_healthy_shards",
+            GatewayError::AllShardsFailed { .. } => "bad_gateway",
+        }
+    }
+
+    /// The JSON error body, `{"error": {"kind": ..., "message": ...}}`.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("kind".to_string(), Json::str(self.kind())),
+            ("message".to_string(), Json::str(self.to_string())),
+        ];
+        if let GatewayError::AllShardsFailed { attempts } = self {
+            fields.push(("attempts".to_string(), Json::num(*attempts as f64)));
+        }
+        obj([("error", Json::Obj(fields))])
+    }
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::NoShards => write!(f, "no shards available to route to"),
+            GatewayError::AllShardsFailed { attempts } => {
+                write!(f, "all {attempts} shard attempt(s) failed; retry later")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_kinds_and_bodies_are_stable() {
+        let none = GatewayError::NoShards;
+        assert_eq!(none.status(), 503);
+        assert_eq!(none.kind(), "no_healthy_shards");
+        let failed = GatewayError::AllShardsFailed { attempts: 3 };
+        assert_eq!(failed.status(), 502);
+        assert_eq!(failed.kind(), "bad_gateway");
+        let body = failed.to_json();
+        let error = body.get("error").unwrap();
+        assert_eq!(error.get("kind").unwrap().as_str(), Some("bad_gateway"));
+        assert_eq!(error.get("attempts").unwrap().as_u64(), Some(3));
+    }
+}

@@ -1,0 +1,697 @@
+//! The gateway daemon: accept loop, request-id minting, rendezvous
+//! routing, shard failover, hedged tail requests, and shard supervision.
+//!
+//! ```text
+//!  client ──▶ gateway accept loop ──▶ handler (1/conn)
+//!                                       │ route on canonical_hash(netlist)
+//!                                       ▼
+//!                          rendezvous-ranked shard list
+//!                    1st choice ──── timeout? ──▶ hedge to 2nd choice
+//!                        │ transport error / 5xx              │
+//!                        ▼                                    │
+//!                    next shard in rank  ◀── first answer wins┘
+//! ```
+//!
+//! The gateway forwards the client's body **verbatim** and relays the
+//! shard's body verbatim, so an answer obtained through any shard — or
+//! through failover — is byte-identical to what a single `lis-server`
+//! would have produced for the same request.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use lis_core::parse_netlist;
+use lis_server::http::{
+    read_request, read_response, write_request, write_response, write_response_with,
+    DeadlineReader, Request, Response, REQUEST_ID_HEADER,
+};
+use lis_server::wire::{obj, Json};
+use lis_server::ServerError;
+
+use crate::error::GatewayError;
+use crate::hedge::{HedgeConfig, Hedger};
+use crate::metrics::GatewayMetrics;
+use crate::rendezvous;
+use crate::supervise::{ChildShard, ChildSpec};
+use crate::table::{Shard, ShardTable};
+
+/// How long an idle keep-alive connection sleeps between shutdown-flag
+/// checks while waiting for the next request.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Shard responses that trigger failover to the next shard in rendezvous
+/// order: transient server-side states a different shard may not share.
+/// Client errors (400/422) relay as-is — every shard would answer the same.
+const FAILOVER_STATUSES: [u16; 4] = [500, 502, 503, 504];
+
+/// Where the gateway's shards come from.
+pub enum Backends {
+    /// Join an existing cluster: addresses of already-running daemons.
+    Join(Vec<SocketAddr>),
+    /// Own a local cluster: spawn `count` child daemons per `spec` and
+    /// supervise them (respawn on death).
+    Spawn {
+        /// How to launch each shard.
+        spec: ChildSpec,
+        /// Number of shards.
+        count: usize,
+    },
+}
+
+/// Tuning knobs for [`Gateway`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Health-probe cadence for every shard.
+    pub probe_interval: Duration,
+    /// Consecutive failures (probe or request transport) before a shard is
+    /// ejected from routing.
+    pub eject_after: u32,
+    /// Hedged-request policy; `None` disables hedging.
+    pub hedge: Option<HedgeConfig>,
+    /// Concurrent-connection cap, answered with a typed 429 beyond it.
+    pub max_connections: usize,
+    /// Slow-loris read deadline per request.
+    pub read_deadline: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            probe_interval: Duration::from_millis(150),
+            eject_after: 2,
+            hedge: Some(HedgeConfig::default()),
+            max_connections: 1024,
+            read_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Supervised children, index-aligned with the shard table.
+struct ChildSet {
+    spec: ChildSpec,
+    children: Vec<Mutex<ChildShard>>,
+}
+
+/// State shared by the accept loop, handlers, and the maintenance thread.
+struct GwState {
+    table: ShardTable,
+    children: Option<ChildSet>,
+    metrics: GatewayMetrics,
+    hedger: Option<Hedger>,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    config: GatewayConfig,
+    started: Instant,
+    /// Request sequence number: feeds hedge eligibility and minted ids.
+    sequence: AtomicU64,
+}
+
+/// The cluster front tier. Bind with [`Gateway::bind`], serve with
+/// [`Gateway::run`] (blocks until `POST /shutdown`).
+pub struct Gateway {
+    listener: TcpListener,
+    state: Arc<GwState>,
+}
+
+impl Gateway {
+    /// Binds the listening socket and materializes the shard table
+    /// (spawning child daemons when asked to own the cluster).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, child-spawn failures, or an empty backend list.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backends: Backends,
+        config: GatewayConfig,
+    ) -> io::Result<Gateway> {
+        let (shards, children) = match backends {
+            Backends::Join(addrs) => {
+                if addrs.is_empty() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "gateway needs at least one shard",
+                    ));
+                }
+                let shards = addrs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, a)| Arc::new(Shard::new(format!("shard-{i}"), a)))
+                    .collect();
+                (shards, None)
+            }
+            Backends::Spawn { spec, count } => {
+                if count == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "gateway needs at least one shard",
+                    ));
+                }
+                let mut shards = Vec::with_capacity(count);
+                let mut children = Vec::with_capacity(count);
+                for i in 0..count {
+                    let name = format!("shard-{i}");
+                    let child = spec.spawn(&name)?;
+                    shards.push(Arc::new(Shard::new(name, child.addr)));
+                    children.push(Mutex::new(child));
+                }
+                (shards, Some(ChildSet { spec, children }))
+            }
+        };
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(GwState {
+            table: ShardTable::new(shards),
+            children,
+            metrics: GatewayMetrics::new(),
+            hedger: config.hedge.clone().map(Hedger::new),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            config,
+            started: Instant::now(),
+            sequence: AtomicU64::new(0),
+        });
+        Ok(Gateway { listener, state })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `POST /shutdown`, then drains handlers and stops any
+    /// supervised children.
+    ///
+    /// # Errors
+    ///
+    /// Returns fatal accept-loop errors; per-connection errors are handled
+    /// in the connection's own thread.
+    pub fn run(self) -> io::Result<()> {
+        let maintenance = {
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || maintenance_loop(&state))
+        };
+        let mut handler_threads = Vec::new();
+        while !self.state.shutdown.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((mut stream, _peer)) => {
+                    let active = self.state.active_connections.load(Ordering::Acquire);
+                    if active >= self.state.config.max_connections {
+                        let e = ServerError::TooManyConnections {
+                            limit: self.state.config.max_connections,
+                        };
+                        let body = e.to_json().to_string();
+                        let _ = write_response(
+                            &mut stream,
+                            e.status(),
+                            "application/json",
+                            body.as_bytes(),
+                            false,
+                        );
+                        self.state
+                            .metrics
+                            .record_request(e.status(), Duration::ZERO);
+                        continue;
+                    }
+                    let state = Arc::clone(&self.state);
+                    state.active_connections.fetch_add(1, Ordering::AcqRel);
+                    handler_threads.push(std::thread::spawn(move || {
+                        let _ = handle_connection(stream, &state);
+                        state.active_connections.fetch_sub(1, Ordering::AcqRel);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+            handler_threads.retain(|h| !h.is_finished());
+        }
+        // Drain in-flight handlers (they notice the flag within IDLE_POLL).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.state.active_connections.load(Ordering::Acquire) > 0 && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for h in handler_threads {
+            if h.is_finished() {
+                let _ = h.join();
+            }
+        }
+        let _ = maintenance.join();
+        // Owned cluster: drain every child before returning.
+        if let Some(set) = &self.state.children {
+            for child in &set.children {
+                child.lock().expect("child lock").stop();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Health-probes every shard and respawns dead children, until shutdown.
+fn maintenance_loop(state: &Arc<GwState>) {
+    let probe_timeout = state.config.probe_interval.max(Duration::from_millis(250));
+    while !state.shutdown.load(Ordering::Acquire) {
+        for (i, shard) in state.table.shards().iter().enumerate() {
+            // Supervision first: a dead child can never pass its probe.
+            if let Some(set) = &state.children {
+                let mut child = set.children[i].lock().expect("child lock");
+                if child.has_exited() {
+                    match set.spec.spawn(&shard.name) {
+                        Ok(fresh) => {
+                            shard.set_addr(fresh.addr);
+                            *child = fresh;
+                            state.metrics.respawns.fetch_add(1, Ordering::Relaxed);
+                            // The replacement announced its socket; it is
+                            // immediately routable.
+                            shard.mark_success();
+                        }
+                        Err(_) => {
+                            if shard.mark_failure(state.config.eject_after) {
+                                state.metrics.ejections.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    continue;
+                }
+            }
+            match probe(shard.addr(), probe_timeout) {
+                Ok(()) => shard.mark_success(),
+                Err(_) => {
+                    if shard.mark_failure(state.config.eject_after) {
+                        state.metrics.ejections.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        std::thread::sleep(state.config.probe_interval);
+    }
+}
+
+/// One `GET /healthz` round trip against a shard, with its own timeout.
+fn probe(addr: SocketAddr, timeout: Duration) -> io::Result<()> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    write_request(&mut writer, "GET", "/healthz", b"")?;
+    let response = read_response(&mut BufReader::new(stream))?;
+    if response.status == 200 {
+        Ok(())
+    } else {
+        Err(io::Error::other(format!(
+            "healthz answered {}",
+            response.status
+        )))
+    }
+}
+
+/// Serves one connection's keep-alive request loop (same discipline as the
+/// shard daemon: idle poll for shutdown, slow-loris deadline, typed 400s).
+fn handle_connection(stream: TcpStream, state: &Arc<GwState>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return Ok(()),
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let deadline = Instant::now() + state.config.read_deadline;
+        let request = match read_request(&mut DeadlineReader::new(&mut reader, deadline)) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let body = ServerError::BadRequest(e.to_string()).to_json().to_string();
+                write_response(&mut writer, 400, "application/json", body.as_bytes(), false)?;
+                return Ok(());
+            }
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                let err = ServerError::SlowClient {
+                    deadline_ms: state.config.read_deadline.as_millis() as u64,
+                };
+                state
+                    .metrics
+                    .record_request(err.status(), state.config.read_deadline);
+                let body = err.to_json().to_string();
+                write_response(
+                    &mut writer,
+                    err.status(),
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                )?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+
+        let started = Instant::now();
+        let seq = state.sequence.fetch_add(1, Ordering::Relaxed);
+        // Every exchange gets a correlation id: the client's, or one the
+        // gateway mints so the shard hop is traceable regardless.
+        let request_id = request
+            .header(REQUEST_ID_HEADER)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("gw-{seq:08x}"));
+        let (status, content_type, body) = dispatch(&request, state, seq, &request_id);
+        let shutting_down = state.shutdown.load(Ordering::Acquire);
+        let keep_alive = !request.wants_close() && !shutting_down;
+        state.metrics.record_request(status, started.elapsed());
+        write_response_with(
+            &mut writer,
+            status,
+            content_type,
+            &body,
+            keep_alive,
+            &[("X-LIS-Request-Id", &request_id)],
+        )?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Routes one request. Returns `(status, content type, body)`.
+fn dispatch(
+    request: &Request,
+    state: &Arc<GwState>,
+    seq: u64,
+    request_id: &str,
+) -> (u16, &'static str, Vec<u8>) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, "application/json", healthz_body(state).into_bytes()),
+        ("GET", "/metrics") => (
+            200,
+            "text/plain; version=0.0.4",
+            state.metrics.render(&state.table).into_bytes(),
+        ),
+        ("POST", "/shutdown") => {
+            state.shutdown.store(true, Ordering::Release);
+            (
+                200,
+                "application/json",
+                obj([("ok", Json::Bool(true)), ("draining", Json::Bool(true))])
+                    .to_string()
+                    .into_bytes(),
+            )
+        }
+        ("POST", "/analyze" | "/qs" | "/insert" | "/dot") => {
+            let (status, body) = forward(state, &request.path, &request.body, seq, request_id);
+            (status, "application/json", body)
+        }
+        (_, "/metrics" | "/healthz" | "/shutdown" | "/analyze" | "/qs" | "/insert" | "/dot") => {
+            let e = ServerError::MethodNotAllowed;
+            (
+                e.status(),
+                "application/json",
+                e.to_json().to_string().into_bytes(),
+            )
+        }
+        (_, path) => {
+            let e = ServerError::NotFound(path.to_string());
+            (
+                e.status(),
+                "application/json",
+                e.to_json().to_string().into_bytes(),
+            )
+        }
+    }
+}
+
+/// The gateway's own readiness document: cluster topology and health.
+fn healthz_body(state: &Arc<GwState>) -> String {
+    let shards: Vec<Json> = state
+        .table
+        .shards()
+        .iter()
+        .enumerate()
+        .map(|(i, shard)| {
+            let mut fields = vec![
+                ("name".to_string(), Json::str(&shard.name)),
+                ("addr".to_string(), Json::str(shard.addr().to_string())),
+                ("healthy".to_string(), Json::Bool(shard.is_healthy())),
+                (
+                    "requests".to_string(),
+                    Json::num(shard.requests.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "failures".to_string(),
+                    Json::num(shard.failures.load(Ordering::Relaxed) as f64),
+                ),
+            ];
+            if let Some(set) = &state.children {
+                let pid = set.children[i].lock().expect("child lock").pid();
+                fields.push(("pid".to_string(), Json::num(pid as f64)));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    obj([
+        ("ok", Json::Bool(state.table.healthy_count() > 0)),
+        ("role", Json::str("gateway")),
+        ("shard_count", Json::num(state.table.shards().len() as f64)),
+        (
+            "healthy_shards",
+            Json::num(state.table.healthy_count() as f64),
+        ),
+        ("supervised", Json::Bool(state.children.is_some())),
+        ("hedging", Json::Bool(state.hedger.is_some())),
+        (
+            "hedge_decisions_digest",
+            state.hedger.as_ref().map_or(Json::Null, |h| {
+                Json::str(format!("{:016x}", h.decisions_digest()))
+            }),
+        ),
+        (
+            "uptime_ms",
+            Json::num(state.started.elapsed().as_millis() as f64),
+        ),
+        (
+            "draining",
+            Json::Bool(state.shutdown.load(Ordering::Acquire)),
+        ),
+        ("shards", Json::Arr(shards)),
+    ])
+    .to_string()
+}
+
+/// The rendezvous routing key for a request body: the canonical hash of
+/// the parsed netlist, so every request kind for one design lands on the
+/// same warm-cache shard. Unparseable bodies hash raw — any shard will
+/// produce the same (typed, cacheable) error for them.
+fn routing_key(body: &[u8]) -> u64 {
+    if let Ok(text) = std::str::from_utf8(body) {
+        if let Ok(envelope) = Json::parse(text) {
+            if let Some(netlist) = envelope.get("netlist").and_then(Json::as_str) {
+                if let Ok(sys) = parse_netlist(netlist) {
+                    return lis_core::canonical_hash(&sys);
+                }
+            }
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in body {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rendezvous::mix(h)
+}
+
+/// One attempt against one shard over a pooled connection.
+fn try_shard(shard: &Shard, path: &str, body: &[u8], id: &str) -> io::Result<Response> {
+    shard.requests.fetch_add(1, Ordering::Relaxed);
+    let mut client = shard.checkout()?;
+    let response = client.request_with("POST", path, &[("X-LIS-Request-Id", id)], body)?;
+    shard.checkin(client);
+    Ok(response)
+}
+
+/// Whether a shard's answer should trigger failover instead of relaying.
+fn is_failover_status(status: u16) -> bool {
+    FAILOVER_STATUSES.contains(&status)
+}
+
+/// Forwards one analysis request with rendezvous routing, hedging, and
+/// failover. Returns the relayed (status, body) — byte-identical to the
+/// winning shard's answer — or a gateway-typed error.
+fn forward(
+    state: &Arc<GwState>,
+    path: &str,
+    body: &[u8],
+    seq: u64,
+    request_id: &str,
+) -> (u16, Vec<u8>) {
+    let key = routing_key(body);
+    let mut queue: VecDeque<Arc<Shard>> = state.table.ranked(key).into();
+    if queue.is_empty() {
+        let e = GatewayError::NoShards;
+        return (e.status(), e.to_json().to_string().into_bytes());
+    }
+
+    let mut attempts = 0usize;
+    let mut last_answer: Option<Response> = None;
+
+    // Phase 1 — hedged first attempt, when eligible and a runner-up exists.
+    let hedged = state
+        .hedger
+        .as_ref()
+        .filter(|_| queue.len() >= 2)
+        .filter(|h| h.decide(seq));
+    if let Some(hedger) = hedged {
+        let primary = queue.pop_front().expect("len >= 2");
+        let runner = queue.pop_front().expect("len >= 2");
+        let (tx, rx) = mpsc::channel();
+        let mut outstanding = 1usize;
+        spawn_attempt(Arc::clone(&primary), path, body, request_id, 0, tx.clone());
+        let mut launched_hedge = false;
+        let first = match rx.recv_timeout(hedger.deadline()) {
+            Ok(msg) => Some(msg),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Primary is slow: launch the hedge and take whichever
+                // answer lands first.
+                state
+                    .metrics
+                    .hedges_launched
+                    .fetch_add(1, Ordering::Relaxed);
+                launched_hedge = true;
+                outstanding += 1;
+                spawn_attempt(Arc::clone(&runner), path, body, request_id, 1, tx.clone());
+                rx.recv().ok()
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => None,
+        };
+        drop(tx);
+        let mut ready = first;
+        if ready.is_some() {
+            outstanding -= 1;
+        }
+        // Judge results in arrival order; wait for the straggler only if
+        // the first arrival is unusable.
+        let mut winner = None;
+        loop {
+            let (tag, elapsed, outcome) = match ready.take() {
+                Some(msg) => msg,
+                None if outstanding > 0 => {
+                    outstanding -= 1;
+                    match rx.recv() {
+                        Ok(msg) => msg,
+                        Err(_) => break,
+                    }
+                }
+                None => break,
+            };
+            let shard = if tag == 0 { &primary } else { &runner };
+            attempts += 1;
+            match outcome {
+                Ok(response) if !is_failover_status(response.status) => {
+                    hedger.record(elapsed);
+                    if tag == 1 && launched_hedge {
+                        state.metrics.hedges_won.fetch_add(1, Ordering::Relaxed);
+                    }
+                    winner = Some(response);
+                    break;
+                }
+                Ok(response) => {
+                    shard.failures.fetch_add(1, Ordering::Relaxed);
+                    last_answer = Some(response);
+                }
+                Err(_) => {
+                    shard.failures.fetch_add(1, Ordering::Relaxed);
+                    if shard.mark_failure(state.config.eject_after) {
+                        state.metrics.ejections.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if let Some(response) = winner {
+            return (response.status, response.body);
+        }
+        // Both hedge legs failed; fall through to sequential failover. If
+        // the hedge never launched, the runner-up is still untried.
+        if !launched_hedge {
+            queue.push_front(runner);
+        }
+    }
+
+    // Phase 2 — sequential failover down the rendezvous order.
+    while let Some(shard) = queue.pop_front() {
+        if attempts > 0 {
+            state.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+        attempts += 1;
+        let started = Instant::now();
+        match try_shard(&shard, path, body, request_id) {
+            Ok(response) if !is_failover_status(response.status) => {
+                shard.mark_success();
+                if let Some(hedger) = &state.hedger {
+                    hedger.record(started.elapsed());
+                }
+                return (response.status, response.body);
+            }
+            Ok(response) => {
+                // A coherent but transient answer: the shard is up (let
+                // the prober keep it routable) — try the next one anyway.
+                shard.failures.fetch_add(1, Ordering::Relaxed);
+                last_answer = Some(response);
+            }
+            Err(_) => {
+                shard.failures.fetch_add(1, Ordering::Relaxed);
+                if shard.mark_failure(state.config.eject_after) {
+                    state.metrics.ejections.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    // Every shard was tried. A relayed transient answer beats a synthetic
+    // 502 — it is what a single server would have said.
+    if let Some(response) = last_answer {
+        return (response.status, response.body);
+    }
+    let e = GatewayError::AllShardsFailed { attempts };
+    (e.status(), e.to_json().to_string().into_bytes())
+}
+
+/// Runs one shard attempt on its own thread, reporting into `tx`.
+fn spawn_attempt(
+    shard: Arc<Shard>,
+    path: &str,
+    body: &[u8],
+    id: &str,
+    tag: usize,
+    tx: mpsc::Sender<(usize, Duration, io::Result<Response>)>,
+) {
+    let path = path.to_string();
+    let body = body.to_vec();
+    let id = id.to_string();
+    std::thread::spawn(move || {
+        let started = Instant::now();
+        let outcome = try_shard(&shard, &path, &body, &id);
+        // The race's loser sends into a dropped receiver; that's fine.
+        let _ = tx.send((tag, started.elapsed(), outcome));
+    });
+}

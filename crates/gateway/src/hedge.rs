@@ -1,0 +1,235 @@
+//! Hedged tail requests, decided by a seeded deterministic RNG.
+//!
+//! The tail-latency trick: when the first-choice shard has not answered
+//! within a latency-percentile deadline, resend the request to the
+//! runner-up shard and take whichever answer lands first. Requests are
+//! idempotent (analysis is deterministic and content-cached), so the
+//! duplicate is harmless — the only cost is some extra load on the
+//! cluster, which the eligibility `rate` bounds.
+//!
+//! Whether request *i* is even allowed to hedge is a pure function of
+//! `(seed, i)` — the same SplitMix64-style draw as the chaos
+//! [`lis_server::FaultPlan`] — so any run can be replayed decision-for-
+//! decision by reusing the seed, and [`Hedger::decisions_digest`] lets two
+//! runs prove they made identical choices.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::rendezvous::mix;
+
+/// Tuning for [`Hedger`].
+#[derive(Debug, Clone)]
+pub struct HedgeConfig {
+    /// Fraction of requests eligible to hedge, in `[0, 1]`.
+    pub rate: f64,
+    /// The latency percentile used as the hedge deadline (e.g. `0.95`:
+    /// hedge once a request runs slower than 95% of recent ones).
+    pub percentile: f64,
+    /// Lower clamp on the deadline, so microsecond cache hits don't make
+    /// every miss hedge instantly.
+    pub min_delay: Duration,
+    /// Upper clamp on the deadline (and the deadline before any samples
+    /// arrive).
+    pub max_delay: Duration,
+    /// Seed of the eligibility schedule.
+    pub seed: u64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> HedgeConfig {
+        HedgeConfig {
+            rate: 1.0,
+            percentile: 0.95,
+            min_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(200),
+            seed: 0x4ed6_e5ee_d5ee_d001,
+        }
+    }
+}
+
+/// How many recent latency samples feed the percentile estimate.
+const SAMPLE_WINDOW: usize = 256;
+
+/// The seeded uniform draw in `[0, 1)` for request `index`. Pure, so a
+/// replay with the same seed reproduces the whole schedule.
+pub fn unit(seed: u64, index: u64) -> f64 {
+    (mix(seed ^ mix(index)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Decides and times hedges. One per gateway.
+pub struct Hedger {
+    config: HedgeConfig,
+    /// Ring of recent first-attempt latencies.
+    samples: Mutex<Vec<Duration>>,
+    next_slot: AtomicU64,
+    decisions: AtomicU64,
+    digest: AtomicU64,
+}
+
+impl Hedger {
+    /// Creates a hedger with no latency history: until samples arrive the
+    /// deadline sits at `max_delay`.
+    pub fn new(config: HedgeConfig) -> Hedger {
+        Hedger {
+            config,
+            samples: Mutex::new(Vec::with_capacity(SAMPLE_WINDOW)),
+            next_slot: AtomicU64::new(0),
+            decisions: AtomicU64::new(0),
+            digest: AtomicU64::new(0),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HedgeConfig {
+        &self.config
+    }
+
+    /// Feeds one observed first-attempt latency into the percentile window.
+    pub fn record(&self, latency: Duration) {
+        let slot = (self.next_slot.fetch_add(1, Ordering::Relaxed) as usize) % SAMPLE_WINDOW;
+        let mut samples = self.samples.lock().expect("hedge samples lock");
+        if samples.len() < SAMPLE_WINDOW {
+            samples.push(latency);
+        } else {
+            samples[slot] = latency;
+        }
+    }
+
+    /// The current hedge deadline: the configured percentile of the sample
+    /// window, clamped to `[min_delay, max_delay]`.
+    pub fn deadline(&self) -> Duration {
+        let samples = self.samples.lock().expect("hedge samples lock");
+        if samples.is_empty() {
+            return self.config.max_delay;
+        }
+        let mut sorted: Vec<Duration> = samples.clone();
+        drop(samples);
+        sorted.sort_unstable();
+        let idx = ((sorted.len() as f64 * self.config.percentile).ceil() as usize)
+            .clamp(1, sorted.len())
+            - 1;
+        sorted[idx].clamp(self.config.min_delay, self.config.max_delay)
+    }
+
+    /// Whether request `index` is eligible to hedge. Folds the decision
+    /// into the digest so runs can be compared.
+    pub fn decide(&self, index: u64) -> bool {
+        let eligible = unit(self.config.seed, index) < self.config.rate;
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        let bit = u64::from(eligible);
+        // Order-independent fold: handlers race, replays may interleave
+        // differently, but the decision *set* must match.
+        self.digest.fetch_xor(
+            mix(index.wrapping_mul(2).wrapping_add(bit)),
+            Ordering::Relaxed,
+        );
+        eligible
+    }
+
+    /// Decisions taken so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions.load(Ordering::Relaxed)
+    }
+
+    /// Order-independent digest of every decision taken; two runs with the
+    /// same seed and request set produce the same digest.
+    pub fn decisions_digest(&self) -> u64 {
+        self.digest.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eligibility_is_deterministic_and_rate_bounded() {
+        let config = HedgeConfig {
+            rate: 0.3,
+            ..HedgeConfig::default()
+        };
+        let a = Hedger::new(config.clone());
+        let b = Hedger::new(config);
+        let hits_a: Vec<bool> = (0..1000).map(|i| a.decide(i)).collect();
+        let hits_b: Vec<bool> = (0..1000).map(|i| b.decide(i)).collect();
+        assert_eq!(hits_a, hits_b, "same seed, same schedule");
+        assert_eq!(a.decisions_digest(), b.decisions_digest());
+        let rate = hits_a.iter().filter(|&&h| h).count() as f64 / 1000.0;
+        assert!((0.2..0.4).contains(&rate), "empirical rate {rate}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = Hedger::new(HedgeConfig {
+            rate: 0.5,
+            seed: 1,
+            ..HedgeConfig::default()
+        });
+        let b = Hedger::new(HedgeConfig {
+            rate: 0.5,
+            seed: 2,
+            ..HedgeConfig::default()
+        });
+        let hits_a: Vec<bool> = (0..256).map(|i| a.decide(i)).collect();
+        let hits_b: Vec<bool> = (0..256).map(|i| b.decide(i)).collect();
+        assert_ne!(hits_a, hits_b);
+        assert_ne!(a.decisions_digest(), b.decisions_digest());
+    }
+
+    #[test]
+    fn digest_is_order_independent() {
+        let a = Hedger::new(HedgeConfig::default());
+        let b = Hedger::new(HedgeConfig::default());
+        for i in 0..64 {
+            a.decide(i);
+        }
+        for i in (0..64).rev() {
+            b.decide(i);
+        }
+        assert_eq!(a.decisions_digest(), b.decisions_digest());
+        assert_eq!(a.decisions(), 64);
+    }
+
+    #[test]
+    fn deadline_tracks_the_percentile_within_clamps() {
+        let h = Hedger::new(HedgeConfig {
+            percentile: 0.5,
+            min_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+            ..HedgeConfig::default()
+        });
+        // No samples yet: the deadline is the conservative upper clamp.
+        assert_eq!(h.deadline(), Duration::from_millis(100));
+        for ms in 1..=20 {
+            h.record(Duration::from_millis(ms));
+        }
+        let d = h.deadline();
+        assert_eq!(d, Duration::from_millis(10), "median of 1..=20, got {d:?}");
+        // A flood of slow samples pushes the estimate up to the clamp only.
+        for _ in 0..SAMPLE_WINDOW {
+            h.record(Duration::from_secs(5));
+        }
+        assert_eq!(h.deadline(), Duration::from_millis(100));
+        // And the lower clamp holds for all-fast samples.
+        for _ in 0..SAMPLE_WINDOW {
+            h.record(Duration::from_micros(5));
+        }
+        assert_eq!(h.deadline(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn rate_extremes_behave() {
+        let never = Hedger::new(HedgeConfig {
+            rate: 0.0,
+            ..HedgeConfig::default()
+        });
+        let always = Hedger::new(HedgeConfig {
+            rate: 1.0,
+            ..HedgeConfig::default()
+        });
+        assert!((0..500).all(|i| !never.decide(i)));
+        assert!((0..500).all(|i| always.decide(i)));
+    }
+}

@@ -1,0 +1,177 @@
+//! Gateway observability, rendered in the same Prometheus text format as
+//! the shard daemons (and reusing [`lis_server::metrics::Histogram`] for
+//! latency, so dashboards treat both tiers uniformly).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lis_server::metrics::Histogram;
+
+use crate::table::ShardTable;
+
+/// The status codes the gateway tracks per-counter, mirroring the shard
+/// daemon's set.
+const STATUSES: [u16; 12] = [200, 400, 404, 405, 408, 413, 422, 429, 500, 502, 503, 504];
+
+fn status_slot(status: u16) -> usize {
+    STATUSES
+        .iter()
+        .position(|&s| s == status)
+        .unwrap_or_else(|| {
+            // Unknown codes count as 500.
+            STATUSES
+                .iter()
+                .position(|&s| s == 500)
+                .expect("500 tracked")
+        })
+}
+
+/// Counters and histograms for the gateway tier.
+#[derive(Debug, Default)]
+pub struct GatewayMetrics {
+    /// Finished client requests by status.
+    requests: [AtomicU64; STATUSES.len()],
+    /// Attempts routed past the first-choice shard after a failure.
+    pub failovers: AtomicU64,
+    /// Hedge requests actually launched (deadline expired).
+    pub hedges_launched: AtomicU64,
+    /// Hedges whose answer beat the primary's.
+    pub hedges_won: AtomicU64,
+    /// Shard health transitions healthy → ejected.
+    pub ejections: AtomicU64,
+    /// Dead child shards respawned by the supervisor.
+    pub respawns: AtomicU64,
+    /// End-to-end latency as seen at the gateway (routing + hop included).
+    pub latency: Histogram,
+}
+
+impl GatewayMetrics {
+    /// Creates a zeroed registry.
+    pub fn new() -> GatewayMetrics {
+        GatewayMetrics::default()
+    }
+
+    /// Counts one finished client request.
+    pub fn record_request(&self, status: u16, elapsed: std::time::Duration) {
+        self.requests[status_slot(status)].fetch_add(1, Ordering::Relaxed);
+        self.latency.observe(elapsed);
+    }
+
+    /// Requests counted for one status (test observability).
+    pub fn requests_for(&self, status: u16) -> u64 {
+        self.requests[status_slot(status)].load(Ordering::Relaxed)
+    }
+
+    /// Total requests across all statuses.
+    pub fn requests_total(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Renders the exposition, including per-shard series read live from
+    /// the table at scrape time.
+    pub fn render(&self, table: &ShardTable) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        let _ = writeln!(out, "# TYPE lis_gateway_requests_total counter");
+        for (s, status) in STATUSES.iter().enumerate() {
+            let n = self.requests[s].load(Ordering::Relaxed);
+            if n > 0 {
+                let _ = writeln!(out, "lis_gateway_requests_total{{status=\"{status}\"}} {n}");
+            }
+        }
+        for (name, value) in [
+            ("lis_gateway_failovers_total", &self.failovers),
+            ("lis_gateway_hedges_launched_total", &self.hedges_launched),
+            ("lis_gateway_hedges_won_total", &self.hedges_won),
+            ("lis_gateway_shard_ejections_total", &self.ejections),
+            ("lis_gateway_shard_respawns_total", &self.respawns),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", value.load(Ordering::Relaxed));
+        }
+        let _ = writeln!(out, "# TYPE lis_gateway_shard_healthy gauge");
+        for shard in table.shards() {
+            let _ = writeln!(
+                out,
+                "lis_gateway_shard_healthy{{shard=\"{}\"}} {}",
+                shard.name,
+                u8::from(shard.is_healthy())
+            );
+        }
+        let _ = writeln!(out, "# TYPE lis_gateway_shard_requests_total counter");
+        for shard in table.shards() {
+            let _ = writeln!(
+                out,
+                "lis_gateway_shard_requests_total{{shard=\"{}\"}} {}",
+                shard.name,
+                shard.requests.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(out, "# TYPE lis_gateway_shard_failures_total counter");
+        for shard in table.shards() {
+            let _ = writeln!(
+                out,
+                "lis_gateway_shard_failures_total{{shard=\"{}\"}} {}",
+                shard.name,
+                shard.failures.load(Ordering::Relaxed)
+            );
+        }
+        self.latency.render(&mut out, "lis_gateway_request_seconds");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Shard;
+    use lis_server::parse_metric;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn table() -> ShardTable {
+        let addr = "127.0.0.1:1".parse().unwrap();
+        ShardTable::new(vec![
+            Arc::new(Shard::new("s0", addr)),
+            Arc::new(Shard::new("s1", addr)),
+        ])
+    }
+
+    #[test]
+    fn render_is_valid_prometheus_text() {
+        let m = GatewayMetrics::new();
+        let t = table();
+        m.record_request(200, Duration::from_micros(120));
+        m.record_request(502, Duration::from_millis(1));
+        m.failovers.fetch_add(2, Ordering::Relaxed);
+        t.shards()[1].mark_failure(1);
+        t.shards()[1].requests.fetch_add(5, Ordering::Relaxed);
+        let text = m.render(&t);
+        assert!(text.contains("lis_gateway_requests_total{status=\"200\"} 1"));
+        assert!(text.contains("lis_gateway_requests_total{status=\"502\"} 1"));
+        assert_eq!(
+            parse_metric(&text, "lis_gateway_failovers_total"),
+            Some(2.0)
+        );
+        assert!(text.contains("lis_gateway_shard_healthy{shard=\"s0\"} 1"));
+        assert!(text.contains("lis_gateway_shard_healthy{shard=\"s1\"} 0"));
+        assert!(text.contains("lis_gateway_shard_requests_total{shard=\"s1\"} 5"));
+        assert!(text.contains("lis_gateway_request_seconds_count 2"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_statuses_count_as_500() {
+        let m = GatewayMetrics::new();
+        m.record_request(299, Duration::ZERO);
+        assert_eq!(m.requests_for(500), 1);
+        assert_eq!(m.requests_total(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Child-process shard supervision: spawning `lis serve` backends on
+//! ephemeral ports and respawning them when they die.
+//!
+//! The gateway can front either remote shards (addresses handed to
+//! `--join`) or a local cluster it owns. For the latter, [`ChildSpec`]
+//! describes how to launch one shard (which binary, how many workers) and
+//! [`ChildShard`] wraps the running process. The child binds port 0 and
+//! announces its real address on stdout — the supervisor parses the
+//! `lis-server listening on <addr>` line instead of guessing ports.
+
+use std::io::{self, BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+/// How to launch one shard process.
+#[derive(Debug, Clone)]
+pub struct ChildSpec {
+    /// The `lis` binary to exec (usually `std::env::current_exe()`).
+    pub program: PathBuf,
+    /// Worker threads per shard (`--threads`).
+    pub workers: usize,
+    /// Shard job-queue capacity (`--queue`).
+    pub queue_capacity: usize,
+    /// Shard result-cache capacity (`--cache`).
+    pub cache_capacity: usize,
+}
+
+impl ChildSpec {
+    /// Launches one shard and waits for it to announce its address.
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures, or a child that exits (or says anything
+    /// unparseable) before announcing `lis-server listening on <addr>`.
+    pub fn spawn(&self, name: &str) -> io::Result<ChildShard> {
+        let mut child = Command::new(&self.program)
+            .arg("--threads")
+            .arg(self.workers.to_string())
+            .arg("serve")
+            .arg("127.0.0.1:0")
+            .arg("--queue")
+            .arg(self.queue_capacity.to_string())
+            .arg("--cache")
+            .arg(self.cache_capacity.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut reader = BufReader::new(stdout);
+        let addr = match read_announced_addr(&mut reader) {
+            Ok(addr) => addr,
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(e);
+            }
+        };
+        Ok(ChildShard {
+            name: name.to_string(),
+            addr,
+            child,
+            // Keep the pipe's read end open: dropping it would turn the
+            // child's shutdown println into an EPIPE panic.
+            _stdout: reader,
+        })
+    }
+}
+
+/// Parses the daemon's startup announcement off its stdout.
+fn read_announced_addr(reader: &mut BufReader<ChildStdout>) -> io::Result<SocketAddr> {
+    let mut line = String::new();
+    for _ in 0..64 {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "shard exited before announcing its address",
+            ));
+        }
+        if let Some(rest) = line.trim().strip_prefix("lis-server listening on ") {
+            let addr_text = rest.split_whitespace().next().unwrap_or("");
+            return addr_text.parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unparseable shard address {addr_text:?}: {e}"),
+                )
+            });
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        "shard never announced its address",
+    ))
+}
+
+/// One running shard process.
+pub struct ChildShard {
+    /// The shard's routing name (mirrors its [`crate::table::Shard`]).
+    pub name: String,
+    /// The address the child announced.
+    pub addr: SocketAddr,
+    child: Child,
+    _stdout: BufReader<ChildStdout>,
+}
+
+impl ChildShard {
+    /// The child's OS process id (exposed in `/healthz` so chaos tests can
+    /// kill a real shard).
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Whether the process has exited (non-blocking).
+    pub fn has_exited(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(Some(_)))
+    }
+
+    /// Asks the shard to drain via `POST /shutdown`, then waits briefly
+    /// and force-kills if it lingers.
+    pub fn stop(&mut self) {
+        if let Ok(mut client) = lis_server::Client::connect(self.addr) {
+            let _ = client.shutdown();
+        }
+        for _ in 0..50 {
+            if self.has_exited() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Force-kills the shard immediately (SIGKILL on Unix).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ChildShard {
+    fn drop(&mut self) {
+        // Never leak a shard process past the gateway's lifetime.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for rendezvous routing stability — the contract the
+//! warm-cache story rests on:
+//!
+//! * removing one of `n` shards remaps **only** the keys that shard owned;
+//! * adding a shard steals about `K/(n+1)` keys and steals them *for
+//!   itself* — no key moves between two surviving shards;
+//! * the ranking is deterministic and identical however it is computed.
+
+use lis_gateway::rendezvous::{mix, name_hash, rank, winner};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A random cluster: 2..=8 shards with distinct names plus a seed that
+/// derives the key set.
+#[derive(Debug, Clone)]
+struct Cluster {
+    hashes: Vec<u64>,
+    key_seed: u64,
+}
+
+struct ArbCluster;
+
+impl Strategy for ArbCluster {
+    type Value = Cluster;
+    fn generate(&self, rng: &mut StdRng) -> Cluster {
+        let n = rng.gen_range(2..=8usize);
+        let salt: u32 = rng.gen_range(0..1_000_000);
+        Cluster {
+            hashes: (0..n)
+                .map(|i| name_hash(&format!("shard-{salt}-{i}")))
+                .collect(),
+            key_seed: rng.gen_range(0..u64::MAX / 2),
+        }
+    }
+}
+
+const KEYS: u64 = 600;
+
+fn keys(seed: u64) -> impl Iterator<Item = u64> {
+    (0..KEYS).map(move |i| mix(seed.wrapping_add(i)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn removing_a_shard_remaps_only_its_own_keys(cluster in ArbCluster) {
+        let n = cluster.hashes.len();
+        // Remove each shard in turn and check every key's placement.
+        for removed in 0..n {
+            let survivors: Vec<u64> = cluster
+                .hashes
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(i, _)| i != removed)
+                .map(|(_, h)| h)
+                .collect();
+            for key in keys(cluster.key_seed) {
+                let before = cluster.hashes[winner(&cluster.hashes, key).unwrap()];
+                let after = survivors[winner(&survivors, key).unwrap()];
+                if before != cluster.hashes[removed] {
+                    // Keys the dead shard never owned must not move at all.
+                    prop_assert_eq!(before, after, "stable key was remapped");
+                } else {
+                    // Orphaned keys must land on the old second choice.
+                    let order = rank(&cluster.hashes, key);
+                    prop_assert_eq!(after, cluster.hashes[order[1]],
+                        "orphan did not go to the runner-up");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_no_key_between_old_shards(cluster in ArbCluster) {
+        let mut grown = cluster.hashes.clone();
+        grown.push(name_hash("the-new-shard"));
+        let newcomer = *grown.last().unwrap();
+        let mut moved = 0u64;
+        for key in keys(cluster.key_seed) {
+            let before = cluster.hashes[winner(&cluster.hashes, key).unwrap()];
+            let after = grown[winner(&grown, key).unwrap()];
+            if after != before {
+                // The only legal move is *to* the newcomer.
+                prop_assert_eq!(after, newcomer, "key moved between survivors");
+                moved += 1;
+            }
+        }
+        // Expect ~K/(n+1) stolen keys; allow 3x slack for hash noise.
+        let expected = KEYS / (cluster.hashes.len() as u64 + 1);
+        prop_assert!(moved <= expected * 3,
+            "newcomer stole {moved} keys, expected about {expected}");
+        prop_assert!(moved > 0, "newcomer stole nothing from {KEYS} keys");
+    }
+
+    #[test]
+    fn ranking_is_deterministic_and_total(cluster in ArbCluster) {
+        for key in keys(cluster.key_seed).take(50) {
+            let a = rank(&cluster.hashes, key);
+            let b = rank(&cluster.hashes, key);
+            prop_assert_eq!(&a, &b);
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..cluster.hashes.len()).collect::<Vec<_>>());
+            prop_assert_eq!(Some(a[0]), winner(&cluster.hashes, key));
+        }
+    }
+}

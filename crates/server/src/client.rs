@@ -14,7 +14,7 @@ use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::http::{read_response, write_request, Response};
+use crate::http::{read_response, write_request, write_request_with, Response};
 use crate::wire::{obj, Json};
 
 /// A persistent connection to a `lis-server` daemon.
@@ -48,6 +48,23 @@ impl Client {
     /// Propagates I/O and HTTP-framing errors.
     pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
         write_request(&mut self.writer, method, path, body)?;
+        read_response(&mut self.reader)
+    }
+
+    /// [`Client::request`] with extra request headers (e.g. a propagated
+    /// `X-LIS-Request-Id`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and HTTP-framing errors.
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Response> {
+        write_request_with(&mut self.writer, method, path, extra_headers, body)?;
         read_response(&mut self.reader)
     }
 

@@ -17,6 +17,11 @@ use std::time::Instant;
 /// Maximum bytes of request/status line plus headers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
+/// The cross-tier correlation header, in the lowercase form header lookup
+/// uses. Clients (or the gateway) set it; the server echoes it back, so a
+/// request can be traced through every tier it crossed.
+pub const REQUEST_ID_HEADER: &str = "x-lis-request-id";
+
 /// Maximum accepted `Content-Length`.
 pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 
@@ -83,6 +88,7 @@ pub fn reason(status: u16) -> &'static str {
         429 => "Too Many Requests",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
@@ -254,15 +260,42 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
 /// `Content-Length` framing. [`write_response`] sends exactly these bytes;
 /// the fault injector slices them to simulate a truncated peer.
 pub fn render_response(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    render_response_with(status, content_type, body, keep_alive, &[])
+}
+
+/// [`render_response`] with extra response headers (e.g. the propagated
+/// `X-LIS-Request-Id`). Header values are sanitized against CR/LF
+/// injection: any control character is replaced with `_`.
+pub fn render_response_with(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> Vec<u8> {
+    use std::fmt::Write as _;
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let mut wire = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         reason(status),
         body.len(),
-    )
-    .into_bytes();
+    );
+    for (name, value) in extra_headers {
+        let _ = write!(head, "{name}: {}\r\n", sanitize_header_value(value));
+    }
+    head.push_str("\r\n");
+    let mut wire = head.into_bytes();
     wire.extend_from_slice(body);
     wire
+}
+
+/// Replaces control characters (notably CR/LF) in a header value so an
+/// attacker-supplied string cannot smuggle extra headers into a response.
+fn sanitize_header_value(value: &str) -> String {
+    value
+        .chars()
+        .map(|c| if c.is_control() { '_' } else { c })
+        .collect()
 }
 
 /// Writes a complete response, with `Content-Length` framing.
@@ -278,6 +311,29 @@ pub fn write_response(
     keep_alive: bool,
 ) -> io::Result<()> {
     writer.write_all(&render_response(status, content_type, body, keep_alive))?;
+    writer.flush()
+}
+
+/// [`write_response`] with extra response headers.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_response_with(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    writer.write_all(&render_response_with(
+        status,
+        content_type,
+        body,
+        keep_alive,
+        extra_headers,
+    ))?;
     writer.flush()
 }
 
@@ -357,11 +413,33 @@ pub fn write_request(
     path: &str,
     body: &[u8],
 ) -> io::Result<()> {
-    write!(
-        writer,
-        "{method} {path} HTTP/1.1\r\nHost: lis\r\nContent-Length: {}\r\n\r\n",
+    write_request_with(writer, method, path, &[], body)
+}
+
+/// [`write_request`] with extra request headers (e.g. the propagated
+/// `X-LIS-Request-Id` on the gateway → shard hop). Values are sanitized
+/// against CR/LF injection.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_request_with(
+    writer: &mut impl Write,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: lis\r\nContent-Length: {}\r\n",
         body.len()
-    )?;
+    );
+    for (name, value) in extra_headers {
+        use std::fmt::Write as _;
+        let _ = write!(head, "{name}: {}\r\n", sanitize_header_value(value));
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
     writer.write_all(body)?;
     writer.flush()
 }
@@ -464,10 +542,57 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_the_emitted_codes() {
-        for code in [200, 400, 404, 405, 408, 413, 422, 429, 500, 503, 504] {
+        for code in [200, 400, 404, 405, 408, 413, 422, 429, 500, 502, 503, 504] {
             assert_ne!(reason(code), "Unknown", "{code}");
         }
         assert_eq!(reason(299), "Unknown");
+    }
+
+    #[test]
+    fn extra_headers_round_trip_on_requests_and_responses() {
+        let mut wire = Vec::new();
+        write_request_with(
+            &mut wire,
+            "POST",
+            "/analyze",
+            &[("X-LIS-Request-Id", "req-42")],
+            b"{}",
+        )
+        .unwrap();
+        let req = read_request(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .expect("one request");
+        assert_eq!(req.header("x-lis-request-id"), Some("req-42"));
+
+        let mut wire = Vec::new();
+        write_response_with(
+            &mut wire,
+            200,
+            "application/json",
+            b"{}",
+            true,
+            &[("X-LIS-Request-Id", "req-42")],
+        )
+        .unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.header("x-lis-request-id"), Some("req-42"));
+    }
+
+    #[test]
+    fn header_values_cannot_smuggle_crlf() {
+        let rendered = render_response_with(
+            200,
+            "application/json",
+            b"{}",
+            false,
+            &[("X-LIS-Request-Id", "evil\r\nX-Injected: 1")],
+        );
+        let text = String::from_utf8(rendered).unwrap();
+        assert!(
+            !text.lines().any(|l| l.starts_with("X-Injected")),
+            "a header was smuggled: {text}"
+        );
+        assert!(text.contains("evil__X-Injected: 1"), "{text}");
     }
 
     #[test]

@@ -36,9 +36,14 @@
 //! POST /insert  {"netlist": "...", "options": {"budget": 2}}
 //! POST /dot     {"netlist": "...", "options": {"doubled": true}}
 //! GET  /metrics               Prometheus text exposition
-//! GET  /healthz               {"ok": true}
+//! GET  /healthz               JSON readiness: role, workers, queue depth,
+//!                             cache entries, uptime — the lis-gateway probe
 //! POST /shutdown              drain in-flight work, then exit
 //! ```
+//!
+//! Requests may carry an `X-LIS-Request-Id` header; the server echoes it in
+//! the response so one request can be correlated across tiers (client →
+//! gateway → shard) in logs and metrics.
 //!
 //! # Examples
 //!

@@ -60,13 +60,19 @@ impl Route {
 }
 
 /// The status classes tracked per-counter.
-const STATUSES: [u16; 11] = [200, 400, 404, 405, 408, 413, 422, 429, 500, 503, 504];
+const STATUSES: [u16; 12] = [200, 400, 404, 405, 408, 413, 422, 429, 500, 502, 503, 504];
 
 fn status_slot(status: u16) -> usize {
     STATUSES
         .iter()
         .position(|&s| s == status)
-        .unwrap_or(STATUSES.len() - 3) // unknown codes count as 500
+        .unwrap_or_else(|| {
+            // Unknown codes count as 500.
+            STATUSES
+                .iter()
+                .position(|&s| s == 500)
+                .expect("500 tracked")
+        })
 }
 
 /// Upper bounds (seconds) of the latency histogram buckets; an implicit
@@ -103,7 +109,9 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    fn render(&self, out: &mut String, name: &str) {
+    /// Renders the full `# TYPE` + bucket/sum/count block for `name`. Public
+    /// so other exporters (the gateway) can reuse the histogram wholesale.
+    pub fn render(&self, out: &mut String, name: &str) {
         use std::fmt::Write as _;
         let _ = writeln!(out, "# TYPE {name} histogram");
         self.render_series(out, name, "");
@@ -112,7 +120,7 @@ impl Histogram {
     /// Renders the bucket/sum/count series with `labels` (e.g.
     /// `engine="howard",`) prepended to each label set. No `# TYPE` line, so
     /// several labeled series can share one metric name.
-    fn render_series(&self, out: &mut String, name: &str, labels: &str) {
+    pub fn render_series(&self, out: &mut String, name: &str, labels: &str) {
         use std::fmt::Write as _;
         let mut cumulative = 0u64;
         for (i, le) in LATENCY_BUCKETS.iter().enumerate() {

@@ -30,7 +30,10 @@ use lis_core::parse_netlist;
 use crate::cache::{CachedResponse, ResultCache};
 use crate::error::ServerError;
 use crate::fault::{FaultPlan, WriteFault};
-use crate::http::{read_request, render_response, write_response, DeadlineReader, Request};
+use crate::http::{
+    read_request, render_response_with, write_response, write_response_with, DeadlineReader,
+    Request, REQUEST_ID_HEADER,
+};
 use crate::jobs::RequestKind;
 use crate::metrics::{Metrics, Route};
 use crate::pool::{SubmitError, WorkerPool};
@@ -93,6 +96,7 @@ struct State {
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
     config: ServerConfig,
+    started: Instant,
 }
 
 /// The analysis daemon. Bind with [`Server::bind`], serve with
@@ -124,6 +128,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             config,
+            started: Instant::now(),
         });
         Ok(Server { listener, state })
     }
@@ -274,12 +279,19 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
         };
 
         let started = Instant::now();
+        // Correlate this exchange across tiers: a client- (or gateway-)
+        // supplied X-LIS-Request-Id is echoed verbatim in the response.
+        let request_id = request.header(REQUEST_ID_HEADER).map(str::to_string);
         let (route, status, content_type, body) = dispatch(&request, state);
         let shutting_down = state.shutdown.load(Ordering::Acquire);
         let keep_alive = !request.wants_close() && !shutting_down;
         state
             .metrics
             .record_request(route, status, started.elapsed());
+        let extra_headers: Vec<(&str, &str)> = request_id
+            .iter()
+            .map(|id| ("X-LIS-Request-Id", id.as_str()))
+            .collect();
         // Fault injection on the write side, analysis routes only — the
         // control plane (/metrics, /healthz, /shutdown) stays reliable so
         // chaos runs can still observe and drain the daemon.
@@ -292,11 +304,17 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
             _ => WriteFault::None,
         };
         match write_fault {
-            WriteFault::None => {
-                write_response(&mut writer, status, content_type, &body, keep_alive)?
-            }
+            WriteFault::None => write_response_with(
+                &mut writer,
+                status,
+                content_type,
+                &body,
+                keep_alive,
+                &extra_headers,
+            )?,
             WriteFault::Truncate => {
-                let wire = render_response(status, content_type, &body, keep_alive);
+                let wire =
+                    render_response_with(status, content_type, &body, keep_alive, &extra_headers);
                 writer.write_all(&wire[..wire.len() / 2])?;
                 writer.flush()?;
                 return Ok(());
@@ -343,12 +361,41 @@ fn dispatch(request: &Request, state: &Arc<State>) -> (Route, u16, &'static str,
                 state.metrics.render().into_bytes(),
             )
         }
-        ("GET", "/healthz") => (
-            Route::Healthz,
-            200,
-            "application/json",
-            obj([("ok", Json::Bool(true))]).to_string().into_bytes(),
-        ),
+        ("GET", "/healthz") => {
+            // The gateway's readiness probe, also useful standalone: one
+            // JSON object summarizing load and configuration. `ok` stays
+            // first for humans; machines should key on the named fields.
+            let body = obj([
+                ("ok", Json::Bool(true)),
+                ("role", Json::str("server")),
+                (
+                    "engine",
+                    Json::str(marked_graph::McmEngine::default().as_str()),
+                ),
+                ("workers", Json::num(state.pool.workers() as f64)),
+                ("queue_depth", Json::num(state.pool.queue_depth() as f64)),
+                ("queue_capacity", Json::num(state.pool.capacity() as f64)),
+                ("cache_entries", Json::num(state.cache.len() as f64)),
+                (
+                    "cache_capacity",
+                    Json::num(state.config.cache_capacity as f64),
+                ),
+                (
+                    "uptime_ms",
+                    Json::num(state.started.elapsed().as_millis() as f64),
+                ),
+                (
+                    "draining",
+                    Json::Bool(state.shutdown.load(Ordering::Acquire)),
+                ),
+            ]);
+            (
+                Route::Healthz,
+                200,
+                "application/json",
+                body.to_string().into_bytes(),
+            )
+        }
         ("POST", "/shutdown") => {
             state.shutdown.store(true, Ordering::Release);
             (

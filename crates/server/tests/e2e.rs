@@ -374,3 +374,82 @@ fn concurrent_clients_hammering_the_cache_agree_bytewise() {
     assert!(hits >= 150.0, "160 repeats should mostly hit, saw {hits}");
     stop(addr, daemon);
 }
+
+#[test]
+fn healthz_reports_readiness_fields() {
+    let (addr, daemon) = start(ServerConfig {
+        workers: 2,
+        queue_capacity: 17,
+        cache_capacity: 99,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Populate the cache with one entry, then probe.
+    let resp = client
+        .request(
+            "POST",
+            "/analyze",
+            obj([("netlist", Json::str(FIG1))]).to_string().as_bytes(),
+        )
+        .expect("analyze");
+    assert_eq!(resp.status, 200);
+
+    let health = client.request("GET", "/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200);
+    let body = Json::parse(std::str::from_utf8(&health.body).unwrap()).expect("json");
+    assert_eq!(body.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(body.get("role").unwrap().as_str(), Some("server"));
+    assert_eq!(body.get("engine").unwrap().as_str(), Some("howard"));
+    assert_eq!(body.get("workers").unwrap().as_u64(), Some(2));
+    assert_eq!(body.get("queue_capacity").unwrap().as_u64(), Some(17));
+    assert_eq!(body.get("cache_entries").unwrap().as_u64(), Some(1));
+    assert_eq!(body.get("cache_capacity").unwrap().as_u64(), Some(99));
+    assert_eq!(body.get("draining").unwrap().as_bool(), Some(false));
+    assert!(body.get("queue_depth").unwrap().as_u64().is_some());
+    assert!(body.get("uptime_ms").unwrap().as_u64().is_some());
+    stop(addr, daemon);
+}
+
+#[test]
+fn request_id_header_is_echoed_and_absent_when_not_sent() {
+    let (addr, daemon) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let body = obj([("netlist", Json::str(FIG1))]).to_string();
+
+    let tagged = client
+        .request_with(
+            "POST",
+            "/analyze",
+            &[("X-LIS-Request-Id", "corr-7")],
+            body.as_bytes(),
+        )
+        .expect("tagged analyze");
+    assert_eq!(tagged.status, 200);
+    assert_eq!(tagged.header("x-lis-request-id"), Some("corr-7"));
+
+    // Control-plane routes echo it too.
+    let health = client
+        .request_with("GET", "/healthz", &[("X-LIS-Request-Id", "corr-8")], b"")
+        .expect("tagged healthz");
+    assert_eq!(health.header("x-lis-request-id"), Some("corr-8"));
+
+    // No id supplied: no header invented.
+    let untagged = client
+        .request("POST", "/analyze", body.as_bytes())
+        .expect("untagged analyze");
+    assert_eq!(untagged.header("x-lis-request-id"), None);
+
+    // Error responses carry the id as well (it is how failures correlate).
+    let bad = client
+        .request_with(
+            "POST",
+            "/analyze",
+            &[("X-LIS-Request-Id", "corr-9")],
+            b"not json",
+        )
+        .expect("tagged 400");
+    assert_eq!(bad.status, 400);
+    assert_eq!(bad.header("x-lis-request-id"), Some("corr-9"));
+    stop(addr, daemon);
+}
