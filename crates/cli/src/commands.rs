@@ -6,7 +6,10 @@ use std::fs;
 use lis_core::{parse_netlist, practical_mst, to_netlist, LisModel, LisSystem, McmEngine};
 use lis_qs::{solve, verify_solution, Algorithm, QsConfig};
 use lis_rsopt::{equalize_dag, exhaustive_insertion, greedy_insertion};
-use lis_sim::{CoreModel, LisSimulator, Passthrough, QueueMode};
+use lis_sim::{
+    CompiledProgram, CompiledSim, CoreModel, LisSimulator, McKernel, Passthrough, QueueMode,
+    StallSpec,
+};
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -18,7 +21,15 @@ analysis commands (local, netlist from a file):
   qs       <netlist> [--exact] [--apply OUT]
   insert   <netlist> [--budget N] [--apply OUT]
   repair   <netlist> [--slot-cost X] [--station-cost Y] [--apply OUT]
-  simulate <netlist> [--steps N]
+  simulate <netlist> [--steps N] [--kernel reference|compiled]
+                     [--trials N] [--seed S] [--stall P]
+                                         cycle-accurate simulation; the
+                                         compiled kernel adds Monte-Carlo
+                                         mode: --trials N seeded trials
+                                         (--seed S, default 0) under uniform
+                                         stall probability P (--stall,
+                                         default 0), 64 trials per machine
+                                         word, reported against the θ bound
   vcd      <netlist> [--steps N]         waveform dump to stdout (GTKWave)
   dot      <netlist> [--doubled]
 
@@ -486,6 +497,32 @@ fn repair_cmd(sys: &LisSystem, rest: &[String]) -> CliResult {
 
 fn simulate(sys: &LisSystem, rest: &[String]) -> CliResult {
     let steps: u64 = option(rest, "--steps", 10_000)?;
+    let kernel: String = option(rest, "--kernel", "reference".to_string())?;
+    let trials: usize = option(rest, "--trials", 1)?;
+    let seed: u64 = option(rest, "--seed", 0)?;
+    let stall: f64 = option(rest, "--stall", 0.0)?;
+    if steps == 0 {
+        return Err("--steps must be at least 1".into());
+    }
+    if trials == 0 {
+        return Err("--trials must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&stall) {
+        return Err("--stall must be a probability in [0, 1]".into());
+    }
+    match kernel.as_str() {
+        "reference" => {
+            if trials > 1 || stall > 0.0 {
+                return Err("--trials/--stall require --kernel compiled".into());
+            }
+            simulate_reference(sys, steps)
+        }
+        "compiled" => simulate_compiled(sys, steps, trials, seed, stall),
+        other => Err(format!("unknown kernel {other:?}; known: reference, compiled").into()),
+    }
+}
+
+fn simulate_reference(sys: &LisSystem, steps: u64) -> CliResult {
     let cores: Vec<Box<dyn CoreModel>> = sys
         .block_ids()
         .map(|b| {
@@ -524,6 +561,52 @@ fn simulate(sys: &LisSystem, rest: &[String]) -> CliResult {
                 sys.block_name(sys.channel_to(c))
             );
         }
+    }
+    Ok(())
+}
+
+/// The compiled-kernel paths: scalar (one trial, no stalls) or the packed
+/// 64-lane Monte-Carlo kernel (seeded trials under uniform stalls).
+fn simulate_compiled(
+    sys: &LisSystem,
+    steps: u64,
+    trials: usize,
+    seed: u64,
+    stall: f64,
+) -> CliResult {
+    let theta = practical_mst(sys);
+    if trials == 1 && stall == 0.0 {
+        let mut sim = CompiledSim::new(sys, QueueMode::Finite);
+        sim.run(steps);
+        println!("simulated {steps} clock periods (compiled kernel, finite queues)");
+        println!("analytic practical MST: {theta}");
+        for b in sys.block_ids() {
+            println!(
+                "  {:<16} fired {:>8} times, rate {:.4}",
+                sys.block_name(b),
+                sim.firings(b),
+                sim.throughput(b).to_f64()
+            );
+        }
+        return Ok(());
+    }
+    let prog = CompiledProgram::compile(sys, QueueMode::Finite);
+    let spec = StallSpec::uniform(&prog, stall);
+    let report = McKernel::new(prog, spec, seed).run(trials, steps);
+    println!(
+        "simulated {trials} Monte-Carlo trial(s) x {steps} periods \
+         (compiled 64-lane kernel, stall p={stall}, seed {seed})"
+    );
+    println!("analytic practical MST (θ bound): {theta}");
+    println!(
+        "system rate over trials: mean {:.4}  min {:.4}  max {:.4}",
+        report.mean_system_rate(),
+        report.min_system_rate(),
+        report.max_system_rate()
+    );
+    for b in sys.block_ids() {
+        let mean = (0..trials).map(|i| report.block_rate(b, i)).sum::<f64>() / trials as f64;
+        println!("  {:<16} mean rate {mean:.4}", sys.block_name(b));
     }
     Ok(())
 }

@@ -7,7 +7,11 @@
 //!                                     queue sizing (heuristic by default)
 //! lis insert   <netlist> [--budget N] [--apply OUT]
 //!                                     relay-station insertion search
-//! lis simulate <netlist> [--steps N]  cycle-accurate simulation
+//! lis simulate <netlist> [--steps N] [--kernel reference|compiled]
+//!              [--trials N] [--seed S] [--stall P]
+//!                                     cycle-accurate simulation; the
+//!                                     compiled kernel packs 64 seeded
+//!                                     Monte-Carlo trials per machine word
 //! lis dot      <netlist> [--doubled]  Graphviz export
 //! lis serve    <addr>                 analysis-as-a-service daemon
 //! lis client   <addr> <cmd> <netlist> one request against a daemon

@@ -1,0 +1,102 @@
+//! Real-binary tests for `lis simulate`: kernel selection, Monte-Carlo
+//! flags, seed determinism, and exit-code behavior.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+const FIG1: &str = "block A\nblock B\nchannel A -> B rs=1\nchannel A -> B\n";
+
+static COUNTER: AtomicU32 = AtomicU32::new(0);
+
+/// Writes a throwaway netlist and returns its path (left behind in the
+/// temp dir; unique per test invocation).
+fn netlist_file(text: &str) -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let path =
+        std::env::temp_dir().join(format!("lis-simulate-cli-{}-{n}.lis", std::process::id()));
+    fs::write(&path, text).expect("write netlist");
+    path
+}
+
+fn run_simulate(args: &[&str]) -> Output {
+    let path = netlist_file(FIG1);
+    Command::new(env!("CARGO_BIN_EXE_lis"))
+        .arg("simulate")
+        .arg(&path)
+        .args(args)
+        .output()
+        .expect("run lis simulate")
+}
+
+#[test]
+fn reference_kernel_is_the_default() {
+    let out = run_simulate(&["--steps", "300"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("pass-through cores"), "{stdout}");
+    assert!(stdout.contains("2/3"), "{stdout}");
+}
+
+#[test]
+fn compiled_kernel_reports_the_same_rate() {
+    let out = run_simulate(&["--steps", "3000", "--kernel", "compiled"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("compiled kernel"), "{stdout}");
+    // Fig. 1 under backpressure settles at 2/3.
+    assert!(stdout.contains("rate 0.66"), "{stdout}");
+}
+
+#[test]
+fn monte_carlo_mode_is_seed_deterministic() {
+    let args = [
+        "--steps", "500", "--kernel", "compiled", "--trials", "96", "--stall", "0.1", "--seed", "7",
+    ];
+    let a = run_simulate(&args);
+    let b = run_simulate(&args);
+    assert!(a.status.success(), "{a:?}");
+    let a = String::from_utf8(a.stdout).expect("utf8");
+    let b = String::from_utf8(b.stdout).expect("utf8");
+    assert_eq!(a, b, "same seed must reproduce the identical report");
+    assert!(a.contains("Monte-Carlo"), "{a}");
+    assert!(a.contains("θ bound"), "{a}");
+
+    let other = run_simulate(&[
+        "--steps", "500", "--kernel", "compiled", "--trials", "96", "--stall", "0.1", "--seed", "8",
+    ]);
+    let other = String::from_utf8(other.stdout).expect("utf8");
+    assert_ne!(a, other, "a different seed must change the trials");
+}
+
+#[test]
+fn unknown_kernel_exits_with_failure() {
+    let out = run_simulate(&["--kernel", "warp"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("known: reference, compiled"),
+        "stderr was: {stderr}"
+    );
+}
+
+#[test]
+fn monte_carlo_flags_require_the_compiled_kernel() {
+    let out = run_simulate(&["--trials", "8"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("--kernel compiled"), "stderr was: {stderr}");
+}
+
+#[test]
+fn usage_documents_the_monte_carlo_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lis"))
+        .output()
+        .expect("run lis");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    for flag in ["--kernel", "--trials", "--seed", "--stall"] {
+        assert!(stderr.contains(flag), "usage misses {flag}: {stderr}");
+    }
+}

@@ -70,8 +70,8 @@ pub use heuristic::{heuristic_solve, heuristic_solve_trimmed};
 pub use lp::{to_lp, to_lp_from_td};
 pub use oracle::{trim_weights, ThroughputOracle};
 pub use solve::{
-    apply_solution, solve, verify_solution, verify_solution_incremental, Algorithm, QsConfig,
-    QsReport,
+    apply_solution, solve, verify_solution, verify_solution_incremental, verify_solution_simulated,
+    Algorithm, QsConfig, QsReport,
 };
 pub use td::{simplify, Simplified, TdInstance, TdSolution};
 

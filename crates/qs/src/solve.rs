@@ -244,6 +244,31 @@ pub fn verify_solution_incremental(oracle: &mut ThroughputOracle, report: &QsRep
     oracle.practical_mst_with_extra(&report.extra_tokens) == report.target
 }
 
+/// Verifies a report *dynamically*: resizes the system, executes it on the
+/// compiled simulation kernel for `steps` clock periods, and checks that
+/// the measured steady-state rate reaches the restored target.
+///
+/// This is the executable counterpart of the static certificate in
+/// [`verify_solution`] — independent of the MCM engines, it exercises the
+/// actual token game the queues play. Cumulative rates carry an
+/// `O(1/steps)` start-up transient, so the comparison uses a tolerance of
+/// `max(0.01, 64/steps)`; a few thousand steps separates any real
+/// degradation (rational gaps are far larger on realistic systems).
+///
+/// # Panics
+///
+/// Panics if `steps` is zero.
+pub fn verify_solution_simulated(sys: &LisSystem, report: &QsReport, steps: u64) -> bool {
+    assert!(steps > 0, "simulated verification needs at least one step");
+    let mut resized = sys.clone();
+    apply_solution(&mut resized, report);
+    let mut sim = lis_sim::CompiledSim::new(&resized, lis_sim::QueueMode::Finite);
+    sim.run(steps);
+    let measured = sim.min_throughput().to_f64();
+    let tol = (64.0 / steps as f64).max(0.01);
+    (measured - report.target.to_f64()).abs() <= tol
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +285,28 @@ mod tests {
             assert_eq!(report.target, Ratio::ONE);
             assert!(verify_solution(&sys, &report), "{algo:?}");
         }
+    }
+
+    #[test]
+    fn simulated_verification_agrees_with_static_certificate() {
+        let (sys, _, _) = figures::fig1();
+        let report = solve(&sys, Algorithm::Exact, &QsConfig::default()).unwrap();
+        assert!(verify_solution_simulated(&sys, &report, 4000));
+
+        // Withholding the extra slot leaves the system at 2/3 < 1: the
+        // simulated check must reject the claim just as the static one does.
+        let mut broken = report.clone();
+        broken.extra_tokens.clear();
+        assert!(!verify_solution(&sys, &broken));
+        assert!(!verify_solution_simulated(&sys, &broken, 4000));
+    }
+
+    #[test]
+    fn fig15_solution_verifies_simulated() {
+        let (sys, _) = figures::fig15();
+        let report = solve(&sys, Algorithm::Exact, &QsConfig::default()).unwrap();
+        assert!(verify_solution(&sys, &report));
+        assert!(verify_solution_simulated(&sys, &report, 6000));
     }
 
     #[test]

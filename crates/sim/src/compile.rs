@@ -1,0 +1,351 @@
+//! Flattening a LIS network into a compiled simulation program.
+//!
+//! The reference interpreter ([`crate::LisSimulator`]) walks the marked
+//! graph through per-block `dyn` dispatch, `VecDeque` FIFOs, and per-step
+//! allocations. For protocol-level questions — firing schedules, measured
+//! throughput, queue occupancy — none of that machinery is needed: the
+//! AND-firing rule depends only on token *presence*, never on the values a
+//! core computes. [`CompiledProgram`] exploits this by lowering the
+//! shell/relay-station network once into a structure-of-arrays form the
+//! kernels in [`crate::kernel`] and [`crate::mc`] can execute with no
+//! dispatch and no allocation:
+//!
+//! * per-transition input places as one CSR array pair (`in_off`/`in_places`);
+//! * per-place producer/consumer transition indices (`place_src`/`place_dst`);
+//! * a topologically derived transition **schedule** (reverse postorder over
+//!   the token-free forward edges) so one pass walks dependency chains in
+//!   cache order;
+//! * precomputed channel/queue index arrays mapping netlist entities
+//!   (blocks, channels, relay stations) back onto the flat program;
+//! * per-place token **caps** from the edge/backedge pair invariant of the
+//!   doubled model, which is what lets the Monte-Carlo kernel bit-slice
+//!   token counts into a fixed number of planes.
+
+use lis_core::{BlockId, ChannelId, LisModel, LisSystem};
+
+use crate::simulator::QueueMode;
+
+/// A LIS network lowered to flat arrays, ready for compiled execution.
+///
+/// The program is immutable once built; every simulator instantiated from
+/// it ([`crate::CompiledSim`], [`crate::McKernel`]) shares the same
+/// schedule and wiring and differs only in its mutable state buffers.
+///
+/// # Examples
+///
+/// ```
+/// use lis_core::figures;
+/// use lis_sim::{CompiledProgram, QueueMode};
+///
+/// let (sys, _, _) = figures::fig1();
+/// let prog = CompiledProgram::compile(&sys, QueueMode::Finite);
+/// // Two shells + one relay station, doubled places.
+/// assert_eq!(prog.transition_count(), 3);
+/// assert_eq!(prog.place_count(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    mode: QueueMode,
+    /// CSR offsets into `in_places`, indexed by transition; length
+    /// `transition_count + 1`.
+    pub(crate) in_off: Vec<u32>,
+    /// Input place indices, grouped per transition.
+    pub(crate) in_places: Vec<u32>,
+    /// Producing transition per place.
+    pub(crate) place_src: Vec<u32>,
+    /// Consuming transition per place.
+    pub(crate) place_dst: Vec<u32>,
+    /// Initial marking per place.
+    pub(crate) init_tokens: Vec<u64>,
+    /// Maximum reachable token count per place (the edge/backedge pair
+    /// invariant of the doubled model). Empty in the ideal model, where
+    /// forward places are unbounded.
+    pub(crate) cap: Vec<u64>,
+    /// Transition iteration order: reverse postorder over token-free
+    /// forward edges (a topological order of the intra-cycle dependency
+    /// chains; cyclic token-carrying edges are barriers anyway).
+    pub(crate) schedule: Vec<u32>,
+    /// Per block: the transition implementing its shell.
+    pub(crate) block_transition: Vec<u32>,
+    /// Per channel: the last forward place (the consumer shell's input
+    /// queue — its token count is the channel's consumer-side occupancy).
+    pub(crate) queue_place: Vec<u32>,
+    /// Relay-station transitions, flattened; `relay_off` indexes per
+    /// channel in producer → consumer order.
+    pub(crate) relay_off: Vec<u32>,
+    pub(crate) relay_transitions: Vec<u32>,
+}
+
+impl CompiledProgram {
+    /// Lowers `sys` under the given queue regime.
+    ///
+    /// `QueueMode::Finite` compiles the doubled marked graph (backpressure,
+    /// bounded markings); `QueueMode::Infinite` compiles the ideal model
+    /// (forward edges only, markings can grow without bound).
+    pub fn compile(sys: &LisSystem, mode: QueueMode) -> CompiledProgram {
+        let model = match mode {
+            QueueMode::Finite => LisModel::doubled(sys),
+            QueueMode::Infinite => LisModel::ideal(sys),
+        };
+        let graph = model.graph();
+        let nt = graph.transition_count();
+        let np = graph.place_count();
+
+        let mut in_off = Vec::with_capacity(nt + 1);
+        let mut in_places = Vec::new();
+        in_off.push(0u32);
+        for t in graph.transition_ids() {
+            for &p in graph.inputs(t) {
+                in_places.push(p.index() as u32);
+            }
+            in_off.push(in_places.len() as u32);
+        }
+
+        let place_src: Vec<u32> = graph
+            .place_ids()
+            .map(|p| graph.source(p).index() as u32)
+            .collect();
+        let place_dst: Vec<u32> = graph
+            .place_ids()
+            .map(|p| graph.target(p).index() as u32)
+            .collect();
+        let init_tokens: Vec<u64> = graph.place_ids().map(|p| graph.tokens(p)).collect();
+
+        // Pair invariant of the doubled model: firing either endpoint of a
+        // forward/backward pair moves one token across it, so the pair sum
+        // is conserved and caps both places.
+        let cap = if mode == QueueMode::Finite {
+            let mut cap = vec![0u64; np];
+            for c in sys.channel_ids() {
+                let fwd = model.forward_places(c);
+                let back = model.backward_places(c);
+                for (&f, &b) in fwd.iter().zip(back.iter()) {
+                    let pair = graph.tokens(f) + graph.tokens(b);
+                    cap[f.index()] = pair;
+                    cap[b.index()] = pair;
+                }
+            }
+            cap
+        } else {
+            Vec::new()
+        };
+
+        let schedule = reverse_postorder(nt, &in_off, &in_places, &place_src, &init_tokens);
+
+        let block_transition: Vec<u32> = sys
+            .block_ids()
+            .map(|b| model.block_transition(b).index() as u32)
+            .collect();
+        let queue_place: Vec<u32> = sys
+            .channel_ids()
+            .map(|c| {
+                model
+                    .forward_places(c)
+                    .last()
+                    .expect("channel has at least one hop")
+                    .index() as u32
+            })
+            .collect();
+        let mut relay_off = Vec::with_capacity(sys.channel_count() + 1);
+        let mut relay_transitions = Vec::new();
+        relay_off.push(0u32);
+        for c in sys.channel_ids() {
+            for &rs in model.relay_transitions(c) {
+                relay_transitions.push(rs.index() as u32);
+            }
+            relay_off.push(relay_transitions.len() as u32);
+        }
+
+        CompiledProgram {
+            mode,
+            in_off,
+            in_places,
+            place_src,
+            place_dst,
+            init_tokens,
+            cap,
+            schedule,
+            block_transition,
+            queue_place,
+            relay_off,
+            relay_transitions,
+        }
+    }
+
+    /// The queue regime this program was compiled for.
+    pub fn mode(&self) -> QueueMode {
+        self.mode
+    }
+
+    /// Number of transitions (shells + relay stations).
+    pub fn transition_count(&self) -> usize {
+        self.in_off.len() - 1
+    }
+
+    /// Number of places (token-weighted edges).
+    pub fn place_count(&self) -> usize {
+        self.place_src.len()
+    }
+
+    /// The flat transition index of a block's shell.
+    pub fn block_transition(&self, b: BlockId) -> usize {
+        self.block_transition[b.index()] as usize
+    }
+
+    /// Number of blocks in the source netlist.
+    pub fn block_count(&self) -> usize {
+        self.block_transition.len()
+    }
+
+    /// Number of channels in the source netlist.
+    pub fn channel_count(&self) -> usize {
+        self.queue_place.len()
+    }
+
+    /// The flat place index whose marking is channel `c`'s consumer-side
+    /// occupancy (input queue + in-flight item).
+    pub fn queue_place(&self, c: ChannelId) -> usize {
+        self.queue_place[c.index()] as usize
+    }
+
+    /// The flat transition indices of channel `c`'s relay stations,
+    /// producer → consumer order.
+    pub fn relay_transitions(&self, c: ChannelId) -> &[u32] {
+        let lo = self.relay_off[c.index()] as usize;
+        let hi = self.relay_off[c.index() + 1] as usize;
+        &self.relay_transitions[lo..hi]
+    }
+
+    /// Maximum reachable marking of place `p` (`None` in the ideal model,
+    /// where forward markings are unbounded).
+    pub fn place_cap(&self, p: usize) -> Option<u64> {
+        self.cap.get(p).copied()
+    }
+
+    /// Number of `u64` words in a transition bitmask.
+    pub(crate) fn words(&self) -> usize {
+        self.transition_count().div_ceil(64)
+    }
+}
+
+/// Reverse postorder of the transition DAG induced by *token-free* places:
+/// an empty forward place means its target cannot fire before its source
+/// has, so walking sources first follows the data dependency chains of one
+/// clock period. Token-carrying places (pipeline registers, backedges)
+/// break the chains and may close cycles; the DFS simply does not traverse
+/// them, which also makes the walk well-founded on any live graph.
+fn reverse_postorder(
+    nt: usize,
+    in_off: &[u32],
+    in_places: &[u32],
+    place_src: &[u32],
+    init_tokens: &[u64],
+) -> Vec<u32> {
+    // Dependency edges: t depends on src(p) for every empty input place p,
+    // so the DFS descends into dependencies and emits a transition after
+    // all of them — postorder already lists dependencies first.
+    let mut visited = vec![false; nt];
+    let mut order = Vec::with_capacity(nt);
+    let mut stack: Vec<(u32, u32)> = Vec::new(); // (transition, next input cursor)
+    for root in 0..nt as u32 {
+        if visited[root as usize] {
+            continue;
+        }
+        visited[root as usize] = true;
+        stack.push((root, in_off[root as usize]));
+        while let Some(&mut (t, ref mut i)) = stack.last_mut() {
+            let end = in_off[t as usize + 1];
+            let mut next = None;
+            while *i < end {
+                let p = in_places[*i as usize] as usize;
+                *i += 1;
+                if init_tokens[p] == 0 && !visited[place_src[p] as usize] {
+                    next = Some(place_src[p]);
+                    break;
+                }
+            }
+            match next {
+                Some(dep) => {
+                    visited[dep as usize] = true;
+                    stack.push((dep, in_off[dep as usize]));
+                }
+                None => {
+                    stack.pop();
+                    order.push(t);
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_core::figures;
+
+    #[test]
+    fn fig1_shapes_and_caps() {
+        let (sys, upper, lower) = figures::fig1();
+        let prog = CompiledProgram::compile(&sys, QueueMode::Finite);
+        assert_eq!(prog.transition_count(), 3);
+        assert_eq!(prog.place_count(), 6);
+        assert_eq!(prog.block_count(), 2);
+        assert_eq!(prog.channel_count(), 2);
+        assert_eq!(prog.mode(), QueueMode::Finite);
+        // Relay station only on the upper channel.
+        assert_eq!(prog.relay_transitions(upper).len(), 1);
+        assert_eq!(prog.relay_transitions(lower).len(), 0);
+        // Every place capped by its pair sum; queue places exist.
+        for p in 0..prog.place_count() {
+            let cap = prog.place_cap(p).expect("finite mode is capped");
+            assert!(cap >= 1, "place {p} has cap 0");
+            assert!(prog.init_tokens[p] <= cap);
+        }
+        let _ = prog.queue_place(upper);
+    }
+
+    #[test]
+    fn ideal_mode_is_uncapped() {
+        let (sys, _, _) = figures::fig1();
+        let prog = CompiledProgram::compile(&sys, QueueMode::Infinite);
+        assert_eq!(prog.place_count(), 3);
+        assert_eq!(prog.place_cap(0), None);
+        assert_eq!(prog.mode(), QueueMode::Infinite);
+    }
+
+    #[test]
+    fn schedule_is_a_permutation() {
+        let (sys, _) = figures::fig15();
+        for mode in [QueueMode::Finite, QueueMode::Infinite] {
+            let prog = CompiledProgram::compile(&sys, mode);
+            let mut seen = vec![false; prog.transition_count()];
+            for &t in &prog.schedule {
+                assert!(!seen[t as usize], "transition {t} scheduled twice");
+                seen[t as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "schedule misses a transition");
+        }
+    }
+
+    #[test]
+    fn schedule_orders_empty_edge_dependencies() {
+        // A -> rs -> B on one channel: the relay station's input place is
+        // empty at reset, so A must be scheduled before the relay station.
+        let mut sys = LisSystem::new();
+        let a = sys.add_block("A");
+        let b = sys.add_block("B");
+        let c = sys.add_channel(a, b);
+        sys.add_relay_station(c);
+        let prog = CompiledProgram::compile(&sys, QueueMode::Finite);
+        let pos = |t: u32| {
+            prog.schedule
+                .iter()
+                .position(|&x| x == t)
+                .expect("scheduled")
+        };
+        let rs = prog.relay_transitions(c)[0];
+        let a_t = prog.block_transition(a) as u32;
+        assert!(pos(a_t) < pos(rs), "producer must precede its empty edge");
+    }
+}

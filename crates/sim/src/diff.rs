@@ -1,0 +1,105 @@
+//! Differential harness: compiled kernel vs the reference interpreter.
+//!
+//! The compiled kernel's whole claim is *cycle-exactness*: for every netlist
+//! and every clock period, the set of firing shells and relay stations — and
+//! therefore every throughput figure and queue occupancy — must be identical
+//! to the value-level [`LisSimulator`]. This module steps both side by side
+//! and asserts it, mirroring the latency-equivalence harness in
+//! [`crate::equiv`]. The sim-smoke CI job runs it over the committed netlist
+//! corpus in both queue regimes.
+
+use lis_core::LisSystem;
+
+use crate::core_model::{CoreModel, Passthrough};
+use crate::kernel::CompiledSim;
+use crate::simulator::{LisSimulator, QueueMode};
+
+/// One pass-through core per block, shaped to the block's fanout — the
+/// canonical "protocol only" core set: firing depends only on token
+/// presence, so any core set yields the same schedule.
+pub fn passthrough_cores(sys: &LisSystem) -> Vec<Box<dyn CoreModel>> {
+    sys.block_ids()
+        .map(|b| {
+            let outs = sys
+                .channel_ids()
+                .filter(|&c| sys.channel_from(c) == b)
+                .count();
+            Box::new(Passthrough::new(outs, 0)) as Box<dyn CoreModel>
+        })
+        .collect()
+}
+
+/// Steps the reference interpreter and the compiled kernel in lockstep for
+/// `steps` periods and asserts, at every period, identical per-block firing
+/// decisions and identical per-channel queue occupancies; at the end,
+/// identical cumulative firing counts.
+///
+/// Returns the number of `(period, observable)` comparisons made.
+///
+/// # Panics
+///
+/// Panics on the first divergence — the compiled kernel would be broken.
+pub fn assert_compiled_equivalence(sys: &LisSystem, mode: QueueMode, steps: u64) -> usize {
+    let mut reference = LisSimulator::new(sys, passthrough_cores(sys), mode);
+    let mut compiled = CompiledSim::new(sys, mode);
+    compiled.record_traces();
+    let mut checked = 0;
+    for step in 0..steps {
+        reference.step();
+        compiled.step();
+        for c in sys.channel_ids() {
+            assert_eq!(
+                compiled.queue_occupancy(c),
+                reference.queue_occupancy(c),
+                "{mode:?}, period {step}: occupancy of {c:?} diverged"
+            );
+            checked += 1;
+        }
+    }
+    for b in sys.block_ids() {
+        assert_eq!(
+            compiled.firings(b),
+            reference.firings(b),
+            "{mode:?}: cumulative firings of {b:?} diverged"
+        );
+        assert_eq!(
+            compiled.block_fired_trace(b),
+            reference.block_fired_trace(b),
+            "{mode:?}: firing schedule of {b:?} diverged"
+        );
+        checked += steps as usize + 1;
+    }
+    checked
+}
+
+/// [`assert_compiled_equivalence`] under both queue regimes.
+pub fn assert_compiled_equivalence_both_modes(sys: &LisSystem, steps: u64) -> usize {
+    assert_compiled_equivalence(sys, QueueMode::Finite, steps)
+        + assert_compiled_equivalence(sys, QueueMode::Infinite, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_core::figures;
+
+    #[test]
+    fn paper_figures_are_cycle_exact() {
+        for (name, sys) in [
+            ("fig1", figures::fig1().0),
+            ("fig2_right", figures::fig2_right().0),
+            ("fig6", figures::fig6().0),
+            ("fig15", figures::fig15().0),
+            ("uplink_downlink", figures::uplink_downlink().0),
+        ] {
+            let checked = assert_compiled_equivalence_both_modes(&sys, 300);
+            assert!(checked > 0, "{name}: nothing compared");
+        }
+    }
+
+    #[test]
+    fn deep_relay_chains_are_cycle_exact() {
+        let sys = figures::fig2_family(4);
+        assert_compiled_equivalence_both_modes(&sys, 400);
+    }
+}

@@ -1,0 +1,287 @@
+//! The compiled scalar simulation kernel.
+//!
+//! [`CompiledSim`] executes a [`CompiledProgram`] one clock period at a
+//! time with zero per-step allocation and no dynamic dispatch: the enabled
+//! set is a transition bitmask computed in one pass over the schedule, and
+//! the marking update is one pass over the flat place arrays writing a
+//! *second* state region (`new[p] = old[p] - fired[dst] + fired[src]`),
+//! after which the regions swap. Because the AND-firing rule reads only the
+//! pre-step marking, this read-old/write-new pass is cycle-exact with the
+//! reference interpreter by construction — the differential harness in
+//! [`crate::diff`] asserts it on every committed netlist.
+
+use lis_core::{BlockId, ChannelId, LisSystem};
+use marked_graph::Ratio;
+
+use crate::compile::CompiledProgram;
+use crate::simulator::QueueMode;
+
+/// A compiled, allocation-free simulator for protocol-level questions:
+/// firing schedules, throughput, stalls, queue occupancy.
+///
+/// Values carried by tokens are not modeled — the latency-insensitive
+/// protocol makes firing independent of data, so every timing-observable
+/// quantity of [`crate::LisSimulator`] is reproduced exactly.
+///
+/// # Examples
+///
+/// ```
+/// use lis_core::figures;
+/// use lis_sim::{CompiledSim, QueueMode};
+///
+/// let (sys, _, _) = figures::fig1();
+/// let mut sim = CompiledSim::new(&sys, QueueMode::Finite);
+/// sim.run(3000);
+/// let a = sys.block_by_name("A").expect("block A exists");
+/// assert!((sim.throughput(a).to_f64() - 2.0 / 3.0).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledSim {
+    prog: CompiledProgram,
+    /// Current marking (region A).
+    tokens: Vec<u64>,
+    /// Next marking (region B); swapped with `tokens` each step.
+    tokens_next: Vec<u64>,
+    /// Fired bitmask over transitions, scratch per step.
+    fired: Vec<u64>,
+    /// Cumulative firing count per transition.
+    fired_count: Vec<u64>,
+    steps: u64,
+    /// When tracing, the per-step fired bitmasks, `words()` words per step.
+    trace: Option<Vec<u64>>,
+}
+
+impl CompiledSim {
+    /// Compiles `sys` under `mode` and builds a simulator at the initial
+    /// marking.
+    pub fn new(sys: &LisSystem, mode: QueueMode) -> CompiledSim {
+        CompiledSim::from_program(CompiledProgram::compile(sys, mode))
+    }
+
+    /// Builds a simulator over an already-compiled program.
+    pub fn from_program(prog: CompiledProgram) -> CompiledSim {
+        let np = prog.place_count();
+        let nt = prog.transition_count();
+        let words = prog.words();
+        CompiledSim {
+            tokens: prog.init_tokens.clone(),
+            tokens_next: vec![0; np],
+            fired: vec![0; words],
+            fired_count: vec![0; nt],
+            steps: 0,
+            trace: None,
+            prog,
+        }
+    }
+
+    /// Enables per-step fired-trace recording (required by
+    /// [`transition_fired_trace`](CompiledSim::transition_fired_trace)).
+    /// Call before stepping.
+    pub fn record_traces(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The compiled program this simulator executes.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.prog
+    }
+
+    /// The number of clock periods simulated so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Executes one clock period: every enabled transition fires.
+    /// Returns how many transitions fired.
+    pub fn step(&mut self) -> usize {
+        self.step_masked(&[])
+    }
+
+    /// One clock period with an external stall mask: transition `t` is
+    /// suppressed (does not fire even if enabled) when bit `t % 64` of
+    /// `stalled[t / 64]` is set. An empty slice stalls nothing. This is the
+    /// single-trial reference path of the Monte-Carlo kernel.
+    pub fn step_masked(&mut self, stalled: &[u64]) -> usize {
+        let prog = &self.prog;
+        for w in self.fired.iter_mut() {
+            *w = 0;
+        }
+        // Phase 1 (pure read of the old region): the enabled set.
+        for &t in &prog.schedule {
+            let t = t as usize;
+            let lo = prog.in_off[t] as usize;
+            let hi = prog.in_off[t + 1] as usize;
+            let enabled = prog.in_places[lo..hi]
+                .iter()
+                .all(|&p| self.tokens[p as usize] > 0);
+            let suppressed = stalled.get(t / 64).is_some_and(|w| w >> (t % 64) & 1 == 1);
+            if enabled && !suppressed {
+                self.fired[t / 64] |= 1u64 << (t % 64);
+                self.fired_count[t] += 1;
+            }
+        }
+        // Phase 2 (write the new region): move one token across every
+        // place whose endpoints fired.
+        for p in 0..prog.place_count() {
+            let src = prog.place_src[p] as usize;
+            let dst = prog.place_dst[p] as usize;
+            let produced = self.fired[src / 64] >> (src % 64) & 1;
+            let consumed = self.fired[dst / 64] >> (dst % 64) & 1;
+            self.tokens_next[p] = self.tokens[p] - consumed + produced;
+        }
+        std::mem::swap(&mut self.tokens, &mut self.tokens_next);
+        if let Some(trace) = &mut self.trace {
+            trace.extend_from_slice(&self.fired);
+        }
+        self.steps += 1;
+        self.fired.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Runs `n` clock periods.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Firing count of a flat transition index.
+    pub fn transition_firings(&self, t: usize) -> u64 {
+        self.fired_count[t]
+    }
+
+    /// Firing count of a block's shell.
+    pub fn firings(&self, b: BlockId) -> u64 {
+        self.fired_count[self.prog.block_transition(b)]
+    }
+
+    /// Average firing rate of a block over the simulated periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step has been executed.
+    pub fn throughput(&self, b: BlockId) -> Ratio {
+        assert!(self.steps > 0, "throughput requires at least one step");
+        Ratio::new(self.firings(b) as i64, self.steps as i64)
+    }
+
+    /// The smallest per-block firing rate (converges to the system MST for
+    /// strongly connected doubled graphs).
+    pub fn min_throughput(&self) -> Ratio {
+        let steps = self.steps.max(1) as i64;
+        self.prog
+            .block_transition
+            .iter()
+            .map(|&t| Ratio::new(self.fired_count[t as usize] as i64, steps))
+            .min()
+            .expect("system has at least one block")
+    }
+
+    /// Whether flat transition `t` fired at `step` (requires
+    /// [`record_traces`](CompiledSim::record_traces)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracing is off or `step` has not been simulated.
+    pub fn fired_at(&self, t: usize, step: u64) -> bool {
+        let trace = self.trace.as_ref().expect("tracing not enabled");
+        let words = self.prog.words();
+        let w = trace[step as usize * words + t / 64];
+        w >> (t % 64) & 1 == 1
+    }
+
+    /// Per period: whether flat transition `t` fired (requires
+    /// [`record_traces`](CompiledSim::record_traces)).
+    pub fn transition_fired_trace(&self, t: usize) -> Vec<bool> {
+        (0..self.steps).map(|s| self.fired_at(t, s)).collect()
+    }
+
+    /// Per period: whether block `b`'s shell fired (requires
+    /// [`record_traces`](CompiledSim::record_traces)).
+    pub fn block_fired_trace(&self, b: BlockId) -> Vec<bool> {
+        self.transition_fired_trace(self.prog.block_transition(b))
+    }
+
+    /// The number of valid data items buffered on the consumer side of
+    /// channel `c` (input queue + the in-flight item), exactly as the
+    /// reference interpreter reports it.
+    pub fn queue_occupancy(&self, c: ChannelId) -> u64 {
+        self.tokens[self.prog.queue_place(c)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lis_core::figures;
+
+    #[test]
+    fn fig1_backpressure_rate() {
+        let (sys, _, _) = figures::fig1();
+        let mut sim = CompiledSim::new(&sys, QueueMode::Finite);
+        sim.run(3000);
+        let a = sys.block_by_name("A").unwrap();
+        assert!((sim.throughput(a).to_f64() - 2.0 / 3.0).abs() < 0.01);
+        assert!((sim.min_throughput().to_f64() - 2.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn fig6_sizing_restores_rate() {
+        let (sys, _, _) = figures::fig6();
+        let mut sim = CompiledSim::new(&sys, QueueMode::Finite);
+        sim.run(3000);
+        let a = sys.block_by_name("A").unwrap();
+        assert!(sim.throughput(a).to_f64() > 0.999);
+    }
+
+    #[test]
+    fn traces_match_firing_pattern() {
+        // Fig. 1 finite queues: A settles into the 1,1,0 repeating pattern.
+        let (sys, _, _) = figures::fig1();
+        let mut sim = CompiledSim::new(&sys, QueueMode::Finite);
+        sim.record_traces();
+        sim.run(9);
+        let a = sys.block_by_name("A").unwrap();
+        let trace = sim.block_fired_trace(a);
+        assert_eq!(trace.len(), 9);
+        assert_eq!(trace.iter().filter(|&&f| f).count() as u64, sim.firings(a));
+    }
+
+    #[test]
+    fn occupancy_bounded_by_capacity() {
+        let (sys, _, lower) = figures::fig1();
+        let mut sim = CompiledSim::new(&sys, QueueMode::Finite);
+        for _ in 0..100 {
+            sim.step();
+            assert!(sim.queue_occupancy(lower) <= sys.queue_capacity(lower) + 1);
+        }
+    }
+
+    #[test]
+    fn stall_mask_suppresses_firing() {
+        let (sys, _, _) = figures::fig1();
+        let mut sim = CompiledSim::new(&sys, QueueMode::Finite);
+        let a = sys.block_by_name("A").unwrap();
+        let t = sim.program().block_transition(a);
+        let mask = vec![1u64 << (t % 64); sim.program().words()];
+        for _ in 0..50 {
+            sim.step_masked(&mask);
+        }
+        assert_eq!(sim.firings(a), 0, "stalled shell must never fire");
+        // Un-stalled, it recovers.
+        for _ in 0..50 {
+            sim.step();
+        }
+        assert!(sim.firings(a) > 0);
+    }
+
+    #[test]
+    fn infinite_mode_runs_free() {
+        let (sys, _, _) = figures::fig1();
+        let mut sim = CompiledSim::new(&sys, QueueMode::Infinite);
+        sim.run(100);
+        let a = sys.block_by_name("A").unwrap();
+        assert_eq!(sim.firings(a), 100, "ideal model never backpressures A");
+    }
+}

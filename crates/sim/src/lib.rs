@@ -16,7 +16,12 @@
 //! * [`assert_latency_equivalence`] — checks the defining LID property:
 //!   same valid-data sequences as the synchronous reference, modulo τ;
 //! * [`attach_throttle`] — models an environment producing/consuming data
-//!   at a bounded rate via an auxiliary feedback ring.
+//!   at a bounded rate via an auxiliary feedback ring;
+//! * the **compiled kernel** — [`CompiledProgram`] flattens the network into
+//!   a structure-of-arrays schedule, [`CompiledSim`] executes it with zero
+//!   per-step allocation, and [`McKernel`] packs 64 seeded Monte-Carlo
+//!   trials bit-parallel per machine word ([`assert_compiled_equivalence`]
+//!   holds it cycle-exact against the interpreter).
 //!
 //! # Examples
 //!
@@ -39,17 +44,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compile;
 pub mod core_model;
+mod diff;
 mod equiv;
+mod kernel;
+mod mc;
 mod rtl;
 mod simulator;
 mod stats;
 mod vcd;
 
+pub use compile::CompiledProgram;
 pub use core_model::{
     Adder, CoreModel, EvenOddGenerator, MapCore, Passthrough, SequenceSource, Sink, Value,
 };
+pub use diff::{
+    assert_compiled_equivalence, assert_compiled_equivalence_both_modes, passthrough_cores,
+};
 pub use equiv::{assert_latency_equivalence, latency_equivalent, valid_values};
+pub use kernel::CompiledSim;
+pub use mc::{single_trial, single_trial_on, McKernel, McReport, StallSpec, LANES};
 pub use rtl::RtlSimulator;
 pub use simulator::{attach_throttle, LisSimulator, QueueMode};
 pub use stats::{collect_stats, SimStats};

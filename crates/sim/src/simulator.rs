@@ -191,10 +191,18 @@ impl LisSimulator {
                 self.enabled.push(t);
             }
         }
-        // Consume phase.
-        let enabled = std::mem::take(&mut self.enabled);
-        let mut emissions: Vec<(TransitionId, Vec<Value>)> = Vec::with_capacity(enabled.len());
-        for &t in &enabled {
+        // τ everywhere by default; fired transitions overwrite their slot
+        // below. Recording up front lets each transition consume *and*
+        // produce in one pass with no step-sized staging buffers.
+        for trace in &mut self.traces {
+            trace.push(None);
+        }
+        // Firing. Enabledness was decided from the pre-step marking, and a
+        // push_back cannot change what pop_front returns on a queue that
+        // already holds the consumed value, so interleaving the consume and
+        // produce phases per transition is observationally identical.
+        for i in 0..self.enabled.len() {
+            let t = self.enabled[i];
             self.popped.clear();
             for &p in &self.fwd_in[t.index()] {
                 let v = self.fifo[p.index()]
@@ -223,26 +231,16 @@ impl LisSimulator {
                 None => vec![self.popped[0]],
             };
             self.fired[t.index()] += 1;
-            emissions.push((t, outputs));
-        }
-        // Produce phase.
-        let fired_count = emissions.len();
-        let mut emitted: Vec<Option<Vec<Value>>> =
-            vec![None; self.model.graph().transition_count()];
-        for (t, outputs) in emissions {
-            for (i, &p) in self.fwd_out[t.index()].iter().enumerate() {
-                self.fifo[p.index()].push_back(outputs[i]);
+            for (o, &p) in self.fwd_out[t.index()].iter().enumerate() {
+                self.fifo[p.index()].push_back(outputs[o]);
             }
             for &p in self.model.graph().outputs(t) {
                 self.tokens[p.index()] += 1;
             }
-            emitted[t.index()] = Some(outputs);
-        }
-        for (t, e) in emitted.into_iter().enumerate() {
-            self.traces[t].push(e);
+            *self.traces[t.index()].last_mut().expect("pushed above") = Some(outputs);
         }
         self.steps += 1;
-        fired_count
+        self.enabled.len()
     }
 
     /// Runs `n` clock periods.

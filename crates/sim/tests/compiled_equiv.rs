@@ -1,0 +1,50 @@
+//! Differential harness over the committed netlist corpus and random
+//! systems: the compiled kernel must be cycle-exact with the reference
+//! interpreter — identical firing schedules and queue occupancies at every
+//! period, in both queue regimes. This is the test the `sim-smoke` CI job
+//! runs against the full corpus.
+
+use std::fs;
+
+use lis_core::parse_netlist;
+use lis_gen::{generate, GeneratorConfig, InsertionPolicy};
+use lis_sim::assert_compiled_equivalence_both_modes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CORPUS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/netlists");
+
+#[test]
+fn corpus_netlists_are_cycle_exact() {
+    let mut paths: Vec<_> = fs::read_dir(CORPUS)
+        .expect("netlist corpus directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("lis"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 6, "netlist corpus shrank: {paths:?}");
+    for path in paths {
+        let text = fs::read_to_string(&path).expect("readable netlist");
+        let sys = parse_netlist(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        let checked = assert_compiled_equivalence_both_modes(&sys, 500);
+        assert!(checked > 0, "{path:?}: nothing compared");
+    }
+}
+
+#[test]
+fn random_systems_are_cycle_exact() {
+    for seed in 0..12 {
+        let cfg = GeneratorConfig {
+            vertices: 12,
+            sccs: 3,
+            min_cycles_per_scc: 2,
+            relay_stations: 4,
+            reconvergent_paths: true,
+            policy: InsertionPolicy::Scc,
+            extra_inter_edges: Some(2),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sys = generate(&cfg, &mut rng).system;
+        assert_compiled_equivalence_both_modes(&sys, 300);
+    }
+}

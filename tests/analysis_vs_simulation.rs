@@ -131,6 +131,64 @@ fn all_three_mcm_engines_match_the_finite_queue_simulator() {
     }
 }
 
+/// The compiled kernel joins the oracle panel: for seeded random systems
+/// its measured finite-queue throughput must converge to the same analytic
+/// MST the MCM engines report, and its firing schedule must be cycle-exact
+/// with the value-level interpreter (the harness asserts both regimes).
+#[test]
+fn compiled_kernel_matches_analysis_and_interpreter() {
+    use lis::sim::{assert_compiled_equivalence_both_modes, CompiledSim, QueueMode};
+    for seed in 0..8 {
+        let sys = small_config(seed);
+        assert_compiled_equivalence_both_modes(&sys, 300);
+        let analytic = practical_mst(&sys).to_f64();
+        let mut sim = CompiledSim::new(&sys, QueueMode::Finite);
+        sim.run(5000);
+        for b in sys.block_ids() {
+            let measured = sim.throughput(b).to_f64();
+            assert!(
+                (measured - analytic).abs() < 0.02,
+                "seed {seed}, {b:?}: compiled {measured} vs analytic {analytic}"
+            );
+        }
+    }
+}
+
+/// Stochastic-latency sweep: under random per-transition stalls the
+/// protocol slows down but **never** beats the analytical MCM bound — θ of
+/// the doubled graph is an upper bound on every trial's sustained rate, at
+/// any stall probability (Carloni's θ is the zero-stall limit).
+#[test]
+fn stochastic_latency_never_exceeds_mcm_bound() {
+    use lis::sim::{CompiledProgram, McKernel, QueueMode, StallSpec};
+    for seed in 0..4 {
+        let sys = small_config(seed);
+        let theta = practical_mst(&sys).to_f64();
+        let prog = CompiledProgram::compile(&sys, QueueMode::Finite);
+        for (i, p) in [0.0, 0.02, 0.1, 0.3].into_iter().enumerate() {
+            let spec = StallSpec::uniform(&prog, p);
+            let report = McKernel::new(prog.clone(), spec, 1000 + i as u64).run(64, 3000);
+            assert!(
+                report.max_system_rate() <= theta + 1e-9,
+                "seed {seed}, p={p}: {} beats the bound {theta}",
+                report.max_system_rate()
+            );
+            assert!(
+                report.min_system_rate() > 0.0,
+                "seed {seed}, p={p}: a trial deadlocked"
+            );
+            if p == 0.0 {
+                // The zero-stall limit attains θ (up to the transient).
+                assert!(
+                    (report.mean_system_rate() - theta).abs() < 0.02,
+                    "seed {seed}: stall-free rate {} vs θ {theta}",
+                    report.mean_system_rate()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn exact_periodic_rate_equals_mst_on_fig1() {
     let (sys, _, _) = lis::core::figures::fig1();
