@@ -10,6 +10,9 @@ use lis_sim::{
     CompiledProgram, CompiledSim, CoreModel, LisSimulator, McKernel, Passthrough, QueueMode,
     StallSpec,
 };
+use lis_sweep::{
+    pareto_front, CapacityAxis, PointReport, StallAxis, StationGoal, Sweep, SweepMode, SweepSpec,
+};
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -30,6 +33,17 @@ analysis commands (local, netlist from a file):
                                          stall probability P (--stall,
                                          default 0), 64 trials per machine
                                          word, reported against the θ bound
+  sweep    <netlist> [--cap CH=V1,V2,..]... [--budget N] [--qs [--exact]]
+                     [--stalls P1,P2,.. [--trials N] [--cycles N] [--seed S]]
+                                         design-space exploration: expand the
+                                         capacity x station grid, evaluate
+                                         every point on warm incremental
+                                         solvers, and print the result table
+                                         plus the Pareto front (throughput
+                                         vs. total capacity vs. stations).
+                                         --cap repeats per channel axis;
+                                         --stalls adds seeded Monte-Carlo
+                                         stall points (probability per mille)
   vcd      <netlist> [--steps N]         waveform dump to stdout (GTKWave)
   dot      <netlist> [--doubled]
 
@@ -55,6 +69,12 @@ server commands (analysis as a service):
                                          retried; --retries N caps them,
                                          default 3); exits 2 on a 4xx
                                          answer, 3 on a 5xx answer
+  client <addr> sweep <netlist> [sweep flags]
+                                         run one design-space sweep against a
+                                         daemon or gateway and print the
+                                         streamed NDJSON rows; a shed sweep
+                                         (503 with a retry hint) prints the
+                                         Retry-After delay and exits 4
   client <addr> metrics                  print the Prometheus exposition
   client <addr> health                   print the /healthz readiness JSON
   client <addr> shutdown                 drain the daemon and stop it
@@ -93,6 +113,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         "insert" => insert(&sys, rest),
         "repair" => repair_cmd(&sys, rest),
         "simulate" => simulate(&sys, rest),
+        "sweep" => sweep_cmd(&sys, rest, engine),
         "vcd" => vcd(&sys, rest),
         "dot" => dot(&sys, rest),
         other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
@@ -182,6 +203,10 @@ fn serve(rest: &[String]) -> CliResult {
 pub struct StatusError {
     /// The HTTP status the daemon answered with.
     pub status: u16,
+    /// Set when a sweep was shed (503 with a retry hint in the body):
+    /// `main` maps it to exit code 4 so callers back off and retry
+    /// instead of treating the service as down.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl std::fmt::Display for StatusError {
@@ -267,6 +292,7 @@ fn client_cmd(rest: &[String], engine: McmEngine) -> CliResult {
             if response.status != 200 {
                 return Err(Box::new(StatusError {
                     status: response.status,
+                    retry_after_ms: None,
                 }));
             }
             Ok(())
@@ -274,7 +300,10 @@ fn client_cmd(rest: &[String], engine: McmEngine) -> CliResult {
         "shutdown" => {
             let status = client.shutdown()?;
             if status != 200 {
-                return Err(Box::new(StatusError { status }));
+                return Err(Box::new(StatusError {
+                    status,
+                    retry_after_ms: None,
+                }));
             }
             println!("server is draining");
             Ok(())
@@ -309,7 +338,43 @@ fn client_cmd(rest: &[String], engine: McmEngine) -> CliResult {
             let (status, body) = client.analysis(route, &netlist, options)?;
             println!("{body}");
             if status != 200 {
-                return Err(Box::new(StatusError { status }));
+                return Err(Box::new(StatusError {
+                    status,
+                    retry_after_ms: None,
+                }));
+            }
+            Ok(())
+        }
+        "sweep" => {
+            let Some(path) = rest.get(2) else {
+                return Err(format!("client sweep needs a netlist path\n{USAGE}").into());
+            };
+            let netlist =
+                fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let flags = parse_sweep_flags(&rest[3..])?;
+            let (status, body) = client.sweep(&netlist, sweep_options(&flags, engine))?;
+            let text = String::from_utf8_lossy(&body);
+            print!("{text}");
+            if !text.ends_with('\n') {
+                println!();
+            }
+            if status != 200 {
+                // The retry hint rides in the JSON body (intermediaries
+                // relay status + body but may drop the Retry-After header).
+                let parsed = Json::parse(text.trim()).ok();
+                let retry_after_ms = parsed.as_ref().and_then(|j| {
+                    j.get("error")
+                        .unwrap_or(j)
+                        .get("retry_after_ms")
+                        .and_then(Json::as_u64)
+                });
+                if let Some(ms) = retry_after_ms {
+                    eprintln!("sweep shed: all sweep slots are busy; retry after {ms} ms");
+                }
+                return Err(Box::new(StatusError {
+                    status,
+                    retry_after_ms,
+                }));
             }
             Ok(())
         }
@@ -334,6 +399,243 @@ where
             v.parse().map_err(|e| format!("{name}: {e}"))
         }
     }
+}
+
+/// Sweep grid parameters shared by the local `sweep` command and
+/// `client sweep` — parsed once, then lowered to a [`SweepSpec`] (local)
+/// or the `/sweep` options JSON (remote).
+struct SweepFlags {
+    qs: bool,
+    exact: bool,
+    caps: Vec<(usize, Vec<u64>)>,
+    budget: Option<u32>,
+    stalls: Option<StallFlags>,
+}
+
+struct StallFlags {
+    per_mille: Vec<u32>,
+    trials: u32,
+    cycles: u64,
+    seed: u64,
+}
+
+/// Collects every value of a repeatable `NAME VALUE` flag.
+fn option_all<'a>(rest: &'a [String], name: &str) -> Result<Vec<&'a str>, String> {
+    let mut out = Vec::new();
+    let mut iter = rest.iter();
+    while let Some(a) = iter.next() {
+        if a == name {
+            out.push(
+                iter.next()
+                    .ok_or_else(|| format!("{name} needs a value"))?
+                    .as_str(),
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one `--cap CHANNEL=V1,V2,...` axis.
+fn parse_cap_axis(s: &str) -> Result<(usize, Vec<u64>), String> {
+    let (ch, vals) = s
+        .split_once('=')
+        .ok_or_else(|| format!("--cap wants CHANNEL=V1,V2,... (got {s:?})"))?;
+    let channel = ch
+        .trim()
+        .parse()
+        .map_err(|e| format!("--cap channel: {e}"))?;
+    let values = vals
+        .split(',')
+        .map(|v| v.trim().parse().map_err(|e| format!("--cap value: {e}")))
+        .collect::<Result<Vec<u64>, String>>()?;
+    Ok((channel, values))
+}
+
+fn parse_sweep_flags(rest: &[String]) -> Result<SweepFlags, Box<dyn Error>> {
+    let caps = option_all(rest, "--cap")?
+        .into_iter()
+        .map(parse_cap_axis)
+        .collect::<Result<Vec<_>, _>>()?;
+    let budget = if flag(rest, "--budget") {
+        Some(option(rest, "--budget", 0u32)?)
+    } else {
+        None
+    };
+    let stalls = match rest.iter().position(|a| a == "--stalls") {
+        None => None,
+        Some(i) => {
+            let list = rest.get(i + 1).ok_or("--stalls needs a value")?;
+            let per_mille = list
+                .split(',')
+                .map(|v| v.trim().parse().map_err(|e| format!("--stalls: {e}")))
+                .collect::<Result<Vec<u32>, String>>()?;
+            Some(StallFlags {
+                per_mille,
+                trials: option(rest, "--trials", 64u32)?,
+                cycles: option(rest, "--cycles", 10_000u64)?,
+                seed: option(rest, "--seed", 0u64)?,
+            })
+        }
+    };
+    Ok(SweepFlags {
+        qs: flag(rest, "--qs"),
+        exact: flag(rest, "--exact"),
+        caps,
+        budget,
+        stalls,
+    })
+}
+
+impl SweepFlags {
+    fn to_spec(&self, engine: McmEngine) -> SweepSpec {
+        let mut spec = SweepSpec::analyze();
+        spec.engine = engine;
+        if self.qs {
+            spec.mode = SweepMode::Qs { exact: self.exact };
+        }
+        spec.capacities = self
+            .caps
+            .iter()
+            .map(|(channel, values)| CapacityAxis {
+                channel: *channel,
+                values: values.clone(),
+            })
+            .collect();
+        if let Some(b) = self.budget {
+            spec.stations = StationGoal::Budget(b);
+        }
+        spec.stalls = self.stalls.as_ref().map(|s| StallAxis {
+            per_mille: s.per_mille.clone(),
+            trials: s.trials,
+            cycles: s.cycles,
+            seed: s.seed,
+        });
+        spec
+    }
+}
+
+/// Lowers the parsed flags to the `/sweep` options envelope the daemon's
+/// decoder expects (`crates/server/src/jobs.rs`).
+fn sweep_options(flags: &SweepFlags, engine: McmEngine) -> lis_server::Json {
+    use lis_server::Json;
+    let mut o: Vec<(String, Json)> = Vec::new();
+    if engine != McmEngine::default() {
+        o.push(("engine".into(), Json::Str(engine.to_string())));
+    }
+    if flags.qs {
+        o.push(("mode".into(), Json::str("qs")));
+        if flags.exact {
+            o.push(("exact".into(), Json::Bool(true)));
+        }
+    }
+    if !flags.caps.is_empty() {
+        let axes = flags
+            .caps
+            .iter()
+            .map(|(c, vs)| {
+                Json::Obj(vec![
+                    ("channel".into(), Json::Num(*c as f64)),
+                    (
+                        "values".into(),
+                        Json::Arr(vs.iter().map(|v| Json::Num(*v as f64)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        o.push(("capacities".into(), Json::Arr(axes)));
+    }
+    if let Some(b) = flags.budget {
+        o.push(("budget".into(), Json::Num(f64::from(b))));
+    }
+    if let Some(s) = &flags.stalls {
+        o.push((
+            "stalls".into(),
+            Json::Obj(vec![
+                (
+                    "per_mille".into(),
+                    Json::Arr(
+                        s.per_mille
+                            .iter()
+                            .map(|p| Json::Num(f64::from(*p)))
+                            .collect(),
+                    ),
+                ),
+                ("trials".into(), Json::Num(f64::from(s.trials))),
+                ("cycles".into(), Json::Num(s.cycles as f64)),
+                ("seed".into(), Json::Num(s.seed as f64)),
+            ]),
+        ));
+    }
+    if o.is_empty() {
+        lis_server::Json::Null
+    } else {
+        Json::Obj(o)
+    }
+}
+
+fn sweep_cmd(sys: &LisSystem, rest: &[String], engine: McmEngine) -> CliResult {
+    let spec = parse_sweep_flags(rest)?.to_spec(engine);
+    let sweep = Sweep::new(sys.clone(), spec)?;
+    let (rows, summary) = sweep.evaluate();
+    println!(
+        "sweep: {} point(s) in {} station group(s), engine {engine}",
+        summary.points, summary.groups
+    );
+    for row in &rows {
+        let mut line = format!(
+            "  point {:>3} | stations {} | capacity {:>4} | ",
+            row.point, row.inserted, row.total_capacity
+        );
+        match &row.outcome {
+            Ok(PointReport::Analyze(r)) => {
+                line.push_str(&format!(
+                    "practical MST {}{}",
+                    r.practical,
+                    if r.is_degraded() { " (degraded)" } else { "" }
+                ));
+            }
+            Ok(PointReport::Qs(r)) => {
+                line.push_str(&format!(
+                    "qs target {} (+{} slot(s){})",
+                    r.target,
+                    r.total_extra,
+                    if r.optimal { ", optimal" } else { "" }
+                ));
+            }
+            Err(e) => line.push_str(&format!("error: {e}")),
+        }
+        for p in &row.sim {
+            line.push_str(&format!(
+                " | stall {:.3}: mean rate {:.4}",
+                f64::from(p.per_mille) / 1000.0,
+                p.mean_rate
+            ));
+        }
+        println!("{line}");
+    }
+    let front = pareto_front(&rows);
+    println!(
+        "Pareto front (throughput vs. total capacity vs. stations), {} of {} point(s):",
+        front.len(),
+        rows.len()
+    );
+    for &i in &front {
+        let row = &rows[i];
+        let theta = row
+            .throughput()
+            .map_or_else(|| "-".to_string(), |r| r.to_string());
+        println!(
+            "  point {:>3}: throughput {theta}, total capacity {}, stations {}",
+            row.point,
+            row.capacity_cost(),
+            row.inserted
+        );
+    }
+    println!(
+        "warm solver: {} memo hit(s), {} miss(es)",
+        summary.warm_hits, summary.warm_misses
+    );
+    Ok(())
 }
 
 fn analyze(sys: &LisSystem, engine: McmEngine) -> CliResult {
@@ -853,6 +1155,136 @@ mod tests {
 
         dispatch(&["client".into(), addr.to_string(), "shutdown".into()]).expect("client shutdown");
         daemon.join().expect("daemon").expect("clean exit");
+    }
+
+    #[test]
+    fn sweep_runs_on_fig1() {
+        let path = write_fig1();
+        dispatch(&[
+            "sweep".into(),
+            path.to_str().into(),
+            "--cap".into(),
+            "1=1,2,3".into(),
+            "--budget".into(),
+            "1".into(),
+        ])
+        .expect("sweep");
+        dispatch(&[
+            "sweep".into(),
+            path.to_str().into(),
+            "--cap".into(),
+            "1=1,2".into(),
+            "--qs".into(),
+            "--exact".into(),
+        ])
+        .expect("sweep --qs");
+        dispatch(&[
+            "sweep".into(),
+            path.to_str().into(),
+            "--stalls".into(),
+            "0,100".into(),
+            "--trials".into(),
+            "64".into(),
+            "--cycles".into(),
+            "200".into(),
+        ])
+        .expect("sweep --stalls");
+        // Malformed axes are rejected before any evaluation.
+        assert!(dispatch(&[
+            "sweep".into(),
+            path.to_str().into(),
+            "--cap".into(),
+            "moose".into(),
+        ])
+        .is_err());
+        assert!(dispatch(&[
+            "sweep".into(),
+            path.to_str().into(),
+            "--cap".into(),
+            "99=1,2".into(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn client_sweep_round_trips_and_sheds_with_a_hint() {
+        let server = lis_server::Server::bind(
+            "127.0.0.1:0",
+            lis_server::ServerConfig {
+                max_concurrent_sweeps: 0, // every sweep is shed
+                ..lis_server::ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let shed_addr = server.local_addr().expect("addr");
+        let shed_daemon = std::thread::spawn(move || server.run());
+
+        let server = lis_server::Server::bind("127.0.0.1:0", lis_server::ServerConfig::default())
+            .expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let daemon = std::thread::spawn(move || server.run());
+
+        let path = write_fig1();
+        dispatch(&[
+            "client".into(),
+            addr.to_string(),
+            "sweep".into(),
+            path.to_str().into(),
+            "--cap".into(),
+            "1=1,2".into(),
+        ])
+        .expect("client sweep");
+
+        // A shed sweep surfaces as a StatusError carrying the body's retry
+        // hint — the signal `main` maps to exit code 4.
+        let err = dispatch(&[
+            "client".into(),
+            shed_addr.to_string(),
+            "sweep".into(),
+            path.to_str().into(),
+            "--retries".into(),
+            "0".into(),
+        ])
+        .expect_err("shed sweep fails");
+        let status = err.downcast_ref::<StatusError>().expect("status error");
+        assert_eq!(status.status, 503);
+        assert_eq!(status.retry_after_ms, Some(1000));
+
+        assert!(dispatch(&["client".into(), addr.to_string(), "sweep".into()]).is_err());
+
+        for a in [addr, shed_addr] {
+            dispatch(&["client".into(), a.to_string(), "shutdown".into()]).expect("shutdown");
+        }
+        daemon.join().expect("daemon").expect("clean exit");
+        shed_daemon.join().expect("daemon").expect("clean exit");
+    }
+
+    #[test]
+    fn sweep_flag_parsing() {
+        assert_eq!(
+            parse_cap_axis("1=1,2,3").expect("parses"),
+            (1, vec![1, 2, 3])
+        );
+        assert!(parse_cap_axis("nope").is_err());
+        assert!(parse_cap_axis("x=1").is_err());
+        assert!(parse_cap_axis("1=x").is_err());
+
+        let args: Vec<String> = ["--cap", "0=1,2", "--cap", "1=4", "--budget", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = parse_sweep_flags(&args).expect("parses");
+        assert_eq!(flags.caps, vec![(0, vec![1, 2]), (1, vec![4])]);
+        assert_eq!(flags.budget, Some(2));
+        assert!(flags.stalls.is_none());
+        let spec = flags.to_spec(McmEngine::Karp);
+        assert_eq!(spec.engine, McmEngine::Karp);
+        assert_eq!(spec.stations, StationGoal::Budget(2));
+        // The remote lowering round-trips through the wire decoder shape.
+        let json = sweep_options(&flags, McmEngine::Karp).to_string();
+        assert!(json.contains("\"capacities\""), "{json}");
+        assert!(json.contains("\"budget\""), "{json}");
+        assert!(json.contains("\"engine\""), "{json}");
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!                                     cycle-accurate simulation; the
 //!                                     compiled kernel packs 64 seeded
 //!                                     Monte-Carlo trials per machine word
+//! lis sweep    <netlist> [--cap CH=V1,V2,..] [--budget N] [--stalls ..]
+//!                                     design-space exploration with a
+//!                                     Pareto front over throughput,
+//!                                     capacity, and stations
 //! lis dot      <netlist> [--doubled]  Graphviz export
 //! lis serve    <addr>                 analysis-as-a-service daemon
 //! lis client   <addr> <cmd> <netlist> one request against a daemon
@@ -41,8 +45,10 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             // Typed exit codes for daemon answers, so scripts and CI can
             // distinguish "your request is wrong" (2) from "the service is
-            // unhealthy" (3) from local/transport failures (1).
+            // unhealthy" (3) from "back off and retry" (4, a shed sweep
+            // carrying a retry hint) from local/transport failures (1).
             match e.downcast_ref::<commands::StatusError>() {
+                Some(se) if se.retry_after_ms.is_some() => ExitCode::from(4),
                 Some(se) if (400..500).contains(&se.status) => ExitCode::from(2),
                 Some(_) => ExitCode::from(3),
                 None => ExitCode::FAILURE,

@@ -19,6 +19,11 @@ use marked_graph::{MarkedGraph, PlaceId, TransitionId};
 
 use crate::system::{BlockId, ChannelId, LisSystem};
 
+/// [`LisModel::place_role`] bit: the place is a forward edge.
+const ROLE_FORWARD: u8 = 1;
+/// [`LisModel::place_role`] bit: the place is a backedge.
+const ROLE_BACKWARD: u8 = 2;
+
 /// Which model a [`LisModel`] represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelKind {
@@ -68,6 +73,13 @@ pub struct LisModel {
     queue_backedge: Vec<Option<PlaceId>>,
     /// Relay-station transitions per channel, ordered producer → consumer.
     relay_transitions: Vec<Vec<TransitionId>>,
+    /// Per-place role flags, indexed by `PlaceId::index()`: bit 0 = forward
+    /// edge, bit 1 = backedge. Critical-cycle descriptions query the role of
+    /// every hop, so this must not be a per-channel scan.
+    place_role: Vec<u8>,
+    /// Per-place owner channel of adjustable queue backedges, indexed by
+    /// `PlaceId::index()` (`None` for every other place).
+    queue_channel: Vec<Option<ChannelId>>,
 }
 
 impl LisModel {
@@ -137,6 +149,24 @@ impl LisModel {
             }
         }
 
+        let mut place_role = vec![0u8; graph.place_count()];
+        for places in &channel_forward {
+            for p in places {
+                place_role[p.index()] |= ROLE_FORWARD;
+            }
+        }
+        for places in &channel_backward {
+            for p in places {
+                place_role[p.index()] |= ROLE_BACKWARD;
+            }
+        }
+        let mut queue_channel = vec![None; graph.place_count()];
+        for (i, p) in queue_backedge.iter().enumerate() {
+            if let Some(p) = p {
+                queue_channel[p.index()] = Some(ChannelId::new(i));
+            }
+        }
+
         LisModel {
             graph,
             kind,
@@ -145,6 +175,8 @@ impl LisModel {
             channel_backward,
             queue_backedge,
             relay_transitions,
+            place_role,
+            queue_channel,
         }
     }
 
@@ -208,20 +240,17 @@ impl LisModel {
 
     /// Maps an adjustable backedge place back to its channel.
     pub fn channel_of_queue_backedge(&self, p: PlaceId) -> Option<ChannelId> {
-        self.queue_backedge
-            .iter()
-            .position(|&q| q == Some(p))
-            .map(ChannelId::new)
+        self.queue_channel.get(p.index()).copied().flatten()
     }
 
     /// Whether a place is a backedge (of any kind).
     pub fn is_backedge(&self, p: PlaceId) -> bool {
-        self.channel_backward.iter().any(|v| v.contains(&p))
+        self.place_role.get(p.index()).copied().unwrap_or(0) & ROLE_BACKWARD != 0
     }
 
     /// Whether a place is a forward edge.
     pub fn is_forward(&self, p: PlaceId) -> bool {
-        self.channel_forward.iter().any(|v| v.contains(&p))
+        self.place_role.get(p.index()).copied().unwrap_or(0) & ROLE_FORWARD != 0
     }
 }
 

@@ -423,7 +423,26 @@ fn dispatch(
             let (status, body) = forward(state, &request.path, &request.body, seq, request_id);
             (status, "application/json", body)
         }
-        (_, "/metrics" | "/healthz" | "/shutdown" | "/analyze" | "/qs" | "/insert" | "/dot") => {
+        ("POST", "/sweep") => {
+            // Sweeps ride the same rendezvous-affinity + failover path. The
+            // shard streams chunked NDJSON; the gateway's client reassembles
+            // it, so a mid-stream shard death is retried on the next shard
+            // from scratch (results are cached server-side, so the replay of
+            // an interrupted sweep costs one warm evaluation at most) and
+            // relayed to the caller with Content-Length framing.
+            let (status, body) = forward(state, &request.path, &request.body, seq, request_id);
+            let content_type = if status == 200 {
+                "application/x-ndjson"
+            } else {
+                "application/json"
+            };
+            (status, content_type, body)
+        }
+        (
+            _,
+            "/metrics" | "/healthz" | "/shutdown" | "/analyze" | "/qs" | "/insert" | "/dot"
+            | "/sweep",
+        ) => {
             let e = ServerError::MethodNotAllowed;
             (
                 e.status(),

@@ -320,6 +320,161 @@ fn hedge_decisions_replay_across_identical_runs() {
     assert_ne!(a, format!("{:016x}", 0u64), "digest never folded anything");
 }
 
+/// Re-exec helper for the SIGKILL test: when `LIS_E2E_SWEEP_SHARD` is set,
+/// this "test" is a real shard daemon in its own OS process (so the parent
+/// can kill -9 it mid-stream). Without the env var it is a no-op.
+#[test]
+fn sweep_shard_child_process() {
+    if std::env::var("LIS_E2E_SWEEP_SHARD").is_err() {
+        return;
+    }
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind child shard");
+    println!("SHARD_ADDR={}", server.local_addr().expect("addr"));
+    let _ = server.run(); // until killed or shut down
+}
+
+/// Spawns this test binary as a standalone shard process with a per-row
+/// streaming delay, returning its address and process handle. The caller
+/// owns reaping: the SIGKILL test kills and waits both shards on every
+/// exit path.
+#[allow(clippy::zombie_processes)]
+fn spawn_shard_process(row_delay_ms: u64) -> (SocketAddr, std::process::Child) {
+    use std::io::BufRead;
+    let exe = std::env::current_exe().expect("test exe");
+    let mut child = std::process::Command::new(exe)
+        .args(["--exact", "sweep_shard_child_process", "--nocapture"])
+        .env("LIS_E2E_SWEEP_SHARD", "1")
+        .env("LIS_SWEEP_ROW_DELAY_MS", row_delay_ms.to_string())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn shard process");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("child stdout") == 0 {
+            panic!("shard child exited before printing its address");
+        }
+        // The libtest harness prints `test <name> ... ` on the same line
+        // before the marker, so search rather than prefix-match.
+        if let Some(pos) = line.find("SHARD_ADDR=") {
+            let addr = line[pos + "SHARD_ADDR=".len()..]
+                .trim()
+                .parse()
+                .expect("child addr");
+            // Keep the pipe drained so the child never blocks on stdout.
+            std::thread::spawn(move || {
+                use std::io::Read;
+                let mut sink = Vec::new();
+                let _ = reader.read_to_end(&mut sink);
+            });
+            return (addr, child);
+        }
+    }
+}
+
+#[test]
+fn sweep_survives_mid_stream_shard_sigkill_via_failover_replay() {
+    let n = netlist(9);
+    let grid = obj([
+        (
+            "capacities",
+            Json::Arr(
+                [0.0, 1.0]
+                    .iter()
+                    .map(|&c| {
+                        obj([
+                            ("channel", Json::Num(c)),
+                            ("values", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("budget", Json::Num(2.0)),
+    ]);
+
+    // The byte-identity reference: one fault-free in-process server with no
+    // streaming delay (the parent process does not set the delay env var).
+    let reference = {
+        let shard = start_shard();
+        let mut client = Client::connect(shard.addr).expect("connect reference");
+        let (status, body) = client.sweep(&n, grid.clone()).expect("reference sweep");
+        assert_eq!(status, 200);
+        drop(client);
+        stop_shard(shard);
+        body
+    };
+    let rows = reference.iter().filter(|&&b| b == b'\n').count() - 2;
+    assert!(rows >= 4, "grid too small to be killed mid-stream: {rows}");
+
+    // Two real OS-process shards, each streaming one row per 60ms.
+    let (addr_a, mut child_a) = spawn_shard_process(60);
+    let (addr_b, mut child_b) = spawn_shard_process(60);
+    let gw = start_gateway(
+        &[addr_a, addr_b],
+        GatewayConfig {
+            hedge: None,
+            probe_interval: Duration::from_millis(50),
+            ..GatewayConfig::default()
+        },
+    );
+
+    // Fire the sweep through the gateway on its own thread, then SIGKILL
+    // whichever shard is streaming it once at least two rows are out.
+    let gw_addr = gw.addr;
+    let sweep = {
+        let grid = grid.clone();
+        let n = n.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(gw_addr).expect("connect gateway");
+            client.sweep(&n, grid).expect("sweep through outage")
+        })
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let victim = loop {
+        assert!(Instant::now() < deadline, "no shard ever started streaming");
+        let streaming = |addr: SocketAddr| {
+            Client::connect(addr).ok().and_then(|mut c| {
+                let m = c.metrics().ok()?;
+                parse_metric(&m, "lis_sweep_rows_total").filter(|&r| r >= 2.0)
+            })
+        };
+        if streaming(addr_a).is_some() {
+            break &mut child_a;
+        }
+        if streaming(addr_b).is_some() {
+            break &mut child_b;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    victim.kill().expect("SIGKILL the streaming shard");
+    let _ = victim.wait();
+
+    // The client must still get the complete, byte-identical stream — the
+    // gateway fails over and the survivor replays the whole sweep.
+    let (status, body) = sweep.join().expect("sweep thread");
+    assert_eq!(status, 200, "sweep failed during the outage");
+    assert_eq!(
+        body, reference,
+        "failover replay diverged from the reference stream"
+    );
+
+    let mut client = Client::connect(gw.addr).expect("connect gateway");
+    let metrics = client.metrics().expect("gateway metrics");
+    assert!(
+        parse_metric(&metrics, "lis_gateway_failovers_total").expect("failovers metric") >= 1.0,
+        "kill happened but no failover was recorded:\n{metrics}"
+    );
+
+    stop_gateway(gw);
+    for child in [&mut child_a, &mut child_b] {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
 #[test]
 fn shards_see_the_gateway_request_id() {
     // White-box: shard echoes the id the gateway forwarded; the gateway

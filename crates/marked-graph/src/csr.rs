@@ -25,6 +25,12 @@ use crate::graph::{MarkedGraph, PlaceId, TransitionId};
 use crate::scc::SccDecomposition;
 
 /// A compressed-sparse-row view of one strongly connected component.
+///
+/// Cloning copies the four slabs verbatim — including any in-place weight
+/// patches — so a clone is an independent snapshot sharing no state with
+/// the original. [`crate::incremental::IncrementalMcm::fork`] relies on
+/// this to hand warm per-component state to parallel workers.
+#[derive(Clone)]
 pub struct CsrScc {
     /// Global transition id per local vertex.
     pub(crate) vertices: Vec<TransitionId>,

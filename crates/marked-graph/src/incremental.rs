@@ -46,6 +46,7 @@ use crate::scc::SccDecomposition;
 const CACHE_CAP: usize = 4096;
 
 /// One cyclic component with its memoized re-evaluations.
+#[derive(Clone)]
 struct CompState {
     /// Component id in the underlying [`SccDecomposition`].
     comp_id: usize,
@@ -59,6 +60,19 @@ struct CompState {
     /// Howard's converged policy, persisted to warm-start the next solve
     /// (unused by the other engines).
     policy: Vec<u32>,
+}
+
+/// Everything [`IncrementalMcm::analysis_with_tokens`] computes in one
+/// query: the pieces of [`McmResult`] plus the bottleneck places.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McmAnalysis {
+    /// The minimum cycle mean under the queried token assignment.
+    pub mean: Ratio,
+    /// A cycle attaining it, under the shared lowest-component tie-break.
+    pub critical_cycle: Vec<PlaceId>,
+    /// Places whose +1 token strictly raises the mean, ascending by id
+    /// (empty when two or more components tie for the minimum).
+    pub bottlenecks: Vec<PlaceId>,
 }
 
 /// Cache-effectiveness counters reported by [`IncrementalMcm::cache_stats`].
@@ -231,6 +245,127 @@ impl IncrementalMcm {
             mean,
             critical_cycle,
         })
+    }
+
+    /// The places whose single-token increment strictly raises the minimum
+    /// cycle mean under `overrides` — the bottlenecks of the overridden
+    /// graph, identical to probing every place with
+    /// [`Self::mcm_with_tokens`] but computed **structurally**: one memoized
+    /// component solve plus a tight-subgraph analysis, no per-place
+    /// re-solves. If two or more components attain the minimum mean, no
+    /// single place can raise it and the result is empty. Places are
+    /// returned in ascending id order.
+    pub fn bottlenecks_with_tokens(&mut self, overrides: &[(PlaceId, u64)]) -> Vec<PlaceId> {
+        let per_comp = self.normalize(overrides);
+        let mut best: Option<(Ratio, usize)> = None;
+        let mut ties = 0u32;
+        for slot in 0..self.comps.len() {
+            let mean = self.comp_mean(slot, per_comp.get(&slot).map(Vec::as_slice));
+            match best {
+                None => {
+                    best = Some((mean, slot));
+                    ties = 1;
+                }
+                Some((m, _)) if mean < m => {
+                    best = Some((mean, slot));
+                    ties = 1;
+                }
+                Some((m, _)) if mean == m => ties += 1,
+                Some(_) => {}
+            }
+        }
+        let Some((mean, slot)) = best else {
+            return Vec::new();
+        };
+        if ties > 1 {
+            return Vec::new();
+        }
+        let deltas = per_comp.get(&slot).map(Vec::as_slice).unwrap_or(&[]);
+        let saved = self.apply(slot, deltas);
+        let mut places = crate::mcm::bottleneck_places_csr(&self.comps[slot].csr, mean);
+        self.restore(slot, deltas, &saved);
+        places.sort_unstable();
+        places
+    }
+
+    /// [`Self::result_with_tokens`] and [`Self::bottlenecks_with_tokens`]
+    /// answered by one query: a single component scan, a single weight
+    /// patch, and one set of Bellman–Ford potentials shared between the
+    /// critical-cycle extraction and the bottleneck analysis. The answers
+    /// are exactly what the two separate calls return.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Empty`] for an empty source graph, [`GraphError::Acyclic`]
+    /// when there are no cycles.
+    pub fn analysis_with_tokens(
+        &mut self,
+        overrides: &[(PlaceId, u64)],
+    ) -> Result<McmAnalysis, GraphError> {
+        if self.graph_empty {
+            return Err(GraphError::Empty);
+        }
+        let per_comp = self.normalize(overrides);
+        let mut best: Option<(Ratio, usize)> = None;
+        let mut ties = 0u32;
+        for slot in 0..self.comps.len() {
+            let mean = self.comp_mean(slot, per_comp.get(&slot).map(Vec::as_slice));
+            match best {
+                // Strict `<` keeps the lowest slot on a tie — the cycle
+                // tie-break shared with minimum_cycle_mean.
+                None => {
+                    best = Some((mean, slot));
+                    ties = 1;
+                }
+                Some((m, _)) if mean < m => {
+                    best = Some((mean, slot));
+                    ties = 1;
+                }
+                Some((m, _)) if mean == m => ties += 1,
+                Some(_) => {}
+            }
+        }
+        let (mean, slot) = best.ok_or(GraphError::Acyclic)?;
+        let deltas = per_comp.get(&slot).map(Vec::as_slice).unwrap_or(&[]);
+        let saved = self.apply(slot, deltas);
+        let csr = &self.comps[slot].csr;
+        // A cross-component tie means no single place raises the global
+        // minimum, so the bottleneck set is empty by construction and the
+        // tight-subgraph analysis is skipped.
+        let (critical_cycle, mut bottlenecks) = if ties > 1 {
+            (critical_cycle_csr(csr, mean), Vec::new())
+        } else {
+            crate::mcm::cycle_and_bottlenecks_csr(csr, mean)
+        };
+        self.restore(slot, deltas, &saved);
+        bottlenecks.sort_unstable();
+        Ok(McmAnalysis {
+            mean,
+            critical_cycle,
+            bottlenecks,
+        })
+    }
+
+    /// Forks an independent engine that starts **warm**: the clone carries
+    /// every per-component memo entry and converged Howard policy
+    /// accumulated so far, so its first queries are hash lookups or
+    /// one-sweep warm solves instead of cold re-solves.
+    ///
+    /// Forks share no mutable state with the original — each side may
+    /// query (and grow its memo) concurrently. This is the fan-out
+    /// primitive for parallel design-space sweeps: warm one engine on a
+    /// component, then fork it per worker chunk. Hit/miss counters start
+    /// at zero in the fork so per-worker cache effectiveness is visible.
+    pub fn fork(&self) -> IncrementalMcm {
+        IncrementalMcm {
+            comps: self.comps.clone(),
+            place_index: self.place_index.clone(),
+            graph_empty: self.graph_empty,
+            engine: self.engine,
+            scratch: HowardScratch::new(),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Hit/miss/occupancy counters for the per-component memo.
@@ -504,6 +639,115 @@ mod tests {
         let g = MarkedGraph::new();
         let mut inc = IncrementalMcm::new(&g);
         assert_eq!(inc.result_with_tokens(&[]).unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn fork_answers_identically_and_starts_warm() {
+        for seed in 0..10 {
+            let (g, places) = random_graph(seed);
+            let mut inc = IncrementalMcm::new(&g);
+            // Warm the original on a query stream.
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xF0_52);
+            let queries: Vec<Vec<(PlaceId, u64)>> = (0..12)
+                .map(|_| {
+                    (0..rng.gen_range(0..3usize))
+                        .map(|_| {
+                            (
+                                places[rng.gen_range(0..places.len())],
+                                rng.gen_range(0..5u64),
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            for q in &queries {
+                inc.mcm_with_tokens(q);
+            }
+            let warmed_misses = inc.cache_stats().misses;
+            let mut fork = inc.fork();
+            assert_eq!(fork.cache_stats().hits, 0);
+            assert_eq!(fork.cache_stats().misses, 0);
+            assert_eq!(fork.cache_stats().entries, inc.cache_stats().entries);
+            // Replaying the warmed stream on the fork answers identically
+            // and never runs the engine: every query is a memo hit.
+            for q in &queries {
+                assert_eq!(
+                    fork.mcm_with_tokens(q),
+                    inc.mcm_with_tokens(q),
+                    "seed {seed}"
+                );
+                assert_eq!(
+                    fork.result_with_tokens(q).ok(),
+                    inc.result_with_tokens(q).ok(),
+                    "seed {seed}"
+                );
+            }
+            assert_eq!(fork.cache_stats().misses, 0, "fork must start warm");
+            assert_eq!(
+                inc.cache_stats().misses,
+                warmed_misses,
+                "replay on the original must also be all hits"
+            );
+            // Divergent queries on the fork leave the original untouched.
+            let probe: Vec<(PlaceId, u64)> = places.iter().map(|&p| (p, 4)).collect();
+            fork.mcm_with_tokens(&probe);
+            assert_eq!(inc.cache_stats().misses, warmed_misses);
+            assert_eq!(inc.mcm_with_tokens(&[]), inc.base_mean());
+        }
+    }
+
+    #[test]
+    fn combined_analysis_matches_separate_queries() {
+        for seed in 0..25 {
+            let (g, places) = random_graph(seed);
+            let mut inc = IncrementalMcm::new(&g);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xA11A);
+            for query in 0..15 {
+                let k = rng.gen_range(0..4usize);
+                let overrides: Vec<(PlaceId, u64)> = (0..k)
+                    .map(|_| {
+                        (
+                            places[rng.gen_range(0..places.len())],
+                            rng.gen_range(0..5u64),
+                        )
+                    })
+                    .collect();
+                let combined = inc.analysis_with_tokens(&overrides);
+                let result = inc.result_with_tokens(&overrides);
+                let bottlenecks = inc.bottlenecks_with_tokens(&overrides);
+                match (combined, result) {
+                    (Ok(a), Ok(r)) => {
+                        assert_eq!(a.mean, r.mean, "seed {seed} query {query}");
+                        assert_eq!(
+                            a.critical_cycle, r.critical_cycle,
+                            "seed {seed} query {query}"
+                        );
+                        assert_eq!(a.bottlenecks, bottlenecks, "seed {seed} query {query}");
+                    }
+                    (Err(a), Err(r)) => assert_eq!(a, r, "seed {seed} query {query}"),
+                    (a, r) => panic!("seed {seed} query {query}: {a:?} vs {r:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combined_analysis_error_cases() {
+        let g = MarkedGraph::new();
+        let mut inc = IncrementalMcm::new(&g);
+        assert_eq!(
+            inc.analysis_with_tokens(&[]).unwrap_err(),
+            GraphError::Empty
+        );
+        let mut g = MarkedGraph::new();
+        let a = g.add_transition("A");
+        let b = g.add_transition("B");
+        g.add_place(a, b, 1);
+        let mut inc = IncrementalMcm::new(&g);
+        assert_eq!(
+            inc.analysis_with_tokens(&[]).unwrap_err(),
+            GraphError::Acyclic
+        );
     }
 
     #[test]

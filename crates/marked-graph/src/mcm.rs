@@ -431,12 +431,19 @@ pub(crate) fn karp_csr(csr: &CsrScc) -> Ratio {
 /// critical. The traversal follows the snapshot's canonical edge order, so
 /// the returned cycle is independent of which engine produced `mean`.
 pub(crate) fn critical_cycle_csr(csr: &CsrScc, mean: Ratio) -> Vec<PlaceId> {
+    let phi = potentials_csr(csr, mean);
+    critical_cycle_from(csr, mean, &phi)
+}
+
+/// Shortest-path potentials under reduced weights `r(e) = den*w(e) - num`,
+/// Bellman–Ford from vertex 0 (SCC ⇒ everything reachable). Every edge of
+/// every critical (zero-total) cycle is *tight* under these potentials:
+/// `phi(u) + r(e) == phi(v)`.
+fn potentials_csr(csr: &CsrScc, mean: Ratio) -> Vec<i64> {
     let n = csr.n();
     let num = mean.numer();
     let den = mean.denom();
     let reduced = |w: i64| den * w - num;
-
-    // Bellman–Ford from vertex 0 (SCC ⇒ everything reachable).
     let mut phi = vec![i64::MAX; n];
     phi[0] = 0;
     for _ in 0..n {
@@ -458,6 +465,22 @@ pub(crate) fn critical_cycle_csr(csr: &CsrScc, mean: Ratio) -> Vec<PlaceId> {
             break;
         }
     }
+    phi
+}
+
+fn critical_cycle_from(csr: &CsrScc, mean: Ratio, phi: &[i64]) -> Vec<PlaceId> {
+    critical_cycle_edges_from(csr, mean, phi)
+        .into_iter()
+        .map(|e| csr.place(e))
+        .collect()
+}
+
+/// [`critical_cycle_from`] returning CSR edge indices instead of places.
+fn critical_cycle_edges_from(csr: &CsrScc, mean: Ratio, phi: &[i64]) -> Vec<usize> {
+    let n = csr.n();
+    let num = mean.numer();
+    let den = mean.denom();
+    let reduced = |w: i64| den * w - num;
 
     // DFS for a cycle within tight edges. `next` counts per-vertex edge
     // offsets so the visit order matches the canonical CSR edge order.
@@ -508,18 +531,150 @@ pub(crate) fn critical_cycle_csr(csr: &CsrScc, mean: Ratio) -> Vec<PlaceId> {
                         .iter()
                         .position(|&x| x == w)
                         .expect("gray vertex lies on the DFS chain");
-                    let mut places: Vec<PlaceId> = path[start..]
+                    let mut edges: Vec<usize> = path[start..]
                         .iter()
-                        .map(|&(u, ei)| csr.place(csr.out(u).start + ei))
+                        .map(|&(u, ei)| csr.out(u).start + ei)
                         .collect();
-                    places.push(csr.place(e));
-                    return places;
+                    edges.push(e);
+                    return edges;
                 }
                 Color::Black => {}
             }
         }
     }
     unreachable!("a critical cycle must exist in the tight subgraph")
+}
+
+/// The places of one CSR snapshot whose single-token increment strictly
+/// raises its minimum cycle mean, computed **structurally** — no re-solves.
+///
+/// A token on place `p` strictly raises the mean of every cycle through `p`
+/// and no other, so the component minimum rises iff every minimum-mean
+/// cycle contains `p`. Minimum-mean cycles are exactly the cycles of the
+/// *tight subgraph* (edges with `phi(u) + r(e) == phi(v)`; any such cycle
+/// telescopes to reduced total 0), so `p` qualifies iff the tight subgraph
+/// minus `p` is acyclic. Only the edges of one extracted critical cycle
+/// can pass that test, which bounds the per-place DFS count by one cycle
+/// length. Returned in critical-cycle order; callers sort as needed.
+pub(crate) fn bottleneck_places_csr(csr: &CsrScc, mean: Ratio) -> Vec<PlaceId> {
+    let phi = potentials_csr(csr, mean);
+    let cycle_edges = critical_cycle_edges_from(csr, mean, &phi);
+    bottleneck_places_from(csr, mean, &phi, &cycle_edges)
+}
+
+/// Critical cycle and bottleneck places of one snapshot in a single pass,
+/// sharing the Bellman–Ford potentials and the extracted cycle between the
+/// two answers. Equal to ([`critical_cycle_csr`], [`bottleneck_places_csr`])
+/// computed separately.
+pub(crate) fn cycle_and_bottlenecks_csr(csr: &CsrScc, mean: Ratio) -> (Vec<PlaceId>, Vec<PlaceId>) {
+    let phi = potentials_csr(csr, mean);
+    let cycle_edges = critical_cycle_edges_from(csr, mean, &phi);
+    let bottlenecks = bottleneck_places_from(csr, mean, &phi, &cycle_edges);
+    let cycle = cycle_edges.into_iter().map(|e| csr.place(e)).collect();
+    (cycle, bottlenecks)
+}
+
+/// The tight-subgraph acyclicity filter of [`bottleneck_places_csr`], with
+/// the potentials and candidate cycle edges already in hand.
+fn bottleneck_places_from(
+    csr: &CsrScc,
+    mean: Ratio,
+    phi: &[i64],
+    cycle_edges: &[usize],
+) -> Vec<PlaceId> {
+    let n = csr.n();
+    let num = mean.numer();
+    let den = mean.denom();
+    let reduced = |w: i64| den * w - num;
+
+    // Tight adjacency in flat CSR form (offsets + parallel target/edge-id
+    // arrays), so the per-candidate DFS below touches no allocator.
+    let mut offsets = vec![0u32; n + 1];
+    for v in 0..n {
+        for e in csr.out(v) {
+            if phi[v] + reduced(csr.weight(e)) == phi[csr.target(e)] {
+                offsets[v + 1] += 1;
+            }
+        }
+    }
+    for v in 0..n {
+        offsets[v + 1] += offsets[v];
+    }
+    let m = offsets[n] as usize;
+    let mut targets = vec![0u32; m];
+    let mut edge_ids = vec![0u32; m];
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    for v in 0..n {
+        for e in csr.out(v) {
+            let w = csr.target(e);
+            if phi[v] + reduced(csr.weight(e)) == phi[w] {
+                let slot = cursor[v] as usize;
+                targets[slot] = w as u32;
+                edge_ids[slot] = e as u32;
+                cursor[v] += 1;
+            }
+        }
+    }
+
+    let mut color = vec![0u8; n];
+    let mut stack: Vec<(u32, u32)> = Vec::with_capacity(n);
+    cycle_edges
+        .iter()
+        .filter(|&&skip| {
+            tight_subgraph_is_acyclic_without(
+                &offsets, &targets, &edge_ids, skip, &mut color, &mut stack,
+            )
+        })
+        .map(|&e| csr.place(e))
+        .collect()
+}
+
+/// Whether the tight subgraph minus the edge `skip` has no cycle
+/// (iterative three-color DFS over the flat adjacency; `color`/`stack` are
+/// caller-owned scratch, reset here).
+fn tight_subgraph_is_acyclic_without(
+    offsets: &[u32],
+    targets: &[u32],
+    edge_ids: &[u32],
+    skip: usize,
+    color: &mut [u8],
+    stack: &mut Vec<(u32, u32)>,
+) -> bool {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let n = color.len();
+    color.fill(WHITE);
+    stack.clear();
+    for root in 0..n as u32 {
+        if color[root as usize] != WHITE {
+            continue;
+        }
+        color[root as usize] = GRAY;
+        stack.push((root, offsets[root as usize]));
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next >= offsets[v as usize + 1] {
+                color[v as usize] = BLACK;
+                stack.pop();
+                continue;
+            }
+            let slot = *next as usize;
+            *next += 1;
+            if edge_ids[slot] as usize == skip {
+                continue;
+            }
+            let w = targets[slot];
+            match color[w as usize] {
+                WHITE => {
+                    color[w as usize] = GRAY;
+                    stack.push((w, offsets[w as usize]));
+                }
+                GRAY => return false,
+                _ => {}
+            }
+        }
+    }
+    true
 }
 
 /// Lawler's algorithm: exact minimum cycle mean via parametric search.

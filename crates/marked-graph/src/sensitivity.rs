@@ -74,6 +74,12 @@ pub fn token_sensitivity(graph: &MarkedGraph) -> Vec<PlaceSensitivity> {
 /// The places whose single-token increment strictly raises the minimum
 /// cycle mean — the true bottlenecks (places on *every* critical cycle).
 ///
+/// Computed structurally via [`IncrementalMcm::bottlenecks_with_tokens`]:
+/// a token on `p` leaves every cycle avoiding `p` unchanged, so `p` is a
+/// bottleneck iff the tight subgraph of minimum-mean cycles minus `p` is
+/// acyclic — one solve per component and a few DFS passes, identical in
+/// output to probing every place but with no per-place re-solves.
+///
 /// # Examples
 ///
 /// ```
@@ -94,11 +100,7 @@ pub fn token_sensitivity(graph: &MarkedGraph) -> Vec<PlaceSensitivity> {
 /// assert_eq!(bottleneck_places(&g), vec![shared]);
 /// ```
 pub fn bottleneck_places(graph: &MarkedGraph) -> Vec<PlaceId> {
-    token_sensitivity(graph)
-        .into_iter()
-        .filter(|s| s.improves)
-        .map(|s| s.place)
-        .collect()
+    IncrementalMcm::new(graph).bottlenecks_with_tokens(&[])
 }
 
 /// All places lying on at least one minimum-mean cycle ("critical places").
@@ -270,6 +272,81 @@ mod tests {
         for s in token_sensitivity(&g) {
             assert_eq!(s.mean_after, Ratio::ONE);
             assert!(s.improves);
+        }
+    }
+
+    #[test]
+    fn structural_bottlenecks_agree_with_exhaustive_probing() {
+        // The tight-subgraph computation must match probing every place
+        // with a re-solve, on random graphs and random token overrides.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(27);
+        for trial in 0..40 {
+            let n = rng.gen_range(2..9);
+            let mut g = MarkedGraph::new();
+            let ts: Vec<_> = (0..n).map(|i| g.add_transition(format!("t{i}"))).collect();
+            let mut places = Vec::new();
+            for i in 0..n {
+                places.push(g.add_place(ts[i], ts[(i + 1) % n], rng.gen_range(0..3)));
+            }
+            for _ in 0..rng.gen_range(0..2 * n) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                places.push(g.add_place(ts[u], ts[v], rng.gen_range(0..3)));
+            }
+            // Base marking: against the probe-everything oracle.
+            let expected = {
+                let mut probe = IncrementalMcm::new(&g);
+                let base = probe.base_mean().expect("ring is cyclic");
+                places
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        probe
+                            .mcm_with_tokens(&[(p, g.tokens(p) + 1)])
+                            .expect("still cyclic")
+                            > base
+                    })
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(bottleneck_places(&g), expected, "trial {trial}\n{g:?}");
+            // Random overrides: the incremental entry point against the
+            // oracle probing on top of the same overrides.
+            for _ in 0..5 {
+                let k = rng.gen_range(0..3usize);
+                let overrides: Vec<(PlaceId, u64)> = (0..k)
+                    .map(|_| {
+                        (
+                            places[rng.gen_range(0..places.len())],
+                            rng.gen_range(0..4u64),
+                        )
+                    })
+                    .collect();
+                let mut inc = IncrementalMcm::new(&g);
+                let base = inc.mcm_with_tokens(&overrides).expect("still cyclic");
+                let tokens_at = |p: PlaceId| {
+                    overrides
+                        .iter()
+                        .rev()
+                        .find_map(|&(op, t)| (op == p).then_some(t))
+                        .unwrap_or_else(|| g.tokens(p))
+                };
+                let expected: Vec<PlaceId> = places
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        let mut probe = overrides.clone();
+                        probe.push((p, tokens_at(p) + 1));
+                        inc.mcm_with_tokens(&probe).expect("still cyclic") > base
+                    })
+                    .collect();
+                assert_eq!(
+                    inc.bottlenecks_with_tokens(&overrides),
+                    expected,
+                    "trial {trial} overrides {overrides:?}\n{g:?}"
+                );
+            }
         }
     }
 

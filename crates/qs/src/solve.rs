@@ -69,7 +69,7 @@ impl Default for QsConfig {
 }
 
 /// The outcome of queue sizing a system.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QsReport {
     /// The ideal MST `θ(G)` the solution restores.
     pub target: Ratio,

@@ -129,8 +129,30 @@ pub fn exhaustive_insertion(sys: &LisSystem, budget: u32) -> InsertionResult {
 /// the practical MST (never below the current value), up to `budget`
 /// stations. Stops early when no single insertion helps.
 pub fn greedy_insertion(sys: &LisSystem, budget: u32) -> InsertionResult {
+    greedy_frontier(sys, budget)
+        .pop()
+        .expect("frontier always holds the zero-station prefix")
+}
+
+/// Greedy insertion with every intermediate prefix recorded: entry `k` is
+/// the greedy placement after exactly `k` stations (entry 0 is the bare
+/// system), so the result enumerates the whole budget/throughput trade-off
+/// curve in one pass. Stops early when no single insertion helps, giving
+/// `1 + min(budget, useful insertions)` entries; the last entry equals
+/// [`greedy_insertion`] with the same budget.
+///
+/// Design-space sweeps use these prefixes as their relay-station axis: each
+/// prefix is one station configuration whose queue capacities are then
+/// swept independently.
+pub fn greedy_frontier(sys: &LisSystem, budget: u32) -> Vec<InsertionResult> {
     let mut current = sys.clone();
     let mut placed: Vec<(ChannelId, u32)> = Vec::new();
+    let mut frontier = vec![InsertionResult {
+        placements: Vec::new(),
+        practical: practical_mst(&current),
+        ideal: ideal_mst(&current),
+        inserted: 0,
+    }];
     let mut inserted = 0;
     while inserted < budget {
         let now = practical_mst(&current);
@@ -150,13 +172,14 @@ pub fn greedy_insertion(sys: &LisSystem, budget: u32) -> InsertionResult {
             None => placed.push((c, 1)),
         }
         inserted += 1;
+        frontier.push(InsertionResult {
+            placements: placed.clone(),
+            practical: practical_mst(&current),
+            ideal: ideal_mst(&current),
+            inserted,
+        });
     }
-    InsertionResult {
-        placements: placed,
-        practical: practical_mst(&current),
-        ideal: ideal_mst(&current),
-        inserted,
-    }
+    frontier
 }
 
 /// Path equalization for acyclic systems (the Casu–Macchiarulo technique,
@@ -403,5 +426,27 @@ mod tests {
         let before = practical_mst(&sys);
         let r = greedy_insertion(&sys, 3);
         assert!(r.practical >= before);
+    }
+
+    #[test]
+    fn greedy_frontier_records_every_prefix() {
+        let (sys, _, lower) = figures::fig1();
+        let frontier = greedy_frontier(&sys, 3);
+        // Entry 0 is the bare system; one station fixes Fig. 2, after which
+        // nothing helps, so the frontier stops at two entries.
+        assert_eq!(frontier.len(), 2);
+        assert_eq!(frontier[0].inserted, 0);
+        assert_eq!(frontier[0].practical, Ratio::new(2, 3));
+        assert!(frontier[0].placements.is_empty());
+        assert_eq!(frontier[1].inserted, 1);
+        assert_eq!(frontier[1].practical, Ratio::ONE);
+        assert_eq!(frontier[1].placements, vec![(lower, 1)]);
+        // The last entry is exactly the greedy_insertion answer, and the
+        // practical MST never decreases along the frontier.
+        assert_eq!(frontier.last().unwrap(), &greedy_insertion(&sys, 3));
+        for pair in frontier.windows(2) {
+            assert!(pair[1].practical >= pair[0].practical);
+            assert_eq!(pair[1].inserted, pair[0].inserted + 1);
+        }
     }
 }

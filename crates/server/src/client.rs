@@ -103,6 +103,19 @@ impl Client {
         self.post_json(&format!("/{route}"), &body)
     }
 
+    /// Issues a design-space sweep (`POST /sweep`) for a netlist text,
+    /// returning the status and the raw NDJSON body. Chunked (streamed)
+    /// responses are reassembled transparently by the HTTP layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and HTTP-framing errors.
+    pub fn sweep(&mut self, netlist: &str, options: Json) -> io::Result<(u16, Vec<u8>)> {
+        let body = obj([("netlist", Json::str(netlist)), ("options", options)]);
+        let response = self.request("POST", "/sweep", body.to_string().as_bytes())?;
+        Ok((response.status, response.body))
+    }
+
     /// Fetches the Prometheus exposition from `GET /metrics`.
     ///
     /// # Errors
@@ -363,6 +376,17 @@ impl RetryingClient {
     ) -> io::Result<(u16, Json)> {
         let body = obj([("netlist", Json::str(netlist)), ("options", options)]);
         self.post_json(&format!("/{route}"), &body)
+    }
+
+    /// Issues a design-space sweep, with retries. See [`Client::sweep`].
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::request`].
+    pub fn sweep(&mut self, netlist: &str, options: Json) -> io::Result<(u16, Vec<u8>)> {
+        let body = obj([("netlist", Json::str(netlist)), ("options", options)]);
+        let response = self.request("POST", "/sweep", body.to_string().as_bytes())?;
+        Ok((response.status, response.body))
     }
 
     /// Fetches `GET /metrics`, with transport retries. See

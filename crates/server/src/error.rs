@@ -32,6 +32,13 @@ pub enum ServerError {
         /// Queue capacity at the moment of shedding.
         queue_capacity: usize,
     },
+    /// The concurrent-sweep cap was reached; this sweep was shed → 503.
+    /// The response carries a `Retry-After` header and the body a
+    /// `retry_after_ms` hint.
+    SweepsBusy {
+        /// The configured concurrent-sweep limit.
+        limit: usize,
+    },
     /// The daemon is draining for shutdown → 503.
     ShuttingDown,
     /// The worker executing this request panicked; the job was isolated
@@ -63,7 +70,9 @@ impl ServerError {
             ServerError::BadRequest(_) | ServerError::Parse(_) => 400,
             ServerError::Analysis(_) => 422,
             ServerError::Timeout { .. } => 504,
-            ServerError::Overloaded { .. } | ServerError::ShuttingDown => 503,
+            ServerError::Overloaded { .. }
+            | ServerError::SweepsBusy { .. }
+            | ServerError::ShuttingDown => 503,
             ServerError::WorkerCrashed => 500,
             ServerError::TooManyConnections { .. } => 429,
             ServerError::SlowClient { .. } => 408,
@@ -80,6 +89,7 @@ impl ServerError {
             ServerError::Analysis(_) => "analysis_error",
             ServerError::Timeout { .. } => "timeout",
             ServerError::Overloaded { .. } => "overloaded",
+            ServerError::SweepsBusy { .. } => "sweeps_busy",
             ServerError::ShuttingDown => "shutting_down",
             ServerError::WorkerCrashed => "worker_crashed",
             ServerError::TooManyConnections { .. } => "too_many_connections",
@@ -112,6 +122,12 @@ impl ServerError {
                     Json::num(*queue_capacity as f64),
                 ));
             }
+            ServerError::SweepsBusy { limit } => {
+                fields.push(("limit".to_string(), Json::num(*limit as f64)));
+                // Survives proxies that drop the Retry-After header (the
+                // gateway relays status + body only).
+                fields.push(("retry_after_ms".to_string(), Json::num(1000.0)));
+            }
             ServerError::TooManyConnections { limit } => {
                 fields.push(("limit".to_string(), Json::num(*limit as f64)));
             }
@@ -136,6 +152,10 @@ impl fmt::Display for ServerError {
             ServerError::Overloaded { queue_capacity } => write!(
                 f,
                 "worker queue full ({queue_capacity} jobs); request shed, retry later"
+            ),
+            ServerError::SweepsBusy { limit } => write!(
+                f,
+                "all {limit} sweep slots are busy; sweep shed, retry later"
             ),
             ServerError::ShuttingDown => write!(f, "server is draining for shutdown"),
             ServerError::WorkerCrashed => write!(
@@ -180,6 +200,7 @@ mod tests {
                 503,
                 "overloaded",
             ),
+            (ServerError::SweepsBusy { limit: 4 }, 503, "sweeps_busy"),
             (ServerError::ShuttingDown, 503, "shutting_down"),
             (ServerError::WorkerCrashed, 500, "worker_crashed"),
             (
@@ -240,6 +261,14 @@ mod tests {
                 .as_u64(),
             Some(250)
         );
+    }
+
+    #[test]
+    fn sweeps_busy_carries_a_retry_hint_in_the_body() {
+        let body = ServerError::SweepsBusy { limit: 4 }.to_json();
+        let error = body.get("error").unwrap();
+        assert_eq!(error.get("limit").unwrap().as_u64(), Some(4));
+        assert_eq!(error.get("retry_after_ms").unwrap().as_u64(), Some(1000));
     }
 
     #[test]

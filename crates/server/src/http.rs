@@ -2,10 +2,14 @@
 //!
 //! Supported: request line + headers + `Content-Length` bodies, persistent
 //! connections (`Connection: keep-alive` semantics, the HTTP/1.1 default),
-//! and explicit `Connection: close`. Not supported (and rejected where it
-//! matters): chunked transfer encoding, HTTP/0.9/2, multi-line header
-//! folding. That subset is exactly what `lis client` and `loadgen` speak,
-//! and keeps the parser small enough to audit.
+//! explicit `Connection: close`, and — on **responses only** — chunked
+//! transfer encoding, which the `/sweep` route uses to stream result rows
+//! before the total body length is known ([`write_chunked_head`] /
+//! [`write_chunk`] / [`finish_chunked`]; [`read_response`] reassembles the
+//! chunks transparently). Not supported (and rejected where it matters):
+//! chunked *requests*, HTTP/0.9/2, multi-line header folding. That subset
+//! is exactly what `lis client` and `loadgen` speak, and keeps the parser
+//! small enough to audit.
 //!
 //! Hard limits guard the daemon against hostile or broken peers: the head
 //! (request/status line + headers) may not exceed [`MAX_HEAD_BYTES`] and
@@ -248,12 +252,188 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
         }
     };
     let headers = parse_headers(&lines[1..])?;
-    let body = read_body(reader, &headers)?;
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        read_chunked_body(reader)?
+    } else {
+        read_body(reader, &headers)?
+    };
     Ok(Response {
         status,
         headers,
         body,
     })
+}
+
+/// Reassembles a chunked response body: `<hex size>\r\n<data>\r\n` frames
+/// terminated by a zero-size chunk. Chunk extensions (after `;`) are
+/// ignored; trailer headers are consumed up to the final blank line.
+fn read_chunked_body(reader: &mut impl BufRead) -> io::Result<Vec<u8>> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut body = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-chunk",
+            ));
+        }
+        let size_text = line
+            .trim_end_matches(['\r', '\n'])
+            .split(';')
+            .next()
+            .unwrap_or("");
+        let size =
+            usize::from_str_radix(size_text.trim(), 16).map_err(|_| bad("bad chunk size line"))?;
+        if size == 0 {
+            // Consume optional trailers up to the terminating blank line.
+            loop {
+                let mut trailer = String::new();
+                if reader.read_line(&mut trailer)? == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before the chunked trailer",
+                    ));
+                }
+                if trailer.trim_end_matches(['\r', '\n']).is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        if body.len().saturating_add(size) > MAX_BODY_BYTES {
+            return Err(bad("chunked body too large"));
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(bad("chunk data not terminated by CRLF"));
+        }
+    }
+}
+
+/// Writes the head of a chunked response (status line + headers +
+/// `Transfer-Encoding: chunked`, no `Content-Length`). Follow with
+/// [`write_chunk`] calls and one [`finish_chunked`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_chunked_head(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    use std::fmt::Write as _;
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {connection}\r\n",
+        reason(status),
+    );
+    for (name, value) in extra_headers {
+        let _ = write!(head, "{name}: {}\r\n", sanitize_header_value(value));
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.flush()
+}
+
+/// Writes one chunk frame and flushes, so a streamed row is on the wire
+/// before the next one is computed. Empty data is skipped (an empty chunk
+/// would terminate the body).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_chunk(writer: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(writer, "{:x}\r\n", data.len())?;
+    writer.write_all(data)?;
+    writer.write_all(b"\r\n")?;
+    writer.flush()
+}
+
+/// Terminates a chunked response with the zero-size chunk.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn finish_chunked(writer: &mut impl Write) -> io::Result<()> {
+    writer.write_all(b"0\r\n\r\n")?;
+    writer.flush()
+}
+
+/// Coalesces many small streamed payloads into fewer, larger chunk frames.
+///
+/// [`write_chunk`] costs three socket writes per call — ruinous for an
+/// NDJSON stream of tiny rows on a `TCP_NODELAY` socket, where every write
+/// is a syscall and a segment. A batcher accumulates rows until `threshold`
+/// payload bytes are pending, then emits them as **one** chunk frame with a
+/// single `write_all`. A threshold of `0` flushes on every push: one row
+/// per chunk, for paced streams that must hit the wire row by row.
+///
+/// The resulting byte stream is still standard chunked encoding — only the
+/// frame boundaries move, never the payload — so clients reassembling the
+/// body see identical bytes.
+pub struct ChunkBatcher {
+    payload: Vec<u8>,
+    frame: Vec<u8>,
+    threshold: usize,
+}
+
+impl ChunkBatcher {
+    /// A batcher flushing once `threshold` payload bytes are pending
+    /// (`0` = flush every push).
+    pub fn new(threshold: usize) -> ChunkBatcher {
+        ChunkBatcher {
+            payload: Vec::new(),
+            frame: Vec::new(),
+            threshold,
+        }
+    }
+
+    /// Appends `data` to the pending chunk, flushing if the pending payload
+    /// has reached the threshold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying stream.
+    pub fn push(&mut self, writer: &mut impl Write, data: &[u8]) -> io::Result<()> {
+        self.payload.extend_from_slice(data);
+        if self.payload.len() >= self.threshold {
+            self.flush(writer)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Writes the pending payload as one chunk frame (no-op when empty —
+    /// an empty chunk would terminate the body).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying stream.
+    pub fn flush(&mut self, writer: &mut impl Write) -> io::Result<()> {
+        if self.payload.is_empty() {
+            return Ok(());
+        }
+        self.frame.clear();
+        let _ = write!(self.frame, "{:x}\r\n", self.payload.len());
+        self.frame.extend_from_slice(&self.payload);
+        self.frame.extend_from_slice(b"\r\n");
+        self.payload.clear();
+        writer.write_all(&self.frame)?;
+        writer.flush()
+    }
 }
 
 /// Renders a complete response (head + body) to a byte buffer, with
@@ -576,6 +756,100 @@ mod tests {
         .unwrap();
         let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
         assert_eq!(resp.header("x-lis-request-id"), Some("req-42"));
+    }
+
+    #[test]
+    fn chunked_response_round_trip() {
+        let mut wire = Vec::new();
+        write_chunked_head(
+            &mut wire,
+            200,
+            "application/x-ndjson",
+            true,
+            &[("X-LIS-Request-Id", "sweep-1")],
+        )
+        .unwrap();
+        write_chunk(&mut wire, b"{\"point\":0}\n").unwrap();
+        write_chunk(&mut wire, b"").unwrap(); // skipped, not a terminator
+        write_chunk(&mut wire, b"{\"point\":1}\n").unwrap();
+        write_chunk(&mut wire, b"{\"done\":true}\n").unwrap();
+        finish_chunked(&mut wire).unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
+        assert_eq!(resp.header("x-lis-request-id"), Some("sweep-1"));
+        assert_eq!(
+            resp.body,
+            b"{\"point\":0}\n{\"point\":1}\n{\"done\":true}\n"
+        );
+    }
+
+    #[test]
+    fn chunk_batcher_coalesces_without_changing_the_body() {
+        // Batched (threshold 32) and per-push (threshold 0) framings must
+        // reassemble to the same body the unbatched writer produces.
+        let rows: Vec<String> = (0..10).map(|i| format!("{{\"point\":{i}}}\n")).collect();
+        let expected: String = rows.concat();
+        for threshold in [0usize, 32, 8192] {
+            let mut wire = Vec::new();
+            write_chunked_head(&mut wire, 200, "application/x-ndjson", true, &[]).unwrap();
+            let mut batcher = ChunkBatcher::new(threshold);
+            for row in &rows {
+                batcher.push(&mut wire, row.as_bytes()).unwrap();
+            }
+            batcher.push(&mut wire, b"").unwrap(); // empty push is harmless
+            batcher.flush(&mut wire).unwrap();
+            batcher.flush(&mut wire).unwrap(); // idempotent when drained
+            finish_chunked(&mut wire).unwrap();
+            let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+            assert_eq!(resp.body, expected.as_bytes(), "threshold {threshold}");
+            // Frame count: threshold 0 streams one frame per row; a large
+            // threshold coalesces everything into a single frame.
+            let frames = wire.windows(2).filter(|w| w == b"}\n").count();
+            assert!(frames >= 1, "threshold {threshold}");
+        }
+        // Threshold 0 really does put each row on the wire immediately.
+        let mut wire = Vec::new();
+        let mut batcher = ChunkBatcher::new(0);
+        batcher.push(&mut wire, b"abc").unwrap();
+        assert_eq!(wire, b"3\r\nabc\r\n");
+        // A large threshold holds the row back until flushed.
+        let mut wire = Vec::new();
+        let mut batcher = ChunkBatcher::new(8192);
+        batcher.push(&mut wire, b"abc").unwrap();
+        assert!(wire.is_empty());
+        batcher.flush(&mut wire).unwrap();
+        assert_eq!(wire, b"3\r\nabc\r\n");
+    }
+
+    #[test]
+    fn chunked_requests_are_still_rejected() {
+        let wire = b"POST /sweep HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n";
+        let err = read_request(&mut BufReader::new(&wire[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn malformed_chunked_responses_are_rejected() {
+        // Garbage size line.
+        let wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n\r\n";
+        let err = read_response(&mut BufReader::new(&wire[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Chunk data not terminated by CRLF.
+        let wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nabXY0\r\n\r\n";
+        let err = read_response(&mut BufReader::new(&wire[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // EOF before the terminating chunk.
+        let wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nab\r\n";
+        let err = read_response(&mut BufReader::new(&wire[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // A chunk claiming more than the body cap.
+        let wire = format!(
+            "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n{:x}\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = read_response(&mut BufReader::new(wire.as_bytes())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

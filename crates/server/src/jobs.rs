@@ -12,9 +12,13 @@
 //! underneath are deterministic), which is what makes the responses safe
 //! to cache by content hash.
 
-use lis_core::{canonical_hash, classify, explain_with, LisModel, LisSystem, TopologyClass};
-use lis_qs::{solve, verify_solution, Algorithm, QsConfig};
+use lis_core::{canonical_hash, explain_with, AnalysisReport, LisModel, LisSystem, TopologyClass};
+use lis_qs::{solve, verify_solution, Algorithm, QsConfig, QsReport};
 use lis_rsopt::{exhaustive_insertion, greedy_insertion};
+use lis_sweep::{
+    CapacityAxis, PointReport, StallAxis, StationGoal, Sweep, SweepMode, SweepRow, SweepSpec,
+    SweepSummary,
+};
 use marked_graph::{McmEngine, Ratio};
 
 use crate::cache::CacheKey;
@@ -45,6 +49,12 @@ pub enum RequestKind {
     Dot {
         /// Export the doubled model `d[G]` instead of the ideal `G`.
         doubled: bool,
+    },
+    /// Design-space exploration (`POST /sweep`): one netlist, a grid of
+    /// capacities/stations/stall probabilities, streamed row by row.
+    Sweep {
+        /// The full sweep specification (grid axes, mode, engine).
+        spec: SweepSpec,
     },
 }
 
@@ -107,6 +117,9 @@ impl RequestKind {
             "dot" => RequestKind::Dot {
                 doubled: opt_bool("doubled")?,
             },
+            "sweep" => RequestKind::Sweep {
+                spec: decode_sweep_spec(options, opt_bool("exact")?, opt_engine()?)?,
+            },
             other => return Err(ServerError::NotFound(format!("/{other}"))),
         };
         Ok((netlist, kind))
@@ -120,6 +133,7 @@ impl RequestKind {
             RequestKind::Qs { exact, engine } => format!("qs:exact={exact}:engine={engine}"),
             RequestKind::Insert { budget } => format!("insert:budget={budget}"),
             RequestKind::Dot { doubled } => format!("dot:doubled={doubled}"),
+            RequestKind::Sweep { spec } => spec.token(),
         }
     }
 
@@ -130,6 +144,7 @@ impl RequestKind {
             RequestKind::Analyze { engine } | RequestKind::Qs { engine, .. } => {
                 Some(engine.as_str())
             }
+            RequestKind::Sweep { spec } => Some(spec.engine.as_str()),
             RequestKind::Insert { .. } | RequestKind::Dot { .. } => None,
         }
     }
@@ -158,8 +173,141 @@ impl RequestKind {
             RequestKind::Qs { exact, engine } => qs(sys, *exact, *engine),
             RequestKind::Insert { budget } => Ok(insert(sys, *budget)),
             RequestKind::Dot { doubled } => Ok(dot(sys, *doubled)),
+            RequestKind::Sweep { spec } => sweep_table(sys, spec),
         }
     }
+}
+
+/// Decodes the `/sweep` options object into a [`SweepSpec`]. Type errors
+/// are caught here; semantic validation (unknown channels, grid-size caps)
+/// happens when the plan is expanded against the parsed netlist.
+fn decode_sweep_spec(
+    options: &Json,
+    exact: bool,
+    engine: McmEngine,
+) -> Result<SweepSpec, ServerError> {
+    let bad = |msg: &str| ServerError::BadRequest(msg.into());
+    let as_u64 = |v: &Json, what: &str| {
+        v.as_u64().ok_or_else(|| {
+            ServerError::BadRequest(format!("{what} must be a non-negative integer"))
+        })
+    };
+    let mode = match options.get("mode") {
+        None => SweepMode::Analyze,
+        Some(v) => match v.as_str() {
+            Some("analyze") => SweepMode::Analyze,
+            Some("qs") => SweepMode::Qs { exact },
+            _ => return Err(bad("option \"mode\" must be \"analyze\" or \"qs\"")),
+        },
+    };
+    let mut capacities = Vec::new();
+    if let Some(axes) = options.get("capacities") {
+        let axes = axes
+            .as_arr()
+            .ok_or_else(|| bad("option \"capacities\" must be an array of axes"))?;
+        for axis in axes {
+            let channel = as_u64(
+                axis.get("channel").ok_or_else(|| {
+                    bad("each capacity axis must be {\"channel\": N, \"values\": [...]}")
+                })?,
+                "axis \"channel\"",
+            )? as usize;
+            let values = axis
+                .get("values")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("axis \"values\" must be an array"))?
+                .iter()
+                .map(|v| as_u64(v, "axis value"))
+                .collect::<Result<Vec<u64>, _>>()?;
+            capacities.push(CapacityAxis { channel, values });
+        }
+    }
+    let stations = match (options.get("budget"), options.get("stations")) {
+        (Some(_), Some(_)) => {
+            return Err(bad(
+                "options \"budget\" and \"stations\" are mutually exclusive",
+            ))
+        }
+        (Some(b), None) => {
+            let b = as_u64(b, "option \"budget\"")?;
+            let b = u32::try_from(b).map_err(|_| bad("option \"budget\" is out of range"))?;
+            StationGoal::Budget(b)
+        }
+        (None, Some(configs)) => {
+            let configs = configs
+                .as_arr()
+                .ok_or_else(|| bad("option \"stations\" must be an array of configurations"))?;
+            let mut out = Vec::with_capacity(configs.len());
+            for cfg in configs {
+                let cfg = cfg
+                    .as_arr()
+                    .ok_or_else(|| bad("each station configuration must be an array"))?;
+                let mut placements = Vec::with_capacity(cfg.len());
+                for entry in cfg {
+                    let channel = as_u64(
+                        entry.get("channel").ok_or_else(|| {
+                            bad("each station entry must be {\"channel\": N, \"add\": N}")
+                        })?,
+                        "station \"channel\"",
+                    )? as usize;
+                    let add = as_u64(
+                        entry
+                            .get("add")
+                            .ok_or_else(|| bad("station entry is missing \"add\""))?,
+                        "station \"add\"",
+                    )?;
+                    let add =
+                        u32::try_from(add).map_err(|_| bad("station \"add\" is out of range"))?;
+                    placements.push((channel, add));
+                }
+                out.push(placements);
+            }
+            StationGoal::Configs(out)
+        }
+        (None, None) => StationGoal::Base,
+    };
+    let stalls = match options.get("stalls") {
+        None => None,
+        Some(s) => {
+            let per_mille = s
+                .get("per_mille")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("stalls \"per_mille\" must be an array"))?
+                .iter()
+                .map(|v| {
+                    as_u64(v, "stall probability").and_then(|p| {
+                        u32::try_from(p).map_err(|_| bad("stall probability is out of range"))
+                    })
+                })
+                .collect::<Result<Vec<u32>, _>>()?;
+            let trials = match s.get("trials") {
+                None => 64,
+                Some(v) => u32::try_from(as_u64(v, "stalls \"trials\"")?)
+                    .map_err(|_| bad("stalls \"trials\" is out of range"))?,
+            };
+            let cycles = match s.get("cycles") {
+                None => 10_000,
+                Some(v) => as_u64(v, "stalls \"cycles\"")?,
+            };
+            let seed = match s.get("seed") {
+                None => 0,
+                Some(v) => as_u64(v, "stalls \"seed\"")?,
+            };
+            Some(StallAxis {
+                per_mille,
+                trials,
+                cycles,
+                seed,
+            })
+        }
+    };
+    Ok(SweepSpec {
+        mode,
+        engine,
+        capacities,
+        stations,
+        stalls,
+    })
 }
 
 fn ratio_json(r: Ratio) -> Json {
@@ -187,7 +335,13 @@ fn channel_json(sys: &LisSystem, c: lis_core::ChannelId) -> Json {
 }
 
 fn analyze(sys: &LisSystem, engine: McmEngine) -> Json {
-    let report = explain_with(sys, engine);
+    analyze_report_json(sys, &explain_with(sys, engine))
+}
+
+/// Renders an [`AnalysisReport`] exactly as the `/analyze` route does — the
+/// single source of the body layout, shared by the sweep row renderer so a
+/// sweep point is byte-identical to an individual round trip.
+pub(crate) fn analyze_report_json(sys: &LisSystem, report: &AnalysisReport) -> Json {
     let bottlenecks: Vec<Json> = report
         .bottleneck_queues
         .iter()
@@ -200,7 +354,11 @@ fn analyze(sys: &LisSystem, engine: McmEngine) -> Json {
             "relay_stations",
             Json::num(f64::from(sys.relay_station_count())),
         ),
-        ("topology_class", Json::str(class_label(classify(sys)))),
+        // The report's own class, not a fresh classify(sys): the value is
+        // identical (explain_with stores classify's answer) and a sweep
+        // renders thousands of rows — re-deriving it per row would cost
+        // more than the row's entire warm solve.
+        ("topology_class", Json::str(class_label(report.class))),
         ("engine", Json::str(report.engine.as_str())),
         ("ideal_mst", ratio_json(report.ideal)),
         ("practical_mst", ratio_json(report.practical)),
@@ -232,6 +390,12 @@ fn qs(sys: &LisSystem, exact: bool, engine: McmEngine) -> Result<Json, ServerErr
             "queue-sizing solution failed verification".into(),
         ));
     }
+    Ok(qs_report_json(sys, engine, &report))
+}
+
+/// Renders a [`QsReport`] exactly as the `/qs` route does (see
+/// [`analyze_report_json`] for why this is shared).
+pub(crate) fn qs_report_json(sys: &LisSystem, engine: McmEngine, report: &QsReport) -> Json {
     let extra: Vec<Json> = report
         .extra_tokens
         .iter()
@@ -248,7 +412,7 @@ fn qs(sys: &LisSystem, exact: bool, engine: McmEngine) -> Result<Json, ServerErr
             Json::Obj(entry)
         })
         .collect();
-    Ok(obj([
+    obj([
         ("engine", Json::str(engine.as_str())),
         ("target_mst", ratio_json(report.target)),
         ("practical_before", ratio_json(report.practical_before)),
@@ -259,7 +423,7 @@ fn qs(sys: &LisSystem, exact: bool, engine: McmEngine) -> Result<Json, ServerErr
             Json::num(report.deficient_cycles as f64),
         ),
         ("extra_tokens", Json::Arr(extra)),
-    ]))
+    ])
 }
 
 fn insert(sys: &LisSystem, budget: u32) -> Json {
@@ -312,6 +476,129 @@ fn dot(sys: &LisSystem, doubled: bool) -> Json {
         ),
         ("dot", Json::str(marked_graph::dot::to_dot(model.graph()))),
     ])
+}
+
+/// The first NDJSON line of a streamed sweep: grid shape and knobs.
+pub(crate) fn sweep_header_json(sweep: &Sweep) -> Json {
+    let spec = sweep.spec();
+    obj([
+        ("points", Json::num(sweep.point_count() as f64)),
+        ("groups", Json::num(sweep.plan().groups.len() as f64)),
+        (
+            "mode",
+            Json::str(match spec.mode {
+                SweepMode::Analyze => "analyze",
+                SweepMode::Qs { .. } => "qs",
+            }),
+        ),
+        ("engine", Json::str(spec.engine.as_str())),
+    ])
+}
+
+/// One streamed sweep row. The `result` field is rendered by the same
+/// functions as the single-shot `/analyze` and `/qs` routes, applied to the
+/// row's fully-modified system, so it is byte-identical to the body an
+/// individual round trip on that design point would return.
+pub(crate) fn sweep_row_json(row: &SweepRow, engine: McmEngine) -> Json {
+    let stations: Vec<Json> = row
+        .placements
+        .iter()
+        .map(|&(c, n)| {
+            let mut entry = match channel_json(&row.sys, c) {
+                Json::Obj(pairs) => pairs,
+                _ => unreachable!("channel_json returns an object"),
+            };
+            entry.push(("add".into(), Json::num(f64::from(n))));
+            Json::Obj(entry)
+        })
+        .collect();
+    let capacities: Vec<Json> = row
+        .capacities
+        .iter()
+        .map(|&(c, q)| {
+            obj([
+                ("channel", Json::num(c.index() as f64)),
+                ("capacity", Json::num(q as f64)),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("point".to_string(), Json::num(row.point as f64)),
+        ("group".to_string(), Json::num(row.group as f64)),
+        ("stations".to_string(), Json::Arr(stations)),
+        ("capacities".to_string(), Json::Arr(capacities)),
+        (
+            "total_capacity".to_string(),
+            Json::num(row.total_capacity as f64),
+        ),
+    ];
+    match &row.outcome {
+        Ok(PointReport::Analyze(report)) => {
+            fields.push(("result".into(), analyze_report_json(&row.sys, report)))
+        }
+        Ok(PointReport::Qs(report)) => {
+            fields.push(("result".into(), qs_report_json(&row.sys, engine, report)))
+        }
+        Err(msg) => fields.push(("error".into(), Json::str(msg))),
+    }
+    if !row.sim.is_empty() {
+        let sim: Vec<Json> = row
+            .sim
+            .iter()
+            .map(|p| {
+                obj([
+                    ("per_mille", Json::num(f64::from(p.per_mille))),
+                    ("mean_rate", Json::Num(p.mean_rate)),
+                    ("min_rate", Json::Num(p.min_rate)),
+                    ("max_rate", Json::Num(p.max_rate)),
+                ])
+            })
+            .collect();
+        fields.push(("sim".into(), Json::Arr(sim)));
+    }
+    Json::Obj(fields)
+}
+
+/// The last NDJSON line of a streamed sweep: row count, Pareto front (by
+/// point index), and warm-cache statistics.
+pub(crate) fn sweep_trailer_json(pareto: &[usize], summary: &SweepSummary) -> Json {
+    obj([
+        ("done", Json::Bool(true)),
+        ("rows", Json::num(summary.points as f64)),
+        (
+            "pareto",
+            Json::Arr(pareto.iter().map(|&i| Json::num(i as f64)).collect()),
+        ),
+        ("warm_hits", Json::num(summary.warm_hits as f64)),
+        ("warm_misses", Json::num(summary.warm_misses as f64)),
+    ])
+}
+
+/// The buffered (non-streaming) sweep result: the same header, rows, and
+/// trailer a streamed `/sweep` emits, as one JSON object. This is what
+/// [`RequestKind::execute`] returns; the server's streaming path emits the
+/// pieces incrementally instead.
+fn sweep_table(sys: &LisSystem, spec: &SweepSpec) -> Result<Json, ServerError> {
+    let sweep = Sweep::new(sys.clone(), spec.clone())
+        .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+    let (rows, summary) = sweep.evaluate();
+    let pareto = lis_sweep::pareto_front(&rows);
+    let header = sweep_header_json(&sweep);
+    let row_json: Vec<Json> = rows
+        .iter()
+        .map(|row| sweep_row_json(row, spec.engine))
+        .collect();
+    let mut fields = match header {
+        Json::Obj(pairs) => pairs,
+        _ => unreachable!("sweep_header_json returns an object"),
+    };
+    fields.push(("rows".into(), Json::Arr(row_json)));
+    let trailer = match sweep_trailer_json(&pareto, &summary) {
+        Json::Obj(pairs) => pairs,
+        _ => unreachable!("sweep_trailer_json returns an object"),
+    };
+    fields.extend(trailer.into_iter().filter(|(k, _)| k != "done"));
+    Ok(Json::Obj(fields))
 }
 
 #[cfg(test)]
@@ -555,6 +842,108 @@ mod tests {
             doubled.get("dot").unwrap().as_str().unwrap().len()
                 > ideal.get("dot").unwrap().as_str().unwrap().len()
         );
+    }
+
+    #[test]
+    fn decode_sweep_options() {
+        let body = Json::parse(&format!(
+            concat!(
+                r#"{{"netlist": {}, "options": {{"mode": "qs", "exact": true, "#,
+                r#""engine": "karp", "capacities": [{{"channel": 1, "values": [1, 2, 4]}}], "#,
+                r#""budget": 2, "stalls": {{"per_mille": [0, 250], "trials": 32, "#,
+                r#""cycles": 500, "seed": 7}}}}}}"#
+            ),
+            Json::str(FIG1)
+        ))
+        .unwrap();
+        let (_, kind) = RequestKind::decode("sweep", &body).unwrap();
+        let RequestKind::Sweep { spec } = &kind else {
+            panic!("sweep kind");
+        };
+        assert_eq!(spec.mode, SweepMode::Qs { exact: true });
+        assert_eq!(spec.engine, McmEngine::Karp);
+        assert_eq!(spec.capacities.len(), 1);
+        assert_eq!(spec.capacities[0].values, vec![1, 2, 4]);
+        assert_eq!(spec.stations, StationGoal::Budget(2));
+        let stalls = spec.stalls.as_ref().unwrap();
+        assert_eq!(stalls.per_mille, vec![0, 250]);
+        assert_eq!(stalls.trials, 32);
+        assert_eq!(stalls.cycles, 500);
+        assert_eq!(stalls.seed, 7);
+        assert_eq!(kind.engine_label(), Some("karp"));
+        assert_eq!(kind.token(), spec.token());
+
+        // Defaults: analyze mode, base stations, no stalls.
+        let bare = Json::parse(&format!(r#"{{"netlist": {}}}"#, Json::str(FIG1))).unwrap();
+        let (_, kind) = RequestKind::decode("sweep", &bare).unwrap();
+        assert_eq!(
+            kind,
+            RequestKind::Sweep {
+                spec: SweepSpec::analyze()
+            }
+        );
+
+        // Budget and explicit stations are mutually exclusive.
+        let both = Json::parse(&format!(
+            r#"{{"netlist": {}, "options": {{"budget": 1, "stations": [[]]}}}}"#,
+            Json::str(FIG1)
+        ))
+        .unwrap();
+        assert!(matches!(
+            RequestKind::decode("sweep", &both),
+            Err(ServerError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_rows_match_individual_round_trip_bodies() {
+        let body = Json::parse(&format!(
+            concat!(
+                r#"{{"netlist": {}, "options": {{"capacities": "#,
+                r#"[{{"channel": 1, "values": [1, 2, 3]}}], "budget": 2}}}}"#
+            ),
+            Json::str(FIG1)
+        ))
+        .unwrap();
+        let (_, kind) = RequestKind::decode("sweep", &body).unwrap();
+        let table = kind.execute(&fig1()).unwrap();
+        let rows = table.get("rows").unwrap().as_arr().unwrap();
+        // Fig. 1 greedy frontier has two groups (bare, one station) × 3 caps.
+        assert_eq!(table.get("points").unwrap().as_u64(), Some(6));
+        assert_eq!(rows.len(), 6);
+        for row in rows {
+            // Rebuild the row's design point from scratch and run the
+            // single-shot analyze job on it: byte-identical bodies.
+            let mut sys = fig1();
+            for s in row.get("stations").unwrap().as_arr().unwrap() {
+                let c =
+                    lis_core::ChannelId::new(s.get("channel").unwrap().as_u64().unwrap() as usize);
+                for _ in 0..s.get("add").unwrap().as_u64().unwrap() {
+                    sys.add_relay_station(c);
+                }
+            }
+            for cap in row.get("capacities").unwrap().as_arr().unwrap() {
+                let c = lis_core::ChannelId::new(
+                    cap.get("channel").unwrap().as_u64().unwrap() as usize
+                );
+                sys.set_queue_capacity(c, cap.get("capacity").unwrap().as_u64().unwrap())
+                    .unwrap();
+            }
+            let single = RequestKind::Analyze {
+                engine: McmEngine::Howard,
+            }
+            .execute(&sys)
+            .unwrap();
+            assert_eq!(
+                row.get("result").unwrap().to_string(),
+                single.to_string(),
+                "point {:?}",
+                row.get("point")
+            );
+        }
+        // The trailer data rides on the table: Pareto indices and warm stats.
+        assert!(!table.get("pareto").unwrap().as_arr().unwrap().is_empty());
+        assert!(table.get("warm_hits").unwrap().as_u64().is_some());
     }
 
     #[test]

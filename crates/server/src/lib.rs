@@ -35,6 +35,9 @@
 //! POST /qs      {"netlist": "...", "options": {"exact": true}}
 //! POST /insert  {"netlist": "...", "options": {"budget": 2}}
 //! POST /dot     {"netlist": "...", "options": {"doubled": true}}
+//! POST /sweep   {"netlist": "...", "options": {"capacities": [...], "budget": 2}}
+//!                             design-space exploration; streams NDJSON rows
+//!                             (chunked) ending in a Pareto-front trailer
 //! GET  /metrics               Prometheus text exposition
 //! GET  /healthz               JSON readiness: role, workers, queue depth,
 //!                             cache entries, uptime — the lis-gateway probe

@@ -23,6 +23,8 @@ pub enum Route {
     Insert,
     /// `POST /dot`.
     Dot,
+    /// `POST /sweep`.
+    Sweep,
     /// `GET /metrics`.
     Metrics,
     /// `GET /healthz`.
@@ -34,11 +36,12 @@ pub enum Route {
 }
 
 impl Route {
-    const ALL: [Route; 8] = [
+    const ALL: [Route; 9] = [
         Route::Analyze,
         Route::Qs,
         Route::Insert,
         Route::Dot,
+        Route::Sweep,
         Route::Metrics,
         Route::Healthz,
         Route::Shutdown,
@@ -51,6 +54,7 @@ impl Route {
             Route::Qs => "qs",
             Route::Insert => "insert",
             Route::Dot => "dot",
+            Route::Sweep => "sweep",
             Route::Metrics => "metrics",
             Route::Healthz => "healthz",
             Route::Shutdown => "shutdown",
@@ -180,6 +184,12 @@ pub struct Metrics {
     pub faults_injected: AtomicU64,
     /// Connections rejected at the concurrent-connection cap.
     pub connections_rejected: AtomicU64,
+    /// Sweep jobs started (cache hits included — each `/sweep` answered).
+    pub sweep_jobs: AtomicU64,
+    /// Sweep result rows streamed to clients (cache replays included).
+    pub sweep_rows: AtomicU64,
+    /// End-to-end latency of whole sweep jobs (first byte to trailer).
+    pub sweep_latency: Histogram,
     /// End-to-end request latency (receipt to response write).
     pub latency: Histogram,
     /// Analysis-execution latency per MCM engine (cache misses on the
@@ -302,6 +312,21 @@ impl Metrics {
             "lis_connections_rejected_total {}",
             self.connections_rejected.load(Ordering::Relaxed)
         );
+        let _ = writeln!(out, "# TYPE lis_sweep_jobs_total counter");
+        let _ = writeln!(
+            out,
+            "lis_sweep_jobs_total {}",
+            self.sweep_jobs.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# TYPE lis_sweep_rows_total counter");
+        let _ = writeln!(
+            out,
+            "lis_sweep_rows_total {}",
+            self.sweep_rows.load(Ordering::Relaxed)
+        );
+        if self.sweep_latency.count() > 0 {
+            self.sweep_latency.render(&mut out, "lis_sweep_seconds");
+        }
         self.latency.render(&mut out, "lis_request_seconds");
         if self.engine_latency.iter().any(|h| h.count() > 0) {
             let _ = writeln!(out, "# TYPE lis_engine_request_seconds histogram");
@@ -439,6 +464,31 @@ mod tests {
         assert!(text.contains("lis_engine_request_seconds_bucket{engine=\"howard\",le=\"+Inf\"} 2"));
         // The unlabeled lis_request_seconds series must stay parseable.
         assert!(!text.contains("lis_engine_request_seconds_count{engine=\"lawler\"}"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_counters_render() {
+        let m = Metrics::new();
+        let text = m.render();
+        assert_eq!(parse_metric(&text, "lis_sweep_jobs_total"), Some(0.0));
+        assert_eq!(parse_metric(&text, "lis_sweep_rows_total"), Some(0.0));
+        // An idle server omits the sweep latency histogram entirely.
+        assert!(!text.contains("lis_sweep_seconds"));
+        m.sweep_jobs.fetch_add(2, Ordering::Relaxed);
+        m.sweep_rows.fetch_add(128, Ordering::Relaxed);
+        m.sweep_latency.observe(Duration::from_millis(12));
+        m.record_request(Route::Sweep, 200, Duration::from_millis(12));
+        let text = m.render();
+        assert_eq!(parse_metric(&text, "lis_sweep_jobs_total"), Some(2.0));
+        assert_eq!(parse_metric(&text, "lis_sweep_rows_total"), Some(128.0));
+        assert!(text.contains("lis_sweep_seconds_count 1"));
+        assert!(text.contains("lis_requests_total{route=\"sweep\",status=\"200\"} 1"));
         for line in text.lines() {
             assert!(
                 line.starts_with('#') || line.split_whitespace().count() == 2,

@@ -31,10 +31,10 @@ use crate::cache::{CachedResponse, ResultCache};
 use crate::error::ServerError;
 use crate::fault::{FaultPlan, WriteFault};
 use crate::http::{
-    read_request, render_response_with, write_response, write_response_with, DeadlineReader,
-    Request, REQUEST_ID_HEADER,
+    finish_chunked, read_request, render_response_with, write_chunked_head, write_response,
+    write_response_with, ChunkBatcher, DeadlineReader, Request, REQUEST_ID_HEADER,
 };
-use crate::jobs::RequestKind;
+use crate::jobs::{sweep_header_json, sweep_row_json, sweep_trailer_json, RequestKind};
 use crate::metrics::{Metrics, Route};
 use crate::pool::{SubmitError, WorkerPool};
 use crate::wire::{obj, Json};
@@ -64,6 +64,13 @@ pub struct ServerConfig {
     /// byte lands (slow-loris defense). Exceeding it answers a typed 408
     /// and closes the connection.
     pub read_deadline: Duration,
+    /// Concurrent `/sweep` jobs allowed. Sweeps run on their connection
+    /// handler (streaming rows as they are solved) and parallelize
+    /// internally, so a small cap keeps them from starving the worker
+    /// pool's cores; excess sweeps are shed with a typed 503 carrying a
+    /// `Retry-After` hint. `0` sheds every sweep — a kill switch for
+    /// operators (and a deterministic shed path for tests).
+    pub max_concurrent_sweeps: usize,
     /// Deterministic fault-injection schedule, if chaos-testing. `None`
     /// (production) costs one pointer check per injection site.
     pub faults: Option<Arc<FaultPlan>>,
@@ -82,6 +89,7 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             max_connections: 1024,
             read_deadline: Duration::from_secs(10),
+            max_concurrent_sweeps: 4,
             faults: None,
             job_delay_for_tests: None,
         }
@@ -95,6 +103,7 @@ struct State {
     pool: WorkerPool,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
+    sweeps_in_flight: AtomicUsize,
     config: ServerConfig,
     started: Instant,
 }
@@ -127,6 +136,7 @@ impl Server {
             pool,
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
+            sweeps_in_flight: AtomicUsize::new(0),
             config,
             started: Instant::now(),
         });
@@ -282,6 +292,23 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
         // Correlate this exchange across tiers: a client- (or gateway-)
         // supplied X-LIS-Request-Id is echoed verbatim in the response.
         let request_id = request.header(REQUEST_ID_HEADER).map(str::to_string);
+        if request.method == "POST" && request.path == "/sweep" {
+            // Sweeps stream their rows, so they need the writer directly
+            // and bypass the buffered dispatch/worker-pool path entirely.
+            let keep_alive = !request.wants_close() && !state.shutdown.load(Ordering::Acquire);
+            sweep_request(
+                &request,
+                state,
+                &mut writer,
+                keep_alive,
+                request_id.as_deref(),
+                started,
+            )?;
+            if !keep_alive {
+                return Ok(());
+            }
+            continue;
+        }
         let (route, status, content_type, body) = dispatch(&request, state);
         let shutting_down = state.shutdown.load(Ordering::Acquire);
         let keep_alive = !request.wants_close() && !shutting_down;
@@ -381,6 +408,14 @@ fn dispatch(request: &Request, state: &Arc<State>) -> (Route, u16, &'static str,
                     Json::num(state.config.cache_capacity as f64),
                 ),
                 (
+                    "sweeps_in_flight",
+                    Json::num(state.sweeps_in_flight.load(Ordering::Acquire) as f64),
+                ),
+                (
+                    "sweep_rows_streamed",
+                    Json::num(state.metrics.sweep_rows.load(Ordering::Relaxed) as f64),
+                ),
+                (
                     "uptime_ms",
                     Json::num(state.started.elapsed().as_millis() as f64),
                 ),
@@ -424,7 +459,11 @@ fn dispatch(request: &Request, state: &Arc<State>) -> (Route, u16, &'static str,
                 ),
             }
         }
-        (_, "/metrics" | "/healthz" | "/shutdown" | "/analyze" | "/qs" | "/insert" | "/dot") => {
+        (
+            _,
+            "/metrics" | "/healthz" | "/shutdown" | "/analyze" | "/qs" | "/insert" | "/dot"
+            | "/sweep",
+        ) => {
             let e = ServerError::MethodNotAllowed;
             (
                 Route::Other,
@@ -535,5 +574,183 @@ fn analysis_request(
         // The worker dropped the sender without answering: it died outside
         // the isolated section. Same contract as an isolated crash.
         Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServerError::WorkerCrashed),
+    }
+}
+
+/// Releases one sweep slot when the handler unwinds or returns.
+struct SweepSlot<'a>(&'a State);
+
+impl Drop for SweepSlot<'_> {
+    fn drop(&mut self) {
+        self.0.sweeps_in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Serves `POST /sweep`: decode → cache probe → stream NDJSON rows.
+///
+/// The response is chunked: one header line, one line per grid point (in
+/// dense point order, written as each row is solved), and a trailer line
+/// with the Pareto front. The concatenated lines are also cached under the
+/// sweep's content identity, so a repeat sweep — or a gateway failover
+/// replay — is answered from the cache byte-for-byte (with `Content-Length`
+/// framing, since the whole body is then known up front).
+fn sweep_request(
+    request: &Request,
+    state: &Arc<State>,
+    writer: &mut impl Write,
+    keep_alive: bool,
+    request_id: Option<&str>,
+    started: Instant,
+) -> io::Result<()> {
+    let extra_headers: Vec<(&str, &str)> = request_id
+        .iter()
+        .map(|id| ("X-LIS-Request-Id", *id))
+        .collect();
+    // Typed failures before the first streamed byte are ordinary
+    // Content-Length responses, exactly like the buffered routes.
+    let fail = |writer: &mut dyn Write, e: &ServerError, retry_after: bool| -> io::Result<()> {
+        state
+            .metrics
+            .record_request(Route::Sweep, e.status(), started.elapsed());
+        let mut headers = extra_headers.clone();
+        if retry_after {
+            headers.push(("Retry-After", "1"));
+        }
+        writer.write_all(&render_response_with(
+            e.status(),
+            "application/json",
+            e.to_json().to_string().as_bytes(),
+            keep_alive,
+            &headers,
+        ))?;
+        writer.flush()
+    };
+
+    let decoded = (|| -> Result<_, ServerError> {
+        if state.shutdown.load(Ordering::Acquire) {
+            return Err(ServerError::ShuttingDown);
+        }
+        let text = std::str::from_utf8(&request.body)
+            .map_err(|_| ServerError::BadRequest("body is not UTF-8".into()))?;
+        let envelope =
+            Json::parse(text).map_err(|e| ServerError::BadRequest(format!("body: {e}")))?;
+        let (netlist, kind) = RequestKind::decode("sweep", &envelope)?;
+        let sys = parse_netlist(&netlist)?;
+        Ok((sys, kind))
+    })();
+    let (sys, kind) = match decoded {
+        Ok(d) => d,
+        Err(e) => return fail(writer, &e, false),
+    };
+    let RequestKind::Sweep { spec } = &kind else {
+        unreachable!("the sweep route decodes a sweep kind");
+    };
+    let key = kind.cache_key(&sys);
+
+    if let Some(cached) = state.cache.get(key, &state.metrics) {
+        // Replay the whole NDJSON body. Rows = lines minus header/trailer.
+        let lines = cached.body.iter().filter(|&&b| b == b'\n').count() as u64;
+        state.metrics.sweep_jobs.fetch_add(1, Ordering::Relaxed);
+        state
+            .metrics
+            .sweep_rows
+            .fetch_add(lines.saturating_sub(2), Ordering::Relaxed);
+        state.metrics.sweep_latency.observe(started.elapsed());
+        state
+            .metrics
+            .record_request(Route::Sweep, cached.status, started.elapsed());
+        return write_response_with(
+            writer,
+            cached.status,
+            "application/x-ndjson",
+            &cached.body,
+            keep_alive,
+            &extra_headers,
+        );
+    }
+
+    // Sweeps parallelize internally and stream from this handler thread, so
+    // a small concurrency cap takes the place of the worker-pool queue.
+    let limit = state.config.max_concurrent_sweeps;
+    if state.sweeps_in_flight.fetch_add(1, Ordering::AcqRel) >= limit {
+        state.sweeps_in_flight.fetch_sub(1, Ordering::AcqRel);
+        state.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+        return fail(writer, &ServerError::SweepsBusy { limit }, true);
+    }
+    let _slot = SweepSlot(state);
+
+    let sweep = match lis_sweep::Sweep::new(sys, spec.clone()) {
+        Ok(sweep) => sweep,
+        Err(e) => return fail(writer, &ServerError::BadRequest(e.to_string()), false),
+    };
+
+    // Test instrumentation: pace the stream so e2e tests can kill a shard
+    // mid-sweep deterministically.
+    let row_delay = std::env::var("LIS_SWEEP_ROW_DELAY_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis);
+
+    write_chunked_head(
+        writer,
+        200,
+        "application/x-ndjson",
+        keep_alive,
+        &extra_headers,
+    )?;
+    // Rows coalesce into ~8 KiB chunk frames (one socket write apiece);
+    // paced test streams flush every row so a kill lands mid-stream.
+    let mut chunks = ChunkBatcher::new(if row_delay.is_some() { 0 } else { 8192 });
+    let mut body = sweep_header_json(&sweep).to_string();
+    body.push('\n');
+    // A dead client must not abort the sweep: the finished table is still
+    // cached, so the retry (or the gateway's failover replay) is free.
+    let mut write_err = chunks.push(writer, body.as_bytes()).err();
+    let executed = Instant::now();
+    let engine = spec.engine;
+    let mut objectives = Vec::with_capacity(sweep.point_count());
+    let mut sink = |row: lis_sweep::SweepRow| {
+        objectives.push(lis_sweep::objectives(&row));
+        let mut line = sweep_row_json(&row, engine).to_string();
+        line.push('\n');
+        if write_err.is_none() {
+            if let Some(delay) = row_delay {
+                std::thread::sleep(delay);
+            }
+            write_err = chunks.push(&mut *writer, line.as_bytes()).err();
+        }
+        state.metrics.sweep_rows.fetch_add(1, Ordering::Relaxed);
+        body.push_str(&line);
+    };
+    let summary = sweep.run(&mut sink);
+    state
+        .metrics
+        .record_engine(engine.as_str(), executed.elapsed());
+    let pareto = lis_sweep::pareto_front_objectives(&objectives);
+    let mut trailer = sweep_trailer_json(&pareto, &summary).to_string();
+    trailer.push('\n');
+    body.push_str(&trailer);
+    if write_err.is_none() {
+        write_err = chunks
+            .push(&mut *writer, trailer.as_bytes())
+            .and_then(|()| chunks.flush(&mut *writer))
+            .and_then(|()| finish_chunked(&mut *writer))
+            .err();
+    }
+    state.cache.insert(
+        key,
+        Arc::new(CachedResponse {
+            status: 200,
+            body: body.into_bytes(),
+        }),
+    );
+    state.metrics.sweep_jobs.fetch_add(1, Ordering::Relaxed);
+    state.metrics.sweep_latency.observe(started.elapsed());
+    state
+        .metrics
+        .record_request(Route::Sweep, 200, started.elapsed());
+    match write_err {
+        None => Ok(()),
+        Some(e) => Err(e),
     }
 }

@@ -203,20 +203,32 @@ fn write_number(f: &mut fmt::Formatter<'_>, n: f64) -> fmt::Result {
 }
 
 fn write_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    // Emit maximal runs of unescaped text between escapes instead of going
+    // character by character — every byte needing an escape is ASCII, so
+    // slicing at those byte offsets always lands on UTF-8 boundaries.
     f.write_str("\"")?;
-    for c in s.chars() {
-        match c {
-            '"' => f.write_str("\\\"")?,
-            '\\' => f.write_str("\\\\")?,
-            '\n' => f.write_str("\\n")?,
-            '\r' => f.write_str("\\r")?,
-            '\t' => f.write_str("\\t")?,
-            '\u{08}' => f.write_str("\\b")?,
-            '\u{0c}' => f.write_str("\\f")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => write!(f, "{c}")?,
+    let mut start = 0;
+    for (i, b) in s.bytes().enumerate() {
+        let esc = match b {
+            b'"' => "\\\"",
+            b'\\' => "\\\\",
+            b'\n' => "\\n",
+            b'\r' => "\\r",
+            b'\t' => "\\t",
+            0x08 => "\\b",
+            0x0c => "\\f",
+            b if b < 0x20 => "",
+            _ => continue,
+        };
+        f.write_str(&s[start..i])?;
+        if esc.is_empty() {
+            write!(f, "\\u{:04x}", b)?;
+        } else {
+            f.write_str(esc)?;
         }
+        start = i + 1;
     }
+    f.write_str(&s[start..])?;
     f.write_str("\"")
 }
 

@@ -411,6 +411,163 @@ fn healthz_reports_readiness_fields() {
     stop(addr, daemon);
 }
 
+/// Splits a `/sweep` NDJSON body into (header, rows, trailer).
+fn parse_sweep_body(body: &[u8]) -> (Json, Vec<(String, Json)>, Json) {
+    let text = std::str::from_utf8(body).expect("utf-8 ndjson");
+    let mut lines = text.lines();
+    let header = Json::parse(lines.next().expect("header line")).expect("header json");
+    let points = header.get("points").unwrap().as_u64().expect("points") as usize;
+    let rows: Vec<(String, Json)> = (0..points)
+        .map(|i| {
+            let line = lines.next().unwrap_or_else(|| panic!("row line {i}"));
+            (line.to_string(), Json::parse(line).expect("row json"))
+        })
+        .collect();
+    let trailer = Json::parse(lines.next().expect("trailer line")).expect("trailer json");
+    assert_eq!(trailer.get("done").unwrap().as_bool(), Some(true));
+    assert!(lines.next().is_none(), "stream ends after the trailer");
+    (header, rows, trailer)
+}
+
+/// Rebuilds the netlist a single-shot client would post to reproduce one
+/// sweep row: the base system with the row's stations and capacities
+/// applied.
+fn row_netlist(base: &str, row: &Json) -> String {
+    let mut sys = lis_core::parse_netlist(base).expect("base netlist");
+    if let Some(Json::Arr(stations)) = row.get("stations") {
+        for s in stations {
+            let idx = s.get("channel").unwrap().as_u64().expect("channel") as usize;
+            let add = s.get("add").unwrap().as_u64().expect("add");
+            let c = sys.channel_ids().nth(idx).expect("station channel");
+            for _ in 0..add {
+                sys.add_relay_station(c);
+            }
+        }
+    }
+    if let Some(Json::Arr(caps)) = row.get("capacities") {
+        for cap in caps {
+            let idx = cap.get("channel").unwrap().as_u64().expect("channel") as usize;
+            let q = cap.get("capacity").unwrap().as_u64().expect("capacity");
+            let c = sys.channel_ids().nth(idx).expect("capacity channel");
+            sys.set_queue_capacity(c, q).expect("set capacity");
+        }
+    }
+    lis_core::to_netlist(&sys)
+}
+
+/// The headline property of the sweep subsystem: an N-point `/sweep` is
+/// byte-identical to N individual `/analyze` round trips over the
+/// reconstructed per-point netlists, and the whole stream is identical at
+/// any analysis thread count.
+#[test]
+fn sweep_grid_matches_individual_round_trips_at_any_thread_count() {
+    let grid = obj([
+        (
+            "capacities",
+            Json::Arr(vec![obj([
+                ("channel", Json::Num(1.0)),
+                (
+                    "values",
+                    Json::Arr((1..=4).map(|v| Json::Num(v as f64)).collect()),
+                ),
+            ])]),
+        ),
+        ("budget", Json::Num(2.0)),
+    ]);
+
+    // Each run gets a fresh daemon (fresh cache) under a different
+    // process-wide analysis thread cap.
+    let run = |threads: usize| -> Vec<u8> {
+        let previous = lis_par::set_max_threads(threads);
+        let (addr, daemon) = start(ServerConfig::default());
+        let mut client = Client::connect(addr).expect("connect");
+        let (status, body) = client.sweep(FIG1, grid.clone()).expect("sweep");
+        assert_eq!(status, 200);
+
+        // Property: every streamed row equals the one-shot answer.
+        let (header, rows, trailer) = parse_sweep_body(&body);
+        assert_eq!(header.get("mode").unwrap().as_str(), Some("analyze"));
+        assert_eq!(
+            rows.len(),
+            8,
+            "4 capacities x 3 station groups minus dominated"
+        );
+        for (i, (_, row)) in rows.iter().enumerate() {
+            assert_eq!(row.get("point").unwrap().as_u64(), Some(i as u64));
+            let netlist = row_netlist(FIG1, row);
+            let resp = client
+                .request(
+                    "POST",
+                    "/analyze",
+                    obj([("netlist", Json::str(netlist))])
+                        .to_string()
+                        .as_bytes(),
+                )
+                .expect("individual analyze");
+            assert_eq!(resp.status, 200);
+            assert_eq!(
+                row.get("result").unwrap().to_string(),
+                String::from_utf8_lossy(&resp.body),
+                "row {i} diverged from its single-shot round trip"
+            );
+        }
+        assert!(
+            !matches!(trailer.get("pareto"), Some(Json::Arr(p)) if p.is_empty()),
+            "a degraded grid has a non-empty Pareto front"
+        );
+
+        stop(addr, daemon);
+        lis_par::set_max_threads(previous);
+        body
+    };
+
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(
+        serial, parallel,
+        "sweep stream must be byte-identical at any --threads"
+    );
+}
+
+#[test]
+fn sweep_repeats_replay_from_cache_and_are_observable() {
+    let (addr, daemon) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let grid = obj([(
+        "capacities",
+        Json::Arr(vec![obj([
+            ("channel", Json::Num(1.0)),
+            ("values", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+        ])]),
+    )]);
+
+    let (status, first) = client.sweep(FIG1, grid.clone()).expect("sweep");
+    assert_eq!(status, 200);
+    // The repeat is a cache hit replayed with Content-Length framing; the
+    // body bytes must not change.
+    let (status, second) = client.sweep(FIG1, grid).expect("cached sweep");
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "cached sweep replay must be byte-identical");
+    let (_, rows, _) = parse_sweep_body(&first);
+    let points = rows.len() as f64;
+
+    let exposition = client.metrics().expect("metrics");
+    let jobs = parse_metric(&exposition, "lis_sweep_jobs_total").expect("jobs metric");
+    let streamed = parse_metric(&exposition, "lis_sweep_rows_total").expect("rows metric");
+    assert_eq!(jobs, 2.0, "one computed + one replayed sweep");
+    assert_eq!(streamed, 2.0 * points);
+    assert!(exposition.contains("lis_sweep_seconds_bucket{le=\"+Inf\"}"));
+
+    let health = client.request("GET", "/healthz", b"").expect("healthz");
+    let body = Json::parse(std::str::from_utf8(&health.body).unwrap()).expect("json");
+    assert_eq!(body.get("sweeps_in_flight").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        body.get("sweep_rows_streamed").unwrap().as_u64(),
+        Some(2 * rows.len() as u64)
+    );
+    stop(addr, daemon);
+}
+
 #[test]
 fn request_id_header_is_echoed_and_absent_when_not_sent() {
     let (addr, daemon) = start(ServerConfig::default());

@@ -1,0 +1,422 @@
+//! The warm sweep evaluator.
+//!
+//! One sweep touches many systems that differ only in queue capacities and
+//! relay stations. Rebuilding the doubled marked graph and re-running a
+//! cold MCM solve per point throws that structure away. Instead the
+//! evaluator builds **one** doubled model per station group, warms an
+//! [`IncrementalMcm`] on it, and evaluates every capacity point of the
+//! group as a token-override query: capacities map one-to-one onto
+//! backedge token counts (`tokens(queue_backedge(c)) == capacity(c)`), so
+//! a point solve reuses the group's SCC decomposition, Howard policy
+//! vectors, and memo cache. Results are **byte-identical** to the cold
+//! path ([`lis_core::explain_with`] on a per-point modified system) — the
+//! solvers are exact, so warmth changes only wall-clock time.
+//!
+//! Parallel evaluation splits each group's points into fixed chunks; each
+//! chunk runs on a [`IncrementalMcm::fork`] of the group's warm solver via
+//! [`lis_par::par_map`], which preserves order. Chunk boundaries are fixed
+//! by the plan, not by the thread count, so rows are identical at any
+//! `--threads` setting.
+
+use lis_core::{
+    canonical_hash, classify, describe_cycle, ideal_mst_with, AnalysisReport, ChannelId, LisModel,
+    LisSystem, TopologyClass,
+};
+use lis_qs::{solve, verify_solution, Algorithm, QsConfig, QsReport};
+use lis_sim::{stall_sweep, CompiledProgram, QueueMode};
+use marked_graph::incremental::IncrementalMcm;
+use marked_graph::{PlaceId, Ratio};
+
+use crate::plan::{plan, GroupPlan, SweepError, SweepPlan};
+use crate::spec::{SweepMode, SweepSpec};
+
+/// Points per evaluation chunk. Each chunk gets one fork of the group's
+/// warm solver; the constant is part of the deterministic plan (chunk
+/// boundaries never depend on the thread count).
+pub const CHUNK: usize = 16;
+
+/// What one grid point computed, by [`SweepMode`].
+#[derive(Debug, Clone)]
+pub enum PointReport {
+    /// Full throughput analysis (the `/analyze` body).
+    Analyze(AnalysisReport),
+    /// Queue sizing (the `/qs` body).
+    Qs(QsReport),
+}
+
+/// One Monte-Carlo measurement from the optional stall axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPoint {
+    /// Stall probability in per-mille.
+    pub per_mille: u32,
+    /// Mean sustained system rate across trials.
+    pub mean_rate: f64,
+    /// Worst trial.
+    pub min_rate: f64,
+    /// Best trial.
+    pub max_rate: f64,
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Global point index (dense, `0..plan.points`).
+    pub point: usize,
+    /// Station-group index.
+    pub group: usize,
+    /// Stations added relative to the base system.
+    pub inserted: u32,
+    /// Per-channel station additions of this point's group.
+    pub placements: Vec<(ChannelId, u32)>,
+    /// This point's capacity assignment, in axis order.
+    pub capacities: Vec<(ChannelId, u64)>,
+    /// The fully modified system (stations + capacities applied) — what a
+    /// client would have posted to get this row from a single-shot route.
+    pub sys: LisSystem,
+    /// Total queue capacity of `sys` (a Pareto objective).
+    pub total_capacity: u64,
+    /// The computed report, or the error string the equivalent single-shot
+    /// request would have produced.
+    pub outcome: Result<PointReport, String>,
+    /// Monte-Carlo measurements (empty without a stall axis).
+    pub sim: Vec<SimPoint>,
+}
+
+impl SweepRow {
+    /// The throughput objective: the practical MST for analyze rows, the
+    /// restored target for queue-sizing rows. `None` for error rows.
+    pub fn throughput(&self) -> Option<Ratio> {
+        match &self.outcome {
+            Ok(PointReport::Analyze(r)) => Some(r.practical),
+            Ok(PointReport::Qs(r)) => Some(r.target),
+            Err(_) => None,
+        }
+    }
+
+    /// The capacity objective: total queue slots, including any extra
+    /// slots a queue-sizing solution spends.
+    pub fn capacity_cost(&self) -> u64 {
+        match &self.outcome {
+            Ok(PointReport::Qs(r)) => self.total_capacity + r.total_extra,
+            _ => self.total_capacity,
+        }
+    }
+}
+
+/// Aggregate statistics of one sweep run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Rows produced (== plan points).
+    pub points: usize,
+    /// Station groups evaluated.
+    pub groups: usize,
+    /// Incremental-solver memo hits across all forks.
+    pub warm_hits: u64,
+    /// Incremental-solver memo misses across all forks.
+    pub warm_misses: u64,
+}
+
+/// A planned sweep, ready to evaluate.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    base: LisSystem,
+    spec: SweepSpec,
+    plan: SweepPlan,
+}
+
+/// Per-group evaluation context: everything capacity-independent is
+/// computed once here and shared by every point of the group.
+struct GroupCtx<'a> {
+    group: &'a GroupPlan,
+    sys: LisSystem,
+    class: TopologyClass,
+    ideal: Ratio,
+    /// Doubled model + warm solver; only built in analyze mode.
+    warm: Option<(LisModel, IncrementalMcm)>,
+}
+
+impl Sweep {
+    /// Validates and plans a sweep of `base` according to `spec`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SweepError`].
+    pub fn new(base: LisSystem, spec: SweepSpec) -> Result<Sweep, SweepError> {
+        let plan = plan(&base, &spec)?;
+        Ok(Sweep { base, spec, plan })
+    }
+
+    /// The expanded job plan.
+    pub fn plan(&self) -> &SweepPlan {
+        &self.plan
+    }
+
+    /// The spec this sweep was planned from.
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// The base system.
+    pub fn base(&self) -> &LisSystem {
+        &self.base
+    }
+
+    /// Total grid points.
+    pub fn point_count(&self) -> usize {
+        self.plan.points
+    }
+
+    /// The sweep's cache identity: the canonical hash of the base netlist
+    /// folded with the spec token, so renames and formatting differences
+    /// do not split the cache.
+    pub fn identity(&self) -> u64 {
+        let mut h = canonical_hash(&self.base);
+        for b in self.spec.token().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Evaluates the whole grid, delivering rows **in point order** to
+    /// `sink` as waves complete. Memory stays bounded by the wave size
+    /// (`max_threads × CHUNK` points), so arbitrarily large grids can
+    /// stream without buffering the full table.
+    pub fn run(&self, sink: &mut dyn FnMut(SweepRow)) -> SweepSummary {
+        let mut summary = SweepSummary {
+            points: 0,
+            groups: self.plan.groups.len(),
+            warm_hits: 0,
+            warm_misses: 0,
+        };
+        let per_group = self.plan.points_per_group.max(1);
+        for group in &self.plan.groups {
+            let ctx = self.group_ctx(group);
+            // Fixed chunking; waves of `max_threads` chunks bound memory
+            // while keeping every worker busy.
+            let chunks: Vec<(usize, usize)> = (0..per_group)
+                .step_by(CHUNK)
+                .map(|s| (s, (s + CHUNK).min(per_group)))
+                .collect();
+            let wave = lis_par::max_threads().max(1);
+            for wave_chunks in chunks.chunks(wave) {
+                let results = lis_par::par_map(wave_chunks, |&(start, end)| {
+                    self.eval_chunk(&ctx, start, end)
+                });
+                for (rows, hits, misses) in results {
+                    summary.warm_hits += hits;
+                    summary.warm_misses += misses;
+                    for row in rows {
+                        summary.points += 1;
+                        sink(row);
+                    }
+                }
+            }
+        }
+        summary
+    }
+
+    /// [`Sweep::run`] collecting every row into a table.
+    pub fn evaluate(&self) -> (Vec<SweepRow>, SweepSummary) {
+        let mut rows = Vec::with_capacity(self.plan.points);
+        let summary = self.run(&mut |row| rows.push(row));
+        (rows, summary)
+    }
+
+    fn group_ctx<'a>(&self, group: &'a GroupPlan) -> GroupCtx<'a> {
+        let mut sys = self.base.clone();
+        for &(c, n) in &group.placements {
+            for _ in 0..n {
+                sys.add_relay_station(c);
+            }
+        }
+        // Topology class and ideal MST ignore queue capacities, so they
+        // are constants of the group, not of the point.
+        let class = classify(&sys);
+        let ideal = ideal_mst_with(&sys, self.spec.engine);
+        let warm = match self.spec.mode {
+            SweepMode::Analyze => {
+                let model = LisModel::doubled(&sys);
+                let inc = IncrementalMcm::with_engine(model.graph(), self.spec.engine);
+                Some((model, inc))
+            }
+            SweepMode::Qs { .. } => None,
+        };
+        GroupCtx {
+            group,
+            sys,
+            class,
+            ideal,
+            warm,
+        }
+    }
+
+    fn eval_chunk(
+        &self,
+        ctx: &GroupCtx<'_>,
+        start: usize,
+        end: usize,
+    ) -> (Vec<SweepRow>, u64, u64) {
+        let mut fork = ctx.warm.as_ref().map(|(model, inc)| (model, inc.fork()));
+        let mut rows = Vec::with_capacity(end - start);
+        for local in start..end {
+            let caps = self.plan.capacities_at(local);
+            let mut sys = ctx.sys.clone();
+            for &(c, q) in &caps {
+                sys.set_queue_capacity(c, q)
+                    .expect("capacities are validated at plan time");
+            }
+            let outcome = match self.spec.mode {
+                SweepMode::Analyze => {
+                    let (model, inc) = fork.as_mut().expect("analyze mode builds a warm solver");
+                    Ok(PointReport::Analyze(warm_analyze(
+                        ctx, model, inc, &caps, &self.spec,
+                    )))
+                }
+                SweepMode::Qs { exact } => qs_point(&sys, exact, &self.spec).map(PointReport::Qs),
+            };
+            let point = ctx.group.first_point + local;
+            let sim = self.sim_axis(&sys, point);
+            rows.push(SweepRow {
+                point,
+                group: ctx.group.group,
+                inserted: ctx.group.inserted,
+                placements: ctx.group.placements.clone(),
+                capacities: caps,
+                total_capacity: sys.total_queue_capacity(),
+                sys,
+                outcome,
+                sim,
+            });
+        }
+        let (hits, misses) = fork.as_ref().map_or((0, 0), |(_, inc)| {
+            let stats = inc.cache_stats();
+            (stats.hits, stats.misses)
+        });
+        (rows, hits, misses)
+    }
+
+    fn sim_axis(&self, sys: &LisSystem, point: usize) -> Vec<SimPoint> {
+        let Some(stalls) = &self.spec.stalls else {
+            return Vec::new();
+        };
+        let prog = CompiledProgram::compile(sys, QueueMode::Finite);
+        let probs: Vec<f64> = stalls
+            .per_mille
+            .iter()
+            .map(|&m| f64::from(m) / 1000.0)
+            .collect();
+        // Each point gets its own seed stream so rows are independent and
+        // reproducible regardless of evaluation order.
+        let seed = stalls
+            .seed
+            .wrapping_add((point as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        let reports = stall_sweep(&prog, &probs, stalls.trials as usize, stalls.cycles, seed);
+        stalls
+            .per_mille
+            .iter()
+            .zip(&reports)
+            .map(|(&per_mille, r)| SimPoint {
+                per_mille,
+                mean_rate: r.mean_system_rate(),
+                min_rate: r.min_system_rate(),
+                max_rate: r.max_system_rate(),
+            })
+            .collect()
+    }
+}
+
+/// Replicates [`lis_core::explain_with`] on the point system *without*
+/// building it: the point differs from the group base only in queue
+/// capacities, and each capacity is exactly the token count of that
+/// channel's queue backedge in the doubled graph. Every branch below
+/// mirrors a branch of `explain_with`, so the report is byte-identical.
+fn warm_analyze(
+    ctx: &GroupCtx<'_>,
+    model: &LisModel,
+    inc: &mut IncrementalMcm,
+    caps: &[(ChannelId, u64)],
+    spec: &SweepSpec,
+) -> AnalysisReport {
+    let overrides: Vec<(PlaceId, u64)> = caps
+        .iter()
+        .map(|&(c, q)| {
+            let p = model
+                .queue_backedge(c)
+                .expect("every channel has a queue backedge in the doubled model");
+            (p, q)
+        })
+        .collect();
+
+    // `mst_with_critical_cycle_with(graph).unwrap_or((ONE, None))`:
+    // Empty and Acyclic both collapse to (1, no cycle); otherwise the
+    // incremental solver's lowest-component tie-break matches the serial
+    // solver bit for bit. The combined query also yields the bottleneck
+    // places off the same Bellman–Ford pass, so a degraded point pays for
+    // one potentials computation instead of two.
+    let (practical_raw, cycle, bottlenecks) = match inc.analysis_with_tokens(&overrides) {
+        Ok(a) => (
+            a.mean.min(Ratio::ONE),
+            Some(a.critical_cycle),
+            a.bottlenecks,
+        ),
+        Err(_) => (Ratio::ONE, None, Vec::new()),
+    };
+    let practical = practical_raw.min(ctx.ideal);
+    let degraded = practical < ctx.ideal;
+
+    let bottleneck_queues = if degraded {
+        bottleneck_channels(model, bottlenecks)
+    } else {
+        Vec::new()
+    };
+
+    let critical_cycle = if degraded {
+        cycle.map(|c| describe_cycle(model, &c))
+    } else {
+        None
+    };
+
+    AnalysisReport {
+        class: ctx.class,
+        ideal: ctx.ideal,
+        practical,
+        critical_cycle,
+        bottleneck_queues,
+        engine: spec.engine,
+    }
+}
+
+/// Replicates `bottleneck_places(graph) → channel_of_queue_backedge →
+/// sort → dedup` from `explain_with`, given the bottleneck places the
+/// combined warm query already computed. The places come from the same
+/// structural computation the cold path runs, on the same weighted
+/// snapshot, so the channel list is identical to the cold report.
+fn bottleneck_channels(model: &LisModel, places: Vec<PlaceId>) -> Vec<ChannelId> {
+    let mut chs: Vec<ChannelId> = places
+        .into_iter()
+        .filter_map(|p| model.channel_of_queue_backedge(p))
+        .collect();
+    chs.sort();
+    chs.dedup();
+    chs
+}
+
+/// Replicates the server's `/qs` job on one point system, including its
+/// exact error strings, so error rows match single-shot responses.
+fn qs_point(sys: &LisSystem, exact: bool, spec: &SweepSpec) -> Result<QsReport, String> {
+    let algo = if exact {
+        Algorithm::Exact
+    } else {
+        Algorithm::Heuristic
+    };
+    let cfg = QsConfig {
+        engine: spec.engine,
+        ..QsConfig::default()
+    };
+    let report = solve(sys, algo, &cfg).map_err(|e| e.to_string())?;
+    if !verify_solution(sys, &report) {
+        return Err("queue-sizing solution failed verification".into());
+    }
+    Ok(report)
+}

@@ -1,16 +1,18 @@
 //! Design-space exploration over random systems-on-chip.
 //!
 //! Generates random LIS netlists with the paper's Section VIII procedure,
-//! classifies their topologies, quantifies the throughput cost of
-//! backpressure, and compares three repair strategies: uniform fixed
-//! queues, optimized queue sizing (heuristic), and relay-station insertion.
+//! then hands each degraded system to `lis-sweep`: a capacity axis on every
+//! bottleneck channel crossed with a relay-station budget, evaluated on
+//! warm incremental solvers, and reduced to the Pareto front over
+//! throughput, total queue capacity, and stations inserted. One stall axis
+//! on the packed Monte-Carlo kernel shows how far each front point is from
+//! its analytic bound under a 5% stall probability.
 //!
 //! Run with: `cargo run --release --example design_space`
 
-use lis::core::{classify, conservative_fixed_q, fixed_q_preserves_mst, ideal_mst, practical_mst};
+use lis::core::{explain, ideal_mst, practical_mst};
 use lis::gen::{generate, GeneratorConfig, InsertionPolicy};
-use lis::qs::{solve, Algorithm, QsConfig};
-use lis::rsopt::greedy_insertion;
+use lis::sweep::{pareto_front, CapacityAxis, StallAxis, StationGoal, Sweep, SweepSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -21,43 +23,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for seed in 0..5u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let lis = generate(&cfg, &mut rng);
-        let sys = &lis.system;
-        let ideal = ideal_mst(sys);
-        let degraded = practical_mst(sys);
+        let sys = lis.system;
+        let ideal = ideal_mst(&sys);
+        let degraded = practical_mst(&sys);
         println!(
-            "system #{seed}: {} channels, class `{}`, MST {} -> {} under backpressure",
+            "system #{seed}: {} channels, MST {} -> {} under backpressure",
             sys.channel_count(),
-            classify(sys),
             ideal,
             degraded
         );
         if degraded >= ideal {
-            println!("  no degradation; nothing to repair\n");
+            println!("  no degradation; nothing to explore\n");
             continue;
         }
 
-        // Strategy 1: the smallest uniform queue capacity that works.
-        let q_max = conservative_fixed_q(sys);
-        let q_min = (1..=q_max)
-            .find(|&q| fixed_q_preserves_mst(sys, q))
-            .expect("q = r + 1 always suffices");
-        let fixed_cost = (q_min - 1) * sys.channel_count() as u64;
-        println!("  fixed queues: q = {q_min} everywhere (+{fixed_cost} slots total)");
+        // The grid: capacities 1/2/4 on each bottleneck channel the
+        // analyzer blames, crossed with a relay-station budget of 2 (the
+        // greedy frontier: bare system, +1 station, +2 stations), plus a
+        // Monte-Carlo stall point at p = 0.05.
+        let report = explain(&sys);
+        let mut spec = SweepSpec::analyze();
+        for c in report.bottleneck_queues.iter().take(3) {
+            spec.capacities.push(CapacityAxis {
+                channel: c.index(),
+                values: vec![1, 2, 4],
+            });
+        }
+        spec.stations = StationGoal::Budget(2);
+        spec.stalls = Some(StallAxis {
+            per_mille: vec![50],
+            trials: 64,
+            cycles: 2_000,
+            seed,
+        });
 
-        // Strategy 2: optimized queue sizing.
-        let report = solve(sys, Algorithm::Heuristic, &QsConfig::default())?;
+        let sweep = Sweep::new(sys, spec)?;
+        let (rows, summary) = sweep.evaluate();
         println!(
-            "  queue sizing (heuristic): +{} slot(s) on {} channel(s)",
-            report.total_extra,
-            report.extra_tokens.len()
+            "  sweep: {} point(s) in {} station group(s), {} warm memo hit(s)",
+            summary.points, summary.groups, summary.warm_hits
         );
 
-        // Strategy 3: greedy relay-station insertion.
-        let ins = greedy_insertion(sys, 4);
+        // The Pareto front: no other point is at least as good on all three
+        // objectives (throughput, total capacity, stations) and better on one.
+        let front = pareto_front(&rows);
         println!(
-            "  relay-station insertion: +{} station(s) reach MST {} (ideal {})\n",
-            ins.inserted, ins.practical, ins.ideal
+            "  Pareto front ({} of {} point(s)):",
+            front.len(),
+            rows.len()
         );
+        for &i in &front {
+            let row = &rows[i];
+            let theta = row
+                .throughput()
+                .map_or_else(|| "-".to_string(), |r| r.to_string());
+            let sim = row.sim.first().map_or(String::new(), |p| {
+                format!(", simulated rate {:.3} at stall p=0.05", p.mean_rate)
+            });
+            println!(
+                "    throughput {theta}, capacity {}, +{} station(s){sim}",
+                row.capacity_cost(),
+                row.inserted
+            );
+        }
+        println!();
     }
     Ok(())
 }

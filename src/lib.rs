@@ -20,7 +20,11 @@
 //!   (traces, latency equivalence, measured throughput);
 //! * [`cofdm`] (`lis-cofdm`) — the COFDM UWB transmitter case study;
 //! * [`par`] (`lis-par`) — the scoped-thread work-stealing pool behind the
-//!   parallel MCM fan-out and the experiment sweeps.
+//!   parallel MCM fan-out and the experiment sweeps;
+//! * [`sweep`] (`lis-sweep`) — design-space exploration jobs: deterministic
+//!   parameter grids over queue capacities, relay stations, and stall
+//!   probabilities, evaluated on warm incremental solves and reduced to a
+//!   Pareto front.
 //!
 //! # Examples
 //!
@@ -42,4 +46,5 @@ pub use lis_par as par;
 pub use lis_qs as qs;
 pub use lis_rsopt as rsopt;
 pub use lis_sim as sim;
+pub use lis_sweep as sweep;
 pub use marked_graph;
