@@ -1,18 +1,21 @@
-//! Load generator for the `lis-server` analysis daemon; records sustained
-//! throughput and cache effectiveness into `results/server_loadgen.txt`.
+//! Load generator for the `lis-server` analysis daemon.
 //!
-//! The daemon is started in-process on an ephemeral port and hammered by
-//! `--clients` keep-alive TCP connections with a mixed workload:
+//! Two modes share the binary:
 //!
-//! * **hot** requests cycle through a small set of generated netlists and
-//!   alternate between `/analyze` and `/qs` — after the first round these
-//!   are all answered from the content-addressed result cache;
-//! * every `--cold-every`-th request submits a netlist nobody has seen
-//!   before, forcing a full parse + analysis on the worker pool.
-//!
-//! Threshold flags (`--min-rps`, `--min-hit-rate`, `--min-success`) turn
-//! the binary into a CI gate: the process exits nonzero when a measured
-//! value falls below its floor.
+//! * **Legacy closed-loop** (default): `--clients` worker threads each run
+//!   a blocking request loop against an in-process daemon, with a mixed
+//!   hot/cold workload. Measures throughput, cache effectiveness, and shed
+//!   behavior into `results/server_loadgen.txt`. Gates: `--min-rps`,
+//!   `--min-hit-rate`, `--min-success`.
+//! * **Connection-scale** (`--connections N [--pipeline D]` or `--scale`):
+//!   a single poller drives N concurrent keep-alive connections, each with
+//!   a closed pipeline of depth D (D requests in flight per connection,
+//!   topped up as responses land). The server runs in a child process
+//!   (`--serve-child`, spawned via self-exec) so both sides get their own
+//!   fd budget. Rows land in `results/net_loadgen.txt`; `--scale` runs the
+//!   threaded-vs-epoll matrix at 100/1k/10k connections. Gates:
+//!   `--min-rps` (best epoll row) and `--min-connections` (connections
+//!   held concurrently).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -29,6 +32,8 @@ const OUT_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/../../results/server_loadgen.txt"
 );
+
+const NET_OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/net_loadgen.txt");
 
 /// Hot-set netlists: small enough that a cold analysis is quick, varied
 /// enough that cache keys differ.
@@ -131,12 +136,25 @@ where
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let clients: u64 = arg(&args, "--clients", 8);
-    let duration = Duration::from_millis(arg(&args, "--duration-ms", 2_000));
-    let cold_every: u64 = arg(&args, "--cold-every", 64);
-    let min_rps: f64 = arg(&args, "--min-rps", 0.0);
-    let min_hit_rate: f64 = arg(&args, "--min-hit-rate", 0.0);
-    let min_success: f64 = arg(&args, "--min-success", 0.0);
+    if let Some(i) = args.iter().position(|a| a == "--serve-child") {
+        let front = args.get(i + 1).map_or("epoll", String::as_str);
+        serve_child(front);
+        return;
+    }
+    if args.iter().any(|a| a == "--connections" || a == "--scale") {
+        net_main(&args);
+        return;
+    }
+    legacy_main(&args);
+}
+
+fn legacy_main(args: &[String]) {
+    let clients: u64 = arg(args, "--clients", 8);
+    let duration = Duration::from_millis(arg(args, "--duration-ms", 2_000));
+    let cold_every: u64 = arg(args, "--cold-every", 64);
+    let min_rps: f64 = arg(args, "--min-rps", 0.0);
+    let min_hit_rate: f64 = arg(args, "--min-hit-rate", 0.0);
+    let min_success: f64 = arg(args, "--min-success", 0.0);
 
     let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
     let addr = server.local_addr().expect("addr");
@@ -246,6 +264,372 @@ fn main() {
             eprintln!("FAIL: {name} {value:.3} below the required {floor:.3}");
             failed = true;
         }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection-scale mode: one poller, N keep-alive connections, pipeline D.
+// ---------------------------------------------------------------------------
+
+/// Child-process entry (`--serve-child <front>`): bind an ephemeral port,
+/// announce it on stdout as `ADDR <addr>`, and serve until `/shutdown`.
+/// Running the daemon in its own process gives each side of the benchmark
+/// its own file-descriptor budget (the container caps one process at 20k).
+fn serve_child(front_name: &str) {
+    let front = lis_server::FrontTier::parse(front_name)
+        .unwrap_or_else(|| panic!("--serve-child: unknown front {front_name:?}"));
+    let config = ServerConfig {
+        max_connections: 16_000,
+        front,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind child server");
+    let addr = server.local_addr().expect("addr");
+    {
+        use std::io::Write as _;
+        let mut out = std::io::stdout();
+        writeln!(out, "ADDR {addr}").expect("announce addr");
+        out.flush().expect("flush addr");
+    }
+    server.run().expect("child server run");
+}
+
+/// Spawns the server child and reads its announced address.
+fn spawn_server_child(front: &str) -> (std::process::Child, std::net::SocketAddr) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(exe)
+        .args(["--serve-child", front])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn server child");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut std::io::BufReader::new(stdout), &mut line)
+        .expect("read child addr line");
+    let addr = line
+        .trim()
+        .strip_prefix("ADDR ")
+        .unwrap_or_else(|| panic!("unexpected child announcement {line:?}"))
+        .parse()
+        .expect("child addr");
+    (child, addr)
+}
+
+/// One measured row of the connection-scale benchmark.
+struct NetRow {
+    front: &'static str,
+    conns: usize,
+    pipeline: usize,
+    rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    held: usize,
+}
+
+impl NetRow {
+    fn render(&self) -> String {
+        format!(
+            "front={} conns={} pipeline={} rps={:.0} p50_us={} p99_us={} held={}",
+            self.front, self.conns, self.pipeline, self.rps, self.p50_us, self.p99_us, self.held
+        )
+    }
+}
+
+/// One client connection in the poller-driven load loop.
+struct NetConn {
+    stream: std::net::TcpStream,
+    /// Bytes queued for the socket (whole rendered requests).
+    out: Vec<u8>,
+    written: usize,
+    /// Unparsed response bytes.
+    inbuf: Vec<u8>,
+    in_flight: usize,
+    /// Send timestamps, FIFO: responses come back in request order.
+    sent_at: std::collections::VecDeque<Instant>,
+    writable_interest: bool,
+}
+
+fn connect_retry(addr: std::net::SocketAddr) -> std::net::TcpStream {
+    for attempt in 0u32..10 {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(_) => std::thread::sleep(Duration::from_millis(1 << attempt.min(6))),
+        }
+    }
+    panic!("cannot connect to {addr}");
+}
+
+/// Drives `conns` keep-alive connections against `addr`, each holding
+/// `depth` pipelined requests in flight, for `duration` (after a short
+/// unmeasured ramp). Every request is the same hot (pre-warmed, cached)
+/// `/analyze`, so the number measures the connection tier, not the solver.
+fn run_net_row(
+    addr: std::net::SocketAddr,
+    front: &'static str,
+    conns: usize,
+    depth: usize,
+    duration: Duration,
+) -> NetRow {
+    use lis_server::net::{read_available, response_progress, Interest, Poller, ResponseProgress};
+    use std::io::Write as _;
+    use std::os::fd::AsRawFd;
+
+    let hot = netlist(0, 16);
+    let body = obj([("netlist", Json::str(&hot))]).to_string();
+    {
+        let mut warm = Client::connect(addr).expect("warmup connect");
+        let resp = warm
+            .request("POST", "/analyze", body.as_bytes())
+            .expect("warmup request");
+        assert_eq!(resp.status, 200, "warmup request failed");
+    }
+    let mut wire = Vec::new();
+    lis_server::http::write_request(&mut wire, "POST", "/analyze", body.as_bytes())
+        .expect("render request");
+
+    let mut poller = Poller::new().expect("poller");
+    let mut table: Vec<Option<NetConn>> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let stream = connect_retry(addr);
+        let _ = stream.set_nodelay(true);
+        stream.set_nonblocking(true).expect("nonblocking");
+        let mut conn = NetConn {
+            stream,
+            out: Vec::with_capacity(wire.len() * depth),
+            written: 0,
+            inbuf: Vec::new(),
+            in_flight: 0,
+            sent_at: std::collections::VecDeque::with_capacity(depth),
+            writable_interest: true,
+        };
+        for _ in 0..depth {
+            conn.out.extend_from_slice(&wire);
+            conn.sent_at.push_back(Instant::now());
+            conn.in_flight += 1;
+        }
+        poller
+            .register(conn.stream.as_raw_fd(), i, Interest::BOTH)
+            .expect("register");
+        table.push(Some(conn));
+        // Pace the connect storm so the listener backlog never overflows.
+        if (i + 1) % 256 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    let ramp = Duration::from_millis(200);
+    let measure_start = Instant::now() + ramp;
+    let deadline = measure_start + duration;
+    let mut done: u64 = 0;
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let mut events = Vec::new();
+    'outer: loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break 'outer;
+        }
+        let wait = (deadline - now).min(Duration::from_millis(100));
+        if poller.wait(&mut events, Some(wait)).is_err() {
+            break 'outer;
+        }
+        let measuring = Instant::now() >= measure_start;
+        for ev in &events {
+            let slot = ev.token;
+            let Some(conn) = table.get_mut(slot).and_then(Option::as_mut) else {
+                continue;
+            };
+            let mut dead = false;
+            if ev.writable || ev.hangup {
+                while conn.written < conn.out.len() {
+                    match conn.stream.write(&conn.out[conn.written..]) {
+                        Ok(0) => {
+                            dead = true;
+                            break;
+                        }
+                        Ok(n) => conn.written += n,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+                if conn.written == conn.out.len() {
+                    conn.out.clear();
+                    conn.written = 0;
+                }
+            }
+            if !dead && (ev.readable || ev.hangup) {
+                match read_available(&mut conn.stream, &mut conn.inbuf) {
+                    Ok((_, eof)) => {
+                        let mut consumed_total = 0usize;
+                        loop {
+                            match response_progress(&conn.inbuf[consumed_total..]) {
+                                ResponseProgress::Complete { response, consumed } => {
+                                    assert_eq!(response.status, 200, "load request failed");
+                                    consumed_total += consumed;
+                                    if let Some(t) = conn.sent_at.pop_front() {
+                                        if measuring {
+                                            done += 1;
+                                            latencies_us.push(
+                                                t.elapsed().as_micros().min(u64::MAX as u128)
+                                                    as u64,
+                                            );
+                                        }
+                                    }
+                                    conn.in_flight -= 1;
+                                }
+                                ResponseProgress::Partial => break,
+                                ResponseProgress::Violation(_) => {
+                                    dead = true;
+                                    break;
+                                }
+                            }
+                        }
+                        conn.inbuf.drain(..consumed_total);
+                        if eof {
+                            dead = true;
+                        }
+                    }
+                    Err(_) => dead = true,
+                }
+            }
+            if dead {
+                poller.deregister(conn.stream.as_raw_fd());
+                table[slot] = None;
+                continue;
+            }
+            // Top the pipeline back up and track write interest.
+            while conn.in_flight < depth {
+                conn.out.extend_from_slice(&wire);
+                conn.sent_at.push_back(Instant::now());
+                conn.in_flight += 1;
+            }
+            let want_write = conn.written < conn.out.len();
+            if want_write != conn.writable_interest {
+                let interest = if want_write {
+                    Interest::BOTH
+                } else {
+                    Interest::READ
+                };
+                let fd = conn.stream.as_raw_fd();
+                let _ = poller.modify(fd, slot, interest);
+                conn.writable_interest = want_write;
+            }
+        }
+    }
+    let held = table.iter().filter(|c| c.is_some()).count();
+    drop(table);
+    latencies_us.sort_unstable();
+    let pick = |q: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let i = ((latencies_us.len() - 1) as f64 * q) as usize;
+        latencies_us[i]
+    };
+    NetRow {
+        front,
+        conns,
+        pipeline: depth,
+        rps: done as f64 / duration.as_secs_f64(),
+        p50_us: pick(0.50),
+        p99_us: pick(0.99),
+        held,
+    }
+}
+
+/// Runs one row end-to-end: child server up, measure, drain, reap.
+fn net_row_with_server(
+    front: &'static str,
+    conns: usize,
+    depth: usize,
+    duration: Duration,
+) -> NetRow {
+    let (mut child, addr) = spawn_server_child(front);
+    let row = run_net_row(addr, front, conns, depth, duration);
+    let mut admin = Client::connect(addr).expect("admin connect");
+    assert_eq!(admin.shutdown().expect("shutdown"), 200);
+    let _ = child.wait();
+    eprintln!("{}", row.render());
+    row
+}
+
+fn net_main(args: &[String]) {
+    let _ = lis_server::net::raise_nofile_limit();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = args.iter().any(|a| a == "--scale");
+    let duration =
+        Duration::from_millis(arg(args, "--duration-ms", if quick { 700 } else { 2_000 }));
+    let min_rps: f64 = arg(args, "--min-rps", 0.0);
+    let min_connections: usize = arg(args, "--min-connections", 0);
+
+    let rows: Vec<NetRow> = if scale {
+        vec![
+            net_row_with_server("threaded", 100, 1, duration),
+            net_row_with_server("threaded", 1_000, 1, duration),
+            net_row_with_server("epoll", 100, 1, duration),
+            net_row_with_server("epoll", 1_000, 1, duration),
+            net_row_with_server("epoll", 1_000, 8, duration),
+            net_row_with_server("epoll", 10_000, 1, duration),
+        ]
+    } else {
+        let conns: usize = arg(args, "--connections", 1_000);
+        let depth: usize = arg(args, "--pipeline", 1);
+        let front: String = arg(args, "--front", "epoll".to_string());
+        let front: &'static str = match front.as_str() {
+            "threaded" => "threaded",
+            "epoll" => "epoll",
+            other => panic!("--front: unknown tier {other:?}"),
+        };
+        vec![net_row_with_server(front, conns, depth, duration)]
+    };
+
+    let mut report = String::new();
+    writeln!(
+        report,
+        "lis-server connection-scale load generation\n\
+         ===========================================\n\
+         daemon in a child process on an ephemeral port; one poller drives\n\
+         every client connection with a closed pipeline per connection\n\
+         (depth requests in flight, topped up as responses land). The\n\
+         workload is one pre-warmed cached /analyze, so rows measure the\n\
+         connection front, not the solver. {:.1} s window per row after a\n\
+         0.2 s ramp. Regenerate with:\n\
+         \x20   cargo run --release -p lis-bench --bin loadgen -- --scale\n",
+        duration.as_secs_f64(),
+    )
+    .expect("write to String");
+    for row in &rows {
+        writeln!(report, "{}", row.render()).expect("write to String");
+    }
+    print!("{report}");
+    if quick {
+        // Quick gate runs (CI) must not clobber the committed reference file.
+        eprintln!("\n--quick: leaving {NET_OUT_PATH} untouched");
+    } else {
+        std::fs::write(NET_OUT_PATH, &report).expect("write results/net_loadgen.txt");
+        eprintln!("\nwrote {NET_OUT_PATH}");
+    }
+
+    let best_epoll_rps = rows
+        .iter()
+        .filter(|r| r.front == "epoll")
+        .map(|r| r.rps)
+        .fold(0.0f64, f64::max);
+    let max_held = rows.iter().map(|r| r.held).max().unwrap_or(0);
+    let mut failed = false;
+    if best_epoll_rps < min_rps {
+        eprintln!("FAIL: best epoll req/s {best_epoll_rps:.0} below the required {min_rps:.0}");
+        failed = true;
+    }
+    if max_held < min_connections {
+        eprintln!("FAIL: held {max_held} connection(s), required {min_connections}");
+        failed = true;
     }
     if failed {
         std::process::exit(1);

@@ -49,14 +49,19 @@ analysis commands (local, netlist from a file):
 
 server commands (analysis as a service):
   serve  <addr> [--queue N] [--cache N] [--timeout-ms N] [--max-conns N]
-                [--faults SPEC]          run the analysis daemon on addr
-                                         (e.g. 127.0.0.1:7171); --faults (or
+                [--front epoll|threaded] [--faults SPEC]
+                                         run the analysis daemon on addr
+                                         (e.g. 127.0.0.1:7171); --front picks
+                                         the connection tier (default epoll:
+                                         one readiness event loop holds every
+                                         connection; threaded: one thread per
+                                         connection); --faults (or
                                          the LIS_FAULTS env var) arms
                                          deterministic fault injection, e.g.
                                          panic:0.01,slow_read:5ms,truncate:0.02
   gateway <addr> [--shards N] [--join a,b,...] [--shard-threads T]
                  [--queue N] [--cache N] [--probe-ms N] [--no-hedge]
-                 [--hedge-rate R] [--hedge-seed S]
+                 [--hedge-rate R] [--hedge-seed S] [--front epoll|threaded]
                                          front a sharded cluster on addr:
                                          spawn and supervise N local shard
                                          daemons (default), or --join
@@ -179,6 +184,7 @@ fn serve(rest: &[String]) -> CliResult {
         cache_capacity: option(rest, "--cache", 4096usize)?,
         request_timeout: std::time::Duration::from_millis(option(rest, "--timeout-ms", 30_000u64)?),
         max_connections: option(rest, "--max-conns", 1024usize)?,
+        front: front_flag(rest)?,
         faults,
         ..lis_server::ServerConfig::default()
     };
@@ -256,6 +262,7 @@ fn gateway_cmd(rest: &[String]) -> CliResult {
     let config = GatewayConfig {
         probe_interval: std::time::Duration::from_millis(option(rest, "--probe-ms", 150u64)?),
         hedge,
+        front: front_flag(rest)?,
         ..GatewayConfig::default()
     };
     let gateway = Gateway::bind(addr.as_str(), backends, config)?;
@@ -384,6 +391,13 @@ fn client_cmd(rest: &[String], engine: McmEngine) -> CliResult {
 
 fn flag(rest: &[String], name: &str) -> bool {
     rest.iter().any(|a| a == name)
+}
+
+/// Parses the `--front epoll|threaded` connection-tier flag (default epoll).
+fn front_flag(rest: &[String]) -> Result<lis_server::FrontTier, String> {
+    let v: String = option(rest, "--front", "epoll".to_string())?;
+    lis_server::FrontTier::parse(&v)
+        .ok_or_else(|| format!("--front: unknown tier {v:?} (known: epoll, threaded)"))
 }
 
 fn option<T: std::str::FromStr>(rest: &[String], name: &str, default: T) -> Result<T, String>
@@ -1285,6 +1299,24 @@ mod tests {
         assert!(json.contains("\"capacities\""), "{json}");
         assert!(json.contains("\"budget\""), "{json}");
         assert!(json.contains("\"engine\""), "{json}");
+    }
+
+    #[test]
+    fn front_flag_parses_and_rejects() {
+        assert_eq!(
+            front_flag(&[]).expect("default"),
+            lis_server::FrontTier::Epoll
+        );
+        let args: Vec<String> = ["--front", "threaded"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            front_flag(&args).expect("threaded"),
+            lis_server::FrontTier::Threaded
+        );
+        let bad: Vec<String> = ["--front", "moose"].iter().map(|s| s.to_string()).collect();
+        assert!(front_flag(&bad).is_err());
     }
 
     #[test]

@@ -21,16 +21,20 @@ use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use lis_core::parse_netlist;
 use lis_server::http::{
-    read_request, read_response, write_request, write_response, write_response_with,
-    DeadlineReader, Request, Response, REQUEST_ID_HEADER,
+    read_request, write_request_with, write_response, write_response_with, DeadlineReader, Request,
+    Response, REQUEST_ID_HEADER,
+};
+use lis_server::net::{
+    probe_many, race, Completion, Completions, ConnPermit, EventLoop, FrontConfig, Outcome,
+    RaceAttempt, RaceOutcome, Rendered, SlotKey,
 };
 use lis_server::wire::{obj, Json};
-use lis_server::ServerError;
+use lis_server::{FrontTier, ServerError, WorkerPool};
 
 use crate::error::GatewayError;
 use crate::hedge::{HedgeConfig, Hedger};
@@ -42,6 +46,18 @@ use crate::table::{Shard, ShardTable};
 /// How long an idle keep-alive connection sleeps between shutdown-flag
 /// checks while waiting for the next request.
 const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Forwarding threads behind the epoll front: each runs one shard round
+/// trip (hedge race or sequential failover) at a time.
+const FORWARD_WORKERS: usize = 32;
+
+/// Queue slots for forwarded requests awaiting a worker; beyond this the
+/// gateway sheds with a typed 503 instead of buffering unboundedly.
+const FORWARD_QUEUE: usize = 4096;
+
+/// Overall wall-clock budget for one hedged race (both legs). Generous on
+/// purpose: it bounds a wedged shard hop, not normal latency.
+const RACE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Shard responses that trigger failover to the next shard in rendezvous
 /// order: transient server-side states a different shard may not share.
@@ -76,6 +92,8 @@ pub struct GatewayConfig {
     pub max_connections: usize,
     /// Slow-loris read deadline per request.
     pub read_deadline: Duration,
+    /// Which connection front serves the socket.
+    pub front: FrontTier,
 }
 
 impl Default for GatewayConfig {
@@ -86,6 +104,7 @@ impl Default for GatewayConfig {
             hedge: Some(HedgeConfig::default()),
             max_connections: 1024,
             read_deadline: Duration::from_secs(10),
+            front: FrontTier::default(),
         }
     }
 }
@@ -193,12 +212,53 @@ impl Gateway {
     /// # Errors
     ///
     /// Returns fatal accept-loop errors; per-connection errors are handled
-    /// in the connection's own thread.
+    /// in the connection's own thread (threaded front) or swallowed per
+    /// connection by the event loop (epoll front).
     pub fn run(self) -> io::Result<()> {
+        let state = Arc::clone(&self.state);
         let maintenance = {
-            let state = Arc::clone(&self.state);
+            let state = Arc::clone(&state);
             std::thread::spawn(move || maintenance_loop(&state))
         };
+        let result = match state.config.front {
+            FrontTier::Threaded => self.run_threaded(),
+            FrontTier::Epoll => self.run_event_loop(),
+        };
+        let _ = maintenance.join();
+        // Owned cluster: drain every child before returning.
+        if let Some(set) = &state.children {
+            for child in &set.children {
+                child.lock().expect("child lock").stop();
+            }
+        }
+        result
+    }
+
+    /// The readiness-event-loop front: one thread holds every connection;
+    /// shard round trips run on a bounded forwarding pool.
+    fn run_event_loop(self) -> io::Result<()> {
+        let _ = lis_server::net::raise_nofile_limit();
+        let Gateway { listener, state } = self;
+        let config = FrontConfig {
+            max_connections: state.config.max_connections,
+            read_deadline: state.config.read_deadline,
+            slow_read: None,
+            drain_grace: Duration::from_secs(10),
+            write_chunk_for_tests: None,
+        };
+        let stats = Arc::clone(&state.metrics.net);
+        let pool = Arc::new(WorkerPool::new(FORWARD_WORKERS, FORWARD_QUEUE));
+        let handler = GwHandler {
+            state: Arc::clone(&state),
+            pool: Arc::clone(&pool),
+        };
+        EventLoop::new(listener, handler, config, stats)?.run()?;
+        pool.drain();
+        Ok(())
+    }
+
+    /// The classic thread-per-connection front.
+    fn run_threaded(self) -> io::Result<()> {
         let mut handler_threads = Vec::new();
         while !self.state.shutdown.load(Ordering::Acquire) {
             match self.listener.accept() {
@@ -223,9 +283,19 @@ impl Gateway {
                     }
                     let state = Arc::clone(&self.state);
                     state.active_connections.fetch_add(1, Ordering::AcqRel);
+                    state
+                        .metrics
+                        .net
+                        .connections_open
+                        .fetch_add(1, Ordering::Relaxed);
                     handler_threads.push(std::thread::spawn(move || {
                         let _ = handle_connection(stream, &state);
                         state.active_connections.fetch_sub(1, Ordering::AcqRel);
+                        state
+                            .metrics
+                            .net
+                            .connections_open
+                            .fetch_sub(1, Ordering::Relaxed);
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -246,22 +316,21 @@ impl Gateway {
                 let _ = h.join();
             }
         }
-        let _ = maintenance.join();
-        // Owned cluster: drain every child before returning.
-        if let Some(set) = &self.state.children {
-            for child in &set.children {
-                child.lock().expect("child lock").stop();
-            }
-        }
         Ok(())
     }
 }
 
 /// Health-probes every shard and respawns dead children, until shutdown.
+///
+/// Probes ride one poller ([`probe_many`]): every shard's `/healthz` round
+/// trip runs concurrently within a single `probe_timeout` window, so a
+/// wedged shard no longer delays the probes behind it.
 fn maintenance_loop(state: &Arc<GwState>) {
     let probe_timeout = state.config.probe_interval.max(Duration::from_millis(250));
     while !state.shutdown.load(Ordering::Acquire) {
-        for (i, shard) in state.table.shards().iter().enumerate() {
+        let shards = state.table.shards();
+        let mut to_probe: Vec<usize> = Vec::with_capacity(shards.len());
+        for (i, shard) in shards.iter().enumerate() {
             // Supervision first: a dead child can never pass its probe.
             if let Some(set) = &state.children {
                 let mut child = set.children[i].lock().expect("child lock");
@@ -284,35 +353,18 @@ fn maintenance_loop(state: &Arc<GwState>) {
                     continue;
                 }
             }
-            match probe(shard.addr(), probe_timeout) {
-                Ok(()) => shard.mark_success(),
-                Err(_) => {
-                    if shard.mark_failure(state.config.eject_after) {
-                        state.metrics.ejections.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
+            to_probe.push(i);
+        }
+        let addrs: Vec<SocketAddr> = to_probe.iter().map(|&i| shards[i].addr()).collect();
+        let healthy = probe_many(&addrs, probe_timeout);
+        for (&i, &ok) in to_probe.iter().zip(&healthy) {
+            if ok {
+                shards[i].mark_success();
+            } else if shards[i].mark_failure(state.config.eject_after) {
+                state.metrics.ejections.fetch_add(1, Ordering::Relaxed);
             }
         }
         std::thread::sleep(state.config.probe_interval);
-    }
-}
-
-/// One `GET /healthz` round trip against a shard, with its own timeout.
-fn probe(addr: SocketAddr, timeout: Duration) -> io::Result<()> {
-    let stream = TcpStream::connect_timeout(&addr, timeout)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(timeout))?;
-    stream.set_write_timeout(Some(timeout))?;
-    let mut writer = stream.try_clone()?;
-    write_request(&mut writer, "GET", "/healthz", b"")?;
-    let response = read_response(&mut BufReader::new(stream))?;
-    if response.status == 200 {
-        Ok(())
-    } else {
-        Err(io::Error::other(format!(
-            "healthz answered {}",
-            response.status
-        )))
     }
 }
 
@@ -506,6 +558,17 @@ fn healthz_body(state: &Arc<GwState>) -> String {
             }),
         ),
         (
+            "connections_open",
+            Json::num(
+                state
+                    .metrics
+                    .net
+                    .connections_open
+                    .load(Ordering::Relaxed)
+                    .max(0) as f64,
+            ),
+        ),
+        (
             "uptime_ms",
             Json::num(state.started.elapsed().as_millis() as f64),
         ),
@@ -583,70 +646,75 @@ fn forward(
     if let Some(hedger) = hedged {
         let primary = queue.pop_front().expect("len >= 2");
         let runner = queue.pop_front().expect("len >= 2");
-        let (tx, rx) = mpsc::channel();
-        let mut outstanding = 1usize;
-        spawn_attempt(Arc::clone(&primary), path, body, request_id, 0, tx.clone());
-        let mut launched_hedge = false;
-        let first = match rx.recv_timeout(hedger.deadline()) {
-            Ok(msg) => Some(msg),
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                // Primary is slow: launch the hedge and take whichever
-                // answer lands first.
-                state
-                    .metrics
-                    .hedges_launched
-                    .fetch_add(1, Ordering::Relaxed);
-                launched_hedge = true;
-                outstanding += 1;
-                spawn_attempt(Arc::clone(&runner), path, body, request_id, 1, tx.clone());
-                rx.recv().ok()
-            }
-            Err(mpsc::RecvTimeoutError::Disconnected) => None,
-        };
-        drop(tx);
-        let mut ready = first;
-        if ready.is_some() {
-            outstanding -= 1;
+        // Render the shard hop once; both race legs transmit these bytes.
+        // The race runs on one poller — no thread per attempt: the
+        // runner-up's connect is armed at the hedge deadline and the first
+        // answer outside FAILOVER_STATUSES wins.
+        let mut wire = Vec::with_capacity(body.len() + 128);
+        write_request_with(
+            &mut wire,
+            "POST",
+            path,
+            &[("X-LIS-Request-Id", request_id)],
+            body,
+        )
+        .expect("rendering to a Vec cannot fail");
+        let legs = vec![
+            RaceAttempt {
+                addr: primary.addr(),
+                wire: wire.clone(),
+                delay: Duration::ZERO,
+            },
+            RaceAttempt {
+                addr: runner.addr(),
+                wire,
+                delay: hedger.deadline(),
+            },
+        ];
+        let result = race(legs, &FAILOVER_STATUSES, RACE_TIMEOUT);
+        let launched_hedge = result.launched[1];
+        if launched_hedge {
+            state
+                .metrics
+                .hedges_launched
+                .fetch_add(1, Ordering::Relaxed);
         }
-        // Judge results in arrival order; wait for the straggler only if
-        // the first arrival is unusable.
-        let mut winner = None;
-        loop {
-            let (tag, elapsed, outcome) = match ready.take() {
-                Some(msg) => msg,
-                None if outstanding > 0 => {
-                    outstanding -= 1;
-                    match rx.recv() {
-                        Ok(msg) => msg,
-                        Err(_) => break,
-                    }
-                }
-                None => break,
-            };
-            let shard = if tag == 0 { &primary } else { &runner };
-            attempts += 1;
+        let shards = [&primary, &runner];
+        let mut winner_response = None;
+        for (i, outcome) in result.outcomes.into_iter().enumerate() {
+            let shard = shards[i];
+            if result.launched[i] {
+                shard.requests.fetch_add(1, Ordering::Relaxed);
+                attempts += 1;
+            }
             match outcome {
-                Ok(response) if !is_failover_status(response.status) => {
+                RaceOutcome::Response { response, elapsed } if result.winner == Some(i) => {
                     hedger.record(elapsed);
-                    if tag == 1 && launched_hedge {
+                    shard.mark_success();
+                    if i == 1 {
                         state.metrics.hedges_won.fetch_add(1, Ordering::Relaxed);
                     }
-                    winner = Some(response);
-                    break;
+                    winner_response = Some(response);
                 }
-                Ok(response) => {
+                RaceOutcome::Response { response, .. } => {
+                    // A coherent but transient answer: the shard is up (let
+                    // the prober keep it routable) and the answer relays as
+                    // a last resort.
                     shard.failures.fetch_add(1, Ordering::Relaxed);
                     last_answer = Some(response);
                 }
-                Err(_) => {
+                RaceOutcome::Failed => {
                     shard.failures.fetch_add(1, Ordering::Relaxed);
                     if shard.mark_failure(state.config.eject_after) {
                         state.metrics.ejections.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                // Never connected (delay unexpired) or abandoned in flight
+                // once the race was decided — neither is a shard failure.
+                RaceOutcome::NotStarted => {}
             }
         }
-        if let Some(response) = winner {
+        if let Some(response) = winner_response {
             return (response.status, response.body);
         }
         // Both hedge legs failed; fall through to sequential failover. If
@@ -695,22 +763,147 @@ fn forward(
     (e.status(), e.to_json().to_string().into_bytes())
 }
 
-/// Runs one shard attempt on its own thread, reporting into `tx`.
-fn spawn_attempt(
-    shard: Arc<Shard>,
-    path: &str,
-    body: &[u8],
-    id: &str,
-    tag: usize,
-    tx: mpsc::Sender<(usize, Duration, io::Result<Response>)>,
-) {
-    let path = path.to_string();
-    let body = body.to_vec();
-    let id = id.to_string();
-    std::thread::spawn(move || {
+/// The epoll front's handler: forwarding runs on a bounded worker pool so
+/// the event loop never blocks on a shard round trip; control-plane
+/// routes answer inline.
+struct GwHandler {
+    state: Arc<GwState>,
+    pool: Arc<WorkerPool>,
+}
+
+impl GwHandler {
+    /// The request-id echo header every gateway response carries.
+    fn id_headers(request_id: &str) -> Vec<(String, String)> {
+        vec![("X-LIS-Request-Id".to_string(), request_id.to_string())]
+    }
+}
+
+impl lis_server::net::Handler for GwHandler {
+    fn dispatch(&self, request: Request, key: SlotKey, completions: &Completions) -> Outcome {
         let started = Instant::now();
-        let outcome = try_shard(&shard, &path, &body, &id);
-        // The race's loser sends into a dropped receiver; that's fine.
-        let _ = tx.send((tag, started.elapsed(), outcome));
-    });
+        let state = &self.state;
+        let seq = state.sequence.fetch_add(1, Ordering::Relaxed);
+        let request_id = request
+            .header(REQUEST_ID_HEADER)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("gw-{seq:08x}"));
+        let method = request.method.clone();
+        let path = request.path.clone();
+        match (method.as_str(), path.as_str()) {
+            ("POST", "/analyze" | "/qs" | "/insert" | "/dot" | "/sweep") => {
+                let job = {
+                    let state = Arc::clone(state);
+                    let completions = completions.clone();
+                    let body = request.body;
+                    let request_id = request_id.clone();
+                    move || {
+                        let (status, body) = forward(&state, &path, &body, seq, &request_id);
+                        let content_type = if path == "/sweep" && status == 200 {
+                            "application/x-ndjson"
+                        } else {
+                            "application/json"
+                        };
+                        state.metrics.record_request(status, started.elapsed());
+                        completions.send(
+                            key,
+                            Completion::Full(Rendered {
+                                status,
+                                content_type: content_type.to_string(),
+                                body,
+                                extra_headers: GwHandler::id_headers(&request_id),
+                                fault_eligible: false,
+                                force_close: false,
+                            }),
+                        );
+                    }
+                };
+                match self.pool.submit(job) {
+                    // Forwarding has no loop-side deadline: RACE_TIMEOUT and
+                    // the pooled client's own timeouts bound the round trip.
+                    Ok(()) => Outcome::Pending { timeout: None },
+                    Err(_) => {
+                        let e = ServerError::Overloaded {
+                            queue_capacity: self.pool.capacity(),
+                        };
+                        state.metrics.record_request(e.status(), started.elapsed());
+                        let mut rendered =
+                            Rendered::json(e.status(), e.to_json().to_string().into_bytes());
+                        rendered.extra_headers = GwHandler::id_headers(&request_id);
+                        Outcome::Respond(rendered)
+                    }
+                }
+            }
+            _ => {
+                let (status, content_type, body) = dispatch(&request, state, seq, &request_id);
+                state.metrics.record_request(status, started.elapsed());
+                Outcome::Respond(Rendered {
+                    status,
+                    content_type: content_type.to_string(),
+                    body,
+                    extra_headers: GwHandler::id_headers(&request_id),
+                    fault_eligible: false,
+                    force_close: false,
+                })
+            }
+        }
+    }
+
+    fn bad_request(&self, error: &io::Error) -> Rendered {
+        // Unrecorded, like the threaded front's 400 path.
+        let e = ServerError::BadRequest(error.to_string());
+        let mut rendered = Rendered::json(e.status(), e.to_json().to_string().into_bytes());
+        rendered.force_close = true;
+        rendered
+    }
+
+    fn slow_client(&self) -> Rendered {
+        let e = ServerError::SlowClient {
+            deadline_ms: self.state.config.read_deadline.as_millis() as u64,
+        };
+        self.state
+            .metrics
+            .record_request(e.status(), self.state.config.read_deadline);
+        let mut rendered = Rendered::json(e.status(), e.to_json().to_string().into_bytes());
+        rendered.force_close = true;
+        rendered
+    }
+
+    fn reject_connection(&self) -> Rendered {
+        let e = ServerError::TooManyConnections {
+            limit: self.state.config.max_connections,
+        };
+        self.state
+            .metrics
+            .record_request(e.status(), Duration::ZERO);
+        let mut rendered = Rendered::json(e.status(), e.to_json().to_string().into_bytes());
+        rendered.force_close = true;
+        rendered
+    }
+
+    fn job_timeout(&self, _key: SlotKey) -> Rendered {
+        // Unreachable in practice: forwarded jobs run with `timeout: None`.
+        // Answer something sane anyway rather than panic.
+        let e = ServerError::Timeout {
+            timeout_ms: RACE_TIMEOUT.as_millis() as u64,
+        };
+        Rendered::json(e.status(), e.to_json().to_string().into_bytes())
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.state.shutdown.load(Ordering::Acquire)
+    }
+
+    fn take_over(
+        &self,
+        stream: TcpStream,
+        _request: Request,
+        _residual: Vec<u8>,
+        permit: ConnPermit,
+    ) {
+        // The gateway never returns Outcome::TakeOver (/sweep relays with
+        // Content-Length framing through forward()); dropping the stream
+        // and permit is the safe answer if that ever changes.
+        drop(stream);
+        drop(permit);
+    }
 }

@@ -3,8 +3,10 @@
 //! latency, so dashboards treat both tiers uniformly).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use lis_server::metrics::Histogram;
+use lis_server::NetStats;
 
 use crate::table::ShardTable;
 
@@ -42,6 +44,9 @@ pub struct GatewayMetrics {
     pub respawns: AtomicU64,
     /// End-to-end latency as seen at the gateway (routing + hop included).
     pub latency: Histogram,
+    /// Network-front gauges/counters (open connections, pipeline depth,
+    /// readiness wakeups), shared with the event loop.
+    pub net: Arc<NetStats>,
 }
 
 impl GatewayMetrics {
@@ -119,6 +124,7 @@ impl GatewayMetrics {
             );
         }
         self.latency.render(&mut out, "lis_gateway_request_seconds");
+        self.net.render_into(&mut out);
         out
     }
 }

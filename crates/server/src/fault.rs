@@ -38,6 +38,12 @@ pub const DEFAULT_SEED: u64 = 0x11a7_c0ff_ee5e_ed00;
 /// hook (and log scrapers) can tell injected crashes from real bugs.
 pub const INJECTED_PANIC_MARKER: &str = "lis-fault: injected worker panic";
 
+/// The non-HTTP bytes a [`WriteFault::Garbage`] injection sends instead of
+/// the response (a TLS-looking record, so clients fail fast). Shared by the
+/// threaded and epoll front tiers so the chaos suites see identical wire
+/// bytes from both.
+pub const GARBAGE_BYTES: &[u8] = b"\x16\x03\x01LIS GARBAGE\r\n\r\n";
+
 /// What [`FaultPlan::write_fault`] asks the connection handler to do with
 /// the response it was about to send.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

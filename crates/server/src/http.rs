@@ -275,7 +275,9 @@ fn read_chunked_body(reader: &mut impl BufRead) -> io::Result<Vec<u8>> {
     let mut body = Vec::new();
     loop {
         let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
+        if reader.read_line(&mut line)? == 0 || !line.ends_with('\n') {
+            // A line cut short by EOF is an incomplete frame, not data —
+            // the incremental scanner relies on this to keep reading.
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "connection closed mid-chunk",
@@ -292,7 +294,7 @@ fn read_chunked_body(reader: &mut impl BufRead) -> io::Result<Vec<u8>> {
             // Consume optional trailers up to the terminating blank line.
             loop {
                 let mut trailer = String::new();
-                if reader.read_line(&mut trailer)? == 0 {
+                if reader.read_line(&mut trailer)? == 0 || !trailer.ends_with('\n') {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
                         "connection closed before the chunked trailer",

@@ -70,7 +70,9 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `net::sys` is the one module allowed to opt back in (raw epoll/socket
+// syscalls); everything else still refuses unsafe at deny level.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -80,6 +82,7 @@ pub mod fault;
 pub mod http;
 mod jobs;
 pub mod metrics;
+pub mod net;
 pub mod pool;
 mod server;
 pub mod wire;
@@ -89,9 +92,9 @@ pub use client::{Client, RetryPolicy, RetryingClient};
 pub use error::ServerError;
 pub use fault::{FaultPlan, WriteFault};
 pub use jobs::RequestKind;
-pub use metrics::{parse_metric, Metrics, Route};
+pub use metrics::{parse_metric, Metrics, NetStats, Route};
 pub use pool::{DrainReport, SubmitError, WorkerPool};
-pub use server::{Server, ServerConfig};
+pub use server::{FrontTier, Server, ServerConfig};
 pub use wire::{Json, JsonError};
 
 #[cfg(test)]

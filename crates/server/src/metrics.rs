@@ -25,6 +25,8 @@ pub enum Route {
     Dot,
     /// `POST /sweep`.
     Sweep,
+    /// `POST /batch`.
+    Batch,
     /// `GET /metrics`.
     Metrics,
     /// `GET /healthz`.
@@ -36,12 +38,13 @@ pub enum Route {
 }
 
 impl Route {
-    const ALL: [Route; 9] = [
+    const ALL: [Route; 10] = [
         Route::Analyze,
         Route::Qs,
         Route::Insert,
         Route::Dot,
         Route::Sweep,
+        Route::Batch,
         Route::Metrics,
         Route::Healthz,
         Route::Shutdown,
@@ -55,6 +58,7 @@ impl Route {
             Route::Insert => "insert",
             Route::Dot => "dot",
             Route::Sweep => "sweep",
+            Route::Batch => "batch",
             Route::Metrics => "metrics",
             Route::Healthz => "healthz",
             Route::Shutdown => "shutdown",
@@ -156,6 +160,90 @@ impl Histogram {
     }
 }
 
+/// Upper bounds of the pipeline-depth histogram buckets (requests in
+/// flight on one connection when a new one is parsed); `+Inf` follows.
+pub const DEPTH_BUCKETS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Counters the readiness event loop maintains. Shared as an `Arc`
+/// between the loop, the metrics registry, and migrated connections.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Connections currently open on the front tier (accept to close,
+    /// migrated `/sweep` connections included).
+    pub connections_open: AtomicI64,
+    /// Poller wakeups (one per `epoll_wait`/`poll` return).
+    pub wakeups: AtomicU64,
+    depth_buckets: [AtomicU64; DEPTH_BUCKETS.len() + 1],
+    depth_sum: AtomicU64,
+    depth_count: AtomicU64,
+}
+
+impl NetStats {
+    /// Creates a zeroed stats block.
+    pub fn new() -> NetStats {
+        NetStats::default()
+    }
+
+    /// Records the pipeline depth one dispatched request observed
+    /// (unanswered requests on its connection, itself included — 1 means
+    /// plain request/response alternation).
+    pub fn observe_depth(&self, depth: usize) {
+        let slot = DEPTH_BUCKETS
+            .iter()
+            .position(|&le| depth <= le)
+            .unwrap_or(DEPTH_BUCKETS.len());
+        self.depth_buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.depth_sum.fetch_add(depth as u64, Ordering::Relaxed);
+        self.depth_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests whose pipeline depth was recorded.
+    pub fn depth_count(&self) -> u64 {
+        self.depth_count.load(Ordering::Relaxed)
+    }
+
+    /// Appends the `lis_net_*` exposition block.
+    pub fn render_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "# TYPE lis_net_connections_open gauge");
+        let _ = writeln!(
+            out,
+            "lis_net_connections_open {}",
+            self.connections_open.load(Ordering::Relaxed).max(0)
+        );
+        let _ = writeln!(out, "# TYPE lis_net_readiness_wakeups_total counter");
+        let _ = writeln!(
+            out,
+            "lis_net_readiness_wakeups_total {}",
+            self.wakeups.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# TYPE lis_net_pipeline_depth histogram");
+        let mut cumulative = 0u64;
+        for (i, le) in DEPTH_BUCKETS.iter().enumerate() {
+            cumulative += self.depth_buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "lis_net_pipeline_depth_bucket{{le=\"{le}\"}} {cumulative}"
+            );
+        }
+        cumulative += self.depth_buckets[DEPTH_BUCKETS.len()].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "lis_net_pipeline_depth_bucket{{le=\"+Inf\"}} {cumulative}"
+        );
+        let _ = writeln!(
+            out,
+            "lis_net_pipeline_depth_sum {}",
+            self.depth_sum.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "lis_net_pipeline_depth_count {}",
+            self.depth_count.load(Ordering::Relaxed)
+        );
+    }
+}
+
 /// The MCM engine labels tracked by the per-engine latency histograms,
 /// matching [`marked_graph::McmEngine::as_str`].
 pub const ENGINE_LABELS: [&str; 3] = ["howard", "karp", "lawler"];
@@ -195,6 +283,9 @@ pub struct Metrics {
     /// Analysis-execution latency per MCM engine (cache misses on the
     /// throughput routes only), indexed like [`ENGINE_LABELS`].
     pub engine_latency: [Histogram; ENGINE_LABELS.len()],
+    /// Front-tier connection/readiness counters, shared with the event
+    /// loop via `Arc` so the loop thread needs no registry reference.
+    pub net: std::sync::Arc<NetStats>,
 }
 
 impl Metrics {
@@ -327,6 +418,7 @@ impl Metrics {
         if self.sweep_latency.count() > 0 {
             self.sweep_latency.render(&mut out, "lis_sweep_seconds");
         }
+        self.net.render_into(&mut out);
         self.latency.render(&mut out, "lis_request_seconds");
         if self.engine_latency.iter().any(|h| h.count() > 0) {
             let _ = writeln!(out, "# TYPE lis_engine_request_seconds histogram");
@@ -489,6 +581,39 @@ mod tests {
         assert_eq!(parse_metric(&text, "lis_sweep_rows_total"), Some(128.0));
         assert!(text.contains("lis_sweep_seconds_count 1"));
         assert!(text.contains("lis_requests_total{route=\"sweep\",status=\"200\"} 1"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn net_stats_render_gauge_counter_and_depth_histogram() {
+        let m = Metrics::new();
+        m.net.connections_open.store(7, Ordering::Relaxed);
+        m.net.wakeups.store(100, Ordering::Relaxed);
+        m.net.observe_depth(1);
+        m.net.observe_depth(3);
+        m.net.observe_depth(500); // beyond the last bucket → +Inf only
+        let text = m.render();
+        assert_eq!(parse_metric(&text, "lis_net_connections_open"), Some(7.0));
+        assert_eq!(
+            parse_metric(&text, "lis_net_readiness_wakeups_total"),
+            Some(100.0)
+        );
+        assert!(text.contains("lis_net_pipeline_depth_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lis_net_pipeline_depth_bucket{le=\"4\"} 2"));
+        assert!(text.contains("lis_net_pipeline_depth_bucket{le=\"+Inf\"} 3"));
+        assert_eq!(
+            parse_metric(&text, "lis_net_pipeline_depth_count"),
+            Some(3.0)
+        );
+        assert_eq!(
+            parse_metric(&text, "lis_net_pipeline_depth_sum"),
+            Some(504.0)
+        );
         for line in text.lines() {
             assert!(
                 line.starts_with('#') || line.split_whitespace().count() == 2,

@@ -1,0 +1,334 @@
+//! A safe readiness poller over the raw shim in [`super::sys`].
+//!
+//! On Linux this is a thin wrapper around one epoll instance — `wait` is
+//! O(ready), which is what lets a single front thread hold tens of
+//! thousands of keep-alive connections. Elsewhere it degrades to `poll(2)`
+//! over the registered set, trading scalability for portability with the
+//! same API.
+//!
+//! Tokens are caller-chosen `usize` values (the front tier uses slab
+//! indices); interest is level-triggered readable/writable.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+use super::sys;
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: usize,
+    /// The descriptor is readable (or has readable EOF pending).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+    /// Error or hangup was signalled; the owner should read to EOF/error.
+    pub hangup: bool,
+}
+
+/// Which readiness to watch a descriptor for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when readable.
+    pub readable: bool,
+    /// Wake when writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the idle keep-alive steady state.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions (reading requests while draining responses).
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+#[cfg(target_os = "linux")]
+struct Backend {
+    epfd: RawFd,
+    buf: Vec<sys::EpollEvent>,
+}
+
+#[cfg(not(target_os = "linux"))]
+struct Backend {
+    /// fd → (token, interest); rebuilt into a pollfd array per wait.
+    registered: std::collections::HashMap<RawFd, (usize, Interest)>,
+}
+
+/// A level-triggered readiness poller (epoll on Linux, `poll` elsewhere).
+pub struct Poller {
+    backend: Backend,
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_mask(interest: Interest) -> u32 {
+    let mut mask = sys::EPOLLRDHUP;
+    if interest.readable {
+        mask |= sys::EPOLLIN;
+    }
+    if interest.writable {
+        mask |= sys::EPOLLOUT;
+    }
+    mask
+}
+
+impl Poller {
+    /// Creates an empty poller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failures (Linux).
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            Ok(Poller {
+                backend: Backend {
+                    epfd: sys::sys_epoll_create()?,
+                    buf: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+                },
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Ok(Poller {
+                backend: Backend {
+                    registered: std::collections::HashMap::new(),
+                },
+            })
+        }
+    }
+
+    /// Starts watching `fd` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failures (e.g. the fd is already registered).
+    pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            sys::sys_epoll_ctl(
+                self.backend.epfd,
+                sys::EPOLL_CTL_ADD,
+                fd,
+                epoll_mask(interest),
+                token as u64,
+            )
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.backend.registered.insert(fd, (token, interest));
+            Ok(())
+        }
+    }
+
+    /// Changes the interest (and token) of a registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failures (e.g. the fd is not registered).
+    pub fn modify(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            sys::sys_epoll_ctl(
+                self.backend.epfd,
+                sys::EPOLL_CTL_MOD,
+                fd,
+                epoll_mask(interest),
+                token as u64,
+            )
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.backend.registered.insert(fd, (token, interest));
+            Ok(())
+        }
+    }
+
+    /// Stops watching `fd`. Removing an unregistered fd is not an error —
+    /// teardown paths call this defensively.
+    pub fn deregister(&mut self, fd: RawFd) {
+        #[cfg(target_os = "linux")]
+        {
+            let _ = sys::sys_epoll_ctl(self.backend.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0);
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.backend.registered.remove(&fd);
+        }
+    }
+
+    /// Blocks until readiness or `timeout` (forever when `None`), filling
+    /// `events`. Returns the number of events delivered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wait failures; `EINTR` is retried internally.
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: i32 = match timeout {
+            // Round up so a 0 < t < 1 ms deadline does not spin.
+            Some(t) => {
+                t.as_millis().min(i32::MAX as u128) as i32
+                    + i32::from(t.subsec_nanos() % 1_000_000 != 0)
+            }
+            None => -1,
+        };
+        #[cfg(target_os = "linux")]
+        {
+            let n = sys::sys_epoll_wait(self.backend.epfd, &mut self.backend.buf, timeout_ms)?;
+            for ev in &self.backend.buf[..n] {
+                let bits = { ev.events };
+                events.push(Event {
+                    token: { ev.data } as usize,
+                    readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                    writable: bits & sys::EPOLLOUT != 0,
+                    hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                });
+            }
+            if n == self.backend.buf.len() {
+                // The event buffer was saturated: grow it so bursts surface
+                // in one wait next time.
+                let len = self.backend.buf.len() * 2;
+                self.backend
+                    .buf
+                    .resize(len, sys::EpollEvent { events: 0, data: 0 });
+            }
+            Ok(n)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let mut fds: Vec<sys::PollFd> = self
+                .backend
+                .registered
+                .iter()
+                .map(|(&fd, &(_, interest))| sys::PollFd {
+                    fd,
+                    events: if interest.readable { sys::POLLIN } else { 0 }
+                        | if interest.writable { sys::POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            if fds.is_empty() {
+                if let Some(t) = timeout {
+                    std::thread::sleep(t);
+                }
+                return Ok(0);
+            }
+            let n = sys::sys_poll(&mut fds, timeout_ms)?;
+            for pfd in &fds {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                let (token, _) = self.backend.registered[&pfd.fd];
+                events.push(Event {
+                    token,
+                    readable: pfd.revents & sys::POLLIN != 0,
+                    writable: pfd.revents & sys::POLLOUT != 0,
+                    hangup: pfd.revents & (sys::POLLERR | sys::POLLHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        sys::sys_close(self.backend.epfd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readable_wakeup_and_deregister() {
+        let (mut a, mut b) = UnixStream::pair().expect("pair");
+        let mut poller = Poller::new().expect("poller");
+        poller
+            .register(b.as_raw_fd(), 42, Interest::READ)
+            .expect("register");
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0, "idle socket must not wake the poller");
+        a.write_all(b"ping").expect("write");
+        poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .expect("wait");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable);
+        let mut buf = [0u8; 8];
+        let got = b.read(&mut buf).expect("read");
+        assert_eq!(&buf[..got], b"ping");
+        poller.deregister(b.as_raw_fd());
+        a.write_all(b"more").expect("write");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0, "deregistered socket must not wake the poller");
+    }
+
+    #[test]
+    fn writable_interest_fires_immediately_on_an_open_socket() {
+        let (a, _b) = UnixStream::pair().expect("pair");
+        let mut poller = Poller::new().expect("poller");
+        poller
+            .register(a.as_raw_fd(), 1, Interest::BOTH)
+            .expect("register");
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .expect("wait");
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+    }
+
+    #[test]
+    fn modify_switches_interest() {
+        let (mut a, b) = UnixStream::pair().expect("pair");
+        let mut poller = Poller::new().expect("poller");
+        poller
+            .register(b.as_raw_fd(), 9, Interest::READ)
+            .expect("register");
+        a.write_all(b"x").expect("write");
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .expect("wait");
+        assert!(events.iter().any(|e| e.token == 9 && e.readable));
+        // Drop read interest: pending bytes must no longer wake us.
+        poller
+            .modify(b.as_raw_fd(), 9, Interest::WRITE)
+            .expect("modify");
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .expect("wait");
+        assert!(
+            events.iter().all(|e| !e.readable),
+            "readable after dropping read interest: {events:?}"
+        );
+    }
+}

@@ -1,0 +1,423 @@
+//! Thread-free concurrent HTTP exchanges on one poller: health probes
+//! against N peers at once, and hedged request races.
+//!
+//! The gateway uses [`probe_many`] to sweep every shard's `/healthz` in a
+//! single poll set (previously N sequential blocking round trips) and
+//! [`race`] to run a hedged primary/runner-up pair without spawning a
+//! thread per attempt: the runner-up's connect is armed at the hedge
+//! deadline and the first usable answer wins.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+use crate::http::Response;
+
+use super::conn::{read_available, response_progress, ResponseProgress};
+use super::poller::{Interest, Poller};
+use super::sys::sys_connect_nonblocking_v4;
+
+/// One request/response exchange in flight on a nonblocking stream.
+struct Exchange {
+    stream: TcpStream,
+    wire: Vec<u8>,
+    written: usize,
+    buf: Vec<u8>,
+    started: Instant,
+    eof: bool,
+}
+
+impl Exchange {
+    /// Starts the connect and queues `wire` for transmission.
+    fn start(
+        addr: SocketAddr,
+        wire: Vec<u8>,
+        v6_connect_timeout: Duration,
+    ) -> io::Result<Exchange> {
+        let stream = match addr {
+            SocketAddr::V4(v4) => sys_connect_nonblocking_v4(&v4)?,
+            SocketAddr::V6(_) => {
+                // No raw nonblocking path for v6; a bounded blocking connect
+                // keeps the rare case correct.
+                let s = TcpStream::connect_timeout(&addr, v6_connect_timeout)?;
+                s.set_nonblocking(true)?;
+                s
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        Ok(Exchange {
+            stream,
+            wire,
+            written: 0,
+            buf: Vec::new(),
+            started: Instant::now(),
+            eof: false,
+        })
+    }
+
+    fn interest(&self) -> Interest {
+        if self.written < self.wire.len() {
+            Interest::BOTH
+        } else {
+            Interest::READ
+        }
+    }
+
+    /// Advances the exchange; `Some` when it finished (either way).
+    fn on_ready(
+        &mut self,
+        readable: bool,
+        writable: bool,
+        hangup: bool,
+    ) -> Option<io::Result<Response>> {
+        if writable || hangup {
+            while self.written < self.wire.len() {
+                match self.stream.write(&self.wire[self.written..]) {
+                    Ok(0) => return Some(Err(io::ErrorKind::WriteZero.into())),
+                    Ok(n) => self.written += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Some(Err(e)),
+                }
+            }
+        }
+        if readable || hangup {
+            match read_available(&mut self.stream, &mut self.buf) {
+                Ok((_, eof)) => self.eof |= eof,
+                Err(e) => return Some(Err(e)),
+            }
+            match response_progress(&self.buf) {
+                ResponseProgress::Complete { response, .. } => return Some(Ok(*response)),
+                ResponseProgress::Violation(e) => return Some(Err(e)),
+                ResponseProgress::Partial if self.eof => {
+                    return Some(Err(io::ErrorKind::UnexpectedEof.into()));
+                }
+                ResponseProgress::Partial => {}
+            }
+        }
+        None
+    }
+}
+
+/// Probes every address with one `GET /healthz` round trip, all driven
+/// concurrently by a single poller. `healthy[i]` is true iff address `i`
+/// answered a complete 200 within `timeout`.
+pub fn probe_many(addrs: &[SocketAddr], timeout: Duration) -> Vec<bool> {
+    let Ok(mut poller) = Poller::new() else {
+        return vec![false; addrs.len()];
+    };
+    let mut wire = Vec::new();
+    let _ = crate::http::write_request(&mut wire, "GET", "/healthz", b"");
+    let mut exchanges: Vec<Option<Exchange>> = Vec::with_capacity(addrs.len());
+    let mut healthy = vec![false; addrs.len()];
+    for (i, addr) in addrs.iter().enumerate() {
+        match Exchange::start(*addr, wire.clone(), timeout) {
+            Ok(ex) => {
+                if poller
+                    .register(ex.stream.as_raw_fd(), i, ex.interest())
+                    .is_ok()
+                {
+                    exchanges.push(Some(ex));
+                } else {
+                    exchanges.push(None);
+                }
+            }
+            Err(_) => exchanges.push(None),
+        }
+    }
+    let deadline = Instant::now() + timeout;
+    let mut open = exchanges.iter().filter(|e| e.is_some()).count();
+    let mut events = Vec::new();
+    while open > 0 {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        if poller.wait(&mut events, Some(deadline - now)).is_err() {
+            break;
+        }
+        for ev in &events {
+            let slot = ev.token;
+            let Some(ex) = exchanges.get_mut(slot).and_then(Option::as_mut) else {
+                continue;
+            };
+            let before = ex.interest();
+            if let Some(outcome) = ex.on_ready(ev.readable, ev.writable, ev.hangup) {
+                healthy[slot] = matches!(outcome, Ok(r) if r.status == 200);
+                poller.deregister(ex.stream.as_raw_fd());
+                exchanges[slot] = None;
+                open -= 1;
+                continue;
+            }
+            let after = ex.interest();
+            if after != before {
+                let fd = ex.stream.as_raw_fd();
+                let _ = poller.modify(fd, slot, after);
+            }
+        }
+    }
+    healthy
+}
+
+/// One leg of a hedged race.
+pub struct RaceAttempt {
+    /// Where to connect.
+    pub addr: SocketAddr,
+    /// The fully rendered request bytes to send.
+    pub wire: Vec<u8>,
+    /// Don't start this leg before `delay` has elapsed (the hedge
+    /// deadline for the runner-up; zero for the primary).
+    pub delay: Duration,
+}
+
+/// What happened to one race leg.
+pub enum RaceOutcome {
+    /// A complete response arrived `elapsed` after this leg started.
+    Response {
+        /// The parsed response.
+        response: Response,
+        /// Time from this leg's connect to its complete response.
+        elapsed: Duration,
+    },
+    /// Transport or protocol failure.
+    Failed,
+    /// The race ended before this leg's delay expired, or was decided
+    /// while the leg was still in flight (check [`RaceResult::launched`]
+    /// to tell the two apart).
+    NotStarted,
+}
+
+/// The result of [`race`].
+pub struct RaceResult {
+    /// Index of the first leg that produced a response whose status is not
+    /// in the disqualify list.
+    pub winner: Option<usize>,
+    /// Per-leg outcomes, index-aligned with the attempts.
+    pub outcomes: Vec<RaceOutcome>,
+    /// Which legs actually started their connect. A launched leg can still
+    /// end `NotStarted` when the race was decided while it was in flight —
+    /// abandoned, not failed.
+    pub launched: Vec<bool>,
+}
+
+/// Races request legs on one poller: each leg connects after its delay,
+/// and the first complete response with a status outside `disqualify`
+/// wins (remaining legs are abandoned — their connections just close).
+/// Disqualified responses are still reported in the outcomes so the
+/// caller can relay the least-bad answer when nobody wins.
+pub fn race(attempts: Vec<RaceAttempt>, disqualify: &[u16], timeout: Duration) -> RaceResult {
+    let mut outcomes: Vec<RaceOutcome> = attempts.iter().map(|_| RaceOutcome::NotStarted).collect();
+    let Ok(mut poller) = Poller::new() else {
+        return RaceResult {
+            winner: None,
+            outcomes,
+            launched: vec![false; attempts.len()],
+        };
+    };
+    let started = Instant::now();
+    let deadline = started + timeout;
+    let mut exchanges: Vec<Option<Exchange>> = attempts.iter().map(|_| None).collect();
+    let mut launched = vec![false; attempts.len()];
+    let mut pending = attempts.len();
+    let mut events = Vec::new();
+    loop {
+        let now = Instant::now();
+        // Launch every leg whose delay has expired.
+        for (i, attempt) in attempts.iter().enumerate() {
+            if launched[i] || now < started + attempt.delay {
+                continue;
+            }
+            launched[i] = true;
+            match Exchange::start(attempt.addr, attempt.wire.clone(), timeout) {
+                Ok(ex) => {
+                    if poller
+                        .register(ex.stream.as_raw_fd(), i, ex.interest())
+                        .is_ok()
+                    {
+                        exchanges[i] = Some(ex);
+                    } else {
+                        outcomes[i] = RaceOutcome::Failed;
+                        pending -= 1;
+                    }
+                }
+                Err(_) => {
+                    outcomes[i] = RaceOutcome::Failed;
+                    pending -= 1;
+                }
+            }
+        }
+        if pending == 0 || now >= deadline {
+            // Anything still in flight at the deadline failed.
+            for (i, ex) in exchanges.iter().enumerate() {
+                if ex.is_some() {
+                    outcomes[i] = RaceOutcome::Failed;
+                }
+            }
+            return RaceResult {
+                winner: None,
+                outcomes,
+                launched,
+            };
+        }
+        let mut wait = deadline - now;
+        for (i, attempt) in attempts.iter().enumerate() {
+            if !launched[i] {
+                let due = started + attempt.delay;
+                wait = wait.min(due.saturating_duration_since(now));
+            }
+        }
+        if poller.wait(&mut events, Some(wait)).is_err() {
+            return RaceResult {
+                winner: None,
+                outcomes,
+                launched,
+            };
+        }
+        for ev in &events {
+            let slot = ev.token;
+            let Some(ex) = exchanges.get_mut(slot).and_then(Option::as_mut) else {
+                continue;
+            };
+            let before = ex.interest();
+            if let Some(outcome) = ex.on_ready(ev.readable, ev.writable, ev.hangup) {
+                let elapsed = ex.started.elapsed();
+                poller.deregister(ex.stream.as_raw_fd());
+                exchanges[slot] = None;
+                pending -= 1;
+                match outcome {
+                    Ok(response) => {
+                        let usable = !disqualify.contains(&response.status);
+                        outcomes[slot] = RaceOutcome::Response { response, elapsed };
+                        if usable {
+                            return RaceResult {
+                                winner: Some(slot),
+                                outcomes,
+                                launched,
+                            };
+                        }
+                    }
+                    Err(_) => outcomes[slot] = RaceOutcome::Failed,
+                }
+                continue;
+            }
+            let after = ex.interest();
+            if after != before {
+                let fd = ex.stream.as_raw_fd();
+                let _ = poller.modify(fd, slot, after);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{read_request, write_request_with, write_response};
+    use std::io::BufReader;
+    use std::net::TcpListener;
+
+    /// A tiny threaded responder: answers every request with `status` after
+    /// `delay`, then closes.
+    fn responder(status: u16, delay: Duration) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    if let Ok(Some(_)) = read_request(&mut reader) {
+                        std::thread::sleep(delay);
+                        let mut w = stream;
+                        let _ = write_response(&mut w, status, "application/json", b"{}", false);
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn probe_many_separates_healthy_from_dead_and_unhealthy() {
+        let ok = responder(200, Duration::ZERO);
+        let sick = responder(503, Duration::ZERO);
+        // A bound-but-never-accepting port: refused or timed out.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = l.local_addr().expect("addr");
+            drop(l);
+            addr
+        };
+        let healthy = probe_many(&[ok, sick, dead], Duration::from_secs(2));
+        assert_eq!(healthy, vec![true, false, false]);
+    }
+
+    #[test]
+    fn race_prefers_the_fast_leg_and_reports_the_laggard_unstarted() {
+        let fast = responder(200, Duration::ZERO);
+        let slow = responder(200, Duration::from_secs(5));
+        let mut wire = Vec::new();
+        write_request_with(
+            &mut wire,
+            "POST",
+            "/analyze",
+            &[("X-LIS-Request-Id", "r1")],
+            b"{}",
+        )
+        .expect("render");
+        let result = race(
+            vec![
+                RaceAttempt {
+                    addr: fast,
+                    wire: wire.clone(),
+                    delay: Duration::ZERO,
+                },
+                RaceAttempt {
+                    addr: slow,
+                    wire,
+                    delay: Duration::from_secs(3),
+                },
+            ],
+            &[500, 502, 503, 504],
+            Duration::from_secs(4),
+        );
+        assert_eq!(result.winner, Some(0));
+        assert!(matches!(
+            result.outcomes[0],
+            RaceOutcome::Response { ref response, .. } if response.status == 200
+        ));
+        assert!(matches!(result.outcomes[1], RaceOutcome::NotStarted));
+        assert_eq!(result.launched, vec![true, false]);
+    }
+
+    #[test]
+    fn race_falls_to_the_hedge_when_the_primary_stalls_or_disqualifies() {
+        let stalled = responder(503, Duration::ZERO);
+        let healthy = responder(200, Duration::ZERO);
+        let mut wire = Vec::new();
+        write_request_with(&mut wire, "POST", "/analyze", &[], b"{}").expect("render");
+        let result = race(
+            vec![
+                RaceAttempt {
+                    addr: stalled,
+                    wire: wire.clone(),
+                    delay: Duration::ZERO,
+                },
+                RaceAttempt {
+                    addr: healthy,
+                    wire,
+                    delay: Duration::from_millis(50),
+                },
+            ],
+            &[500, 502, 503, 504],
+            Duration::from_secs(3),
+        );
+        assert_eq!(result.winner, Some(1));
+        assert_eq!(result.launched, vec![true, true]);
+        // The disqualified primary answer is still available for relay.
+        assert!(matches!(
+            result.outcomes[0],
+            RaceOutcome::Response { ref response, .. } if response.status == 503
+        ));
+    }
+}

@@ -19,29 +19,61 @@
 //! request and close, and the pool drains every queued job before
 //! [`Server::run`] returns.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use lis_core::parse_netlist;
 
 use crate::cache::{CachedResponse, ResultCache};
 use crate::error::ServerError;
-use crate::fault::{FaultPlan, WriteFault};
+use crate::fault::{FaultPlan, WriteFault, GARBAGE_BYTES};
 use crate::http::{
     finish_chunked, read_request, render_response_with, write_chunked_head, write_response,
     write_response_with, ChunkBatcher, DeadlineReader, Request, REQUEST_ID_HEADER,
 };
 use crate::jobs::{sweep_header_json, sweep_row_json, sweep_trailer_json, RequestKind};
 use crate::metrics::{Metrics, Route};
+use crate::net::{
+    residual_reader, Completion, Completions, ConnPermit, EventLoop, FrontConfig, Outcome,
+    Rendered, SlotKey,
+};
 use crate::pool::{SubmitError, WorkerPool};
 use crate::wire::{obj, Json};
 
 /// How long an idle keep-alive connection sleeps between shutdown-flag
 /// checks while waiting for the next request.
 const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Which connection front answers the listening socket.
+///
+/// Both fronts speak the same protocol byte-for-byte; they differ only in
+/// how many OS threads the connection count costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontTier {
+    /// One handler thread per connection. Simple, and fine up to a few
+    /// hundred concurrent peers.
+    Threaded,
+    /// A single readiness event loop ([`EventLoop`]) multiplexing every
+    /// connection, with requests dispatched onto the worker pool. Holds
+    /// tens of thousands of keep-alive peers on one thread.
+    #[default]
+    Epoll,
+}
+
+impl FrontTier {
+    /// Parses a CLI spelling (`"epoll"` / `"threaded"`).
+    pub fn parse(value: &str) -> Option<FrontTier> {
+        match value {
+            "epoll" => Some(FrontTier::Epoll),
+            "threaded" => Some(FrontTier::Threaded),
+            _ => None,
+        }
+    }
+}
 
 /// Tuning knobs for [`Server`].
 #[derive(Debug, Clone)]
@@ -78,6 +110,11 @@ pub struct ServerConfig {
     /// `None` in production; the end-to-end tests use it to exercise the
     /// overload-shed and timeout paths deterministically.
     pub job_delay_for_tests: Option<Duration>,
+    /// Which connection front serves the socket.
+    pub front: FrontTier,
+    /// Test instrumentation: cap every event-loop socket write at this many
+    /// bytes, forcing the partial-write/re-registration path.
+    pub net_write_chunk_for_tests: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +129,8 @@ impl Default for ServerConfig {
             max_concurrent_sweeps: 4,
             faults: None,
             job_delay_for_tests: None,
+            front: FrontTier::default(),
+            net_write_chunk_for_tests: None,
         }
     }
 }
@@ -157,8 +196,42 @@ impl Server {
     /// # Errors
     ///
     /// Returns fatal accept-loop errors; per-connection errors are handled
-    /// in the connection's own thread.
+    /// in the connection's own thread (threaded front) or swallowed per
+    /// connection by the event loop (epoll front).
     pub fn run(self) -> io::Result<()> {
+        match self.state.config.front {
+            FrontTier::Threaded => self.run_threaded(),
+            FrontTier::Epoll => self.run_event_loop(),
+        }
+    }
+
+    /// The readiness-event-loop front: one thread holds every connection.
+    fn run_event_loop(self) -> io::Result<()> {
+        // Best effort: lift the fd soft limit toward the hard limit so the
+        // loop's connection cap, not the process rlimit, is the ceiling.
+        let _ = crate::net::raise_nofile_limit();
+        let Server { listener, state } = self;
+        let config = FrontConfig {
+            max_connections: state.config.max_connections,
+            read_deadline: state.config.read_deadline,
+            slow_read: state.config.faults.as_ref().and_then(|p| p.slow_read()),
+            drain_grace: state.config.request_timeout + Duration::from_secs(5),
+            write_chunk_for_tests: state.config.net_write_chunk_for_tests,
+        };
+        let stats = Arc::clone(&state.metrics.net);
+        let handler = ServerHandler {
+            state: Arc::clone(&state),
+            pending: Arc::new(Mutex::new(HashMap::new())),
+            fast: Arc::new(Mutex::new(FastCache::new(state.config.cache_capacity))),
+        };
+        EventLoop::new(listener, handler, config, stats)?.run()?;
+        // Every queued job runs to completion before the pool stops.
+        state.pool.drain();
+        Ok(())
+    }
+
+    /// The classic thread-per-connection front.
+    fn run_threaded(self) -> io::Result<()> {
         let mut handler_threads = Vec::new();
         while !self.state.shutdown.load(Ordering::Acquire) {
             match self.listener.accept() {
@@ -189,9 +262,19 @@ impl Server {
                     }
                     let state = Arc::clone(&self.state);
                     state.active_connections.fetch_add(1, Ordering::AcqRel);
+                    state
+                        .metrics
+                        .net
+                        .connections_open
+                        .fetch_add(1, Ordering::Relaxed);
                     handler_threads.push(std::thread::spawn(move || {
                         let _ = handle_connection(stream, &state);
                         state.active_connections.fetch_sub(1, Ordering::AcqRel);
+                        state
+                            .metrics
+                            .net
+                            .connections_open
+                            .fetch_sub(1, Ordering::Relaxed);
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -226,66 +309,86 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(IDLE_POLL))?;
     let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+    let reader = BufReader::new(stream);
+    serve_loop(reader, &mut writer, state, None)
+}
+
+/// The blocking request loop shared by the threaded front and event-loop
+/// takeovers. `pending` is a request already parsed elsewhere (the event
+/// loop migrates `/sweep` connections here with the parsed request and any
+/// residual pipelined bytes baked into `reader`).
+fn serve_loop<R: BufRead>(
+    mut reader: R,
+    writer: &mut TcpStream,
+    state: &Arc<State>,
+    mut pending: Option<Request>,
+) -> io::Result<()> {
     let slow_read = state.config.faults.as_ref().and_then(|p| p.slow_read());
     loop {
-        // Idle wait: poll for the first byte so the shutdown flag is
-        // observed between requests without dropping partial reads.
-        match reader.fill_buf() {
-            Ok([]) => return Ok(()), // clean EOF
-            Ok(_) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if state.shutdown.load(Ordering::Acquire) {
-                    return Ok(());
+        let request = match pending.take() {
+            Some(request) => request,
+            None => {
+                // Idle wait: poll for the first byte so the shutdown flag is
+                // observed between requests without dropping partial reads.
+                loop {
+                    match reader.fill_buf() {
+                        Ok([]) => return Ok(()), // clean EOF
+                        Ok(_) => break,
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                            ) =>
+                        {
+                            if state.shutdown.load(Ordering::Acquire) {
+                                return Ok(());
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
-                continue;
+                if let Some(delay) = slow_read {
+                    // Fault injection: pretend the peer's bytes trickle in.
+                    std::thread::sleep(delay);
+                }
+                // The first byte arrived; the rest of the request must land
+                // within the read deadline. The socket keeps its short poll
+                // timeout — the DeadlineReader retries those polls until the
+                // wall-clock budget is spent, so a slow-loris peer cannot pin
+                // this handler.
+                let deadline = Instant::now() + state.config.read_deadline;
+                match read_request(&mut DeadlineReader::new(&mut reader, deadline)) {
+                    Ok(Some(request)) => request,
+                    Ok(None) => return Ok(()),
+                    Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                        // Protocol violation: answer 400 and hang up.
+                        let body = ServerError::BadRequest(e.to_string()).to_json().to_string();
+                        write_response(writer, 400, "application/json", body.as_bytes(), false)?;
+                        return Ok(());
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                        // Slow client: answer a typed 408 and hang up.
+                        let err = ServerError::SlowClient {
+                            deadline_ms: state.config.read_deadline.as_millis() as u64,
+                        };
+                        state.metrics.record_request(
+                            Route::Other,
+                            err.status(),
+                            state.config.read_deadline,
+                        );
+                        let body = err.to_json().to_string();
+                        write_response(
+                            writer,
+                            err.status(),
+                            "application/json",
+                            body.as_bytes(),
+                            false,
+                        )?;
+                        return Ok(());
+                    }
+                    Err(e) => return Err(e),
+                }
             }
-            Err(e) => return Err(e),
-        }
-        if let Some(delay) = slow_read {
-            // Fault injection: pretend the peer's bytes are trickling in.
-            std::thread::sleep(delay);
-        }
-        // The first byte arrived; the rest of the request must land within
-        // the read deadline. The socket keeps its short poll timeout — the
-        // DeadlineReader retries those polls until the wall-clock budget is
-        // spent, so a slow-loris peer cannot pin this handler.
-        let deadline = Instant::now() + state.config.read_deadline;
-        let request = match read_request(&mut DeadlineReader::new(&mut reader, deadline)) {
-            Ok(Some(request)) => request,
-            Ok(None) => return Ok(()),
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Protocol violation: answer 400 and hang up.
-                let body = ServerError::BadRequest(e.to_string()).to_json().to_string();
-                write_response(&mut writer, 400, "application/json", body.as_bytes(), false)?;
-                return Ok(());
-            }
-            Err(e) if e.kind() == io::ErrorKind::TimedOut => {
-                // Slow client: answer a typed 408 and hang up.
-                let err = ServerError::SlowClient {
-                    deadline_ms: state.config.read_deadline.as_millis() as u64,
-                };
-                state.metrics.record_request(
-                    Route::Other,
-                    err.status(),
-                    state.config.read_deadline,
-                );
-                let body = err.to_json().to_string();
-                write_response(
-                    &mut writer,
-                    err.status(),
-                    "application/json",
-                    body.as_bytes(),
-                    false,
-                )?;
-                return Ok(());
-            }
-            Err(e) => return Err(e),
         };
 
         let started = Instant::now();
@@ -299,7 +402,23 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
             sweep_request(
                 &request,
                 state,
-                &mut writer,
+                writer,
+                keep_alive,
+                request_id.as_deref(),
+                started,
+            )?;
+            if !keep_alive {
+                return Ok(());
+            }
+            continue;
+        }
+        if request.method == "POST" && request.path == "/batch" {
+            // Batches stream one NDJSON row per item as items finish.
+            let keep_alive = !request.wants_close() && !state.shutdown.load(Ordering::Acquire);
+            batch_request(
+                &request,
+                state,
+                writer,
                 keep_alive,
                 request_id.as_deref(),
                 started,
@@ -332,7 +451,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
         };
         match write_fault {
             WriteFault::None => write_response_with(
-                &mut writer,
+                &mut *writer,
                 status,
                 content_type,
                 &body,
@@ -347,7 +466,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
                 return Ok(());
             }
             WriteFault::Garbage => {
-                writer.write_all(b"\x16\x03\x01LIS GARBAGE\r\n\r\n")?;
+                writer.write_all(GARBAGE_BYTES)?;
                 writer.flush()?;
                 return Ok(());
             }
@@ -416,6 +535,17 @@ fn dispatch(request: &Request, state: &Arc<State>) -> (Route, u16, &'static str,
                     Json::num(state.metrics.sweep_rows.load(Ordering::Relaxed) as f64),
                 ),
                 (
+                    "connections_open",
+                    Json::num(
+                        state
+                            .metrics
+                            .net
+                            .connections_open
+                            .load(Ordering::Relaxed)
+                            .max(0) as f64,
+                    ),
+                ),
+                (
                     "uptime_ms",
                     Json::num(state.started.elapsed().as_millis() as f64),
                 ),
@@ -462,7 +592,7 @@ fn dispatch(request: &Request, state: &Arc<State>) -> (Route, u16, &'static str,
         (
             _,
             "/metrics" | "/healthz" | "/shutdown" | "/analyze" | "/qs" | "/insert" | "/dot"
-            | "/sweep",
+            | "/sweep" | "/batch",
         ) => {
             let e = ServerError::MethodNotAllowed;
             (
@@ -752,5 +882,683 @@ fn sweep_request(
     match write_err {
         None => Ok(()),
         Some(e) => Err(e),
+    }
+}
+
+/// Request-level validation for `POST /batch`: UTF-8 NDJSON with at least
+/// one non-blank line, refused outright while draining.
+fn batch_lines(state: &Arc<State>, body: &[u8]) -> Result<Vec<String>, ServerError> {
+    if state.shutdown.load(Ordering::Acquire) {
+        return Err(ServerError::ShuttingDown);
+    }
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServerError::BadRequest("body is not UTF-8".into()))?;
+    let lines: Vec<String> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect();
+    if lines.is_empty() {
+        return Err(ServerError::BadRequest(
+            "batch body must be NDJSON: one request envelope per line".into(),
+        ));
+    }
+    Ok(lines)
+}
+
+/// Serves one batch item. Returns the exact `(status, body)` the item's
+/// standalone route would answer, so batch rows are byte-identical to
+/// individual responses. Items share the result cache with the standalone
+/// routes, and crashes are isolated per item: a poisoned line answers the
+/// typed 500 row and the rest of the batch carries on.
+fn batch_row(state: &Arc<State>, line: &str) -> (u16, Vec<u8>) {
+    let result = (|| -> Result<(u16, Vec<u8>), ServerError> {
+        let envelope =
+            Json::parse(line).map_err(|e| ServerError::BadRequest(format!("batch line: {e}")))?;
+        let route = match envelope.get("route") {
+            None => "analyze",
+            Some(v) => v.as_str().ok_or_else(|| {
+                ServerError::BadRequest("batch \"route\" must be a string".into())
+            })?,
+        };
+        if !matches!(route, "analyze" | "qs" | "insert" | "dot") {
+            return Err(ServerError::BadRequest(format!(
+                "route {route:?} is not batchable"
+            )));
+        }
+        let (netlist, kind) = RequestKind::decode(route, &envelope)?;
+        let sys = parse_netlist(&netlist)?;
+        let key = kind.cache_key(&sys);
+        if let Some(cached) = state.cache.get(key, &state.metrics) {
+            return Ok((cached.status, cached.body.clone()));
+        }
+        if let Some(d) = state.config.job_delay_for_tests {
+            std::thread::sleep(d);
+        }
+        let executed = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(plan) = &state.config.faults {
+                plan.maybe_panic();
+            }
+            kind.execute(&sys)
+        }));
+        let result = match outcome {
+            Ok(result) => result,
+            // Crash rows are not cached — the fault is not a property of
+            // the (system, kind) pair.
+            Err(_) => return Err(ServerError::WorkerCrashed),
+        };
+        let (status, body) = match result {
+            Ok(json) => (200, json.to_string().into_bytes()),
+            Err(e) => (e.status(), e.to_json().to_string().into_bytes()),
+        };
+        if let Some(label) = kind.engine_label() {
+            state.metrics.record_engine(label, executed.elapsed());
+        }
+        state.cache.insert(
+            key,
+            Arc::new(CachedResponse {
+                status,
+                body: body.clone(),
+            }),
+        );
+        Ok((status, body))
+    })();
+    match result {
+        Ok(row) => row,
+        Err(e) => (e.status(), e.to_json().to_string().into_bytes()),
+    }
+}
+
+/// Serves `POST /batch` on the threaded front: NDJSON request envelopes
+/// in, one chunked NDJSON row per item out.
+fn batch_request(
+    request: &Request,
+    state: &Arc<State>,
+    writer: &mut impl Write,
+    keep_alive: bool,
+    request_id: Option<&str>,
+    started: Instant,
+) -> io::Result<()> {
+    let extra_headers: Vec<(&str, &str)> = request_id
+        .iter()
+        .map(|id| ("X-LIS-Request-Id", *id))
+        .collect();
+    let lines = match batch_lines(state, &request.body) {
+        Ok(lines) => lines,
+        Err(e) => {
+            state
+                .metrics
+                .record_request(Route::Batch, e.status(), started.elapsed());
+            return write_response_with(
+                writer,
+                e.status(),
+                "application/json",
+                e.to_json().to_string().as_bytes(),
+                keep_alive,
+                &extra_headers,
+            );
+        }
+    };
+    write_chunked_head(
+        writer,
+        200,
+        "application/x-ndjson",
+        keep_alive,
+        &extra_headers,
+    )?;
+    // Rows coalesce into ~8 KiB chunk frames, like sweep streaming.
+    let mut chunks = ChunkBatcher::new(8192);
+    for line in &lines {
+        let (_status, mut row) = batch_row(state, line);
+        row.push(b'\n');
+        chunks.push(&mut *writer, &row)?;
+    }
+    chunks.flush(&mut *writer)?;
+    finish_chunked(&mut *writer)?;
+    state
+        .metrics
+        .record_request(Route::Batch, 200, started.elapsed());
+    Ok(())
+}
+
+/// FNV-1a over path + body, the fast-cache bucket key.
+fn fnv(path: &str, body: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in path.as_bytes().iter().chain(body) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+struct FastEntry {
+    path: String,
+    body: Vec<u8>,
+    route: Route,
+    response: Arc<CachedResponse>,
+}
+
+/// Loop-side fast path: exact request bytes → finished response, bounded
+/// FIFO. A hit skips UTF-8/JSON/netlist decoding entirely, which is what
+/// lets the event loop answer hot repeat queries at connection scale. Only
+/// canonical-cache-backed responses are stored, so a fast hit counts in
+/// the metrics exactly like the canonical cache hit it shadows — and two
+/// textually different requests with the same canonical identity simply
+/// fall through to the canonical cache, never diverge.
+struct FastCache {
+    buckets: HashMap<u64, Vec<FastEntry>>,
+    order: VecDeque<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl FastCache {
+    fn new(capacity: usize) -> FastCache {
+        FastCache {
+            buckets: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            len: 0,
+        }
+    }
+
+    fn get(&self, path: &str, body: &[u8]) -> Option<(Route, Arc<CachedResponse>)> {
+        let entries = self.buckets.get(&fnv(path, body))?;
+        entries
+            .iter()
+            .find(|e| e.path == path && e.body == body)
+            .map(|e| (e.route, Arc::clone(&e.response)))
+    }
+
+    fn insert(&mut self, path: &str, body: &[u8], route: Route, response: Arc<CachedResponse>) {
+        if self.capacity == 0 || self.get(path, body).is_some() {
+            return;
+        }
+        let hash = fnv(path, body);
+        self.buckets.entry(hash).or_default().push(FastEntry {
+            path: path.to_string(),
+            body: body.to_vec(),
+            route,
+            response,
+        });
+        self.order.push_back(hash);
+        self.len += 1;
+        while self.len > self.capacity {
+            let Some(old) = self.order.pop_front() else {
+                break;
+            };
+            if let Some(bucket) = self.buckets.get_mut(&old) {
+                if !bucket.is_empty() {
+                    bucket.remove(0);
+                }
+                if bucket.is_empty() {
+                    self.buckets.remove(&old);
+                }
+            }
+            self.len -= 1;
+        }
+    }
+}
+
+/// Bookkeeping for one in-flight event-loop analysis job. Whoever removes
+/// the entry — the worker on completion or the loop's 504 timer — records
+/// the request, so each request is recorded exactly once.
+struct PendingJob {
+    route: Route,
+    started: Instant,
+    request_id: Option<String>,
+}
+
+/// `X-LIS-Request-Id` echo headers for a response.
+fn id_headers(request_id: &Option<String>) -> Vec<(String, String)> {
+    request_id
+        .iter()
+        .map(|id| ("X-LIS-Request-Id".to_string(), id.clone()))
+        .collect()
+}
+
+/// The event-loop face of the daemon: routing and worker handoff for the
+/// epoll front. It shares [`State`] (cache, pool, metrics, flags) with the
+/// threaded front, so the two tiers answer byte-identically.
+struct ServerHandler {
+    state: Arc<State>,
+    pending: Arc<Mutex<HashMap<SlotKey, PendingJob>>>,
+    fast: Arc<Mutex<FastCache>>,
+}
+
+impl ServerHandler {
+    /// Records and renders one typed-error response.
+    fn respond_error(
+        &self,
+        route: Route,
+        e: &ServerError,
+        started: Instant,
+        request_id: &Option<String>,
+        fault_eligible: bool,
+    ) -> Outcome {
+        self.state
+            .metrics
+            .record_request(route, e.status(), started.elapsed());
+        Outcome::Respond(Rendered {
+            status: e.status(),
+            content_type: "application/json".to_string(),
+            body: e.to_json().to_string().into_bytes(),
+            extra_headers: id_headers(request_id),
+            fault_eligible,
+            force_close: false,
+        })
+    }
+
+    /// One analysis request on the loop: fast-path probe → decode →
+    /// canonical cache probe → worker-pool job with a loop-side deadline.
+    fn analysis(
+        &self,
+        route: Route,
+        request: &Request,
+        key: SlotKey,
+        completions: &Completions,
+        started: Instant,
+        request_id: Option<String>,
+    ) -> Outcome {
+        let state = &self.state;
+        if state.shutdown.load(Ordering::Acquire) {
+            return self.respond_error(
+                route,
+                &ServerError::ShuttingDown,
+                started,
+                &request_id,
+                true,
+            );
+        }
+        // Fast path: these exact request bytes were answered before.
+        if state.config.cache_capacity > 0 {
+            let hit = self.fast.lock().unwrap().get(&request.path, &request.body);
+            if let Some((_route, cached)) = hit {
+                state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                state
+                    .metrics
+                    .record_request(route, cached.status, started.elapsed());
+                return Outcome::Respond(Rendered {
+                    status: cached.status,
+                    content_type: "application/json".to_string(),
+                    body: cached.body.clone(),
+                    extra_headers: id_headers(&request_id),
+                    fault_eligible: true,
+                    force_close: false,
+                });
+            }
+        }
+        let decoded = (|| -> Result<_, ServerError> {
+            let text = std::str::from_utf8(&request.body)
+                .map_err(|_| ServerError::BadRequest("body is not UTF-8".into()))?;
+            let envelope =
+                Json::parse(text).map_err(|e| ServerError::BadRequest(format!("body: {e}")))?;
+            let (netlist, kind) = RequestKind::decode(&request.path[1..], &envelope)?;
+            let sys = parse_netlist(&netlist)?;
+            Ok((sys, kind))
+        })();
+        let (sys, kind) = match decoded {
+            Ok(d) => d,
+            Err(e) => return self.respond_error(route, &e, started, &request_id, true),
+        };
+        let cache_key = kind.cache_key(&sys);
+        if let Some(cached) = state.cache.get(cache_key, &state.metrics) {
+            state
+                .metrics
+                .record_request(route, cached.status, started.elapsed());
+            if state.config.cache_capacity > 0 {
+                self.fast.lock().unwrap().insert(
+                    &request.path,
+                    &request.body,
+                    route,
+                    Arc::clone(&cached),
+                );
+            }
+            return Outcome::Respond(Rendered {
+                status: cached.status,
+                content_type: "application/json".to_string(),
+                body: cached.body.clone(),
+                extra_headers: id_headers(&request_id),
+                fault_eligible: true,
+                force_close: false,
+            });
+        }
+        // Cache miss: queue the job; the worker answers through the
+        // completion channel and the loop re-sequences pipelined replies.
+        self.pending.lock().unwrap().insert(
+            key,
+            PendingJob {
+                route,
+                started,
+                request_id: request_id.clone(),
+            },
+        );
+        let job_state = Arc::clone(state);
+        let pending = Arc::clone(&self.pending);
+        let fast = Arc::clone(&self.fast);
+        let completions = completions.clone();
+        let raw_path = request.path.clone();
+        let raw_body = request.body.clone();
+        let job = move || {
+            if let Some(d) = job_state.config.job_delay_for_tests {
+                std::thread::sleep(d);
+            }
+            let executed = Instant::now();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(plan) = &job_state.config.faults {
+                    plan.maybe_panic();
+                }
+                kind.execute(&sys)
+            }));
+            let answer = |status: u16, body: Vec<u8>| {
+                // Whoever removes the pending entry records the request; if
+                // the loop's 504 timer won the race this answer is dropped
+                // and must not double-count.
+                let entry = pending.lock().unwrap().remove(&key);
+                if let Some(entry) = entry {
+                    job_state
+                        .metrics
+                        .record_request(entry.route, status, entry.started.elapsed());
+                    completions.send(
+                        key,
+                        Completion::Full(Rendered {
+                            status,
+                            content_type: "application/json".to_string(),
+                            body,
+                            extra_headers: id_headers(&entry.request_id),
+                            fault_eligible: true,
+                            force_close: false,
+                        }),
+                    );
+                }
+            };
+            let result = match outcome {
+                Ok(result) => result,
+                Err(payload) => {
+                    // Answer the typed 500 *before* re-raising so the pool
+                    // can count the panic and respawn the worker.
+                    let e = ServerError::WorkerCrashed;
+                    answer(e.status(), e.to_json().to_string().into_bytes());
+                    std::panic::resume_unwind(payload);
+                }
+            };
+            let (status, body) = match result {
+                Ok(json) => (200, json.to_string().into_bytes()),
+                Err(e) => (e.status(), e.to_json().to_string().into_bytes()),
+            };
+            if let Some(label) = kind.engine_label() {
+                job_state.metrics.record_engine(label, executed.elapsed());
+            }
+            let response = Arc::new(CachedResponse {
+                status,
+                body: body.clone(),
+            });
+            job_state.cache.insert(cache_key, Arc::clone(&response));
+            if job_state.config.cache_capacity > 0 {
+                fast.lock()
+                    .unwrap()
+                    .insert(&raw_path, &raw_body, route, response);
+            }
+            answer(status, body);
+        };
+        match state.pool.submit(job) {
+            Ok(()) => Outcome::Pending {
+                timeout: Some(state.config.request_timeout),
+            },
+            Err(SubmitError::Overloaded) => {
+                self.pending.lock().unwrap().remove(&key);
+                state.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+                let e = ServerError::Overloaded {
+                    queue_capacity: state.pool.capacity(),
+                };
+                self.respond_error(route, &e, started, &request_id, true)
+            }
+            Err(SubmitError::ShuttingDown) => {
+                self.pending.lock().unwrap().remove(&key);
+                self.respond_error(
+                    route,
+                    &ServerError::ShuttingDown,
+                    started,
+                    &request_id,
+                    true,
+                )
+            }
+        }
+    }
+
+    /// `POST /batch` on the loop: one pool job streams every row back.
+    fn batch(
+        &self,
+        request: &Request,
+        key: SlotKey,
+        completions: &Completions,
+        started: Instant,
+        request_id: Option<String>,
+    ) -> Outcome {
+        let state = Arc::clone(&self.state);
+        let completions = completions.clone();
+        let body = request.body.clone();
+        let rid = request_id.clone();
+        let job = move || {
+            match batch_lines(&state, &body) {
+                Err(e) => {
+                    state
+                        .metrics
+                        .record_request(Route::Batch, e.status(), started.elapsed());
+                    completions.send(
+                        key,
+                        Completion::Full(Rendered {
+                            status: e.status(),
+                            content_type: "application/json".to_string(),
+                            body: e.to_json().to_string().into_bytes(),
+                            extra_headers: id_headers(&rid),
+                            fault_eligible: false,
+                            force_close: false,
+                        }),
+                    );
+                }
+                Ok(lines) => {
+                    completions.send(
+                        key,
+                        Completion::StreamHead {
+                            status: 200,
+                            content_type: "application/x-ndjson".to_string(),
+                            extra_headers: id_headers(&rid),
+                        },
+                    );
+                    // Rows coalesce into ~8 KiB frames, like sweep chunks.
+                    let mut buffer: Vec<u8> = Vec::new();
+                    for line in &lines {
+                        let (_status, mut row) = batch_row(&state, line);
+                        row.push(b'\n');
+                        buffer.extend_from_slice(&row);
+                        if buffer.len() >= 8192 {
+                            completions
+                                .send(key, Completion::StreamChunk(std::mem::take(&mut buffer)));
+                        }
+                    }
+                    if !buffer.is_empty() {
+                        completions.send(key, Completion::StreamChunk(buffer));
+                    }
+                    state
+                        .metrics
+                        .record_request(Route::Batch, 200, started.elapsed());
+                    completions.send(key, Completion::StreamEnd);
+                }
+            }
+        };
+        match self.state.pool.submit(job) {
+            Ok(()) => Outcome::Pending { timeout: None },
+            Err(SubmitError::Overloaded) => {
+                self.state
+                    .metrics
+                    .shed_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let e = ServerError::Overloaded {
+                    queue_capacity: self.state.pool.capacity(),
+                };
+                self.respond_error(Route::Batch, &e, started, &request_id, false)
+            }
+            Err(SubmitError::ShuttingDown) => self.respond_error(
+                Route::Batch,
+                &ServerError::ShuttingDown,
+                started,
+                &request_id,
+                false,
+            ),
+        }
+    }
+}
+
+impl crate::net::Handler for ServerHandler {
+    fn dispatch(&self, request: Request, key: SlotKey, completions: &Completions) -> Outcome {
+        let started = Instant::now();
+        let request_id = request.header(REQUEST_ID_HEADER).map(str::to_string);
+        let method = request.method.clone();
+        let path = request.path.clone();
+        match (method.as_str(), path.as_str()) {
+            // Sweeps stream from a blocking handler; migrate the whole
+            // connection onto its own thread.
+            ("POST", "/sweep") => Outcome::TakeOver(Box::new(request)),
+            ("POST", "/batch") => self.batch(&request, key, completions, started, request_id),
+            ("POST", "/analyze" | "/qs" | "/insert" | "/dot") => {
+                let route = match path.as_str() {
+                    "/analyze" => Route::Analyze,
+                    "/qs" => Route::Qs,
+                    "/insert" => Route::Insert,
+                    _ => Route::Dot,
+                };
+                self.analysis(route, &request, key, completions, started, request_id)
+            }
+            _ => {
+                // Control plane and error routes answer inline.
+                let (route, status, content_type, body) = dispatch(&request, &self.state);
+                self.state
+                    .metrics
+                    .record_request(route, status, started.elapsed());
+                Outcome::Respond(Rendered {
+                    status,
+                    content_type: content_type.to_string(),
+                    body,
+                    extra_headers: id_headers(&request_id),
+                    fault_eligible: false,
+                    force_close: false,
+                })
+            }
+        }
+    }
+
+    fn bad_request(&self, error: &io::Error) -> Rendered {
+        // Parity with the threaded front: protocol-violation 400s close
+        // the connection and are deliberately not recorded.
+        let e = ServerError::BadRequest(error.to_string());
+        Rendered {
+            status: 400,
+            content_type: "application/json".to_string(),
+            body: e.to_json().to_string().into_bytes(),
+            extra_headers: Vec::new(),
+            fault_eligible: false,
+            force_close: true,
+        }
+    }
+
+    fn slow_client(&self) -> Rendered {
+        let e = ServerError::SlowClient {
+            deadline_ms: self.state.config.read_deadline.as_millis() as u64,
+        };
+        self.state.metrics.record_request(
+            Route::Other,
+            e.status(),
+            self.state.config.read_deadline,
+        );
+        Rendered {
+            status: e.status(),
+            content_type: "application/json".to_string(),
+            body: e.to_json().to_string().into_bytes(),
+            extra_headers: Vec::new(),
+            fault_eligible: false,
+            force_close: true,
+        }
+    }
+
+    fn reject_connection(&self) -> Rendered {
+        self.state
+            .metrics
+            .connections_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        let e = ServerError::TooManyConnections {
+            limit: self.state.config.max_connections,
+        };
+        self.state
+            .metrics
+            .record_request(Route::Other, e.status(), Duration::ZERO);
+        Rendered {
+            status: e.status(),
+            content_type: "application/json".to_string(),
+            body: e.to_json().to_string().into_bytes(),
+            extra_headers: Vec::new(),
+            fault_eligible: false,
+            force_close: true,
+        }
+    }
+
+    fn job_timeout(&self, key: SlotKey) -> Rendered {
+        let entry = self.pending.lock().unwrap().remove(&key);
+        let e = ServerError::Timeout {
+            timeout_ms: self.state.config.request_timeout.as_millis() as u64,
+        };
+        let mut extra_headers = Vec::new();
+        if let Some(entry) = entry {
+            self.state
+                .metrics
+                .timeouts_total
+                .fetch_add(1, Ordering::Relaxed);
+            self.state
+                .metrics
+                .record_request(entry.route, e.status(), entry.started.elapsed());
+            extra_headers = id_headers(&entry.request_id);
+        }
+        Rendered {
+            status: e.status(),
+            content_type: "application/json".to_string(),
+            body: e.to_json().to_string().into_bytes(),
+            extra_headers,
+            fault_eligible: true,
+            force_close: false,
+        }
+    }
+
+    fn write_fault(&self) -> WriteFault {
+        match &self.state.config.faults {
+            Some(plan) => plan.write_fault(),
+            None => WriteFault::None,
+        }
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.state.shutdown.load(Ordering::Acquire)
+    }
+
+    fn take_over(
+        &self,
+        stream: TcpStream,
+        request: Request,
+        residual: Vec<u8>,
+        permit: ConnPermit,
+    ) {
+        let state = Arc::clone(&self.state);
+        std::thread::spawn(move || {
+            let _permit = permit;
+            let _ = (|| -> io::Result<()> {
+                // Back to blocking I/O with the threaded front's idle poll.
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(Some(IDLE_POLL))?;
+                let mut writer = stream.try_clone()?;
+                let reader = residual_reader(residual, stream);
+                serve_loop(reader, &mut writer, &state, Some(request))
+            })();
+        });
     }
 }

@@ -1,0 +1,337 @@
+//! End-to-end tests for the epoll front tier: keep-alive pipelining
+//! order across hits/misses/errors, partial-write re-registration,
+//! `/batch` byte-identity against standalone requests, and byte parity
+//! between the epoll and threaded fronts on both the happy path and the
+//! 408/429 defense paths.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use lis_server::http::{read_response, write_request};
+use lis_server::wire::{obj, Json};
+use lis_server::{parse_metric, Client, FrontTier, Server, ServerConfig};
+
+const FIG1: &str = "block A\nblock B\nchannel A -> B rs=1\nchannel A -> B\n";
+
+fn start(config: ServerConfig) -> (std::net::SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn stop(addr: std::net::SocketAddr, daemon: JoinHandle<std::io::Result<()>>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    assert_eq!(client.shutdown().expect("shutdown request"), 200);
+    daemon.join().expect("daemon thread").expect("clean exit");
+}
+
+fn envelope(netlist: &str) -> String {
+    obj([("netlist", Json::str(netlist))]).to_string()
+}
+
+/// A Fig. 1 variant with a distinct relay-station count, so its cache key
+/// differs from every other netlist used in this file.
+fn variant(rs: u32) -> String {
+    format!("block A\nblock B\nchannel A -> B rs={rs}\nchannel A -> B\n")
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_across_hits_misses_and_errors() {
+    let (addr, daemon) = start(ServerConfig::default());
+
+    // Warm /analyze and /qs for FIG1 and collect the expected bodies.
+    let mut warm = Client::connect(addr).expect("connect");
+    let hit_analyze = warm
+        .request("POST", "/analyze", envelope(FIG1).as_bytes())
+        .expect("warm analyze");
+    let hit_qs = warm
+        .request("POST", "/qs", envelope(FIG1).as_bytes())
+        .expect("warm qs");
+    let not_found = warm.request("GET", "/nope", b"").expect("404 probe");
+    assert_eq!(hit_analyze.status, 200);
+    assert_eq!(hit_qs.status, 200);
+    assert_eq!(not_found.status, 404);
+
+    // Four pipelined requests on one raw connection, written in a single
+    // burst: cache hit, cold miss, routing error, cache hit.
+    let cold = variant(3);
+    let mut wire = Vec::new();
+    write_request(&mut wire, "POST", "/analyze", envelope(FIG1).as_bytes()).unwrap();
+    write_request(&mut wire, "POST", "/analyze", envelope(&cold).as_bytes()).unwrap();
+    write_request(&mut wire, "GET", "/nope", b"").unwrap();
+    write_request(&mut wire, "POST", "/qs", envelope(FIG1).as_bytes()).unwrap();
+
+    let mut stream = TcpStream::connect(addr).expect("raw connect");
+    stream.write_all(&wire).expect("write pipeline burst");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let responses: Vec<_> = (0..4)
+        .map(|i| read_response(&mut reader).unwrap_or_else(|e| panic!("response {i}: {e}")))
+        .collect();
+    drop(reader);
+    drop(stream);
+
+    assert_eq!(
+        responses.iter().map(|r| r.status).collect::<Vec<_>>(),
+        vec![200, 200, 404, 200],
+        "pipelined responses must arrive in request order"
+    );
+    assert_eq!(responses[0].body, hit_analyze.body);
+    assert_eq!(responses[2].body, not_found.body);
+    assert_eq!(responses[3].body, hit_qs.body);
+    // The in-pipeline miss is now cached: a standalone repeat must be
+    // byte-identical to what the pipeline answered.
+    let repeat = warm
+        .request("POST", "/analyze", envelope(&cold).as_bytes())
+        .expect("repeat of the pipelined miss");
+    assert_eq!(repeat.body, responses[1].body);
+
+    // The loop observed the burst: depth histogram and wakeup counter moved.
+    let exposition = warm.metrics().expect("metrics");
+    assert!(parse_metric(&exposition, "lis_net_readiness_wakeups_total").unwrap_or(0.0) >= 1.0);
+    assert!(parse_metric(&exposition, "lis_net_pipeline_depth_count").unwrap_or(0.0) >= 1.0);
+
+    stop(addr, daemon);
+}
+
+#[test]
+fn short_writes_reregister_and_deliver_byte_identical_responses() {
+    // Every response leaves the loop in 7-byte slices, forcing dozens of
+    // partial writes and write-interest re-registrations per response.
+    let (addr, daemon) = start(ServerConfig {
+        net_write_chunk_for_tests: Some(7),
+        ..ServerConfig::default()
+    });
+    let (plain_addr, plain_daemon) = start(ServerConfig::default());
+
+    let mut chunked = Client::connect(addr).expect("connect chunked");
+    let mut plain = Client::connect(plain_addr).expect("connect plain");
+    for (route, body) in [
+        ("/analyze", envelope(FIG1)),
+        ("/qs", envelope(FIG1)),
+        ("/dot", envelope(FIG1)),
+    ] {
+        let a = chunked
+            .request("POST", route, body.as_bytes())
+            .expect("chunked-front request");
+        let b = plain
+            .request("POST", route, body.as_bytes())
+            .expect("plain-front request");
+        assert_eq!(a.status, 200, "{route}");
+        assert_eq!(a.status, b.status, "{route}");
+        assert_eq!(a.body, b.body, "{route}: short writes must not corrupt");
+    }
+
+    stop(addr, daemon);
+    stop(plain_addr, plain_daemon);
+}
+
+#[test]
+fn batch_rows_are_byte_identical_to_standalone_responses() {
+    let (addr, daemon) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let analyze = client
+        .request("POST", "/analyze", envelope(FIG1).as_bytes())
+        .expect("standalone analyze");
+    let qs = client
+        .request("POST", "/qs", envelope(FIG1).as_bytes())
+        .expect("standalone qs");
+    let dot = client
+        .request("POST", "/dot", envelope(FIG1).as_bytes())
+        .expect("standalone dot");
+    let hits_before =
+        parse_metric(&client.metrics().expect("metrics"), "lis_cache_hits_total").unwrap_or(0.0);
+
+    let qs_line = {
+        let mut line = envelope(FIG1);
+        line.insert_str(1, "\"route\": \"qs\", ");
+        line
+    };
+    let dot_line = {
+        let mut line = envelope(FIG1);
+        line.insert_str(1, "\"route\": \"dot\", ");
+        line
+    };
+    let ndjson = format!(
+        "{}\n{}\n{}\nnot json at all\n{{\"route\": \"shutdown\"}}\n",
+        envelope(FIG1),
+        qs_line,
+        dot_line,
+    );
+    let batch = client
+        .request("POST", "/batch", ndjson.as_bytes())
+        .expect("batch");
+    assert_eq!(batch.status, 200);
+    let text = String::from_utf8(batch.body.clone()).expect("utf-8 NDJSON");
+    let rows: Vec<&str> = text.lines().collect();
+    assert_eq!(rows.len(), 5, "one response row per request line");
+    assert_eq!(rows[0].as_bytes(), &analyze.body[..]);
+    assert_eq!(rows[1].as_bytes(), &qs.body[..]);
+    assert_eq!(rows[2].as_bytes(), &dot.body[..]);
+    assert!(
+        rows[3].contains("error"),
+        "malformed line answers an error row"
+    );
+    assert!(
+        rows[4].contains("not batchable"),
+        "control-plane routes are refused per row"
+    );
+
+    // The analysis rows were served from the cache (they repeat the
+    // standalone requests), and a repeat of the whole batch is both
+    // byte-identical and fully cached.
+    let repeat = client
+        .request("POST", "/batch", ndjson.as_bytes())
+        .expect("batch repeat");
+    assert_eq!(repeat.body, batch.body);
+    let hits_after =
+        parse_metric(&client.metrics().expect("metrics"), "lis_cache_hits_total").unwrap_or(0.0);
+    assert!(
+        hits_after >= hits_before + 6.0,
+        "batch analysis rows must hit the cache ({hits_before} -> {hits_after})"
+    );
+
+    stop(addr, daemon);
+}
+
+/// Runs one request sequence against a server and returns the raw
+/// `(status, body)` answers, so both fronts can be compared byte-for-byte.
+fn collect_answers(addr: std::net::SocketAddr) -> Vec<(u16, Vec<u8>)> {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut out = Vec::new();
+    for (method, route, body) in [
+        ("POST", "/analyze", envelope(FIG1)),
+        ("POST", "/analyze", envelope(&variant(2))),
+        ("POST", "/qs", envelope(FIG1)),
+        ("POST", "/dot", envelope(FIG1)),
+        (
+            "POST",
+            "/analyze",
+            "{\"netlist\": \"not a netlist\"}".to_string(),
+        ),
+        ("GET", "/nope", String::new()),
+        ("PUT", "/analyze", String::new()),
+    ] {
+        let r = client
+            .request(method, route, body.as_bytes())
+            .unwrap_or_else(|e| panic!("{method} {route}: {e}"));
+        out.push((r.status, r.body));
+    }
+    out
+}
+
+#[test]
+fn epoll_and_threaded_fronts_answer_byte_identically() {
+    let (epoll_addr, epoll_daemon) = start(ServerConfig {
+        front: FrontTier::Epoll,
+        ..ServerConfig::default()
+    });
+    let (threaded_addr, threaded_daemon) = start(ServerConfig {
+        front: FrontTier::Threaded,
+        ..ServerConfig::default()
+    });
+
+    let epoll = collect_answers(epoll_addr);
+    let threaded = collect_answers(threaded_addr);
+    assert_eq!(epoll.len(), threaded.len());
+    for (i, (e, t)) in epoll.iter().zip(&threaded).enumerate() {
+        assert_eq!(e.0, t.0, "request {i}: status must match across fronts");
+        assert_eq!(e.1, t.1, "request {i}: body must match across fronts");
+    }
+
+    stop(epoll_addr, epoll_daemon);
+    stop(threaded_addr, threaded_daemon);
+}
+
+/// Reads everything until the peer closes, for comparing defense responses
+/// that force-close the connection.
+fn read_to_close(stream: &mut TcpStream) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let _ = stream.read_to_end(&mut bytes);
+    bytes
+}
+
+fn slow_client_answer(front: FrontTier) -> Vec<u8> {
+    let (addr, daemon) = start(ServerConfig {
+        front,
+        read_deadline: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // A request head that never completes: the deadline must answer 408.
+    stream
+        .write_all(b"POST /analyze HTTP/1.1\r\ncontent-length: 5\r\n")
+        .expect("partial head");
+    let bytes = read_to_close(&mut stream);
+    stop(addr, daemon);
+    bytes
+}
+
+fn rejected_connection_answer(front: FrontTier) -> Vec<u8> {
+    let (addr, daemon) = start(ServerConfig {
+        front,
+        max_connections: 1,
+        ..ServerConfig::default()
+    });
+    // Occupy the only slot with a completed request so the connection is
+    // definitely counted before the second one arrives.
+    let mut holder = Client::connect(addr).expect("first connection");
+    let r = holder
+        .request("POST", "/analyze", envelope(FIG1).as_bytes())
+        .expect("holder request");
+    assert_eq!(r.status, 200);
+    let mut rejected = TcpStream::connect(addr).expect("second connection");
+    let bytes = read_to_close(&mut rejected);
+    drop(holder);
+    // The freed slot is reclaimed asynchronously; retry the shutdown until
+    // the admin connection is admitted.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut admin = Client::connect(addr).expect("connect for shutdown");
+        match admin.shutdown() {
+            Ok(200) => break,
+            answer if std::time::Instant::now() < deadline => {
+                drop(admin);
+                std::thread::sleep(Duration::from_millis(20));
+                let _ = answer;
+            }
+            answer => panic!("shutdown kept being rejected: {answer:?}"),
+        }
+    }
+    daemon.join().expect("daemon thread").expect("clean exit");
+    bytes
+}
+
+#[test]
+fn defense_responses_are_byte_identical_across_fronts() {
+    let epoll_408 = slow_client_answer(FrontTier::Epoll);
+    let threaded_408 = slow_client_answer(FrontTier::Threaded);
+    assert!(
+        !epoll_408.is_empty(),
+        "epoll 408 must be written before close"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&epoll_408),
+        String::from_utf8_lossy(&threaded_408),
+        "408 wire bytes must match across fronts"
+    );
+    assert!(epoll_408.starts_with(b"HTTP/1.1 408 "));
+
+    let epoll_429 = rejected_connection_answer(FrontTier::Epoll);
+    let threaded_429 = rejected_connection_answer(FrontTier::Threaded);
+    assert!(
+        !epoll_429.is_empty(),
+        "epoll 429 must be written before close"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&epoll_429),
+        String::from_utf8_lossy(&threaded_429),
+        "429 wire bytes must match across fronts"
+    );
+    assert!(epoll_429.starts_with(b"HTTP/1.1 429 "));
+}
