@@ -23,12 +23,19 @@
 //! Threshold flags (`--max-lost`, `--require-respawns`) turn the binary
 //! into a CI gate; `--quick` shrinks the workload and skips the results
 //! file.
+//!
+//! A fourth, opt-in mode (`--store-scenario`, recorded in
+//! `results/store_chaos.txt`) SIGKILLs a `lis serve --store` shard
+//! *process* and respawns it on the same store directory, gating on the
+//! warm-restart hit rate (`--min-warm-hit-rate`, `--max-cold-misses`)
+//! and byte identity of the replayed hot set.
 
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use lis_core::to_netlist;
+use lis_gateway::ChildSpec;
 use lis_gen::{generate, GeneratorConfig, InsertionPolicy};
 use lis_server::wire::{obj, Json};
 use lis_server::{
@@ -38,6 +45,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/chaos.txt");
+const STORE_OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/store_chaos.txt");
 
 fn netlist(seed: u64) -> String {
     let cfg = GeneratorConfig {
@@ -56,7 +64,9 @@ fn netlist(seed: u64) -> String {
 fn start(config: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("addr");
-    let daemon = std::thread::spawn(move || server.run().expect("daemon run"));
+    let daemon = std::thread::spawn(move || {
+        server.run().expect("daemon run");
+    });
     (addr, daemon)
 }
 
@@ -96,10 +106,176 @@ where
     }
 }
 
+/// SIGKILL-and-respawn against a durable store (`--store-scenario`): a
+/// `lis serve --store` shard process answers a hot set of designs, dies
+/// by SIGKILL, and is respawned on the same store directory. The warm
+/// restart must replay the hot set byte-identically *without
+/// recomputing*: the gate demands a warm hit rate (RAM hits after the
+/// startup warm load, plus disk hits) of at least `--min-warm-hit-rate`
+/// (default 0.9) and at most `--max-cold-misses` recomputations
+/// (default 0). Requires `target/release/lis` (or `$LIS_BIN`).
+#[allow(clippy::too_many_lines)]
+fn store_scenario(args: &[String], quick: bool) {
+    let hot: usize = arg(args, "--store-requests", if quick { 12 } else { 40 });
+    let min_rate: f64 = arg(args, "--min-warm-hit-rate", 0.9);
+    let max_cold: u64 = arg(args, "--max-cold-misses", 0);
+
+    let binary = std::env::var("LIS_BIN").map_or_else(
+        |_| {
+            std::path::PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../target/release/lis"
+            ))
+        },
+        std::path::PathBuf::from,
+    );
+    let root = std::env::temp_dir().join(format!("lis-chaos-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let spec = ChildSpec {
+        program: binary,
+        workers: 2,
+        queue_capacity: 256,
+        cache_capacity: hot * 2,
+        store_dir: Some(root.clone()),
+    };
+
+    let fetch = |addr: std::net::SocketAddr, name: &str| -> f64 {
+        let mut client = Client::connect(addr).expect("connect shard");
+        let metrics = client.metrics().expect("shard metrics");
+        parse_metric(&metrics, name).unwrap_or(0.0)
+    };
+
+    // Cold pass: every design computed once, answers recorded as the
+    // byte-identity reference, each spilled to the store as it lands.
+    eprintln!("store scenario: cold pass ({hot} designs)");
+    let workload: Vec<String> = (0..hot as u64)
+        .map(|i| analyze_body(&netlist(5_000_000 + i)))
+        .collect();
+    let mut shard = spec.spawn("store-0").expect(
+        "spawn lis shard (build it first: cargo build --release -p lis-cli, or set $LIS_BIN)",
+    );
+    let reference: Vec<Vec<u8>> = {
+        let mut client = Client::connect(shard.addr).expect("connect shard");
+        workload
+            .iter()
+            .map(|body| {
+                let resp = client
+                    .request("POST", "/analyze", body.as_bytes())
+                    .expect("cold request");
+                assert_eq!(resp.status, 200, "cold pass must be fault-free");
+                resp.body
+            })
+            .collect()
+    };
+    // Wait for the write-through spills to catch up with the answers:
+    // the counter (and the final fsync) trail the response by a worker
+    // hop, and the kill must land *after* durability, not race it.
+    let spills = {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let spills = fetch(shard.addr, "lis_store_spills_total");
+            if spills >= hot as f64 || Instant::now() > deadline {
+                break spills;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+
+    // The crash: SIGKILL, no drain, no warning — then a respawn that
+    // reopens the same store directory.
+    eprintln!("store scenario: SIGKILL pid {} and respawn", shard.pid());
+    shard.kill();
+    drop(shard);
+    let mut shard = spec.spawn("store-0").expect("respawn lis shard");
+    let warm_loaded = fetch(shard.addr, "lis_store_warm_loaded_total");
+
+    // Replay: byte-identical answers, served warm.
+    let mismatches = {
+        let mut client = Client::connect(shard.addr).expect("connect respawned shard");
+        workload
+            .iter()
+            .zip(&reference)
+            .filter(|(body, expected)| {
+                let resp = client
+                    .request("POST", "/analyze", body.as_bytes())
+                    .expect("replay request");
+                resp.status != 200 || &resp.body != *expected
+            })
+            .count()
+    };
+    let hits = fetch(shard.addr, "lis_cache_hits_total");
+    let misses = fetch(shard.addr, "lis_cache_misses_total");
+    let disk_hits = fetch(shard.addr, "lis_store_disk_hits_total");
+    let warm_rate = (hits + disk_hits) / hot as f64;
+    let cold_misses = (misses - disk_hits).max(0.0) as u64;
+    shard.stop();
+
+    let mut report = String::new();
+    writeln!(
+        report,
+        "lis-server store chaos run (SIGKILL + warm restart)\n\
+         ===================================================\n\
+         workload: {hot} distinct designs on /analyze against one `lis serve\n\
+         --store` shard process; the shard is SIGKILLed after the cold pass\n\
+         and respawned on the same store directory, then the hot set is\n\
+         replayed once. Every replayed answer must be byte-identical to the\n\
+         cold answer and must come from the warm-loaded store, not a\n\
+         recomputation.\n\
+         Regenerate with:\n\
+         \x20   cargo build --release && \\\n\
+         \x20   cargo run --release -p lis-bench --bin chaos -- --store-scenario\n",
+    )
+    .expect("write to String");
+    writeln!(
+        report,
+        "cold answers spilled:   {spills:>6.0} / {hot}\n\
+         warm-loaded on respawn: {warm_loaded:>6.0}\n\
+         replay byte mismatches: {mismatches:>6}\n\
+         replay cache hits:      {hits:>6.0}\n\
+         replay disk hits:       {disk_hits:>6.0}\n\
+         replay cold misses:     {cold_misses:>6}\n\
+         warm hit rate:          {:>6.1} %  (gate: >= {:.1} %)",
+        warm_rate * 100.0,
+        min_rate * 100.0,
+    )
+    .expect("write to String");
+
+    if !quick {
+        std::fs::write(STORE_OUT_PATH, &report).expect("write results/store_chaos.txt");
+        eprintln!("wrote {STORE_OUT_PATH}");
+    }
+    print!("{report}");
+
+    let mut failed = false;
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} replayed answer(s) diverged from the cold reference");
+        failed = true;
+    }
+    if warm_rate < min_rate {
+        eprintln!(
+            "FAIL: warm hit rate {:.3} below the required {min_rate:.3}",
+            warm_rate
+        );
+        failed = true;
+    }
+    if cold_misses > max_cold {
+        eprintln!("FAIL: {cold_misses} cold recomputation(s), more than the allowed {max_cold}");
+        failed = true;
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--store-scenario") {
+        store_scenario(&args, quick);
+        return;
+    }
     let requests: usize = arg(&args, "--requests", if quick { 200 } else { 500 });
     let clients: usize = arg(&args, "--clients", 4);
     let workers: usize = arg(&args, "--workers", 4);

@@ -109,6 +109,7 @@ fn start_cluster(
         workers,
         queue_capacity: 256,
         cache_capacity,
+        store_dir: None,
     };
     let config = GatewayConfig {
         probe_interval: Duration::from_millis(100),

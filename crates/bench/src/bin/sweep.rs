@@ -52,7 +52,7 @@ where
 
 struct Daemon {
     addr: std::net::SocketAddr,
-    handle: std::thread::JoinHandle<std::io::Result<()>>,
+    handle: std::thread::JoinHandle<std::io::Result<lis_server::DrainReport>>,
 }
 
 fn start() -> Daemon {

@@ -50,6 +50,7 @@ analysis commands (local, netlist from a file):
 server commands (analysis as a service):
   serve  <addr> [--queue N] [--cache N] [--timeout-ms N] [--max-conns N]
                 [--front epoll|threaded] [--faults SPEC]
+                [--store DIR [--store-cap N]]
                                          run the analysis daemon on addr
                                          (e.g. 127.0.0.1:7171); --front picks
                                          the connection tier (default epoll:
@@ -58,16 +59,27 @@ server commands (analysis as a service):
                                          connection); --faults (or
                                          the LIS_FAULTS env var) arms
                                          deterministic fault injection, e.g.
-                                         panic:0.01,slow_read:5ms,truncate:0.02
+                                         panic:0.01,slow_read:5ms,truncate:0.02;
+                                         --store spills answers to a durable
+                                         content-addressed store in DIR and
+                                         warm-loads it on startup (--store-cap
+                                         bounds on-disk entries, default 65536)
   gateway <addr> [--shards N] [--join a,b,...] [--shard-threads T]
                  [--queue N] [--cache N] [--probe-ms N] [--no-hedge]
                  [--hedge-rate R] [--hedge-seed S] [--front epoll|threaded]
+                 [--store DIR] [--no-replicate]
                                          front a sharded cluster on addr:
                                          spawn and supervise N local shard
                                          daemons (default), or --join
                                          already-running daemons; requests
                                          route by rendezvous hashing with
-                                         failover and (seeded) hedging
+                                         failover and (seeded) hedging;
+                                         --store gives each spawned shard a
+                                         durable result store under DIR (one
+                                         subdirectory per shard name);
+                                         answers replicate to the runner-up
+                                         shard for warm failover reads unless
+                                         --no-replicate
   client <addr> analyze|qs|insert|dot <netlist> [--exact] [--budget N] [--doubled]
                                          run one request against a daemon or
                                          gateway (transient failures are
@@ -178,6 +190,9 @@ fn serve(rest: &[String]) -> CliResult {
         .map(|spec| lis_server::FaultPlan::parse(spec).map(std::sync::Arc::new))
         .transpose()
         .map_err(|e| format!("--faults: {e}"))?;
+    let store_dir = Some(option(rest, "--store", String::new())?)
+        .filter(|s| !s.is_empty())
+        .map(std::path::PathBuf::from);
     let config = lis_server::ServerConfig {
         workers: lis_par::max_threads(),
         queue_capacity: option(rest, "--queue", 256usize)?,
@@ -186,15 +201,19 @@ fn serve(rest: &[String]) -> CliResult {
         max_connections: option(rest, "--max-conns", 1024usize)?,
         front: front_flag(rest)?,
         faults,
+        store_dir,
+        store_capacity: option(rest, "--store-cap", 65_536usize)?,
         ..lis_server::ServerConfig::default()
     };
     let workers = config.workers;
     let chaos = config.faults.is_some();
+    let durable = config.store_dir.is_some();
     let server = lis_server::Server::bind(addr.as_str(), config)?;
     println!(
-        "lis-server listening on {} ({} worker(s){}; POST /shutdown to stop)",
+        "lis-server listening on {} ({} worker(s){}{}; POST /shutdown to stop)",
         server.local_addr()?,
         workers,
+        if durable { "; durable store armed" } else { "" },
         if chaos { "; FAULT INJECTION ARMED" } else { "" }
     );
     server.run()?;
@@ -237,6 +256,9 @@ fn gateway_cmd(rest: &[String]) -> CliResult {
             workers: option(rest, "--shard-threads", lis_par::max_threads())?,
             queue_capacity: option(rest, "--queue", 256usize)?,
             cache_capacity: option(rest, "--cache", 4096usize)?,
+            store_dir: Some(option(rest, "--store", String::new())?)
+                .filter(|s| !s.is_empty())
+                .map(std::path::PathBuf::from),
         };
         (Backends::Spawn { spec, count }, count)
     } else {
@@ -263,6 +285,7 @@ fn gateway_cmd(rest: &[String]) -> CliResult {
         probe_interval: std::time::Duration::from_millis(option(rest, "--probe-ms", 150u64)?),
         hedge,
         front: front_flag(rest)?,
+        replicate: !flag(rest, "--no-replicate"),
         ..GatewayConfig::default()
     };
     let gateway = Gateway::bind(addr.as_str(), backends, config)?;

@@ -40,6 +40,7 @@ use crate::error::GatewayError;
 use crate::hedge::{HedgeConfig, Hedger};
 use crate::metrics::GatewayMetrics;
 use crate::rendezvous;
+use crate::replicate::Replicator;
 use crate::supervise::{ChildShard, ChildSpec};
 use crate::table::{Shard, ShardTable};
 
@@ -94,6 +95,10 @@ pub struct GatewayConfig {
     pub read_deadline: Duration,
     /// Which connection front serves the socket.
     pub front: FrontTier,
+    /// Replicate deterministic answers to the runner-up shard and warm up
+    /// (re)joining shards by handoff. On by default; meaningless with a
+    /// single shard.
+    pub replicate: bool,
 }
 
 impl Default for GatewayConfig {
@@ -105,6 +110,7 @@ impl Default for GatewayConfig {
             max_connections: 1024,
             read_deadline: Duration::from_secs(10),
             front: FrontTier::default(),
+            replicate: true,
         }
     }
 }
@@ -121,6 +127,9 @@ struct GwState {
     children: Option<ChildSet>,
     metrics: GatewayMetrics,
     hedger: Option<Hedger>,
+    /// Write-behind replication to runner-up shards; `None` when disabled
+    /// or the cluster has a single shard.
+    replicator: Option<Replicator>,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
     config: GatewayConfig,
@@ -183,11 +192,16 @@ impl Gateway {
         };
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        let metrics = GatewayMetrics::new();
+        // Replication needs somewhere to replicate *to*.
+        let replicator = (config.replicate && shards.len() >= 2)
+            .then(|| Replicator::new(Arc::clone(&metrics.replication)));
         let state = Arc::new(GwState {
             table: ShardTable::new(shards),
             children,
-            metrics: GatewayMetrics::new(),
+            metrics,
             hedger: config.hedge.clone().map(Hedger::new),
+            replicator,
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             config,
@@ -341,8 +355,10 @@ fn maintenance_loop(state: &Arc<GwState>) {
                             *child = fresh;
                             state.metrics.respawns.fetch_add(1, Ordering::Relaxed);
                             // The replacement announced its socket; it is
-                            // immediately routable.
+                            // immediately routable — and cold, so refill it
+                            // from a warm peer.
                             shard.mark_success();
+                            schedule_handoff_to(state, i, shards);
                         }
                         Err(_) => {
                             if shard.mark_failure(state.config.eject_after) {
@@ -359,12 +375,34 @@ fn maintenance_loop(state: &Arc<GwState>) {
         let healthy = probe_many(&addrs, probe_timeout);
         for (&i, &ok) in to_probe.iter().zip(&healthy) {
             if ok {
+                let recovered = !shards[i].is_healthy();
                 shards[i].mark_success();
+                if recovered {
+                    // An ejected shard came back: it may have missed
+                    // writes while out of rotation — catch it up.
+                    schedule_handoff_to(state, i, shards);
+                }
             } else if shards[i].mark_failure(state.config.eject_after) {
                 state.metrics.ejections.fetch_add(1, Ordering::Relaxed);
             }
         }
         std::thread::sleep(state.config.probe_interval);
+    }
+}
+
+/// Queues a warm handoff into `shards[target]` from the first other
+/// healthy shard, so a respawned or recovered shard rejoins warm.
+fn schedule_handoff_to(state: &Arc<GwState>, target: usize, shards: &[Arc<Shard>]) {
+    let Some(replicator) = &state.replicator else {
+        return;
+    };
+    let donor = shards
+        .iter()
+        .enumerate()
+        .find(|(j, s)| *j != target && s.is_healthy())
+        .map(|(_, s)| s);
+    if let Some(donor) = donor {
+        replicator.schedule_handoff(donor.addr(), shards[target].addr());
     }
 }
 
@@ -551,6 +589,7 @@ fn healthz_body(state: &Arc<GwState>) -> String {
         ),
         ("supervised", Json::Bool(state.children.is_some())),
         ("hedging", Json::Bool(state.hedger.is_some())),
+        ("replication", Json::Bool(state.replicator.is_some())),
         (
             "hedge_decisions_digest",
             state.hedger.as_ref().map_or(Json::Null, |h| {
@@ -615,6 +654,31 @@ fn try_shard(shard: &Shard, path: &str, body: &[u8], id: &str) -> io::Result<Res
 /// Whether a shard's answer should trigger failover instead of relaying.
 fn is_failover_status(status: u16) -> bool {
     FAILOVER_STATUSES.contains(&status)
+}
+
+/// Queues write-back of a winning answer to the runner-up shard: the
+/// first healthy shard in rendezvous order for `key` that is not the
+/// winner. Only deterministic answers replicate (200, or a cached 422),
+/// and only when the shard stamped its content address on the response
+/// (`X-LIS-Cache-Key`) — the gateway never has to decode the body.
+fn replicate_answer(state: &Arc<GwState>, key: u64, winner: &Shard, response: &Response) {
+    let Some(replicator) = &state.replicator else {
+        return;
+    };
+    if !matches!(response.status, 200 | 422) {
+        return;
+    }
+    let Some(cache_key) = response.header("x-lis-cache-key") else {
+        return;
+    };
+    let runner_up = state
+        .table
+        .ranked(key)
+        .into_iter()
+        .find(|s| s.name != winner.name && s.is_healthy());
+    if let Some(target) = runner_up {
+        replicator.push(target.addr(), cache_key, response.status, &response.body);
+    }
 }
 
 /// Forwards one analysis request with rendezvous routing, hedging, and
@@ -694,6 +758,7 @@ fn forward(
                     if i == 1 {
                         state.metrics.hedges_won.fetch_add(1, Ordering::Relaxed);
                     }
+                    replicate_answer(state, key, shard, &response);
                     winner_response = Some(response);
                 }
                 RaceOutcome::Response { response, .. } => {
@@ -737,6 +802,7 @@ fn forward(
                 if let Some(hedger) = &state.hedger {
                     hedger.record(started.elapsed());
                 }
+                replicate_answer(state, key, &shard, &response);
                 return (response.status, response.body);
             }
             Ok(response) => {

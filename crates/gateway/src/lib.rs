@@ -23,6 +23,12 @@
 //!   the runner-up and the first answer wins. Eligibility is a pure
 //!   function of a seed and the request sequence number — the same
 //!   replayable-decision discipline as [`lis_server::FaultPlan`].
+//! * **Read replication & warm handoff** ([`replicate`]): deterministic
+//!   answers are written back to the key's runner-up shard
+//!   (`POST /store/put`, carrying the shard's `X-LIS-Cache-Key` content
+//!   address), so a primary crash leaves a warm byte-identical copy one
+//!   failover hop away; respawned or recovered shards are caught up by a
+//!   donor-streamed store-index diff before they take traffic cold.
 //! * **Observability** ([`metrics`]): `lis_gateway_*` Prometheus series —
 //!   failovers, hedges launched/won, ejections, respawns, per-shard
 //!   request/failure counters and health gauges — plus `X-LIS-Request-Id`
@@ -36,6 +42,7 @@ mod gateway;
 pub mod hedge;
 pub mod metrics;
 pub mod rendezvous;
+pub mod replicate;
 pub mod supervise;
 pub mod table;
 
@@ -43,6 +50,7 @@ pub use error::GatewayError;
 pub use gateway::{Backends, Gateway, GatewayConfig};
 pub use hedge::{HedgeConfig, Hedger};
 pub use metrics::GatewayMetrics;
+pub use replicate::{warm_handoff, ReplicationStats, Replicator};
 pub use supervise::{ChildShard, ChildSpec};
 pub use table::{Shard, ShardTable};
 
@@ -60,5 +68,7 @@ mod tests {
         assert_traits::<GatewayError>();
         assert_traits::<GatewayConfig>();
         assert_traits::<ChildSpec>();
+        assert_traits::<Replicator>();
+        assert_traits::<ReplicationStats>();
     }
 }

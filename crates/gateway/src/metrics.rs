@@ -8,6 +8,7 @@ use std::sync::Arc;
 use lis_server::metrics::Histogram;
 use lis_server::NetStats;
 
+use crate::replicate::ReplicationStats;
 use crate::table::ShardTable;
 
 /// The status codes the gateway tracks per-counter, mirroring the shard
@@ -42,6 +43,8 @@ pub struct GatewayMetrics {
     pub ejections: AtomicU64,
     /// Dead child shards respawned by the supervisor.
     pub respawns: AtomicU64,
+    /// Replication counters, shared with the write-behind replicator.
+    pub replication: Arc<ReplicationStats>,
     /// End-to-end latency as seen at the gateway (routing + hop included).
     pub latency: Histogram,
     /// Network-front gauges/counters (open connections, pipeline depth,
@@ -92,6 +95,17 @@ impl GatewayMetrics {
             ("lis_gateway_hedges_won_total", &self.hedges_won),
             ("lis_gateway_shard_ejections_total", &self.ejections),
             ("lis_gateway_shard_respawns_total", &self.respawns),
+            ("lis_replication_pushes_total", &self.replication.pushes),
+            (
+                "lis_replication_push_failures_total",
+                &self.replication.push_failures,
+            ),
+            ("lis_replication_dropped_total", &self.replication.dropped),
+            ("lis_replication_handoffs_total", &self.replication.handoffs),
+            (
+                "lis_replication_handoff_entries_total",
+                &self.replication.handoff_entries,
+            ),
         ] {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {}", value.load(Ordering::Relaxed));
@@ -154,8 +168,17 @@ mod tests {
         m.failovers.fetch_add(2, Ordering::Relaxed);
         t.shards()[1].mark_failure(1);
         t.shards()[1].requests.fetch_add(5, Ordering::Relaxed);
+        m.replication.pushes.fetch_add(7, Ordering::Relaxed);
         let text = m.render(&t);
         assert!(text.contains("lis_gateway_requests_total{status=\"200\"} 1"));
+        assert_eq!(
+            parse_metric(&text, "lis_replication_pushes_total"),
+            Some(7.0)
+        );
+        assert_eq!(
+            parse_metric(&text, "lis_replication_handoffs_total"),
+            Some(0.0)
+        );
         assert!(text.contains("lis_gateway_requests_total{status=\"502\"} 1"));
         assert_eq!(
             parse_metric(&text, "lis_gateway_failovers_total"),

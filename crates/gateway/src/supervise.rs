@@ -25,6 +25,11 @@ pub struct ChildSpec {
     pub queue_capacity: usize,
     /// Shard result-cache capacity (`--cache`).
     pub cache_capacity: usize,
+    /// Root of the durable result stores: each shard spills to
+    /// `<store_dir>/<name>` (`--store`), keyed by its stable routing name
+    /// so a respawned child reopens its predecessor's store warm. `None`
+    /// runs shards RAM-only.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl ChildSpec {
@@ -35,7 +40,8 @@ impl ChildSpec {
     /// Spawn failures, or a child that exits (or says anything
     /// unparseable) before announcing `lis-server listening on <addr>`.
     pub fn spawn(&self, name: &str) -> io::Result<ChildShard> {
-        let mut child = Command::new(&self.program)
+        let mut command = Command::new(&self.program);
+        command
             .arg("--threads")
             .arg(self.workers.to_string())
             .arg("serve")
@@ -43,7 +49,11 @@ impl ChildSpec {
             .arg("--queue")
             .arg(self.queue_capacity.to_string())
             .arg("--cache")
-            .arg(self.cache_capacity.to_string())
+            .arg(self.cache_capacity.to_string());
+        if let Some(dir) = &self.store_dir {
+            command.arg("--store").arg(dir.join(name));
+        }
+        let mut child = command
             .stdin(Stdio::null())
             .stdout(Stdio::piped())
             .stderr(Stdio::null())

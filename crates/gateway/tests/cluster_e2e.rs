@@ -31,7 +31,7 @@ fn netlist(seed: u64) -> String {
 
 struct TestShard {
     addr: SocketAddr,
-    daemon: JoinHandle<std::io::Result<()>>,
+    daemon: JoinHandle<std::io::Result<lis_server::DrainReport>>,
 }
 
 fn start_shard() -> TestShard {

@@ -97,6 +97,29 @@ impl ResultCache {
         }
     }
 
+    /// Looks up a key without counting a hit or miss — the replication
+    /// and store read paths, which must not skew the cache metrics the
+    /// chaos gates assert on.
+    pub fn peek(&self, key: CacheKey) -> Option<Arc<CachedResponse>> {
+        self.inner
+            .lock()
+            .expect("cache lock")
+            .map
+            .get(&key)
+            .cloned()
+    }
+
+    /// Cached keys in insertion order (the RAM half of `/store/index`).
+    pub fn keys(&self) -> Vec<CacheKey> {
+        self.inner
+            .lock()
+            .expect("cache lock")
+            .order
+            .iter()
+            .copied()
+            .collect()
+    }
+
     /// Number of cached responses.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("cache lock").map.len()
@@ -178,6 +201,18 @@ mod tests {
         cache.insert(key(2), resp(2));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.get(key(1), &metrics).unwrap().body, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn peek_does_not_touch_the_hit_counters() {
+        let cache = ResultCache::new(8);
+        let metrics = Metrics::new();
+        cache.insert(key(1), resp(1));
+        assert!(cache.peek(key(1)).is_some());
+        assert!(cache.peek(key(2)).is_none());
+        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 0);
+        assert_eq!(cache.keys(), vec![key(1)]);
     }
 
     #[test]

@@ -94,6 +94,14 @@ fn unit(seed: u64, site: u64, n: u64) -> f64 {
 const PANIC_SITE: u64 = 1;
 const WRITE_SITE: u64 = 2;
 
+/// The uniform `[0, 1)` variate for draw `n` at caller-chosen `site` under
+/// `seed` — the same pure generator the in-process fault sites use, exposed
+/// so external harnesses (the store crash-consistency loop) can derive
+/// replayable kill schedules from a printed seed.
+pub fn seeded_unit(seed: u64, site: u64, n: u64) -> f64 {
+    unit(seed, site, n)
+}
+
 impl FaultPlan {
     /// Parses a fault spec (see the module docs for the grammar). An empty
     /// spec is valid and injects nothing.

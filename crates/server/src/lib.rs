@@ -41,7 +41,11 @@
 //! GET  /metrics               Prometheus text exposition
 //! GET  /healthz               JSON readiness: role, workers, queue depth,
 //!                             cache entries, uptime — the lis-gateway probe
-//! POST /shutdown              drain in-flight work, then exit
+//! GET  /store/index           NDJSON list of cached content addresses
+//! POST /store/get             read one cached entry by content address
+//! POST /store/put             replicate one finished answer into the cache
+//! POST /shutdown              drain in-flight work (flushing pending store
+//!                             spills), then exit
 //! ```
 //!
 //! Requests may carry an `X-LIS-Request-Id` header; the server echoes it in
@@ -85,6 +89,7 @@ pub mod metrics;
 pub mod net;
 pub mod pool;
 mod server;
+pub mod store;
 pub mod wire;
 
 pub use cache::{CacheKey, CachedResponse, ResultCache};
@@ -95,6 +100,7 @@ pub use jobs::RequestKind;
 pub use metrics::{parse_metric, Metrics, NetStats, Route};
 pub use pool::{DrainReport, SubmitError, WorkerPool};
 pub use server::{FrontTier, Server, ServerConfig};
+pub use store::{EntryMeta, ResultStore, Spiller};
 pub use wire::{Json, JsonError};
 
 #[cfg(test)]
@@ -112,6 +118,8 @@ mod tests {
         assert_traits::<WorkerPool>();
         assert_traits::<ServerConfig>();
         assert_traits::<FaultPlan>();
+        assert_traits::<ResultStore>();
+        assert_traits::<Spiller>();
         assert_traits::<RetryPolicy>();
         assert_traits::<RetryingClient>();
     }

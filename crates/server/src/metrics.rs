@@ -33,12 +33,14 @@ pub enum Route {
     Healthz,
     /// `POST /shutdown`.
     Shutdown,
+    /// The `/store/*` peer routes (index, get, put).
+    Store,
     /// Anything else.
     Other,
 }
 
 impl Route {
-    const ALL: [Route; 10] = [
+    const ALL: [Route; 11] = [
         Route::Analyze,
         Route::Qs,
         Route::Insert,
@@ -48,6 +50,7 @@ impl Route {
         Route::Metrics,
         Route::Healthz,
         Route::Shutdown,
+        Route::Store,
         Route::Other,
     ];
 
@@ -62,6 +65,7 @@ impl Route {
             Route::Metrics => "metrics",
             Route::Healthz => "healthz",
             Route::Shutdown => "shutdown",
+            Route::Store => "store",
             Route::Other => "other",
         }
     }
@@ -272,6 +276,20 @@ pub struct Metrics {
     pub faults_injected: AtomicU64,
     /// Connections rejected at the concurrent-connection cap.
     pub connections_rejected: AtomicU64,
+    /// Responses spilled to the durable store (mirrored on scrape).
+    pub store_spills: AtomicU64,
+    /// Lookups served from the durable store after a RAM miss (mirrored).
+    pub store_disk_hits: AtomicU64,
+    /// Entries warm-loaded into the RAM cache at startup (mirrored).
+    pub store_warm_loaded: AtomicU64,
+    /// Store entries quarantined after failing validation (mirrored).
+    pub store_quarantined: AtomicU64,
+    /// Store entries evicted by the bounded-size GC (mirrored).
+    pub store_gc_evictions: AtomicU64,
+    /// Live entries in the durable store (gauge, mirrored).
+    pub store_entries: AtomicU64,
+    /// Total body bytes in the durable store (gauge, mirrored).
+    pub store_bytes: AtomicU64,
     /// Sweep jobs started (cache hits included — each `/sweep` answered).
     pub sweep_jobs: AtomicU64,
     /// Sweep result rows streamed to clients (cache replays included).
@@ -403,6 +421,34 @@ impl Metrics {
             "lis_connections_rejected_total {}",
             self.connections_rejected.load(Ordering::Relaxed)
         );
+        for (name, kind, cell) in [
+            ("lis_store_spills_total", "counter", &self.store_spills),
+            (
+                "lis_store_disk_hits_total",
+                "counter",
+                &self.store_disk_hits,
+            ),
+            (
+                "lis_store_warm_loaded_total",
+                "counter",
+                &self.store_warm_loaded,
+            ),
+            (
+                "lis_store_quarantined_total",
+                "counter",
+                &self.store_quarantined,
+            ),
+            (
+                "lis_store_gc_evictions_total",
+                "counter",
+                &self.store_gc_evictions,
+            ),
+            ("lis_store_entries", "gauge", &self.store_entries),
+            ("lis_store_bytes", "gauge", &self.store_bytes),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {}", cell.load(Ordering::Relaxed));
+        }
         let _ = writeln!(out, "# TYPE lis_sweep_jobs_total counter");
         let _ = writeln!(
             out,
@@ -516,6 +562,33 @@ mod tests {
         assert!(text.contains("lis_request_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("lis_request_seconds_count 1"));
         // Every exposition line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn store_counters_render() {
+        let m = Metrics::new();
+        let text = m.render();
+        assert_eq!(parse_metric(&text, "lis_store_spills_total"), Some(0.0));
+        m.store_spills.store(5, Ordering::Relaxed);
+        m.store_disk_hits.store(4, Ordering::Relaxed);
+        m.store_quarantined.store(1, Ordering::Relaxed);
+        m.store_entries.store(5, Ordering::Relaxed);
+        m.store_bytes.store(640, Ordering::Relaxed);
+        let text = m.render();
+        assert_eq!(parse_metric(&text, "lis_store_spills_total"), Some(5.0));
+        assert_eq!(parse_metric(&text, "lis_store_disk_hits_total"), Some(4.0));
+        assert_eq!(
+            parse_metric(&text, "lis_store_quarantined_total"),
+            Some(1.0)
+        );
+        assert_eq!(parse_metric(&text, "lis_store_entries"), Some(5.0));
+        assert_eq!(parse_metric(&text, "lis_store_bytes"), Some(640.0));
         for line in text.lines() {
             assert!(
                 line.starts_with('#') || line.split_whitespace().count() == 2,

@@ -48,6 +48,10 @@ pub struct DrainReport {
     /// unless a worker unwound *outside* job isolation — a pool bug, not
     /// a job bug — and even then drain completes instead of crashing.
     pub panicked: usize,
+    /// Result-store spills that were still pending at drain time and were
+    /// flushed to disk before exit (always zero without `--store`). Filled
+    /// in by the server's drain path, not by [`WorkerPool::drain`] itself.
+    pub spilled: usize,
 }
 
 #[derive(Default)]

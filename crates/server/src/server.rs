@@ -22,13 +22,14 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use lis_core::parse_netlist;
 
-use crate::cache::{CachedResponse, ResultCache};
+use crate::cache::{CacheKey, CachedResponse, ResultCache};
 use crate::error::ServerError;
 use crate::fault::{FaultPlan, WriteFault, GARBAGE_BYTES};
 use crate::http::{
@@ -41,7 +42,8 @@ use crate::net::{
     residual_reader, Completion, Completions, ConnPermit, EventLoop, FrontConfig, Outcome,
     Rendered, SlotKey,
 };
-use crate::pool::{SubmitError, WorkerPool};
+use crate::pool::{DrainReport, SubmitError, WorkerPool};
+use crate::store::{key_hex, parse_key_hex, ResultStore, Spiller};
 use crate::wire::{obj, Json};
 
 /// How long an idle keep-alive connection sleeps between shutdown-flag
@@ -115,6 +117,16 @@ pub struct ServerConfig {
     /// Test instrumentation: cap every event-loop socket write at this many
     /// bytes, forcing the partial-write/re-registration path.
     pub net_write_chunk_for_tests: Option<usize>,
+    /// Durable result store directory (`lis serve --store DIR`). `None`
+    /// keeps the cache RAM-only. When set, finished answers spill to disk
+    /// write-through and the cache is warm-loaded from disk at startup.
+    pub store_dir: Option<PathBuf>,
+    /// Maximum entries the durable store keeps before FIFO GC (0 =
+    /// unbounded).
+    pub store_capacity: usize,
+    /// Test instrumentation: sleep this long inside every background
+    /// store write, so drain tests observe a non-empty spill queue.
+    pub spill_delay_for_tests: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -131,6 +143,9 @@ impl Default for ServerConfig {
             job_delay_for_tests: None,
             front: FrontTier::default(),
             net_write_chunk_for_tests: None,
+            store_dir: None,
+            store_capacity: 65536,
+            spill_delay_for_tests: None,
         }
     }
 }
@@ -139,12 +154,38 @@ impl Default for ServerConfig {
 struct State {
     metrics: Metrics,
     cache: ResultCache,
+    /// Durable write-behind spill under the cache (`--store DIR` only).
+    store: Option<Spiller>,
     pool: WorkerPool,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
     sweeps_in_flight: AtomicUsize,
     config: ServerConfig,
     started: Instant,
+}
+
+impl State {
+    /// Cache probe with durable fall-through: a RAM miss (counted as a
+    /// miss) re-checks the on-disk store and, on a disk hit, re-warms the
+    /// RAM cache without re-spilling.
+    fn lookup(&self, key: CacheKey) -> Option<Arc<CachedResponse>> {
+        if let Some(hit) = self.cache.get(key, &self.metrics) {
+            return Some(hit);
+        }
+        let spiller = self.store.as_ref()?;
+        let response = Arc::new(spiller.store().get(key)?);
+        self.cache.insert(key, Arc::clone(&response));
+        Some(response)
+    }
+
+    /// Caches a finished answer and (with `--store`) spills it to disk
+    /// write-through via the background spill queue.
+    fn remember(&self, key: CacheKey, response: Arc<CachedResponse>) {
+        if let Some(spiller) = &self.store {
+            spiller.spill(key, Arc::clone(&response));
+        }
+        self.cache.insert(key, response);
+    }
 }
 
 /// The analysis daemon. Bind with [`Server::bind`], serve with
@@ -169,9 +210,24 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let pool = WorkerPool::new(config.workers.max(1), config.queue_capacity.max(1));
+        let cache = ResultCache::new(config.cache_capacity);
+        let store = match &config.store_dir {
+            Some(dir) => {
+                let store = Arc::new(ResultStore::open(dir, config.store_capacity)?);
+                // Warm load: every durable answer goes straight into the
+                // RAM cache (FIFO keeps the newest `cache_capacity`), so a
+                // respawned shard serves its hot set without recomputing.
+                for (key, response) in store.warm_entries() {
+                    cache.insert(key, response);
+                }
+                Some(Spiller::new(store, config.spill_delay_for_tests))
+            }
+            None => None,
+        };
         let state = Arc::new(State {
             metrics: Metrics::new(),
-            cache: ResultCache::new(config.cache_capacity),
+            cache,
+            store,
             pool,
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
@@ -191,14 +247,15 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serves until `POST /shutdown`, then drains and returns.
+    /// Serves until `POST /shutdown`, then drains (pool jobs first, then
+    /// any pending store spills) and returns what the drain observed.
     ///
     /// # Errors
     ///
     /// Returns fatal accept-loop errors; per-connection errors are handled
     /// in the connection's own thread (threaded front) or swallowed per
     /// connection by the event loop (epoll front).
-    pub fn run(self) -> io::Result<()> {
+    pub fn run(self) -> io::Result<DrainReport> {
         match self.state.config.front {
             FrontTier::Threaded => self.run_threaded(),
             FrontTier::Epoll => self.run_event_loop(),
@@ -206,7 +263,7 @@ impl Server {
     }
 
     /// The readiness-event-loop front: one thread holds every connection.
-    fn run_event_loop(self) -> io::Result<()> {
+    fn run_event_loop(self) -> io::Result<DrainReport> {
         // Best effort: lift the fd soft limit toward the hard limit so the
         // loop's connection cap, not the process rlimit, is the ceiling.
         let _ = crate::net::raise_nofile_limit();
@@ -225,13 +282,17 @@ impl Server {
             fast: Arc::new(Mutex::new(FastCache::new(state.config.cache_capacity))),
         };
         EventLoop::new(listener, handler, config, stats)?.run()?;
-        // Every queued job runs to completion before the pool stops.
-        state.pool.drain();
-        Ok(())
+        // Every queued job runs to completion before the pool stops, and
+        // every spill those jobs enqueued lands on disk before exit.
+        let mut report = state.pool.drain();
+        if let Some(spiller) = &state.store {
+            report.spilled = spiller.flush();
+        }
+        Ok(report)
     }
 
     /// The classic thread-per-connection front.
-    fn run_threaded(self) -> io::Result<()> {
+    fn run_threaded(self) -> io::Result<DrainReport> {
         let mut handler_threads = Vec::new();
         while !self.state.shutdown.load(Ordering::Acquire) {
             match self.listener.accept() {
@@ -298,9 +359,13 @@ impl Server {
                 let _ = h.join();
             }
         }
-        // Every queued job runs to completion before the pool stops.
-        self.state.pool.drain();
-        Ok(())
+        // Every queued job runs to completion before the pool stops, and
+        // every spill those jobs enqueued lands on disk before exit.
+        let mut report = self.state.pool.drain();
+        if let Some(spiller) = &self.state.store {
+            report.spilled = spiller.flush();
+        }
+        Ok(report)
     }
 }
 
@@ -428,16 +493,22 @@ fn serve_loop<R: BufRead>(
             }
             continue;
         }
-        let (route, status, content_type, body) = dispatch(&request, state);
+        let (route, status, content_type, body, cache_key) = dispatch(&request, state);
         let shutting_down = state.shutdown.load(Ordering::Acquire);
         let keep_alive = !request.wants_close() && !shutting_down;
         state
             .metrics
             .record_request(route, status, started.elapsed());
-        let extra_headers: Vec<(&str, &str)> = request_id
+        let key_header = cache_key.map(key_hex);
+        let mut extra_headers: Vec<(&str, &str)> = request_id
             .iter()
             .map(|id| ("X-LIS-Request-Id", id.as_str()))
             .collect();
+        if let Some(hex) = key_header.as_deref() {
+            // The content address of this answer — the gateway's
+            // replication write-back keys its /store/put on it.
+            extra_headers.push(("X-LIS-Cache-Key", hex));
+        }
         // Fault injection on the write side, analysis routes only — the
         // control plane (/metrics, /healthz, /shutdown) stays reliable so
         // chaos runs can still observe and drain the daemon.
@@ -477,8 +548,13 @@ fn serve_loop<R: BufRead>(
     }
 }
 
-/// Routes one request. Returns `(route label, status, content type, body)`.
-fn dispatch(request: &Request, state: &Arc<State>) -> (Route, u16, &'static str, Vec<u8>) {
+/// Routes one request. Returns `(route label, status, content type, body,
+/// cache key)` — the key is `Some` only for answers with a content address
+/// (the analysis routes), and is echoed as `X-LIS-Cache-Key`.
+fn dispatch(
+    request: &Request,
+    state: &Arc<State>,
+) -> (Route, u16, &'static str, Vec<u8>, Option<CacheKey>) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/metrics") => {
             state
@@ -500,11 +576,27 @@ fn dispatch(request: &Request, state: &Arc<State>) -> (Route, u16, &'static str,
                     .faults_injected
                     .store(plan.injected(), Ordering::Relaxed);
             }
+            if let Some(spiller) = &state.store {
+                let store = spiller.store();
+                let m = &state.metrics;
+                m.store_spills.store(store.spills(), Ordering::Relaxed);
+                m.store_disk_hits
+                    .store(store.disk_hits(), Ordering::Relaxed);
+                m.store_warm_loaded
+                    .store(store.warm_loaded(), Ordering::Relaxed);
+                m.store_quarantined
+                    .store(store.quarantined(), Ordering::Relaxed);
+                m.store_gc_evictions
+                    .store(store.gc_evictions(), Ordering::Relaxed);
+                m.store_entries.store(store.len() as u64, Ordering::Relaxed);
+                m.store_bytes.store(store.bytes(), Ordering::Relaxed);
+            }
             (
                 Route::Metrics,
                 200,
                 "text/plain; version=0.0.4",
                 state.metrics.render().into_bytes(),
+                None,
             )
         }
         ("GET", "/healthz") => {
@@ -554,11 +646,31 @@ fn dispatch(request: &Request, state: &Arc<State>) -> (Route, u16, &'static str,
                     Json::Bool(state.shutdown.load(Ordering::Acquire)),
                 ),
             ]);
+            let mut body = body;
+            if let (Json::Obj(fields), Some(spiller)) = (&mut body, &state.store) {
+                let store = spiller.store();
+                fields.push(("store_entries".to_string(), Json::num(store.len() as f64)));
+                fields.push(("store_bytes".to_string(), Json::num(store.bytes() as f64)));
+                fields.push(("store_spills".to_string(), Json::num(store.spills() as f64)));
+                fields.push((
+                    "store_warm_loaded".to_string(),
+                    Json::num(store.warm_loaded() as f64),
+                ));
+                fields.push((
+                    "store_quarantined".to_string(),
+                    Json::num(store.quarantined() as f64),
+                ));
+                fields.push((
+                    "store_pending_spills".to_string(),
+                    Json::num(spiller.pending() as f64),
+                ));
+            }
             (
                 Route::Healthz,
                 200,
                 "application/json",
                 body.to_string().into_bytes(),
+                None,
             )
         }
         ("POST", "/shutdown") => {
@@ -570,7 +682,38 @@ fn dispatch(request: &Request, state: &Arc<State>) -> (Route, u16, &'static str,
                 obj([("ok", Json::Bool(true)), ("draining", Json::Bool(true))])
                     .to_string()
                     .into_bytes(),
+                None,
             )
+        }
+        ("GET", "/store/index") => {
+            // NDJSON: one content address per line — the warm-handoff diff
+            // document. With a durable store the index is the store's;
+            // RAM-only servers expose the cache so handoff still works.
+            let keys = match &state.store {
+                Some(spiller) => spiller.store().keys(),
+                None => state.cache.keys(),
+            };
+            let mut body = String::with_capacity(keys.len() * 44);
+            for key in keys {
+                body.push_str("{\"key\":\"");
+                body.push_str(&key_hex(key));
+                body.push_str("\"}\n");
+            }
+            (
+                Route::Store,
+                200,
+                "application/x-ndjson",
+                body.into_bytes(),
+                None,
+            )
+        }
+        ("POST", "/store/get") => {
+            let (status, body) = store_get(request, state);
+            (Route::Store, status, "application/json", body, None)
+        }
+        ("POST", "/store/put") => {
+            let (status, body) = store_put(request, state);
+            (Route::Store, status, "application/json", body, None)
         }
         ("POST", path @ ("/analyze" | "/qs" | "/insert" | "/dot")) => {
             let route = match path {
@@ -580,19 +723,20 @@ fn dispatch(request: &Request, state: &Arc<State>) -> (Route, u16, &'static str,
                 _ => Route::Dot,
             };
             match analysis_request(&path[1..], request, state) {
-                Ok((status, body)) => (route, status, "application/json", body),
+                Ok((status, body, key)) => (route, status, "application/json", body, Some(key)),
                 Err(e) => (
                     route,
                     e.status(),
                     "application/json",
                     e.to_json().to_string().into_bytes(),
+                    None,
                 ),
             }
         }
         (
             _,
             "/metrics" | "/healthz" | "/shutdown" | "/analyze" | "/qs" | "/insert" | "/dot"
-            | "/sweep" | "/batch",
+            | "/sweep" | "/batch" | "/store/index" | "/store/get" | "/store/put",
         ) => {
             let e = ServerError::MethodNotAllowed;
             (
@@ -600,6 +744,7 @@ fn dispatch(request: &Request, state: &Arc<State>) -> (Route, u16, &'static str,
                 e.status(),
                 "application/json",
                 e.to_json().to_string().into_bytes(),
+                None,
             )
         }
         (_, path) => {
@@ -609,9 +754,103 @@ fn dispatch(request: &Request, state: &Arc<State>) -> (Route, u16, &'static str,
                 e.status(),
                 "application/json",
                 e.to_json().to_string().into_bytes(),
+                None,
             )
         }
     }
+}
+
+/// Serves `POST /store/get`: `{"key":"<hex>"}` → the cached entry at that
+/// content address (`{"found":true,"status":...,"body":...}`), probing the
+/// RAM cache first and the durable store second. The peer-read half of the
+/// gateway's top-2 replication and warm handoff.
+fn store_get(request: &Request, state: &Arc<State>) -> (u16, Vec<u8>) {
+    let key = std::str::from_utf8(&request.body)
+        .ok()
+        .and_then(|text| Json::parse(text).ok())
+        .and_then(|envelope| {
+            envelope
+                .get("key")
+                .and_then(Json::as_str)
+                .and_then(parse_key_hex)
+        });
+    let Some(key) = key else {
+        let e = ServerError::BadRequest("store body must be {\"key\":\"<32-hex>\"}".into());
+        return (e.status(), e.to_json().to_string().into_bytes());
+    };
+    let cached = state.cache.peek(key).or_else(|| {
+        state
+            .store
+            .as_ref()
+            .and_then(|spiller| spiller.store().get(key).map(Arc::new))
+    });
+    match cached {
+        Some(response) => {
+            // Response bodies are JSON text by construction; a non-UTF-8
+            // body would be corruption, answered as a miss, never served.
+            let Ok(text) = std::str::from_utf8(&response.body) else {
+                return (
+                    404,
+                    obj([("found", Json::Bool(false))]).to_string().into_bytes(),
+                );
+            };
+            let body = obj([
+                ("found", Json::Bool(true)),
+                ("status", Json::num(f64::from(response.status))),
+                ("body", Json::str(text)),
+            ]);
+            (200, body.to_string().into_bytes())
+        }
+        None => (
+            404,
+            obj([("found", Json::Bool(false))]).to_string().into_bytes(),
+        ),
+    }
+}
+
+/// Serves `POST /store/put`: `{"key","status","body"}` → caches (and, with
+/// `--store`, durably spills) a finished answer computed elsewhere. The
+/// write-back half of replication. First write wins: an address already
+/// present is left untouched, so a confused peer can never flip the bytes
+/// under an existing content address.
+fn store_put(request: &Request, state: &Arc<State>) -> (u16, Vec<u8>) {
+    let decoded = std::str::from_utf8(&request.body)
+        .ok()
+        .and_then(|text| Json::parse(text).ok())
+        .and_then(|envelope| {
+            let key = envelope
+                .get("key")
+                .and_then(Json::as_str)
+                .and_then(parse_key_hex)?;
+            let status = envelope.get("status").and_then(Json::as_u64)?;
+            let status = u16::try_from(status).ok()?;
+            let body = envelope.get("body").and_then(Json::as_str)?.to_string();
+            Some((key, status, body))
+        });
+    let Some((key, status, body)) = decoded else {
+        let e = ServerError::BadRequest(
+            "store body must be {\"key\":\"<32-hex>\",\"status\":N,\"body\":\"...\"}".into(),
+        );
+        return (e.status(), e.to_json().to_string().into_bytes());
+    };
+    let stored = if state.cache.peek(key).is_none() {
+        state.remember(
+            key,
+            Arc::new(CachedResponse {
+                status,
+                body: body.into_bytes(),
+            }),
+        );
+        true
+    } else {
+        false
+    };
+    let reply = obj([
+        ("ok", Json::Bool(true)),
+        ("stored", Json::Bool(stored)),
+        ("durable", Json::Bool(state.store.is_some())),
+    ]);
+    (200, reply.to_string().into_bytes())
 }
 
 /// Serves one analysis request: decode → cache probe → worker pool.
@@ -619,7 +858,7 @@ fn analysis_request(
     route: &str,
     request: &Request,
     state: &Arc<State>,
-) -> Result<(u16, Vec<u8>), ServerError> {
+) -> Result<(u16, Vec<u8>, CacheKey), ServerError> {
     if state.shutdown.load(Ordering::Acquire) {
         return Err(ServerError::ShuttingDown);
     }
@@ -630,8 +869,8 @@ fn analysis_request(
     let sys = parse_netlist(&netlist)?;
     let key = kind.cache_key(&sys);
 
-    if let Some(cached) = state.cache.get(key, &state.metrics) {
-        return Ok((cached.status, cached.body.clone()));
+    if let Some(cached) = state.lookup(key) {
+        return Ok((cached.status, cached.body.clone(), key));
     }
 
     // Cache miss: hand the analysis to the pool and wait with a deadline.
@@ -678,7 +917,7 @@ fn analysis_request(
         // Results are deterministic in (system, kind), so failures are as
         // cacheable as successes.
         let response = Arc::new(CachedResponse { status, body });
-        job_state.cache.insert(key, Arc::clone(&response));
+        job_state.remember(key, Arc::clone(&response));
         // The handler may have timed out and dropped the receiver; the
         // cache insert above already preserved the work.
         let _ = tx.send(response);
@@ -694,7 +933,7 @@ fn analysis_request(
         Err(SubmitError::ShuttingDown) => return Err(ServerError::ShuttingDown),
     }
     match rx.recv_timeout(state.config.request_timeout) {
-        Ok(response) => Ok((response.status, response.body.clone())),
+        Ok(response) => Ok((response.status, response.body.clone(), key)),
         Err(mpsc::RecvTimeoutError::Timeout) => {
             state.metrics.timeouts_total.fetch_add(1, Ordering::Relaxed);
             Err(ServerError::Timeout {
@@ -776,8 +1015,13 @@ fn sweep_request(
         unreachable!("the sweep route decodes a sweep kind");
     };
     let key = kind.cache_key(&sys);
+    // Sweeps carry their content address too: a gateway can replicate the
+    // finished table to the runner-up exactly like a single-shot answer.
+    let key_header = key_hex(key);
+    let mut stream_headers = extra_headers.clone();
+    stream_headers.push(("X-LIS-Cache-Key", key_header.as_str()));
 
-    if let Some(cached) = state.cache.get(key, &state.metrics) {
+    if let Some(cached) = state.lookup(key) {
         // Replay the whole NDJSON body. Rows = lines minus header/trailer.
         let lines = cached.body.iter().filter(|&&b| b == b'\n').count() as u64;
         state.metrics.sweep_jobs.fetch_add(1, Ordering::Relaxed);
@@ -795,7 +1039,7 @@ fn sweep_request(
             "application/x-ndjson",
             &cached.body,
             keep_alive,
-            &extra_headers,
+            &stream_headers,
         );
     }
 
@@ -826,7 +1070,7 @@ fn sweep_request(
         200,
         "application/x-ndjson",
         keep_alive,
-        &extra_headers,
+        &stream_headers,
     )?;
     // Rows coalesce into ~8 KiB chunk frames (one socket write apiece);
     // paced test streams flush every row so a kill lands mid-stream.
@@ -867,7 +1111,7 @@ fn sweep_request(
             .and_then(|()| finish_chunked(&mut *writer))
             .err();
     }
-    state.cache.insert(
+    state.remember(
         key,
         Arc::new(CachedResponse {
             status: 200,
@@ -930,7 +1174,7 @@ fn batch_row(state: &Arc<State>, line: &str) -> (u16, Vec<u8>) {
         let (netlist, kind) = RequestKind::decode(route, &envelope)?;
         let sys = parse_netlist(&netlist)?;
         let key = kind.cache_key(&sys);
-        if let Some(cached) = state.cache.get(key, &state.metrics) {
+        if let Some(cached) = state.lookup(key) {
             return Ok((cached.status, cached.body.clone()));
         }
         if let Some(d) = state.config.job_delay_for_tests {
@@ -956,7 +1200,7 @@ fn batch_row(state: &Arc<State>, line: &str) -> (u16, Vec<u8>) {
         if let Some(label) = kind.engine_label() {
             state.metrics.record_engine(label, executed.elapsed());
         }
-        state.cache.insert(
+        state.remember(
             key,
             Arc::new(CachedResponse {
                 status,
@@ -1037,6 +1281,9 @@ struct FastEntry {
     path: String,
     body: Vec<u8>,
     route: Route,
+    /// Canonical content address of the shadowed cache entry, echoed as
+    /// `X-LIS-Cache-Key` so fast-path hits replicate like canonical hits.
+    key: CacheKey,
     response: Arc<CachedResponse>,
 }
 
@@ -1064,15 +1311,22 @@ impl FastCache {
         }
     }
 
-    fn get(&self, path: &str, body: &[u8]) -> Option<(Route, Arc<CachedResponse>)> {
+    fn get(&self, path: &str, body: &[u8]) -> Option<(Route, CacheKey, Arc<CachedResponse>)> {
         let entries = self.buckets.get(&fnv(path, body))?;
         entries
             .iter()
             .find(|e| e.path == path && e.body == body)
-            .map(|e| (e.route, Arc::clone(&e.response)))
+            .map(|e| (e.route, e.key, Arc::clone(&e.response)))
     }
 
-    fn insert(&mut self, path: &str, body: &[u8], route: Route, response: Arc<CachedResponse>) {
+    fn insert(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        route: Route,
+        key: CacheKey,
+        response: Arc<CachedResponse>,
+    ) {
         if self.capacity == 0 || self.get(path, body).is_some() {
             return;
         }
@@ -1081,6 +1335,7 @@ impl FastCache {
             path: path.to_string(),
             body: body.to_vec(),
             route,
+            key,
             response,
         });
         self.order.push_back(hash);
@@ -1117,6 +1372,13 @@ fn id_headers(request_id: &Option<String>) -> Vec<(String, String)> {
         .iter()
         .map(|id| ("X-LIS-Request-Id".to_string(), id.clone()))
         .collect()
+}
+
+/// `id_headers` plus the answer's `X-LIS-Cache-Key` content address.
+fn id_key_headers(request_id: &Option<String>, key: CacheKey) -> Vec<(String, String)> {
+    let mut headers = id_headers(request_id);
+    headers.push(("X-LIS-Cache-Key".to_string(), key_hex(key)));
+    headers
 }
 
 /// The event-loop face of the daemon: routing and worker handoff for the
@@ -1175,7 +1437,7 @@ impl ServerHandler {
         // Fast path: these exact request bytes were answered before.
         if state.config.cache_capacity > 0 {
             let hit = self.fast.lock().unwrap().get(&request.path, &request.body);
-            if let Some((_route, cached)) = hit {
+            if let Some((_route, fast_key, cached)) = hit {
                 state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
                 state
                     .metrics
@@ -1184,7 +1446,7 @@ impl ServerHandler {
                     status: cached.status,
                     content_type: "application/json".to_string(),
                     body: cached.body.clone(),
-                    extra_headers: id_headers(&request_id),
+                    extra_headers: id_key_headers(&request_id, fast_key),
                     fault_eligible: true,
                     force_close: false,
                 });
@@ -1204,7 +1466,7 @@ impl ServerHandler {
             Err(e) => return self.respond_error(route, &e, started, &request_id, true),
         };
         let cache_key = kind.cache_key(&sys);
-        if let Some(cached) = state.cache.get(cache_key, &state.metrics) {
+        if let Some(cached) = state.lookup(cache_key) {
             state
                 .metrics
                 .record_request(route, cached.status, started.elapsed());
@@ -1213,6 +1475,7 @@ impl ServerHandler {
                     &request.path,
                     &request.body,
                     route,
+                    cache_key,
                     Arc::clone(&cached),
                 );
             }
@@ -1220,7 +1483,7 @@ impl ServerHandler {
                 status: cached.status,
                 content_type: "application/json".to_string(),
                 body: cached.body.clone(),
-                extra_headers: id_headers(&request_id),
+                extra_headers: id_key_headers(&request_id, cache_key),
                 fault_eligible: true,
                 force_close: false,
             });
@@ -1267,7 +1530,7 @@ impl ServerHandler {
                             status,
                             content_type: "application/json".to_string(),
                             body,
-                            extra_headers: id_headers(&entry.request_id),
+                            extra_headers: id_key_headers(&entry.request_id, cache_key),
                             fault_eligible: true,
                             force_close: false,
                         }),
@@ -1295,11 +1558,11 @@ impl ServerHandler {
                 status,
                 body: body.clone(),
             });
-            job_state.cache.insert(cache_key, Arc::clone(&response));
+            job_state.remember(cache_key, Arc::clone(&response));
             if job_state.config.cache_capacity > 0 {
                 fast.lock()
                     .unwrap()
-                    .insert(&raw_path, &raw_body, route, response);
+                    .insert(&raw_path, &raw_body, route, cache_key, response);
             }
             answer(status, body);
         };
@@ -1434,15 +1697,20 @@ impl crate::net::Handler for ServerHandler {
             }
             _ => {
                 // Control plane and error routes answer inline.
-                let (route, status, content_type, body) = dispatch(&request, &self.state);
+                let (route, status, content_type, body, cache_key) =
+                    dispatch(&request, &self.state);
                 self.state
                     .metrics
                     .record_request(route, status, started.elapsed());
+                let extra_headers = match cache_key {
+                    Some(key) => id_key_headers(&request_id, key),
+                    None => id_headers(&request_id),
+                };
                 Outcome::Respond(Rendered {
                     status,
                     content_type: content_type.to_string(),
                     body,
-                    extra_headers: id_headers(&request_id),
+                    extra_headers,
                     fault_eligible: false,
                     force_close: false,
                 })
@@ -1560,5 +1828,56 @@ impl crate::net::Handler for ServerHandler {
                 serve_loop(reader, &mut writer, &state, Some(request))
             })();
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lis-server-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    /// The latent RAM-only drain gap, closed: `POST /shutdown` must flush
+    /// spills still sitting in the write-behind queue before `run` returns,
+    /// and report how many it saved in `DrainReport::spilled`.
+    #[test]
+    fn shutdown_drain_flushes_pending_spills_and_reports_them() {
+        let dir = scratch("drain");
+        let config = ServerConfig {
+            store_dir: Some(dir.clone()),
+            // Slow spill worker: the queue is observably non-empty when the
+            // drain starts, exactly the window the old code lost.
+            spill_delay_for_tests: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let daemon = std::thread::spawn(move || server.run());
+
+        let mut client = Client::connect(addr).expect("connect");
+        for rs in 1..=3u32 {
+            let netlist = format!("block A\nblock B\nchannel A -> B rs={rs}\nchannel A -> B\n");
+            let (status, _) = client
+                .analysis("analyze", &netlist, Json::Null)
+                .expect("analyze");
+            assert_eq!(status, 200);
+        }
+        client.shutdown().expect("shutdown");
+        let report = daemon.join().expect("join").expect("run");
+        assert!(
+            report.spilled >= 1,
+            "drain must report the spills it flushed, got {report:?}"
+        );
+
+        // Every answer is durable: a reopened store holds all three.
+        let reopened = ResultStore::open(&dir, 0).expect("reopen");
+        assert_eq!(reopened.len(), 3, "flushed spills survive on disk");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -11,13 +11,18 @@ use lis_server::{parse_metric, Client, Server, ServerConfig};
 
 const FIG1: &str = "block A\nblock B\nchannel A -> B rs=1\nchannel A -> B\n";
 
-fn start(config: ServerConfig) -> (std::net::SocketAddr, JoinHandle<std::io::Result<()>>) {
+fn start(
+    config: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    JoinHandle<std::io::Result<lis_server::DrainReport>>,
+) {
     let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr");
     (addr, std::thread::spawn(move || server.run()))
 }
 
-fn stop(addr: std::net::SocketAddr, daemon: JoinHandle<std::io::Result<()>>) {
+fn stop(addr: std::net::SocketAddr, daemon: JoinHandle<std::io::Result<lis_server::DrainReport>>) {
     let mut client = Client::connect(addr).expect("connect for shutdown");
     assert_eq!(client.shutdown().expect("shutdown request"), 200);
     daemon.join().expect("daemon thread").expect("clean exit");

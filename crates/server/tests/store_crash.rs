@@ -1,0 +1,252 @@
+//! Crash-consistency harness for the durable result store.
+//!
+//! Two attack shapes, both replayable from a printed seed:
+//!
+//! * **Seeded truncation loop** — build a reference store, then for each
+//!   of `KILL_POINTS` seeded offsets clone the store directory, cut its
+//!   index log mid-record (simulating power loss at an arbitrary byte),
+//!   reopen, and assert every surviving entry is byte-identical to the
+//!   reference and that the index never serves a torn record. Records
+//!   are fixed-width, so a cut at byte `b` must recover exactly the
+//!   first `b / RECORD_LEN` inserts — no more, no less.
+//! * **SIGKILL rounds** — re-exec this test binary as a child process
+//!   that appends entries in a tight loop, `SIGKILL` it at a seeded
+//!   delay (`Child::kill` is SIGKILL on Unix), reopen the store in the
+//!   parent, and assert whatever survived is byte-identical to what the
+//!   deterministic writer would have produced — with nothing quarantined
+//!   (the write ordering makes every interrupted insert invisible, never
+//!   torn).
+//!
+//! `LIS_STORE_CRASH_QUICK=1` shrinks the loop for CI smoke jobs.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+use lis_server::fault::{seeded_unit, DEFAULT_SEED};
+use lis_server::store::RECORD_LEN;
+use lis_server::{CacheKey, ResultStore};
+
+/// Seeding site for truncation offsets (disjoint from the fault plan's
+/// panic/write sites, which use 1 and 2).
+const TRUNCATE_SITE: u64 = 100;
+/// Seeding site for SIGKILL delays.
+const KILL_SITE: u64 = 101;
+
+fn quick() -> bool {
+    std::env::var("LIS_STORE_CRASH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lis-crash-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// SplitMix64: the test's own deterministic key/body generator.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn key_for(i: u64) -> CacheKey {
+    CacheKey {
+        system: mix(i),
+        request: mix(i ^ 0x5bd1_e995),
+    }
+}
+
+/// A deterministic pseudo-JSON body, 1..=300 bytes, unique per index.
+fn body_for(i: u64) -> Vec<u8> {
+    let h = mix(i.wrapping_mul(31).wrapping_add(7));
+    let len = 1 + (h % 300) as usize;
+    (0..len)
+        .map(|j| {
+            let b = (mix(h ^ j as u64) & 0x7f) as u8;
+            // Printable-ish, to keep hexdumps of failures readable.
+            0x20 + (b % 0x5f)
+        })
+        .collect()
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    fs::create_dir_all(to).expect("create copy dir");
+    for entry in fs::read_dir(from).expect("read dir") {
+        let entry = entry.expect("dir entry");
+        let target = to.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_dir(&entry.path(), &target);
+        } else {
+            fs::copy(entry.path(), &target).expect("copy file");
+        }
+    }
+}
+
+/// The truncation loop: 200 seeded kill points (25 under `--quick`),
+/// every one of which must reopen to a byte-identical prefix.
+#[test]
+fn seeded_truncation_points_never_yield_torn_reads() {
+    let entries: u64 = 64;
+    let kill_points: u64 = if quick() { 25 } else { 200 };
+    let seed = DEFAULT_SEED;
+
+    // Reference store: `entries` inserts in a known order.
+    let reference_dir = scratch("trunc-ref");
+    {
+        let store = ResultStore::open(&reference_dir, 0).expect("open reference");
+        for i in 0..entries {
+            store
+                .insert(key_for(i), 200, &body_for(i))
+                .expect("reference insert");
+        }
+    }
+    let log_len = fs::metadata(reference_dir.join("index.log"))
+        .expect("log metadata")
+        .len();
+    assert_eq!(
+        log_len,
+        entries * RECORD_LEN as u64,
+        "one record per insert"
+    );
+
+    for point in 0..kill_points {
+        // A seeded cut anywhere in the log — including mid-record.
+        let cut = (seeded_unit(seed, TRUNCATE_SITE, point) * log_len as f64) as u64;
+        let dir = scratch("trunc-case");
+        copy_dir(&reference_dir, &dir);
+        let log = fs::OpenOptions::new()
+            .write(true)
+            .open(dir.join("index.log"))
+            .expect("open copied log");
+        log.set_len(cut).expect("truncate");
+        drop(log);
+
+        let store = ResultStore::open(&dir, 0).expect("reopen after cut");
+        let survivors = cut / RECORD_LEN as u64;
+        assert_eq!(
+            store.len() as u64,
+            survivors,
+            "cut at byte {cut} (point {point}, seed {seed:#x}) must recover \
+             exactly the checksummed prefix"
+        );
+        for i in 0..entries {
+            let got = store.get(key_for(i));
+            if i < survivors {
+                let got = got.unwrap_or_else(|| {
+                    panic!("entry {i} lost below the cut (point {point}, seed {seed:#x})")
+                });
+                assert_eq!(got.status, 200);
+                assert_eq!(
+                    got.body,
+                    body_for(i),
+                    "entry {i} not byte-identical after cut at {cut}"
+                );
+            } else {
+                assert!(
+                    got.is_none(),
+                    "entry {i} above the cut at {cut} must be gone, not torn"
+                );
+            }
+        }
+        assert_eq!(store.quarantined(), 0, "a clean cut quarantines nothing");
+        drop(store);
+        fs::remove_dir_all(&dir).expect("cleanup case");
+    }
+    fs::remove_dir_all(&reference_dir).expect("cleanup reference");
+}
+
+/// The child half of the SIGKILL rounds: append entries as fast as the
+/// disk allows until the parent kills us. Env-gated — a normal test run
+/// passes straight through.
+#[test]
+fn sigkill_child_writer() {
+    let Ok(dir) = std::env::var("LIS_STORE_CRASH_DIR") else {
+        return;
+    };
+    let store = ResultStore::open(Path::new(&dir), 0).expect("child open");
+    println!("CHILD_READY");
+    for i in 0..200_000u64 {
+        store.insert(key_for(i), 200, &body_for(i)).expect("insert");
+    }
+}
+
+/// SIGKILL a child mid-write at seeded delays; the reopened store must
+/// hold only byte-identical, fully-committed entries.
+#[test]
+fn sigkill_during_writes_recovers_a_byte_identical_prefix() {
+    let rounds: u64 = if quick() { 2 } else { 6 };
+    let seed = DEFAULT_SEED;
+    let exe = std::env::current_exe().expect("current exe");
+    let mut total_recovered = 0u64;
+
+    for round in 0..rounds {
+        let dir = scratch(&format!("sigkill-{round}"));
+        fs::create_dir_all(&dir).expect("create dir");
+        let mut child = Command::new(&exe)
+            .args(["--exact", "sigkill_child_writer", "--nocapture"])
+            .env("LIS_STORE_CRASH_DIR", &dir)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn child writer");
+
+        // Wait for the child to open its store (it announces readiness on
+        // stdout), then kill it at a seeded point mid-stream so rounds hit
+        // different write phases. The reader stays alive until after the
+        // kill — a closed pipe could SIGPIPE the writer instead.
+        let reader = {
+            use std::io::BufRead as _;
+            let stdout = child.stdout.take().expect("stdout piped");
+            let mut reader = std::io::BufReader::new(stdout);
+            let mut line = String::new();
+            while reader.read_line(&mut line).expect("read child stdout") > 0 {
+                if line.contains("CHILD_READY") {
+                    break;
+                }
+                line.clear();
+            }
+            reader
+        };
+        let delay = 2.0 + seeded_unit(seed, KILL_SITE, round) * 120.0;
+        std::thread::sleep(Duration::from_millis(delay as u64));
+        child.kill().expect("SIGKILL child");
+        let _ = child.wait();
+        drop(reader);
+
+        let store = ResultStore::open(&dir, 0).expect("reopen after SIGKILL");
+        assert_eq!(
+            store.quarantined(),
+            0,
+            "round {round}: write ordering must leave no half-committed entry"
+        );
+        let recovered = store.len() as u64;
+        // The writer inserts 0..n in order; the recovered index must be
+        // exactly that prefix, byte-identical.
+        for i in 0..recovered {
+            let got = store
+                .get(key_for(i))
+                .unwrap_or_else(|| panic!("round {round}: entry {i} of {recovered} missing"));
+            assert_eq!(got.status, 200);
+            assert_eq!(
+                got.body,
+                body_for(i),
+                "round {round}: entry {i} not byte-identical after SIGKILL"
+            );
+        }
+        assert!(
+            store.get(key_for(recovered)).is_none(),
+            "round {round}: nothing past the committed prefix may surface"
+        );
+        total_recovered += recovered;
+        drop(store);
+        fs::remove_dir_all(&dir).expect("cleanup round");
+    }
+    assert!(
+        total_recovered > 0,
+        "kills always landed before the first commit; rounds prove nothing \
+         (seed {seed:#x})"
+    );
+}

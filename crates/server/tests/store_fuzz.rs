@@ -1,0 +1,207 @@
+//! Loader fuzzing for the durable result store: hostile on-disk state
+//! must never panic `ResultStore::open`, never surface a wrong byte, and
+//! must account for every rejected entry in the quarantine counter.
+//!
+//! Two sources of hostility:
+//!
+//! * **The checked-in corpus** (`tests/corpus/store/*.log`) — crafted
+//!   index logs covering bad record checksums, duplicate keys with
+//!   conflicting metadata, mid-record truncation, pure garbage, absurd
+//!   body lengths, records with no entry file behind them, unknown op
+//!   codes, and removes for keys never inserted. Each file pins the
+//!   exact recovery outcome (entries quarantined, bytes truncated).
+//! * **Seeded mutations** — a genuinely valid store is built, then
+//!   random bytes of its index log or entry files are flipped and the
+//!   store reopened. Whatever survives must be byte-identical to the
+//!   original; anything else must be quarantined or gone, never served
+//!   corrupt.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lis_server::fault::seeded_unit;
+use lis_server::{CacheKey, ResultStore};
+
+const CORPUS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/store");
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lis-store-fuzz-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch");
+    dir
+}
+
+/// Opens a store over one corpus log and returns it with its counters.
+fn open_corpus_case(name: &str) -> (ResultStore, PathBuf) {
+    let dir = scratch(&format!("corpus-{}", name.replace('.', "-")));
+    fs::copy(Path::new(CORPUS).join(name), dir.join("index.log")).expect("copy corpus log");
+    let store = ResultStore::open(&dir, 0)
+        .unwrap_or_else(|e| panic!("corpus {name}: open must absorb hostile logs, got {e}"));
+    (store, dir)
+}
+
+#[test]
+fn corpus_logs_recover_with_exact_quarantine_accounting() {
+    // (file, quarantined, truncated tail bytes). Every corpus entry lacks
+    // its entry files on purpose: each record the replay accepts must be
+    // quarantined — and counted — when its body can't be produced.
+    let cases: &[(&str, u64, u64)] = &[
+        ("bad_record_crc.log", 1, 64),
+        ("duplicate_keys.log", 1, 0),
+        ("truncated_tail.log", 1, 17),
+        ("garbage.log", 0, 96),
+        ("huge_length.log", 1, 0),
+        ("missing_entries.log", 3, 0),
+        ("unknown_ops.log", 1, 0),
+        ("remove_before_insert.log", 1, 0),
+        ("empty.log", 0, 0),
+    ];
+    for &(name, quarantined, truncated) in cases {
+        let (store, dir) = open_corpus_case(name);
+        assert_eq!(
+            store.quarantined(),
+            quarantined,
+            "corpus {name}: quarantine accounting"
+        );
+        assert_eq!(
+            store.truncated_bytes(),
+            truncated,
+            "corpus {name}: torn-tail accounting"
+        );
+        assert_eq!(store.len(), 0, "corpus {name}: nothing unverifiable served");
+        // The store must stay writable after absorbing the damage.
+        let key = CacheKey {
+            system: 0xfeed,
+            request: 0xbeef,
+        };
+        store
+            .insert(key, 200, b"{}")
+            .expect("insert after recovery");
+        assert_eq!(store.get(key).expect("read back").body, b"{}");
+        drop(store);
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
+
+#[test]
+fn corpus_dir_is_fully_covered() {
+    // A corpus file nobody asserts on is dead weight; fail loudly when
+    // the directory and the case table drift apart.
+    let mut found: Vec<String> = fs::read_dir(CORPUS)
+        .expect("corpus dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    found.sort();
+    assert_eq!(
+        found,
+        vec![
+            "bad_record_crc.log",
+            "duplicate_keys.log",
+            "empty.log",
+            "garbage.log",
+            "huge_length.log",
+            "missing_entries.log",
+            "remove_before_insert.log",
+            "truncated_tail.log",
+            "unknown_ops.log",
+        ]
+    );
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[test]
+fn seeded_byte_flips_never_panic_and_never_serve_corrupt_bytes() {
+    const SEED: u64 = 0x0005_eedf_1ea5;
+    const ROUNDS: u64 = 40;
+    const ENTRIES: u64 = 8;
+
+    // Reference store + ground-truth bodies.
+    let reference = scratch("flip-ref");
+    let mut truth: Vec<(CacheKey, Vec<u8>)> = Vec::new();
+    {
+        let store = ResultStore::open(&reference, 0).expect("open reference");
+        for i in 0..ENTRIES {
+            let key = CacheKey {
+                system: mix(i),
+                request: mix(i ^ 0xabcd),
+            };
+            let body: Vec<u8> = (0..64).map(|j| (mix(i ^ (j << 32)) & 0xff) as u8).collect();
+            store.insert(key, 200, &body).expect("insert");
+            truth.push((key, body));
+        }
+    }
+
+    // Every file in the store tree is a flip target: the index log and
+    // all entry files alike.
+    let mut targets: Vec<PathBuf> = vec![reference.join("index.log")];
+    for shard in fs::read_dir(reference.join("entries")).expect("entries dir") {
+        for file in fs::read_dir(shard.expect("shard").path()).expect("shard dir") {
+            targets.push(file.expect("file").path());
+        }
+    }
+    targets.sort();
+
+    for round in 0..ROUNDS {
+        let dir = scratch("flip-case");
+        copy_dir(&reference, &dir);
+        // Flip 1..=4 bytes across seeded (file, offset, bit) picks.
+        let flips = 1 + (seeded_unit(SEED, 1, round * 7) * 4.0) as usize;
+        for f in 0..flips {
+            let n = round * 101 + f as u64;
+            let target_ref = &targets[(seeded_unit(SEED, 2, n) * targets.len() as f64) as usize];
+            let relative = target_ref
+                .strip_prefix(&reference)
+                .expect("under reference");
+            let target = dir.join(relative);
+            let mut bytes = fs::read(&target).expect("read target");
+            if bytes.is_empty() {
+                continue;
+            }
+            let at = ((seeded_unit(SEED, 3, n) * bytes.len() as f64) as usize).min(bytes.len() - 1);
+            let bit = (seeded_unit(SEED, 4, n) * 8.0) as u32;
+            bytes[at] ^= 1u8 << bit.min(7);
+            fs::write(&target, bytes).expect("write flipped target");
+        }
+
+        let store = ResultStore::open(&dir, 0)
+            .unwrap_or_else(|e| panic!("round {round}: open must absorb flips, got {e}"));
+        for (key, body) in &truth {
+            if let Some(got) = store.get(*key) {
+                assert_eq!(
+                    &got.body, body,
+                    "round {round}: a flipped store served corrupt bytes for {key:?}"
+                );
+            }
+        }
+        let served = truth
+            .iter()
+            .filter(|(k, _)| store.get(*k).is_some())
+            .count() as u64;
+        assert!(
+            served + store.quarantined() <= ENTRIES,
+            "round {round}: quarantine counter overshot the entry count"
+        );
+        drop(store);
+        fs::remove_dir_all(&dir).expect("cleanup round");
+    }
+    fs::remove_dir_all(&reference).expect("cleanup reference");
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    fs::create_dir_all(to).expect("create copy dir");
+    for entry in fs::read_dir(from).expect("read dir") {
+        let entry = entry.expect("dir entry");
+        let target = to.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_dir(&entry.path(), &target);
+        } else {
+            fs::copy(entry.path(), &target).expect("copy file");
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Property tests for the durable result store.
+//!
+//! * **Model equivalence** — arbitrary interleavings of inserts (fresh
+//!   keys, overwrites, capacity-evicting streams) and reopens must leave
+//!   the store indistinguishable from a trivial in-memory model (a
+//!   `HashMap` plus a FIFO queue with the same capacity rule): same live
+//!   keys in the same eviction order, byte-identical bodies. Reopens in
+//!   the middle of a sequence prove recovery round-trips the *exact*
+//!   state, order included.
+//! * **Truncation recovery** — records are fixed-width, so cutting the
+//!   index log at an arbitrary byte must recover exactly `cut /
+//!   RECORD_LEN` inserts — the longest checksummed prefix — with nothing
+//!   quarantined and nothing torn.
+//! * **Garbage tails** — appending arbitrary non-record bytes to the log
+//!   must cost only the garbage: every committed entry survives reopen.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lis_server::store::{RECORD_LEN, RECORD_MAGIC};
+use lis_server::{CacheKey, ResultStore};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Store capacity under test: small enough that random sequences hit the
+/// GC path constantly.
+const CAPACITY: usize = 6;
+/// Key pool: > capacity so evicted keys get reinserted (the
+/// remove-then-reinsert order case), small enough for collisions.
+const SLOTS: u64 = 10;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(tag: &str) -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "lis-store-prop-{tag}-{}-{case}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn key_for(slot: u64) -> CacheKey {
+    CacheKey {
+        system: mix(slot),
+        request: mix(slot ^ 0xc2b2_ae35),
+    }
+}
+
+/// Body content is a function of (slot, tag): overwrites with a new tag
+/// change the bytes, replays with the same tag are idempotent.
+fn body_for(slot: u64, tag: u8) -> Vec<u8> {
+    let h = mix(slot.wrapping_mul(257).wrapping_add(u64::from(tag)));
+    let len = 1 + (h % 96) as usize;
+    (0..len).map(|j| (mix(h ^ j as u64) & 0xff) as u8).collect()
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { slot: u64, tag: u8 },
+    Reopen,
+}
+
+struct OpSeq;
+
+impl Strategy for OpSeq {
+    type Value = Vec<Op>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<Op> {
+        let len = rng.gen_range(1..40usize);
+        (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.15) {
+                    Op::Reopen
+                } else {
+                    Op::Insert {
+                        slot: rng.gen_range(0..SLOTS),
+                        tag: rng.gen_range(0..8u8),
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// The in-memory reference: what a correct bounded FIFO map does.
+#[derive(Default)]
+struct Model {
+    map: HashMap<CacheKey, (u16, Vec<u8>)>,
+    order: VecDeque<CacheKey>,
+}
+
+impl Model {
+    fn insert(&mut self, key: CacheKey, status: u16, body: Vec<u8>) {
+        if self.map.insert(key, (status, body)).is_none() {
+            self.order.push_back(key);
+            while self.map.len() > CAPACITY {
+                let oldest = self.order.pop_front().expect("order tracks map");
+                self.map.remove(&oldest);
+            }
+        }
+    }
+}
+
+fn assert_store_matches(store: &ResultStore, model: &Model, context: &str) {
+    assert_eq!(store.len(), model.map.len(), "{context}: live-entry count");
+    let order: Vec<CacheKey> = model.order.iter().copied().collect();
+    assert_eq!(store.keys(), order, "{context}: FIFO order");
+    for (key, (status, body)) in &model.map {
+        let got = store
+            .get(*key)
+            .unwrap_or_else(|| panic!("{context}: live key {key:?} missing"));
+        assert_eq!(got.status, *status, "{context}: status for {key:?}");
+        assert_eq!(&got.body, body, "{context}: body for {key:?}");
+    }
+    assert_eq!(
+        store.quarantined(),
+        0,
+        "{context}: clean runs quarantine nothing"
+    );
+}
+
+/// Record sizes and cut points for the truncation property.
+struct TruncCase;
+
+impl Strategy for TruncCase {
+    type Value = (u64, u64);
+    fn generate(&self, rng: &mut StdRng) -> (u64, u64) {
+        let records = rng.gen_range(1..24u64);
+        let cut = rng.gen_range(0..=records * RECORD_LEN as u64);
+        (records, cut)
+    }
+}
+
+/// Arbitrary bytes appended past the last committed record.
+struct GarbageTail;
+
+impl Strategy for GarbageTail {
+    type Value = Vec<u8>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<u8> {
+        let len = rng.gen_range(1..80usize);
+        let mut tail: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u8)).collect();
+        // The replay stops at the first invalid record; force the tail's
+        // first byte off the record magic so "garbage" is guaranteed to
+        // be garbage rather than a one-in-2^32 valid record.
+        if tail[0] == RECORD_MAGIC {
+            tail[0] ^= 0xff;
+        }
+        tail
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn insert_gc_reopen_interleavings_match_the_in_memory_model(ops in OpSeq) {
+        let dir = scratch("model");
+        let mut store = ResultStore::open(&dir, CAPACITY).expect("open");
+        let mut model = Model::default();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Insert { slot, tag } => {
+                    let body = body_for(*slot, *tag);
+                    store
+                        .insert(key_for(*slot), 200, &body)
+                        .expect("insert");
+                    model.insert(key_for(*slot), 200, body);
+                }
+                Op::Reopen => {
+                    drop(store);
+                    store = ResultStore::open(&dir, CAPACITY).expect("reopen");
+                    assert_store_matches(&store, &model, &format!("after reopen at op {i}"));
+                }
+            }
+        }
+        assert_store_matches(&store, &model, "at end of sequence");
+        drop(store);
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn arbitrary_tail_cuts_recover_exactly_the_checksummed_prefix(case in TruncCase) {
+        let (records, cut) = case;
+        let dir = scratch("trunc");
+        {
+            let store = ResultStore::open(&dir, 0).expect("open");
+            for i in 0..records {
+                store
+                    .insert(key_for(1000 + i), 200, &body_for(1000 + i, 0))
+                    .expect("insert");
+            }
+        }
+        let log = fs::OpenOptions::new()
+            .write(true)
+            .open(dir.join("index.log"))
+            .expect("open log");
+        log.set_len(cut).expect("truncate");
+        drop(log);
+
+        let store = ResultStore::open(&dir, 0).expect("reopen");
+        let survivors = cut / RECORD_LEN as u64;
+        assert_eq!(store.len() as u64, survivors, "cut at {cut} of {records} records");
+        for i in 0..survivors {
+            let got = store.get(key_for(1000 + i)).expect("prefix entry survives");
+            assert_eq!(got.body, body_for(1000 + i, 0), "prefix entry byte-identical");
+        }
+        assert!(store.get(key_for(1000 + survivors)).is_none(), "no torn record served");
+        assert_eq!(store.quarantined(), 0);
+        drop(store);
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn garbage_appended_to_the_log_costs_only_the_garbage(tail in GarbageTail) {
+        let dir = scratch("garbage");
+        let records = 5u64;
+        {
+            let store = ResultStore::open(&dir, 0).expect("open");
+            for i in 0..records {
+                store
+                    .insert(key_for(2000 + i), 200, &body_for(2000 + i, 1))
+                    .expect("insert");
+            }
+        }
+        {
+            use std::io::Write as _;
+            let mut log = fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join("index.log"))
+                .expect("open log");
+            log.write_all(&tail).expect("append garbage");
+        }
+        let store = ResultStore::open(&dir, 0).expect("reopen");
+        assert_eq!(store.len() as u64, records, "garbage tail must not eat records");
+        assert_eq!(store.truncated_bytes(), tail.len() as u64);
+        for i in 0..records {
+            let got = store.get(key_for(2000 + i)).expect("entry survives");
+            assert_eq!(got.body, body_for(2000 + i, 1));
+        }
+        drop(store);
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
