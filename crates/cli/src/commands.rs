@@ -6,12 +6,14 @@ use std::fs;
 use lis_core::{parse_netlist, practical_mst, to_netlist, LisModel, LisSystem, McmEngine};
 use lis_qs::{solve, verify_solution, Algorithm, QsConfig};
 use lis_rsopt::{equalize_dag, exhaustive_insertion, greedy_insertion};
+use lis_schedule::{burst_report, BurstParams, BurstReport, Schedule};
 use lis_sim::{
     CompiledProgram, CompiledSim, CoreModel, LisSimulator, McKernel, Passthrough, QueueMode,
     StallSpec,
 };
 use lis_sweep::{
-    pareto_front, CapacityAxis, PointReport, StallAxis, StationGoal, Sweep, SweepMode, SweepSpec,
+    pareto_front, BurstAxis, CapacityAxis, PointReport, StallAxis, StationGoal, Sweep, SweepMode,
+    SweepSpec,
 };
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -20,7 +22,18 @@ const USAGE: &str = "\
 usage: lis [--threads N] <command> ...
 
 analysis commands (local, netlist from a file):
-  analyze  <netlist>                     throughput analysis + topology class
+  analyze  <netlist> [--schedule] [--burst OFF,ON [--burst-trials N]
+                     [--burst-cycles N] [--burst-seed S]]
+                                         throughput analysis + topology class;
+                                         --schedule derives the explicit
+                                         periodic firing schedule (balanced
+                                         binary words) and per-channel queue
+                                         occupancy bounds; --burst runs the
+                                         Monte-Carlo kernel under Markov
+                                         on/off sources (OFF,ON per-mille
+                                         switch probabilities) and checks the
+                                         observed occupancy against the
+                                         schedule caps
   qs       <netlist> [--exact] [--apply OUT]
   insert   <netlist> [--budget N] [--apply OUT]
   repair   <netlist> [--slot-cost X] [--station-cost Y] [--apply OUT]
@@ -35,6 +48,7 @@ analysis commands (local, netlist from a file):
                                          word, reported against the θ bound
   sweep    <netlist> [--cap CH=V1,V2,..]... [--budget N] [--qs [--exact]]
                      [--stalls P1,P2,.. [--trials N] [--cycles N] [--seed S]]
+                     [--bursts P1,P2,.. [--burst-on P]]
                                          design-space exploration: expand the
                                          capacity x station grid, evaluate
                                          every point on warm incremental
@@ -43,7 +57,11 @@ analysis commands (local, netlist from a file):
                                          vs. total capacity vs. stations).
                                          --cap repeats per channel axis;
                                          --stalls adds seeded Monte-Carlo
-                                         stall points (probability per mille)
+                                         stall points (probability per mille);
+                                         --bursts adds Markov on/off source
+                                         points (OFF per-mille list, shared
+                                         --burst-on / --trials / --cycles /
+                                         --seed)
   vcd      <netlist> [--steps N]         waveform dump to stdout (GTKWave)
   dot      <netlist> [--doubled]
 
@@ -81,6 +99,7 @@ server commands (analysis as a service):
                                          shard for warm failover reads unless
                                          --no-replicate
   client <addr> analyze|qs|insert|dot <netlist> [--exact] [--budget N] [--doubled]
+                [--schedule] [--burst OFF,ON ...]
                                          run one request against a daemon or
                                          gateway (transient failures are
                                          retried; --retries N caps them,
@@ -125,7 +144,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
     let sys = parse_netlist(&text)?;
     let rest = &args[2..];
     match command.as_str() {
-        "analyze" => analyze(&sys, engine),
+        "analyze" => analyze(&sys, rest, engine),
         "qs" => qs(&sys, rest, engine),
         "insert" => insert(&sys, rest),
         "repair" => repair_cmd(&sys, rest),
@@ -360,6 +379,26 @@ fn client_cmd(rest: &[String], engine: McmEngine) -> CliResult {
                 let n: u64 = v.parse().map_err(|e| format!("--budget: {e}"))?;
                 options.push(("budget".into(), Json::Num(n as f64)));
             }
+            if route == "analyze" {
+                if flag(flags, "--schedule") {
+                    options.push(("schedule".into(), Json::Bool(true)));
+                }
+                if let Some(p) = parse_burst_params(flags)? {
+                    options.push((
+                        "burst".into(),
+                        Json::Obj(vec![
+                            (
+                                "off_per_mille".into(),
+                                Json::Num(f64::from(p.off_per_mille)),
+                            ),
+                            ("on_per_mille".into(), Json::Num(f64::from(p.on_per_mille))),
+                            ("trials".into(), Json::Num(f64::from(p.trials))),
+                            ("cycles".into(), Json::Num(p.cycles as f64)),
+                            ("seed".into(), Json::Num(p.seed as f64)),
+                        ]),
+                    ));
+                }
+            }
             let options = if options.is_empty() {
                 Json::Null
             } else {
@@ -447,6 +486,7 @@ struct SweepFlags {
     caps: Vec<(usize, Vec<u64>)>,
     budget: Option<u32>,
     stalls: Option<StallFlags>,
+    bursts: Option<BurstAxis>,
 }
 
 struct StallFlags {
@@ -514,12 +554,30 @@ fn parse_sweep_flags(rest: &[String]) -> Result<SweepFlags, Box<dyn Error>> {
             })
         }
     };
+    let bursts = match rest.iter().position(|a| a == "--bursts") {
+        None => None,
+        Some(i) => {
+            let list = rest.get(i + 1).ok_or("--bursts needs a value")?;
+            let off_per_mille = list
+                .split(',')
+                .map(|v| v.trim().parse().map_err(|e| format!("--bursts: {e}")))
+                .collect::<Result<Vec<u32>, String>>()?;
+            Some(BurstAxis {
+                off_per_mille,
+                on_per_mille: option(rest, "--burst-on", 300u32)?,
+                trials: option(rest, "--trials", 64u32)?,
+                cycles: option(rest, "--cycles", 10_000u64)?,
+                seed: option(rest, "--seed", 0u64)?,
+            })
+        }
+    };
     Ok(SweepFlags {
         qs: flag(rest, "--qs"),
         exact: flag(rest, "--exact"),
         caps,
         budget,
         stalls,
+        bursts,
     })
 }
 
@@ -547,6 +605,7 @@ impl SweepFlags {
             cycles: s.cycles,
             seed: s.seed,
         });
+        spec.bursts = self.bursts.clone();
         spec
     }
 }
@@ -603,6 +662,26 @@ fn sweep_options(flags: &SweepFlags, engine: McmEngine) -> lis_server::Json {
             ]),
         ));
     }
+    if let Some(b) = &flags.bursts {
+        o.push((
+            "bursts".into(),
+            Json::Obj(vec![
+                (
+                    "off_per_mille".into(),
+                    Json::Arr(
+                        b.off_per_mille
+                            .iter()
+                            .map(|p| Json::Num(f64::from(*p)))
+                            .collect(),
+                    ),
+                ),
+                ("on_per_mille".into(), Json::Num(f64::from(b.on_per_mille))),
+                ("trials".into(), Json::Num(f64::from(b.trials))),
+                ("cycles".into(), Json::Num(b.cycles as f64)),
+                ("seed".into(), Json::Num(b.seed as f64)),
+            ]),
+        ));
+    }
     if o.is_empty() {
         lis_server::Json::Null
     } else {
@@ -648,6 +727,14 @@ fn sweep_cmd(sys: &LisSystem, rest: &[String], engine: McmEngine) -> CliResult {
                 p.mean_rate
             ));
         }
+        for p in &row.burst {
+            line.push_str(&format!(
+                " | burst off {:.3}: mean rate {:.4}, peak occupancy {}",
+                f64::from(p.off_per_mille) / 1000.0,
+                p.mean_rate,
+                p.peak_occupancy
+            ));
+        }
         println!("{line}");
     }
     let front = pareto_front(&rows);
@@ -675,7 +762,7 @@ fn sweep_cmd(sys: &LisSystem, rest: &[String], engine: McmEngine) -> CliResult {
     Ok(())
 }
 
-fn analyze(sys: &LisSystem, engine: McmEngine) -> CliResult {
+fn analyze(sys: &LisSystem, rest: &[String], engine: McmEngine) -> CliResult {
     print!("{sys}");
     let report = lis_core::explain_with(sys, engine);
     print!("{report}");
@@ -691,7 +778,102 @@ fn analyze(sys: &LisSystem, engine: McmEngine) -> CliResult {
     } else {
         println!("no throughput degradation from backpressure");
     }
+    if flag(rest, "--schedule") {
+        print_schedule(sys, &Schedule::compute(sys, engine)?);
+    }
+    if let Some(params) = parse_burst_params(rest)? {
+        print_burst(sys, &burst_report(sys, &params));
+    }
     Ok(())
+}
+
+/// Parses the `--burst OFF,ON` Markov-source flag (probabilities per
+/// mille) and its `--burst-trials/--burst-cycles/--burst-seed` companions.
+fn parse_burst_params(rest: &[String]) -> Result<Option<BurstParams>, Box<dyn Error>> {
+    let Some(i) = rest.iter().position(|a| a == "--burst") else {
+        return Ok(None);
+    };
+    let v = rest.get(i + 1).ok_or("--burst needs a value")?;
+    let (off, on) = v
+        .split_once(',')
+        .ok_or_else(|| format!("--burst wants OFF,ON per-mille probabilities (got {v:?})"))?;
+    let defaults = BurstParams::default();
+    let params = BurstParams {
+        off_per_mille: off
+            .trim()
+            .parse()
+            .map_err(|e| format!("--burst off: {e}"))?,
+        on_per_mille: on.trim().parse().map_err(|e| format!("--burst on: {e}"))?,
+        trials: option(rest, "--burst-trials", defaults.trials)?,
+        cycles: option(rest, "--burst-cycles", defaults.cycles)?,
+        seed: option(rest, "--burst-seed", defaults.seed)?,
+    };
+    if params.off_per_mille > 1000 || params.on_per_mille == 0 || params.on_per_mille > 1000 {
+        return Err("--burst probabilities are per mille: OFF <= 1000, 1 <= ON <= 1000".into());
+    }
+    if params.trials == 0 || params.cycles == 0 {
+        return Err("--burst-trials and --burst-cycles must be positive".into());
+    }
+    Ok(Some(params))
+}
+
+/// Prints a periodic firing schedule: the system throughput, one balanced
+/// binary word per transition, and the per-channel occupancy bounds.
+fn print_schedule(sys: &LisSystem, s: &Schedule) {
+    println!(
+        "schedule ({} engine): throughput {}, transient {} step(s), period {} step(s)",
+        s.engine, s.throughput, s.transient, s.period
+    );
+    for t in &s.transitions {
+        let word: String = t.word.iter().map(|&f| if f { '1' } else { '0' }).collect();
+        let phase = t.phase.map_or_else(|| "-".to_string(), |p| p.to_string());
+        println!(
+            "  {:<12} rate {} ({} firing(s)/period)  word {word}  phase {phase}",
+            t.name, t.rate, t.firings_per_period
+        );
+    }
+    for b in &s.bounds {
+        println!(
+            "  queue {} -> {}: peak occupancy {} (cap {})",
+            sys.block_name(sys.channel_from(b.channel)),
+            sys.block_name(sys.channel_to(b.channel)),
+            b.peak,
+            b.cap
+        );
+    }
+}
+
+/// Prints a bursty-source Monte-Carlo report against the schedule caps.
+fn print_burst(sys: &LisSystem, r: &BurstReport) {
+    println!(
+        "burst (off {}‰, on {}‰, {} trial(s) x {} cycle(s), seed {}): \
+         mean rate {:.4} [{:.4}, {:.4}]",
+        r.params.off_per_mille,
+        r.params.on_per_mille,
+        r.params.trials,
+        r.params.cycles,
+        r.params.seed,
+        r.mean_rate,
+        r.min_rate,
+        r.max_rate
+    );
+    for o in &r.occupancy {
+        println!(
+            "  queue {} -> {}: max occupancy {} of cap {}",
+            sys.block_name(sys.channel_from(o.channel)),
+            sys.block_name(sys.channel_to(o.channel)),
+            o.max,
+            o.cap
+        );
+    }
+    println!(
+        "occupancy {} the schedule caps",
+        if r.within_caps() {
+            "stayed within"
+        } else {
+            "EXCEEDED"
+        }
+    );
 }
 
 fn qs(sys: &LisSystem, rest: &[String], engine: McmEngine) -> CliResult {
@@ -1069,6 +1251,36 @@ mod tests {
     }
 
     #[test]
+    fn analyze_schedule_and_burst_flags_run_on_fig1() {
+        let path = write_fig1();
+        dispatch(&["analyze".into(), path.to_str().into(), "--schedule".into()])
+            .expect("analyze --schedule");
+        dispatch(&[
+            "analyze".into(),
+            path.to_str().into(),
+            "--schedule".into(),
+            "--burst".into(),
+            "100,300".into(),
+            "--burst-trials".into(),
+            "16".into(),
+            "--burst-cycles".into(),
+            "200".into(),
+            "--burst-seed".into(),
+            "3".into(),
+        ])
+        .expect("analyze --schedule --burst");
+        // Malformed burst flags are rejected before any kernel run.
+        assert!(dispatch(&["analyze".into(), path.to_str().into(), "--burst".into()]).is_err());
+        assert!(dispatch(&[
+            "analyze".into(),
+            path.to_str().into(),
+            "--burst".into(),
+            "moose".into(),
+        ])
+        .is_err());
+    }
+
+    #[test]
     fn qs_apply_writes_resized_netlist() {
         let path = write_fig1();
         let out = std::env::temp_dir().join(format!("lis-cli-out-{}", std::process::id()));
@@ -1175,6 +1387,20 @@ mod tests {
             "0".into(),
         ])
         .expect("client analyze --retries 0");
+        dispatch(&[
+            "client".into(),
+            addr.to_string(),
+            "analyze".into(),
+            path.to_str().into(),
+            "--schedule".into(),
+            "--burst".into(),
+            "100,300".into(),
+            "--burst-trials".into(),
+            "16".into(),
+            "--burst-cycles".into(),
+            "200".into(),
+        ])
+        .expect("client analyze --schedule --burst");
 
         // Bad usage surfaces as errors, not panics.
         assert!(dispatch(&["client".into()]).is_err());
@@ -1226,6 +1452,21 @@ mod tests {
             "200".into(),
         ])
         .expect("sweep --stalls");
+        dispatch(&[
+            "sweep".into(),
+            path.to_str().into(),
+            "--cap".into(),
+            "1=1,2".into(),
+            "--bursts".into(),
+            "0,150".into(),
+            "--burst-on".into(),
+            "300".into(),
+            "--trials".into(),
+            "64".into(),
+            "--cycles".into(),
+            "200".into(),
+        ])
+        .expect("sweep --bursts");
         // Malformed axes are rejected before any evaluation.
         assert!(dispatch(&[
             "sweep".into(),
@@ -1314,6 +1555,7 @@ mod tests {
         assert_eq!(flags.caps, vec![(0, vec![1, 2]), (1, vec![4])]);
         assert_eq!(flags.budget, Some(2));
         assert!(flags.stalls.is_none());
+        assert!(flags.bursts.is_none());
         let spec = flags.to_spec(McmEngine::Karp);
         assert_eq!(spec.engine, McmEngine::Karp);
         assert_eq!(spec.stations, StationGoal::Budget(2));
@@ -1322,6 +1564,38 @@ mod tests {
         assert!(json.contains("\"capacities\""), "{json}");
         assert!(json.contains("\"budget\""), "{json}");
         assert!(json.contains("\"engine\""), "{json}");
+
+        // The burst axis parses its list plus the shared knobs, lands in
+        // the spec, and lowers to the daemon's "bursts" envelope.
+        let args: Vec<String> = [
+            "--bursts",
+            "0,100,250",
+            "--burst-on",
+            "500",
+            "--trials",
+            "32",
+            "--cycles",
+            "400",
+            "--seed",
+            "9",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let flags = parse_sweep_flags(&args).expect("parses");
+        let bursts = flags.bursts.clone().expect("burst axis");
+        assert_eq!(bursts.off_per_mille, vec![0, 100, 250]);
+        assert_eq!(bursts.on_per_mille, 500);
+        assert_eq!(bursts.trials, 32);
+        assert_eq!(bursts.cycles, 400);
+        assert_eq!(bursts.seed, 9);
+        assert_eq!(flags.to_spec(McmEngine::Howard).bursts, Some(bursts));
+        let json = sweep_options(&flags, McmEngine::Howard).to_string();
+        assert!(json.contains("\"bursts\""), "{json}");
+        assert!(json.contains("\"off_per_mille\""), "{json}");
+        assert!(json.contains("\"on_per_mille\":500"), "{json}");
+        assert!(parse_sweep_flags(&["--bursts".to_string()]).is_err());
+        assert!(parse_sweep_flags(&["--bursts".to_string(), "moose".to_string()]).is_err());
     }
 
     #[test]

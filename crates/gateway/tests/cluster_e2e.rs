@@ -97,6 +97,33 @@ fn workload() -> Vec<(String, String)> {
             requests.push((path.to_string(), body.clone()));
         }
     }
+    // A schedule + bursty-source analyze: the options envelope must relay
+    // untouched through the gateway, cache under its own key (distinct from
+    // the bare analyze of the same netlist above), and the seeded kernel
+    // must make the answer reproducible across shards.
+    requests.push((
+        "/analyze".to_string(),
+        obj([
+            ("netlist", Json::str(netlist(0))),
+            (
+                "options",
+                obj([
+                    ("schedule", Json::Bool(true)),
+                    (
+                        "burst",
+                        obj([
+                            ("off_per_mille", Json::Num(150.0)),
+                            ("on_per_mille", Json::Num(400.0)),
+                            ("trials", Json::Num(64.0)),
+                            ("cycles", Json::Num(500.0)),
+                            ("seed", Json::Num(11.0)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+        .to_string(),
+    ));
     requests.push((
         "/analyze".to_string(),
         obj([("netlist", Json::str("blok A\n"))]).to_string(),

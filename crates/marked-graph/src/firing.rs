@@ -105,6 +105,9 @@ pub struct FiringEngine<'g> {
     marking: Marking,
     firings: Vec<u64>,
     steps: u64,
+    /// Per-place running maximum of tokens over every visited marking
+    /// (including the start marking).
+    max_tokens: Vec<u64>,
     /// Scratch buffer of transitions enabled in the current step.
     enabled: Vec<TransitionId>,
 }
@@ -112,22 +115,18 @@ pub struct FiringEngine<'g> {
 impl<'g> FiringEngine<'g> {
     /// Creates an engine positioned at the graph's initial marking.
     pub fn new(graph: &'g MarkedGraph) -> FiringEngine<'g> {
-        FiringEngine {
-            graph,
-            marking: Marking::initial(graph),
-            firings: vec![0; graph.transition_count()],
-            steps: 0,
-            enabled: Vec::new(),
-        }
+        FiringEngine::with_marking(graph, Marking::initial(graph))
     }
 
     /// Creates an engine starting from an explicit marking.
     pub fn with_marking(graph: &'g MarkedGraph, marking: Marking) -> FiringEngine<'g> {
+        let max_tokens = marking.tokens.clone();
         FiringEngine {
             graph,
             marking,
             firings: vec![0; graph.transition_count()],
             steps: 0,
+            max_tokens,
             enabled: Vec::new(),
         }
     }
@@ -145,6 +144,16 @@ impl<'g> FiringEngine<'g> {
     /// Number of times transition `t` has fired.
     pub fn firings(&self, t: TransitionId) -> u64 {
         self.firings[t.index()]
+    }
+
+    /// The highest token count place `p` has held over the execution so
+    /// far, sampled at step boundaries (the start marking counts).
+    ///
+    /// On a doubled LIS model the forward place entering a shell is the
+    /// channel's input queue, so this maximum is the queue's backlog peak —
+    /// the quantity the schedule-derived occupancy bounds cap.
+    pub fn max_tokens(&self, p: PlaceId) -> u64 {
+        self.max_tokens[p.index()]
     }
 
     /// Average firing rate of `t` over the steps executed so far.
@@ -190,7 +199,11 @@ impl<'g> FiringEngine<'g> {
         }
         for &t in &self.enabled {
             for &p in self.graph.outputs(t) {
-                self.marking.tokens[p.index()] += 1;
+                let slot = p.index();
+                self.marking.tokens[slot] += 1;
+                if self.marking.tokens[slot] > self.max_tokens[slot] {
+                    self.max_tokens[slot] = self.marking.tokens[slot];
+                }
             }
         }
         self.steps += 1;
@@ -393,6 +406,30 @@ mod tests {
         let g = ring(&[1, 0]);
         let e = FiringEngine::new(&g);
         let _ = e.throughput(TransitionId::new(0));
+    }
+
+    #[test]
+    fn max_tokens_tracks_the_backlog_peak() {
+        // src fires every step; mid is gated to rate 1/2 by a self-loop
+        // throttle, so the place src -> mid accumulates up to 2 tokens
+        // before settling.
+        let mut g = MarkedGraph::new();
+        let src = g.add_transition("src");
+        let mid = g.add_transition("mid");
+        let queue = g.add_place(src, mid, 0);
+        let t = g.add_transition("throttle");
+        let tick = g.add_place(t, t, 1);
+        g.add_place(t, mid, 0);
+        g.add_place(mid, t, 1);
+        let mut e = FiringEngine::new(&g);
+        assert_eq!(e.max_tokens(queue), 0); // start marking counts
+        e.run(20);
+        let peak = e.max_tokens(queue);
+        assert!(peak >= 1, "the queue must have been occupied");
+        assert_eq!(e.max_tokens(tick), 1); // a 1-token self-loop never grows
+                                           // Running further never lowers a recorded maximum.
+        e.run(20);
+        assert!(e.max_tokens(queue) >= peak);
     }
 
     #[test]

@@ -29,6 +29,8 @@
 //! * [`cycles`] — Johnson's elementary-cycle enumeration, the input to the
 //!   Token Deficit abstraction used by queue sizing.
 //! * [`SccDecomposition`] — Tarjan SCCs and the condensation DAG.
+//! * [`word`] — balanced binary words ([`word::BalancedWord`]), the
+//!   two-integer encoding of periodic firing schedules.
 //! * [`structure`] — articulation points, biconnected components, and the
 //!   reconvergent-path test behind the paper's topology classification.
 //!
@@ -84,6 +86,7 @@ mod ratio;
 mod scc;
 pub mod sensitivity;
 pub mod structure;
+pub mod word;
 
 pub use error::GraphError;
 pub use firing::{FiringEngine, Marking, PeriodicBehavior};

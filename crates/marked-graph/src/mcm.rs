@@ -213,6 +213,35 @@ pub fn minimum_cycle_mean_with(
     })
 }
 
+/// Minimum cycle mean of one CSR snapshot under the chosen engine.
+///
+/// The public per-component entry point for consumers that already hold a
+/// [`CsrScc`] snapshot — periodic schedule generation solves each component
+/// on the same snapshot the full-graph analysis uses, so the per-SCC rates
+/// it aligns phases against are bit-identical to the engine's answer.
+///
+/// # Examples
+///
+/// ```
+/// use marked_graph::csr::CsrScc;
+/// use marked_graph::mcm::{scc_mean_with, McmEngine};
+/// use marked_graph::{MarkedGraph, Ratio, SccDecomposition};
+///
+/// let mut g = MarkedGraph::new();
+/// let a = g.add_transition("A");
+/// let b = g.add_transition("B");
+/// g.add_place(a, b, 1);
+/// g.add_place(b, a, 0);
+/// let scc = SccDecomposition::compute(&g);
+/// let csr = CsrScc::build(&g, &scc, scc.component_of(a));
+/// assert_eq!(scc_mean_with(&csr, McmEngine::Karp), Ratio::new(1, 2));
+/// ```
+pub fn scc_mean_with(csr: &CsrScc, engine: McmEngine) -> Ratio {
+    let mut scratch = HowardScratch::new();
+    let mut policy = Vec::new();
+    solve_csr(csr, engine, &mut scratch, &mut policy)
+}
+
 /// Serial reference implementation of [`minimum_cycle_mean`].
 ///
 /// Iterates the SCCs one by one on the calling thread; kept as the oracle

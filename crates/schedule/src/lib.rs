@@ -1,0 +1,54 @@
+//! Explicit periodic firing schedules and queue-occupancy bounds for
+//! latency-insensitive systems.
+//!
+//! The throughput analysis (`lis-core`) stops at the maximal sustainable
+//! throughput θ: it says *how often* each shell fires in the long run, but
+//! not *when*, and not how full each relay-station queue gets along the
+//! way. This crate closes that gap:
+//!
+//! * [`Schedule::compute`] executes the system's doubled marked graph under
+//!   ASAP step semantics until the marking repeats, then characterizes the
+//!   periodic regime exactly: per-transition firing rates as exact
+//!   rationals (validated against the per-SCC minimum cycle mean on the
+//!   same CSR snapshot the MCM engines use), per-transition
+//!   balanced-binary-word encodings ([`marked_graph::word::BalancedWord`],
+//!   after Millo & de Simone) with per-SCC phase alignment, and
+//!   per-channel **occupancy bounds**: the backlog `peak` attained by the
+//!   zero-stall periodic regime and the pair-invariant `cap` that no
+//!   stall or burst plan can ever exceed.
+//! * [`burst_report`] is the empirical counterpart: it drives the packed
+//!   Monte-Carlo kernel (`lis-sim`) under a Markov-modulated on/off burst
+//!   plan and reports observed rates plus per-channel maximum occupancy,
+//!   ready to be held against the bounds.
+//!
+//! Every number is validated two ways: schedule throughput must equal θ
+//! from all three MCM engines as a rational identity, and the occupancy
+//! bounds are differential-tested against `CompiledSim`/`McKernel` runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use lis_core::figures;
+//! use lis_schedule::Schedule;
+//! use marked_graph::{McmEngine, Ratio};
+//!
+//! let (sys, _, lower) = figures::fig1();
+//! let schedule = Schedule::compute(&sys, McmEngine::default()).unwrap();
+//! // The schedule's throughput IS the paper's 2/3, as an exact rational.
+//! assert_eq!(schedule.throughput, Ratio::new(2, 3));
+//! // Blocks fire along the balanced word 110 110 ... (rate 2/3).
+//! let a = sys.block_by_name("A").unwrap();
+//! assert_eq!(schedule.block(a).rate, Ratio::new(2, 3));
+//! // The lower channel's unit queue peaks at its cap of 2 (q=1 plus the
+//! // initialized producer token) — the Fig. 5 backpressure bottleneck.
+//! assert_eq!(schedule.bound(lower).cap, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod burst;
+mod schedule;
+
+pub use burst::{burst_report, BurstParams, BurstReport, ChannelOccupancy};
+pub use schedule::{ChannelBound, Schedule, ScheduleError, TransitionSchedule, MAX_SCHEDULE_STEPS};

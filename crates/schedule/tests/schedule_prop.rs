@@ -1,0 +1,194 @@
+//! Property-based tests of the schedule subsystem: balanced words carry
+//! exactly their rate, schedules are admissible (no transition ever fires
+//! without tokens on all of its input places), the zero-stall occupancy
+//! peak is attained, and no stall/burst plan ever exceeds the cap.
+
+use lis_core::{practical_mst_with, LisModel, LisSystem};
+use lis_schedule::{burst_report, BurstParams, Schedule};
+use lis_sim::{BurstSpec, CompiledProgram, McKernel, QueueMode, StallSpec};
+use marked_graph::word::BalancedWord;
+use marked_graph::{FiringEngine, McmEngine, Ratio, TransitionId};
+use proptest::prelude::*;
+
+/// Strategy: a random LIS as (block count, channel endpoints, rs flags, q).
+fn arb_lis() -> impl Strategy<Value = LisSystem> {
+    (2usize..7)
+        .prop_flat_map(|n| {
+            let channels = proptest::collection::vec(((0..n), (0..n), 0u32..3, 1u64..4), 1..10);
+            (Just(n), channels)
+        })
+        .prop_map(|(n, channels)| {
+            let mut sys = LisSystem::new();
+            let blocks: Vec<_> = (0..n).map(|i| sys.add_block(format!("b{i}"))).collect();
+            for (from, to, rs, q) in channels {
+                let c = sys.add_channel(blocks[from], blocks[to]);
+                for _ in 0..rs {
+                    sys.add_relay_station(c);
+                }
+                sys.set_queue_capacity(c, q).expect("q >= 1");
+            }
+            sys
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A balanced word of rate p/q carries exactly p ones per q steps, at
+    /// any phase, over any whole number of periods.
+    #[test]
+    fn balanced_word_rate_is_exactly_p_over_q(
+        p in 0i64..12,
+        extra in 1i64..12,
+        phase in 0u64..12,
+        periods in 1u64..5,
+    ) {
+        let q = p + extra;
+        let w = BalancedWord::with_phase(Ratio::new(p, q), phase);
+        let n = periods * w.q();
+        prop_assert_eq!(w.count(n), periods * w.p());
+        let ones = (0..n).filter(|&k| w.fires_at(k)).count() as u64;
+        prop_assert_eq!(ones, periods * w.p());
+    }
+
+    /// Any length-n window of a balanced word holds within one of n·p/q
+    /// ones — the defining balance property.
+    #[test]
+    fn balanced_word_windows_are_balanced(
+        p in 0i64..9,
+        extra in 1i64..9,
+        phase in 0u64..9,
+        start in 0u64..40,
+        len in 0u64..40,
+    ) {
+        let q = p + extra;
+        let w = BalancedWord::with_phase(Ratio::new(p, q), phase);
+        let ones = w.count(start + len) - w.count(start);
+        let low = len * w.p() / w.q();
+        prop_assert!(ones >= low && ones <= low + 1);
+    }
+
+    /// The schedule's periodic words are admissible: replaying them
+    /// cyclically from the regime's start marking, every scheduled firing
+    /// finds tokens on all of its input places, and the words reproduce
+    /// the execution exactly, period after period.
+    #[test]
+    fn schedules_are_admissible_and_periodic(sys in arb_lis()) {
+        let s = Schedule::compute(&sys, McmEngine::default()).unwrap();
+        prop_assert_eq!(s.throughput, practical_mst_with(&sys, McmEngine::default()));
+
+        let model = LisModel::doubled(&sys);
+        let graph = model.graph();
+        let mut eng = FiringEngine::new(graph);
+        for _ in 0..s.transient {
+            eng.step();
+        }
+        let mut fired_before: Vec<u64> = (0..graph.transition_count())
+            .map(|t| eng.firings(TransitionId::new(t)))
+            .collect();
+        for k in 0..2 * s.period {
+            let slot = (k % s.period) as usize;
+            for (t, ts) in s.transitions.iter().enumerate() {
+                if ts.word[slot] {
+                    prop_assert!(
+                        eng.marking().is_enabled(graph, TransitionId::new(t)),
+                        "step {k}: {} scheduled without tokens", ts.name
+                    );
+                }
+            }
+            eng.step();
+            for (t, ts) in s.transitions.iter().enumerate() {
+                let now = eng.firings(TransitionId::new(t));
+                prop_assert_eq!(
+                    now > fired_before[t],
+                    ts.word[slot],
+                    "step {} transition {}", k, &ts.name
+                );
+                fired_before[t] = now;
+            }
+        }
+    }
+
+    /// Every scheduled transition follows its balanced word when one
+    /// matched, firing `fires_at(k)` exactly.
+    #[test]
+    fn matched_words_replay_the_schedule(sys in arb_lis()) {
+        let s = Schedule::compute(&sys, McmEngine::default()).unwrap();
+        for ts in &s.transitions {
+            let Some(phi) = ts.phase else { continue };
+            let w = BalancedWord::with_phase(ts.rate, phi);
+            for (k, &bit) in ts.word.iter().enumerate() {
+                prop_assert_eq!(w.fires_at(k as u64), bit);
+            }
+        }
+    }
+
+    /// The zero-stall compiled simulation attains the schedule's peak
+    /// exactly and never exceeds the cap.
+    #[test]
+    fn zero_stall_attains_peak(sys in arb_lis(), cycles in 64u64..256) {
+        let s = Schedule::compute(&sys, McmEngine::default()).unwrap();
+        let mut sim = lis_sim::CompiledSim::new(&sys, QueueMode::Finite);
+        sim.track_occupancy();
+        let horizon = (s.transient + s.period).max(cycles);
+        for _ in 0..horizon {
+            sim.step();
+        }
+        for c in sys.channel_ids() {
+            let bound = s.bound(c);
+            prop_assert_eq!(sim.max_queue_occupancy(c), bound.peak, "channel {:?}", c);
+            prop_assert!(bound.peak <= bound.cap);
+        }
+    }
+
+    /// No seeded stall/burst plan ever pushes a queue past its cap, and
+    /// observed rates never beat θ.
+    #[test]
+    fn no_stall_or_burst_plan_exceeds_the_cap(
+        sys in arb_lis(),
+        stall_pm in 0u32..500,
+        off_pm in 0u32..500,
+        on_pm in 100u32..1000,
+        seed in 0u64..1000,
+    ) {
+        let s = Schedule::compute(&sys, McmEngine::default()).unwrap();
+        let prog = CompiledProgram::compile(&sys, QueueMode::Finite);
+        let stall = StallSpec::uniform(&prog, stall_pm as f64 / 1000.0);
+        let burst = BurstSpec::sources(&prog, off_pm as f64 / 1000.0, on_pm as f64 / 1000.0);
+        let kernel = McKernel::new(prog, stall, seed).with_burst(burst);
+        let (report, occupancy) = kernel.run_occupancy(64, 128);
+        // Finite-horizon rates can exceed θ by at most the transient
+        // front-load: F(k) ≤ θ·k + transient + period for every block.
+        let slack = (s.transient + s.period) as f64 / 128.0;
+        prop_assert!(report.max_system_rate() <= s.throughput.to_f64() + slack + 1e-9);
+        for c in sys.channel_ids() {
+            prop_assert!(
+                occupancy[c.index()] <= s.bound(c).cap,
+                "channel {:?}: {} > cap {}", c, occupancy[c.index()], s.bound(c).cap
+            );
+        }
+    }
+
+    /// The empirical burst report agrees with the schedule caps on every
+    /// channel, deterministically.
+    #[test]
+    fn burst_reports_stay_within_schedule_caps(
+        sys in arb_lis(),
+        off_pm in 0u32..400,
+        seed in 0u64..100,
+    ) {
+        let s = Schedule::compute(&sys, McmEngine::default()).unwrap();
+        let params = BurstParams {
+            off_per_mille: off_pm,
+            on_per_mille: 250,
+            trials: 64,
+            cycles: 128,
+            seed,
+        };
+        let report = burst_report(&sys, &params);
+        prop_assert!(report.within_caps());
+        for occ in &report.occupancy {
+            prop_assert_eq!(occ.cap, s.bound(occ.channel).cap);
+        }
+    }
+}

@@ -15,9 +15,10 @@
 use lis_core::{canonical_hash, explain_with, AnalysisReport, LisModel, LisSystem, TopologyClass};
 use lis_qs::{solve, verify_solution, Algorithm, QsConfig, QsReport};
 use lis_rsopt::{exhaustive_insertion, greedy_insertion};
+use lis_schedule::{burst_report, BurstParams, Schedule};
 use lis_sweep::{
-    CapacityAxis, PointReport, StallAxis, StationGoal, Sweep, SweepMode, SweepRow, SweepSpec,
-    SweepSummary,
+    BurstAxis, CapacityAxis, PointReport, StallAxis, StationGoal, Sweep, SweepMode, SweepRow,
+    SweepSpec, SweepSummary,
 };
 use marked_graph::{McmEngine, Ratio};
 
@@ -32,6 +33,11 @@ pub enum RequestKind {
     Analyze {
         /// The MCM engine backing the throughput solves.
         engine: McmEngine,
+        /// Also compute the explicit periodic firing schedule and the
+        /// per-channel queue-occupancy bounds.
+        schedule: bool,
+        /// Also run the bursty-source Monte-Carlo experiment.
+        burst: Option<BurstParams>,
     },
     /// Queue sizing (`POST /qs`), heuristic or exact.
     Qs {
@@ -98,6 +104,8 @@ impl RequestKind {
         let kind = match route {
             "analyze" => RequestKind::Analyze {
                 engine: opt_engine()?,
+                schedule: opt_bool("schedule")?,
+                burst: decode_burst_params(options)?,
             },
             "qs" => RequestKind::Qs {
                 exact: opt_bool("exact")?,
@@ -129,7 +137,28 @@ impl RequestKind {
     /// result — the request half of the cache key.
     pub fn token(&self) -> String {
         match self {
-            RequestKind::Analyze { engine } => format!("analyze:engine={engine}"),
+            // The bare form stays exactly `analyze:engine=...` so existing
+            // cache entries and replicas keep their identity; options
+            // append only when set.
+            RequestKind::Analyze {
+                engine,
+                schedule,
+                burst,
+            } => {
+                let mut t = format!("analyze:engine={engine}");
+                if *schedule {
+                    t.push_str(":schedule=true");
+                }
+                if let Some(b) = burst {
+                    use std::fmt::Write;
+                    let _ = write!(
+                        t,
+                        ":burst=off{}:on{}:trials{}:cycles{}:seed{}",
+                        b.off_per_mille, b.on_per_mille, b.trials, b.cycles, b.seed
+                    );
+                }
+                t
+            }
             RequestKind::Qs { exact, engine } => format!("qs:exact={exact}:engine={engine}"),
             RequestKind::Insert { budget } => format!("insert:budget={budget}"),
             RequestKind::Dot { doubled } => format!("dot:doubled={doubled}"),
@@ -141,7 +170,7 @@ impl RequestKind {
     /// kinds whose runtime is dominated by throughput solves.
     pub fn engine_label(&self) -> Option<&'static str> {
         match self {
-            RequestKind::Analyze { engine } | RequestKind::Qs { engine, .. } => {
+            RequestKind::Analyze { engine, .. } | RequestKind::Qs { engine, .. } => {
                 Some(engine.as_str())
             }
             RequestKind::Sweep { spec } => Some(spec.engine.as_str()),
@@ -169,13 +198,63 @@ impl RequestKind {
     /// cycle-enumeration limits).
     pub fn execute(&self, sys: &LisSystem) -> Result<Json, ServerError> {
         match self {
-            RequestKind::Analyze { engine } => Ok(analyze(sys, *engine)),
+            RequestKind::Analyze {
+                engine,
+                schedule,
+                burst,
+            } => analyze(sys, *engine, *schedule, burst.as_ref()),
             RequestKind::Qs { exact, engine } => qs(sys, *exact, *engine),
             RequestKind::Insert { budget } => Ok(insert(sys, *budget)),
             RequestKind::Dot { doubled } => Ok(dot(sys, *doubled)),
             RequestKind::Sweep { spec } => sweep_table(sys, spec),
         }
     }
+}
+
+/// Decodes the optional `"burst"` object of `/analyze` options into
+/// [`BurstParams`] (missing fields take the [`BurstParams::default`]
+/// values). `None` when the option is absent.
+fn decode_burst_params(options: &Json) -> Result<Option<BurstParams>, ServerError> {
+    let Some(b) = options.get("burst") else {
+        return Ok(None);
+    };
+    let bad = |msg: &str| ServerError::BadRequest(msg.into());
+    let field_u64 = |name: &str, default: u64| -> Result<u64, ServerError> {
+        match b.get(name) {
+            None => Ok(default),
+            Some(v) => v.as_u64().ok_or_else(|| {
+                ServerError::BadRequest(format!("burst {name:?} must be a non-negative integer"))
+            }),
+        }
+    };
+    let defaults = BurstParams::default();
+    let per_mille = |name: &str, default: u32| -> Result<u32, ServerError> {
+        let v = field_u64(name, u64::from(default))?;
+        u32::try_from(v)
+            .ok()
+            .filter(|&p| p <= 1000)
+            .ok_or_else(|| ServerError::BadRequest(format!("burst {name:?} must be ≤ 1000‰")))
+    };
+    let off_per_mille = per_mille("off_per_mille", defaults.off_per_mille)?;
+    let on_per_mille = per_mille("on_per_mille", defaults.on_per_mille)?;
+    if on_per_mille == 0 {
+        return Err(bad("burst \"on_per_mille\" must be positive"));
+    }
+    let trials = u32::try_from(field_u64("trials", u64::from(defaults.trials))?)
+        .ok()
+        .filter(|&t| (1..=4096).contains(&t))
+        .ok_or_else(|| bad("burst \"trials\" must be in 1..=4096"))?;
+    let cycles = field_u64("cycles", defaults.cycles)?;
+    if cycles == 0 || cycles > 1_000_000 {
+        return Err(bad("burst \"cycles\" must be in 1..=1000000"));
+    }
+    Ok(Some(BurstParams {
+        off_per_mille,
+        on_per_mille,
+        trials,
+        cycles,
+        seed: field_u64("seed", defaults.seed)?,
+    }))
 }
 
 /// Decodes the `/sweep` options object into a [`SweepSpec`]. Type errors
@@ -301,12 +380,54 @@ fn decode_sweep_spec(
             })
         }
     };
+    let bursts = match options.get("bursts") {
+        None => None,
+        Some(s) => {
+            let off_per_mille = s
+                .get("off_per_mille")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("bursts \"off_per_mille\" must be an array"))?
+                .iter()
+                .map(|v| {
+                    as_u64(v, "burst probability").and_then(|p| {
+                        u32::try_from(p).map_err(|_| bad("burst probability is out of range"))
+                    })
+                })
+                .collect::<Result<Vec<u32>, _>>()?;
+            let on_per_mille = match s.get("on_per_mille") {
+                None => 300,
+                Some(v) => u32::try_from(as_u64(v, "bursts \"on_per_mille\"")?)
+                    .map_err(|_| bad("bursts \"on_per_mille\" is out of range"))?,
+            };
+            let trials = match s.get("trials") {
+                None => 64,
+                Some(v) => u32::try_from(as_u64(v, "bursts \"trials\"")?)
+                    .map_err(|_| bad("bursts \"trials\" is out of range"))?,
+            };
+            let cycles = match s.get("cycles") {
+                None => 10_000,
+                Some(v) => as_u64(v, "bursts \"cycles\"")?,
+            };
+            let seed = match s.get("seed") {
+                None => 0,
+                Some(v) => as_u64(v, "bursts \"seed\"")?,
+            };
+            Some(BurstAxis {
+                off_per_mille,
+                on_per_mille,
+                trials,
+                cycles,
+                seed,
+            })
+        }
+    };
     Ok(SweepSpec {
         mode,
         engine,
         capacities,
         stations,
         stalls,
+        bursts,
     })
 }
 
@@ -334,8 +455,102 @@ fn channel_json(sys: &LisSystem, c: lis_core::ChannelId) -> Json {
     ])
 }
 
-fn analyze(sys: &LisSystem, engine: McmEngine) -> Json {
-    analyze_report_json(sys, &explain_with(sys, engine))
+fn analyze(
+    sys: &LisSystem,
+    engine: McmEngine,
+    schedule: bool,
+    burst: Option<&BurstParams>,
+) -> Result<Json, ServerError> {
+    let base = analyze_report_json(sys, &explain_with(sys, engine));
+    if !schedule && burst.is_none() {
+        return Ok(base);
+    }
+    let mut fields = match base {
+        Json::Obj(pairs) => pairs,
+        _ => unreachable!("analyze_report_json returns an object"),
+    };
+    if schedule {
+        let s = Schedule::compute(sys, engine).map_err(|e| ServerError::Analysis(e.to_string()))?;
+        fields.push(("schedule".into(), schedule_json(sys, &s)));
+    }
+    if let Some(params) = burst {
+        fields.push(("burst".into(), burst_json(sys, &burst_report(sys, params))));
+    }
+    Ok(Json::Obj(fields))
+}
+
+/// Renders a computed [`Schedule`]: the exact throughput, the regime shape,
+/// one word per transition, and one `{peak, cap}` bound per channel.
+fn schedule_json(sys: &LisSystem, s: &Schedule) -> Json {
+    let transitions: Vec<Json> = s
+        .transitions
+        .iter()
+        .map(|t| {
+            let word: String = t.word.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            obj([
+                ("name", Json::str(&t.name)),
+                ("rate", ratio_json(t.rate)),
+                ("firings_per_period", Json::num(t.firings_per_period as f64)),
+                ("phase", t.phase.map_or(Json::Null, |p| Json::num(p as f64))),
+                ("word", Json::str(&word)),
+            ])
+        })
+        .collect();
+    let bounds: Vec<Json> = s
+        .bounds
+        .iter()
+        .map(|b| {
+            let mut entry = match channel_json(sys, b.channel) {
+                Json::Obj(pairs) => pairs,
+                _ => unreachable!("channel_json returns an object"),
+            };
+            entry.push(("peak".into(), Json::num(b.peak as f64)));
+            entry.push(("cap".into(), Json::num(b.cap as f64)));
+            Json::Obj(entry)
+        })
+        .collect();
+    obj([
+        ("throughput", ratio_json(s.throughput)),
+        ("transient", Json::num(s.transient as f64)),
+        ("period", Json::num(s.period as f64)),
+        ("transitions", Json::Arr(transitions)),
+        ("bounds", Json::Arr(bounds)),
+    ])
+}
+
+/// Renders a [`lis_schedule::BurstReport`]: the experiment's parameters,
+/// observed rates, and per-channel occupancy maxima against the caps.
+fn burst_json(sys: &LisSystem, report: &lis_schedule::BurstReport) -> Json {
+    let occupancy: Vec<Json> = report
+        .occupancy
+        .iter()
+        .map(|o| {
+            let mut entry = match channel_json(sys, o.channel) {
+                Json::Obj(pairs) => pairs,
+                _ => unreachable!("channel_json returns an object"),
+            };
+            entry.push(("max".into(), Json::num(o.max as f64)));
+            entry.push(("cap".into(), Json::num(o.cap as f64)));
+            Json::Obj(entry)
+        })
+        .collect();
+    obj([
+        (
+            "off_per_mille",
+            Json::num(f64::from(report.params.off_per_mille)),
+        ),
+        (
+            "on_per_mille",
+            Json::num(f64::from(report.params.on_per_mille)),
+        ),
+        ("trials", Json::num(f64::from(report.params.trials))),
+        ("cycles", Json::num(report.params.cycles as f64)),
+        ("seed", Json::num(report.params.seed as f64)),
+        ("mean_rate", Json::Num(report.mean_rate)),
+        ("min_rate", Json::Num(report.min_rate)),
+        ("max_rate", Json::Num(report.max_rate)),
+        ("occupancy", Json::Arr(occupancy)),
+    ])
 }
 
 /// Renders an [`AnalysisReport`] exactly as the `/analyze` route does — the
@@ -556,6 +771,22 @@ pub(crate) fn sweep_row_json(row: &SweepRow, engine: McmEngine) -> Json {
             .collect();
         fields.push(("sim".into(), Json::Arr(sim)));
     }
+    if !row.burst.is_empty() {
+        let burst: Vec<Json> = row
+            .burst
+            .iter()
+            .map(|p| {
+                obj([
+                    ("off_per_mille", Json::num(f64::from(p.off_per_mille))),
+                    ("mean_rate", Json::Num(p.mean_rate)),
+                    ("min_rate", Json::Num(p.min_rate)),
+                    ("max_rate", Json::Num(p.max_rate)),
+                    ("peak_occupancy", Json::num(p.peak_occupancy as f64)),
+                ])
+            })
+            .collect();
+        fields.push(("burst".into(), Json::Arr(burst)));
+    }
     Json::Obj(fields)
 }
 
@@ -624,7 +855,9 @@ mod tests {
         assert_eq!(
             kind,
             RequestKind::Analyze {
-                engine: McmEngine::Howard
+                engine: McmEngine::Howard,
+                schedule: false,
+                burst: None,
             }
         );
         assert_eq!(
@@ -674,7 +907,11 @@ mod tests {
             .unwrap();
             assert_eq!(
                 RequestKind::decode("analyze", &body).unwrap().1,
-                RequestKind::Analyze { engine }
+                RequestKind::Analyze {
+                    engine,
+                    schedule: false,
+                    burst: None,
+                }
             );
             assert_eq!(
                 RequestKind::decode("qs", &body).unwrap().1,
@@ -745,9 +982,13 @@ mod tests {
         .unwrap();
         let analyze = RequestKind::Analyze {
             engine: McmEngine::Howard,
+            schedule: false,
+            burst: None,
         };
         let analyze_karp = RequestKind::Analyze {
             engine: McmEngine::Karp,
+            schedule: false,
+            burst: None,
         };
         let qs_h = RequestKind::Qs {
             exact: false,
@@ -768,7 +1009,9 @@ mod tests {
     fn engine_labels_cover_the_throughput_routes() {
         assert_eq!(
             RequestKind::Analyze {
-                engine: McmEngine::Karp
+                engine: McmEngine::Karp,
+                schedule: false,
+                burst: None,
             }
             .engine_label(),
             Some("karp")
@@ -789,6 +1032,8 @@ mod tests {
     fn analyze_reports_the_fig1_numbers() {
         let out = RequestKind::Analyze {
             engine: McmEngine::Howard,
+            schedule: false,
+            burst: None,
         }
         .execute(&fig1())
         .unwrap();
@@ -842,6 +1087,146 @@ mod tests {
             doubled.get("dot").unwrap().as_str().unwrap().len()
                 > ideal.get("dot").unwrap().as_str().unwrap().len()
         );
+    }
+
+    #[test]
+    fn decode_analyze_schedule_and_burst_options() {
+        let body = Json::parse(&format!(
+            concat!(
+                r#"{{"netlist": {}, "options": {{"schedule": true, "#,
+                r#""burst": {{"off_per_mille": 150, "on_per_mille": 400, "#,
+                r#""trials": 96, "cycles": 2048, "seed": 11}}}}}}"#
+            ),
+            Json::str(FIG1)
+        ))
+        .unwrap();
+        let (_, kind) = RequestKind::decode("analyze", &body).unwrap();
+        assert_eq!(
+            kind,
+            RequestKind::Analyze {
+                engine: McmEngine::Howard,
+                schedule: true,
+                burst: Some(BurstParams {
+                    off_per_mille: 150,
+                    on_per_mille: 400,
+                    trials: 96,
+                    cycles: 2048,
+                    seed: 11,
+                }),
+            }
+        );
+
+        // Burst fields default; absent burst stays None.
+        let body = Json::parse(&format!(
+            r#"{{"netlist": {}, "options": {{"burst": {{}}}}}}"#,
+            Json::str(FIG1)
+        ))
+        .unwrap();
+        let (_, kind) = RequestKind::decode("analyze", &body).unwrap();
+        assert_eq!(
+            kind,
+            RequestKind::Analyze {
+                engine: McmEngine::Howard,
+                schedule: false,
+                burst: Some(BurstParams::default()),
+            }
+        );
+
+        // Out-of-range probabilities and zero workloads are rejected.
+        for bad in [
+            r#"{"off_per_mille": 1500}"#,
+            r#"{"on_per_mille": 0}"#,
+            r#"{"trials": 0}"#,
+            r#"{"trials": 100000}"#,
+            r#"{"cycles": 0}"#,
+        ] {
+            let body = Json::parse(&format!(
+                r#"{{"netlist": {}, "options": {{"burst": {bad}}}}}"#,
+                Json::str(FIG1)
+            ))
+            .unwrap();
+            assert!(
+                matches!(
+                    RequestKind::decode("analyze", &body),
+                    Err(ServerError::BadRequest(_))
+                ),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_tokens_preserve_the_legacy_identity_and_separate_options() {
+        let bare = RequestKind::Analyze {
+            engine: McmEngine::Howard,
+            schedule: false,
+            burst: None,
+        };
+        // The bare token is byte-identical to the pre-schedule format, so
+        // existing cache entries and store replicas keep their identity.
+        assert_eq!(bare.token(), "analyze:engine=howard");
+        let with_schedule = RequestKind::Analyze {
+            engine: McmEngine::Howard,
+            schedule: true,
+            burst: None,
+        };
+        let with_burst = RequestKind::Analyze {
+            engine: McmEngine::Howard,
+            schedule: false,
+            burst: Some(BurstParams::default()),
+        };
+        let sys = fig1();
+        assert_ne!(bare.cache_key(&sys), with_schedule.cache_key(&sys));
+        assert_ne!(bare.cache_key(&sys), with_burst.cache_key(&sys));
+        assert_ne!(with_schedule.cache_key(&sys), with_burst.cache_key(&sys));
+        let other_seed = RequestKind::Analyze {
+            engine: McmEngine::Howard,
+            schedule: false,
+            burst: Some(BurstParams {
+                seed: 1,
+                ..BurstParams::default()
+            }),
+        };
+        assert_ne!(with_burst.cache_key(&sys), other_seed.cache_key(&sys));
+    }
+
+    #[test]
+    fn analyze_with_schedule_reports_the_fig1_regime() {
+        let out = RequestKind::Analyze {
+            engine: McmEngine::Howard,
+            schedule: true,
+            burst: Some(BurstParams {
+                trials: 64,
+                cycles: 512,
+                ..BurstParams::default()
+            }),
+        }
+        .execute(&fig1())
+        .unwrap();
+        // The plain analyze fields are untouched by the extras.
+        assert_eq!(out.get("blocks").unwrap().as_u64(), Some(2));
+        let schedule = out.get("schedule").unwrap();
+        let theta = schedule.get("throughput").unwrap();
+        assert_eq!(theta.get("num").unwrap().as_u64(), Some(2));
+        assert_eq!(theta.get("den").unwrap().as_u64(), Some(3));
+        for t in schedule.get("transitions").unwrap().as_arr().unwrap() {
+            let rate = t.get("rate").unwrap();
+            assert_eq!(rate.get("num").unwrap().as_u64(), Some(2));
+            assert_eq!(rate.get("den").unwrap().as_u64(), Some(3));
+            let word = t.get("word").unwrap().as_str().unwrap();
+            assert_eq!(
+                word.len() as u64,
+                schedule.get("period").unwrap().as_u64().unwrap()
+            );
+        }
+        for b in schedule.get("bounds").unwrap().as_arr().unwrap() {
+            assert!(b.get("peak").unwrap().as_u64() <= b.get("cap").unwrap().as_u64());
+        }
+        let burst = out.get("burst").unwrap();
+        assert!(burst.get("mean_rate").unwrap().as_f64().unwrap() <= 2.0 / 3.0 + 1e-9);
+        for occ in burst.get("occupancy").unwrap().as_arr().unwrap() {
+            assert!(occ.get("max").unwrap().as_u64() <= occ.get("cap").unwrap().as_u64());
+        }
     }
 
     #[test]
@@ -931,6 +1316,8 @@ mod tests {
             }
             let single = RequestKind::Analyze {
                 engine: McmEngine::Howard,
+                schedule: false,
+                burst: None,
             }
             .execute(&sys)
             .unwrap();
@@ -952,6 +1339,12 @@ mod tests {
         for kind in [
             RequestKind::Analyze {
                 engine: McmEngine::Howard,
+                schedule: true,
+                burst: Some(BurstParams {
+                    trials: 64,
+                    cycles: 256,
+                    ..BurstParams::default()
+                }),
             },
             RequestKind::Qs {
                 exact: false,

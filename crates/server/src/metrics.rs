@@ -290,6 +290,12 @@ pub struct Metrics {
     pub store_entries: AtomicU64,
     /// Total body bytes in the durable store (gauge, mirrored).
     pub store_bytes: AtomicU64,
+    /// `/analyze` executions that computed a periodic firing schedule
+    /// (cache misses only — replays don't recompute).
+    pub schedule_requests: AtomicU64,
+    /// `/analyze` executions that ran the bursty-source experiment
+    /// (cache misses only).
+    pub schedule_burst_requests: AtomicU64,
     /// Sweep jobs started (cache hits included — each `/sweep` answered).
     pub sweep_jobs: AtomicU64,
     /// Sweep result rows streamed to clients (cache replays included).
@@ -324,6 +330,17 @@ impl Metrics {
     pub fn record_engine(&self, label: &str, elapsed: Duration) {
         if let Some(slot) = ENGINE_LABELS.iter().position(|&l| l == label) {
             self.engine_latency[slot].observe(elapsed);
+        }
+    }
+
+    /// Counts one executed `/analyze` job's schedule/burst options, so the
+    /// new subsystem's load is visible separately from plain analyses.
+    pub fn record_schedule(&self, schedule: bool, burst: bool) {
+        if schedule {
+            self.schedule_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        if burst {
+            self.schedule_burst_requests.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -449,6 +466,18 @@ impl Metrics {
             let _ = writeln!(out, "# TYPE {name} {kind}");
             let _ = writeln!(out, "{name} {}", cell.load(Ordering::Relaxed));
         }
+        let _ = writeln!(out, "# TYPE lis_schedule_requests_total counter");
+        let _ = writeln!(
+            out,
+            "lis_schedule_requests_total {}",
+            self.schedule_requests.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# TYPE lis_schedule_burst_requests_total counter");
+        let _ = writeln!(
+            out,
+            "lis_schedule_burst_requests_total {}",
+            self.schedule_burst_requests.load(Ordering::Relaxed)
+        );
         let _ = writeln!(out, "# TYPE lis_sweep_jobs_total counter");
         let _ = writeln!(
             out,
@@ -660,6 +689,32 @@ mod tests {
                 "malformed line {line:?}"
             );
         }
+    }
+
+    #[test]
+    fn schedule_counters_render() {
+        let m = Metrics::new();
+        let text = m.render();
+        assert_eq!(
+            parse_metric(&text, "lis_schedule_requests_total"),
+            Some(0.0)
+        );
+        assert_eq!(
+            parse_metric(&text, "lis_schedule_burst_requests_total"),
+            Some(0.0)
+        );
+        m.record_schedule(true, false);
+        m.record_schedule(true, true);
+        m.record_schedule(false, false);
+        let text = m.render();
+        assert_eq!(
+            parse_metric(&text, "lis_schedule_requests_total"),
+            Some(2.0)
+        );
+        assert_eq!(
+            parse_metric(&text, "lis_schedule_burst_requests_total"),
+            Some(1.0)
+        );
     }
 
     #[test]

@@ -914,6 +914,14 @@ fn analysis_request(
         if let Some(label) = kind.engine_label() {
             job_state.metrics.record_engine(label, executed.elapsed());
         }
+        if let RequestKind::Analyze {
+            schedule, burst, ..
+        } = &kind
+        {
+            job_state
+                .metrics
+                .record_schedule(*schedule, burst.is_some());
+        }
         // Results are deterministic in (system, kind), so failures are as
         // cacheable as successes.
         let response = Arc::new(CachedResponse { status, body });
@@ -1199,6 +1207,12 @@ fn batch_row(state: &Arc<State>, line: &str) -> (u16, Vec<u8>) {
         };
         if let Some(label) = kind.engine_label() {
             state.metrics.record_engine(label, executed.elapsed());
+        }
+        if let RequestKind::Analyze {
+            schedule, burst, ..
+        } = &kind
+        {
+            state.metrics.record_schedule(*schedule, burst.is_some());
         }
         state.remember(
             key,
@@ -1553,6 +1567,14 @@ impl ServerHandler {
             };
             if let Some(label) = kind.engine_label() {
                 job_state.metrics.record_engine(label, executed.elapsed());
+            }
+            if let RequestKind::Analyze {
+                schedule, burst, ..
+            } = &kind
+            {
+                job_state
+                    .metrics
+                    .record_schedule(*schedule, burst.is_some());
             }
             let response = Arc::new(CachedResponse {
                 status,

@@ -49,6 +49,9 @@ pub struct CompiledSim {
     steps: u64,
     /// When tracing, the per-step fired bitmasks, `words()` words per step.
     trace: Option<Vec<u64>>,
+    /// When tracking occupancy, the per-place running token maximum
+    /// (the pre-step marking counts).
+    max_tokens: Option<Vec<u64>>,
 }
 
 impl CompiledSim {
@@ -70,6 +73,7 @@ impl CompiledSim {
             fired_count: vec![0; nt],
             steps: 0,
             trace: None,
+            max_tokens: None,
             prog,
         }
     }
@@ -80,6 +84,16 @@ impl CompiledSim {
     pub fn record_traces(&mut self) {
         if self.trace.is_none() {
             self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Enables per-place running-maximum occupancy tracking (required by
+    /// [`max_queue_occupancy`](CompiledSim::max_queue_occupancy)). The
+    /// current marking counts immediately, so enabling before any step
+    /// includes the initial marking in the maximum.
+    pub fn track_occupancy(&mut self) {
+        if self.max_tokens.is_none() {
+            self.max_tokens = Some(self.tokens.clone());
         }
     }
 
@@ -132,6 +146,13 @@ impl CompiledSim {
             self.tokens_next[p] = self.tokens[p] - consumed + produced;
         }
         std::mem::swap(&mut self.tokens, &mut self.tokens_next);
+        if let Some(max) = &mut self.max_tokens {
+            for (m, &t) in max.iter_mut().zip(&self.tokens) {
+                if t > *m {
+                    *m = t;
+                }
+            }
+        }
         if let Some(trace) = &mut self.trace {
             trace.extend_from_slice(&self.fired);
         }
@@ -209,6 +230,21 @@ impl CompiledSim {
     pub fn queue_occupancy(&self, c: ChannelId) -> u64 {
         self.tokens[self.prog.queue_place(c)]
     }
+
+    /// The highest occupancy channel `c`'s input queue has reached over the
+    /// run so far, sampled at step boundaries (requires
+    /// [`track_occupancy`](CompiledSim::track_occupancy)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if occupancy tracking is off.
+    pub fn max_queue_occupancy(&self, c: ChannelId) -> u64 {
+        let max = self
+            .max_tokens
+            .as_ref()
+            .expect("occupancy tracking not enabled");
+        max[self.prog.queue_place(c)]
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +292,21 @@ mod tests {
             sim.step();
             assert!(sim.queue_occupancy(lower) <= sys.queue_capacity(lower) + 1);
         }
+    }
+
+    #[test]
+    fn max_occupancy_is_a_running_maximum() {
+        let (sys, upper, lower) = figures::fig1();
+        let mut sim = CompiledSim::new(&sys, QueueMode::Finite);
+        sim.track_occupancy();
+        let mut observed = 0;
+        for _ in 0..100 {
+            sim.step();
+            observed = observed.max(sim.queue_occupancy(lower));
+            assert!(sim.max_queue_occupancy(lower) >= sim.queue_occupancy(lower));
+        }
+        assert_eq!(sim.max_queue_occupancy(lower), observed);
+        assert!(sim.max_queue_occupancy(upper) <= sys.queue_capacity(upper) + 1);
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub use diff::{
 };
 pub use equiv::{assert_latency_equivalence, latency_equivalent, valid_values};
 pub use kernel::CompiledSim;
-pub use mc::{single_trial, single_trial_on, stall_sweep, McKernel, McReport, StallSpec, LANES};
+pub use mc::{
+    burst_sweep, single_trial, single_trial_burst, single_trial_burst_on, single_trial_on,
+    stall_sweep, BurstSpec, McKernel, McReport, StallSpec, LANES,
+};
 pub use rtl::RtlSimulator;
 pub use simulator::{attach_throttle, LisSimulator, QueueMode};
 pub use stats::{collect_stats, SimStats};

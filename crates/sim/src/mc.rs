@@ -124,19 +124,21 @@ fn site_rng(seed: u64, word: u64, t: u32, cycle: u64) -> StdRng {
     StdRng::seed_from_u64(z)
 }
 
-/// 64 independent Bernoulli(thresh / 65536) draws as one mask: lane `l` is
-/// set iff trial `word * 64 + l` stalls transition `t` at `cycle`.
+/// 64 independent Bernoulli(thresh / 65536) draws as one mask, consumed
+/// from the caller's generator.
 ///
 /// The comparison `rand < thresh` runs bit-sliced MSB-first over 16 random
-/// planes, so all 64 lanes cost 16 generator draws instead of 64.
-fn stall_mask(seed: u64, word: u64, t: u32, cycle: u64, thresh: u32) -> u64 {
+/// planes, so all 64 lanes cost 16 generator draws instead of 64. The
+/// degenerate thresholds consume no draws — every caller (packed kernel,
+/// single-trial reference) shares this function, so the streams stay
+/// aligned by construction.
+fn bernoulli_mask(rng: &mut StdRng, thresh: u32) -> u64 {
     if thresh == 0 {
         return 0;
     }
     if thresh >= PROB_ONE {
         return !0;
     }
-    let mut rng = site_rng(seed, word, t, cycle);
     let mut lt = 0u64;
     let mut eq = !0u64;
     for b in (0..PROB_BITS).rev() {
@@ -149,6 +151,148 @@ fn stall_mask(seed: u64, word: u64, t: u32, cycle: u64, thresh: u32) -> u64 {
         }
     }
     lt
+}
+
+/// 64 independent Bernoulli(thresh / 65536) draws as one mask: lane `l` is
+/// set iff trial `word * 64 + l` stalls transition `t` at `cycle`.
+fn stall_mask(seed: u64, word: u64, t: u32, cycle: u64, thresh: u32) -> u64 {
+    if thresh == 0 {
+        return 0;
+    }
+    if thresh >= PROB_ONE {
+        return !0;
+    }
+    let mut rng = site_rng(seed, word, t, cycle);
+    bernoulli_mask(&mut rng, thresh)
+}
+
+/// Salt separating the burst chains' random stream from the stall stream:
+/// a burst draw at `(seed, word, t, cycle)` must not correlate with the
+/// stall draw at the same site.
+const BURST_STREAM: u64 = 0xD6E8_FEB8_6659_FD93;
+
+/// A Markov-modulated on/off burst source specification.
+///
+/// Each transition carries a two-state chain: while ON it fires normally
+/// and enters OFF with probability `p_off` per cycle; while OFF it stalls
+/// (holds its tokens, emitting the protocol's τ) and returns to ON with
+/// probability `p_on` per cycle. Small `p_off` with small `p_on` yields
+/// long smooth stretches broken by long silences — the bursty-source
+/// regime whose backlog the schedule-derived occupancy bounds must cap.
+/// Chains start ON; probabilities are quantized to 16 bits like
+/// [`StallSpec`], and every chain step is a pure function of
+/// `(seed, trial word, transition, cycle)`, so packed runs stay
+/// bit-identical to their single-trial references.
+///
+/// # Examples
+///
+/// ```
+/// use lis_core::figures;
+/// use lis_sim::{BurstSpec, CompiledProgram, QueueMode};
+///
+/// let (sys, _, _) = figures::fig1();
+/// let prog = CompiledProgram::compile(&sys, QueueMode::Finite);
+/// let burst = BurstSpec::sources(&prog, 0.2, 0.5);
+/// assert!(burst.is_bursty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BurstSpec {
+    /// Per transition: quantized P(ON → OFF) per cycle.
+    enter_off: Vec<u32>,
+    /// Per transition: quantized P(OFF → ON) per cycle.
+    exit_off: Vec<u32>,
+}
+
+impl BurstSpec {
+    /// No bursts anywhere: every chain is pinned ON.
+    pub fn none(prog: &CompiledProgram) -> BurstSpec {
+        let nt = prog.transition_count();
+        BurstSpec {
+            enter_off: vec![0; nt],
+            exit_off: vec![0; nt],
+        }
+    }
+
+    /// The same on/off chain on every transition.
+    pub fn uniform(prog: &CompiledProgram, p_off: f64, p_on: f64) -> BurstSpec {
+        let nt = prog.transition_count();
+        BurstSpec {
+            enter_off: vec![quantize(p_off); nt],
+            exit_off: vec![quantize(p_on); nt],
+        }
+    }
+
+    /// Bursty *sources*: every block's shell carries the chain while relay
+    /// stations stay smooth — the NoC scenario where traffic injectors
+    /// burst but the fabric itself is reliable.
+    pub fn sources(prog: &CompiledProgram, p_off: f64, p_on: f64) -> BurstSpec {
+        let mut spec = BurstSpec::none(prog);
+        let (off, on) = (quantize(p_off), quantize(p_on));
+        for b in 0..prog.block_count() {
+            let t = prog.block_transition(BlockId::new(b));
+            spec.enter_off[t] = off;
+            spec.exit_off[t] = on;
+        }
+        spec
+    }
+
+    /// Sets the chain of one block's shell.
+    pub fn with_block(
+        mut self,
+        prog: &CompiledProgram,
+        b: BlockId,
+        p_off: f64,
+        p_on: f64,
+    ) -> BurstSpec {
+        let t = prog.block_transition(b);
+        self.enter_off[t] = quantize(p_off);
+        self.exit_off[t] = quantize(p_on);
+        self
+    }
+
+    /// Whether any transition can ever leave the ON state.
+    pub fn is_bursty(&self) -> bool {
+        self.enter_off.iter().any(|&t| t > 0)
+    }
+}
+
+/// Per-lane ON/OFF state of every transition's burst chain (bit `l` of
+/// `on[t]` = lane `l`'s chain is ON). Stepped identically by the packed
+/// kernel and the single-trial reference, so the two stay bit-identical.
+struct BurstState {
+    on: Vec<u64>,
+}
+
+impl BurstState {
+    fn new(transitions: usize) -> BurstState {
+        BurstState {
+            on: vec![!0; transitions],
+        }
+    }
+
+    /// Advances every chain by one cycle. Both Bernoulli draws of a
+    /// transition come sequentially from one salted site generator, so the
+    /// chain stream never collides with the stall stream.
+    fn step(&mut self, spec: &BurstSpec, seed: u64, word: u64, cycle: u64) {
+        for (t, on) in self.on.iter_mut().enumerate() {
+            let enter = spec.enter_off[t];
+            if enter == 0 {
+                // A chain that cannot leave ON stays all-ON forever; skip
+                // the generator entirely (site streams are independent, so
+                // skipping draws here shifts nothing elsewhere).
+                continue;
+            }
+            let mut rng = site_rng(seed ^ BURST_STREAM, word, t as u32, cycle);
+            let to_off = bernoulli_mask(&mut rng, enter);
+            let to_on = bernoulli_mask(&mut rng, spec.exit_off[t]);
+            *on = (*on & !to_off) | (!*on & to_on);
+        }
+    }
+
+    /// Lanes whose chain is OFF for transition `t` (those lanes stall).
+    fn off(&self, t: usize) -> u64 {
+        !self.on[t]
+    }
 }
 
 /// Ripple-carry increment of bit-sliced counts by `carry` (one per lane).
@@ -233,6 +377,7 @@ impl BitCounter {
 pub struct McKernel {
     prog: CompiledProgram,
     spec: StallSpec,
+    burst: Option<BurstSpec>,
     seed: u64,
     /// Plane offsets per place (`plane_off[p]..plane_off[p+1]` slices the
     /// planes of place `p`); width = bits of the place's token cap.
@@ -268,9 +413,26 @@ impl McKernel {
         McKernel {
             prog,
             spec,
+            burst: None,
             seed,
             plane_off,
         }
+    }
+
+    /// Attaches a Markov-modulated burst specification: OFF lanes stall in
+    /// addition to any Bernoulli stalls from the [`StallSpec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` was built for a different program shape.
+    pub fn with_burst(mut self, burst: BurstSpec) -> McKernel {
+        assert_eq!(
+            burst.enter_off.len(),
+            self.prog.transition_count(),
+            "burst spec does not match the program"
+        );
+        self.burst = burst.is_bursty().then_some(burst);
+        self
     }
 
     /// The compiled program the kernel executes.
@@ -287,8 +449,46 @@ impl McKernel {
     pub fn run(&self, trials: usize, cycles: u64) -> McReport {
         assert!(trials > 0, "at least one trial required");
         let words = trials.div_ceil(LANES);
-        let per_word: Vec<Vec<BitCounter>> =
-            lis_par::par_map_indexed(words, |w| self.run_word(w as u64, cycles, &mut |_, _| {}));
+        let per_word: Vec<Vec<BitCounter>> = lis_par::par_map_indexed(words, |w| {
+            self.run_word(w as u64, cycles, &mut |_, _| {}, None)
+        });
+        self.collect_report(trials, cycles, &per_word)
+    }
+
+    /// [`run`](McKernel::run), additionally tracking every channel queue's
+    /// maximum occupancy: returns the report plus, per channel, the highest
+    /// token count its consumer-side queue place reached over **any** cycle
+    /// of **any** trial (the initial marking counts).
+    ///
+    /// This is the empirical side of the schedule-derived occupancy bounds:
+    /// under any stall/burst plan the observed maximum must stay within the
+    /// pair-invariant cap, and with no stalls it attains the periodic peak.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    pub fn run_occupancy(&self, trials: usize, cycles: u64) -> (McReport, Vec<u64>) {
+        assert!(trials > 0, "at least one trial required");
+        let words = trials.div_ceil(LANES);
+        let nc = self.prog.channel_count();
+        let per_word: Vec<(Vec<BitCounter>, Vec<u64>)> = lis_par::par_map_indexed(words, |w| {
+            let mut occ = vec![0u64; nc * LANES];
+            let counters = self.run_word(w as u64, cycles, &mut |_, _| {}, Some(&mut occ));
+            (counters, occ)
+        });
+        let counters: Vec<Vec<BitCounter>> = per_word.iter().map(|(c, _)| c.clone()).collect();
+        let report = self.collect_report(trials, cycles, &counters);
+        let mut occupancy = vec![0u64; nc];
+        for trial in 0..trials {
+            let (w, lane) = (trial / LANES, trial % LANES);
+            for (c, max) in occupancy.iter_mut().enumerate() {
+                *max = (*max).max(per_word[w].1[c * LANES + lane]);
+            }
+        }
+        (report, occupancy)
+    }
+
+    fn collect_report(&self, trials: usize, cycles: u64, per_word: &[Vec<BitCounter>]) -> McReport {
         let nb = self.prog.block_count();
         let mut block_firings = vec![Vec::with_capacity(trials); nb];
         for trial in 0..trials {
@@ -311,18 +511,26 @@ impl McKernel {
     pub fn run_word_traced(&self, word: u64, cycles: u64) -> Vec<u64> {
         let nt = self.prog.transition_count();
         let mut trace = Vec::with_capacity(cycles as usize * nt);
-        self.run_word(word, cycles, &mut |_, fired| trace.extend_from_slice(fired));
+        self.run_word(
+            word,
+            cycles,
+            &mut |_, fired| trace.extend_from_slice(fired),
+            None,
+        );
         trace
     }
 
     /// The shared stepping loop: runs lanes `word*64 .. word*64+63` for
     /// `cycles`, invoking `observe(cycle, fired_masks)` after each cycle,
-    /// and returns the per-block bit-sliced firing counters.
+    /// and returns the per-block bit-sliced firing counters. When `occ` is
+    /// given it receives, per `(channel, lane)` at `c * 64 + lane`, the
+    /// maximum queue occupancy that lane observed.
     fn run_word(
         &self,
         word: u64,
         cycles: u64,
         observe: &mut dyn FnMut(u64, &[u64]),
+        occ: Option<&mut [u64]>,
     ) -> Vec<BitCounter> {
         let prog = &self.prog;
         let nt = prog.transition_count();
@@ -341,8 +549,35 @@ impl McKernel {
         }
         let mut fired = vec![0u64; nt];
         let mut counters = vec![BitCounter::default(); prog.block_count()];
+        let mut burst_state = self.burst.as_ref().map(|_| BurstState::new(nt));
+
+        // Occupancy tracking: a compact max-plane buffer holding one slice
+        // per channel queue place, updated by a bit-sliced MSB-first
+        // greater-than compare each cycle.
+        let nc = prog.channel_count();
+        let queue_places: Vec<usize> = (0..nc)
+            .map(|c| prog.queue_place(ChannelId::new(c)))
+            .collect();
+        let mut occ_track = occ.map(|o| {
+            let mut qoff = Vec::with_capacity(nc + 1);
+            qoff.push(0usize);
+            for (c, &p) in queue_places.iter().enumerate() {
+                let width = (self.plane_off[p + 1] - self.plane_off[p]) as usize;
+                qoff.push(qoff[c] + width);
+            }
+            let mut maxp = vec![0u64; qoff[nc]];
+            for (c, &p) in queue_places.iter().enumerate() {
+                let off = self.plane_off[p] as usize;
+                let width = qoff[c + 1] - qoff[c];
+                maxp[qoff[c]..qoff[c + 1]].copy_from_slice(&planes[off..off + width]);
+            }
+            (o, qoff, maxp)
+        });
 
         for cycle in 0..cycles {
+            if let (Some(state), Some(spec)) = (burst_state.as_mut(), self.burst.as_ref()) {
+                state.step(spec, self.seed, word, cycle);
+            }
             // Phase 1 — pure read of the old marking region: fired masks.
             for &t in &prog.schedule {
                 let ti = t as usize;
@@ -365,6 +600,11 @@ impl McKernel {
                 if mask != 0 && thresh > 0 {
                     mask &= !stall_mask(self.seed, word, t, cycle, thresh);
                 }
+                if mask != 0 {
+                    if let Some(state) = burst_state.as_ref() {
+                        mask &= !state.off(ti);
+                    }
+                }
                 fired[ti] = mask;
             }
             // Phase 2 — commit: one token across every place per fired
@@ -381,10 +621,41 @@ impl McKernel {
                     add_mask(&mut planes[off..end], produced);
                 }
             }
+            if let Some((_, qoff, maxp)) = occ_track.as_mut() {
+                for (c, &p) in queue_places.iter().enumerate() {
+                    let off = self.plane_off[p] as usize;
+                    let width = qoff[c + 1] - qoff[c];
+                    let cur = &planes[off..off + width];
+                    let maxs = &mut maxp[qoff[c]..qoff[c + 1]];
+                    let mut gt = 0u64;
+                    let mut eq = !0u64;
+                    for b in (0..width).rev() {
+                        gt |= eq & cur[b] & !maxs[b];
+                        eq &= !(cur[b] ^ maxs[b]);
+                    }
+                    if gt != 0 {
+                        for b in 0..width {
+                            maxs[b] = (cur[b] & gt) | (maxs[b] & !gt);
+                        }
+                    }
+                }
+            }
             for (b, counter) in counters.iter_mut().enumerate() {
                 counter.add(fired[prog.block_transition[b] as usize]);
             }
             observe(cycle, &fired);
+        }
+        if let Some((o, qoff, maxp)) = occ_track {
+            for c in 0..nc {
+                let width = qoff[c + 1] - qoff[c];
+                for lane in 0..LANES {
+                    let mut value = 0u64;
+                    for b in 0..width {
+                        value |= (maxp[qoff[c] + b] >> lane & 1) << b;
+                    }
+                    o[c * LANES + lane] = value;
+                }
+            }
         }
         counters
     }
@@ -465,19 +736,61 @@ pub fn single_trial_on(
     trial: usize,
     cycles: u64,
 ) -> CompiledSim {
+    let burst = BurstSpec {
+        enter_off: vec![0; prog.transition_count()],
+        exit_off: vec![0; prog.transition_count()],
+    };
+    single_trial_burst_on(prog, spec, &burst, seed, trial, cycles)
+}
+
+/// The single-trial reference for a stall **and** burst scenario: lane
+/// `trial % 64` of trial word `trial / 64`, reconstructing the identical
+/// stall masks and burst-chain steps the packed kernel draws, on the
+/// scalar [`CompiledSim`] with traces recorded.
+pub fn single_trial_burst(
+    sys: &LisSystem,
+    spec: &StallSpec,
+    burst: &BurstSpec,
+    seed: u64,
+    trial: usize,
+    cycles: u64,
+) -> CompiledSim {
+    let prog = CompiledProgram::compile(sys, QueueMode::Finite);
+    single_trial_burst_on(prog, spec, burst, seed, trial, cycles)
+}
+
+/// [`single_trial_burst`] over an already-compiled program.
+pub fn single_trial_burst_on(
+    prog: CompiledProgram,
+    spec: &StallSpec,
+    burst: &BurstSpec,
+    seed: u64,
+    trial: usize,
+    cycles: u64,
+) -> CompiledSim {
     let (word, lane) = ((trial / LANES) as u64, trial % LANES);
     let nt = prog.transition_count();
     let words = prog.words();
     let mut sim = CompiledSim::from_program(prog);
     sim.record_traces();
+    sim.track_occupancy();
+    let mut state = burst.is_bursty().then(|| BurstState::new(nt));
     let mut stalled = vec![0u64; words];
     for cycle in 0..cycles {
+        if let Some(state) = state.as_mut() {
+            state.step(burst, seed, word, cycle);
+        }
         for w in stalled.iter_mut() {
             *w = 0;
         }
         for t in 0..nt {
             let thresh = spec.thresh[t];
-            if thresh > 0 && stall_mask(seed, word, t as u32, cycle, thresh) >> lane & 1 == 1 {
+            let mut stall =
+                thresh > 0 && stall_mask(seed, word, t as u32, cycle, thresh) >> lane & 1 == 1;
+            if let Some(state) = state.as_ref() {
+                stall |= state.off(t) >> lane & 1 == 1;
+            }
+            if stall {
                 stalled[t / 64] |= 1u64 << (t % 64);
             }
         }
@@ -506,6 +819,32 @@ pub fn stall_sweep(
             let spec = StallSpec::uniform(prog, p);
             let point_seed = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             McKernel::new(prog.clone(), spec, point_seed).run(trials, cycles)
+        })
+        .collect()
+}
+
+/// The burst counterpart of [`stall_sweep`]: one packed run per
+/// `P(ON → OFF)` value with a fixed recovery probability `p_on`, bursty
+/// sources only (relay stations stay smooth). Each point also reports the
+/// per-channel maximum queue occupancy, the quantity the schedule-derived
+/// bounds cap. Point `i` derives its seed as `seed + i·φ`, exactly like the
+/// stall sweep, so the whole axis is deterministic in `seed`.
+pub fn burst_sweep(
+    prog: &CompiledProgram,
+    offs: &[f64],
+    p_on: f64,
+    trials: usize,
+    cycles: u64,
+    seed: u64,
+) -> Vec<(McReport, Vec<u64>)> {
+    offs.iter()
+        .enumerate()
+        .map(|(i, &p_off)| {
+            let burst = BurstSpec::sources(prog, p_off, p_on);
+            let point_seed = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            McKernel::new(prog.clone(), StallSpec::none(prog), point_seed)
+                .with_burst(burst)
+                .run_occupancy(trials, cycles)
         })
         .collect()
 }
@@ -613,6 +952,76 @@ mod tests {
         // Zero stalls attain θ; heavy stalls cost strictly more than light.
         assert!((a[0].mean_system_rate() - theta).abs() < 1e-3);
         assert!(a[2].mean_system_rate() < a[1].mean_system_rate());
+    }
+
+    #[test]
+    fn burst_lanes_match_the_single_trial_reference() {
+        let (sys, _, _) = figures::fig1();
+        let prog = CompiledProgram::compile(&sys, QueueMode::Finite);
+        let spec = StallSpec::uniform(&prog, 0.03);
+        let burst = BurstSpec::sources(&prog, 0.15, 0.4);
+        let kernel = McKernel::new(prog.clone(), spec.clone(), 11).with_burst(burst.clone());
+        let cycles = 400;
+        let trace = kernel.run_word_traced(1, cycles); // lanes 64..127
+        let nt = prog.transition_count();
+        for lane in [0usize, 7, 63] {
+            let trial = 64 + lane;
+            let reference = single_trial_burst_on(prog.clone(), &spec, &burst, 11, trial, cycles);
+            for t in 0..nt {
+                let bits: Vec<bool> = (0..cycles)
+                    .map(|k| trace[k as usize * nt + t] >> lane & 1 == 1)
+                    .collect();
+                assert_eq!(
+                    bits,
+                    reference.transition_fired_trace(t),
+                    "lane {lane} transition {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burst_costs_rate_and_respects_theta() {
+        let (sys, _, _) = figures::fig1();
+        let theta = lis_core::practical_mst(&sys).to_f64();
+        let prog = CompiledProgram::compile(&sys, QueueMode::Finite);
+        let smooth = McKernel::new(prog.clone(), StallSpec::none(&prog), 3).run(64, 3000);
+        let bursty = McKernel::new(prog.clone(), StallSpec::none(&prog), 3)
+            .with_burst(BurstSpec::sources(&prog, 0.1, 0.3))
+            .run(64, 3000);
+        assert!(bursty.max_system_rate() <= theta + 1e-9);
+        assert!(
+            bursty.mean_system_rate() < smooth.mean_system_rate(),
+            "bursts must cost rate: {} vs {}",
+            bursty.mean_system_rate(),
+            smooth.mean_system_rate()
+        );
+    }
+
+    #[test]
+    fn occupancy_matches_the_scalar_tracker_and_the_cap() {
+        let (sys, _, _) = figures::fig1();
+        let prog = CompiledProgram::compile(&sys, QueueMode::Finite);
+        let spec = StallSpec::uniform(&prog, 0.08);
+        let kernel = McKernel::new(prog.clone(), spec.clone(), 21);
+        let trials = 130; // 3 words, last one partial
+        let cycles = 500;
+        let (_, occupancy) = kernel.run_occupancy(trials, cycles);
+        assert_eq!(occupancy.len(), sys.channel_count());
+        // Packed maxima equal the max over per-trial scalar trackers.
+        let mut reference = vec![0u64; sys.channel_count()];
+        for trial in 0..trials {
+            let sim = single_trial_on(prog.clone(), &spec, 21, trial, cycles);
+            for c in sys.channel_ids() {
+                reference[c.index()] = reference[c.index()].max(sim.max_queue_occupancy(c));
+            }
+        }
+        assert_eq!(occupancy, reference);
+        // And never exceed the pair-invariant cap q (+1 for an initialized
+        // producer-side token).
+        for c in sys.channel_ids() {
+            assert!(occupancy[c.index()] <= sys.queue_capacity(c) + 1);
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ use lis_core::{
     LisSystem, TopologyClass,
 };
 use lis_qs::{solve, verify_solution, Algorithm, QsConfig, QsReport};
-use lis_sim::{stall_sweep, CompiledProgram, QueueMode};
+use lis_sim::{burst_sweep, stall_sweep, CompiledProgram, QueueMode};
 use marked_graph::incremental::IncrementalMcm;
 use marked_graph::{PlaceId, Ratio};
 
@@ -57,6 +57,22 @@ pub struct SimPoint {
     pub max_rate: f64,
 }
 
+/// One Monte-Carlo measurement from the optional burst axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstPoint {
+    /// ON→OFF probability in per-mille.
+    pub off_per_mille: u32,
+    /// Mean sustained system rate across trials.
+    pub mean_rate: f64,
+    /// Worst trial.
+    pub min_rate: f64,
+    /// Best trial.
+    pub max_rate: f64,
+    /// Highest queue occupancy observed on any channel in any trial — the
+    /// empirical number to hold against the schedule-derived caps.
+    pub peak_occupancy: u64,
+}
+
 /// One evaluated grid point.
 #[derive(Debug, Clone)]
 pub struct SweepRow {
@@ -80,6 +96,8 @@ pub struct SweepRow {
     pub outcome: Result<PointReport, String>,
     /// Monte-Carlo measurements (empty without a stall axis).
     pub sim: Vec<SimPoint>,
+    /// Bursty-source measurements (empty without a burst axis).
+    pub burst: Vec<BurstPoint>,
 }
 
 impl SweepRow {
@@ -277,6 +295,7 @@ impl Sweep {
             };
             let point = ctx.group.first_point + local;
             let sim = self.sim_axis(&sys, point);
+            let burst = self.burst_axis(&sys, point);
             rows.push(SweepRow {
                 point,
                 group: ctx.group.group,
@@ -287,6 +306,7 @@ impl Sweep {
                 sys,
                 outcome,
                 sim,
+                burst,
             });
         }
         let (hits, misses) = fork.as_ref().map_or((0, 0), |(_, inc)| {
@@ -321,6 +341,45 @@ impl Sweep {
                 mean_rate: r.mean_system_rate(),
                 min_rate: r.min_system_rate(),
                 max_rate: r.max_system_rate(),
+            })
+            .collect()
+    }
+
+    fn burst_axis(&self, sys: &LisSystem, point: usize) -> Vec<BurstPoint> {
+        let Some(bursts) = &self.spec.bursts else {
+            return Vec::new();
+        };
+        let prog = CompiledProgram::compile(sys, QueueMode::Finite);
+        let offs: Vec<f64> = bursts
+            .off_per_mille
+            .iter()
+            .map(|&m| f64::from(m) / 1000.0)
+            .collect();
+        let p_on = f64::from(bursts.on_per_mille) / 1000.0;
+        // Same per-point stream derivation as the stall axis, with a
+        // different multiplier so a shared base seed still yields
+        // independent stall and burst streams.
+        let seed = bursts
+            .seed
+            .wrapping_add((point as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let reports = burst_sweep(
+            &prog,
+            &offs,
+            p_on,
+            bursts.trials as usize,
+            bursts.cycles,
+            seed,
+        );
+        bursts
+            .off_per_mille
+            .iter()
+            .zip(&reports)
+            .map(|(&off_per_mille, (r, occupancy))| BurstPoint {
+                off_per_mille,
+                mean_rate: r.mean_system_rate(),
+                min_rate: r.min_system_rate(),
+                max_rate: r.max_system_rate(),
+                peak_occupancy: occupancy.iter().copied().max().unwrap_or(0),
             })
             .collect()
     }

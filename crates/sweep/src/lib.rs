@@ -45,10 +45,10 @@ pub mod pareto;
 pub mod plan;
 pub mod spec;
 
-pub use eval::{PointReport, SimPoint, Sweep, SweepRow, SweepSummary, CHUNK};
+pub use eval::{BurstPoint, PointReport, SimPoint, Sweep, SweepRow, SweepSummary, CHUNK};
 pub use pareto::{objectives, pareto_front, pareto_front_objectives};
 pub use plan::{GroupPlan, SweepError, SweepPlan, MAX_CAPACITY, MAX_POINTS, MAX_STATIONS};
-pub use spec::{CapacityAxis, StallAxis, StationGoal, SweepMode, SweepSpec};
+pub use spec::{BurstAxis, CapacityAxis, StallAxis, StationGoal, SweepMode, SweepSpec};
 
 #[cfg(test)]
 mod tests {
@@ -209,6 +209,39 @@ mod tests {
                 assert_eq!(got.min_rate, want.min_system_rate());
                 assert_eq!(got.max_rate, want.max_system_rate());
             }
+        }
+    }
+
+    #[test]
+    fn burst_axis_rows_match_a_direct_kernel_run() {
+        let (base, _, lower) = figures::fig1();
+        let mut spec = SweepSpec::analyze();
+        spec.capacities = vec![CapacityAxis {
+            channel: lower.index(),
+            values: vec![1, 2],
+        }];
+        spec.bursts = Some(BurstAxis {
+            off_per_mille: vec![0, 150],
+            on_per_mille: 300,
+            trials: 64,
+            cycles: 500,
+            seed: 7,
+        });
+        let sweep = Sweep::new(base.clone(), spec).unwrap();
+        let (rows, _) = sweep.evaluate();
+        for row in &rows {
+            assert_eq!(row.burst.len(), 2);
+            let prog = CompiledProgram::compile(&cold_system(&base, row), QueueMode::Finite);
+            let seed = 7u64.wrapping_add((row.point as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let reports = lis_sim::burst_sweep(&prog, &[0.0, 0.15], 0.3, 64, 500, seed);
+            for (got, (want, occ)) in row.burst.iter().zip(&reports) {
+                assert_eq!(got.mean_rate, want.mean_system_rate());
+                assert_eq!(got.min_rate, want.min_system_rate());
+                assert_eq!(got.max_rate, want.max_system_rate());
+                assert_eq!(got.peak_occupancy, occ.iter().copied().max().unwrap_or(0));
+            }
+            // The un-bursty point keeps full throughput; bursts cost rate.
+            assert!(row.burst[0].mean_rate >= row.burst[1].mean_rate);
         }
     }
 

@@ -67,6 +67,7 @@ mod tests {
             sys: sys.clone(),
             outcome: Ok(PointReport::Analyze(report)),
             sim: Vec::new(),
+            burst: Vec::new(),
         }
     }
 

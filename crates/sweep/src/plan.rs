@@ -44,6 +44,9 @@ pub enum SweepError {
     /// The stall axis is malformed (empty, p > 1000, zero trials/cycles,
     /// or an oversized workload).
     BadStallAxis(String),
+    /// The burst axis is malformed (same rules as the stall axis, plus the
+    /// OFF→ON probability must be in 1..=1000).
+    BadBurstAxis(String),
 }
 
 impl std::fmt::Display for SweepError {
@@ -65,6 +68,7 @@ impl std::fmt::Display for SweepError {
                 write!(f, "grid has {n} points, more than the cap of {MAX_POINTS}")
             }
             SweepError::BadStallAxis(msg) => write!(f, "bad stall axis: {msg}"),
+            SweepError::BadBurstAxis(msg) => write!(f, "bad burst axis: {msg}"),
         }
     }
 }
@@ -202,6 +206,32 @@ pub fn plan(base: &LisSystem, spec: &SweepSpec) -> Result<SweepPlan, SweepError>
         }
         if u64::from(stalls.trials) > 4096 || stalls.cycles > 1_000_000 {
             return Err(SweepError::BadStallAxis(
+                "at most 4096 trials and 1000000 cycles per point".into(),
+            ));
+        }
+    }
+
+    if let Some(bursts) = &spec.bursts {
+        if bursts.off_per_mille.is_empty() {
+            return Err(SweepError::BadBurstAxis("no OFF probabilities".into()));
+        }
+        if let Some(&p) = bursts.off_per_mille.iter().find(|&&p| p > 1000) {
+            return Err(SweepError::BadBurstAxis(format!(
+                "probability {p}‰ exceeds 1000‰"
+            )));
+        }
+        if bursts.on_per_mille == 0 || bursts.on_per_mille > 1000 {
+            return Err(SweepError::BadBurstAxis(
+                "OFF→ON probability must be in 1..=1000 per-mille".into(),
+            ));
+        }
+        if bursts.trials == 0 || bursts.cycles == 0 {
+            return Err(SweepError::BadBurstAxis(
+                "trials and cycles must be positive".into(),
+            ));
+        }
+        if u64::from(bursts.trials) > 4096 || bursts.cycles > 1_000_000 {
+            return Err(SweepError::BadBurstAxis(
                 "at most 4096 trials and 1000000 cycles per point".into(),
             ));
         }

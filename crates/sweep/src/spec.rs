@@ -60,6 +60,25 @@ pub struct StallAxis {
     pub seed: u64,
 }
 
+/// The optional bursty-source axis: per grid point, run the packed
+/// Monte-Carlo kernel once per OFF probability, driving every source block
+/// with a Markov-modulated on/off chain and recording rates plus the peak
+/// queue occupancy observed anywhere in the system.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BurstAxis {
+    /// Per-cycle ON→OFF probabilities in per-mille (`100` = 10%), each
+    /// ≤ 1000; one kernel run per value.
+    pub off_per_mille: Vec<u32>,
+    /// Per-cycle OFF→ON probability in per-mille, ≤ 1000.
+    pub on_per_mille: u32,
+    /// Trials per kernel run.
+    pub trials: u32,
+    /// Clock periods per trial.
+    pub cycles: u64,
+    /// Base seed; each point derives its own stream deterministically.
+    pub seed: u64,
+}
+
 /// A complete design-space sweep over one base netlist.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SweepSpec {
@@ -73,6 +92,8 @@ pub struct SweepSpec {
     pub stations: StationGoal,
     /// Optional stochastic-simulation axis.
     pub stalls: Option<StallAxis>,
+    /// Optional bursty-source axis.
+    pub bursts: Option<BurstAxis>,
 }
 
 impl SweepSpec {
@@ -84,6 +105,7 @@ impl SweepSpec {
             capacities: Vec::new(),
             stations: StationGoal::Base,
             stalls: None,
+            bursts: None,
         }
     }
 
@@ -129,6 +151,16 @@ impl SweepSpec {
                 let _ = write!(t, "{}{m}", if i > 0 { "," } else { "" });
             }
         }
+        if let Some(bursts) = &self.bursts {
+            let _ = write!(
+                t,
+                ":bursts=on={}:trials={}:cycles={}:seed={}:off=",
+                bursts.on_per_mille, bursts.trials, bursts.cycles, bursts.seed
+            );
+            for (i, m) in bursts.off_per_mille.iter().enumerate() {
+                let _ = write!(t, "{}{m}", if i > 0 { "," } else { "" });
+            }
+        }
         t
     }
 }
@@ -158,7 +190,15 @@ mod tests {
             cycles: 1000,
             seed: 1,
         });
-        let tokens: Vec<String> = [&base, &qs, &karp, &caps, &budget, &stalls]
+        let mut bursts = base.clone();
+        bursts.bursts = Some(BurstAxis {
+            off_per_mille: vec![0, 100],
+            on_per_mille: 250,
+            trials: 64,
+            cycles: 1000,
+            seed: 1,
+        });
+        let tokens: Vec<String> = [&base, &qs, &karp, &caps, &budget, &stalls, &bursts]
             .iter()
             .map(|s| s.token())
             .collect();

@@ -21,6 +21,9 @@
 //! * [`cofdm`] (`lis-cofdm`) — the COFDM UWB transmitter case study;
 //! * [`par`] (`lis-par`) — the scoped-thread work-stealing pool behind the
 //!   parallel MCM fan-out and the experiment sweeps;
+//! * [`schedule`] (`lis-schedule`) — explicit periodic firing schedules
+//!   (balanced binary words per transition) and queue-occupancy bounds per
+//!   channel, plus bursty-source scenario analysis on the packed kernel;
 //! * [`sweep`] (`lis-sweep`) — design-space exploration jobs: deterministic
 //!   parameter grids over queue capacities, relay stations, and stall
 //!   probabilities, evaluated on warm incremental solves and reduced to a
@@ -45,6 +48,7 @@ pub use lis_gen as gen;
 pub use lis_par as par;
 pub use lis_qs as qs;
 pub use lis_rsopt as rsopt;
+pub use lis_schedule as schedule;
 pub use lis_sim as sim;
 pub use lis_sweep as sweep;
 pub use marked_graph;

@@ -189,6 +189,45 @@ fn stochastic_latency_never_exceeds_mcm_bound() {
     }
 }
 
+/// Queue-occupancy bounds from the periodic schedule, differential-tested
+/// against both kernels on random systems: the zero-stall compiled run
+/// attains exactly the schedule's per-channel peak, and no stalled
+/// Monte-Carlo trial ever pushes a queue past the pair-invariant cap.
+#[test]
+fn schedule_occupancy_bounds_hold_in_both_kernels() {
+    use lis::schedule::Schedule;
+    use lis::sim::{CompiledProgram, CompiledSim, McKernel, StallSpec};
+    for seed in 0..6 {
+        let sys = small_config(seed);
+        let s = Schedule::compute(&sys, McmEngine::Howard).expect("schedules");
+        assert_eq!(s.throughput, practical_mst(&sys), "seed {seed}");
+
+        let mut sim = CompiledSim::new(&sys, QueueMode::Finite);
+        sim.track_occupancy();
+        sim.run(s.transient + 2 * s.period);
+        for b in &s.bounds {
+            assert_eq!(
+                sim.max_queue_occupancy(b.channel),
+                b.peak,
+                "seed {seed}, channel {:?}",
+                b.channel
+            );
+        }
+
+        let prog = CompiledProgram::compile(&sys, QueueMode::Finite);
+        let spec = StallSpec::uniform(&prog, 0.15);
+        let (_, occupancy) = McKernel::new(prog, spec, seed).run_occupancy(32, 1500);
+        for (b, &max) in s.bounds.iter().zip(&occupancy) {
+            assert!(
+                max <= b.cap,
+                "seed {seed}, channel {:?}: occupancy {max} > cap {}",
+                b.channel,
+                b.cap
+            );
+        }
+    }
+}
+
 #[test]
 fn exact_periodic_rate_equals_mst_on_fig1() {
     let (sys, _, _) = lis::core::figures::fig1();

@@ -1,0 +1,182 @@
+//! Differential validation of the periodic-schedule subsystem: on figures,
+//! seeded random systems, and NoC topology families, the explicit firing
+//! schedule must reproduce the analytic throughput of every MCM engine
+//! **exactly** (rational equality, no tolerance), and its per-channel
+//! occupancy bounds must hold in both simulation kernels — the zero-stall
+//! compiled run attains the peak, and no stalled or bursty Monte-Carlo
+//! trial ever pushes a queue past the pair-invariant cap.
+
+use lis::core::{figures, practical_mst_with, LisSystem, McmEngine};
+use lis::gen::{butterfly, generate, mesh, torus, GeneratorConfig, InsertionPolicy};
+use lis::schedule::{burst_report, BurstParams, Schedule};
+use lis::sim::{CompiledProgram, CompiledSim, McKernel, QueueMode, StallSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_system(seed: u64) -> LisSystem {
+    let cfg = GeneratorConfig {
+        vertices: 12,
+        sccs: 3,
+        min_cycles_per_scc: 2,
+        relay_stations: 4,
+        reconvergent_paths: true,
+        policy: InsertionPolicy::Scc,
+        extra_inter_edges: Some(2),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(&cfg, &mut rng).system
+}
+
+/// The full corpus: paper figures, seeded random systems, and pipelined
+/// NoC substrates (mesh, torus, butterfly with relay-stationed links).
+fn corpus() -> Vec<LisSystem> {
+    let mut systems = vec![
+        figures::fig1().0,
+        figures::fig2_right().0,
+        figures::fig6().0,
+        figures::fig15().0,
+    ];
+    systems.extend((0..6).map(random_system));
+
+    let m = mesh(3, 3);
+    let mut sys = m.system.clone();
+    let corner = m.at(0, 0);
+    for c in sys.channel_ids().collect::<Vec<_>>() {
+        if sys.channel_from(c) == corner || sys.channel_to(c) == corner {
+            sys.add_relay_station(c);
+        }
+    }
+    systems.push(sys);
+
+    let t = torus(3, 3);
+    let mut sys = t.system.clone();
+    let last = sys.channel_count();
+    sys.add_relay_station(lis::core::ChannelId::new(last - 1));
+    systems.push(sys);
+
+    let b = butterfly(3);
+    let mut sys = b.system.clone();
+    sys.add_relay_station(lis::core::ChannelId::new(0));
+    systems.push(sys);
+
+    systems
+}
+
+/// Every MCM engine's schedule reports the engine's own analytic MST as an
+/// exact rational, and the per-transition words are internally consistent:
+/// word length = period, popcount = firings per period, rate = the exact
+/// quotient.
+#[test]
+fn schedule_throughput_equals_analysis_for_every_engine() {
+    for (i, sys) in corpus().iter().enumerate() {
+        for engine in McmEngine::ALL {
+            let s = Schedule::compute(sys, engine).expect("schedules");
+            assert_eq!(
+                s.throughput,
+                practical_mst_with(sys, engine),
+                "system {i}, engine {engine}"
+            );
+            for t in &s.transitions {
+                assert_eq!(t.word.len() as u64, s.period, "system {i}: {}", t.name);
+                let fires = t.word.iter().filter(|&&f| f).count() as u64;
+                assert_eq!(fires, t.firings_per_period, "system {i}: {}", t.name);
+                assert_eq!(
+                    t.rate,
+                    lis::marked_graph::Ratio::new(fires as i64, s.period as i64),
+                    "system {i}: {}",
+                    t.name
+                );
+            }
+        }
+    }
+}
+
+/// The three engines produce the same schedule (same θ, same period, same
+/// words) — the construction is engine-independent once the critical ratio
+/// agrees.
+#[test]
+fn all_engines_derive_identical_schedules() {
+    for (i, sys) in corpus().iter().enumerate() {
+        let reference = Schedule::compute(sys, McmEngine::Howard).expect("schedules");
+        for engine in [McmEngine::Karp, McmEngine::Lawler] {
+            let s = Schedule::compute(sys, engine).expect("schedules");
+            assert_eq!(s.throughput, reference.throughput, "system {i}");
+            assert_eq!(s.transient, reference.transient, "system {i}");
+            assert_eq!(s.period, reference.period, "system {i}");
+            for (a, b) in s.transitions.iter().zip(&reference.transitions) {
+                assert_eq!(a.word, b.word, "system {i}: {}", a.name);
+            }
+        }
+    }
+}
+
+/// The zero-stall compiled kernel attains each channel's schedule peak
+/// exactly, and the peak never exceeds the pair-invariant cap.
+#[test]
+fn zero_stall_compiled_run_attains_every_peak() {
+    for (i, sys) in corpus().iter().enumerate() {
+        let s = Schedule::compute(sys, McmEngine::default()).expect("schedules");
+        let mut sim = CompiledSim::new(sys, QueueMode::Finite);
+        sim.track_occupancy();
+        sim.run(s.transient + 2 * s.period);
+        for b in &s.bounds {
+            assert_eq!(
+                sim.max_queue_occupancy(b.channel),
+                b.peak,
+                "system {i}, channel {:?}",
+                b.channel
+            );
+            assert!(b.peak <= b.cap, "system {i}, channel {:?}", b.channel);
+        }
+    }
+}
+
+/// No stalled Monte-Carlo plan exceeds a cap — the bound is an invariant
+/// of the net, not an artifact of the ASAP schedule.
+#[test]
+fn stalled_trials_never_exceed_the_caps() {
+    for (seed, sys) in corpus().iter().enumerate() {
+        let s = Schedule::compute(sys, McmEngine::default()).expect("schedules");
+        let prog = CompiledProgram::compile(sys, QueueMode::Finite);
+        let spec = StallSpec::uniform(&prog, 0.2);
+        let (_, occupancy) = McKernel::new(prog, spec, seed as u64).run_occupancy(64, 1500);
+        for (b, &max) in s.bounds.iter().zip(&occupancy) {
+            assert!(
+                max <= b.cap,
+                "system {seed}, channel {:?}: occupancy {max} > cap {}",
+                b.channel,
+                b.cap
+            );
+        }
+    }
+}
+
+/// Bursty Markov on/off sources slow the system down but stay within the
+/// schedule caps, and the seeded report replays bit-exactly.
+#[test]
+fn bursty_sources_respect_caps_and_replay_deterministically() {
+    for (i, sys) in corpus().iter().enumerate().step_by(3) {
+        let s = Schedule::compute(sys, McmEngine::default()).expect("schedules");
+        let params = BurstParams {
+            off_per_mille: 200,
+            on_per_mille: 400,
+            trials: 64,
+            cycles: 1000,
+            seed: 17,
+        };
+        let report = burst_report(sys, &params);
+        assert!(report.within_caps(), "system {i}");
+        // Finite horizon: the transient lets a window beat θ by at most
+        // (transient + period) / cycles.
+        let slack = (s.transient + s.period) as f64 / params.cycles as f64;
+        assert!(
+            report.max_rate <= s.throughput.to_f64() + slack + 1e-9,
+            "system {i}: burst rate {} beats θ {}",
+            report.max_rate,
+            s.throughput
+        );
+        let replay = burst_report(sys, &params);
+        assert_eq!(report.mean_rate, replay.mean_rate, "system {i}");
+        assert_eq!(report.occupancy, replay.occupancy, "system {i}");
+    }
+}

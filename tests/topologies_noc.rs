@@ -3,11 +3,12 @@
 //! cites (Hu et al., Poplavko et al.), driven through the whole pipeline:
 //! insertion → degradation → queue sizing → RTL validation.
 
-use lis::core::{ideal_mst, practical_mst};
+use lis::core::{ideal_mst, practical_mst, McmEngine};
 use lis::gen::{butterfly, mesh, pipeline, ring, torus};
 use lis::marked_graph::Ratio;
 use lis::qs::{solve, verify_solution, Algorithm, QsConfig};
-use lis::sim::{CoreModel, Passthrough, RtlSimulator};
+use lis::schedule::{burst_report, BurstParams, Schedule};
+use lis::sim::{CompiledSim, CoreModel, Passthrough, QueueMode, RtlSimulator};
 
 fn passthrough_cores(sys: &lis::core::LisSystem) -> Vec<Box<dyn CoreModel>> {
     sys.block_ids()
@@ -111,6 +112,88 @@ fn ring_ideal_limit_is_not_a_qs_problem() {
     assert_eq!(report.total_extra, 0);
     assert_eq!(report.target, Ratio::new(6, 7));
     assert!(verify_solution(&sys, &report));
+}
+
+/// Router contention at a mesh hotspot: pipeline every link of the center
+/// router (the worst-contended node in a 3x3 mesh under XY routing) and
+/// cross-check **analysis ≡ schedule ≡ simulation** — the periodic
+/// schedule reports the analytic rate exactly, the zero-stall compiled run
+/// attains each queue's schedule peak, and the RTL oracle converges to the
+/// same throughput.
+#[test]
+fn mesh_router_contention_schedule_matches_analysis_and_simulation() {
+    let m = mesh(3, 3);
+    let mut sys = m.system.clone();
+    let center = m.at(1, 1);
+    for c in sys.channel_ids().collect::<Vec<_>>() {
+        if sys.channel_from(c) == center || sys.channel_to(c) == center {
+            sys.add_relay_station(c);
+        }
+    }
+    let analytic = practical_mst(&sys);
+    let s = Schedule::compute(&sys, McmEngine::default()).expect("schedules");
+    assert_eq!(s.throughput, analytic, "schedule disagrees with analysis");
+
+    let mut sim = CompiledSim::new(&sys, QueueMode::Finite);
+    sim.track_occupancy();
+    sim.run(s.transient + 2 * s.period);
+    for b in &s.bounds {
+        assert_eq!(
+            sim.max_queue_occupancy(b.channel),
+            b.peak,
+            "{:?}",
+            b.channel
+        );
+        assert!(b.peak <= b.cap, "{:?}", b.channel);
+    }
+
+    let mut rtl = RtlSimulator::new(&sys, passthrough_cores(&sys));
+    rtl.run(4000);
+    for b in sys.block_ids() {
+        let measured = rtl.throughput(b).to_f64();
+        assert!(
+            (measured - analytic.to_f64()).abs() < 0.02,
+            "{b:?}: rtl {measured} vs schedule {analytic}"
+        );
+    }
+}
+
+/// Bursty traffic sources on the contended mesh: Markov on/off modulation
+/// slows the routers down but never beats the schedule's θ (beyond the
+/// finite-horizon transient) and never pushes any router queue past its
+/// schedule cap — the caps are safe sizing targets even for bursty NoCs.
+#[test]
+fn bursty_mesh_traffic_stays_inside_the_schedule_envelope() {
+    let m = mesh(3, 3);
+    let mut sys = m.system.clone();
+    let corner = m.at(0, 0);
+    for c in sys.channel_ids().collect::<Vec<_>>() {
+        if sys.channel_from(c) == corner || sys.channel_to(c) == corner {
+            sys.add_relay_station(c);
+        }
+    }
+    let s = Schedule::compute(&sys, McmEngine::default()).expect("schedules");
+    let calm = BurstParams {
+        off_per_mille: 0,
+        on_per_mille: 1000,
+        trials: 32,
+        cycles: 2000,
+        seed: 5,
+    };
+    let bursty = BurstParams {
+        off_per_mille: 250,
+        ..calm
+    };
+    let calm_report = burst_report(&sys, &calm);
+    let bursty_report = burst_report(&sys, &bursty);
+    for report in [&calm_report, &bursty_report] {
+        assert!(report.within_caps());
+        let slack = (s.transient + s.period) as f64 / 2000.0;
+        assert!(report.max_rate <= s.throughput.to_f64() + slack + 1e-9);
+    }
+    // Sources that never burst off attain θ; bursty ones pay for it.
+    assert!((calm_report.mean_rate - s.throughput.to_f64()).abs() < 0.02);
+    assert!(bursty_report.mean_rate < calm_report.mean_rate);
 }
 
 #[test]
